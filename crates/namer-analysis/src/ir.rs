@@ -1,0 +1,165 @@
+//! Intermediate representation for the per-file analyses.
+//!
+//! The builder lowers a parsed file into a soup of functions over virtual
+//! registers ([`Var`]). Flow-sensitivity comes from versioning: every
+//! assignment allocates a fresh `Var`, and control-flow joins insert explicit
+//! merge moves, so the points-to solver itself can stay flow-insensitive
+//! (the classic SSA-style reduction).
+
+use namer_syntax::{NodeId, Sym};
+
+/// A virtual register (one version of one source variable, or a temporary).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a function body in the IR.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One IR instruction.
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// `dst` holds a fresh object with origin label `label`.
+    Alloc {
+        /// Destination register.
+        dst: Var,
+        /// Origin label (class name, external callee, module name…).
+        label: Sym,
+    },
+    /// Like [`Instr::Alloc`] but all instructions with the same label share
+    /// one abstract object (used for `self`/`this` entry assumptions, so the
+    /// fields stored by one method are visible to the others).
+    AllocShared {
+        /// Destination register.
+        dst: Var,
+        /// Shared origin label.
+        label: Sym,
+    },
+    /// `dst` holds a primitive value with origin `label` (`Num`, `Str`, …).
+    Prim {
+        /// Destination register.
+        dst: Var,
+        /// Primitive origin label.
+        label: Sym,
+    },
+    /// `dst` is unknowable (⊤) — mutated value or untracked source.
+    Top {
+        /// Destination register.
+        dst: Var,
+    },
+    /// Copy `src` into `dst`.
+    Move {
+        /// Destination register.
+        dst: Var,
+        /// Source register.
+        src: Var,
+    },
+    /// `dst = base.field`.
+    Load {
+        /// Destination register.
+        dst: Var,
+        /// Base object register.
+        base: Var,
+        /// Field name.
+        field: Sym,
+    },
+    /// `base.field = src`.
+    Store {
+        /// Base object register.
+        base: Var,
+        /// Field name.
+        field: Sym,
+        /// Source register.
+        src: Var,
+    },
+    /// Direct call to an in-file function, resolved by the builder.
+    Call {
+        /// Register receiving the return value, if used.
+        dst: Option<Var>,
+        /// Callee.
+        func: FuncId,
+        /// Call-site identifier (for k-call-site contexts).
+        site: u32,
+        /// Actual arguments (for methods, `args[0]` is the receiver).
+        args: Vec<Var>,
+    },
+}
+
+/// One function body.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// Display name (for diagnostics).
+    pub name: Sym,
+    /// Formal parameter registers.
+    pub params: Vec<Var>,
+    /// Return-value register.
+    pub ret: Var,
+    /// Entry-point assumptions (parameter ⊤/typed initialisation, `self`
+    /// allocation). Emitted only in the *entry* clone of the function: when
+    /// the function is reached through a call, the caller binds the
+    /// parameters instead.
+    pub param_inits: Vec<Instr>,
+    /// Instruction list.
+    pub instrs: Vec<Instr>,
+    /// `true` when the function is an analysis entry point (the paper treats
+    /// every public function/method as one).
+    pub entry: bool,
+}
+
+/// Whether an AST terminal reads an object or names a called function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TermUse {
+    /// The terminal names an object; origin = origin of `var`.
+    Object(Var),
+    /// The terminal names a called function; origin = origin of the receiver.
+    FunctionRecv(Var),
+}
+
+/// The lowered file: functions plus the AST↔IR correspondence.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// All function bodies (clones included, after context expansion).
+    pub funcs: Vec<Func>,
+    /// Total number of registers allocated.
+    pub var_count: u32,
+    /// For each interesting terminal of the *file* AST, how its origin is
+    /// derived from the solution.
+    pub term_uses: Vec<(NodeId, TermUse)>,
+}
+
+impl Module {
+    /// Allocates a fresh register.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.var_count);
+        self.var_count += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut m = Module::default();
+        let a = m.fresh_var();
+        let b = m.fresh_var();
+        assert_ne!(a, b);
+        assert_eq!(m.var_count, 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration scenarios for origin resolution (§4.1): points-to through
+//! fields, containers, control flow, and both languages' specifics.
+
+use namer_analysis::{AnalysisConfig, FileAnalysis};
+use namer_syntax::{java, python, stmt, transform, Ast, Lang};
+
+fn python_origins(src: &str) -> Vec<(String, String)> {
+    let ast = python::parse(src).unwrap();
+    origins_of(&ast, Lang::Python)
+}
+
+fn java_origins(src: &str) -> Vec<(String, String)> {
+    let ast = java::parse(src).unwrap();
+    origins_of(&ast, Lang::Java)
+}
+
+/// `(terminal name, origin)` pairs for every resolved terminal.
+fn origins_of(ast: &Ast, lang: Lang) -> Vec<(String, String)> {
+    let analysis = FileAnalysis::analyze(ast, lang, &AnalysisConfig::default());
+    let mut out = Vec::new();
+    for node in ast.iter() {
+        if ast.is_terminal(node) {
+            if let Some(origin) = analysis.origin(node) {
+                out.push((ast.value(node).to_string(), origin.to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn has(pairs: &[(String, String)], name: &str, origin: &str) -> bool {
+    pairs
+        .iter()
+        .any(|(n, o)| n == name && o == origin)
+}
+
+#[test]
+fn with_as_binds_context_manager_origin() {
+    let pairs = python_origins("def read(path):\n    with open(path) as f:\n        data = f.read()\n    return data\n");
+    assert!(has(&pairs, "f", "open"), "{pairs:?}");
+}
+
+#[test]
+fn container_element_flow() {
+    let pairs = python_origins(
+        "def collect():\n    items = [make_user(), make_user()]\n    for item in items:\n        use(item)\n",
+    );
+    // list elements come from make_user; the loop variable sees that origin.
+    assert!(has(&pairs, "item", "make_user"), "{pairs:?}");
+}
+
+#[test]
+fn dict_value_flow_is_tracked_via_elements() {
+    let pairs = python_origins("def f():\n    cache = {}\n    cache[key] = connect()\n    conn = cache[key]\n    return conn\n");
+    assert!(has(&pairs, "conn", "connect"), "{pairs:?}");
+}
+
+#[test]
+fn branch_merge_with_same_origin_stays_resolved() {
+    let pairs = python_origins(
+        "def f(flag):\n    if flag:\n        c = connect()\n    else:\n        c = connect()\n    return c\n",
+    );
+    assert!(has(&pairs, "c", "connect"), "{pairs:?}");
+}
+
+#[test]
+fn branch_merge_with_mixed_origins_is_unresolved() {
+    let pairs = python_origins(
+        "def f(flag):\n    if flag:\n        c = connect()\n    else:\n        c = accept()\n    return c\n",
+    );
+    // Flow-sensitivity: each branch's *store* of `c` resolves precisely…
+    assert!(has(&pairs, "c", "connect"), "{pairs:?}");
+    assert!(has(&pairs, "c", "accept"), "{pairs:?}");
+    // …but the merged *use* in `return c` is ambiguous and stays undecorated,
+    // so exactly the two store terminals are resolved.
+    assert_eq!(pairs.iter().filter(|(n, _)| n == "c").count(), 2, "{pairs:?}");
+}
+
+#[test]
+fn tuple_unpacking_loses_precision_gracefully() {
+    // Tuple targets load `$elem` of the RHS; precision may be lost but the
+    // analysis must not crash or mis-attribute.
+    let pairs = python_origins("def f():\n    a, b = make(), take()\n    return a\n");
+    assert!(!has(&pairs, "a", "take"), "{pairs:?}");
+}
+
+#[test]
+fn class_reference_vs_instance() {
+    let pairs = python_origins(
+        "class Widget:\n    def __init__(self, size):\n        self.size = size\n\ndef build():\n    w = Widget(3)\n    return w\n",
+    );
+    assert!(has(&pairs, "w", "Widget"), "{pairs:?}");
+}
+
+#[test]
+fn constructor_stores_visible_across_methods() {
+    let pairs = python_origins(
+        "class Holder:\n    def fill(self):\n        self.conn = connect()\n    def use(self):\n        c = self.conn\n        return c\n",
+    );
+    assert!(has(&pairs, "c", "connect"), "{pairs:?}");
+}
+
+#[test]
+fn exception_variable_in_python_and_java() {
+    let p = python_origins("try:\n    go()\nexcept KeyError as e:\n    log(e)\n");
+    assert!(has(&p, "e", "KeyError"), "{p:?}");
+    let j = java_origins("class A { void f() { try { go(); } catch (IOException e) { log(e); } } }");
+    assert!(has(&j, "e", "IOException"), "{j:?}");
+}
+
+#[test]
+fn java_local_type_fallback() {
+    let j = java_origins("class A { void f() { Widget w; use(w); } }");
+    assert!(has(&j, "w", "Widget"), "{j:?}");
+}
+
+#[test]
+fn java_new_overrides_nothing_but_matches_declared() {
+    let j = java_origins("class A { void f() { Intent intent = new Intent(); send(intent); } }");
+    assert!(has(&j, "intent", "Intent"), "{j:?}");
+}
+
+#[test]
+fn java_enhanced_for_uses_declared_element_type() {
+    let j = java_origins(
+        "class A { void f(List<String> names) { for (String name : names) { use(name); } } }",
+    );
+    assert!(has(&j, "name", "String"), "{j:?}");
+}
+
+#[test]
+fn java_this_origin_is_external_base() {
+    let j = java_origins(
+        "class Child extends Fragment { void f() { this.render(); } }",
+    );
+    // The receiver-origin of render() is the external base class.
+    assert!(j.iter().any(|(n, o)| n == "render" && o == "Fragment"), "{j:?}");
+}
+
+#[test]
+fn python_super_chain_resolves_through_locals() {
+    let p = python_origins(
+        "class Base(TestCase):\n    pass\n\nclass Mid(Base):\n    pass\n\nclass Leaf(Mid):\n    def t(self):\n        self.assertEqual(1, 2)\n",
+    );
+    assert!(p.iter().any(|(n, o)| n == "assertEqual" && o == "TestCase"), "{p:?}");
+}
+
+#[test]
+fn mutation_resets_value_origin() {
+    let p = python_origins("def f():\n    n = 1\n    m = n\n    n += 1\n    k = n\n    return m, k\n");
+    // m keeps the literal origin; k (post-mutation) loses it.
+    assert!(has(&p, "m", "Num"), "{p:?}");
+    assert!(!p.iter().any(|(n, _)| n == "k"), "{p:?}");
+}
+
+#[test]
+fn origins_decorate_statement_trees_consistently() {
+    let src = "import numpy as np\n\ndef f(vals):\n    arr = np.array(vals)\n    return arr\n";
+    let ast = python::parse(src).unwrap();
+    let analysis = FileAnalysis::analyze(&ast, Lang::Python, &AnalysisConfig::default());
+    for s in stmt::extract(&ast) {
+        let origins = analysis.origins_for(&s);
+        let plus = transform::to_ast_plus(&s.ast, &origins);
+        // Transform must never panic and must keep the statement shape.
+        assert!(plus.len() >= s.ast.len());
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let src = "class C(TestCase):\n    def a(self):\n        self.x = open(p)\n    def b(self):\n        y = self.x\n        return y\n";
+    let ast = python::parse(src).unwrap();
+    let one = origins_of(&ast, Lang::Python);
+    let two = origins_of(&ast, Lang::Python);
+    assert_eq!(one, two);
+}

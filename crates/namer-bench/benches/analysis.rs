@@ -1,0 +1,60 @@
+//! Per-file points-to speed (§5.1 reports 39 ms Python / 20 ms Java per
+//! file), plus the k-sensitivity ablation DESIGN.md calls out
+//! (k ∈ {0, 1, 2, 5} with the 8-contexts fallback).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use namer_analysis::{pointsto, AnalysisConfig, FileAnalysis};
+use namer_corpus::{CorpusConfig, Generator};
+use namer_syntax::{parse_file, Ast, Lang};
+
+fn asts(lang: Lang) -> Vec<(Ast, Lang)> {
+    Generator::new(CorpusConfig::small(lang))
+        .generate(2)
+        .files
+        .iter()
+        .filter_map(|f| parse_file(f).ok().map(|a| (a, f.lang)))
+        .take(30)
+        .collect()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let py = asts(Lang::Python);
+    let java = asts(Lang::Java);
+
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(20);
+    for (name, files) in [("python", &py), ("java", &java)] {
+        g.bench_function(format!("per_file_default_{name}"), |b| {
+            b.iter(|| {
+                files
+                    .iter()
+                    .map(|(ast, lang)| {
+                        FileAnalysis::analyze(ast, *lang, &AnalysisConfig::default())
+                            .resolved_count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    for k in [0usize, 1, 2, 5] {
+        g.bench_with_input(BenchmarkId::new("k_sensitivity_python", k), &k, |b, &k| {
+            let config = AnalysisConfig {
+                pointsto: pointsto::Config {
+                    k,
+                    max_avg_contexts: 8,
+                },
+            };
+            b.iter(|| {
+                py.iter()
+                    .map(|(ast, lang)| {
+                        FileAnalysis::analyze(ast, *lang, &config).resolved_count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Classifier stack: training, prediction, and the model / PCA ablations
+//! of DESIGN.md (SVM vs LogReg vs LDA; PCA on/off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use namer_ml::{Matrix, ModelKind, Pipeline, PipelineConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Table 1-shaped labeled set: 17 features, 120 samples.
+fn labeled_set() -> (Matrix, Vec<bool>) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..120 {
+        let pos = i % 2 == 0;
+        let shift = if pos { 0.8 } else { -0.8 };
+        rows.push(
+            (0..17)
+                .map(|j| shift * ((j % 3) as f64 - 1.0) + rng.gen_range(-1.0..1.0))
+                .collect::<Vec<f64>>(),
+        );
+        labels.push(pos);
+    }
+    (Matrix::from_rows(&rows), labels)
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let (x, y) = labeled_set();
+    let mut g = c.benchmark_group("classifier");
+    for kind in [ModelKind::SvmLinear, ModelKind::LogReg, ModelKind::Lda] {
+        g.bench_with_input(
+            BenchmarkId::new("train", kind.to_string()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| Pipeline::train(kind, &x, &y, &PipelineConfig::default()).input_dim())
+            },
+        );
+    }
+    for use_pca in [true, false] {
+        let config = PipelineConfig {
+            use_pca,
+            ..PipelineConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("train_svm_pca", use_pca),
+            &config,
+            |b, config| b.iter(|| Pipeline::train(ModelKind::SvmLinear, &x, &y, config).input_dim()),
+        );
+    }
+    let trained = Pipeline::train(ModelKind::SvmLinear, &x, &y, &PipelineConfig::default());
+    g.bench_function("predict_batch_120", |b| {
+        b.iter(|| (0..x.rows()).filter(|&i| trained.predict(x.row(i))).count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

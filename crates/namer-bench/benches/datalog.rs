@@ -1,0 +1,53 @@
+//! Datalog engine fixpoint throughput (the substrate under §4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use namer_datalog::{Program, Term};
+
+fn closure_program() -> (Program, namer_datalog::RelId, namer_datalog::RelId) {
+    let mut p = Program::new();
+    let e = p.relation("edge", 2);
+    let t = p.relation("path", 2);
+    let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+    p.rule(t.atom([x, y]), [e.atom([x, y]).pos()]);
+    p.rule(t.atom([x, z]), [e.atom([x, y]).pos(), t.atom([y, z]).pos()]);
+    (p, e, t)
+}
+
+fn bench_datalog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog");
+    g.sample_size(20);
+    g.bench_function("transitive_closure_chain_300", |b| {
+        b.iter(|| {
+            let (p, e, t) = closure_program();
+            let mut db = p.database();
+            for i in 0..300u64 {
+                db.insert(e, [i, i + 1]);
+            }
+            let out = p.eval(db).expect("stratified");
+            out.len(t)
+        })
+    });
+    g.bench_function("transitive_closure_grid_20x20", |b| {
+        b.iter(|| {
+            let (p, e, t) = closure_program();
+            let mut db = p.database();
+            for r in 0..20u64 {
+                for col in 0..20u64 {
+                    let n = r * 20 + col;
+                    if col + 1 < 20 {
+                        db.insert(e, [n, n + 1]);
+                    }
+                    if r + 1 < 20 {
+                        db.insert(e, [n, n + 20]);
+                    }
+                }
+            }
+            let out = p.eval(db).expect("stratified");
+            out.len(t)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_datalog);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! FP-tree growth and pattern generation (Algorithms 1–2), plus the
+//! pruneUncommon threshold ablation of DESIGN.md (0.5 / 0.8 / 0.9 / 0.95).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use namer_corpus::{CorpusConfig, Generator};
+use namer_core::{process, ProcessConfig};
+use namer_patterns::{mine_patterns, ConfusingPairs, MiningConfig, PathSet, PatternType};
+use namer_syntax::{parse_file, Lang, SourceFile};
+
+fn stmt_paths(lang: Lang) -> (Vec<PathSet>, ConfusingPairs) {
+    let corpus = Generator::new(CorpusConfig::small(lang)).generate(3);
+    let processed = process(&corpus.files, &ProcessConfig::default());
+    let stmts: Vec<PathSet> = processed
+        .iter_stmts()
+        .map(|(_, s)| s.paths.clone())
+        .collect();
+    let mut pairs = ConfusingPairs::new();
+    for c in &corpus.commits {
+        let b = parse_file(&SourceFile::new("c", "b", c.before.clone(), lang));
+        let a = parse_file(&SourceFile::new("c", "a", c.after.clone(), lang));
+        if let (Ok(b), Ok(a)) = (b, a) {
+            pairs.mine_commit(&b, &a);
+        }
+    }
+    (stmts, pairs)
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let (stmts, pairs) = stmt_paths(Lang::Python);
+    let base = MiningConfig {
+        min_path_count: 4,
+        min_support: 15,
+        ..MiningConfig::default()
+    };
+
+    let mut g = c.benchmark_group("mining");
+    g.sample_size(15);
+    g.bench_function("confusing_word_python", |b| {
+        b.iter(|| {
+            mine_patterns(&stmts, PatternType::ConfusingWord, Some(&pairs), &base).len()
+        })
+    });
+    g.bench_function("consistency_python", |b| {
+        b.iter(|| mine_patterns(&stmts, PatternType::Consistency, None, &base).len())
+    });
+    // pruneUncommon threshold ablation: lower thresholds keep more patterns.
+    for threshold in [50u64, 80, 90, 95] {
+        let config = MiningConfig {
+            min_satisfaction: threshold as f64 / 100.0,
+            ..base.clone()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("satisfaction_threshold", threshold),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    mine_patterns(&stmts, PatternType::ConfusingWord, Some(&pairs), config).len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! GGNN / GREAT step cost: one training step and one prediction per
+//! architecture (the §5.6 baselines' compute profile).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use namer_corpus::{CorpusConfig, Generator};
+use namer_nn::{build_vocab, make_samples, Arch, Model, ModelConfig};
+use namer_syntax::Lang;
+
+fn bench_nn(c: &mut Criterion) {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(4);
+    let vocab = build_vocab(&corpus.files, 256);
+    let config = ModelConfig {
+        epochs: 1,
+        max_nodes: 120,
+        ..ModelConfig::default()
+    };
+    let samples = make_samples(&corpus.files, &vocab, 16, 0.5, config.max_nodes, 6);
+
+    let mut g = c.benchmark_group("nn");
+    g.sample_size(10);
+    for arch in [Arch::Ggnn, Arch::Great] {
+        g.bench_with_input(
+            BenchmarkId::new("train_epoch_16_graphs", arch.to_string()),
+            &arch,
+            |b, &arch| {
+                b.iter(|| {
+                    let mut model = Model::new(arch, vocab.size(), config);
+                    model.train(&samples)
+                })
+            },
+        );
+        let mut model = Model::new(arch, vocab.size(), config);
+        model.train(&samples);
+        g.bench_with_input(
+            BenchmarkId::new("predict", arch.to_string()),
+            &arch,
+            |b, _| b.iter(|| model.predict(&samples[0].graph).cls),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Lexer/parser throughput for both languages, plus statement extraction
+//! and the AST+ transformation — the front half of the §5.1 per-file cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use namer_corpus::{CorpusConfig, Generator};
+use namer_syntax::{parse_file, stmt, transform, Lang};
+
+fn corpus_text(lang: Lang) -> Vec<namer_syntax::SourceFile> {
+    Generator::new(CorpusConfig::small(lang)).generate(1).files
+}
+
+fn bench_parsing(c: &mut Criterion) {
+    let py = corpus_text(Lang::Python);
+    let java = corpus_text(Lang::Java);
+
+    let mut g = c.benchmark_group("parsing");
+    g.bench_function("python_corpus_parse", |b| {
+        b.iter(|| {
+            py.iter()
+                .map(|f| parse_file(f).expect("corpus parses").len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("java_corpus_parse", |b| {
+        b.iter(|| {
+            java.iter()
+                .map(|f| parse_file(f).expect("corpus parses").len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("python_stmt_extract_and_ast_plus", |b| {
+        let asts: Vec<_> = py.iter().map(|f| parse_file(f).unwrap()).collect();
+        b.iter_batched(
+            || asts.clone(),
+            |asts| {
+                let mut n = 0usize;
+                for ast in &asts {
+                    for s in stmt::extract(ast) {
+                        let plus = transform::to_ast_plus(
+                            &s.ast,
+                            &namer_syntax::transform::Origins::new(),
+                        );
+                        n += plus.len();
+                    }
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parsing);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end pipeline cost (the Table 2/5 machinery): preprocessing,
+//! mining + training, and detection, each over a small corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use namer_bench::{labeler, namer_config, setup, Scale, Setup};
+use namer_core::{process, Namer};
+use namer_syntax::Lang;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let Setup {
+        corpus,
+        oracle,
+        commits,
+    } = setup(Lang::Python, Scale::Small, 5);
+    let config = namer_config(Scale::Small);
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("preprocess_small_corpus", |b| {
+        b.iter(|| process(&corpus.files, &config.process).stmt_count())
+    });
+    g.bench_function("train_small_corpus", |b| {
+        b.iter(|| {
+            Namer::train(&corpus.files, &commits, labeler(&oracle), &config)
+                .detector
+                .pattern_count()
+        })
+    });
+    let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
+    let processed = process(&corpus.files, &config.process);
+    g.bench_function("detect_small_corpus", |b| {
+        b.iter(|| namer.detect_processed(&processed).0.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

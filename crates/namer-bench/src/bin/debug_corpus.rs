@@ -1,0 +1,118 @@
+//! Diagnostic dump of mining and violation behaviour (not a paper table).
+
+use namer_bench::{label_of, labeler, namer_config, setup, Scale, Setup};
+use namer_core::Namer;
+use namer_syntax::Lang;
+use std::collections::HashMap;
+
+fn main() {
+    let lang = if std::env::args().any(|a| a == "--java") {
+        Lang::Java
+    } else {
+        Lang::Python
+    };
+    let Setup {
+        corpus,
+        oracle,
+        commits,
+    } = setup(
+        lang,
+        if std::env::args().any(|a| a == "--small") {
+            Scale::Small
+        } else {
+            Scale::Medium
+        },
+        42,
+    );
+    println!(
+        "files={} injections={} commits={}",
+        corpus.files.len(),
+        corpus.injections.len(),
+        corpus.commits.len()
+    );
+    let config = namer_config(if std::env::args().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Medium
+    });
+    let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
+    println!(
+        "patterns={} pairs={} model={} cv_acc={:.2}",
+        namer.detector.pattern_count(),
+        namer.detector.pairs.len(),
+        namer.model_kind,
+        namer.cv_metrics.accuracy
+    );
+    let processed = namer_core::process(&corpus.files, &config.process);
+    let (_, scan) = namer.detect_processed(&processed);
+    let tp_total = scan
+        .violations
+        .iter()
+        .filter(|v| label_of(&oracle, v).is_some())
+        .count();
+    println!(
+        "violations={} (raw {}) tp={} fp={} files_with_violation={}/{} training={}",
+        scan.violations.len(),
+        scan.raw_violation_count,
+        tp_total,
+        scan.violations.len() - tp_total,
+        scan.files_with_violation,
+        scan.files_scanned,
+        namer.training_set.len()
+    );
+    let mut by_suggestion: HashMap<(String, String, bool), usize> = HashMap::new();
+    for v in &scan.violations {
+        let tp = label_of(&oracle, v).is_some();
+        *by_suggestion
+            .entry((v.original.to_string(), v.suggested.to_string(), tp))
+            .or_default() += 1;
+    }
+    let mut rows: Vec<_> = by_suggestion.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("\nviolations by (original → suggested, is_true):");
+    for ((o, s, tp), n) in rows.iter().take(30) {
+        println!("  {o} → {s}  tp={tp}  ×{n}");
+    }
+    println!("\nmined pattern deduction ends (top 20):");
+    let mut ded: HashMap<String, usize> = HashMap::new();
+    for p in &namer.detector.patterns.patterns {
+        let tail = p
+            .deduction
+            .iter()
+            .map(|d| {
+                d.end_str().unwrap_or("ϵ").to_owned()
+                    + " @ "
+                    + &d.prefix
+                        .iter()
+                        .rev()
+                        .take(3)
+                        .map(|(s, i)| format!("{s}.{i}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+            })
+            .collect::<Vec<_>>()
+            .join(" | ");
+        *ded.entry(format!("[{}] {tail}", p.ty)).or_default() += 1;
+    }
+    let mut drows: Vec<_> = ded.into_iter().collect();
+    drows.sort_by(|a, b| b.1.cmp(&a.1));
+    for (k, n) in drows.iter().take(20) {
+        println!("  ×{n}  {k}");
+    }
+    // Injection recall by category.
+    let mut found: HashMap<String, (usize, usize)> = HashMap::new();
+    for inj in &corpus.injections {
+        let hit = scan.violations.iter().any(|v| {
+            v.repo == inj.repo && v.path == inj.path && v.line == inj.line
+        });
+        let e = found.entry(inj.category.to_string()).or_default();
+        e.1 += 1;
+        if hit {
+            e.0 += 1;
+        }
+    }
+    println!("\ninjection recall by category (violation level):");
+    for (cat, (hit, total)) in &found {
+        println!("  {cat}: {hit}/{total}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Hyper-parameter probe for the NN baselines (not a paper table).
+
+use namer_bench::{setup, Scale, Setup};
+use namer_nn::{build_vocab, make_samples, Arch, Model, ModelConfig};
+use namer_syntax::Lang;
+use std::time::Instant;
+
+fn main() {
+    let Setup { corpus, .. } = setup(Lang::Python, Scale::Small, 46);
+    let vocab = build_vocab(&corpus.files, 512);
+    for (arch, lr, epochs, max_nodes, nsamp) in [
+        (Arch::Great, 1e-3, 12, 150, 600),
+        (Arch::Great, 3e-3, 12, 150, 600),
+        (Arch::Ggnn, 5e-3, 10, 200, 600),
+    ] {
+        let config = ModelConfig {
+            epochs,
+            max_nodes,
+            lr,
+            ..ModelConfig::default()
+        };
+        let train = make_samples(&corpus.files, &vocab, nsamp, 0.5, max_nodes, 1);
+        let test = make_samples(&corpus.files, &vocab, 200, 0.5, max_nodes, 2);
+        let t0 = Instant::now();
+        let mut model = Model::new(arch, vocab.size(), config);
+        let loss = model.train(&train);
+        let acc = model.accuracy(&test);
+        println!(
+            "{arch} lr={lr} epochs={epochs} nodes={max_nodes}: loss={loss:.3} cls={:.2} loc={:.2} rep={:.2} ({:.0}s)",
+            acc.classification, acc.localization, acc.repair,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

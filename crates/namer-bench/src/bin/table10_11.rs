@@ -1,0 +1,120 @@
+//! Tables 10 & 11 (+ the §5.6 synthetic-accuracy block): GGNN and GREAT vs
+//! Namer on real issues. The baselines are trained on synthetic variable
+//! misuse, reach high synthetic accuracy, and are then evaluated on the
+//! uncorrupted corpus with their confidence tuned to report ~5× fewer
+//! issues than Namer — exactly the paper's §5.6 protocol.
+
+use namer_bench::{
+    inspect, labeler, namer_config, pct, print_table, setup, Inspection, Scale, Setup,
+};
+use namer_core::{Namer, Report};
+use namer_corpus::Severity;
+use namer_nn::{build_vocab, make_samples, scan, top_reports, Arch, Model, ModelConfig};
+use namer_syntax::Lang;
+
+fn run_lang(lang: Lang, scale: Scale, seed: u64) {
+    let Setup {
+        corpus,
+        oracle,
+        commits,
+    } = setup(lang, scale, seed);
+    let config = namer_config(scale);
+    let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
+    let namer_reports = namer.detect(&corpus.files);
+    let namer_refs: Vec<&Report> = namer_reports.iter().collect();
+    let namer_row = inspect(&namer_refs, &oracle);
+
+    // Train the baselines on synthetic VarMisuse over the same corpus.
+    let vocab = build_vocab(&corpus.files, 512);
+    // The paper tunes baseline confidence to ~5× fewer reports than Namer.
+    let target = (namer_reports.len() / 5).max(5);
+
+    let mut rows = Vec::new();
+    for arch in [Arch::Ggnn, Arch::Great] {
+        let nn_config = match arch {
+            Arch::Ggnn => ModelConfig {
+                epochs: 10,
+                max_nodes: 200,
+                lr: 5e-3,
+                ..ModelConfig::default()
+            },
+            // The transformer needs a gentler rate and more passes; smaller
+            // graphs keep the n² attention affordable.
+            Arch::Great => ModelConfig {
+                epochs: 20,
+                max_nodes: 120,
+                lr: 1e-3,
+                ..ModelConfig::default()
+            },
+        };
+        let train = make_samples(&corpus.files, &vocab, 900, 0.5, nn_config.max_nodes, seed);
+        let test = make_samples(&corpus.files, &vocab, 300, 0.5, nn_config.max_nodes, seed ^ 1);
+        let mut model = Model::new(arch, vocab.size(), nn_config);
+        model.train(&train);
+        let acc = model.accuracy(&test);
+        println!(
+            "{arch} synthetic accuracy: classification {} localization {} repair {}",
+            pct(acc.classification),
+            pct(acc.localization),
+            pct(acc.repair)
+        );
+        let reports = top_reports(scan(&model, &corpus.files, &vocab), target);
+        let mut row = Inspection {
+            reports: reports.len(),
+            ..Inspection::default()
+        };
+        for r in &reports {
+            let file = &corpus.files[r.file_idx];
+            match oracle.label(
+                &file.repo,
+                &file.path,
+                r.line,
+                r.original.as_str(),
+                r.suggested.as_str(),
+            ) {
+                Some(cat) if cat.severity() == Severity::SemanticDefect => row.semantic += 1,
+                Some(_) => row.quality += 1,
+                None => row.false_positives += 1,
+            }
+        }
+        rows.push((arch.to_string(), row));
+    }
+    rows.push(("Namer".to_owned(), namer_row));
+
+    let table = if lang == Lang::Python {
+        "Table 10"
+    } else {
+        "Table 11"
+    };
+    print_table(
+        &format!("{table}: precision of GGNN, GREAT and Namer ({lang})"),
+        &[
+            "System",
+            "Reports",
+            "Semantic defects",
+            "Code quality issues",
+            "False positives",
+            "Precision",
+        ],
+        &rows
+            .iter()
+            .map(|(name, i)| {
+                vec![
+                    name.clone(),
+                    i.reports.to_string(),
+                    i.semantic.to_string(),
+                    i.quality.to_string(),
+                    i.false_positives.to_string(),
+                    pct(i.precision()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    run_lang(Lang::Python, scale, 46);
+    run_lang(Lang::Java, scale, 47);
+    println!("\nPaper shape: GGNN/GREAT score well on synthetic bugs but ≤16% precision on real issues; Namer ≈70% with ~5× more reports (distribution mismatch).");
+}

@@ -1,0 +1,15 @@
+//! Table 2: precision of Namer and ablations on sampled violations from the
+//! Python corpus ("C" = defect classifier, "A" = static analyses).
+
+use namer_bench::{ablation_table, print_ablation, Scale};
+use namer_syntax::Lang;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = ablation_table(Lang::Python, scale, 42, 300);
+    print_ablation(
+        "Table 2: Namer and baselines on sampled violations (Python)",
+        &rows,
+    );
+    println!("\nPaper shape: Namer ≈70% ≫ w/o A > w/o C > w/o C & A; w/o A also reports fewer issues.");
+}

@@ -1,0 +1,112 @@
+//! Table 4: per-pattern-type inspection of Namer reports (Python), with the
+//! code-quality breakdown, plus the §5.2 distribution of reports per pattern
+//! type (consistency vs confusing-word vs both).
+
+use namer_bench::{label_of, labeler, namer_config, pct, print_table, setup, Scale, Setup};
+use namer_core::Namer;
+use namer_corpus::{IssueCategory, Severity};
+use namer_patterns::PatternType;
+use namer_syntax::Lang;
+
+fn main() {
+    let scale = Scale::from_args();
+    let lang = if std::env::args().any(|a| a == "--java") {
+        Lang::Java
+    } else {
+        Lang::Python
+    };
+    let Setup {
+        corpus,
+        oracle,
+        commits,
+    } = setup(lang, scale, 44);
+    let config = namer_config(scale);
+    let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
+    let reports = namer.detect(&corpus.files);
+
+    // §5.2 distribution: % of reports per pattern type.
+    let total = reports.len().max(1) as f64;
+    let consistency = reports
+        .iter()
+        .filter(|r| r.violation.pattern_ty == PatternType::Consistency || r.violation.detected_by_both)
+        .count();
+    let confusing = reports
+        .iter()
+        .filter(|r| r.violation.pattern_ty == PatternType::ConfusingWord || r.violation.detected_by_both)
+        .count();
+    let both = reports.iter().filter(|r| r.violation.detected_by_both).count();
+    println!(
+        "reports: {} | consistency {} | confusing-word {} | detected by both {}",
+        reports.len(),
+        pct(consistency as f64 / total),
+        pct(confusing as f64 / total),
+        pct(both as f64 / total),
+    );
+
+    // Table 4: inspect up to 100 reports per pattern type.
+    let mut rows = Vec::new();
+    let quality_cats = [
+        IssueCategory::ConfusingName,
+        IssueCategory::IndescriptiveName,
+        IssueCategory::InconsistentName,
+        IssueCategory::MinorIssue,
+        IssueCategory::Typo,
+    ];
+    let mut per_type: Vec<Vec<String>> = vec![Vec::new(); 2];
+    for (col, ty) in [PatternType::Consistency, PatternType::ConfusingWord]
+        .into_iter()
+        .enumerate()
+    {
+        let selected: Vec<_> = reports
+            .iter()
+            .filter(|r| r.violation.pattern_ty == ty)
+            .take(100)
+            .collect();
+        let mut semantic = 0;
+        let mut fp = 0;
+        let mut per_cat = vec![0usize; quality_cats.len()];
+        for r in &selected {
+            match label_of(&oracle, &r.violation) {
+                Some(cat) if cat.severity() == Severity::SemanticDefect => semantic += 1,
+                Some(cat) => {
+                    if let Some(i) = quality_cats.iter().position(|&c| c == cat) {
+                        per_cat[i] += 1;
+                    }
+                }
+                None => fp += 1,
+            }
+        }
+        let quality: usize = per_cat.iter().sum();
+        per_type[col] = vec![
+            selected.len().to_string(),
+            semantic.to_string(),
+            quality.to_string(),
+            fp.to_string(),
+        ];
+        per_type[col].extend(per_cat.iter().map(usize::to_string));
+    }
+    let labels = [
+        "Inspected reports",
+        "Semantic defect",
+        "Code quality issue",
+        "False positive",
+        "  Confusing name",
+        "  Indescriptive name",
+        "  Inconsistent name",
+        "  Minor issue",
+        "  Typo",
+    ];
+    for (i, l) in labels.iter().enumerate() {
+        rows.push(vec![
+            l.to_string(),
+            per_type[0][i].clone(),
+            per_type[1][i].clone(),
+        ]);
+    }
+    print_table(
+        &format!("Table 4: inspection per pattern type ({lang})"),
+        &["Inspection outcome", "Consistency", "Confusing word"],
+        &rows,
+    );
+    println!("\nPaper shape: confusing-word patterns recover more semantic defects; consistency patterns produce fewer false positives.");
+}

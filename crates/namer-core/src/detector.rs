@@ -1,0 +1,428 @@
+//! The unsupervised half of Namer: mine patterns from Big Code and flag
+//! pattern violations with their Table 1 features.
+
+use crate::features::{self, FeatureInputs, LevelCounts, FEATURE_COUNT};
+use crate::process::ProcessedCorpus;
+use namer_patterns::{
+    mine_patterns, ConfusingPairs, MiningConfig, PatternSet, PatternType, Relation,
+};
+use namer_syntax::{parse_file, Lang, SourceFile, Sym};
+use std::collections::HashMap;
+
+/// A flagged pattern violation with its feature vector.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Repository of the statement.
+    pub repo: String,
+    /// File path of the statement.
+    pub path: String,
+    /// 1-based line of the statement.
+    pub line: u32,
+    /// The offending subtoken as written.
+    pub original: Sym,
+    /// The subtoken the violated pattern deduces.
+    pub suggested: Sym,
+    /// Index of the violated pattern in [`Detector::patterns`].
+    pub pattern_idx: usize,
+    /// Pattern type of the violated pattern.
+    pub pattern_ty: PatternType,
+    /// Rendered statement (for display).
+    pub rendered: String,
+    /// Table 1 features ϕ(s, p).
+    pub features: [f64; FEATURE_COUNT],
+    /// `true` when patterns of *both* types flagged this statement with the
+    /// same suggestion (the §5.2 "detected by both patterns" statistic).
+    pub detected_by_both: bool,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] suggest replacing `{}` with `{}` in {}",
+            self.repo, self.path, self.line, self.pattern_ty, self.original, self.suggested,
+            self.rendered
+        )
+    }
+}
+
+/// The mined detector: patterns, pairs, and dataset-level statistics.
+#[derive(Debug)]
+pub struct Detector {
+    /// All mined patterns (consistency first, then confusing-word).
+    pub patterns: PatternSet,
+    /// Mined confusing word pairs.
+    pub pairs: ConfusingPairs,
+    dataset: Vec<LevelCounts>,
+}
+
+impl Detector {
+    /// Mines confusing word pairs from `commits` (before/after text pairs)
+    /// and name patterns of both types from the preprocessed corpus.
+    pub fn mine(
+        corpus: &ProcessedCorpus,
+        commits: &[(String, String)],
+        lang: Lang,
+        config: &MiningConfig,
+    ) -> Detector {
+        let mut pairs = ConfusingPairs::new();
+        for (before, after) in commits {
+            let b = parse_file(&SourceFile::new("c", "b", before.clone(), lang));
+            let a = parse_file(&SourceFile::new("c", "a", after.clone(), lang));
+            if let (Ok(b), Ok(a)) = (b, a) {
+                pairs.mine_commit(&b, &a);
+            }
+        }
+        let stmts: Vec<_> = corpus
+            .iter_stmts()
+            .map(|(_, s)| s.paths.clone())
+            .collect();
+        let mut patterns = mine_patterns(&stmts, PatternType::Consistency, None, config);
+        patterns.extend(mine_patterns(
+            &stmts,
+            PatternType::ConfusingWord,
+            Some(&pairs),
+            config,
+        ));
+        let dataset = patterns
+            .iter()
+            .map(|p| LevelCounts {
+                matches: p.matches,
+                satisfactions: p.satisfactions,
+                violations: p.matches - p.satisfactions,
+            })
+            .collect();
+        Detector {
+            patterns: PatternSet::new(patterns),
+            pairs,
+            dataset,
+        }
+    }
+
+    /// Number of mined patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Dataset-level counts of pattern `idx` (from `pruneUncommon`).
+    pub fn dataset_counts(&self, idx: usize) -> LevelCounts {
+        self.dataset[idx]
+    }
+
+    /// Dataset-level counts for every pattern (for persistence).
+    pub fn dataset_counts_all(&self) -> &[LevelCounts] {
+        &self.dataset
+    }
+
+    /// Reassembles a detector from persisted parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataset` does not have one entry per pattern.
+    pub fn from_parts(
+        patterns: Vec<namer_patterns::NamePattern>,
+        pairs: ConfusingPairs,
+        dataset: Vec<LevelCounts>,
+    ) -> Detector {
+        assert_eq!(patterns.len(), dataset.len(), "one count set per pattern");
+        Detector {
+            patterns: PatternSet::new(patterns),
+            pairs,
+            dataset,
+        }
+    }
+
+    /// Scans a preprocessed corpus and returns every violation with its
+    /// Table 1 features, plus per-file coverage statistics (§5.2's
+    /// "violated at least one pattern" numbers).
+    pub fn violations(&self, corpus: &ProcessedCorpus) -> ScanResult {
+        // Pass 1: relations per statement, accumulated at file/repo level.
+        struct Raw {
+            file_idx: usize,
+            line: u32,
+            rendered: String,
+            digest: u64,
+            path_count: usize,
+            pattern_idx: usize,
+            original: Sym,
+            suggested: Sym,
+        }
+        let mut raw: Vec<Raw> = Vec::new();
+        let mut file_counts: Vec<HashMap<usize, LevelCounts>> = Vec::new();
+        let mut repo_counts: HashMap<&str, HashMap<usize, LevelCounts>> = HashMap::new();
+        let mut file_digests: Vec<HashMap<u64, u64>> = Vec::new();
+        let mut repo_digests: HashMap<&str, HashMap<u64, u64>> = HashMap::new();
+        let mut files_with_violation = 0usize;
+        let mut repos_with_violation: HashMap<&str, bool> = HashMap::new();
+
+        for (file_idx, file) in corpus.files.iter().enumerate() {
+            let mut this_file: HashMap<usize, LevelCounts> = HashMap::new();
+            let mut this_digests: HashMap<u64, u64> = HashMap::new();
+            let repo_entry = repo_counts.entry(&file.repo).or_default();
+            let repo_dig = repo_digests.entry(&file.repo).or_default();
+            let mut violated_here = false;
+            for stmt in &file.stmts {
+                *this_digests.entry(stmt.digest).or_default() += 1;
+                *repo_dig.entry(stmt.digest).or_default() += 1;
+                for (pidx, rel) in self.patterns.check(&stmt.paths) {
+                    let satisfied = rel == Relation::Satisfied;
+                    this_file.entry(pidx).or_default().record(satisfied);
+                    repo_entry.entry(pidx).or_default().record(satisfied);
+                    if let Relation::Violated(detail) = rel {
+                        violated_here = true;
+                        // Consistency violations are orientation-agnostic
+                        // (either name could be the mistake); when the mined
+                        // confusing pairs know the direction, use it.
+                        let (original, suggested) =
+                            if self.pairs.contains(detail.suggested, detail.original)
+                                && !self.pairs.contains(detail.original, detail.suggested)
+                            {
+                                (detail.suggested, detail.original)
+                            } else {
+                                (detail.original, detail.suggested)
+                            };
+                        raw.push(Raw {
+                            file_idx,
+                            line: stmt.line,
+                            rendered: stmt.rendered.clone(),
+                            digest: stmt.digest,
+                            path_count: stmt.paths.len(),
+                            pattern_idx: pidx,
+                            original,
+                            suggested,
+                        });
+                    }
+                }
+            }
+            if violated_here {
+                files_with_violation += 1;
+                repos_with_violation.insert(&file.repo, true);
+            }
+            file_counts.push(this_file);
+            file_digests.push(this_digests);
+        }
+
+        // Pass 2: feature vectors.
+        let violations: Vec<Violation> = raw
+            .into_iter()
+            .map(|r| {
+                let file = &corpus.files[r.file_idx];
+                let pattern = &self.patterns.patterns[r.pattern_idx];
+                let inputs = FeatureInputs {
+                    pattern,
+                    stmt_path_count: r.path_count,
+                    identical_in_file: file_digests[r.file_idx]
+                        .get(&r.digest)
+                        .copied()
+                        .unwrap_or(1),
+                    identical_in_repo: repo_digests
+                        .get(file.repo.as_str())
+                        .and_then(|m| m.get(&r.digest))
+                        .copied()
+                        .unwrap_or(1),
+                    file: file_counts[r.file_idx]
+                        .get(&r.pattern_idx)
+                        .copied()
+                        .unwrap_or_default(),
+                    repo: repo_counts
+                        .get(file.repo.as_str())
+                        .and_then(|m| m.get(&r.pattern_idx))
+                        .copied()
+                        .unwrap_or_default(),
+                    dataset: self.dataset[r.pattern_idx],
+                    original: r.original,
+                    suggested: r.suggested,
+                };
+                Violation {
+                    repo: file.repo.clone(),
+                    path: file.path.clone(),
+                    line: r.line,
+                    original: r.original,
+                    suggested: r.suggested,
+                    pattern_idx: r.pattern_idx,
+                    pattern_ty: pattern.ty,
+                    rendered: r.rendered,
+                    features: features::extract(&inputs, &self.pairs),
+                    detected_by_both: false,
+                }
+            })
+            .collect();
+
+        let raw_count = violations.len();
+        let violations = dedup_violations(violations, self);
+
+        ScanResult {
+            violations,
+            raw_violation_count: raw_count,
+            files_scanned: corpus.files.len(),
+            files_with_violation,
+            repos_with_violation: repos_with_violation.len(),
+        }
+    }
+}
+
+/// Collapses violations to one *report candidate* per
+/// `(location, original, suggested)`, keeping the violation whose pattern
+/// has the most dataset evidence. Statements flagged by both pattern types
+/// are marked (`detected_by_both`).
+fn dedup_violations(violations: Vec<Violation>, det: &Detector) -> Vec<Violation> {
+    let mut best: HashMap<(String, String, u32, Sym, Sym), Violation> = HashMap::new();
+    let mut types: HashMap<(String, String, u32, Sym, Sym), (bool, bool)> = HashMap::new();
+    for v in violations {
+        let key = (
+            v.repo.clone(),
+            v.path.clone(),
+            v.line,
+            v.original,
+            v.suggested,
+        );
+        let t = types.entry(key.clone()).or_default();
+        match v.pattern_ty {
+            crate::detector::PatternTypeAlias::Consistency => t.0 = true,
+            crate::detector::PatternTypeAlias::ConfusingWord => t.1 = true,
+        }
+        let evidence = |x: &Violation| det.dataset[x.pattern_idx].matches;
+        match best.get(&key) {
+            Some(cur) if evidence(cur) >= evidence(&v) => {}
+            _ => {
+                best.insert(key, v);
+            }
+        }
+    }
+    let mut out: Vec<Violation> = best
+        .into_iter()
+        .map(|(key, mut v)| {
+            let (c, w) = types[&key];
+            v.detected_by_both = c && w;
+            v
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (&a.repo, &a.path, a.line, a.original, a.suggested)
+            .cmp(&(&b.repo, &b.path, b.line, b.original, b.suggested))
+    });
+    out
+}
+
+/// Local alias so the dedup match reads naturally.
+use namer_patterns::PatternType as PatternTypeAlias;
+
+/// Output of [`Detector::violations`].
+#[derive(Clone, Debug)]
+pub struct ScanResult {
+    /// Report candidates: one violation per (location, suggestion), most
+    /// evidenced pattern first.
+    pub violations: Vec<Violation>,
+    /// Violation count before per-location deduplication.
+    pub raw_violation_count: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Files with at least one violation (§5.2 coverage).
+    pub files_with_violation: usize,
+    /// Repositories with at least one violation.
+    pub repos_with_violation: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{process, ProcessConfig};
+
+    fn tiny_corpus() -> (Vec<SourceFile>, Vec<(String, String)>) {
+        let mut files = Vec::new();
+        for i in 0..30 {
+            files.push(SourceFile::new(
+                format!("repo{}", i % 5),
+                format!("f{i}.py"),
+                "class T(TestCase):\n    def test_a(self):\n        self.assertEqual(value.count, 4)\n",
+                Lang::Python,
+            ));
+        }
+        files.push(SourceFile::new(
+            "repo0",
+            "bad.py",
+            "class T(TestCase):\n    def test_b(self):\n        self.assertTrue(value.count, 4)\n",
+            Lang::Python,
+        ));
+        let commits = vec![(
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 1)\n".to_owned(),
+            "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 1)\n".to_owned(),
+        )];
+        (files, commits)
+    }
+
+    fn small_mining() -> MiningConfig {
+        MiningConfig {
+            min_path_count: 2,
+            min_support: 5,
+            ..MiningConfig::default()
+        }
+    }
+
+    #[test]
+    fn detects_injected_wrong_api() {
+        let (files, commits) = tiny_corpus();
+        let corpus = process(&files, &ProcessConfig::default());
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        assert!(det.pattern_count() > 0);
+        let scan = det.violations(&corpus);
+        let hit = scan
+            .violations
+            .iter()
+            .find(|v| v.path == "bad.py")
+            .expect("the buggy file is flagged");
+        assert_eq!(hit.original.as_str(), "True");
+        assert_eq!(hit.suggested.as_str(), "Equal");
+        assert_eq!(hit.line, 3);
+    }
+
+    #[test]
+    fn features_reflect_local_context() {
+        let (files, commits) = tiny_corpus();
+        let corpus = process(&files, &ProcessConfig::default());
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let scan = det.violations(&corpus);
+        let v = scan.violations.iter().find(|v| v.path == "bad.py").unwrap();
+        // One-off statement: exactly one identical copy in its file.
+        assert_eq!(v.features[1], 1.0);
+        // The mined pattern is a confusing-word, function-name pattern.
+        assert_eq!(v.features[12], 1.0);
+        // Dataset satisfaction rate is high (30 good vs 1 bad).
+        assert!(v.features[5] > 0.8, "{}", v.features[5]);
+        // Mined pair feature fires.
+        assert_eq!(v.features[16], 1.0);
+    }
+
+    #[test]
+    fn scan_reports_coverage() {
+        let (files, commits) = tiny_corpus();
+        let corpus = process(&files, &ProcessConfig::default());
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let scan = det.violations(&corpus);
+        assert_eq!(scan.files_scanned, 31);
+        assert!(scan.files_with_violation >= 1);
+        assert!(scan.repos_with_violation >= 1);
+    }
+
+    #[test]
+    fn satisfied_corpus_yields_no_violations() {
+        let files: Vec<SourceFile> = (0..20)
+            .map(|i| {
+                SourceFile::new(
+                    "r",
+                    format!("f{i}.py"),
+                    "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 1)\n",
+                    Lang::Python,
+                )
+            })
+            .collect();
+        let commits = vec![(
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 1)\n".to_owned(),
+            "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 1)\n".to_owned(),
+        )];
+        let corpus = process(&files, &ProcessConfig::default());
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let scan = det.violations(&corpus);
+        assert!(scan.violations.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Fix rendering: turn a violation into the corrected source line.
+//!
+//! The paper's reports *suggest a fix*: "modify the statement so that the
+//! originally violated pattern becomes satisfied" (§2). A violation names
+//! the offending subtoken and its replacement; this module splices the
+//! replacement back into the identifier on the reported line, preserving
+//! the identifier's case convention (`assertTrue` + True→Equal =
+//! `assertEqual`, `progDialog` + prog→progress = `progressDialog`).
+
+use namer_syntax::subtoken;
+
+/// Applies a subtoken rename to one identifier.
+///
+/// Returns `None` when the identifier does not contain `original` as a
+/// subtoken. Case is adapted: if the replaced subtoken was capitalised and
+/// the replacement is lowercase, the replacement is capitalised (and vice
+/// versa), so camelCase identifiers stay camelCase.
+pub fn rename_identifier(ident: &str, original: &str, suggested: &str) -> Option<String> {
+    let parts = subtoken::split(ident);
+    let idx = parts.iter().position(|p| p == original)?;
+    // Whole-identifier replacement takes the suggestion verbatim (`N` → `np`);
+    // only composite identifiers adapt the subtoken's case to the local
+    // convention.
+    if parts.len() == 1 && parts[0] == ident {
+        return Some(suggested.to_owned());
+    }
+    let adapted = adapt_case(&parts[idx], suggested);
+    // Rebuild by replacing the matched occurrence in the original spelling;
+    // subtokens are literal substrings of the identifier, so the (idx+1)-th
+    // occurrence boundary is found by scanning.
+    let mut out = String::new();
+    let mut rest = ident;
+    let mut seen = 0usize;
+    while let Some(pos) = rest.find(original) {
+        let (head, tail) = rest.split_at(pos);
+        out.push_str(head);
+        if occurrence_is_subtoken(ident, out.len(), original) && {
+            seen += 1;
+            seen == count_before(&parts, idx, original) + 1
+        } {
+            out.push_str(&adapted);
+            rest = &tail[original.len()..];
+            out.push_str(rest);
+            return Some(out);
+        }
+        out.push_str(&tail[..original.len()]);
+        rest = &tail[original.len()..];
+    }
+    None
+}
+
+/// How many of `parts[..idx]` equal `original` (for repeated subtokens).
+fn count_before(parts: &[String], idx: usize, original: &str) -> usize {
+    parts[..idx].iter().filter(|p| *p == original).count()
+}
+
+/// Checks the candidate occurrence starts at a subtoken boundary.
+fn occurrence_is_subtoken(ident: &str, at: usize, original: &str) -> bool {
+    let bytes = ident.as_bytes();
+    let before_ok = at == 0
+        || bytes[at - 1] == b'_'
+        || (bytes[at - 1].is_ascii_lowercase() && original.starts_with(|c: char| c.is_uppercase()))
+        || (bytes[at - 1].is_ascii_digit() != bytes[at].is_ascii_digit());
+    let end = at + original.len();
+    let after_ok = end >= ident.len()
+        || bytes[end] == b'_'
+        || bytes[end].is_ascii_uppercase()
+        || (bytes[end].is_ascii_digit() != bytes[end - 1].is_ascii_digit());
+    before_ok && after_ok
+}
+
+/// Matches the capitalisation of `model` onto `word`.
+fn adapt_case(model: &str, word: &str) -> String {
+    let model_upper = model.chars().next().is_some_and(|c| c.is_uppercase());
+    let word_upper = word.chars().next().is_some_and(|c| c.is_uppercase());
+    if model_upper == word_upper {
+        return word.to_owned();
+    }
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(c) if model_upper => c.to_uppercase().collect::<String>() + chars.as_str(),
+        Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Rewrites one source line, renaming the identifier that carries the
+/// offending subtoken. Returns `None` when no identifier on the line
+/// contains `original` as a subtoken.
+pub fn fix_line(line: &str, original: &str, suggested: &str) -> Option<String> {
+    // Scan identifier tokens left to right; fix the first applicable one.
+    let mut out = String::new();
+    let mut rest = line;
+    while !rest.is_empty() {
+        let start = rest.find(|c: char| c.is_alphanumeric() || c == '_');
+        let Some(start) = start else {
+            out.push_str(rest);
+            break;
+        };
+        let (head, tail) = rest.split_at(start);
+        out.push_str(head);
+        let end = tail
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(tail.len());
+        let (ident, after) = tail.split_at(end);
+        if let Some(renamed) = rename_identifier(ident, original, suggested) {
+            out.push_str(&renamed);
+            out.push_str(after);
+            return Some(out);
+        }
+        out.push_str(ident);
+        rest = after;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camel_case_rename() {
+        assert_eq!(
+            rename_identifier("assertTrue", "True", "Equal").as_deref(),
+            Some("assertEqual")
+        );
+        assert_eq!(
+            rename_identifier("progDialog", "prog", "progress").as_deref(),
+            Some("progressDialog")
+        );
+    }
+
+    #[test]
+    fn snake_case_rename() {
+        assert_eq!(
+            rename_identifier("num_or_process", "or", "of").as_deref(),
+            Some("num_of_process")
+        );
+    }
+
+    #[test]
+    fn whole_identifier_rename() {
+        assert_eq!(rename_identifier("por", "por", "port").as_deref(), Some("port"));
+        assert_eq!(rename_identifier("N", "N", "np").as_deref(), Some("np"));
+    }
+
+    #[test]
+    fn case_adaptation() {
+        // Deduction subtokens keep the case they were mined with; the fix
+        // adapts to the identifier's local convention.
+        assert_eq!(
+            rename_identifier("getStackTrace", "get", "print").as_deref(),
+            Some("printStackTrace")
+        );
+        assert_eq!(
+            rename_identifier("GetStackTrace", "Get", "print").as_deref(),
+            Some("PrintStackTrace")
+        );
+    }
+
+    #[test]
+    fn missing_subtoken_is_none() {
+        assert_eq!(rename_identifier("assertTrue", "Equal", "True"), None);
+    }
+
+    #[test]
+    fn substring_that_is_not_a_subtoken_is_not_renamed() {
+        // `port` inside `portfolio` is not the subtoken `port`.
+        assert_eq!(rename_identifier("portfolio", "port", "socket"), None);
+    }
+
+    #[test]
+    fn fix_line_rewrites_first_applicable_identifier() {
+        assert_eq!(
+            fix_line("        self.assertTrue(vec.size, 4)", "True", "Equal").as_deref(),
+            Some("        self.assertEqual(vec.size, 4)")
+        );
+        assert_eq!(
+            fix_line("for i in xrange(10):", "xrange", "range").as_deref(),
+            Some("for i in range(10):")
+        );
+        assert_eq!(
+            fix_line("        self.port = por", "por", "port").as_deref(),
+            Some("        self.port = port")
+        );
+    }
+
+    #[test]
+    fn fix_line_without_match_is_none() {
+        assert_eq!(fix_line("x = 1", "True", "Equal"), None);
+    }
+
+    #[test]
+    fn repeated_subtokens_rename_the_subtoken_occurrence() {
+        assert_eq!(
+            rename_identifier("test_test_case", "case", "suite").as_deref(),
+            Some("test_test_suite")
+        );
+    }
+}

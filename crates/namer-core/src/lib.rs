@@ -1,0 +1,36 @@
+//! The Namer pipeline: the paper's primary contribution, end to end.
+//!
+//! *“Learning to Find Naming Issues with Big Code and Small Supervision”*
+//! (PLDI 2021) combines (i) unsupervised mining of interpretable name
+//! patterns from Big Code with (ii) a binary defect classifier trained on a
+//! small manually labeled set of violations (Figure 1). This crate wires the
+//! substrates together:
+//!
+//! * [`process`](mod@process) — parse → §4.1 analyses → statements → AST+ → name paths;
+//! * [`detector`] — pattern mining and violation detection with the
+//!   17 features of Table 1 ([`features`]);
+//! * [`namer`] — the trained system: classifier fitting (SVM/LogReg/LDA with
+//!   model selection), detection, reports, and the "w/o C" / "w/o A"
+//!   ablations of Tables 2 and 5.
+//!
+//! See the `namer` facade crate and the repository's `examples/` directory
+//! for runnable end-to-end usage; this crate's unit tests exercise the
+//! pipeline on inline corpora.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod features;
+pub mod fix;
+pub mod namer;
+pub mod persist;
+pub mod process;
+pub mod sarif;
+
+pub use detector::{Detector, ScanResult, Violation};
+pub use fix::{fix_line, rename_identifier};
+pub use features::{LevelCounts, FEATURE_COUNT, FEATURE_NAMES};
+pub use namer::{Namer, NamerConfig, Report};
+pub use persist::{PersistError, SavedModel};
+pub use sarif::to_sarif;
+pub use process::{process, process_parallel, ProcessConfig, ProcessedCorpus};

@@ -1,0 +1,212 @@
+//! Saving and loading trained Namer systems.
+//!
+//! Mining over a large corpus is the expensive step; a deployed detector
+//! (what the paper envisions as an IDE plugin or CI bot, §5.4) loads a
+//! pre-trained model and scans new code. [`SavedModel`] captures everything
+//! inference needs: the mined patterns with their dataset statistics, the
+//! confusing word pairs, and the classifier pipeline.
+
+use crate::detector::Detector;
+use crate::features::LevelCounts;
+use crate::namer::{Namer, NamerConfig};
+use namer_ml::{ModelKind, Pipeline};
+use namer_patterns::{ConfusingPairs, NamePattern};
+use namer_syntax::Lang;
+use serde::{Deserialize, Serialize};
+
+/// A serialisable snapshot of a trained [`Namer`].
+#[derive(Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Language the system was trained for.
+    pub lang: Lang,
+    /// Whether the §4.1 analyses were enabled at training time (scanning
+    /// must use the same setting or paths will not line up).
+    pub use_analysis: bool,
+    /// Mined name patterns.
+    pub patterns: Vec<NamePattern>,
+    /// Dataset-level counts per pattern (features 6/9/12).
+    pub dataset: Vec<LevelCounts>,
+    /// Mined confusing word pairs (feature 17 + mining provenance).
+    pub pairs: ConfusingPairs,
+    /// The defect classifier, absent for "w/o C" systems.
+    pub classifier: Option<Pipeline>,
+    /// Which linear model the classifier uses.
+    pub model_kind: ModelKind,
+}
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from loading a saved model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The JSON did not parse or did not match the schema.
+    Malformed(String),
+    /// The format version is not supported.
+    UnsupportedVersion(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Malformed(e) => write!(f, "malformed model file: {e}"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported model format version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl SavedModel {
+    /// Snapshots a trained system.
+    pub fn from_namer(namer: &Namer) -> SavedModel {
+        SavedModel {
+            version: FORMAT_VERSION,
+            lang: namer.lang(),
+            use_analysis: namer.config().process.use_analysis,
+            patterns: namer.detector.patterns.patterns.clone(),
+            dataset: namer.detector.dataset_counts_all().to_vec(),
+            pairs: namer.detector.pairs.clone(),
+            classifier: namer.classifier().cloned(),
+            model_kind: namer.model_kind,
+        }
+    }
+
+    /// Restores a runnable system. `config` supplies the runtime knobs
+    /// (path limits, analysis parameters); its `use_analysis` flag is
+    /// overridden by the persisted one so scanning matches training.
+    pub fn into_namer(self, mut config: NamerConfig) -> Namer {
+        config.process.use_analysis = self.use_analysis;
+        config.use_classifier = self.classifier.is_some();
+        let detector = Detector::from_parts(self.patterns, self.pairs, self.dataset);
+        Namer::from_parts(detector, self.classifier, self.model_kind, self.lang, config)
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde serialisation fails, which cannot happen for
+    /// this self-describing structure.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SavedModel serialises")
+    }
+
+    /// Parses a model file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] for malformed JSON or unknown versions.
+    pub fn from_json(json: &str) -> Result<SavedModel, PersistError> {
+        let model: SavedModel =
+            serde_json::from_str(json).map_err(|e| PersistError::Malformed(e.to_string()))?;
+        if model.version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion(model.version));
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use namer_patterns::MiningConfig;
+    use namer_syntax::SourceFile;
+
+    fn trained() -> (Namer, Vec<SourceFile>) {
+        let mut files: Vec<SourceFile> = (0..40)
+            .map(|i| {
+                SourceFile::new(
+                    format!("r{}", i % 5),
+                    format!("f{i}.py"),
+                    "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 3)\n",
+                    Lang::Python,
+                )
+            })
+            .collect();
+        files.push(SourceFile::new(
+            "r0",
+            "bad.py",
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 3)\n",
+            Lang::Python,
+        ));
+        let commits = vec![(
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 1)\n".to_owned(),
+            "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 1)\n".to_owned(),
+        )];
+        let config = NamerConfig {
+            mining: MiningConfig {
+                min_path_count: 2,
+                min_support: 5,
+                ..MiningConfig::default()
+            },
+            labeled_per_class: 3,
+            cv_repeats: 2,
+            ..NamerConfig::default()
+        };
+        let namer = Namer::train(
+            &files,
+            &commits,
+            |v| v.original.as_str() == "True",
+            &config,
+        );
+        (namer, files)
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_reports() {
+        let (namer, files) = trained();
+        let before: Vec<String> = namer
+            .detect(&files)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let json = SavedModel::from_namer(&namer).to_json();
+        let loaded = SavedModel::from_json(&json)
+            .expect("round trip parses")
+            .into_namer(NamerConfig::default());
+        let after: Vec<String> = loaded
+            .detect(&files)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert_eq!(before, after);
+        assert_eq!(loaded.model_kind, namer.model_kind);
+        assert_eq!(loaded.lang(), Lang::Python);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(
+            SavedModel::from_json("{not json"),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let (namer, _) = trained();
+        let mut model = SavedModel::from_namer(&namer);
+        model.version = 999;
+        let json = model.to_json();
+        assert!(matches!(
+            SavedModel::from_json(&json),
+            Err(PersistError::UnsupportedVersion(999))
+        ));
+    }
+
+    #[test]
+    fn classifier_presence_round_trips() {
+        let (namer, _) = trained();
+        let had = namer.has_classifier();
+        let json = SavedModel::from_namer(&namer).to_json();
+        let loaded = SavedModel::from_json(&json)
+            .unwrap()
+            .into_namer(NamerConfig::default());
+        assert_eq!(loaded.has_classifier(), had);
+    }
+}

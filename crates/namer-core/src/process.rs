@@ -1,0 +1,276 @@
+//! Corpus preprocessing: parse → analyse → extract statements → AST+ →
+//! name paths, once per file, shared by mining and detection.
+
+use namer_analysis::{AnalysisConfig, FileAnalysis};
+use namer_patterns::PathSet;
+use namer_syntax::transform::Origins;
+use namer_syntax::{namepath, parse_file, stmt, transform, SourceFile};
+
+/// Preprocessing options.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessConfig {
+    /// Run the §4.1 static analyses and decorate AST+ with origins.
+    /// Disabling this is the paper's "w/o A" ablation.
+    pub use_analysis: bool,
+    /// Maximum name paths kept per statement (paper: 10).
+    pub max_paths: usize,
+    /// Points-to configuration.
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for ProcessConfig {
+    fn default() -> ProcessConfig {
+        ProcessConfig {
+            use_analysis: true,
+            max_paths: 10,
+            analysis: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// One preprocessed statement.
+#[derive(Clone, Debug)]
+pub struct ProcessedStmt {
+    /// 1-based source line.
+    pub line: u32,
+    /// Indexed name paths.
+    pub paths: PathSet,
+    /// Structural digest of the statement tree (for "identical statements").
+    pub digest: u64,
+    /// Rendered statement (for reports).
+    pub rendered: String,
+}
+
+/// One preprocessed file.
+#[derive(Clone, Debug)]
+pub struct ProcessedFile {
+    /// Repository identity.
+    pub repo: String,
+    /// Path within the repository.
+    pub path: String,
+    /// Statements in source order.
+    pub stmts: Vec<ProcessedStmt>,
+}
+
+/// A fully preprocessed corpus.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessedCorpus {
+    /// Files that parsed successfully.
+    pub files: Vec<ProcessedFile>,
+    /// Count of files skipped due to parse errors.
+    pub parse_failures: usize,
+}
+
+impl ProcessedCorpus {
+    /// Total number of statements.
+    pub fn stmt_count(&self) -> usize {
+        self.files.iter().map(|f| f.stmts.len()).sum()
+    }
+
+    /// Iterates over all statements with their file.
+    pub fn iter_stmts(&self) -> impl Iterator<Item = (&ProcessedFile, &ProcessedStmt)> {
+        self.files
+            .iter()
+            .flat_map(|f| f.stmts.iter().map(move |s| (f, s)))
+    }
+}
+
+/// Preprocesses a set of files. Files that fail to parse are skipped and
+/// counted, mirroring how a crawler tolerates unparsable files.
+pub fn process(files: &[SourceFile], config: &ProcessConfig) -> ProcessedCorpus {
+    let mut out = ProcessedCorpus::default();
+    for file in files {
+        match process_one(file, config) {
+            Some(f) => out.files.push(f),
+            None => out.parse_failures += 1,
+        }
+    }
+    out
+}
+
+/// Like [`process`], fanned out over `threads` worker threads — each file is
+/// analysed independently, exactly as the paper parallelises its per-file
+/// analyses over all cores (§5.1). Output order matches the input order, so
+/// results are identical to [`process`].
+pub fn process_parallel(
+    files: &[SourceFile],
+    config: &ProcessConfig,
+    threads: usize,
+) -> ProcessedCorpus {
+    let threads = threads.max(1);
+    if threads == 1 || files.len() < 2 {
+        return process(files, config);
+    }
+    let results: Vec<Option<ProcessedFile>> = {
+        let mut slots: Vec<Option<ProcessedFile>> = Vec::new();
+        slots.resize_with(files.len(), || None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots_mutex: Vec<parking_lot_free_slot::Slot> = (0..files.len())
+            .map(|_| parking_lot_free_slot::Slot::default())
+            .collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= files.len() {
+                        break;
+                    }
+                    slots_mutex[i].put(process_one(&files[i], config));
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+        for (slot, target) in slots_mutex.into_iter().zip(slots.iter_mut()) {
+            *target = slot.take();
+        }
+        slots
+    };
+    let mut out = ProcessedCorpus::default();
+    for r in results {
+        match r {
+            Some(f) => out.files.push(f),
+            None => out.parse_failures += 1,
+        }
+    }
+    out
+}
+
+/// One-shot write-once cells for the parallel fan-out.
+mod parking_lot_free_slot {
+    use crate::process::ProcessedFile;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    pub(super) struct Slot(Mutex<Option<Option<ProcessedFile>>>);
+
+    impl Slot {
+        pub(super) fn put(&self, value: Option<ProcessedFile>) {
+            *self.0.lock().expect("slot lock") = Some(value);
+        }
+
+        pub(super) fn take(self) -> Option<ProcessedFile> {
+            self.0
+                .into_inner()
+                .expect("slot lock")
+                .expect("every slot is written exactly once")
+        }
+    }
+}
+
+fn process_one(file: &SourceFile, config: &ProcessConfig) -> Option<ProcessedFile> {
+    let ast = parse_file(file).ok()?;
+    let analysis = config
+        .use_analysis
+        .then(|| FileAnalysis::analyze(&ast, file.lang, &config.analysis));
+    let stmts = stmt::extract(&ast)
+        .into_iter()
+        .map(|s| {
+            let origins = analysis
+                .as_ref()
+                .map(|a| a.origins_for(&s))
+                .unwrap_or_else(Origins::new);
+            let plus = transform::to_ast_plus(&s.ast, &origins);
+            let paths = namepath::extract(&plus, config.max_paths);
+            ProcessedStmt {
+                line: s.line,
+                digest: s.ast.digest(s.ast.root()),
+                rendered: s.to_sexp(),
+                paths: PathSet::new(paths),
+            }
+        })
+        .collect();
+    Some(ProcessedFile {
+        repo: file.repo.clone(),
+        path: file.path.clone(),
+        stmts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use namer_syntax::Lang;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile::new("r", "f.py", text, Lang::Python)
+    }
+
+    #[test]
+    fn processes_statements_with_lines() {
+        let corpus = process(
+            &[file("x = 1\ny = open(p)\n")],
+            &ProcessConfig::default(),
+        );
+        assert_eq!(corpus.files.len(), 1);
+        assert_eq!(corpus.files[0].stmts.len(), 2);
+        assert_eq!(corpus.files[0].stmts[1].line, 2);
+    }
+
+    #[test]
+    fn analysis_toggle_changes_paths() {
+        let src = "class T(TestCase):\n    def m(self):\n        self.assertTrue(x, 1)\n";
+        let with_a = process(&[file(src)], &ProcessConfig::default());
+        let without_a = process(
+            &[file(src)],
+            &ProcessConfig {
+                use_analysis: false,
+                ..ProcessConfig::default()
+            },
+        );
+        let pa = &with_a.files[0].stmts.last().unwrap().paths;
+        let pb = &without_a.files[0].stmts.last().unwrap().paths;
+        let a_has_origin = pa
+            .paths
+            .iter()
+            .any(|p| p.to_string().contains("TestCase"));
+        let b_has_origin = pb
+            .paths
+            .iter()
+            .any(|p| p.to_string().contains("TestCase"));
+        assert!(a_has_origin && !b_has_origin);
+    }
+
+    #[test]
+    fn parse_failures_are_counted_not_fatal() {
+        let corpus = process(
+            &[file("def broken(:\n"), file("x = 1\n")],
+            &ProcessConfig::default(),
+        );
+        assert_eq!(corpus.parse_failures, 1);
+        assert_eq!(corpus.files.len(), 1);
+    }
+
+    #[test]
+    fn parallel_processing_matches_sequential() {
+        let files: Vec<SourceFile> = (0..12)
+            .map(|i| {
+                SourceFile::new(
+                    format!("r{}", i % 3),
+                    format!("f{i}.py"),
+                    format!("class C{i}(TestCase):\n    def m(self):\n        self.assertEqual(v.count, {i})\n"),
+                    Lang::Python,
+                )
+            })
+            .collect();
+        let seq = process(&files, &ProcessConfig::default());
+        let par = process_parallel(&files, &ProcessConfig::default(), 4);
+        assert_eq!(seq.parse_failures, par.parse_failures);
+        assert_eq!(seq.files.len(), par.files.len());
+        for (a, b) in seq.files.iter().zip(&par.files) {
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.stmts.len(), b.stmts.len());
+            for (x, y) in a.stmts.iter().zip(&b.stmts) {
+                assert_eq!(x.digest, y.digest);
+                assert_eq!(x.paths.paths, y.paths.paths);
+            }
+        }
+    }
+
+    #[test]
+    fn digests_identify_identical_statements() {
+        let corpus = process(&[file("a = get()\nb = 1\na = get()\n")], &ProcessConfig::default());
+        let d: Vec<u64> = corpus.files[0].stmts.iter().map(|s| s.digest).collect();
+        assert_eq!(d[0], d[2]);
+        assert_ne!(d[0], d[1]);
+    }
+}

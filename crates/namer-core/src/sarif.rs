@@ -1,0 +1,244 @@
+//! SARIF 2.1.0 export for Namer reports.
+//!
+//! [SARIF] is the OASIS interchange format most code scanners (and the
+//! GitHub code-scanning UI) consume. Namer reports map naturally: each
+//! mined name pattern is a *rule*, each report a *result* with a physical
+//! location and a rendered fix in the message.
+//!
+//! [SARIF]: https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+
+use crate::detector::Detector;
+use crate::namer::Report;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Sarif {
+    version: &'static str,
+    #[serde(rename = "$schema")]
+    schema: &'static str,
+    runs: Vec<Run>,
+}
+
+#[derive(Serialize)]
+struct Run {
+    tool: Tool,
+    results: Vec<SarifResult>,
+}
+
+#[derive(Serialize)]
+struct Tool {
+    driver: Driver,
+}
+
+#[derive(Serialize)]
+struct Driver {
+    name: &'static str,
+    #[serde(rename = "informationUri")]
+    information_uri: &'static str,
+    version: &'static str,
+    rules: Vec<Rule>,
+}
+
+#[derive(Serialize)]
+struct Rule {
+    id: String,
+    name: String,
+    #[serde(rename = "shortDescription")]
+    short_description: Message,
+}
+
+#[derive(Serialize)]
+struct SarifResult {
+    #[serde(rename = "ruleId")]
+    rule_id: String,
+    level: &'static str,
+    message: Message,
+    locations: Vec<Location>,
+}
+
+#[derive(Serialize)]
+struct Message {
+    text: String,
+}
+
+#[derive(Serialize)]
+struct Location {
+    #[serde(rename = "physicalLocation")]
+    physical_location: PhysicalLocation,
+}
+
+#[derive(Serialize)]
+struct PhysicalLocation {
+    #[serde(rename = "artifactLocation")]
+    artifact_location: ArtifactLocation,
+    region: Region,
+}
+
+#[derive(Serialize)]
+struct ArtifactLocation {
+    uri: String,
+}
+
+#[derive(Serialize)]
+struct Region {
+    #[serde(rename = "startLine")]
+    start_line: u32,
+}
+
+/// Renders reports as a SARIF 2.1.0 log.
+///
+/// Each distinct violated pattern becomes a rule (`namer/<type>/<index>`);
+/// pattern provenance (its deduction) goes into the rule description so the
+/// GitHub UI can show *why* the name is suspicious.
+pub fn to_sarif(reports: &[Report], detector: &Detector) -> String {
+    let mut rule_ids: Vec<usize> = reports.iter().map(|r| r.violation.pattern_idx).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules: Vec<Rule> = rule_ids
+        .iter()
+        .map(|&idx| {
+            let p = &detector.patterns.patterns[idx];
+            Rule {
+                id: rule_id(idx, p.ty),
+                name: format!("{} name pattern #{idx}", p.ty),
+                short_description: Message {
+                    text: p
+                        .deduction
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ∧ "),
+                },
+            }
+        })
+        .collect();
+    let results: Vec<SarifResult> = reports
+        .iter()
+        .map(|r| {
+            let v = &r.violation;
+            SarifResult {
+                rule_id: rule_id(v.pattern_idx, v.pattern_ty),
+                level: "warning",
+                message: Message {
+                    text: format!(
+                        "naming issue: replace `{}` with `{}` (violates a {} pattern mined from Big Code)",
+                        v.original, v.suggested, v.pattern_ty
+                    ),
+                },
+                locations: vec![Location {
+                    physical_location: PhysicalLocation {
+                        artifact_location: ArtifactLocation {
+                            uri: v.path.clone(),
+                        },
+                        region: Region { start_line: v.line },
+                    },
+                }],
+            }
+        })
+        .collect();
+    let log = Sarif {
+        version: "2.1.0",
+        schema: "https://json.schemastore.org/sarif-2.1.0.json",
+        runs: vec![Run {
+            tool: Tool {
+                driver: Driver {
+                    name: "namer",
+                    information_uri: "https://github.com/namer-rs/namer",
+                    version: env!("CARGO_PKG_VERSION"),
+                    rules,
+                },
+            },
+            results,
+        }],
+    };
+    serde_json::to_string_pretty(&log).expect("SARIF serialises")
+}
+
+fn rule_id(idx: usize, ty: namer_patterns::PatternType) -> String {
+    format!("namer/{ty}/{idx}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namer::{Namer, NamerConfig};
+    use namer_patterns::MiningConfig;
+    use namer_syntax::{Lang, SourceFile};
+
+    fn system_with_reports() -> (Namer, Vec<Report>) {
+        let mut files: Vec<SourceFile> = (0..30)
+            .map(|i| {
+                SourceFile::new(
+                    format!("r{}", i % 5),
+                    format!("f{i}.py"),
+                    "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 3)\n",
+                    Lang::Python,
+                )
+            })
+            .collect();
+        files.push(SourceFile::new(
+            "r0",
+            "src/buggy.py",
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 3)\n",
+            Lang::Python,
+        ));
+        let commits = vec![(
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 1)\n".to_owned(),
+            "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 1)\n".to_owned(),
+        )];
+        let config = NamerConfig {
+            mining: MiningConfig {
+                min_path_count: 2,
+                min_support: 5,
+                ..MiningConfig::default()
+            },
+            use_classifier: false,
+            ..NamerConfig::default()
+        };
+        let namer = Namer::train(&files, &commits, |_| false, &config);
+        let reports = namer.detect(&files);
+        (namer, reports)
+    }
+
+    #[test]
+    fn sarif_log_has_rules_and_results() {
+        let (namer, reports) = system_with_reports();
+        assert!(!reports.is_empty());
+        let sarif = to_sarif(&reports, &namer.detector);
+        let value: serde_json::Value = serde_json::from_str(&sarif).expect("valid JSON");
+        assert_eq!(value["version"], "2.1.0");
+        let run = &value["runs"][0];
+        assert_eq!(run["tool"]["driver"]["name"], "namer");
+        let results = run["results"].as_array().expect("results array");
+        assert_eq!(results.len(), reports.len());
+        let first = &results[0];
+        assert!(first["ruleId"].as_str().expect("ruleId").starts_with("namer/"));
+        assert_eq!(
+            first["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            "src/buggy.py"
+        );
+        assert_eq!(
+            first["locations"][0]["physicalLocation"]["region"]["startLine"],
+            3
+        );
+        // Every result references a declared rule.
+        let rules: Vec<&str> = run["tool"]["driver"]["rules"]
+            .as_array()
+            .expect("rules array")
+            .iter()
+            .map(|r| r["id"].as_str().expect("rule id"))
+            .collect();
+        for res in results {
+            assert!(rules.contains(&res["ruleId"].as_str().expect("ruleId")));
+        }
+    }
+
+    #[test]
+    fn empty_reports_produce_an_empty_run() {
+        let (namer, _) = system_with_reports();
+        let sarif = to_sarif(&[], &namer.detector);
+        let value: serde_json::Value = serde_json::from_str(&sarif).expect("valid JSON");
+        assert_eq!(value["runs"][0]["results"].as_array().expect("array").len(), 0);
+        assert_eq!(value["runs"][0]["tool"]["driver"]["rules"].as_array().expect("array").len(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for fix rendering.
+
+use namer_core::{fix_line, rename_identifier};
+use namer_syntax::subtoken;
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{2,8}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn renamed_identifier_contains_the_replacement(
+        head in word(), target in word(), tail in word(), replacement in word()
+    ) {
+        prop_assume!(head != target && tail != target && replacement != target);
+        let ident = format!("{head}_{target}_{tail}");
+        let renamed = rename_identifier(&ident, &target, &replacement)
+            .expect("target is a subtoken");
+        prop_assert_eq!(renamed, format!("{head}_{replacement}_{tail}"));
+    }
+
+    #[test]
+    fn camel_rename_preserves_subtoken_count(
+        head in word(), target in word(), replacement in word()
+    ) {
+        prop_assume!(head != target && replacement != target);
+        // Build headTarget camelCase.
+        let mut cap = target.clone();
+        cap[..1].make_ascii_uppercase();
+        let ident = format!("{head}{cap}");
+        let renamed = rename_identifier(&ident, &cap, &replacement)
+            .expect("capitalised target is a subtoken");
+        let before = subtoken::split(&ident).len();
+        let after = subtoken::split(&renamed).len();
+        prop_assert_eq!(before, after, "{} → {}", ident, renamed);
+        // Case convention preserved: replacement arrives capitalised.
+        let mut expect = replacement.clone();
+        expect[..1].make_ascii_uppercase();
+        prop_assert!(renamed.ends_with(&expect), "{} should end with {}", renamed, expect);
+    }
+
+    #[test]
+    fn rename_without_occurrence_is_none(ident in word(), missing in word(), repl in word()) {
+        prop_assume!(!subtoken::split(&ident).iter().any(|p| p == &missing));
+        prop_assert_eq!(rename_identifier(&ident, &missing, &repl), None);
+    }
+
+    #[test]
+    fn fix_line_changes_exactly_one_identifier(
+        target in word(), replacement in word(), other in word()
+    ) {
+        prop_assume!(target != replacement && other != target);
+        let line = format!("        self.{other} = {target}");
+        let fixed = fix_line(&line, &target, &replacement).expect("target on line");
+        prop_assert_eq!(fixed, format!("        self.{other} = {replacement}"));
+    }
+
+    #[test]
+    fn fix_line_is_idempotent_when_target_gone(
+        target in word(), replacement in word()
+    ) {
+        prop_assume!(target != replacement);
+        prop_assume!(!subtoken::split(&replacement).iter().any(|p| p == &target));
+        let line = format!("x = {target}()");
+        let fixed = fix_line(&line, &target, &replacement).expect("fixable");
+        // After the fix, the target subtoken is gone from that identifier.
+        prop_assert_eq!(fix_line(&fixed, &target, &replacement), None);
+    }
+
+    #[test]
+    fn fix_preserves_non_identifier_text(
+        target in word(), replacement in word(), n in 0u32..1000
+    ) {
+        prop_assume!(target != replacement);
+        let line = format!("    assert check({target}, {n}) == 'ok'  # note");
+        let fixed = fix_line(&line, &target, &replacement).expect("fixable");
+        let n_str = n.to_string();
+        prop_assert!(fixed.contains(&n_str));
+        prop_assert!(fixed.contains("== 'ok'  # note"));
+        prop_assert!(fixed.starts_with("    assert check("));
+    }
+}

@@ -1,0 +1,396 @@
+//! The synthetic Big Code generator.
+//!
+//! Stands in for the paper's GitHub dataset (§5.1: ~1M Python / ~4M Java
+//! files from 33k repositories plus their commit histories). Repositories
+//! are built from weighted idiom templates; a controlled fraction of files
+//! receives exactly one injected naming issue (recorded as ground truth);
+//! some repositories adopt a benign *house style* that legitimately deviates
+//! from the global idiom (the false-positive source); and fix commits are
+//! synthesised so confusing-word-pair mining exercises the same AST-diff
+//! path the paper used on real histories.
+
+use crate::issue::Injection;
+use crate::oracle::Oracle;
+use crate::templates::{java, python, Emitted};
+use namer_syntax::{Lang, SourceFile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Corpus shape parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Language of every file.
+    pub lang: Lang,
+    /// Number of repositories.
+    pub repos: usize,
+    /// Files per repository.
+    pub files_per_repo: usize,
+    /// Template blocks per file.
+    pub blocks_per_file: usize,
+    /// Probability that a file receives one injected issue.
+    pub issue_rate: f64,
+    /// Fraction of repositories with a benign house style (the benign block
+    /// repeats in every file of the repo, so it is locally common).
+    pub benign_repo_rate: f64,
+    /// Probability that a file carries one *one-off* benign anomaly block —
+    /// legitimate code deviating from the global idiom (the irreducible
+    /// false-positive pressure of Tables 3/6).
+    pub anomaly_rate: f64,
+    /// Probability that an injected issue also yields a fix commit.
+    pub fix_commit_rate: f64,
+    /// Extra standalone fix commits (pair-mining noise).
+    pub extra_commits: usize,
+}
+
+impl CorpusConfig {
+    /// A laptop-scale corpus for tests and examples (~100 files).
+    pub fn small(lang: Lang) -> CorpusConfig {
+        CorpusConfig {
+            lang,
+            repos: 60,
+            files_per_repo: 2,
+            blocks_per_file: 3,
+            issue_rate: 0.25,
+            benign_repo_rate: 0.08,
+            anomaly_rate: 0.35,
+            fix_commit_rate: 0.7,
+            extra_commits: 120,
+        }
+    }
+
+    /// The default experiment corpus (~600 files).
+    pub fn medium(lang: Lang) -> CorpusConfig {
+        CorpusConfig {
+            lang,
+            repos: 150,
+            files_per_repo: 4,
+            blocks_per_file: 4,
+            issue_rate: 0.2,
+            benign_repo_rate: 0.08,
+            anomaly_rate: 0.35,
+            fix_commit_rate: 0.7,
+            extra_commits: 400,
+        }
+    }
+
+    /// A larger corpus for benchmark sweeps (~2000 files).
+    pub fn large(lang: Lang) -> CorpusConfig {
+        CorpusConfig {
+            lang,
+            repos: 400,
+            files_per_repo: 5,
+            blocks_per_file: 4,
+            issue_rate: 0.15,
+            benign_repo_rate: 0.08,
+            anomaly_rate: 0.35,
+            fix_commit_rate: 0.7,
+            extra_commits: 1000,
+        }
+    }
+}
+
+/// A synthesized fix commit: the same file before and after the fix.
+#[derive(Clone, Debug)]
+pub struct Commit {
+    /// File contents with the mistake.
+    pub before: String,
+    /// File contents after the fix.
+    pub after: String,
+    /// Language of both versions.
+    pub lang: Lang,
+}
+
+/// The generated corpus with its ground truth.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// All source files.
+    pub files: Vec<SourceFile>,
+    /// Injected issues (the ground truth a human inspector would recover).
+    pub injections: Vec<Injection>,
+    /// Synthesized commit history for confusing-word-pair mining.
+    pub commits: Vec<Commit>,
+    /// Corpus language.
+    pub lang: Lang,
+}
+
+impl Corpus {
+    /// Builds the inspection oracle over the injected ground truth.
+    pub fn oracle(&self) -> Oracle {
+        Oracle::new(&self.injections)
+    }
+
+    /// Number of repositories present.
+    pub fn repo_count(&self) -> usize {
+        let mut repos: Vec<&str> = self.files.iter().map(|f| f.repo.as_str()).collect();
+        repos.sort();
+        repos.dedup();
+        repos.len()
+    }
+}
+
+/// Deterministic corpus generator.
+#[derive(Clone, Debug)]
+pub struct Generator {
+    config: CorpusConfig,
+}
+
+impl Generator {
+    /// Creates a generator with the given shape.
+    pub fn new(config: CorpusConfig) -> Generator {
+        Generator { config }
+    }
+
+    /// Generates the corpus for `seed`. Identical seeds yield identical
+    /// corpora.
+    pub fn generate(&self, seed: u64) -> Corpus {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = &self.config;
+        let bank: Vec<(fn(&mut SmallRng) -> Emitted, u32)> = match cfg.lang {
+            Lang::Python => python::bank(),
+            Lang::Java => java::bank(),
+        };
+        let benign_bank: Vec<fn(&mut SmallRng) -> Emitted> = match cfg.lang {
+            Lang::Python => python::benign_bank(),
+            Lang::Java => java::benign_bank(),
+        };
+        let total_weight: u32 = bank.iter().map(|&(_, w)| w).sum();
+        let ext = match cfg.lang {
+            Lang::Python => "py",
+            Lang::Java => "java",
+        };
+
+        let mut files = Vec::new();
+        let mut injections = Vec::new();
+        let mut commits = Vec::new();
+
+        for r in 0..cfg.repos {
+            let repo = format!("github.com/synth/repo{r:04}");
+            let benign_style = if rng.gen_bool(cfg.benign_repo_rate) {
+                Some(benign_bank[rng.gen_range(0..benign_bank.len())])
+            } else {
+                None
+            };
+            for f in 0..cfg.files_per_repo {
+                let path = format!("src/file{f}.{ext}");
+                let mut clean_lines: Vec<String> = Vec::new();
+                let mut lines: Vec<String> = Vec::new();
+                // Decide up front whether this file gets an injection, and
+                // into which block slot it goes.
+                let inject_slot = if rng.gen_bool(cfg.issue_rate) {
+                    Some(rng.gen_range(0..cfg.blocks_per_file))
+                } else {
+                    None
+                };
+                for b in 0..cfg.blocks_per_file {
+                    let emitted = match benign_style {
+                        // House-style repos repeat their benign idiom in a
+                        // fixed slot of every file, making it locally common.
+                        Some(t) if b == 0 => t(&mut rng),
+                        _ => {
+                            let mut w = rng.gen_range(0..total_weight);
+                            let mut chosen = bank[0].0;
+                            for &(t, tw) in &bank {
+                                if w < tw {
+                                    chosen = t;
+                                    break;
+                                }
+                                w -= tw;
+                            }
+                            chosen(&mut rng)
+                        }
+                    };
+                    let start_line = lines.len();
+                    let injected_here = inject_slot == Some(b) && !emitted.points.is_empty();
+                    if injected_here {
+                        let pi = rng.gen_range(0..emitted.points.len());
+                        let point = &emitted.points[pi];
+                        let buggy = emitted.inject(pi);
+                        injections.push(Injection {
+                            repo: repo.clone(),
+                            path: path.clone(),
+                            line: (start_line + point.report_line + 1) as u32,
+                            lines: point
+                                .edits
+                                .iter()
+                                .map(|&(l, _)| (start_line + l + 1) as u32)
+                                .collect(),
+                            wrong: point.wrong.clone(),
+                            correct: point.correct.clone(),
+                            category: point.category,
+                        });
+                        if rng.gen_bool(cfg.fix_commit_rate) {
+                            commits.push(Commit {
+                                before: join(&buggy),
+                                after: join(&emitted.lines),
+                                lang: cfg.lang,
+                            });
+                        }
+                        lines.extend(buggy);
+                    } else {
+                        lines.extend(emitted.lines.iter().cloned());
+                    }
+                    clean_lines.extend(emitted.lines);
+                    lines.push(String::new());
+                    clean_lines.push(String::new());
+                }
+                // One-off benign anomaly block.
+                if rng.gen_bool(cfg.anomaly_rate) {
+                    let t = benign_bank[rng.gen_range(0..benign_bank.len())];
+                    let emitted = t(&mut rng);
+                    lines.extend(emitted.lines);
+                    lines.push(String::new());
+                }
+                files.push(SourceFile::new(repo.clone(), path, join(&lines), cfg.lang));
+            }
+        }
+
+        // Standalone fix commits: instantiate a template, inject, pair with
+        // the clean version. These exist purely to feed pair mining, like
+        // the full histories the paper crawled.
+        for _ in 0..cfg.extra_commits {
+            let &(t, _) = &bank[rng.gen_range(0..bank.len())];
+            let e = t(&mut rng);
+            if e.points.is_empty() {
+                continue;
+            }
+            let pi = rng.gen_range(0..e.points.len());
+            commits.push(Commit {
+                before: join(&e.inject(pi)),
+                after: join(&e.lines),
+                lang: cfg.lang,
+            });
+        }
+        // A few rename commits between benign-idiom siblings, so rare-but-
+        // correct house styles also acquire confusing pairs — the realistic
+        // FP pressure of Tables 3/6 (islink→exists, Conekta→Json).
+        let rename_pairs: &[(&str, &str)] = match cfg.lang {
+            Lang::Python => &[
+                ("self.assertTrue(os.path.islink(path))", "self.assertTrue(os.path.exists(path))"),
+                ("self.handler = callback", "self.callback = callback"),
+            ],
+            Lang::Java => &[
+                (
+                    "class M { ConektaObject load() { ConektaObject resource = new ConektaObject(); return resource; } }",
+                    "class M { JsonObject load() { JsonObject resource = new JsonObject(); return resource; } }",
+                ),
+                (
+                    "class E { void export() { StringWriter outputWriter = new StringWriter(); } }",
+                    "class E { void export() { StringWriter stringWriter = new StringWriter(); } }",
+                ),
+            ],
+        };
+        for &(before, after) in rename_pairs {
+            for _ in 0..12 {
+                commits.push(Commit {
+                    before: before.to_owned() + "\n",
+                    after: after.to_owned() + "\n",
+                    lang: cfg.lang,
+                });
+            }
+        }
+
+        Corpus {
+            files,
+            injections,
+            commits,
+            lang: cfg.lang,
+        }
+    }
+}
+
+fn join(lines: &[String]) -> String {
+    let mut s = lines.join("\n");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = Generator::new(CorpusConfig::small(Lang::Python));
+        let a = g.generate(42);
+        let b = g.generate(42);
+        assert_eq!(a.files, b.files);
+        assert_eq!(a.injections, b.injections);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = Generator::new(CorpusConfig::small(Lang::Python));
+        assert_ne!(g.generate(1).files, g.generate(2).files);
+    }
+
+    #[test]
+    fn all_python_files_parse() {
+        let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(5);
+        for f in &corpus.files {
+            namer_syntax::parse_file(f)
+                .unwrap_or_else(|e| panic!("{}/{} failed: {e}\n{}", f.repo, f.path, f.text));
+        }
+    }
+
+    #[test]
+    fn all_java_files_parse() {
+        let corpus = Generator::new(CorpusConfig::small(Lang::Java)).generate(6);
+        for f in &corpus.files {
+            namer_syntax::parse_file(f)
+                .unwrap_or_else(|e| panic!("{}/{} failed: {e}\n{}", f.repo, f.path, f.text));
+        }
+    }
+
+    #[test]
+    fn injections_point_at_the_wrong_token() {
+        let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(7);
+        assert!(!corpus.injections.is_empty());
+        for inj in &corpus.injections {
+            let file = corpus
+                .files
+                .iter()
+                .find(|f| f.repo == inj.repo && f.path == inj.path)
+                .expect("injection references an existing file");
+            let line = file
+                .text
+                .lines()
+                .nth(inj.line as usize - 1)
+                .expect("line exists");
+            assert!(
+                line.contains(&inj.wrong),
+                "line {:?} lacks wrong token {:?}",
+                line,
+                inj.wrong
+            );
+        }
+    }
+
+    #[test]
+    fn commit_pairs_parse_and_differ() {
+        let corpus = Generator::new(CorpusConfig::small(Lang::Java)).generate(8);
+        assert!(!corpus.commits.is_empty());
+        for c in corpus.commits.iter().take(30) {
+            assert_ne!(c.before, c.after);
+            namer_syntax::java::parse(&c.before).unwrap();
+            namer_syntax::java::parse(&c.after).unwrap();
+        }
+    }
+
+    #[test]
+    fn issue_rate_is_roughly_respected() {
+        let cfg = CorpusConfig::small(Lang::Python);
+        let corpus = Generator::new(cfg.clone()).generate(9);
+        let n_files = (cfg.repos * cfg.files_per_repo) as f64;
+        let rate = corpus.injections.len() as f64 / n_files;
+        // Some scheduled injections land on point-less blocks, so the
+        // realised rate sits below the configured one but not at zero.
+        assert!(rate > cfg.issue_rate * 0.4 && rate < cfg.issue_rate + 0.05, "rate={rate}");
+    }
+
+    #[test]
+    fn repo_count_matches_config() {
+        let cfg = CorpusConfig::small(Lang::Python);
+        let corpus = Generator::new(cfg.clone()).generate(10);
+        assert_eq!(corpus.repo_count(), cfg.repos);
+    }
+}

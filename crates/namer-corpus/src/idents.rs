@@ -1,0 +1,136 @@
+//! Identifier vocabulary and deterministic name sampling for the synthetic
+//! corpus generator.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Domain nouns used for variables, attributes, and class stems.
+pub const NOUNS: &[&str] = &[
+    "user", "order", "picture", "message", "config", "token", "record", "session", "buffer",
+    "widget", "account", "node", "item", "event", "packet", "report", "task", "profile",
+    "window", "cursor", "device", "frame", "layer", "queue", "batch",
+];
+
+/// Verbs used for method stems.
+pub const VERBS: &[&str] = &[
+    "load", "save", "parse", "build", "send", "read", "write", "update", "create", "delete",
+    "check", "handle", "process", "render", "fetch", "reset", "compute", "resolve", "apply",
+    "collect",
+];
+
+/// Attribute-ish nouns.
+pub const ATTRS: &[&str] = &[
+    "name", "value", "count", "size", "index", "path", "data", "text", "code", "status",
+    "width", "height", "color", "title", "key", "id", "length", "offset", "total", "angle",
+];
+
+/// Class-name suffixes.
+pub const CLASS_SUFFIXES: &[&str] = &[
+    "Manager", "Handler", "Service", "Controller", "Builder", "Parser", "Client", "Worker",
+    "Factory", "Helper",
+];
+
+/// Curated realistic typos `(correct, typo)` — mirrors the paper's examples
+/// (`por` for `port`, `publick` for `public`, `or` for `of`).
+pub const TYPOS: &[(&str, &str)] = &[
+    ("port", "por"),
+    ("public", "publick"),
+    ("of", "or"),
+    ("count", "cout"),
+    ("name", "nmae"),
+    ("value", "vaule"),
+    ("width", "widht"),
+    ("title", "titel"),
+    ("length", "lenght"),
+    ("status", "staus"),
+];
+
+/// Uniform pick from a static word list.
+pub fn pick<'a>(rng: &mut SmallRng, words: &'a [&'a str]) -> &'a str {
+    words[rng.gen_range(0..words.len())]
+}
+
+/// Picks `n` distinct words from `words`.
+///
+/// # Panics
+///
+/// Panics if `n > words.len()`.
+pub fn pick_distinct<'a>(rng: &mut SmallRng, words: &'a [&'a str], n: usize) -> Vec<&'a str> {
+    assert!(n <= words.len(), "not enough words");
+    let mut chosen: Vec<&str> = Vec::with_capacity(n);
+    while chosen.len() < n {
+        let w = pick(rng, words);
+        if !chosen.contains(&w) {
+            chosen.push(w);
+        }
+    }
+    chosen
+}
+
+/// Capitalises the first letter: `user` → `User`.
+pub fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// A deterministic typo for `word`: a curated misspelling when one exists,
+/// otherwise a letter transposition.
+pub fn typo_of(rng: &mut SmallRng, word: &str) -> String {
+    if let Some(&(_, t)) = TYPOS.iter().find(|&&(c, _)| c == word) {
+        return t.to_owned();
+    }
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return format!("{word}{word}");
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    let mut out = chars.clone();
+    out.swap(i, i + 1);
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pick_is_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        assert_eq!(pick(&mut a, NOUNS), pick(&mut b, NOUNS));
+    }
+
+    #[test]
+    fn pick_distinct_yields_unique_words() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let words = pick_distinct(&mut rng, ATTRS, 5);
+        let mut sorted = words.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn capitalize_works() {
+        assert_eq!(capitalize("user"), "User");
+        assert_eq!(capitalize(""), "");
+    }
+
+    #[test]
+    fn curated_typos_are_used() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(typo_of(&mut rng, "port"), "por");
+        assert_eq!(typo_of(&mut rng, "public"), "publick");
+    }
+
+    #[test]
+    fn fallback_typo_differs_from_original() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = typo_of(&mut rng, "buffer");
+        assert_ne!(t, "buffer");
+    }
+}

@@ -1,0 +1,128 @@
+//! Ground-truth records for injected naming issues.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Categories of naming issues, following the paper's inspection taxonomy
+/// (Tables 2–8): two *semantic defect* kinds and the code-quality breakdown
+/// of Table 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IssueCategory {
+    /// Calling the wrong API function (`assertTrue` for `assertEqual`).
+    WrongApi,
+    /// Calling a deprecated API (`xrange`, `assertEquals`).
+    DeprecatedApi,
+    /// A wrong declared type (`double` loop index).
+    WrongType,
+    /// A misspelling (`por` for `port`).
+    Typo,
+    /// A confusing word choice (`key` where `value` flows).
+    ConfusingName,
+    /// An uninformative name (`i` holding an `Intent`).
+    IndescriptiveName,
+    /// A name inconsistent with the local idiom (`self.help = docstring`).
+    InconsistentName,
+    /// A minor style deviation (`N` for the `np` numpy alias).
+    MinorIssue,
+}
+
+/// Severity buckets used in the paper's tables.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Severity {
+    /// Causes or risks wrong behaviour (§5.1 "semantic defect").
+    SemanticDefect,
+    /// Impairs readability/maintainability (§5.1 "code quality issue").
+    CodeQuality,
+}
+
+impl IssueCategory {
+    /// The severity bucket of this category.
+    pub fn severity(self) -> Severity {
+        match self {
+            IssueCategory::WrongApi | IssueCategory::DeprecatedApi | IssueCategory::WrongType => {
+                Severity::SemanticDefect
+            }
+            _ => Severity::CodeQuality,
+        }
+    }
+
+    /// All categories, in display order.
+    pub fn all() -> [IssueCategory; 8] {
+        [
+            IssueCategory::WrongApi,
+            IssueCategory::DeprecatedApi,
+            IssueCategory::WrongType,
+            IssueCategory::Typo,
+            IssueCategory::ConfusingName,
+            IssueCategory::IndescriptiveName,
+            IssueCategory::InconsistentName,
+            IssueCategory::MinorIssue,
+        ]
+    }
+}
+
+impl fmt::Display for IssueCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IssueCategory::WrongApi => "wrong API",
+            IssueCategory::DeprecatedApi => "deprecated API",
+            IssueCategory::WrongType => "wrong type",
+            IssueCategory::Typo => "typo",
+            IssueCategory::ConfusingName => "confusing name",
+            IssueCategory::IndescriptiveName => "indescriptive name",
+            IssueCategory::InconsistentName => "inconsistent name",
+            IssueCategory::MinorIssue => "minor issue",
+        })
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::SemanticDefect => "semantic defect",
+            Severity::CodeQuality => "code quality issue",
+        })
+    }
+}
+
+/// One injected issue: the ground truth a human inspector would recover.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Injection {
+    /// Repository of the affected file.
+    pub repo: String,
+    /// Path of the affected file.
+    pub path: String,
+    /// 1-based line of the corrupted statement (the primary report line).
+    pub line: u32,
+    /// All 1-based lines the injection edited (e.g. an `import` line plus
+    /// its usage); reports on any of them count as hits.
+    pub lines: Vec<u32>,
+    /// The wrong name as written in the corpus.
+    pub wrong: String,
+    /// The name the idiom calls for.
+    pub correct: String,
+    /// Category (fixes the severity bucket).
+    pub category: IssueCategory,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severities_match_the_paper() {
+        assert_eq!(IssueCategory::WrongApi.severity(), Severity::SemanticDefect);
+        assert_eq!(IssueCategory::DeprecatedApi.severity(), Severity::SemanticDefect);
+        assert_eq!(IssueCategory::WrongType.severity(), Severity::SemanticDefect);
+        assert_eq!(IssueCategory::Typo.severity(), Severity::CodeQuality);
+        assert_eq!(IssueCategory::MinorIssue.severity(), Severity::CodeQuality);
+    }
+
+    #[test]
+    fn all_lists_every_category_once() {
+        let all = IssueCategory::all();
+        let mut dedup = all.to_vec();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic Big Code substrate for the Namer reproduction.
+//!
+//! The paper evaluates on ~1M Python and ~4M Java GitHub files plus their
+//! commit histories, with labels obtained by manual inspection and a
+//! 7-developer user study. None of those resources is available here, so
+//! this crate builds the closest synthetic equivalents (see `DESIGN.md` §3):
+//!
+//! * [`generator`] — repositories of idiomatic template code with
+//!   ground-truth naming-issue injection, benign house styles, and
+//!   synthesized fix commits;
+//! * [`oracle`] — the inspection oracle labelling reports against the
+//!   injected ground truth;
+//! * [`study`] — a calibrated response model for the Table 7/8 user study;
+//! * [`issue`] — the issue taxonomy (semantic defects vs code quality).
+//!
+//! # Examples
+//!
+//! ```
+//! use namer_corpus::{CorpusConfig, Generator};
+//! use namer_syntax::Lang;
+//!
+//! let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(42);
+//! assert!(!corpus.files.is_empty());
+//! assert!(!corpus.injections.is_empty());
+//! let oracle = corpus.oracle();
+//! assert_eq!(oracle.len(), corpus.injections.len());
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod idents;
+pub mod issue;
+pub mod oracle;
+pub mod study;
+pub mod templates;
+
+pub use generator::{Commit, Corpus, CorpusConfig, Generator};
+pub use issue::{Injection, IssueCategory, Severity};
+pub use oracle::Oracle;
+pub use study::{Acceptance, StudyPanel, STUDY_CATEGORIES};

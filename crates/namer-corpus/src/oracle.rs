@@ -1,0 +1,143 @@
+//! The inspection oracle: stands in for the paper's manual report
+//! inspection, using the generator's injected ground truth.
+
+use crate::issue::{Injection, IssueCategory};
+use namer_syntax::subtoken;
+use std::collections::HashMap;
+
+/// Labels reports as true issues (with their category) or false positives.
+#[derive(Clone, Debug, Default)]
+pub struct Oracle {
+    by_loc: HashMap<(String, String, u32), Injection>,
+    count: usize,
+}
+
+impl Oracle {
+    /// Builds the oracle from the injected ground truth.
+    pub fn new(injections: &[Injection]) -> Oracle {
+        let mut by_loc = HashMap::new();
+        for i in injections {
+            for &line in i.lines.iter().chain(std::iter::once(&i.line)) {
+                by_loc.insert((i.repo.clone(), i.path.clone(), line), i.clone());
+            }
+        }
+        Oracle {
+            by_loc,
+            count: injections.len(),
+        }
+    }
+
+    /// Number of injected issues known to the oracle.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no issues were injected.
+    pub fn is_empty(&self) -> bool {
+        self.by_loc.is_empty()
+    }
+
+    /// The injection at a location, if any.
+    pub fn injection_at(&self, repo: &str, path: &str, line: u32) -> Option<&Injection> {
+        self.by_loc
+            .get(&(repo.to_owned(), path.to_owned(), line))
+    }
+
+    /// Labels one report. Returns the issue category when the report hits an
+    /// injected issue (a *true positive* in the paper's inspection), `None`
+    /// otherwise (a false positive).
+    ///
+    /// A report hits an injection when it points at the injected line and
+    /// its original/suggested subtokens talk about the injected names —
+    /// loose on orientation, since a human inspector accepts a rename
+    /// suggestion in either direction.
+    pub fn label(
+        &self,
+        repo: &str,
+        path: &str,
+        line: u32,
+        original: &str,
+        suggested: &str,
+    ) -> Option<IssueCategory> {
+        let inj = self.injection_at(repo, path, line)?;
+        let mut vocabulary: Vec<String> = subtoken::split(&inj.wrong);
+        vocabulary.extend(subtoken::split(&inj.correct));
+        vocabulary.push(inj.wrong.clone());
+        vocabulary.push(inj.correct.clone());
+        let talks_about = |s: &str| vocabulary.iter().any(|v| v == s);
+        if talks_about(original) && talks_about(suggested) && original != suggested {
+            Some(inj.category)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Oracle {
+        Oracle::new(&[Injection {
+            repo: "r".into(),
+            path: "f.py".into(),
+            line: 4,
+            lines: vec![2, 4],
+            wrong: "assertTrue".into(),
+            correct: "assertEqual".into(),
+            category: IssueCategory::WrongApi,
+        }])
+    }
+
+    #[test]
+    fn matching_report_is_true_positive() {
+        let o = sample();
+        assert_eq!(
+            o.label("r", "f.py", 4, "True", "Equal"),
+            Some(IssueCategory::WrongApi)
+        );
+    }
+
+    #[test]
+    fn reversed_orientation_is_accepted() {
+        let o = sample();
+        assert_eq!(
+            o.label("r", "f.py", 4, "Equal", "True"),
+            Some(IssueCategory::WrongApi)
+        );
+    }
+
+    #[test]
+    fn wrong_line_is_false_positive() {
+        let o = sample();
+        assert_eq!(o.label("r", "f.py", 5, "True", "Equal"), None);
+    }
+
+    #[test]
+    fn secondary_edited_lines_also_hit() {
+        let o = sample();
+        assert_eq!(
+            o.label("r", "f.py", 2, "True", "Equal"),
+            Some(IssueCategory::WrongApi)
+        );
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_tokens_are_false_positive() {
+        let o = sample();
+        assert_eq!(o.label("r", "f.py", 4, "islink", "exists"), None);
+    }
+
+    #[test]
+    fn wrong_repo_is_false_positive() {
+        let o = sample();
+        assert_eq!(o.label("other", "f.py", 4, "True", "Equal"), None);
+    }
+
+    #[test]
+    fn identical_tokens_are_false_positive() {
+        let o = sample();
+        assert_eq!(o.label("r", "f.py", 4, "True", "True"), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! The user-study response model (Tables 7 and 8 of the paper).
+//!
+//! The paper showed 5 code-quality reports (one per Table 4 category) to 7
+//! professional developers and asked under which conditions they would
+//! accept the change. We cannot run a human study, so this module models the
+//! responses as a seeded categorical distribution whose per-category
+//! acceptance propensities are calibrated to Table 8's shape: typos are
+//! worth fixing manually, inconsistent names get accepted via pull requests,
+//! minor issues only through frictionless tooling, and a small residue is
+//! rejected.
+
+use crate::issue::IssueCategory;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How a developer would accept a suggested fix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Acceptance {
+    /// Would not accept the change.
+    NotAccepted,
+    /// Accept if an IDE plugin applies it at coding time.
+    WithIdePlugin,
+    /// Accept as an automatic pull request.
+    WithPullRequest,
+    /// Would even fix it manually.
+    FixManually,
+}
+
+impl Acceptance {
+    /// All options in Table 8 column order.
+    pub fn all() -> [Acceptance; 4] {
+        [
+            Acceptance::NotAccepted,
+            Acceptance::WithIdePlugin,
+            Acceptance::WithPullRequest,
+            Acceptance::FixManually,
+        ]
+    }
+}
+
+impl std::fmt::Display for Acceptance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Acceptance::NotAccepted => "not accepted",
+            Acceptance::WithIdePlugin => "accepted with IDE plugin",
+            Acceptance::WithPullRequest => "accepted with pull request",
+            Acceptance::FixManually => "would even fix manually",
+        })
+    }
+}
+
+/// The five study categories (the Table 4 code-quality breakdown).
+pub const STUDY_CATEGORIES: [IssueCategory; 5] = [
+    IssueCategory::ConfusingName,
+    IssueCategory::IndescriptiveName,
+    IssueCategory::InconsistentName,
+    IssueCategory::MinorIssue,
+    IssueCategory::Typo,
+];
+
+/// Per-category acceptance propensities, calibrated to Table 8.
+/// Order: [NotAccepted, WithIdePlugin, WithPullRequest, FixManually].
+fn propensities(category: IssueCategory) -> [f64; 4] {
+    match category {
+        IssueCategory::ConfusingName => [0.05, 0.40, 0.30, 0.25],
+        IssueCategory::IndescriptiveName => [0.05, 0.40, 0.30, 0.25],
+        IssueCategory::InconsistentName => [0.25, 0.05, 0.55, 0.15],
+        IssueCategory::MinorIssue => [0.30, 0.50, 0.05, 0.15],
+        IssueCategory::Typo => [0.15, 0.25, 0.15, 0.45],
+        // Semantic defects were not part of the study; developers fix those.
+        _ => [0.0, 0.1, 0.2, 0.7],
+    }
+}
+
+/// One simulated developer panel.
+#[derive(Clone, Debug)]
+pub struct StudyPanel {
+    seed: u64,
+    developers: usize,
+}
+
+impl StudyPanel {
+    /// A panel of `developers` seeded respondents (the paper had 7).
+    pub fn new(developers: usize, seed: u64) -> StudyPanel {
+        StudyPanel { seed, developers }
+    }
+
+    /// Responses of every developer for one issue category.
+    pub fn responses(&self, category: IssueCategory) -> Vec<Acceptance> {
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ (category as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let p = propensities(category);
+        (0..self.developers)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                let mut acc = 0.0;
+                for (i, &pi) in p.iter().enumerate() {
+                    acc += pi;
+                    if r < acc {
+                        return Acceptance::all()[i];
+                    }
+                }
+                Acceptance::FixManually
+            })
+            .collect()
+    }
+
+    /// Table 8: per-category counts in the order of [`Acceptance::all`].
+    pub fn tally(&self, category: IssueCategory) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for r in self.responses(category) {
+            let idx = Acceptance::all().iter().position(|&a| a == r).expect("known option");
+            counts[idx] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_is_deterministic() {
+        let a = StudyPanel::new(7, 1).tally(IssueCategory::Typo);
+        let b = StudyPanel::new(7, 1).tally(IssueCategory::Typo);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tallies_sum_to_panel_size() {
+        let panel = StudyPanel::new(7, 2);
+        for cat in STUDY_CATEGORIES {
+            assert_eq!(panel.tally(cat).iter().sum::<usize>(), 7);
+        }
+    }
+
+    #[test]
+    fn most_responses_accept_the_issues() {
+        // Table 8: only 5 of 35 responses were "not accepted".
+        let panel = StudyPanel::new(7, 3);
+        let rejected: usize = STUDY_CATEGORIES.iter().map(|&c| panel.tally(c)[0]).sum();
+        assert!(rejected <= 10, "too many rejections: {rejected}");
+    }
+
+    #[test]
+    fn typos_lean_towards_manual_fixes() {
+        // Aggregate over many panels so the propensity shows through.
+        let mut manual = 0;
+        let mut not = 0;
+        for seed in 0..50 {
+            let t = StudyPanel::new(7, seed).tally(IssueCategory::Typo);
+            manual += t[3];
+            not += t[0];
+        }
+        assert!(manual > not, "manual={manual} not={not}");
+    }
+}

@@ -1,0 +1,395 @@
+//! Java idiom templates.
+
+use super::{Emitted, Point};
+use crate::idents::{capitalize, pick, pick_distinct, ATTRS, NOUNS, VERBS};
+use crate::issue::IssueCategory;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One template: instantiates a block (one top-level class) given the RNG.
+pub type Template = fn(&mut SmallRng) -> Emitted;
+
+/// The weighted Java template bank.
+pub fn bank() -> Vec<(Template, u32)> {
+    vec![
+        (pojo_setter as Template, 6),
+        (classic_for, 5),
+        (try_catch, 5),
+        (intent_activity, 3),
+        (list_printer, 3),
+        (json_mapper, 3),
+        (progress_dialog, 2),
+        (string_builder, 3),
+    ]
+}
+
+/// Benign house-style variants for Java.
+pub fn benign_bank() -> Vec<Template> {
+    vec![
+        conekta_mapper as Template,
+        output_writer,
+        throwable_guard,
+        index_k_loop,
+        delegate_setter,
+    ]
+}
+
+/// A POJO setter `this.a = a;` with the `publickKey`-style parameter typo
+/// (Table 6, example 4) and an inconsistent-name point.
+fn pojo_setter(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let picked = pick_distinct(rng, ATTRS, 2);
+    let (a, other) = (picked[0], picked[1]);
+    let field = format!("{a}Key");
+    let cap = capitalize(&field);
+    let typo_field = format!("{a}kKey");
+    let lines = vec![
+        format!("public class {}{} {{", capitalize(noun), "Entity"),
+        format!("    private String {field};"),
+        format!("    public void set{cap}(String {field}) {{"),
+        format!("        this.{field} = {field};"),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![
+        Point {
+            edits: vec![
+                (2, format!("    public void set{cap}(String {typo_field}) {{")),
+                (3, format!("        this.{field} = {typo_field};")),
+            ],
+            report_line: 3,
+            wrong: format!("{a}k"),
+            correct: (*a).to_owned(),
+            category: IssueCategory::Typo,
+        },
+        Point {
+            edits: vec![(3, format!("        this.{other}Key = {field};"))],
+            report_line: 3,
+            wrong: (*other).to_owned(),
+            correct: (*a).to_owned(),
+            category: IssueCategory::InconsistentName,
+        },
+    ];
+    Emitted { lines, points }
+}
+
+/// A counting loop with the `double` loop-index defect (Table 6, example 2).
+fn classic_for(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Counter {{"),
+        format!("    public int count{cap}s(int limit) {{"),
+        "        int total = 0;".to_owned(),
+        "        for (int i = 0; i < limit; i++) {".to_owned(),
+        "            total += i;".to_owned(),
+        "        }".to_owned(),
+        "        return total;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![(3, "        for (double i = 0; i < limit; i++) {".to_owned())],
+        report_line: 3,
+        wrong: "double".into(),
+        correct: "int".into(),
+        category: IssueCategory::WrongType,
+    }];
+    Emitted { lines, points }
+}
+
+/// `try { … } catch (Exception e) { e.printStackTrace(); }` with the
+/// `Throwable` catch and the `getStackTrace` misuse (Table 6, examples 1 & 3).
+fn try_catch(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Runner {{"),
+        format!("    public void {verb}{cap}() {{"),
+        "        try {".to_owned(),
+        format!("            {verb}();"),
+        "        } catch (Exception e) {".to_owned(),
+        "            e.printStackTrace();".to_owned(),
+        "        }".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![
+        Point {
+            edits: vec![(4, "        } catch (Throwable e) {".to_owned())],
+            report_line: 4,
+            wrong: "Throwable".into(),
+            correct: "Exception".into(),
+            category: IssueCategory::WrongApi,
+        },
+        Point {
+            edits: vec![(5, "            e.getStackTrace();".to_owned())],
+            report_line: 5,
+            wrong: "get".into(),
+            correct: "print".into(),
+            category: IssueCategory::WrongApi,
+        },
+    ];
+    Emitted { lines, points }
+}
+
+/// The Android `Intent`/`startActivity` idiom, with the indescriptive `i`
+/// variable (Table 6, example 5).
+fn intent_activity(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Activity {{"),
+        format!("    public void open{cap}(Context context) {{"),
+        "        Intent intent = new Intent();".to_owned(),
+        "        context.startActivity(intent);".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![
+            (2, "        Intent i = new Intent();".to_owned()),
+            (3, "        context.startActivity(i);".to_owned()),
+        ],
+        report_line: 3,
+        wrong: "i".into(),
+        correct: "intent".into(),
+        category: IssueCategory::IndescriptiveName,
+    }];
+    Emitted { lines, points }
+}
+
+/// Enhanced-for printing — idiom noise.
+fn list_printer(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Printer {{"),
+        format!("    public void print{cap}s(List<String> names) {{"),
+        "        for (String name : names) {".to_owned(),
+        "            System.out.println(name);".to_owned(),
+        "        }".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// The dominant `JsonObject resource = new JsonObject()` idiom (whose rare
+/// `ConektaObject` sibling is the paper's Table 6 FP example 8).
+fn json_mapper(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Mapper {{"),
+        format!("    public JsonObject map{cap}() {{"),
+        "        JsonObject resource = new JsonObject();".to_owned(),
+        "        return resource;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// `progressDialog.dismiss()` with the abbreviated `progDialog` name
+/// (Table 6, example 6).
+fn progress_dialog(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Screen {{"),
+        format!("    public void close{cap}(ProgressDialog progressDialog) {{"),
+        "        progressDialog.dismiss();".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![
+            (1, format!("    public void close{cap}(ProgressDialog progDialog) {{")),
+            (2, "        progDialog.dismiss();".to_owned()),
+        ],
+        report_line: 2,
+        wrong: "prog".into(),
+        correct: "progress".into(),
+        category: IssueCategory::MinorIssue,
+    }];
+    Emitted { lines, points }
+}
+
+/// StringBuilder accumulation — idiom noise.
+fn string_builder(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let n = rng.gen_range(2..6);
+    let lines = vec![
+        format!("public class {cap}Formatter {{"),
+        format!("    public String format{cap}(String text) {{"),
+        "        StringBuilder builder = new StringBuilder();".to_owned(),
+        format!("        for (int i = 0; i < {n}; i++) {{"),
+        "            builder.append(text);".to_owned(),
+        "        }".to_owned(),
+        "        return builder.toString();".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign anomaly: a reaper thread that legitimately catches `Throwable`.
+fn throwable_guard(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Reaper {{"),
+        "    public void guard() {".to_owned(),
+        "        try {".to_owned(),
+        "            dispatch();".to_owned(),
+        "        } catch (Throwable fatal) {".to_owned(),
+        "            fatal.printStackTrace();".to_owned(),
+        "        }".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign anomaly: a loop legitimately indexed by `k`.
+fn index_k_loop(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Walker {{"),
+        format!("    public int walk{cap}s(int limit) {{"),
+        "        int total = 0;".to_owned(),
+        "        for (int k = 0; k < limit; k++) {".to_owned(),
+        "            total += k;".to_owned(),
+        "        }".to_owned(),
+        "        return total;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign anomaly: a deliberately role-named setter (`this.delegateKey =
+/// handlerKey`), the Java sibling of the Python `handler = callback` style.
+fn delegate_setter(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Registry {{"),
+        "    private String delegateKey;".to_owned(),
+        "    public void bind(String handlerKey) {".to_owned(),
+        "        this.delegateKey = handlerKey;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign house style: the Conekta SDK's own object type, used consistently.
+fn conekta_mapper(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Resource {{"),
+        format!("    public ConektaObject load{cap}() {{"),
+        "        ConektaObject resource = new ConektaObject();".to_owned(),
+        "        return resource;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign house style: a `StringWriter` deliberately named for its role
+/// (`outputWriter`), the paper's Table 6 FP example 7.
+fn output_writer(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("public class {cap}Exporter {{"),
+        format!("    public void export{cap}() {{"),
+        "        StringWriter outputWriter = new StringWriter();".to_owned(),
+        "        outputWriter.flush();".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_templates_parse_clean_and_injected() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for (template, _) in bank() {
+            for _ in 0..5 {
+                let e = template(&mut rng);
+                let src = e.lines.join("\n") + "\n";
+                namer_syntax::java::parse(&src)
+                    .unwrap_or_else(|err| panic!("clean template failed: {err}\n{src}"));
+                for i in 0..e.points.len() {
+                    let bad = e.inject(i).join("\n") + "\n";
+                    namer_syntax::java::parse(&bad)
+                        .unwrap_or_else(|err| panic!("injected template failed: {err}\n{bad}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benign_templates_parse() {
+        let mut rng = SmallRng::seed_from_u64(78);
+        for template in benign_bank() {
+            let e = template(&mut rng);
+            let src = e.lines.join("\n") + "\n";
+            namer_syntax::java::parse(&src).unwrap();
+        }
+    }
+
+    #[test]
+    fn report_lines_carry_the_wrong_token() {
+        let mut rng = SmallRng::seed_from_u64(79);
+        for (template, _) in bank() {
+            let e = template(&mut rng);
+            for (i, p) in e.points.iter().enumerate() {
+                let bad = e.inject(i);
+                assert!(
+                    bad[p.report_line].contains(&p.wrong),
+                    "{:?} not in {:?}",
+                    p.wrong,
+                    bad[p.report_line]
+                );
+            }
+        }
+    }
+}

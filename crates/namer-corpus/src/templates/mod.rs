@@ -1,0 +1,70 @@
+//! Code templates for the synthetic Big Code generator.
+//!
+//! Each template instantiates one idiomatic code block (a class, a function,
+//! a test case…) and declares its *injection points*: places where the
+//! generator can swap the idiomatic name for a realistic mistake, yielding
+//! ground-truth naming issues. Templates also come in *benign variants* —
+//! legitimate house styles that deviate from the global idiom and exercise
+//! the false-positive path (§5.2's `islink`, §5.3's `ConektaObject`).
+
+pub mod java;
+pub mod python;
+
+use crate::issue::IssueCategory;
+
+/// One instantiated code block.
+#[derive(Clone, Debug)]
+pub struct Emitted {
+    /// The block's source lines.
+    pub lines: Vec<String>,
+    /// Places where a naming issue can be injected.
+    pub points: Vec<Point>,
+}
+
+/// A candidate injection: which lines change and what the ground truth is.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// `(0-based line index within the block, replacement line)`.
+    pub edits: Vec<(usize, String)>,
+    /// 0-based line (within the block) where a detector should report.
+    pub report_line: usize,
+    /// The wrong subtoken introduced.
+    pub wrong: String,
+    /// The subtoken the idiom calls for.
+    pub correct: String,
+    /// Ground-truth category.
+    pub category: IssueCategory,
+}
+
+impl Emitted {
+    /// Applies injection point `i`, returning the buggy lines.
+    pub fn inject(&self, i: usize) -> Vec<String> {
+        let mut lines = self.lines.clone();
+        for (idx, replacement) in &self.points[i].edits {
+            lines[*idx] = replacement.clone();
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_applies_all_edits() {
+        let e = Emitted {
+            lines: vec!["a".into(), "b".into(), "c".into()],
+            points: vec![Point {
+                edits: vec![(0, "A".into()), (2, "C".into())],
+                report_line: 2,
+                wrong: "C".into(),
+                correct: "c".into(),
+                category: IssueCategory::Typo,
+            }],
+        };
+        assert_eq!(e.inject(0), vec!["A", "b", "C"]);
+        // The original is untouched.
+        assert_eq!(e.lines[0], "a");
+    }
+}

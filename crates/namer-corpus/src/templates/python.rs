@@ -1,0 +1,408 @@
+//! Python idiom templates.
+
+use super::{Emitted, Point};
+use crate::idents::{capitalize, pick, pick_distinct, typo_of, ATTRS, NOUNS, VERBS};
+use crate::issue::IssueCategory;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One template: instantiates a block given the RNG.
+pub type Template = fn(&mut SmallRng) -> Emitted;
+
+/// The weighted template bank: `(template, weight)`. Higher-weight idioms
+/// dominate the corpus, like their real-world counterparts dominate GitHub.
+pub fn bank() -> Vec<(Template, u32)> {
+    vec![
+        (unittest_assert as Template, 6),
+        (ctor_assign, 6),
+        (numpy_array, 3),
+        (range_loop, 4),
+        (kwargs_method, 3),
+        (port_server, 2),
+        (dict_copy, 3),
+        (read_file, 3),
+        (path_check, 4),
+        (exception_handler, 2),
+    ]
+}
+
+/// Benign house-style variants used by "benign" repositories — legitimate
+/// code that deviates from the global idiom (false-positive pressure).
+pub fn benign_bank() -> Vec<Template> {
+    vec![
+        link_check as Template,
+        handler_assign,
+        validator,
+        counter_loop,
+        registry_assign,
+    ]
+}
+
+/// `class TestX(TestCase): def test_…: self.assertEqual(y.attr, N)` with
+/// wrong-API and deprecated-API injection points (Table 3, examples 1 & 3).
+fn unittest_assert(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let attr = pick(rng, ATTRS);
+    let num = rng.gen_range(1..100);
+    let assert_ok = format!("        self.assertEqual({noun}.{attr}, {num})");
+    let lines = vec![
+        format!("class Test{}(TestCase):", capitalize(noun)),
+        format!("    def test_{verb}_{attr}(self):"),
+        format!("        {noun} = {verb}_{noun}()"),
+        assert_ok,
+    ];
+    let points = vec![
+        Point {
+            edits: vec![(3, format!("        self.assertTrue({noun}.{attr}, {num})"))],
+            report_line: 3,
+            wrong: "True".into(),
+            correct: "Equal".into(),
+            category: IssueCategory::WrongApi,
+        },
+        Point {
+            edits: vec![(3, format!("        self.assertEquals({noun}.{attr}, {num})"))],
+            report_line: 3,
+            wrong: "Equals".into(),
+            correct: "Equal".into(),
+            category: IssueCategory::DeprecatedApi,
+        },
+    ];
+    Emitted { lines, points }
+}
+
+/// Constructor field assignments `self.a = a` with inconsistent-name and typo
+/// injection points (Table 7's inconsistent-name and typo rows).
+fn ctor_assign(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let picked = pick_distinct(rng, ATTRS, 3);
+    let (a, b, c) = (picked[0], picked[1], picked[2]);
+    let lines = vec![
+        format!("class {}:", capitalize(noun)),
+        format!("    def __init__(self, {a}, {b}):"),
+        format!("        self.{a} = {a}"),
+        format!("        self.{b} = {b}"),
+    ];
+    let typo = typo_of(rng, b);
+    let points = vec![
+        Point {
+            edits: vec![(2, format!("        self.{c} = {a}"))],
+            report_line: 2,
+            wrong: (*c).to_owned(),
+            correct: (*a).to_owned(),
+            category: IssueCategory::InconsistentName,
+        },
+        Point {
+            edits: vec![(3, format!("        self.{b} = {typo}"))],
+            report_line: 3,
+            wrong: typo.clone(),
+            correct: (*b).to_owned(),
+            category: IssueCategory::Typo,
+        },
+    ];
+    Emitted { lines, points }
+}
+
+/// `import numpy as np; … np.array(…)` with the `N` alias as a minor issue
+/// (Table 3, example 6).
+fn numpy_array(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let lines = vec![
+        "import numpy as np".to_owned(),
+        format!("def {verb}_{noun}(values):"),
+        format!("    {noun} = np.array(values)"),
+        format!("    return {noun}"),
+    ];
+    let points = vec![Point {
+        edits: vec![
+            (0, "import numpy as N".to_owned()),
+            (2, format!("    {noun} = N.array(values)")),
+        ],
+        report_line: 2,
+        wrong: "N".into(),
+        correct: "np".into(),
+        category: IssueCategory::MinorIssue,
+    }];
+    Emitted { lines, points }
+}
+
+/// `for i in range(n)` with the deprecated `xrange` injection
+/// (Table 3, example 2).
+fn range_loop(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let n = rng.gen_range(5..50);
+    let lines = vec![
+        format!("def {verb}_{noun}s(items):"),
+        "    total = 0".to_owned(),
+        format!("    for i in range({n}):"),
+        "        total += i".to_owned(),
+        "    return total".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![(2, format!("    for i in xrange({n}):"))],
+        report_line: 2,
+        wrong: "xrange".into(),
+        correct: "range".into(),
+        category: IssueCategory::DeprecatedApi,
+    }];
+    Emitted { lines, points }
+}
+
+/// `def m(self, a, **kwargs)` with the `**args` confusion
+/// (Table 3, example 5).
+fn kwargs_method(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let attr = pick(rng, ATTRS);
+    let lines = vec![
+        format!("class {}{}:", capitalize(noun), "Options"),
+        format!("    def {verb}(self, {attr}, **kwargs):"),
+        format!("        self.{attr} = {attr}"),
+        "        self.configure(kwargs)".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![
+            (1, format!("    def {verb}(self, {attr}, **args):")),
+            (3, "        self.configure(args)".to_owned()),
+        ],
+        report_line: 3,
+        wrong: "args".into(),
+        correct: "kwargs".into(),
+        category: IssueCategory::ConfusingName,
+    }];
+    Emitted { lines, points }
+}
+
+/// The `self.port = por` curated typo (Table 7's typo row).
+fn port_server(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let lines = vec![
+        format!("class {}Server:", capitalize(noun)),
+        "    def __init__(self, port, host):".to_owned(),
+        "        self.port = port".to_owned(),
+        "        self.host = host".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![(2, "        self.port = por".to_owned())],
+        report_line: 2,
+        wrong: "por".into(),
+        correct: "port".into(),
+        category: IssueCategory::Typo,
+    }];
+    Emitted { lines, points }
+}
+
+/// `out[key] = value` over `.items()` with the key/value confusion.
+fn dict_copy(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let lines = vec![
+        format!("def {verb}_{noun}s(mapping, out):"),
+        "    for key, value in mapping.items():".to_owned(),
+        "        out[key] = value".to_owned(),
+        "    return out".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![(2, "        out[key] = key".to_owned())],
+        report_line: 2,
+        wrong: "key".into(),
+        correct: "value".into(),
+        category: IssueCategory::ConfusingName,
+    }];
+    Emitted { lines, points }
+}
+
+/// `with open(path) as f: data = f.read()` — idiom noise, no injections.
+fn read_file(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let lines = vec![
+        format!("def read_{noun}(path):"),
+        "    with open(path) as f:".to_owned(),
+        "        data = f.read()".to_owned(),
+        "    return data".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// `self.assertTrue(os.path.exists(path))` — the dominant one-argument
+/// assertTrue idiom (whose rare `islink` sibling is the paper's FP example).
+fn path_check(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let lines = vec![
+        format!("class Test{}Path(TestCase):", capitalize(noun)),
+        format!("    def test_{noun}_file(self):"),
+        "        self.assertTrue(os.path.exists(path))".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// A custom validation API where two-argument `assertTrue` is *correct*:
+/// distinguishable from `TestCase` only through the points-to origins, this
+/// is what makes the "w/o A" ablation lose precision and recall (Table 2).
+fn validator(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let attr = pick(rng, ATTRS);
+    let num = rng.gen_range(1..20);
+    let lines = vec![
+        format!("class {}Validator(Validator):", capitalize(noun)),
+        format!("    def validate_{attr}(self, {noun}):"),
+        format!("        self.assertTrue({noun}.{attr}, {num})"),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// `try/except ValueError as e` — idiom noise.
+fn exception_handler(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let lines = vec![
+        format!("def {verb}_{noun}(data):"),
+        "    try:".to_owned(),
+        "        return parse(data)".to_owned(),
+        "    except ValueError as e:".to_owned(),
+        "        raise".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign house style: symlink checks instead of existence checks
+/// (the paper's Table 3 false-positive example 7).
+fn link_check(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let lines = vec![
+        format!("class Test{}Link(TestCase):", capitalize(noun)),
+        format!("    def test_{noun}_link(self):"),
+        "        self.assertTrue(os.path.islink(path))".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign anomaly: a loop legitimately using `j` as its index where the
+/// global idiom overwhelmingly uses `i`.
+fn counter_loop(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let n = rng.gen_range(5..50);
+    let lines = vec![
+        format!("def {verb}_{noun}_pairs(items):"),
+        "    total = 0".to_owned(),
+        format!("    for j in range({n}):"),
+        "        total += j".to_owned(),
+        "    return total".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign anomaly: another deliberately-mismatched constructor assignment
+/// (`self.owner = creator`), same family as [`handler_assign`].
+fn registry_assign(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let lines = vec![
+        format!("class {}Store:", capitalize(noun)),
+        "    def __init__(self, creator):".to_owned(),
+        "        self.owner = creator".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign house style: `self.<a> = <b>` where the attribute intentionally
+/// differs from the value name (the `self._factory = song` shape of Table 7).
+fn handler_assign(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let lines = vec![
+        format!("class {}Registry:", capitalize(noun)),
+        "    def __init__(self, callback):".to_owned(),
+        "        self.handler = callback".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_templates_parse_clean_and_injected() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for (template, _) in bank() {
+            for _ in 0..5 {
+                let e = template(&mut rng);
+                let src = e.lines.join("\n") + "\n";
+                namer_syntax::python::parse(&src)
+                    .unwrap_or_else(|err| panic!("clean template failed: {err}\n{src}"));
+                for i in 0..e.points.len() {
+                    let bad = e.inject(i).join("\n") + "\n";
+                    namer_syntax::python::parse(&bad)
+                        .unwrap_or_else(|err| panic!("injected template failed: {err}\n{bad}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benign_templates_parse() {
+        let mut rng = SmallRng::seed_from_u64(100);
+        for template in benign_bank() {
+            let e = template(&mut rng);
+            let src = e.lines.join("\n") + "\n";
+            namer_syntax::python::parse(&src).unwrap();
+        }
+    }
+
+    #[test]
+    fn injection_points_change_the_report_line() {
+        let mut rng = SmallRng::seed_from_u64(101);
+        for (template, _) in bank() {
+            let e = template(&mut rng);
+            for (i, p) in e.points.iter().enumerate() {
+                let bad = e.inject(i);
+                assert_ne!(
+                    bad[p.report_line], e.lines[p.report_line],
+                    "point {i} must alter its report line"
+                );
+                assert!(
+                    bad[p.report_line].contains(&p.wrong),
+                    "wrong token {:?} not on report line {:?}",
+                    p.wrong,
+                    bad[p.report_line]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn templates_are_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let ea = unittest_assert(&mut a);
+        let eb = unittest_assert(&mut b);
+        assert_eq!(ea.lines, eb.lines);
+    }
+}

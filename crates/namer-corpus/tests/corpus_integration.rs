@@ -1,0 +1,129 @@
+//! Integration checks on the synthetic Big Code substrate: idiom dominance,
+//! anomaly presence, injection structure, and pair-mining coverage.
+
+use namer_corpus::{CorpusConfig, Generator, IssueCategory};
+use namer_patterns::ConfusingPairs;
+use namer_syntax::{parse_file, Lang, Sym};
+
+#[test]
+fn idioms_dominate_violation_sources() {
+    // The satisfaction ratio that keeps a pattern alive in pruneUncommon
+    // requires idiomatic statements to greatly outnumber deviants: the
+    // assertEqual idiom must outnumber assertTrue-with-two-args misuses.
+    let corpus = Generator::new(CorpusConfig::medium(Lang::Python)).generate(4);
+    let count = |needle: &str| {
+        corpus
+            .files
+            .iter()
+            .map(|f| f.text.matches(needle).count())
+            .sum::<usize>()
+    };
+    let good = count("self.assertEqual(");
+    // The misuse signature is the *two-argument numeric* assertTrue; the
+    // one-argument form (path checks) and the Validator API are legitimate.
+    let bad = corpus
+        .files
+        .iter()
+        .flat_map(|f| f.text.lines())
+        .filter(|l| {
+            l.contains("self.assertTrue(")
+                && l.trim_end().ends_with(')')
+                && l.rsplit(',')
+                    .next()
+                    .map(|tail| tail.trim().trim_end_matches(')').parse::<i64>().is_ok())
+                    .unwrap_or(false)
+                && !l.contains("Validator")
+        })
+        .count();
+    // Figure-2-style misuses must stay rare relative to the idiom, or
+    // pruneUncommon (0.8) would kill the pattern that detects them.
+    assert!(good >= bad * 4, "assertEqual {good} vs 2-arg assertTrue {bad}");
+}
+
+#[test]
+fn anomalies_and_house_styles_are_present() {
+    let corpus = Generator::new(CorpusConfig::medium(Lang::Python)).generate(5);
+    let islink_files = corpus
+        .files
+        .iter()
+        .filter(|f| f.text.contains("islink"))
+        .count();
+    let validator_files = corpus
+        .files
+        .iter()
+        .filter(|f| f.text.contains("Validator"))
+        .count();
+    assert!(islink_files > 3, "islink anomalies exist: {islink_files}");
+    assert!(validator_files > 3, "validator anomalies exist: {validator_files}");
+    // None of these benign blocks are recorded as injections.
+    for inj in &corpus.injections {
+        assert!(!inj.wrong.contains("islink"));
+    }
+}
+
+#[test]
+fn injections_cover_every_category_at_medium_scale() {
+    for (lang, seed) in [(Lang::Python, 6), (Lang::Java, 7)] {
+        let corpus = Generator::new(CorpusConfig::medium(lang)).generate(seed);
+        let mut seen: Vec<IssueCategory> = corpus.injections.iter().map(|i| i.category).collect();
+        seen.sort_by_key(|c| format!("{c}"));
+        seen.dedup();
+        assert!(
+            seen.len() >= 5,
+            "{lang}: only {} categories injected: {seen:?}",
+            seen.len()
+        );
+    }
+}
+
+#[test]
+fn commit_mining_recovers_injected_pairs() {
+    let corpus = Generator::new(CorpusConfig::medium(Lang::Python)).generate(8);
+    let mut pairs = ConfusingPairs::new();
+    for c in &corpus.commits {
+        let before = parse_file(&namer_syntax::SourceFile::new("c", "b", c.before.clone(), c.lang));
+        let after = parse_file(&namer_syntax::SourceFile::new("c", "a", c.after.clone(), c.lang));
+        if let (Ok(b), Ok(a)) = (before, after) {
+            pairs.mine_commit(&b, &a);
+        }
+    }
+    // The signature pairs of the paper's Python examples all get mined.
+    for (w1, w2) in [("True", "Equal"), ("xrange", "range"), ("args", "kwargs")] {
+        assert!(
+            pairs.contains(Sym::intern(w1), Sym::intern(w2)),
+            "pair ({w1}, {w2}) missing"
+        );
+    }
+}
+
+#[test]
+fn every_injection_has_at_least_its_report_line() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Java)).generate(9);
+    for inj in &corpus.injections {
+        assert!(!inj.lines.is_empty());
+        assert!(inj.lines.contains(&inj.line) || !inj.lines.is_empty());
+        assert_ne!(inj.wrong, inj.correct);
+    }
+}
+
+#[test]
+fn larger_scales_scale_every_dimension() {
+    let small = Generator::new(CorpusConfig::small(Lang::Python)).generate(10);
+    let medium = Generator::new(CorpusConfig::medium(Lang::Python)).generate(10);
+    assert!(medium.files.len() > small.files.len() * 3);
+    assert!(medium.injections.len() > small.injections.len());
+    assert!(medium.commits.len() > small.commits.len());
+    assert!(medium.repo_count() > small.repo_count());
+}
+
+#[test]
+fn all_medium_java_files_parse() {
+    let corpus = Generator::new(CorpusConfig::medium(Lang::Java)).generate(11);
+    let mut failures = 0;
+    for f in &corpus.files {
+        if parse_file(f).is_err() {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 0, "{failures} of {} files failed to parse", corpus.files.len());
+}

@@ -1,0 +1,198 @@
+//! Tuple storage with per-relation indices.
+
+use crate::program::RelId;
+use std::collections::{HashMap, HashSet};
+
+/// Facts for every relation of a program.
+///
+/// Tuples are stored append-only; a hash set deduplicates, and the evaluator
+/// tracks per-relation *delta* windows (`[delta_start, len)`) for semi-naive
+/// iteration. Joins use lazily built indices keyed on bound argument
+/// positions; indices are extended incrementally as tuples arrive.
+#[derive(Debug, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+}
+
+#[derive(Debug, Default)]
+struct Relation {
+    rows: Vec<Vec<u64>>,
+    seen: HashSet<Vec<u64>>,
+    /// Index: bound-position bitmask → (key values at those positions → row
+    /// indices). `indexed_upto` rows have been added to each existing index.
+    indices: HashMap<u64, HashMap<Vec<u64>, Vec<usize>>>,
+    indexed_upto: usize,
+}
+
+impl Database {
+    /// Creates an empty database with `n` relations.
+    pub fn new(n: usize) -> Database {
+        Database {
+            relations: (0..n).map(|_| Relation::default()).collect(),
+        }
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, rel: RelId, row: impl Into<Vec<u64>>) -> bool {
+        let row = row.into();
+        let r = &mut self.relations[rel.index()];
+        if r.seen.insert(row.clone()) {
+            r.rows.push(row);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if the tuple is present.
+    pub fn contains(&self, rel: RelId, row: &[u64]) -> bool {
+        self.relations[rel.index()].seen.contains(row)
+    }
+
+    /// All tuples of `rel`, in insertion order.
+    pub fn rows(&self, rel: RelId) -> &[Vec<u64>] {
+        &self.relations[rel.index()].rows
+    }
+
+    /// Number of tuples in `rel`.
+    pub fn len(&self, rel: RelId) -> usize {
+        self.relations[rel.index()].rows.len()
+    }
+
+    /// Returns `true` if `rel` holds no tuples.
+    pub fn is_empty(&self, rel: RelId) -> bool {
+        self.relations[rel.index()].rows.is_empty()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(|r| r.rows.len()).sum()
+    }
+
+    /// Row indices of `rel` whose values at `positions` equal `key`,
+    /// considering only rows in `[from, to)`.
+    ///
+    /// `positions` must be sorted and non-empty; `key[i]` is the required
+    /// value at `positions[i]`.
+    pub(crate) fn probe(
+        &mut self,
+        rel: RelId,
+        positions: &[usize],
+        key: &[u64],
+        from: usize,
+        to: usize,
+    ) -> Vec<usize> {
+        debug_assert!(!positions.is_empty());
+        let r = &mut self.relations[rel.index()];
+        let mask = positions.iter().fold(0u64, |m, &p| m | (1 << p));
+        // Extend all indices with rows that arrived since the last probe.
+        if r.indexed_upto < r.rows.len() {
+            let start = r.indexed_upto;
+            for (m, index) in r.indices.iter_mut() {
+                let ps: Vec<usize> = (0..64).filter(|p| m & (1 << p) != 0).collect();
+                for (i, row) in r.rows.iter().enumerate().skip(start) {
+                    let k: Vec<u64> = ps.iter().map(|&p| row[p]).collect();
+                    index.entry(k).or_default().push(i);
+                }
+            }
+            r.indexed_upto = r.rows.len();
+        }
+        let index = r.indices.entry(mask).or_insert_with(|| {
+            let mut idx: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+            for (i, row) in r.rows.iter().enumerate() {
+                let k: Vec<u64> = positions.iter().map(|&p| row[p]).collect();
+                idx.entry(k).or_default().push(i);
+            }
+            idx
+        });
+        match index.get(key) {
+            Some(rows) => rows
+                .iter()
+                .copied()
+                .filter(|&i| i >= from && i < to)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// One row by index.
+    pub(crate) fn row(&self, rel: RelId, i: usize) -> &[u64] {
+        &self.relations[rel.index()].rows[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program;
+
+    fn setup() -> (Program, RelId, Database) {
+        let mut p = Program::new();
+        let r = p.relation("r", 3);
+        let db = p.database();
+        (p, r, db)
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let (_p, r, mut db) = setup();
+        assert!(db.insert(r, [1, 2, 3]));
+        assert!(!db.insert(r, [1, 2, 3]));
+        assert_eq!(db.len(r), 1);
+    }
+
+    #[test]
+    fn contains_and_rows() {
+        let (_p, r, mut db) = setup();
+        db.insert(r, [1, 2, 3]);
+        db.insert(r, [4, 5, 6]);
+        assert!(db.contains(r, &[4, 5, 6]));
+        assert!(!db.contains(r, &[4, 5, 7]));
+        assert_eq!(db.rows(r).len(), 2);
+    }
+
+    #[test]
+    fn probe_finds_matching_rows() {
+        let (_p, r, mut db) = setup();
+        db.insert(r, [1, 10, 100]);
+        db.insert(r, [1, 20, 200]);
+        db.insert(r, [2, 10, 300]);
+        let hits = db.probe(r, &[0], &[1], 0, 3);
+        assert_eq!(hits.len(), 2);
+        let hits = db.probe(r, &[0, 1], &[1, 20], 0, 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(db.row(r, hits[0]), &[1, 20, 200]);
+    }
+
+    #[test]
+    fn probe_respects_window() {
+        let (_p, r, mut db) = setup();
+        db.insert(r, [1, 0, 0]);
+        db.insert(r, [1, 1, 0]);
+        let hits = db.probe(r, &[0], &[1], 1, 2);
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn index_extends_after_new_inserts() {
+        let (_p, r, mut db) = setup();
+        db.insert(r, [1, 0, 0]);
+        // Build the index on position 0.
+        assert_eq!(db.probe(r, &[0], &[1], 0, 1).len(), 1);
+        // Insert more and probe again; the index must see the new row.
+        db.insert(r, [1, 9, 9]);
+        assert_eq!(db.probe(r, &[0], &[1], 0, 2).len(), 2);
+    }
+
+    #[test]
+    fn total_tuples_sums_relations() {
+        let mut p = Program::new();
+        let a = p.relation("a", 1);
+        let b = p.relation("b", 1);
+        let mut db = p.database();
+        db.insert(a, [1]);
+        db.insert(b, [1]);
+        db.insert(b, [2]);
+        assert_eq!(db.total_tuples(), 3);
+    }
+}

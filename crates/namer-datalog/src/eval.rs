@@ -1,0 +1,353 @@
+//! Semi-naive fixpoint evaluation.
+
+use crate::database::Database;
+use crate::program::{Program, Rule, Term};
+
+/// Runs `prog` over `db` stratum by stratum until fixpoint.
+pub fn run(prog: &Program, mut db: Database, strata: &[Vec<usize>]) -> Database {
+    for stratum in strata {
+        let rules: Vec<&Rule> = stratum.iter().map(|&i| &prog.rules[i]).collect();
+        if rules.is_empty() {
+            continue;
+        }
+        let n = prog.relation_count();
+        // Delta window per relation: [old_end, cur_end).
+        let mut old_end = vec![0usize; n];
+        let mut cur_end: Vec<usize> = (0..n)
+            .map(|i| db.len(crate::program::RelId(i as u32)))
+            .collect();
+        loop {
+            for rule in &rules {
+                apply_rule(rule, &mut db, &old_end, &cur_end);
+            }
+            let new_end: Vec<usize> = (0..n)
+                .map(|i| db.len(crate::program::RelId(i as u32)))
+                .collect();
+            if new_end == cur_end {
+                break;
+            }
+            old_end = cur_end;
+            cur_end = new_end;
+        }
+    }
+    db
+}
+
+fn max_var(rule: &Rule) -> usize {
+    let mut m = 0;
+    let mut visit = |t: &Term| {
+        if let Term::Var(v) = t {
+            m = m.max(*v as usize + 1);
+        }
+    };
+    for t in &rule.head.terms {
+        visit(t);
+    }
+    for l in &rule.body {
+        for t in &l.atom.terms {
+            visit(t);
+        }
+    }
+    m
+}
+
+/// Applies one rule semi-naively: one pass per choice of delta literal.
+fn apply_rule(rule: &Rule, db: &mut Database, old_end: &[usize], cur_end: &[usize]) {
+    let positive: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.negated)
+        .map(|(i, _)| i)
+        .collect();
+    if positive.is_empty() {
+        // Fact rule (constant head): derive once.
+        let mut env = vec![None; max_var(rule)];
+        derive(rule, db, &mut env, old_end, cur_end, usize::MAX, 0);
+        return;
+    }
+    for &delta_pos in &positive {
+        // Skip passes whose delta window is empty.
+        let rel = rule.body[delta_pos].atom.relation.index();
+        if old_end[rel] >= cur_end[rel] {
+            continue;
+        }
+        let mut env = vec![None; max_var(rule)];
+        derive(rule, db, &mut env, old_end, cur_end, delta_pos, 0);
+    }
+}
+
+/// Recursive join over the body, literal by literal.
+#[allow(clippy::too_many_arguments)]
+fn derive(
+    rule: &Rule,
+    db: &mut Database,
+    env: &mut Vec<Option<u64>>,
+    old_end: &[usize],
+    cur_end: &[usize],
+    delta_pos: usize,
+    at: usize,
+) {
+    if at == rule.body.len() {
+        let row: Vec<u64> = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| ground(t, env).expect("head variable bound (checked at rule creation)"))
+            .collect();
+        db.insert(rule.head.relation, row);
+        return;
+    }
+    let lit = &rule.body[at];
+    if lit.negated {
+        let row: Vec<u64> = lit
+            .atom
+            .terms
+            .iter()
+            .map(|t| ground(t, env).expect("negated literal grounded (checked)"))
+            .collect();
+        if !db.contains(lit.atom.relation, &row) {
+            derive(rule, db, env, old_end, cur_end, delta_pos, at + 1);
+        }
+        return;
+    }
+    let rel = lit.atom.relation;
+    let ri = rel.index();
+    // Window for this literal under the semi-naive schedule.
+    let (from, to) = if at == delta_pos {
+        (old_end[ri], cur_end[ri])
+    } else if at < delta_pos {
+        (0, cur_end[ri])
+    } else {
+        (0, old_end[ri])
+    };
+    // When delta_pos is usize::MAX (fact rules) use the full current window.
+    let (from, to) = if delta_pos == usize::MAX {
+        (0, cur_end[ri])
+    } else {
+        (from, to)
+    };
+    if from >= to {
+        return;
+    }
+    // Bound positions for an index probe.
+    let mut positions = Vec::new();
+    let mut key = Vec::new();
+    for (p, t) in lit.atom.terms.iter().enumerate() {
+        if let Some(v) = ground(t, env) {
+            positions.push(p);
+            key.push(v);
+        }
+    }
+    let candidates: Vec<usize> = if positions.is_empty() {
+        (from..to).collect()
+    } else {
+        db.probe(rel, &positions, &key, from, to)
+    };
+    for i in candidates {
+        let row = db.row(rel, i).to_vec();
+        let mut bound_here = Vec::new();
+        let mut ok = true;
+        for (p, t) in lit.atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    if row[p] != *c {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match env[*v as usize] {
+                    Some(bound) => {
+                        if bound != row[p] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        env[*v as usize] = Some(row[p]);
+                        bound_here.push(*v as usize);
+                    }
+                },
+            }
+        }
+        if ok {
+            derive(rule, db, env, old_end, cur_end, delta_pos, at + 1);
+        }
+        for v in bound_here {
+            env[v] = None;
+        }
+    }
+}
+
+fn ground(t: &Term, env: &[Option<u64>]) -> Option<u64> {
+    match t {
+        Term::Const(c) => Some(*c),
+        Term::Var(v) => env[*v as usize],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Program, Term};
+
+    fn vars3() -> (Term, Term, Term) {
+        (Term::var(0), Term::var(1), Term::var(2))
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut p = Program::new();
+        let e = p.relation("e", 2);
+        let t = p.relation("t", 2);
+        let (x, y, z) = vars3();
+        p.rule(t.atom([x, y]), [e.atom([x, y]).pos()]);
+        p.rule(t.atom([x, z]), [e.atom([x, y]).pos(), t.atom([y, z]).pos()]);
+        let mut db = p.database();
+        for i in 0..20u64 {
+            db.insert(e, [i, i + 1]);
+        }
+        let out = p.eval(db).unwrap();
+        assert_eq!(out.len(t), 20 * 21 / 2);
+        assert!(out.contains(t, &[0, 20]));
+        assert!(!out.contains(t, &[5, 5]));
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let mut p = Program::new();
+        let e = p.relation("e", 2);
+        let from_zero = p.relation("from_zero", 1);
+        let y = Term::var(0);
+        p.rule(from_zero.atom([y]), [e.atom([Term::cst(0), y]).pos()]);
+        let mut db = p.database();
+        db.insert(e, [0, 7]);
+        db.insert(e, [1, 8]);
+        let out = p.eval(db).unwrap();
+        assert_eq!(out.rows(from_zero), &[vec![7]]);
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let mut p = Program::new();
+        let parent = p.relation("parent", 2);
+        let grand = p.relation("grand", 2);
+        let (x, y, z) = vars3();
+        p.rule(
+            grand.atom([x, z]),
+            [parent.atom([x, y]).pos(), parent.atom([y, z]).pos()],
+        );
+        let mut db = p.database();
+        db.insert(parent, [1, 2]);
+        db.insert(parent, [2, 3]);
+        db.insert(parent, [2, 4]);
+        let out = p.eval(db).unwrap();
+        assert!(out.contains(grand, &[1, 3]));
+        assert!(out.contains(grand, &[1, 4]));
+        assert_eq!(out.len(grand), 2);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let mut p = Program::new();
+        let node = p.relation("node", 1);
+        let edge = p.relation("edge", 2);
+        let has_out = p.relation("has_out", 1);
+        let sink = p.relation("sink", 1);
+        let (x, y, _) = vars3();
+        p.rule(has_out.atom([x]), [edge.atom([x, y]).pos()]);
+        p.rule(sink.atom([x]), [node.atom([x]).pos(), has_out.atom([x]).neg()]);
+        let mut db = p.database();
+        for i in 1..=3u64 {
+            db.insert(node, [i]);
+        }
+        db.insert(edge, [1, 2]);
+        db.insert(edge, [2, 3]);
+        let out = p.eval(db).unwrap();
+        assert_eq!(out.rows(sink), &[vec![3]]);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_filters() {
+        let mut p = Program::new();
+        let e = p.relation("e", 2);
+        let selfloop = p.relation("selfloop", 1);
+        let x = Term::var(0);
+        p.rule(selfloop.atom([x]), [e.atom([x, x]).pos()]);
+        let mut db = p.database();
+        db.insert(e, [1, 1]);
+        db.insert(e, [1, 2]);
+        let out = p.eval(db).unwrap();
+        assert_eq!(out.rows(selfloop), &[vec![1]]);
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let mut p = Program::new();
+        let succ = p.relation("succ", 2);
+        let even = p.relation("even", 1);
+        let odd = p.relation("odd", 1);
+        let (x, y, _) = vars3();
+        p.rule(even.atom([Term::cst(0)]), [succ.atom([Term::cst(0), Term::var(9)]).pos()]);
+        p.rule(odd.atom([y]), [succ.atom([x, y]).pos(), even.atom([x]).pos()]);
+        p.rule(even.atom([y]), [succ.atom([x, y]).pos(), odd.atom([x]).pos()]);
+        let mut db = p.database();
+        for i in 0..10u64 {
+            db.insert(succ, [i, i + 1]);
+        }
+        let out = p.eval(db).unwrap();
+        assert!(out.contains(even, &[8]));
+        assert!(out.contains(odd, &[9]));
+        assert!(!out.contains(even, &[9]));
+    }
+
+    #[test]
+    fn diamond_dependencies_converge() {
+        // path through two alternative routes must deduplicate.
+        let mut p = Program::new();
+        let e = p.relation("e", 2);
+        let t = p.relation("t", 2);
+        let (x, y, z) = vars3();
+        p.rule(t.atom([x, y]), [e.atom([x, y]).pos()]);
+        p.rule(t.atom([x, z]), [t.atom([x, y]).pos(), t.atom([y, z]).pos()]);
+        let mut db = p.database();
+        db.insert(e, [0, 1]);
+        db.insert(e, [0, 2]);
+        db.insert(e, [1, 3]);
+        db.insert(e, [2, 3]);
+        db.insert(e, [3, 4]);
+        let out = p.eval(db).unwrap();
+        assert!(out.contains(t, &[0, 4]));
+        // 0→{1,2,3,4}, 1→{3,4}, 2→{3,4}, 3→{4}
+        assert_eq!(out.len(t), 9);
+    }
+
+    #[test]
+    fn empty_edb_fixpoint_is_empty() {
+        let mut p = Program::new();
+        let e = p.relation("e", 2);
+        let t = p.relation("t", 2);
+        let (x, y, z) = vars3();
+        p.rule(t.atom([x, y]), [e.atom([x, y]).pos()]);
+        p.rule(t.atom([x, z]), [e.atom([x, y]).pos(), t.atom([y, z]).pos()]);
+        let out = p.eval(p.database()).unwrap();
+        assert!(out.is_empty(t));
+    }
+
+    #[test]
+    fn large_chain_is_fast_enough() {
+        // A smoke test that semi-naive + indices keep the quadratic closure
+        // tractable (500 nodes → 124 750 path tuples).
+        let mut p = Program::new();
+        let e = p.relation("e", 2);
+        let t = p.relation("t", 2);
+        let (x, y, z) = vars3();
+        p.rule(t.atom([x, y]), [e.atom([x, y]).pos()]);
+        p.rule(t.atom([x, z]), [e.atom([x, y]).pos(), t.atom([y, z]).pos()]);
+        let mut db = p.database();
+        for i in 0..500u64 {
+            db.insert(e, [i, i + 1]);
+        }
+        let out = p.eval(db).unwrap();
+        assert_eq!(out.len(t), 500 * 501 / 2);
+    }
+}

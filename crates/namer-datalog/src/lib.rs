@@ -1,0 +1,44 @@
+//! A small bottom-up Datalog engine.
+//!
+//! The Namer paper implements its flow- and context-sensitive Andersen
+//! points-to analysis "in Datalog" (§4.1). This crate provides the engine
+//! that `namer-analysis` runs on: relations over `u64` constants, Horn rules
+//! with stratified negation, and semi-naive fixpoint evaluation with
+//! hash-indexed joins.
+//!
+//! # Examples
+//!
+//! Transitive closure:
+//!
+//! ```
+//! use namer_datalog::{Program, Term};
+//!
+//! let mut prog = Program::new();
+//! let edge = prog.relation("edge", 2);
+//! let path = prog.relation("path", 2);
+//! let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+//!
+//! prog.rule(path.atom([x, y]), [edge.atom([x, y]).pos()]);
+//! prog.rule(
+//!     path.atom([x, z]),
+//!     [edge.atom([x, y]).pos(), path.atom([y, z]).pos()],
+//! );
+//!
+//! let mut db = prog.database();
+//! db.insert(edge, [1, 2]);
+//! db.insert(edge, [2, 3]);
+//! let out = prog.eval(db)?;
+//! assert!(out.contains(path, &[1, 3]));
+//! # Ok::<(), namer_datalog::StratifyError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod eval;
+mod program;
+mod stratify;
+
+pub use database::Database;
+pub use program::{Atom, Literal, Program, RelId, Rule, Term};
+pub use stratify::StratifyError;

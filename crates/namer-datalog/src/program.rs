@@ -1,0 +1,356 @@
+//! Programs: relations, terms, atoms, and rules.
+
+use crate::database::Database;
+use crate::eval;
+use crate::stratify::{self, StratifyError};
+use std::fmt;
+
+/// Handle to a declared relation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub(crate) u32);
+
+impl RelId {
+    /// Builds an atom of this relation.
+    ///
+    /// # Panics
+    ///
+    /// [`Program::rule`] panics later if the term count does not match the
+    /// declared arity.
+    pub fn atom(self, terms: impl IntoIterator<Item = Term>) -> Atom {
+        Atom {
+            relation: self,
+            terms: terms.into_iter().collect(),
+        }
+    }
+
+    /// The dense index of this relation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A rule variable, identified by a small integer.
+    Var(u32),
+    /// A constant value.
+    Const(u64),
+}
+
+impl Term {
+    /// Shorthand for [`Term::Var`].
+    pub fn var(v: u32) -> Term {
+        Term::Var(v)
+    }
+
+    /// Shorthand for [`Term::Const`].
+    pub fn cst(c: u64) -> Term {
+        Term::Const(c)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "V{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A relation applied to terms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// The relation.
+    pub relation: RelId,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Wraps the atom as a positive body literal.
+    pub fn pos(self) -> Literal {
+        Literal {
+            atom: self,
+            negated: false,
+        }
+    }
+
+    /// Wraps the atom as a negated body literal.
+    ///
+    /// Negation is *stratified*: the negated relation must be fully computed
+    /// in an earlier stratum, or [`Program::eval`] fails.
+    pub fn neg(self) -> Literal {
+        Literal {
+            atom: self,
+            negated: true,
+        }
+    }
+}
+
+/// A body literal: an atom, possibly negated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// `true` for `!atom`.
+    pub negated: bool,
+}
+
+/// A Horn rule `head :- body`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// Body literals, evaluated left to right.
+    pub body: Vec<Literal>,
+}
+
+pub(crate) struct RelDecl {
+    pub name: String,
+    pub arity: usize,
+}
+
+/// A Datalog program: declared relations plus rules.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Default)]
+pub struct Program {
+    pub(crate) relations: Vec<RelDecl>,
+    pub(crate) rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Declares a relation with the given name and arity.
+    pub fn relation(&mut self, name: &str, arity: usize) -> RelId {
+        let id = RelId(u32::try_from(self.relations.len()).expect("too many relations"));
+        self.relations.push(RelDecl {
+            name: name.to_owned(),
+            arity,
+        });
+        id
+    }
+
+    /// Number of declared relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The declared arity of `rel`.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.relations[rel.index()].arity
+    }
+
+    /// The declared name of `rel`.
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.relations[rel.index()].name
+    }
+
+    /// Adds a rule `head :- body`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any atom's term count does not match its relation's declared
+    /// arity, or if a head variable does not occur in a positive body literal
+    /// (unsafe rule), or if a negated literal contains a variable that no
+    /// positive literal binds.
+    pub fn rule(&mut self, head: Atom, body: impl IntoIterator<Item = Literal>) {
+        let body: Vec<Literal> = body.into_iter().collect();
+        self.check_arity(&head);
+        for lit in &body {
+            self.check_arity(&lit.atom);
+        }
+        let bound: Vec<u32> = body
+            .iter()
+            .filter(|l| !l.negated)
+            .flat_map(|l| l.atom.terms.iter())
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        for t in &head.terms {
+            if let Term::Var(v) = t {
+                assert!(
+                    bound.contains(v),
+                    "unsafe rule: head variable V{v} not bound by a positive body literal"
+                );
+            }
+        }
+        for lit in body.iter().filter(|l| l.negated) {
+            for t in &lit.atom.terms {
+                if let Term::Var(v) = t {
+                    assert!(
+                        bound.contains(v),
+                        "unsafe rule: variable V{v} in negated literal not bound positively"
+                    );
+                }
+            }
+        }
+        self.rules.push(Rule { head, body });
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Creates an empty database shaped for this program's relations.
+    pub fn database(&self) -> Database {
+        Database::new(self.relations.len())
+    }
+
+    /// Runs the program to fixpoint over `db` and returns the saturated
+    /// database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratifyError`] if negation is used cyclically.
+    pub fn eval(&self, db: Database) -> Result<Database, StratifyError> {
+        let strata = stratify::stratify(self)?;
+        Ok(eval::run(self, db, &strata))
+    }
+
+    fn check_arity(&self, atom: &Atom) {
+        let decl = &self.relations[atom.relation.index()];
+        assert_eq!(
+            atom.terms.len(),
+            decl.arity,
+            "relation {} has arity {}, atom has {} terms",
+            decl.name,
+            decl.arity,
+            atom.terms.len()
+        );
+    }
+}
+
+impl Program {
+    /// Renders one rule in classic Datalog syntax
+    /// (`path(V0, V2) :- edge(V0, V1), path(V1, V2).`).
+    pub fn rule_to_string(&self, rule: &Rule) -> String {
+        let atom = |a: &Atom| {
+            let terms: Vec<String> = a.terms.iter().map(|t| t.to_string()).collect();
+            format!("{}({})", self.name(a.relation), terms.join(", "))
+        };
+        let body: Vec<String> = rule
+            .body
+            .iter()
+            .map(|l| {
+                if l.negated {
+                    format!("!{}", atom(&l.atom))
+                } else {
+                    atom(&l.atom)
+                }
+            })
+            .collect();
+        if body.is_empty() {
+            format!("{}.", atom(&rule.head))
+        } else {
+            format!("{} :- {}.", atom(&rule.head), body.join(", "))
+        }
+    }
+
+    /// Renders the whole program, one rule per line.
+    pub fn to_source(&self) -> String {
+        self.rules
+            .iter()
+            .map(|r| self.rule_to_string(r))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("relations", &self.relations.len())
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_mismatch_panics() {
+        let mut p = Program::new();
+        let r = p.relation("r", 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.rule(r.atom([Term::var(0)]), []);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unsafe_head_variable_panics() {
+        let mut p = Program::new();
+        let r = p.relation("r", 1);
+        let s = p.relation("s", 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.rule(r.atom([Term::var(7)]), [s.atom([Term::var(0)]).pos()]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unsafe_negated_variable_panics() {
+        let mut p = Program::new();
+        let r = p.relation("r", 1);
+        let s = p.relation("s", 1);
+        let t = p.relation("t", 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.rule(
+                r.atom([Term::var(0)]),
+                [s.atom([Term::var(0)]).pos(), t.atom([Term::var(1)]).neg()],
+            );
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn rules_render_in_datalog_syntax() {
+        let mut p = Program::new();
+        let e = p.relation("edge", 2);
+        let t = p.relation("path", 2);
+        let n = p.relation("noedge", 2);
+        let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+        p.rule(t.atom([x, y]), [e.atom([x, y]).pos()]);
+        p.rule(
+            t.atom([x, z]),
+            [e.atom([x, y]).pos(), t.atom([y, z]).pos()],
+        );
+        p.rule(
+            n.atom([x, y]),
+            [t.atom([x, y]).pos(), e.atom([x, y]).neg()],
+        );
+        let src = p.to_source();
+        assert!(src.contains("path(V0, V1) :- edge(V0, V1)."), "{src}");
+        assert!(src.contains("path(V0, V2) :- edge(V0, V1), path(V1, V2)."), "{src}");
+        assert!(src.contains("noedge(V0, V1) :- path(V0, V1), !edge(V0, V1)."), "{src}");
+    }
+
+    #[test]
+    fn constant_fact_renders_without_body() {
+        let mut p = Program::new();
+        let e = p.relation("edge", 2);
+        p.rule(e.atom([Term::cst(1), Term::cst(2)]), []);
+        assert!(p.to_source().contains("edge(1, 2)."));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let mut p = Program::new();
+        let r = p.relation("edge", 2);
+        assert_eq!(p.name(r), "edge");
+        assert_eq!(p.arity(r), 2);
+        assert_eq!(p.relation_count(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Stratification of programs with negation.
+
+use crate::program::Program;
+use std::fmt;
+
+/// Error returned when a program uses negation through recursion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StratifyError {
+    /// Name of a relation on the offending cycle.
+    pub relation: String,
+}
+
+impl fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program is not stratifiable: relation {} depends negatively on itself",
+            self.relation
+        )
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+/// Assigns each relation a stratum such that positive dependencies stay
+/// within the same or an earlier stratum and negative dependencies point
+/// strictly to earlier strata. Returns, per stratum, the indices of the rules
+/// whose head lives in it.
+///
+/// Uses the classic iterative relabelling algorithm: start everything at
+/// stratum 0 and raise head strata until stable; more than `R` raises of one
+/// relation (where `R` is the relation count) means a negative cycle.
+pub fn stratify(prog: &Program) -> Result<Vec<Vec<usize>>, StratifyError> {
+    let n = prog.relation_count();
+    let mut stratum = vec![0usize; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in &prog.rules {
+            let head = rule.head.relation.index();
+            for lit in &rule.body {
+                let dep = lit.atom.relation.index();
+                let required = if lit.negated {
+                    stratum[dep] + 1
+                } else {
+                    stratum[dep]
+                };
+                if stratum[head] < required {
+                    stratum[head] = required;
+                    changed = true;
+                    if stratum[head] > n {
+                        return Err(StratifyError {
+                            relation: prog.name(rule.head.relation).to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let max = stratum.iter().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); max + 1];
+    for (i, rule) in prog.rules.iter().enumerate() {
+        strata[stratum[rule.head.relation.index()]].push(i);
+    }
+    Ok(strata)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Program, Term};
+
+    #[test]
+    fn positive_recursion_is_one_stratum() {
+        let mut p = Program::new();
+        let e = p.relation("e", 2);
+        let t = p.relation("t", 2);
+        let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+        p.rule(t.atom([x, y]), [e.atom([x, y]).pos()]);
+        p.rule(t.atom([x, z]), [e.atom([x, y]).pos(), t.atom([y, z]).pos()]);
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn negation_forces_later_stratum() {
+        let mut p = Program::new();
+        let base = p.relation("base", 1);
+        let bad = p.relation("bad", 1);
+        let good = p.relation("good", 1);
+        let x = Term::var(0);
+        p.rule(bad.atom([x]), [base.atom([x]).pos()]);
+        p.rule(good.atom([x]), [base.atom([x]).pos(), bad.atom([x]).neg()]);
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0], vec![0]);
+        assert_eq!(strata[1], vec![1]);
+    }
+
+    #[test]
+    fn negative_cycle_is_rejected() {
+        let mut p = Program::new();
+        let a = p.relation("a", 1);
+        let b = p.relation("b", 1);
+        let base = p.relation("base", 1);
+        let x = Term::var(0);
+        p.rule(a.atom([x]), [base.atom([x]).pos(), b.atom([x]).neg()]);
+        p.rule(b.atom([x]), [base.atom([x]).pos(), a.atom([x]).neg()]);
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn empty_program_is_trivially_stratified() {
+        let p = Program::new();
+        assert_eq!(stratify(&p).unwrap().len(), 1);
+    }
+}

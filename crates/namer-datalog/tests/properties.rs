@@ -1,0 +1,109 @@
+//! Property-based tests: the Datalog engine against reference
+//! implementations.
+
+use namer_datalog::{Program, Term};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Reference transitive closure by iterated squaring.
+fn reference_closure(edges: &[(u64, u64)]) -> HashSet<(u64, u64)> {
+    let mut closure: HashSet<(u64, u64)> = edges.iter().copied().collect();
+    loop {
+        let mut added = Vec::new();
+        for &(a, b) in &closure {
+            for &(c, d) in &closure {
+                if b == c && !closure.contains(&(a, d)) {
+                    added.push((a, d));
+                }
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        closure.extend(added);
+    }
+    closure
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn closure_matches_reference(edges in proptest::collection::vec((0u64..12, 0u64..12), 0..30)) {
+        let mut p = Program::new();
+        let e = p.relation("e", 2);
+        let t = p.relation("t", 2);
+        let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+        p.rule(t.atom([x, y]), [e.atom([x, y]).pos()]);
+        p.rule(t.atom([x, z]), [e.atom([x, y]).pos(), t.atom([y, z]).pos()]);
+        let mut db = p.database();
+        for &(a, b) in &edges {
+            db.insert(e, [a, b]);
+        }
+        let out = p.eval(db).expect("stratified");
+        let expected = reference_closure(&edges);
+        prop_assert_eq!(out.len(t), expected.len());
+        for &(a, b) in &expected {
+            prop_assert!(out.contains(t, &[a, b]));
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loops(
+        r_rows in proptest::collection::vec((0u64..8, 0u64..8), 0..20),
+        s_rows in proptest::collection::vec((0u64..8, 0u64..8), 0..20),
+    ) {
+        let mut p = Program::new();
+        let r = p.relation("r", 2);
+        let s = p.relation("s", 2);
+        let j = p.relation("j", 2);
+        let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+        p.rule(j.atom([x, z]), [r.atom([x, y]).pos(), s.atom([y, z]).pos()]);
+        let mut db = p.database();
+        for &(a, b) in &r_rows {
+            db.insert(r, [a, b]);
+        }
+        for &(a, b) in &s_rows {
+            db.insert(s, [a, b]);
+        }
+        let out = p.eval(db).expect("stratified");
+        let mut expected = HashSet::new();
+        for &(a, b) in &r_rows {
+            for &(c, d) in &s_rows {
+                if b == c {
+                    expected.insert((a, d));
+                }
+            }
+        }
+        prop_assert_eq!(out.len(j), expected.len());
+        for (a, d) in expected {
+            prop_assert!(out.contains(j, &[a, d]));
+        }
+    }
+
+    #[test]
+    fn negation_computes_set_difference(
+        base in proptest::collection::hash_set(0u64..20, 0..15),
+        bad in proptest::collection::hash_set(0u64..20, 0..15),
+    ) {
+        let mut p = Program::new();
+        let b = p.relation("base", 1);
+        let x_rel = p.relation("bad", 1);
+        let good = p.relation("good", 1);
+        let v = Term::var(0);
+        p.rule(good.atom([v]), [b.atom([v]).pos(), x_rel.atom([v]).neg()]);
+        let mut db = p.database();
+        for &i in &base {
+            db.insert(b, [i]);
+        }
+        for &i in &bad {
+            db.insert(x_rel, [i]);
+        }
+        let out = p.eval(db).expect("stratified");
+        let expected: HashSet<u64> = base.difference(&bad).copied().collect();
+        prop_assert_eq!(out.len(good), expected.len());
+        for i in expected {
+            prop_assert!(out.contains(good, &[i]));
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Binary-classification metrics and cross-validation, matching the
+//! evaluation protocol of §5.1–§5.2 (repeated 80/20 splits, model selection
+//! across SVM / LogReg / LDA).
+
+use crate::linear::{ModelKind, TrainConfig};
+use crate::matrix::Matrix;
+use crate::pipeline::{Pipeline, PipelineConfig};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Accuracy / precision / recall / F1 for a binary classifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// TP / (TP + FP); `0` when nothing was predicted positive.
+    pub precision: f64,
+    /// TP / (TP + FN); `0` when there are no positives.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Computes metrics from predictions and gold labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn compute(predicted: &[bool], gold: &[bool]) -> Metrics {
+        assert_eq!(predicted.len(), gold.len(), "length mismatch");
+        assert!(!gold.is_empty(), "no samples");
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut tn = 0.0;
+        let mut fne = 0.0;
+        for (&p, &g) in predicted.iter().zip(gold) {
+            match (p, g) {
+                (true, true) => tp += 1.0,
+                (true, false) => fp += 1.0,
+                (false, false) => tn += 1.0,
+                (false, true) => fne += 1.0,
+            }
+        }
+        let accuracy = (tp + tn) / gold.len() as f64;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fne > 0.0 { tp / (tp + fne) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Metrics {
+            accuracy,
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// Element-wise mean of several metric sets.
+    pub fn mean(all: &[Metrics]) -> Metrics {
+        let n = all.len().max(1) as f64;
+        Metrics {
+            accuracy: all.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            precision: all.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: all.iter().map(|m| m.recall).sum::<f64>() / n,
+            f1: all.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Repeated random-split validation: `repeats` × (80 % train / 20 % test),
+/// the protocol of §5.2 ("we randomly took 80 % of labeled samples for
+/// training … repeated this 30 times").
+pub fn repeated_split_validation(
+    kind: ModelKind,
+    x: &Matrix,
+    y: &[bool],
+    repeats: usize,
+    train_fraction: f64,
+    pipeline_config: &PipelineConfig,
+    seed: u64,
+) -> Metrics {
+    let n = x.rows();
+    let n_train = ((n as f64) * train_fraction).round() as usize;
+    let n_train = n_train.clamp(1, n.saturating_sub(1).max(1));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut all = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        let (train_idx, test_idx) = idx.split_at(n_train);
+        let metrics = eval_split(kind, x, y, train_idx, test_idx, pipeline_config);
+        all.push(metrics);
+    }
+    Metrics::mean(&all)
+}
+
+/// Plain k-fold cross-validation.
+pub fn k_fold_validation(
+    kind: ModelKind,
+    x: &Matrix,
+    y: &[bool],
+    k: usize,
+    pipeline_config: &PipelineConfig,
+    seed: u64,
+) -> Metrics {
+    let n = x.rows();
+    let k = k.clamp(2, n.max(2));
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut all = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, v)| v)
+            .collect();
+        let train_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, v)| v)
+            .collect();
+        if test_idx.is_empty() || train_idx.is_empty() {
+            continue;
+        }
+        all.push(eval_split(kind, x, y, &train_idx, &test_idx, pipeline_config));
+    }
+    Metrics::mean(&all)
+}
+
+fn eval_split(
+    kind: ModelKind,
+    x: &Matrix,
+    y: &[bool],
+    train_idx: &[usize],
+    test_idx: &[usize],
+    pipeline_config: &PipelineConfig,
+) -> Metrics {
+    let train_x = Matrix::from_rows(
+        &train_idx
+            .iter()
+            .map(|&i| x.row(i).to_vec())
+            .collect::<Vec<_>>(),
+    );
+    let train_y: Vec<bool> = train_idx.iter().map(|&i| y[i]).collect();
+    let pipeline = Pipeline::train(kind, &train_x, &train_y, pipeline_config);
+    let predicted: Vec<bool> = test_idx.iter().map(|&i| pipeline.predict(x.row(i))).collect();
+    let gold: Vec<bool> = test_idx.iter().map(|&i| y[i]).collect();
+    Metrics::compute(&predicted, &gold)
+}
+
+/// Cross-validated model selection over the three candidates of §5.1.
+/// Returns `(best kind, its metrics)`, selecting by F1 then accuracy.
+pub fn select_model(
+    x: &Matrix,
+    y: &[bool],
+    pipeline_config: &PipelineConfig,
+    seed: u64,
+) -> (ModelKind, Metrics) {
+    let candidates = [ModelKind::SvmLinear, ModelKind::LogReg, ModelKind::Lda];
+    let mut best: Option<(ModelKind, Metrics)> = None;
+    for kind in candidates {
+        let m = k_fold_validation(kind, x, y, 5, pipeline_config, seed);
+        let better = match best {
+            None => true,
+            Some((_, cur)) => {
+                m.f1 > cur.f1 + 1e-12 || (m.f1 >= cur.f1 - 1e-12 && m.accuracy > cur.accuracy)
+            }
+        };
+        if better {
+            best = Some((kind, m));
+        }
+    }
+    best.expect("at least one candidate")
+}
+
+/// Trains the final model on the full labeled set with the given kind.
+pub fn train_final(
+    kind: ModelKind,
+    x: &Matrix,
+    y: &[bool],
+    pipeline_config: &PipelineConfig,
+) -> Pipeline {
+    Pipeline::train(kind, x, y, pipeline_config)
+}
+
+/// Re-exported for convenience in downstream crates.
+pub use crate::linear::TrainConfig as LinearTrainConfig;
+
+#[allow(unused)]
+fn _assert_train_config_public(c: TrainConfig) -> TrainConfig {
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let c = if pos { 1.5 } else { -1.5 };
+            rows.push(vec![
+                c + rng.gen_range(-1.0..1.0),
+                c + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ]);
+            labels.push(pos);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn metrics_on_perfect_predictions() {
+        let m = Metrics::compute(&[true, false, true], &[true, false, true]);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn metrics_on_all_negative_predictions() {
+        let m = Metrics::compute(&[false, false], &[true, false]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy, 0.5);
+    }
+
+    #[test]
+    fn metrics_mixed() {
+        // TP=1, FP=1, FN=1, TN=1.
+        let m = Metrics::compute(&[true, true, false, false], &[true, false, true, false]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_split_scores_high_on_separable_data() {
+        let (x, y) = blobs(120, 11);
+        let m = repeated_split_validation(
+            ModelKind::SvmLinear,
+            &x,
+            &y,
+            10,
+            0.8,
+            &PipelineConfig::default(),
+            1,
+        );
+        assert!(m.accuracy > 0.85, "{m:?}");
+    }
+
+    #[test]
+    fn k_fold_scores_high_on_separable_data() {
+        let (x, y) = blobs(100, 12);
+        let m = k_fold_validation(ModelKind::Lda, &x, &y, 5, &PipelineConfig::default(), 2);
+        assert!(m.accuracy > 0.85, "{m:?}");
+    }
+
+    #[test]
+    fn select_model_returns_a_reasonable_candidate() {
+        let (x, y) = blobs(100, 13);
+        let (kind, metrics) = select_model(&x, &y, &PipelineConfig::default(), 3);
+        assert!(metrics.f1 > 0.8, "{kind} {metrics:?}");
+    }
+
+    #[test]
+    fn validation_is_deterministic() {
+        let (x, y) = blobs(80, 14);
+        let a = k_fold_validation(ModelKind::LogReg, &x, &y, 4, &PipelineConfig::default(), 5);
+        let b = k_fold_validation(ModelKind::LogReg, &x, &y, 4, &PipelineConfig::default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn metrics_reject_mismatched_lengths() {
+        let _ = Metrics::compute(&[true], &[true, false]);
+    }
+}

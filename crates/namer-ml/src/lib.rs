@@ -1,0 +1,40 @@
+//! Small-supervision classifier stack for the Namer reproduction.
+//!
+//! Implements from scratch everything §4.2 / §5.1 of the paper needs:
+//!
+//! * [`matrix`] — dense matrices, covariance, Jacobi eigendecomposition,
+//!   Gauss–Jordan inversion;
+//! * [`preprocess`] — feature standardisation and PCA;
+//! * [`linear`] — linear-kernel SVM (Pegasos), logistic regression, LDA;
+//! * [`pipeline`] — standardise → PCA → linear model, with Table 9-style
+//!   interpretable feature weights;
+//! * [`cv`] — metrics, k-fold and repeated 80/20 validation, and
+//!   cross-validated model selection.
+//!
+//! # Examples
+//!
+//! ```
+//! use namer_ml::{Matrix, ModelKind, Pipeline, PipelineConfig};
+//!
+//! let x = Matrix::from_rows(&[
+//!     vec![2.0, 2.1], vec![1.8, 2.2], vec![-2.0, -1.9], vec![-2.2, -2.0],
+//! ]);
+//! let y = [true, true, false, false];
+//! let p = Pipeline::train(ModelKind::SvmLinear, &x, &y, &PipelineConfig::default());
+//! assert!(p.predict(&[2.0, 2.0]));
+//! assert!(!p.predict(&[-2.0, -2.0]));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod linear;
+pub mod matrix;
+pub mod pipeline;
+pub mod preprocess;
+
+pub use cv::{k_fold_validation, repeated_split_validation, select_model, Metrics};
+pub use linear::{LinearModel, ModelKind, TrainConfig};
+pub use matrix::Matrix;
+pub use pipeline::{Pipeline, PipelineConfig};
+pub use preprocess::{Pca, Standardizer};

@@ -1,0 +1,330 @@
+//! Linear binary classifiers: linear-kernel SVM, logistic regression, and
+//! linear discriminant analysis — the three model candidates of §5.1.
+
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which linear model to train.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Support vector machine with the linear kernel (hinge loss + L2),
+    /// trained with the Pegasos stochastic subgradient method.
+    SvmLinear,
+    /// Logistic regression trained by full-batch gradient descent.
+    LogReg,
+    /// Two-class linear discriminant analysis (closed form).
+    Lda,
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ModelKind::SvmLinear => "svm-linear",
+            ModelKind::LogReg => "logreg",
+            ModelKind::Lda => "lda",
+        })
+    }
+}
+
+/// A trained linear decision function `sign(w·x + b)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+    /// Which trainer produced the model.
+    pub kind: ModelKind,
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// L2 regularisation strength (SVM λ; LogReg weight decay).
+    pub lambda: f64,
+    /// Iterations (SVM steps; LogReg epochs).
+    pub iterations: usize,
+    /// LogReg learning rate.
+    pub learning_rate: f64,
+    /// Deterministic RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            lambda: 1e-2,
+            iterations: 4000,
+            learning_rate: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+impl LinearModel {
+    /// Trains a model of `kind` on `(x, y)` with `y[i] ∈ {false, true}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `x.rows() != y.len()`.
+    pub fn train(kind: ModelKind, x: &Matrix, y: &[bool], config: &TrainConfig) -> LinearModel {
+        assert!(x.rows() > 0, "empty training set");
+        assert_eq!(x.rows(), y.len(), "row/label count mismatch");
+        match kind {
+            ModelKind::SvmLinear => train_svm(x, y, config),
+            ModelKind::LogReg => train_logreg(x, y, config),
+            ModelKind::Lda => train_lda(x, y),
+        }
+    }
+
+    /// The decision value `w·x + b`.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(row)
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// The predicted class.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.decision(row) > 0.0
+    }
+}
+
+fn train_svm(x: &Matrix, y: &[bool], config: &TrainConfig) -> LinearModel {
+    let d = x.cols();
+    let n = x.rows();
+    let mut w = vec![0.0; d];
+    let mut b = 0.0;
+    // Suffix averaging stabilises the stochastic iterates (averaged Pegasos).
+    let mut w_avg = vec![0.0; d];
+    let mut b_avg = 0.0;
+    let mut avg_count = 0u64;
+    let avg_start = config.iterations / 2;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let lambda = config.lambda;
+    let mut t = 0usize;
+    while t < config.iterations {
+        order.shuffle(&mut rng);
+        for &i in &order {
+            t += 1;
+            let eta = 1.0 / (lambda * (t as f64 + 1.0));
+            let yi = if y[i] { 1.0 } else { -1.0 };
+            let margin = yi * (dot(&w, x.row(i)) + b);
+            for wj in w.iter_mut() {
+                *wj *= 1.0 - eta * lambda;
+            }
+            if margin < 1.0 {
+                for (wj, &xj) in w.iter_mut().zip(x.row(i)) {
+                    *wj += eta * yi * xj;
+                }
+                b += eta * yi * 0.1;
+            }
+            if t >= avg_start {
+                for (a, &wj) in w_avg.iter_mut().zip(&w) {
+                    *a += wj;
+                }
+                b_avg += b;
+                avg_count += 1;
+            }
+            if t >= config.iterations {
+                break;
+            }
+        }
+    }
+    let c = (avg_count.max(1)) as f64;
+    LinearModel {
+        weights: w_avg.into_iter().map(|a| a / c).collect(),
+        bias: b_avg / c,
+        kind: ModelKind::SvmLinear,
+    }
+}
+
+fn train_logreg(x: &Matrix, y: &[bool], config: &TrainConfig) -> LinearModel {
+    let d = x.cols();
+    let n = x.rows();
+    let mut w = vec![0.0; d];
+    let mut b = 0.0;
+    for _ in 0..config.iterations {
+        let mut gw = vec![0.0; d];
+        let mut gb = 0.0;
+        for i in 0..n {
+            let z = dot(&w, x.row(i)) + b;
+            let p = 1.0 / (1.0 + (-z).exp());
+            let err = p - if y[i] { 1.0 } else { 0.0 };
+            for (g, &xj) in gw.iter_mut().zip(x.row(i)) {
+                *g += err * xj;
+            }
+            gb += err;
+        }
+        let scale = config.learning_rate / n as f64;
+        for (wj, g) in w.iter_mut().zip(&gw) {
+            *wj -= scale * g + config.learning_rate * config.lambda * *wj;
+        }
+        b -= scale * gb;
+    }
+    LinearModel {
+        weights: w,
+        bias: b,
+        kind: ModelKind::LogReg,
+    }
+}
+
+fn train_lda(x: &Matrix, y: &[bool]) -> LinearModel {
+    let d = x.cols();
+    let mut mean_pos = vec![0.0; d];
+    let mut mean_neg = vec![0.0; d];
+    let (mut npos, mut nneg) = (0usize, 0usize);
+    for i in 0..x.rows() {
+        let target = if y[i] {
+            npos += 1;
+            &mut mean_pos
+        } else {
+            nneg += 1;
+            &mut mean_neg
+        };
+        for (m, &v) in target.iter_mut().zip(x.row(i)) {
+            *m += v;
+        }
+    }
+    for m in &mut mean_pos {
+        *m /= npos.max(1) as f64;
+    }
+    for m in &mut mean_neg {
+        *m /= nneg.max(1) as f64;
+    }
+    // Pooled within-class scatter, ridge-regularised.
+    let mut scatter = Matrix::zeros(d, d);
+    for i in 0..x.rows() {
+        let mean = if y[i] { &mean_pos } else { &mean_neg };
+        for a in 0..d {
+            let da = x[(i, a)] - mean[a];
+            for b in 0..d {
+                scatter[(a, b)] += da * (x[(i, b)] - mean[b]);
+            }
+        }
+    }
+    let denom = (x.rows().saturating_sub(2)).max(1) as f64;
+    for a in 0..d {
+        for b in 0..d {
+            scatter[(a, b)] /= denom;
+        }
+        scatter[(a, a)] += 1e-6;
+    }
+    let inv = scatter
+        .inverse()
+        .expect("ridge-regularised scatter is invertible");
+    let diff: Vec<f64> = mean_pos
+        .iter()
+        .zip(&mean_neg)
+        .map(|(p, n)| p - n)
+        .collect();
+    let w = inv.matvec(&diff);
+    // Threshold midway between the projected class means, prior-adjusted.
+    let proj_pos = dot(&w, &mean_pos);
+    let proj_neg = dot(&w, &mean_neg);
+    let prior = ((npos.max(1) as f64) / (nneg.max(1) as f64)).ln();
+    let bias = -(proj_pos + proj_neg) / 2.0 + prior;
+    LinearModel {
+        weights: w,
+        bias,
+        kind: ModelKind::Lda,
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Linearly separable blobs around (±2, ±2).
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let c = if pos { 2.0 } else { -2.0 };
+            rows.push(vec![
+                c + rng.gen_range(-0.8..0.8),
+                c + rng.gen_range(-0.8..0.8),
+            ]);
+            labels.push(pos);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    fn accuracy(model: &LinearModel, x: &Matrix, y: &[bool]) -> f64 {
+        let correct = (0..x.rows())
+            .filter(|&i| model.predict(x.row(i)) == y[i])
+            .count();
+        correct as f64 / x.rows() as f64
+    }
+
+    #[test]
+    fn svm_separates_blobs() {
+        let (x, y) = blobs(200, 1);
+        let m = LinearModel::train(ModelKind::SvmLinear, &x, &y, &TrainConfig::default());
+        assert!(accuracy(&m, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn logreg_separates_blobs() {
+        let (x, y) = blobs(200, 2);
+        let m = LinearModel::train(ModelKind::LogReg, &x, &y, &TrainConfig::default());
+        assert!(accuracy(&m, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn lda_separates_blobs() {
+        let (x, y) = blobs(200, 3);
+        let m = LinearModel::train(ModelKind::Lda, &x, &y, &TrainConfig::default());
+        assert!(accuracy(&m, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = blobs(100, 4);
+        let a = LinearModel::train(ModelKind::SvmLinear, &x, &y, &TrainConfig::default());
+        let b = LinearModel::train(ModelKind::SvmLinear, &x, &y, &TrainConfig::default());
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    fn svm_weights_point_towards_positive_class() {
+        let (x, y) = blobs(200, 5);
+        let m = LinearModel::train(ModelKind::SvmLinear, &x, &y, &TrainConfig::default());
+        assert!(m.weights[0] > 0.0 && m.weights[1] > 0.0, "{:?}", m.weights);
+    }
+
+    #[test]
+    fn noisy_labels_still_learnable() {
+        let (x, mut y) = blobs(200, 6);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for yi in y.iter_mut() {
+            if rng.gen_bool(0.05) {
+                *yi = !*yi;
+            }
+        }
+        let m = LinearModel::train(ModelKind::SvmLinear, &x, &y, &TrainConfig::default());
+        assert!(accuracy(&m, &x, &y) > 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_set_panics() {
+        let x = Matrix::zeros(0, 2);
+        let _ = LinearModel::train(ModelKind::Lda, &x, &[], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,379 @@
+//! Dense row-major matrices and the linear algebra the classifier stack
+//! needs: products, covariance, symmetric eigendecomposition (cyclic
+//! Jacobi), and Gauss–Jordan inversion.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Sample covariance of the rows (features in columns), with `ridge`
+    /// added on the diagonal for conditioning.
+    pub fn covariance(&self, ridge: f64) -> Matrix {
+        let n = self.rows.max(1) as f64;
+        let d = self.cols;
+        let mut mean = vec![0.0; d];
+        for i in 0..self.rows {
+            for (j, m) in mean.iter_mut().enumerate() {
+                *m += self[(i, j)];
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut cov = Matrix::zeros(d, d);
+        for i in 0..self.rows {
+            for a in 0..d {
+                let da = self[(i, a)] - mean[a];
+                for b in a..d {
+                    cov[(a, b)] += da * (self[(i, b)] - mean[b]);
+                }
+            }
+        }
+        let denom = (n - 1.0).max(1.0);
+        for a in 0..d {
+            for b in a..d {
+                let v = cov[(a, b)] / denom;
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+        }
+        for a in 0..d {
+            cov[(a, a)] += ridge;
+        }
+        cov
+    }
+
+    /// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+    ///
+    /// Returns `(eigenvalues, eigenvectors)` sorted by decreasing eigenvalue;
+    /// eigenvectors are the *columns* of the returned matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetric_eigen(&self) -> (Vec<f64>, Matrix) {
+        assert_eq!(self.rows, self.cols, "matrix must be square");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+        for _sweep in 0..100 {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += a[(i, j)] * a[(i, j)];
+                }
+            }
+            if off < 1e-20 {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() < 1e-15 {
+                        continue;
+                    }
+                    let theta = (a[(q, q)] - a[(p, p)]) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite eigenvalues"));
+        let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for k in 0..n {
+                vectors[(k, new_col)] = v[(k, old_col)];
+            }
+        }
+        (values, vectors)
+    }
+
+    /// Inverse via Gauss–Jordan elimination with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is (numerically) singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "matrix must be square");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&i, &j| {
+                    a[(i, col)]
+                        .abs()
+                        .partial_cmp(&a[(j, col)].abs())
+                        .expect("finite entries")
+                })
+                .expect("non-empty range");
+            if a[(pivot, col)].abs() < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.data.swap(pivot * n + j, col * n + j);
+                    inv.data.swap(pivot * n + j, col * n + j);
+                }
+            }
+            let d = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= d;
+                inv[(col, j)] /= d;
+            }
+            for i in 0..n {
+                if i == col {
+                    continue;
+                }
+                let f = a[(i, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a[(i, j)] -= f * a[(col, j)];
+                    inv[(i, j)] -= f * inv[(col, j)];
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert!(approx(c[(0, 0)], 19.0) && approx(c[(1, 1)], 50.0));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_features() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ]);
+        let c = m.covariance(0.0);
+        assert!(approx(c[(0, 0)], 1.0));
+        assert!(approx(c[(0, 1)], 2.0));
+        assert!(approx(c[(1, 1)], 4.0));
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]);
+        let (vals, _) = m.symmetric_eigen();
+        assert!(approx(vals[0], 3.0) && approx(vals[1], 1.0));
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (vals, vecs) = m.symmetric_eigen();
+        // A = V Λ Vᵀ
+        let mut lam = Matrix::zeros(2, 2);
+        lam[(0, 0)] = vals[0];
+        lam[(1, 1)] = vals[1];
+        let rec = vecs.matmul(&lam).matmul(&vecs.transpose());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(rec[(i, j)], m[(i, j)]), "{rec}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(m.inverse().is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! The full classifier pipeline of §5.1: standardisation → PCA → linear
+//! model, with interpretable per-feature weights (Table 9).
+
+use crate::linear::{LinearModel, ModelKind, TrainConfig};
+use crate::matrix::Matrix;
+use crate::preprocess::{Pca, Standardizer};
+use serde::{Deserialize, Serialize};
+
+/// Pipeline hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Apply PCA after standardisation (paper: yes).
+    pub use_pca: bool,
+    /// Variance fraction PCA must retain.
+    pub pca_variance: f64,
+    /// Linear-model training parameters.
+    pub train: TrainConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            use_pca: true,
+            pca_variance: 0.99,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// A trained standardise → (PCA) → linear-model pipeline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Pipeline {
+    standardizer: Standardizer,
+    pca: Option<Pca>,
+    model: LinearModel,
+}
+
+impl Pipeline {
+    /// Fits the preprocessing on `x` and trains the final model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or labels mismatch rows.
+    pub fn train(kind: ModelKind, x: &Matrix, y: &[bool], config: &PipelineConfig) -> Pipeline {
+        let standardizer = Standardizer::fit(x);
+        let xs = standardizer.transform(x);
+        let (pca, xt) = if config.use_pca {
+            let pca = Pca::fit(&xs, config.pca_variance);
+            let xt = pca.transform(&xs);
+            (Some(pca), xt)
+        } else {
+            (None, xs)
+        };
+        let model = LinearModel::train(kind, &xt, y, &config.train);
+        Pipeline {
+            standardizer,
+            pca,
+            model,
+        }
+    }
+
+    /// Decision value for one raw (unpreprocessed) feature row.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        let mut r = row.to_vec();
+        self.standardizer.transform_row(&mut r);
+        match &self.pca {
+            Some(p) => self.model.decision(&p.transform_row(&r)),
+            None => self.model.decision(&r),
+        }
+    }
+
+    /// Predicted class for one raw feature row.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.decision(row) > 0.0
+    }
+
+    /// Model weights expressed in *standardised original feature* space —
+    /// PCA weights are back-projected so each original feature keeps an
+    /// interpretable weight, as the paper reads them in Table 9.
+    pub fn feature_weights(&self) -> Vec<f64> {
+        match &self.pca {
+            Some(p) => p.back_project(&self.model.weights),
+            None => self.model.weights.clone(),
+        }
+    }
+
+    /// The trained model kind.
+    pub fn kind(&self) -> ModelKind {
+        self.model.kind
+    }
+
+    /// Number of raw input features.
+    pub fn input_dim(&self) -> usize {
+        self.standardizer.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let c = if pos { 2.0 } else { -2.0 };
+            // Feature scales differ wildly; standardisation must cope.
+            rows.push(vec![
+                100.0 * (c + rng.gen_range(-0.5..0.5)),
+                0.01 * (c + rng.gen_range(-0.5..0.5)),
+            ]);
+            labels.push(pos);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn pipeline_classifies_despite_scale_differences() {
+        let (x, y) = blobs(200, 21);
+        let p = Pipeline::train(ModelKind::SvmLinear, &x, &y, &PipelineConfig::default());
+        let correct = (0..x.rows()).filter(|&i| p.predict(x.row(i)) == y[i]).count();
+        assert!(correct as f64 / x.rows() as f64 > 0.95);
+    }
+
+    #[test]
+    fn pipeline_without_pca_also_works() {
+        let (x, y) = blobs(200, 22);
+        let config = PipelineConfig {
+            use_pca: false,
+            ..PipelineConfig::default()
+        };
+        let p = Pipeline::train(ModelKind::LogReg, &x, &y, &config);
+        let correct = (0..x.rows()).filter(|&i| p.predict(x.row(i)) == y[i]).count();
+        assert!(correct as f64 / x.rows() as f64 > 0.95);
+    }
+
+    #[test]
+    fn feature_weights_have_input_dimension() {
+        let (x, y) = blobs(100, 23);
+        let p = Pipeline::train(ModelKind::SvmLinear, &x, &y, &PipelineConfig::default());
+        assert_eq!(p.feature_weights().len(), 2);
+        assert_eq!(p.input_dim(), 2);
+    }
+
+    #[test]
+    fn both_informative_features_get_positive_weight() {
+        let (x, y) = blobs(300, 24);
+        let p = Pipeline::train(ModelKind::Lda, &x, &y, &PipelineConfig::default());
+        let w = p.feature_weights();
+        assert!(w[0] > 0.0 && w[1] > 0.0, "{w:?}");
+    }
+}

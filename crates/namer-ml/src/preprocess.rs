@@ -1,0 +1,220 @@
+//! Feature preprocessing: standardisation and principal component analysis,
+//! used as the paper uses them (§5.1: "feature standardization and principal
+//! component analysis as a preprocessing step").
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature standardisation to zero mean, unit variance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on `x` (features in columns).
+    pub fn fit(x: &Matrix) -> Standardizer {
+        let n = x.rows().max(1) as f64;
+        let d = x.cols();
+        let mut mean = vec![0.0; d];
+        for i in 0..x.rows() {
+            for (j, m) in mean.iter_mut().enumerate() {
+                *m += x[(i, j)];
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for i in 0..x.rows() {
+            for (j, v) in var.iter_mut().enumerate() {
+                let d = x[(i, j)] - mean[j];
+                *v += d * d;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Transforms one feature row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.mean[j]) / self.std[j];
+        }
+    }
+
+    /// Transforms a whole matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            for j in 0..out.cols() {
+                out[(i, j)] = (out[(i, j)] - self.mean[j]) / self.std[j];
+            }
+        }
+        out
+    }
+
+    /// Number of features the standardizer was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+/// Principal component analysis by eigendecomposition of the covariance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Pca {
+    /// Projection matrix: columns are the retained components.
+    components: Matrix,
+    /// Variance explained per retained component.
+    explained: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA keeping enough components to explain `variance_target`
+    /// (e.g. `0.99`) of the variance, with at least one component.
+    pub fn fit(x: &Matrix, variance_target: f64) -> Pca {
+        let cov = x.covariance(1e-9);
+        let (values, vectors) = cov.symmetric_eigen();
+        let total: f64 = values.iter().map(|v| v.max(0.0)).sum();
+        let mut keep = 0;
+        let mut cum = 0.0;
+        for &v in &values {
+            keep += 1;
+            cum += v.max(0.0);
+            if total > 0.0 && cum / total >= variance_target {
+                break;
+            }
+        }
+        let keep = keep.max(1);
+        let mut components = Matrix::zeros(x.cols(), keep);
+        for j in 0..keep {
+            for i in 0..x.cols() {
+                components[(i, j)] = vectors[(i, j)];
+            }
+        }
+        Pca {
+            components,
+            explained: values.into_iter().take(keep).collect(),
+        }
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Variance explained per retained component, in order.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained
+    }
+
+    /// Projects one row into component space.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        self.components.transpose().matvec(row)
+    }
+
+    /// Projects a whole matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.components)
+    }
+
+    /// Maps component-space weights back to original-feature weights
+    /// (`w_orig = V · w_pca`) so linear-model weights remain interpretable
+    /// per original feature (Table 9 of the paper).
+    pub fn back_project(&self, weights: &[f64]) -> Vec<f64> {
+        self.components.matvec(weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_centres_and_scales() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        for j in 0..2 {
+            let mean: f64 = (0..3).map(|i| t[(i, j)]).sum::<f64>() / 3.0;
+            let var: f64 = (0..3).map(|i| t[(i, j)] * t[(i, j)]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_features_do_not_divide_by_zero() {
+        let x = Matrix::from_rows(&[vec![2.0], vec![2.0]]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        assert!(t[(0, 0)].is_finite());
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along the diagonal: one component explains everything.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0],
+        ]);
+        let pca = Pca::fit(&x, 0.99);
+        assert_eq!(pca.n_components(), 1);
+        let c = &pca.transform(&x);
+        // Projections preserve the ordering along the diagonal.
+        assert!(c[(0, 0)] < c[(3, 0)] || c[(0, 0)] > c[(3, 0)]);
+    }
+
+    #[test]
+    fn pca_keeps_all_components_when_needed() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+            vec![0.0, -1.0],
+        ]);
+        let pca = Pca::fit(&x, 0.999);
+        assert_eq!(pca.n_components(), 2);
+    }
+
+    #[test]
+    fn back_projection_dimensions() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.1],
+            vec![3.0, 6.0, 9.2],
+            vec![4.0, 8.1, 12.0],
+        ]);
+        let pca = Pca::fit(&x, 0.9);
+        let w = vec![1.0; pca.n_components()];
+        assert_eq!(pca.back_project(&w).len(), 3);
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 1.0],
+            vec![5.0, 7.0],
+        ]);
+        let pca = Pca::fit(&x, 0.999);
+        let whole = pca.transform(&x);
+        let row = pca.transform_row(x.row(1));
+        for j in 0..pca.n_components() {
+            assert!((whole[(1, j)] - row[j]).abs() < 1e-9);
+        }
+    }
+}

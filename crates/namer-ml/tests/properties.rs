@@ -1,0 +1,109 @@
+//! Property-based tests for the linear-algebra and classifier stack.
+
+use namer_ml::{Matrix, Metrics, ModelKind, Pipeline, PipelineConfig, Standardizer};
+use proptest::prelude::*;
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(
+        proptest::collection::vec(-5.0f64..5.0, n),
+        n,
+    )
+    .prop_map(|rows| Matrix::from_rows(&rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inverse_round_trips_when_it_exists(m in small_matrix(3)) {
+        if let Some(inv) = m.inverse() {
+            let prod = m.matmul(&inv);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    prop_assert!((prod[(i, j)] - want).abs() < 1e-6,
+                        "prod[{i},{j}] = {}", prod[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(rows in proptest::collection::vec(
+        proptest::collection::vec(-10.0f64..10.0, 4), 1..6)) {
+        let m = Matrix::from_rows(&rows);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrices(m in small_matrix(3)) {
+        // Symmetrise.
+        let mt = m.transpose();
+        let mut s = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                s[(i, j)] = (m[(i, j)] + mt[(i, j)]) / 2.0;
+            }
+        }
+        let (vals, vecs) = s.symmetric_eigen();
+        let mut lam = Matrix::zeros(3, 3);
+        for (i, &v) in vals.iter().enumerate() {
+            lam[(i, i)] = v;
+        }
+        let rec = vecs.matmul(&lam).matmul(&vecs.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((rec[(i, j)] - s[(i, j)]).abs() < 1e-6);
+            }
+        }
+        // Eigenvalues come sorted descending.
+        for w in vals.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_output_is_centred(rows in proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, 3), 2..20)) {
+        let m = Matrix::from_rows(&rows);
+        let s = Standardizer::fit(&m);
+        let t = s.transform(&m);
+        for j in 0..3 {
+            let mean: f64 = (0..t.rows()).map(|i| t[(i, j)]).sum::<f64>() / t.rows() as f64;
+            prop_assert!(mean.abs() < 1e-6, "column {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn metrics_are_bounded(pred in proptest::collection::vec(any::<bool>(), 1..50),
+                           gold_seed in any::<u64>()) {
+        let gold: Vec<bool> = pred
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (gold_seed >> (i % 64)) & 1 == 1)
+            .collect();
+        let m = Metrics::compute(&pred, &gold);
+        for v in [m.accuracy, m.precision, m.recall, m.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn separable_blobs_are_learned_by_every_model(shift in 2.0f64..4.0, n in 20usize..40) {
+        let rows: Vec<Vec<f64>> = (0..n * 2)
+            .map(|i| {
+                let c = if i % 2 == 0 { shift } else { -shift };
+                // Deterministic jitter.
+                let j = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                vec![c + j, c - j]
+            })
+            .collect();
+        let y: Vec<bool> = (0..n * 2).map(|i| i % 2 == 0).collect();
+        let x = Matrix::from_rows(&rows);
+        for kind in [ModelKind::SvmLinear, ModelKind::LogReg, ModelKind::Lda] {
+            let p = Pipeline::train(kind, &x, &y, &PipelineConfig::default());
+            let correct = (0..x.rows()).filter(|&i| p.predict(x.row(i)) == y[i]).count();
+            prop_assert!(correct as f64 / x.rows() as f64 > 0.9, "{kind} failed");
+        }
+    }
+}

@@ -1,0 +1,767 @@
+//! A minimal define-by-run autograd engine over row-major `f32` matrices.
+//!
+//! Purpose-built for the GGNN / GREAT baselines of §5.6: dense matmul,
+//! element-wise nonlinearities, row gather / segment-sum (message passing),
+//! row softmax, and cross-entropy. Gradients are checked numerically in the
+//! tests.
+
+/// Handle to a tape node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Val(usize);
+
+#[derive(Clone, Debug)]
+enum Op {
+    Leaf { param: Option<usize> },
+    MatMul(Val, Val),
+    Add(Val, Val),
+    AddRow(Val, Val),
+    Mul(Val, Val),
+    Sub(Val, Val),
+    Scale(Val, f32),
+    Sigmoid(Val),
+    Tanh(Val),
+    Relu(Val),
+    RowGather(Val, Vec<usize>),
+    SegmentSum(Val, Vec<usize>),
+    RowSoftmax(Val),
+    Concat(Val, Val),
+    MeanPoolRows(Val),
+    Transpose(Val),
+    MulScalar(Val, Val),
+    RowNormalize(Val),
+}
+
+struct Node {
+    value: Vec<f32>,
+    grad: Vec<f32>,
+    rows: usize,
+    cols: usize,
+    op: Op,
+}
+
+/// Learnable parameter storage shared across tapes.
+#[derive(Clone, Debug, Default)]
+pub struct Params {
+    data: Vec<Vec<f32>>,
+    shapes: Vec<(usize, usize)>,
+    grads: Vec<Vec<f32>>,
+    /// Adam moments.
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    step: u64,
+}
+
+impl Params {
+    /// Creates empty storage.
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Allocates a `(rows × cols)` parameter initialised from `init`.
+    pub fn alloc(&mut self, rows: usize, cols: usize, init: impl FnMut() -> f32) -> usize {
+        let mut init = init;
+        let id = self.data.len();
+        self.data
+            .push((0..rows * cols).map(|_| init()).collect());
+        self.shapes.push((rows, cols));
+        self.grads.push(vec![0.0; rows * cols]);
+        self.m.push(vec![0.0; rows * cols]);
+        self.v.push(vec![0.0; rows * cols]);
+        id
+    }
+
+    /// Number of parameters tensors.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read access to one parameter tensor.
+    pub fn get(&self, id: usize) -> &[f32] {
+        &self.data[id]
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grads {
+            g.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// One Adam step with learning rate `lr`.
+    pub fn adam_step(&mut self, lr: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - B1.powf(t);
+        let bias2 = 1.0 - B2.powf(t);
+        for p in 0..self.data.len() {
+            for i in 0..self.data[p].len() {
+                let g = self.grads[p][i];
+                self.m[p][i] = B1 * self.m[p][i] + (1.0 - B1) * g;
+                self.v[p][i] = B2 * self.v[p][i] + (1.0 - B2) * g * g;
+                let mhat = self.m[p][i] / bias1;
+                let vhat = self.v[p][i] / bias2;
+                self.data[p][i] -= lr * mhat / (vhat.sqrt() + EPS);
+            }
+        }
+    }
+}
+
+/// One forward/backward tape.
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Default for Tape {
+    fn default() -> Tape {
+        Tape::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Tape {
+        Tape { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Vec<f32>, rows: usize, cols: usize, op: Op) -> Val {
+        debug_assert_eq!(value.len(), rows * cols);
+        let grad = vec![0.0; value.len()];
+        self.nodes.push(Node {
+            value,
+            grad,
+            rows,
+            cols,
+            op,
+        });
+        Val(self.nodes.len() - 1)
+    }
+
+    /// A constant input.
+    pub fn input(&mut self, value: Vec<f32>, rows: usize, cols: usize) -> Val {
+        self.push(value, rows, cols, Op::Leaf { param: None })
+    }
+
+    /// A view of parameter `id` (gradients flow back into `params`).
+    pub fn param(&mut self, params: &Params, id: usize) -> Val {
+        let (r, c) = params.shapes[id];
+        self.push(params.data[id].clone(), r, c, Op::Leaf { param: Some(id) })
+    }
+
+    /// Shape of a node.
+    pub fn shape(&self, v: Val) -> (usize, usize) {
+        (self.nodes[v.0].rows, self.nodes[v.0].cols)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Val) -> &[f32] {
+        &self.nodes[v.0].value
+    }
+
+    /// `a × b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&mut self, a: Val, b: Val) -> Val {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, br, "matmul dimension mismatch");
+        let mut out = vec![0.0; ar * bc];
+        {
+            let av = &self.nodes[a.0].value;
+            let bv = &self.nodes[b.0].value;
+            for i in 0..ar {
+                for k in 0..ac {
+                    let x = av[i * ac + k];
+                    if x == 0.0 {
+                        continue;
+                    }
+                    for j in 0..bc {
+                        out[i * bc + j] += x * bv[k * bc + j];
+                    }
+                }
+            }
+        }
+        self.push(out, ar, bc, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum (same shape).
+    pub fn add(&mut self, a: Val, b: Val) -> Val {
+        assert_eq!(self.shape(a), self.shape(b), "add shape mismatch");
+        let v: Vec<f32> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x + y)
+            .collect();
+        let (r, c) = self.shape(a);
+        self.push(v, r, c, Op::Add(a, b))
+    }
+
+    /// Adds a `1 × c` row vector to every row of `a`.
+    pub fn add_row(&mut self, a: Val, row: Val) -> Val {
+        let (r, c) = self.shape(a);
+        assert_eq!(self.shape(row), (1, c), "add_row shape mismatch");
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..r {
+            for j in 0..c {
+                v[i * c + j] += self.nodes[row.0].value[j];
+            }
+        }
+        self.push(v, r, c, Op::AddRow(a, row))
+    }
+
+    /// Element-wise product.
+    pub fn mul(&mut self, a: Val, b: Val) -> Val {
+        assert_eq!(self.shape(a), self.shape(b), "mul shape mismatch");
+        let v: Vec<f32> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x * y)
+            .collect();
+        let (r, c) = self.shape(a);
+        self.push(v, r, c, Op::Mul(a, b))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Val, b: Val) -> Val {
+        assert_eq!(self.shape(a), self.shape(b), "sub shape mismatch");
+        let v: Vec<f32> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x - y)
+            .collect();
+        let (r, c) = self.shape(a);
+        self.push(v, r, c, Op::Sub(a, b))
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&mut self, a: Val, k: f32) -> Val {
+        let v: Vec<f32> = self.nodes[a.0].value.iter().map(|x| x * k).collect();
+        let (r, c) = self.shape(a);
+        self.push(v, r, c, Op::Scale(a, k))
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Val) -> Val {
+        let v: Vec<f32> = self.nodes[a.0]
+            .value
+            .iter()
+            .map(|x| 1.0 / (1.0 + (-x).exp()))
+            .collect();
+        let (r, c) = self.shape(a);
+        self.push(v, r, c, Op::Sigmoid(a))
+    }
+
+    /// Element-wise tanh.
+    pub fn tanh(&mut self, a: Val) -> Val {
+        let v: Vec<f32> = self.nodes[a.0].value.iter().map(|x| x.tanh()).collect();
+        let (r, c) = self.shape(a);
+        self.push(v, r, c, Op::Tanh(a))
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, a: Val) -> Val {
+        let v: Vec<f32> = self.nodes[a.0].value.iter().map(|x| x.max(0.0)).collect();
+        let (r, c) = self.shape(a);
+        self.push(v, r, c, Op::Relu(a))
+    }
+
+    /// Gathers rows: `out[i] = a[idx[i]]`.
+    pub fn row_gather(&mut self, a: Val, idx: &[usize]) -> Val {
+        let (_, c) = self.shape(a);
+        let mut v = Vec::with_capacity(idx.len() * c);
+        for &i in idx {
+            v.extend_from_slice(&self.nodes[a.0].value[i * c..(i + 1) * c]);
+        }
+        self.push(v, idx.len(), c, Op::RowGather(a, idx.to_vec()))
+    }
+
+    /// Segment sum: `out[seg[i]] += a[i]` over `n_out` output rows.
+    pub fn segment_sum(&mut self, a: Val, seg: &[usize], n_out: usize) -> Val {
+        let (r, c) = self.shape(a);
+        assert_eq!(seg.len(), r, "segment index per input row");
+        let mut v = vec![0.0; n_out * c];
+        for (i, &s) in seg.iter().enumerate() {
+            for j in 0..c {
+                v[s * c + j] += self.nodes[a.0].value[i * c + j];
+            }
+        }
+        self.push(v, n_out, c, Op::SegmentSum(a, seg.to_vec()))
+    }
+
+    /// Row-wise softmax.
+    pub fn row_softmax(&mut self, a: Val) -> Val {
+        let (r, c) = self.shape(a);
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..r {
+            let row = &mut v[i * c..(i + 1) * c];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        self.push(v, r, c, Op::RowSoftmax(a))
+    }
+
+    /// Horizontal concatenation (same row count).
+    pub fn concat(&mut self, a: Val, b: Val) -> Val {
+        let (ra, ca) = self.shape(a);
+        let (rb, cb) = self.shape(b);
+        assert_eq!(ra, rb, "concat row mismatch");
+        let mut v = Vec::with_capacity(ra * (ca + cb));
+        for i in 0..ra {
+            v.extend_from_slice(&self.nodes[a.0].value[i * ca..(i + 1) * ca]);
+            v.extend_from_slice(&self.nodes[b.0].value[i * cb..(i + 1) * cb]);
+        }
+        self.push(v, ra, ca + cb, Op::Concat(a, b))
+    }
+
+    /// Mean over rows → `1 × c`.
+    pub fn mean_pool_rows(&mut self, a: Val) -> Val {
+        let (r, c) = self.shape(a);
+        let mut v = vec![0.0; c];
+        for i in 0..r {
+            for j in 0..c {
+                v[j] += self.nodes[a.0].value[i * c + j];
+            }
+        }
+        for x in &mut v {
+            *x /= r.max(1) as f32;
+        }
+        self.push(v, 1, c, Op::MeanPoolRows(a))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Val) -> Val {
+        let (r, c) = self.shape(a);
+        let mut v = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                v[j * r + i] = self.nodes[a.0].value[i * c + j];
+            }
+        }
+        self.push(v, c, r, Op::Transpose(a))
+    }
+
+    /// Multiplies every element of `a` by the scalar node `s` (shape 1 × 1),
+    /// with gradients flowing into both.
+    pub fn mul_scalar(&mut self, a: Val, s: Val) -> Val {
+        assert_eq!(self.shape(s), (1, 1), "scalar must be 1×1");
+        let k = self.nodes[s.0].value[0];
+        let v: Vec<f32> = self.nodes[a.0].value.iter().map(|x| x * k).collect();
+        let (r, c) = self.shape(a);
+        self.push(v, r, c, Op::MulScalar(a, s))
+    }
+
+    /// Normalises every row to unit L2 norm (a parameter-free LayerNorm
+    /// stand-in that keeps transformer residual streams bounded).
+    pub fn row_normalize(&mut self, a: Val) -> Val {
+        let (r, c) = self.shape(a);
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..r {
+            let row = &mut v[i * c..(i + 1) * c];
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        }
+        self.push(v, r, c, Op::RowNormalize(a))
+    }
+
+    /// Cross-entropy of a softmax distribution row (as produced by
+    /// [`Tape::row_softmax`]) against `target`; seeds the backward pass.
+    ///
+    /// Returns the loss value. Must be called before [`Tape::backward`];
+    /// the softmax-CE gradient `p - 1{target}` is planted directly.
+    pub fn nll_of_softmax_row(&mut self, softmax: Val, row: usize, target: usize) -> f32 {
+        let (_, c) = self.shape(softmax);
+        let p = self.nodes[softmax.0].value[row * c + target].max(1e-9);
+        // ∂L/∂softmax_in is handled analytically in backward via RowSoftmax;
+        // here we seed ∂L/∂softmax_out = -1/p at the target position.
+        self.nodes[softmax.0].grad[row * c + target] += -1.0 / p;
+        -p.ln()
+    }
+
+    /// Binary cross-entropy on a single sigmoid output; seeds backward.
+    pub fn bce_of_sigmoid(&mut self, sig: Val, index: usize, target: bool) -> f32 {
+        let p = self.nodes[sig.0].value[index].clamp(1e-6, 1.0 - 1e-6);
+        let t = if target { 1.0 } else { 0.0 };
+        self.nodes[sig.0].grad[index] += (p - t) / (p * (1.0 - p));
+        -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+    }
+
+    /// Seeds a raw gradient on a node (advanced use).
+    pub fn seed_grad(&mut self, v: Val, grad: &[f32]) {
+        for (g, &x) in self.nodes[v.0].grad.iter_mut().zip(grad) {
+            *g += x;
+        }
+    }
+
+    /// Reverse pass: propagates all seeded gradients back to the leaves and
+    /// accumulates parameter gradients into `params`.
+    pub fn backward(&mut self, params: &mut Params) {
+        for i in (0..self.nodes.len()).rev() {
+            let op = self.nodes[i].op.clone();
+            let grad = self.nodes[i].grad.clone();
+            if grad.iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let (rows, cols) = (self.nodes[i].rows, self.nodes[i].cols);
+            match op {
+                Op::Leaf { param } => {
+                    if let Some(pid) = param {
+                        for (g, &x) in params.grads[pid].iter_mut().zip(&grad) {
+                            *g += x;
+                        }
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let (ar, ac) = self.shape(a);
+                    let (_, bc) = self.shape(b);
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    // dA = dOut × Bᵀ
+                    for i2 in 0..ar {
+                        for k in 0..ac {
+                            let mut s = 0.0;
+                            for j in 0..bc {
+                                s += grad[i2 * bc + j] * bv[k * bc + j];
+                            }
+                            self.nodes[a.0].grad[i2 * ac + k] += s;
+                        }
+                    }
+                    // dB = Aᵀ × dOut
+                    for k in 0..ac {
+                        for j in 0..bc {
+                            let mut s = 0.0;
+                            for i2 in 0..ar {
+                                s += av[i2 * ac + k] * grad[i2 * bc + j];
+                            }
+                            self.nodes[b.0].grad[k * bc + j] += s;
+                        }
+                    }
+                }
+                Op::Add(a, b) => {
+                    for (g, &x) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += x;
+                    }
+                    for (g, &x) in self.nodes[b.0].grad.iter_mut().zip(&grad) {
+                        *g += x;
+                    }
+                }
+                Op::AddRow(a, row) => {
+                    for (g, &x) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += x;
+                    }
+                    for i2 in 0..rows {
+                        for j in 0..cols {
+                            self.nodes[row.0].grad[j] += grad[i2 * cols + j];
+                        }
+                    }
+                }
+                Op::Mul(a, b) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    for (k, &g) in grad.iter().enumerate() {
+                        self.nodes[a.0].grad[k] += g * bv[k];
+                        self.nodes[b.0].grad[k] += g * av[k];
+                    }
+                }
+                Op::Sub(a, b) => {
+                    for (g, &x) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += x;
+                    }
+                    for (g, &x) in self.nodes[b.0].grad.iter_mut().zip(&grad) {
+                        *g -= x;
+                    }
+                }
+                Op::Scale(a, k) => {
+                    for (g, &x) in self.nodes[a.0].grad.iter_mut().zip(&grad) {
+                        *g += k * x;
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    let out = self.nodes[i].value.clone();
+                    for (k, &g) in grad.iter().enumerate() {
+                        self.nodes[a.0].grad[k] += g * out[k] * (1.0 - out[k]);
+                    }
+                }
+                Op::Tanh(a) => {
+                    let out = self.nodes[i].value.clone();
+                    for (k, &g) in grad.iter().enumerate() {
+                        self.nodes[a.0].grad[k] += g * (1.0 - out[k] * out[k]);
+                    }
+                }
+                Op::Relu(a) => {
+                    let inp = self.nodes[a.0].value.clone();
+                    for (k, &g) in grad.iter().enumerate() {
+                        if inp[k] > 0.0 {
+                            self.nodes[a.0].grad[k] += g;
+                        }
+                    }
+                }
+                Op::RowGather(a, idx) => {
+                    let (_, c) = self.shape(a);
+                    for (out_row, &src_row) in idx.iter().enumerate() {
+                        for j in 0..c {
+                            self.nodes[a.0].grad[src_row * c + j] += grad[out_row * c + j];
+                        }
+                    }
+                }
+                Op::SegmentSum(a, seg) => {
+                    let (_, c) = self.shape(a);
+                    for (in_row, &s) in seg.iter().enumerate() {
+                        for j in 0..c {
+                            self.nodes[a.0].grad[in_row * c + j] += grad[s * c + j];
+                        }
+                    }
+                }
+                Op::RowSoftmax(a) => {
+                    let out = self.nodes[i].value.clone();
+                    for r2 in 0..rows {
+                        let row_out = &out[r2 * cols..(r2 + 1) * cols];
+                        let row_grad = &grad[r2 * cols..(r2 + 1) * cols];
+                        let dot: f32 = row_out
+                            .iter()
+                            .zip(row_grad)
+                            .map(|(&p, &g)| p * g)
+                            .sum();
+                        for j in 0..cols {
+                            self.nodes[a.0].grad[r2 * cols + j] +=
+                                row_out[j] * (row_grad[j] - dot);
+                        }
+                    }
+                }
+                Op::Concat(a, b) => {
+                    let (_, ca) = self.shape(a);
+                    let (_, cb) = self.shape(b);
+                    for r2 in 0..rows {
+                        for j in 0..ca {
+                            self.nodes[a.0].grad[r2 * ca + j] += grad[r2 * (ca + cb) + j];
+                        }
+                        for j in 0..cb {
+                            self.nodes[b.0].grad[r2 * cb + j] += grad[r2 * (ca + cb) + ca + j];
+                        }
+                    }
+                }
+                Op::MeanPoolRows(a) => {
+                    let (ra, _) = self.shape(a);
+                    let inv = 1.0 / ra.max(1) as f32;
+                    for r2 in 0..ra {
+                        for j in 0..cols {
+                            self.nodes[a.0].grad[r2 * cols + j] += grad[j] * inv;
+                        }
+                    }
+                }
+                Op::Transpose(a) => {
+                    // out is (cols=r_a) × (rows here = c_a); out[i,j] = a[j,i].
+                    let (ar, ac) = self.shape(a);
+                    for i2 in 0..rows {
+                        for j in 0..cols {
+                            // rows == ac, cols == ar
+                            self.nodes[a.0].grad[j * ac + i2] += grad[i2 * cols + j];
+                        }
+                    }
+                    let _ = (ar,);
+                }
+                Op::RowNormalize(a) => {
+                    // y = x/‖x‖ ⇒ dx = (g − y·(y·g)) / ‖x‖.
+                    let out = self.nodes[i].value.clone();
+                    let inp = self.nodes[a.0].value.clone();
+                    for r2 in 0..rows {
+                        let y = &out[r2 * cols..(r2 + 1) * cols];
+                        let x = &inp[r2 * cols..(r2 + 1) * cols];
+                        let gr = &grad[r2 * cols..(r2 + 1) * cols];
+                        let norm = x.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+                        let dot: f32 = y.iter().zip(gr).map(|(&a2, &b2)| a2 * b2).sum();
+                        for j in 0..cols {
+                            self.nodes[a.0].grad[r2 * cols + j] += (gr[j] - y[j] * dot) / norm;
+                        }
+                    }
+                }
+                Op::MulScalar(a, s) => {
+                    let k = self.nodes[s.0].value[0];
+                    let av = self.nodes[a.0].value.clone();
+                    let mut ds = 0.0;
+                    for (idx, &g) in grad.iter().enumerate() {
+                        self.nodes[a.0].grad[idx] += g * k;
+                        ds += g * av[idx];
+                    }
+                    self.nodes[s.0].grad[0] += ds;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient check for a scalar-valued function of one
+    /// parameter tensor.
+    fn grad_check(
+        rows: usize,
+        cols: usize,
+        f: impl Fn(&mut Tape, Val) -> f32,
+    ) {
+        let mut params = Params::new();
+        let mut k = 0u32;
+        let pid = params.alloc(rows, cols, || {
+            k += 1;
+            ((k * 37 % 17) as f32 - 8.0) / 10.0
+        });
+        // Analytic gradient.
+        params.zero_grad();
+        let mut tape = Tape::new();
+        let p = tape.param(&params, pid);
+        let _ = f(&mut tape, p);
+        tape.backward(&mut params);
+        let analytic = params.grads[pid].clone();
+        // Numerical gradient.
+        let eps = 1e-3f32;
+        for i in 0..rows * cols {
+            let orig = params.data[pid][i];
+            params.data[pid][i] = orig + eps;
+            let mut t1 = Tape::new();
+            let p1 = t1.param(&params, pid);
+            let l1 = f(&mut t1, p1);
+            params.data[pid][i] = orig - eps;
+            let mut t2 = Tape::new();
+            let p2 = t2.param(&params, pid);
+            let l2 = f(&mut t2, p2);
+            params.data[pid][i] = orig;
+            let numeric = (l1 - l2) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[i]).abs() < 2e-2,
+                "grad mismatch at {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_softmax_ce_gradients() {
+        grad_check(2, 3, |tape, p| {
+            let x = tape.input(vec![0.5, -0.2, 1.0, 0.3, 0.8, -0.5], 2, 3);
+            let xt = tape.mul(x, p);
+            let sm = tape.row_softmax(xt);
+            tape.nll_of_softmax_row(sm, 0, 1) + tape.nll_of_softmax_row(sm, 1, 2)
+        });
+    }
+
+    #[test]
+    fn dense_layer_gradients() {
+        grad_check(3, 2, |tape, w| {
+            let x = tape.input(vec![1.0, 0.5, -0.3, 0.2, 0.9, -1.0], 2, 3);
+            let h = tape.matmul(x, w);
+            let a = tape.tanh(h);
+            let sm = tape.row_softmax(a);
+            tape.nll_of_softmax_row(sm, 0, 0)
+        });
+    }
+
+    #[test]
+    fn sigmoid_bce_gradients() {
+        grad_check(1, 4, |tape, w| {
+            let x = tape.input(vec![0.3, -0.7, 0.2, 0.9], 1, 4);
+            let z = tape.mul(x, w);
+            let pooled = tape.mean_pool_rows(z);
+            let s = tape.sigmoid(pooled);
+            tape.bce_of_sigmoid(s, 0, true) + tape.bce_of_sigmoid(s, 2, false)
+        });
+    }
+
+    #[test]
+    fn gather_segment_gradients() {
+        grad_check(3, 2, |tape, p| {
+            let gathered = tape.row_gather(p, &[2, 0, 2]);
+            let summed = tape.segment_sum(gathered, &[0, 1, 1], 2);
+            let act = tape.relu(summed);
+            let sm = tape.row_softmax(act);
+            tape.nll_of_softmax_row(sm, 0, 1)
+        });
+    }
+
+    #[test]
+    fn concat_and_add_row_gradients() {
+        grad_check(1, 3, |tape, row| {
+            let x = tape.input(vec![0.2, -0.4, 0.6, 0.1, 0.5, -0.2], 2, 3);
+            let shifted = tape.add_row(x, row);
+            let both = tape.concat(shifted, x);
+            let s = tape.sigmoid(both);
+            let pooled = tape.mean_pool_rows(s);
+            tape.bce_of_sigmoid(pooled, 1, false)
+        });
+    }
+
+    #[test]
+    fn adam_reduces_simple_loss() {
+        let mut params = Params::new();
+        let pid = params.alloc(1, 2, || 2.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            params.zero_grad();
+            let mut tape = Tape::new();
+            let p = tape.param(&params, pid);
+            // loss = sigmoid(p) → push towards 0 via BCE target=false.
+            let s = tape.sigmoid(p);
+            let loss = tape.bce_of_sigmoid(s, 0, false) + tape.bce_of_sigmoid(s, 1, false);
+            tape.backward(&mut params);
+            params.adam_step(0.1);
+            last = loss;
+        }
+        assert!(last < 0.2, "loss did not decrease: {last}");
+    }
+
+    #[test]
+    fn transpose_and_mul_scalar_gradients() {
+        grad_check(2, 3, |tape, p| {
+            let pt = tape.transpose(p);
+            let x = tape.input(vec![0.4, -0.1, 0.7, 0.2, -0.6, 0.3], 2, 3);
+            let scores = tape.matmul(x, pt); // 2×2
+            let sm = tape.row_softmax(scores);
+            tape.nll_of_softmax_row(sm, 0, 1)
+        });
+        grad_check(1, 1, |tape, s| {
+            let x = tape.input(vec![0.5, -0.2, 0.3, 0.8], 2, 2);
+            let scaled = tape.mul_scalar(x, s);
+            let sm = tape.row_softmax(scaled);
+            tape.nll_of_softmax_row(sm, 1, 0)
+        });
+    }
+
+    #[test]
+    fn row_normalize_gradients() {
+        grad_check(2, 3, |tape, p| {
+            let n = tape.row_normalize(p);
+            let sm = tape.row_softmax(n);
+            tape.nll_of_softmax_row(sm, 0, 2) + tape.nll_of_softmax_row(sm, 1, 0)
+        });
+    }
+
+    #[test]
+    fn values_and_shapes_are_exposed() {
+        let mut tape = Tape::new();
+        let x = tape.input(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(tape.shape(x), (2, 2));
+        let y = tape.scale(x, 2.0);
+        assert_eq!(tape.value(y), &[2.0, 4.0, 6.0, 8.0]);
+    }
+}

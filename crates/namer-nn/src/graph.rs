@@ -1,0 +1,243 @@
+//! Program graphs for the deep-learning baselines.
+//!
+//! Following Allamanis et al. (GGNN) and Hellendoorn et al. (GREAT), a file
+//! is encoded as a graph over its AST nodes with syntactic and dataflow-ish
+//! edges: `Child`/`Parent`, `NextToken`/`PrevToken` over the terminal
+//! sequence, and `LastUse`/`NextUse` linking repeated identifier uses.
+
+use namer_syntax::{Ast, NameRole, NodeId, Sym};
+use std::collections::HashMap;
+
+/// Number of edge types.
+pub const EDGE_TYPES: usize = 6;
+
+/// Edge type indices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeType {
+    /// AST parent → child.
+    Child = 0,
+    /// AST child → parent.
+    Parent = 1,
+    /// Terminal i → terminal i+1.
+    NextToken = 2,
+    /// Terminal i+1 → terminal i.
+    PrevToken = 3,
+    /// Identifier use → previous use of the same name.
+    LastUse = 4,
+    /// Identifier use → next use of the same name.
+    NextUse = 5,
+}
+
+/// Token vocabulary with id 0 reserved for unknown tokens.
+#[derive(Clone, Debug, Default)]
+pub struct Vocab {
+    map: HashMap<Sym, usize>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from symbol frequency, keeping the `max_size - 1`
+    /// most frequent symbols (id 0 = UNK).
+    pub fn build(counts: &HashMap<Sym, u64>, max_size: usize) -> Vocab {
+        let mut by_freq: Vec<(Sym, u64)> = counts.iter().map(|(&s, &c)| (s, c)).collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let map = by_freq
+            .into_iter()
+            .take(max_size.saturating_sub(1))
+            .enumerate()
+            .map(|(i, (s, _))| (s, i + 1))
+            .collect();
+        Vocab { map }
+    }
+
+    /// Vocabulary size including UNK.
+    pub fn size(&self) -> usize {
+        self.map.len() + 1
+    }
+
+    /// The id of `sym` (0 for unknown).
+    pub fn id(&self, sym: Sym) -> usize {
+        self.map.get(&sym).copied().unwrap_or(0)
+    }
+}
+
+/// A program graph.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Vocabulary id per node.
+    pub labels: Vec<usize>,
+    /// Original symbol per node.
+    pub syms: Vec<Sym>,
+    /// 1-based source line per node (0 = unknown).
+    pub lines: Vec<u32>,
+    /// Edges `(src, dst, edge type)`.
+    pub edges: Vec<(usize, usize, usize)>,
+    /// Graph-node indices of identifier terminals (variable-use candidates).
+    pub ident_nodes: Vec<usize>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Builds the program graph of a parsed file, truncated to `max_nodes`.
+pub fn build(ast: &Ast, vocab: &Vocab, max_nodes: usize) -> Graph {
+    let mut labels = Vec::new();
+    let mut syms = Vec::new();
+    let mut lines = Vec::new();
+    let mut edges = Vec::new();
+    let mut ident_nodes = Vec::new();
+    let mut index_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut terminals: Vec<usize> = Vec::new();
+    let mut last_use: HashMap<Sym, usize> = HashMap::new();
+
+    let Some(root) = ast.try_root() else {
+        return Graph {
+            labels,
+            syms,
+            lines,
+            edges,
+            ident_nodes,
+        };
+    };
+    for node in ast.preorder(root) {
+        if labels.len() >= max_nodes {
+            break;
+        }
+        let idx = labels.len();
+        index_of.insert(node, idx);
+        let sym = ast.value(node);
+        labels.push(vocab.id(sym));
+        syms.push(sym);
+        lines.push(ast.line(node));
+        if ast.is_terminal(node) {
+            if let Some(&prev) = terminals.last() {
+                edges.push((prev, idx, EdgeType::NextToken as usize));
+                edges.push((idx, prev, EdgeType::PrevToken as usize));
+            }
+            terminals.push(idx);
+            if ast.role(node) == NameRole::Object {
+                ident_nodes.push(idx);
+                if let Some(&prev) = last_use.get(&sym) {
+                    edges.push((idx, prev, EdgeType::LastUse as usize));
+                    edges.push((prev, idx, EdgeType::NextUse as usize));
+                }
+                last_use.insert(sym, idx);
+            }
+        }
+    }
+    // Child/Parent edges for nodes that survived truncation.
+    for (&node, &idx) in &index_of {
+        for &c in ast.children(node) {
+            if let Some(&ci) = index_of.get(&c) {
+                edges.push((idx, ci, EdgeType::Child as usize));
+                edges.push((ci, idx, EdgeType::Parent as usize));
+            }
+        }
+    }
+    Graph {
+        labels,
+        syms,
+        lines,
+        edges,
+        ident_nodes,
+    }
+}
+
+/// Counts terminal/non-terminal symbols of a file for vocabulary building.
+pub fn count_symbols(ast: &Ast, counts: &mut HashMap<Sym, u64>) {
+    if let Some(root) = ast.try_root() {
+        for node in ast.preorder(root) {
+            *counts.entry(ast.value(node)).or_default() += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use namer_syntax::python;
+
+    fn graph_of(src: &str) -> Graph {
+        let ast = python::parse(src).unwrap();
+        let mut counts = HashMap::new();
+        count_symbols(&ast, &mut counts);
+        let vocab = Vocab::build(&counts, 64);
+        build(&ast, &vocab, 200)
+    }
+
+    #[test]
+    fn graph_has_nodes_and_edges() {
+        let g = graph_of("x = compute(y)\nz = x\n");
+        assert!(g.len() > 5);
+        assert!(!g.edges.is_empty());
+    }
+
+    #[test]
+    fn ident_nodes_are_object_terminals() {
+        let g = graph_of("x = compute(y)\n");
+        // x and y are object uses; `compute` is a function name.
+        let names: Vec<&str> = g
+            .ident_nodes
+            .iter()
+            .map(|&i| g.syms[i].as_str())
+            .collect();
+        assert!(names.contains(&"x") && names.contains(&"y"), "{names:?}");
+        assert!(!names.contains(&"compute"), "{names:?}");
+    }
+
+    #[test]
+    fn last_use_edges_link_same_names() {
+        let g = graph_of("x = load()\ny = x\n");
+        let has_use_edge = g
+            .edges
+            .iter()
+            .any(|&(s, d, t)| t == EdgeType::LastUse as usize && g.syms[s] == g.syms[d]);
+        assert!(has_use_edge);
+    }
+
+    #[test]
+    fn next_token_edges_follow_terminal_order() {
+        let g = graph_of("a = 1\n");
+        let nt: Vec<(usize, usize)> = g
+            .edges
+            .iter()
+            .filter(|&&(_, _, t)| t == EdgeType::NextToken as usize)
+            .map(|&(s, d, _)| (s, d))
+            .collect();
+        assert!(!nt.is_empty());
+        for (s, d) in nt {
+            assert!(s < d, "preorder terminals come in order");
+        }
+    }
+
+    #[test]
+    fn truncation_caps_node_count() {
+        let big: String = (0..100).map(|i| format!("v{i} = f{i}(a{i})\n")).collect();
+        let ast = python::parse(&big).unwrap();
+        let vocab = Vocab::default();
+        let g = build(&ast, &vocab, 50);
+        assert_eq!(g.len(), 50);
+        for &(s, d, _) in &g.edges {
+            assert!(s < 50 && d < 50);
+        }
+    }
+
+    #[test]
+    fn vocab_keeps_most_frequent() {
+        let mut counts = HashMap::new();
+        counts.insert(Sym::intern("common"), 100);
+        counts.insert(Sym::intern("rare"), 1);
+        let v = Vocab::build(&counts, 2);
+        assert_eq!(v.size(), 2);
+        assert_eq!(v.id(Sym::intern("common")), 1);
+        assert_eq!(v.id(Sym::intern("rare")), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Synthetic variable-misuse injection (the training-data recipe of GGNN and
+//! GREAT, §5.6: "introduce synthetic changes to the programs in our
+//! datasets").
+
+use crate::graph::{count_symbols, build, Graph, Vocab};
+use namer_syntax::{parse_file, SourceFile, Sym};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One training/evaluation sample.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// The (possibly corrupted) program graph.
+    pub graph: Graph,
+    /// Index into `graph.ident_nodes` of the corrupted use, `None` for
+    /// bug-free samples.
+    pub bug: Option<usize>,
+    /// The original (correct) symbol of the corrupted node.
+    pub repair: Option<Sym>,
+}
+
+/// Builds a vocabulary over a corpus of files.
+pub fn build_vocab(files: &[SourceFile], max_size: usize) -> Vocab {
+    let mut counts = HashMap::new();
+    for f in files {
+        if let Ok(ast) = parse_file(f) {
+            count_symbols(&ast, &mut counts);
+        }
+    }
+    Vocab::build(&counts, max_size)
+}
+
+/// Generates `n` samples from `files`: with probability `bug_rate` a random
+/// identifier use is replaced by another in-file identifier (the classic
+/// VarMisuse corruption); otherwise the graph is left intact.
+pub fn make_samples(
+    files: &[SourceFile],
+    vocab: &Vocab,
+    n: usize,
+    bug_rate: f64,
+    max_nodes: usize,
+    seed: u64,
+) -> Vec<Sample> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graphs: Vec<Graph> = files
+        .iter()
+        .filter_map(|f| parse_file(f).ok())
+        .map(|ast| build(&ast, vocab, max_nodes))
+        .filter(|g| g.ident_nodes.len() >= 2)
+        .collect();
+    if graphs.is_empty() {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|_| {
+            let g = &graphs[rng.gen_range(0..graphs.len())];
+            if rng.gen_bool(bug_rate) {
+                corrupt(g, vocab, &mut rng)
+            } else {
+                Sample {
+                    graph: g.clone(),
+                    bug: None,
+                    repair: None,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Builds the clean evaluation graph of each file (for real-issue scanning).
+pub fn file_graphs(files: &[SourceFile], vocab: &Vocab, max_nodes: usize) -> Vec<(usize, Graph)> {
+    files
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| parse_file(f).ok().map(|ast| (i, build(&ast, vocab, max_nodes))))
+        .filter(|(_, g)| g.ident_nodes.len() >= 2)
+        .collect()
+}
+
+/// Corrupts one identifier use: swap its symbol for a different identifier
+/// appearing in the same graph.
+fn corrupt(g: &Graph, vocab: &Vocab, rng: &mut SmallRng) -> Sample {
+    let mut graph = g.clone();
+    for _ in 0..16 {
+        let slot = rng.gen_range(0..graph.ident_nodes.len());
+        let node = graph.ident_nodes[slot];
+        let original = graph.syms[node];
+        let other = graph.ident_nodes[rng.gen_range(0..graph.ident_nodes.len())];
+        let replacement = graph.syms[other];
+        if replacement != original {
+            graph.syms[node] = replacement;
+            graph.labels[node] = vocab.id(replacement);
+            return Sample {
+                graph,
+                bug: Some(slot),
+                repair: Some(original),
+            };
+        }
+    }
+    // No two distinct identifiers; fall back to a clean sample.
+    Sample {
+        graph,
+        bug: None,
+        repair: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use namer_syntax::Lang;
+
+    fn files() -> Vec<SourceFile> {
+        (0..5)
+            .map(|i| {
+                SourceFile::new(
+                    "r",
+                    format!("f{i}.py"),
+                    "def use(alpha, beta):\n    gamma = alpha + beta\n    return gamma\n",
+                    Lang::Python,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn samples_have_requested_count() {
+        let fs = files();
+        let vocab = build_vocab(&fs, 64);
+        let samples = make_samples(&fs, &vocab, 20, 0.5, 100, 1);
+        assert_eq!(samples.len(), 20);
+    }
+
+    #[test]
+    fn buggy_samples_record_slot_and_repair() {
+        let fs = files();
+        let vocab = build_vocab(&fs, 64);
+        let samples = make_samples(&fs, &vocab, 40, 1.0, 100, 2);
+        let buggy = samples.iter().filter(|s| s.bug.is_some()).count();
+        assert!(buggy >= 30, "only {buggy} corrupted");
+        for s in samples.iter().filter(|s| s.bug.is_some()) {
+            let slot = s.bug.unwrap();
+            let node = s.graph.ident_nodes[slot];
+            // The written symbol differs from the recorded repair.
+            assert_ne!(Some(s.graph.syms[node]), s.repair);
+        }
+    }
+
+    #[test]
+    fn clean_rate_respected() {
+        let fs = files();
+        let vocab = build_vocab(&fs, 64);
+        let samples = make_samples(&fs, &vocab, 50, 0.0, 100, 3);
+        assert!(samples.iter().all(|s| s.bug.is_none()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let fs = files();
+        let vocab = build_vocab(&fs, 64);
+        let a = make_samples(&fs, &vocab, 10, 0.5, 100, 7);
+        let b = make_samples(&fs, &vocab, 10, 0.5, 100, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bug, y.bug);
+            assert_eq!(x.graph.labels, y.graph.labels);
+        }
+    }
+}

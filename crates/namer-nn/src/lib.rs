@@ -1,0 +1,35 @@
+//! Deep-learning baselines for the §5.6 comparison of the Namer paper.
+//!
+//! The paper evaluates two state-of-the-art neural variable-misuse
+//! detectors — **GGNN** (Allamanis et al., ICLR'18) and **GREAT**
+//! (Hellendoorn et al., ICLR'20) — trained on synthetically injected bugs,
+//! and shows that despite high synthetic-test accuracy they achieve very low
+//! precision on real naming issues (distribution mismatch). This crate
+//! reproduces that pipeline from scratch on CPU:
+//!
+//! * [`autograd`] — a small define-by-run tape with numerically checked
+//!   gradients;
+//! * [`graph`] — program graphs (AST + token + use-def edges) and the token
+//!   vocabulary;
+//! * [`inject`] — synthetic VarMisuse corruption for training/test data;
+//! * [`model`] — the GGNN and GREAT encoders with the shared
+//!   classification / localization / repair heads;
+//! * [`detect`] — scanning real (uncorrupted) files for issue reports.
+//!
+//! The models are width/depth-reduced relative to the originals (they must
+//! train in seconds, not GPU-days), but keep the architectures and — most
+//! importantly — the training distribution, which is what the §5.6 result
+//! is about.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autograd;
+pub mod detect;
+pub mod graph;
+pub mod inject;
+pub mod model;
+
+pub use detect::{scan, top_reports, NnReport};
+pub use graph::{Graph, Vocab, EDGE_TYPES};
+pub use inject::{build_vocab, file_graphs, make_samples, Sample};
+pub use model::{Accuracy, Arch, Model, ModelConfig, Prediction};

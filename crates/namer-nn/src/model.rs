@@ -1,0 +1,540 @@
+//! The GGNN and GREAT baselines (§5.6 of the Namer paper).
+//!
+//! Both models share the VarMisuse heads of the original papers:
+//!
+//! * **classification** — is the program buggy? (graph-level sigmoid);
+//! * **localization** — which identifier use is wrong? (softmax over a
+//!   no-bug slot plus every candidate use);
+//! * **repair** — which in-scope name should replace it? (pointer softmax
+//!   over the other identifier uses).
+//!
+//! They differ in the encoder: GGNN runs gated message passing over typed
+//! edges; GREAT runs self-attention with learned per-edge-type relational
+//! biases (a compact single-head variant of the relational transformer).
+
+use crate::autograd::{Params, Tape, Val};
+use crate::graph::{Graph, EDGE_TYPES};
+use crate::inject::Sample;
+use namer_syntax::Sym;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which baseline architecture to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arch {
+    /// Gated graph neural network (Allamanis et al., ICLR'18).
+    Ggnn,
+    /// Global relational transformer (Hellendoorn et al., ICLR'20).
+    Great,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Arch::Ggnn => "GGNN",
+            Arch::Great => "GREAT",
+        })
+    }
+}
+
+/// Model hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Hidden width.
+    pub dim: usize,
+    /// Message-passing steps (GGNN) / attention layers (GREAT).
+    pub depth: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs over the sample set.
+    pub epochs: usize,
+    /// Maximum graph size (nodes).
+    pub max_nodes: usize,
+    /// Seed for initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> ModelConfig {
+        ModelConfig {
+            dim: 24,
+            depth: 2,
+            lr: 5e-3,
+            epochs: 3,
+            max_nodes: 120,
+            seed: 11,
+        }
+    }
+}
+
+struct Ids {
+    emb: usize,
+    // GGNN
+    edge_w: Vec<usize>,
+    gru_z: usize,
+    gru_c: usize,
+    gru_bz: usize,
+    gru_bc: usize,
+    // GREAT
+    wq: Vec<usize>,
+    wk: Vec<usize>,
+    wv: Vec<usize>,
+    wo: Vec<usize>,
+    edge_bias: Vec<usize>,
+    ff1: Vec<usize>,
+    ff2: Vec<usize>,
+    // heads
+    u_loc: usize,
+    u_null: usize,
+    w_cls: usize,
+    w_rep: usize,
+}
+
+/// A trainable VarMisuse baseline.
+pub struct Model {
+    /// Architecture of the encoder.
+    pub arch: Arch,
+    config: ModelConfig,
+    params: Params,
+    ids: Ids,
+}
+
+/// Model output for one graph.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// P(buggy) from the classification head.
+    pub cls: f32,
+    /// Localization distribution: index 0 is the no-bug slot, index `1 + i`
+    /// is candidate `graph.ident_nodes[i]`.
+    pub loc: Vec<f32>,
+    /// For the arg-max candidate: repair scores per other candidate slot.
+    pub repair: Vec<f32>,
+    /// Index (into `ident_nodes`) of the most likely bug, if any beats the
+    /// no-bug slot.
+    pub bug_slot: Option<usize>,
+    /// Suggested replacement symbol for the predicted bug.
+    pub repair_sym: Option<Sym>,
+}
+
+/// Accuracy triple in the style of §5.6.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Accuracy {
+    /// Buggy-vs-clean classification accuracy.
+    pub classification: f64,
+    /// Localization accuracy over buggy samples.
+    pub localization: f64,
+    /// Repair accuracy over buggy samples.
+    pub repair: f64,
+}
+
+impl Model {
+    /// Creates an untrained model for `vocab_size` tokens.
+    pub fn new(arch: Arch, vocab_size: usize, config: ModelConfig) -> Model {
+        let mut params = Params::new();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let d = config.dim;
+        let mut init = |params: &mut Params, r: usize, c: usize| {
+            let scale = (2.0 / (r + c) as f32).sqrt();
+            params.alloc(r, c, || (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+        };
+        let emb = init(&mut params, vocab_size, d);
+        let edge_w = (0..EDGE_TYPES).map(|_| init(&mut params, d, d)).collect();
+        let gru_z = init(&mut params, 2 * d, d);
+        let gru_c = init(&mut params, 2 * d, d);
+        let gru_bz = init(&mut params, 1, d);
+        let gru_bc = init(&mut params, 1, d);
+        let depth = config.depth;
+        let wq = (0..depth).map(|_| init(&mut params, d, d)).collect();
+        let wk = (0..depth).map(|_| init(&mut params, d, d)).collect();
+        let wv = (0..depth).map(|_| init(&mut params, d, d)).collect();
+        let wo = (0..depth).map(|_| init(&mut params, d, d)).collect();
+        let edge_bias = (0..EDGE_TYPES).map(|_| init(&mut params, 1, 1)).collect();
+        let ff1 = (0..depth).map(|_| init(&mut params, d, d)).collect();
+        let ff2 = (0..depth).map(|_| init(&mut params, d, d)).collect();
+        let u_loc = init(&mut params, d, 1);
+        // The no-bug slot is a single learned logit, like the dedicated
+        // slot-0 state in the original VarMisuse heads.
+        let u_null = init(&mut params, 1, 1);
+        let w_cls = init(&mut params, d, 1);
+        let w_rep = init(&mut params, d, d);
+        Model {
+            arch,
+            config,
+            params,
+            ids: Ids {
+                emb,
+                edge_w,
+                gru_z,
+                gru_c,
+                gru_bz,
+                gru_bc,
+                wq,
+                wk,
+                wv,
+                wo,
+                edge_bias,
+                ff1,
+                ff2,
+                u_loc,
+                u_null,
+                w_cls,
+                w_rep,
+            },
+        }
+    }
+
+    /// The configured maximum graph size.
+    pub fn max_nodes(&self) -> usize {
+        self.config.max_nodes
+    }
+
+    fn encode(&self, tape: &mut Tape, g: &Graph) -> Val {
+        let emb = tape.param(&self.params, self.ids.emb);
+        let mut h = tape.row_gather(emb, &g.labels);
+        let n = g.len();
+        match self.arch {
+            Arch::Ggnn => {
+                // Pre-bucket edges per type.
+                let mut by_type: Vec<(Vec<usize>, Vec<usize>)> =
+                    vec![(Vec::new(), Vec::new()); EDGE_TYPES];
+                for &(s, dst, t) in &g.edges {
+                    by_type[t].0.push(s);
+                    by_type[t].1.push(dst);
+                }
+                for _ in 0..self.config.depth {
+                    let mut msg: Option<Val> = None;
+                    for (t, (srcs, dsts)) in by_type.iter().enumerate() {
+                        if srcs.is_empty() {
+                            continue;
+                        }
+                        let w = tape.param(&self.params, self.ids.edge_w[t]);
+                        let gathered = tape.row_gather(h, srcs);
+                        let transformed = tape.matmul(gathered, w);
+                        let agg = tape.segment_sum(transformed, dsts, n);
+                        msg = Some(match msg {
+                            Some(m) => tape.add(m, agg),
+                            None => agg,
+                        });
+                    }
+                    let m = msg.unwrap_or_else(|| tape.input(vec![0.0; n * self.config.dim], n, self.config.dim));
+                    let hm = tape.concat(h, m);
+                    let wz = tape.param(&self.params, self.ids.gru_z);
+                    let wc = tape.param(&self.params, self.ids.gru_c);
+                    let bz = tape.param(&self.params, self.ids.gru_bz);
+                    let bc = tape.param(&self.params, self.ids.gru_bc);
+                    let z_lin = tape.matmul(hm, wz);
+                    let z_lin = tape.add_row(z_lin, bz);
+                    let z = tape.sigmoid(z_lin);
+                    let c_lin = tape.matmul(hm, wc);
+                    let c_lin = tape.add_row(c_lin, bc);
+                    let c = tape.tanh(c_lin);
+                    let ones = tape.input(vec![1.0; n * self.config.dim], n, self.config.dim);
+                    let keep = tape.sub(ones, z);
+                    let kept = tape.mul(keep, h);
+                    let new = tape.mul(z, c);
+                    h = tape.add(kept, new);
+                }
+                h
+            }
+            Arch::Great => {
+                // Per-type adjacency masks as constant inputs.
+                let masks: Vec<Option<Vec<f32>>> = {
+                    let mut ms: Vec<Option<Vec<f32>>> = vec![None; EDGE_TYPES];
+                    for &(s, dst, t) in &g.edges {
+                        let m = ms[t].get_or_insert_with(|| vec![0.0; n * n]);
+                        m[s * n + dst] = 1.0;
+                    }
+                    ms
+                };
+                let inv_sqrt_d = 1.0 / (self.config.dim as f32).sqrt();
+                for l in 0..self.config.depth {
+                    let wq = tape.param(&self.params, self.ids.wq[l]);
+                    let wk = tape.param(&self.params, self.ids.wk[l]);
+                    let wv = tape.param(&self.params, self.ids.wv[l]);
+                    let wo = tape.param(&self.params, self.ids.wo[l]);
+                    let q = tape.matmul(h, wq);
+                    let k = tape.matmul(h, wk);
+                    let v = tape.matmul(h, wv);
+                    let kt = tape.transpose(k);
+                    let scores = tape.matmul(q, kt);
+                    let mut logits = tape.scale(scores, inv_sqrt_d);
+                    for (t, mask) in masks.iter().enumerate() {
+                        if let Some(m) = mask {
+                            let mask_in = tape.input(m.clone(), n, n);
+                            let bias = tape.param(&self.params, self.ids.edge_bias[t]);
+                            let biased = tape.mul_scalar(mask_in, bias);
+                            logits = tape.add(logits, biased);
+                        }
+                    }
+                    let attn = tape.row_softmax(logits);
+                    let ctx = tape.matmul(attn, v);
+                    let proj = tape.matmul(ctx, wo);
+                    let res = tape.add(h, proj);
+                    h = tape.row_normalize(res);
+                    let w1 = tape.param(&self.params, self.ids.ff1[l]);
+                    let w2 = tape.param(&self.params, self.ids.ff2[l]);
+                    let f = tape.matmul(h, w1);
+                    let f = tape.relu(f);
+                    let f = tape.matmul(f, w2);
+                    let res = tape.add(h, f);
+                    h = tape.row_normalize(res);
+                    // Rescale so the pooled classification signal keeps
+                    // magnitude comparable to the GGNN path.
+                    h = tape.scale(h, (self.config.dim as f32).sqrt());
+                }
+                h
+            }
+        }
+    }
+
+    /// Forward pass producing head outputs.
+    ///
+    /// Returns `(cls, loc_softmax, cand_states, pooled)` tape values.
+    fn heads(&self, tape: &mut Tape, g: &Graph) -> (Val, Val, Val) {
+        let h = self.encode(tape, g);
+        let pooled = tape.mean_pool_rows(h);
+        let cands = tape.row_gather(h, &g.ident_nodes);
+        let u = tape.param(&self.params, self.ids.u_loc);
+        let u0 = tape.param(&self.params, self.ids.u_null);
+        let cand_scores = tape.matmul(cands, u); // k×1
+        let cand_row = tape.transpose(cand_scores); // 1×k
+        let logits = tape.concat(u0, cand_row); // 1×(1+k), u0 = no-bug logit
+        let loc = tape.row_softmax(logits);
+        let wc = tape.param(&self.params, self.ids.w_cls);
+        let cls_lin = tape.matmul(pooled, wc);
+        let cls = tape.sigmoid(cls_lin);
+        (cls, loc, cands)
+    }
+
+    fn repair_softmax(&self, tape: &mut Tape, cands: Val, slot: usize) -> Val {
+        let bug_state = tape.row_gather(cands, &[slot]); // 1×d
+        let wr = tape.param(&self.params, self.ids.w_rep);
+        let projected = tape.matmul(bug_state, wr); // 1×d
+        let cand_t = tape.transpose(cands); // d×k
+        let scores = tape.matmul(projected, cand_t); // 1×k
+        tape.row_softmax(scores)
+    }
+
+    /// Trains on `samples` with Adam; returns the mean loss of the final
+    /// epoch.
+    pub fn train(&mut self, samples: &[Sample]) -> f32 {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x5eed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut last_epoch_loss = 0.0;
+        for _epoch in 0..self.config.epochs {
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &i in &order {
+                let s = &samples[i];
+                if s.graph.ident_nodes.is_empty() {
+                    continue;
+                }
+                self.params.zero_grad();
+                let mut tape = Tape::new();
+                let (cls, loc, cands) = self.heads(&mut tape, &s.graph);
+                let mut loss = tape.bce_of_sigmoid(cls, 0, s.bug.is_some());
+                match s.bug {
+                    Some(slot) => {
+                        loss += tape.nll_of_softmax_row(loc, 0, slot + 1);
+                        // Repair target: a candidate carrying the original
+                        // symbol.
+                        if let Some(repair_sym) = s.repair {
+                            let target = s
+                                .graph
+                                .ident_nodes
+                                .iter()
+                                .position(|&n| s.graph.syms[n] == repair_sym);
+                            if let Some(t) = target {
+                                let rep = self.repair_softmax(&mut tape, cands, slot);
+                                loss += tape.nll_of_softmax_row(rep, 0, t);
+                            }
+                        }
+                    }
+                    None => {
+                        loss += tape.nll_of_softmax_row(loc, 0, 0);
+                    }
+                }
+                tape.backward(&mut self.params);
+                self.params.adam_step(self.config.lr);
+                total += loss;
+            }
+            last_epoch_loss = total / samples.len().max(1) as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Runs the heads on one graph.
+    pub fn predict(&self, g: &Graph) -> Prediction {
+        let mut tape = Tape::new();
+        let (cls, loc, cands) = self.heads(&mut tape, g);
+        let loc_p = tape.value(loc).to_vec();
+        // Pointer-style classification, as in the original papers: the
+        // program is buggy iff probability mass leaves the no-bug slot. The
+        // sigmoid head is averaged in as an auxiliary signal.
+        let cls_p = 0.5 * (1.0 - loc_p[0]) + 0.5 * tape.value(cls)[0];
+        let bug_slot = loc_p
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(i, _)| i - 1)
+            .filter(|&slot| loc_p[slot + 1] > loc_p[0]);
+        let (repair, repair_sym) = match bug_slot {
+            Some(slot) => {
+                let rep = self.repair_softmax(&mut tape, cands, slot);
+                let rp = tape.value(rep).to_vec();
+                let bug_sym = g.syms[g.ident_nodes[slot]];
+                let best = rp
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| g.syms[g.ident_nodes[j]] != bug_sym)
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                    .map(|(j, _)| g.syms[g.ident_nodes[j]]);
+                (rp, best)
+            }
+            None => (Vec::new(), None),
+        };
+        Prediction {
+            cls: cls_p,
+            loc: loc_p,
+            repair,
+            bug_slot,
+            repair_sym,
+        }
+    }
+
+    /// §5.6-style accuracy on held-out samples.
+    pub fn accuracy(&self, samples: &[Sample]) -> Accuracy {
+        let mut cls_ok = 0usize;
+        let mut loc_ok = 0usize;
+        let mut rep_ok = 0usize;
+        let mut buggy = 0usize;
+        for s in samples {
+            let p = self.predict(&s.graph);
+            let predicted_buggy = p.cls > 0.5;
+            if predicted_buggy == s.bug.is_some() {
+                cls_ok += 1;
+            }
+            if let Some(slot) = s.bug {
+                buggy += 1;
+                if p.bug_slot == Some(slot) {
+                    loc_ok += 1;
+                }
+                if p.repair_sym == s.repair {
+                    rep_ok += 1;
+                }
+            }
+        }
+        Accuracy {
+            classification: cls_ok as f64 / samples.len().max(1) as f64,
+            localization: loc_ok as f64 / buggy.max(1) as f64,
+            repair: rep_ok as f64 / buggy.max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{build_vocab, make_samples};
+    use namer_syntax::{Lang, SourceFile};
+
+    fn training_files() -> Vec<SourceFile> {
+        let mut files = Vec::new();
+        let bodies = [
+            "def add(alpha, beta):\n    total = alpha + beta\n    return total\n",
+            "def scale(value, factor):\n    result = value * factor\n    return result\n",
+            "def greet(name, title):\n    label = title + name\n    return label\n",
+        ];
+        for (i, b) in bodies.iter().enumerate() {
+            for j in 0..4 {
+                files.push(SourceFile::new("r", format!("f{i}_{j}.py"), *b, Lang::Python));
+            }
+        }
+        files
+    }
+
+    fn train_model_uncached(arch: Arch) -> (Model, Vec<Sample>) {
+        let files = training_files();
+        let vocab = build_vocab(&files, 128);
+        // Transformers want a gentler learning rate than the GGNN.
+        let lr = match arch {
+            Arch::Ggnn => 5e-3,
+            Arch::Great => 3e-3,
+        };
+        let config = ModelConfig {
+            epochs: 8,
+            lr,
+            ..ModelConfig::default()
+        };
+        let train = make_samples(&files, &vocab, 160, 0.5, config.max_nodes, 1);
+        let test = make_samples(&files, &vocab, 60, 0.5, config.max_nodes, 2);
+        let mut model = Model::new(arch, vocab.size(), config);
+        model.train(&train);
+        (model, test)
+    }
+
+    /// Trained models are expensive; share them across tests.
+    fn train_model(arch: Arch) -> &'static (Model, Vec<Sample>) {
+        use std::sync::OnceLock;
+        static GGNN: OnceLock<(Model, Vec<Sample>)> = OnceLock::new();
+        static GREAT: OnceLock<(Model, Vec<Sample>)> = OnceLock::new();
+        match arch {
+            Arch::Ggnn => GGNN.get_or_init(|| train_model_uncached(Arch::Ggnn)),
+            Arch::Great => GREAT.get_or_init(|| train_model_uncached(Arch::Great)),
+        }
+    }
+
+    #[test]
+    fn ggnn_learns_synthetic_misuse_above_chance() {
+        let (model, test) = train_model(Arch::Ggnn);
+        let acc = model.accuracy(test);
+        assert!(acc.classification > 0.6, "{acc:?}");
+        // Chance localization is ~1/(1+k) with k≈6 candidates.
+        assert!(acc.localization > 0.25, "{acc:?}");
+    }
+
+    #[test]
+    fn great_learns_synthetic_misuse_above_chance() {
+        let (model, test) = train_model(Arch::Great);
+        let acc = model.accuracy(test);
+        assert!(acc.localization > 0.25, "{acc:?}");
+        assert!(acc.classification >= 0.5, "{acc:?}");
+    }
+
+    #[test]
+    fn prediction_shapes_are_consistent() {
+        let (model, test) = train_model(Arch::Ggnn);
+        let s = &test[0];
+        let p = model.predict(&s.graph);
+        assert_eq!(p.loc.len(), s.graph.ident_nodes.len() + 1);
+        let sum: f32 = p.loc.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "loc sums to {sum}");
+    }
+
+    #[test]
+    fn repair_never_suggests_the_buggy_name_itself() {
+        let (model, test) = train_model(Arch::Ggnn);
+        let test = &test[..];
+        for s in test.iter().take(20) {
+            let p = model.predict(&s.graph);
+            if let (Some(slot), Some(rep)) = (p.bug_slot, p.repair_sym) {
+                assert_ne!(s.graph.syms[s.graph.ident_nodes[slot]], rep);
+            }
+        }
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let files = training_files();
+        let vocab = build_vocab(&files, 128);
+        let config = ModelConfig::default();
+        let train = make_samples(&files, &vocab, 100, 0.5, config.max_nodes, 3);
+        let mut m1 = Model::new(Arch::Ggnn, vocab.size(), ModelConfig { epochs: 1, ..config });
+        let first = m1.train(&train);
+        let mut m6 = Model::new(Arch::Ggnn, vocab.size(), ModelConfig { epochs: 6, ..config });
+        let last = m6.train(&train);
+        assert!(last < first, "loss {last} vs {first}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration tests for program-graph construction and sample generation.
+
+use namer_nn::{build_vocab, file_graphs, make_samples, EDGE_TYPES};
+use namer_syntax::{Lang, SourceFile};
+
+fn files() -> Vec<SourceFile> {
+    vec![
+        SourceFile::new(
+            "r",
+            "a.py",
+            "def mix(alpha, beta):\n    total = alpha + beta\n    return total\n",
+            Lang::Python,
+        ),
+        SourceFile::new(
+            "r",
+            "b.py",
+            "class Box:\n    def __init__(self, width, height):\n        self.width = width\n        self.height = height\n",
+            Lang::Python,
+        ),
+    ]
+}
+
+#[test]
+fn graphs_cover_all_parsable_files() {
+    let fs = files();
+    let vocab = build_vocab(&fs, 128);
+    let graphs = file_graphs(&fs, &vocab, 200);
+    assert_eq!(graphs.len(), 2);
+    for (_, g) in &graphs {
+        assert!(!g.is_empty());
+        assert!(!g.edges.is_empty());
+        for &(s, d, t) in &g.edges {
+            assert!(s < g.len() && d < g.len());
+            assert!(t < EDGE_TYPES);
+        }
+    }
+}
+
+#[test]
+fn ident_nodes_reference_object_uses() {
+    let fs = files();
+    let vocab = build_vocab(&fs, 128);
+    let graphs = file_graphs(&fs, &vocab, 200);
+    let (_, g) = &graphs[0];
+    let names: Vec<&str> = g.ident_nodes.iter().map(|&i| g.syms[i].as_str()).collect();
+    assert!(names.contains(&"alpha") && names.contains(&"beta") && names.contains(&"total"),
+        "{names:?}");
+}
+
+#[test]
+fn lines_allow_report_mapping() {
+    let fs = files();
+    let vocab = build_vocab(&fs, 128);
+    let graphs = file_graphs(&fs, &vocab, 200);
+    let (_, g) = &graphs[0];
+    for &i in &g.ident_nodes {
+        assert!(g.lines[i] >= 1, "identifier nodes carry source lines");
+        assert!(g.lines[i] <= 3);
+    }
+}
+
+#[test]
+fn corruption_respects_vocab_consistency() {
+    let fs = files();
+    let vocab = build_vocab(&fs, 128);
+    let samples = make_samples(&fs, &vocab, 50, 1.0, 200, 9);
+    for s in &samples {
+        for (i, &label) in s.graph.labels.iter().enumerate() {
+            assert_eq!(label, vocab.id(s.graph.syms[i]), "labels track syms after corruption");
+        }
+        if let (Some(slot), Some(repair)) = (s.bug, s.repair) {
+            let node = s.graph.ident_nodes[slot];
+            assert_ne!(s.graph.syms[node], repair, "corrupted name differs from repair");
+            // The repair name exists elsewhere in the graph (it was swapped in
+            // from another identifier or is the original still used nearby).
+            assert!(
+                s.graph.syms.contains(&repair),
+                "repair target present in graph"
+            );
+        }
+    }
+}
+
+#[test]
+fn unparsable_files_are_skipped() {
+    let mut fs = files();
+    fs.push(SourceFile::new("r", "broken.py", "def broken(:\n", Lang::Python));
+    let vocab = build_vocab(&fs, 128);
+    let graphs = file_graphs(&fs, &vocab, 200);
+    assert_eq!(graphs.len(), 2, "the broken file is skipped");
+}
+
+#[test]
+fn vocab_size_is_bounded() {
+    let fs = files();
+    let vocab = build_vocab(&fs, 8);
+    assert!(vocab.size() <= 8);
+    // Unknown tokens map to id 0.
+    assert_eq!(vocab.id(namer_syntax::Sym::intern("never_seen_symbol_xyz")), 0);
+}

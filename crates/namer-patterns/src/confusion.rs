@@ -1,0 +1,309 @@
+//! Confusing word pairs, mined from commit histories (§3.2).
+//!
+//! A confusing word pair `⟨w1, w2⟩` records that some commit replaced the
+//! subtoken `w1` by `w2`. Pairs are discovered by running a tree-diff
+//! matching algorithm over the ASTs of a file before and after a commit
+//! (following Paletov et al.'s crypto-API diff approach the paper cites):
+//! matched terminal nodes whose names differ in exactly one subtoken
+//! contribute that subtoken pair.
+
+use namer_syntax::{subtoken, Ast, NodeId, Sym};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The mined set of confusing word pairs with occurrence counts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(from = "PairList", into = "PairList")]
+pub struct ConfusingPairs {
+    counts: HashMap<(Sym, Sym), u64>,
+    /// All correct words `w2` — the deduction-end candidates for
+    /// confusing-word mining.
+    pub correct_words: HashSet<Sym>,
+}
+
+/// JSON-friendly representation: a flat `(mistaken, correct, count)` list
+/// (JSON object keys must be strings, so the tuple-keyed map cannot be
+/// serialised directly).
+#[derive(Serialize, Deserialize)]
+struct PairList(Vec<(Sym, Sym, u64)>);
+
+impl From<PairList> for ConfusingPairs {
+    fn from(list: PairList) -> ConfusingPairs {
+        let mut out = ConfusingPairs::new();
+        for (w1, w2, n) in list.0 {
+            for _ in 0..n {
+                out.insert(w1, w2);
+            }
+        }
+        out
+    }
+}
+
+impl From<ConfusingPairs> for PairList {
+    fn from(pairs: ConfusingPairs) -> PairList {
+        let mut list: Vec<(Sym, Sym, u64)> = pairs
+            .counts
+            .into_iter()
+            .map(|((a, b), n)| (a, b, n))
+            .collect();
+        list.sort();
+        PairList(list)
+    }
+}
+
+impl ConfusingPairs {
+    /// Creates an empty set.
+    pub fn new() -> ConfusingPairs {
+        ConfusingPairs::default()
+    }
+
+    /// Records one observation of `⟨mistaken, correct⟩`.
+    pub fn insert(&mut self, mistaken: Sym, correct: Sym) {
+        *self.counts.entry((mistaken, correct)).or_default() += 1;
+        self.correct_words.insert(correct);
+    }
+
+    /// Whether `⟨mistaken, correct⟩` was ever observed.
+    pub fn contains(&self, mistaken: Sym, correct: Sym) -> bool {
+        self.counts.contains_key(&(mistaken, correct))
+    }
+
+    /// Observation count of a pair.
+    pub fn count(&self, mistaken: Sym, correct: Sym) -> u64 {
+        self.counts.get(&(mistaken, correct)).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct pairs.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` when no pair was mined.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `((mistaken, correct), count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Sym, Sym), &u64)> {
+        self.counts.iter()
+    }
+
+    /// Extends this set with all pairs extracted from one commit's
+    /// before/after trees.
+    pub fn mine_commit(&mut self, before: &Ast, after: &Ast) {
+        for (w1, w2) in diff_word_pairs(before, after) {
+            self.insert(w1, w2);
+        }
+    }
+}
+
+/// Extracts confusing subtoken pairs from a before/after tree pair.
+///
+/// The matcher walks both trees top-down. Nodes match when their values and
+/// shapes agree; children lists of equal length match pairwise, and unequal
+/// lists are aligned greedily by structural digest. For every pair of
+/// matched terminals with different identifier values, the names are split
+/// into subtokens, and if exactly one subtoken position differs, that pair is
+/// reported (whole names count as one subtoken when unsplittable).
+pub fn diff_word_pairs(before: &Ast, after: &Ast) -> Vec<(Sym, Sym)> {
+    let mut out = Vec::new();
+    match (before.try_root(), after.try_root()) {
+        (Some(a), Some(b)) => match_nodes(before, a, after, b, &mut out),
+        _ => {}
+    }
+    out
+}
+
+fn match_nodes(ta: &Ast, a: NodeId, tb: &Ast, b: NodeId, out: &mut Vec<(Sym, Sym)>) {
+    match (ta.is_terminal(a), tb.is_terminal(b)) {
+        (true, true) => {
+            let (va, vb) = (ta.value(a), tb.value(b));
+            if va != vb {
+                if let Some(pair) = subtoken_pair(va, vb) {
+                    out.push(pair);
+                }
+            }
+        }
+        (false, false) => {
+            if ta.value(a) != tb.value(b) {
+                return;
+            }
+            let ca = ta.children(a);
+            let cb = tb.children(b);
+            if ca.len() == cb.len() {
+                for (&x, &y) in ca.iter().zip(cb.iter()) {
+                    match_nodes(ta, x, tb, y, out);
+                }
+            } else {
+                align_by_digest(ta, ca, tb, cb, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Greedy alignment of unequal child lists: children with equal digests
+/// pair up in order; leftovers are matched positionally when unambiguous.
+fn align_by_digest(
+    ta: &Ast,
+    ca: &[NodeId],
+    tb: &Ast,
+    cb: &[NodeId],
+    out: &mut Vec<(Sym, Sym)>,
+) {
+    let da: Vec<u64> = ca.iter().map(|&n| ta.digest(n)).collect();
+    let db: Vec<u64> = cb.iter().map(|&n| tb.digest(n)).collect();
+    let mut used_b = vec![false; cb.len()];
+    let mut unmatched_a = Vec::new();
+    for (i, &a) in ca.iter().enumerate() {
+        let mut hit = None;
+        for (j, &b) in cb.iter().enumerate() {
+            if !used_b[j] && da[i] == db[j] {
+                hit = Some((j, b));
+                break;
+            }
+        }
+        match hit {
+            Some((j, _)) => used_b[j] = true,
+            None => unmatched_a.push(a),
+        }
+    }
+    // Second pass: align leftovers in order by node kind (value + shape
+    // class), skipping inserted/deleted children of other kinds.
+    let mut next_b = 0usize;
+    for &x in &unmatched_a {
+        let mut matched = None;
+        for (j, &y) in cb.iter().enumerate().skip(next_b) {
+            if used_b[j] {
+                continue;
+            }
+            if ta.is_terminal(x) == tb.is_terminal(y) && ta.value(x) == tb.value(y) {
+                matched = Some((j, y));
+                break;
+            }
+            // Terminal-vs-terminal of differing value still aligns when both
+            // are leaves (a rename); non-terminals must share their kind.
+            if ta.is_terminal(x) && tb.is_terminal(y) {
+                matched = Some((j, y));
+                break;
+            }
+        }
+        if let Some((j, y)) = matched {
+            used_b[j] = true;
+            next_b = j + 1;
+            match_nodes(ta, x, tb, y, out);
+        }
+    }
+}
+
+/// If `a` and `b` differ in exactly one subtoken, returns that pair.
+fn subtoken_pair(a: Sym, b: Sym) -> Option<(Sym, Sym)> {
+    let sa = subtoken::split(a.as_str());
+    let sb = subtoken::split(b.as_str());
+    if sa.len() != sb.len() {
+        // Whole-name replacement when both are single subtokens of different
+        // shapes is still a pair; otherwise skip.
+        if sa.len() == 1 && sb.len() == 1 {
+            return Some((a, b));
+        }
+        return None;
+    }
+    let mut diff = None;
+    for (x, y) in sa.iter().zip(sb.iter()) {
+        if x != y {
+            if diff.is_some() {
+                return None;
+            }
+            diff = Some((Sym::intern(x), Sym::intern(y)));
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use namer_syntax::python;
+
+    fn pairs(before: &str, after: &str) -> Vec<(String, String)> {
+        let a = python::parse(before).unwrap();
+        let b = python::parse(after).unwrap();
+        diff_word_pairs(&a, &b)
+            .into_iter()
+            .map(|(x, y)| (x.as_str().to_owned(), y.as_str().to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_true_equal() {
+        let p = pairs(
+            "self.assertTrue(vec, 4)\n",
+            "self.assertEqual(vec, 4)\n",
+        );
+        assert_eq!(p, [("True".to_owned(), "Equal".to_owned())]);
+    }
+
+    #[test]
+    fn whole_name_rename() {
+        let p = pairs("x = name\n", "x = key\n");
+        assert_eq!(p, [("name".to_owned(), "key".to_owned())]);
+    }
+
+    #[test]
+    fn one_subtoken_in_snake_case() {
+        let p = pairs("num_or_process = 3\n", "num_of_process = 3\n");
+        assert_eq!(p, [("or".to_owned(), "of".to_owned())]);
+    }
+
+    #[test]
+    fn multi_subtoken_changes_are_skipped() {
+        let p = pairs("a = get_file_name()\n", "a = set_dir_path()\n");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn unchanged_trees_produce_nothing() {
+        let p = pairs("x = compute(y)\n", "x = compute(y)\n");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn added_statement_does_not_derail_matching() {
+        let p = pairs(
+            "a = 1\nx = min_count\n",
+            "a = 1\nsetup()\nx = max_count\n",
+        );
+        assert_eq!(p, [("min".to_owned(), "max".to_owned())]);
+    }
+
+    #[test]
+    fn counts_accumulate_across_commits() {
+        let mut cp = ConfusingPairs::new();
+        let before = python::parse("self.assertTrue(v, 1)\n").unwrap();
+        let after = python::parse("self.assertEqual(v, 1)\n").unwrap();
+        cp.mine_commit(&before, &after);
+        cp.mine_commit(&before, &after);
+        assert_eq!(cp.count(Sym::intern("True"), Sym::intern("Equal")), 2);
+        assert!(cp.correct_words.contains(&Sym::intern("Equal")));
+        assert!(cp.contains(Sym::intern("True"), Sym::intern("Equal")));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut cp = ConfusingPairs::new();
+        cp.insert(Sym::intern("True"), Sym::intern("Equal"));
+        cp.insert(Sym::intern("True"), Sym::intern("Equal"));
+        cp.insert(Sym::intern("min"), Sym::intern("max"));
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: ConfusingPairs = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(Sym::intern("True"), Sym::intern("Equal")), 2);
+        assert_eq!(back.count(Sym::intern("min"), Sym::intern("max")), 1);
+        assert!(back.correct_words.contains(&Sym::intern("Equal")));
+    }
+
+    #[test]
+    fn structural_changes_of_different_kind_are_ignored() {
+        let p = pairs("x = f(a)\n", "x = a.f()\n");
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! The frequent-pattern tree underlying the mining algorithm (§3.3).
+//!
+//! Transactions are canonically sorted lists of name paths whose tail is the
+//! deduction. Each tree node stores one path, its occurrence count, and the
+//! `isLast` flag marking transaction ends, exactly as in Algorithm 1.
+
+use namer_syntax::namepath::NamePath;
+use std::collections::HashMap;
+
+/// Arena-allocated FP tree.
+#[derive(Debug)]
+pub struct FpTree {
+    nodes: Vec<Node>,
+}
+
+/// Handle to an FP-tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeRef(usize);
+
+#[derive(Debug)]
+struct Node {
+    path: Option<NamePath>,
+    count: u64,
+    is_last: bool,
+    children: HashMap<NamePath, usize>,
+}
+
+impl Default for FpTree {
+    fn default() -> FpTree {
+        FpTree::new()
+    }
+}
+
+impl FpTree {
+    /// Creates a tree with only the (path-less) root.
+    pub fn new() -> FpTree {
+        FpTree {
+            nodes: vec![Node {
+                path: None,
+                count: 0,
+                is_last: false,
+                children: HashMap::new(),
+            }],
+        }
+    }
+
+    /// The root handle.
+    pub fn root(&self) -> NodeRef {
+        NodeRef(0)
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Inserts one transaction (Algorithm 1, line 7), incrementing counts
+    /// along the branch and flagging the final node with `isLast`.
+    pub fn update(&mut self, transaction: &[NamePath]) {
+        let mut cur = 0usize;
+        for p in transaction {
+            let next = match self.nodes[cur].children.get(p) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node {
+                        path: Some(p.clone()),
+                        count: 0,
+                        is_last: false,
+                        children: HashMap::new(),
+                    });
+                    self.nodes[cur].children.insert(p.clone(), n);
+                    n
+                }
+            };
+            self.nodes[next].count += 1;
+            cur = next;
+        }
+        if cur != 0 {
+            self.nodes[cur].is_last = true;
+        }
+    }
+
+    /// The path stored at `node` (`None` for the root).
+    pub fn path(&self, node: NodeRef) -> Option<&NamePath> {
+        self.nodes[node.0].path.as_ref()
+    }
+
+    /// Occurrence count of `node`.
+    pub fn count(&self, node: NodeRef) -> u64 {
+        self.nodes[node.0].count
+    }
+
+    /// Whether a transaction ends at `node`.
+    pub fn is_last(&self, node: NodeRef) -> bool {
+        self.nodes[node.0].is_last
+    }
+
+    /// Child handles of `node` (unordered).
+    pub fn children(&self, node: NodeRef) -> Vec<NodeRef> {
+        let mut kids: Vec<NodeRef> = self.nodes[node.0].children.values().map(|&n| NodeRef(n)).collect();
+        // Deterministic traversal order for reproducible mining output.
+        kids.sort_by(|a, b| self.nodes[a.0].path.cmp(&self.nodes[b.0].path));
+        kids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use namer_syntax::Sym;
+
+    fn np(tag: &str) -> NamePath {
+        NamePath::concrete(vec![(Sym::intern(tag), 0)], Sym::intern(tag))
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut t = FpTree::new();
+        t.update(&[np("A"), np("B")]);
+        t.update(&[np("A"), np("C")]);
+        // root + A + B + C
+        assert_eq!(t.len(), 4);
+        let a = t.children(t.root())[0];
+        assert_eq!(t.count(a), 2);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut t = FpTree::new();
+        for _ in 0..5 {
+            t.update(&[np("A"), np("B")]);
+        }
+        let a = t.children(t.root())[0];
+        let b = t.children(a)[0];
+        assert_eq!(t.count(a), 5);
+        assert_eq!(t.count(b), 5);
+    }
+
+    #[test]
+    fn is_last_marks_transaction_ends() {
+        let mut t = FpTree::new();
+        t.update(&[np("A"), np("B")]);
+        t.update(&[np("A")]);
+        let a = t.children(t.root())[0];
+        let b = t.children(a)[0];
+        assert!(t.is_last(a));
+        assert!(t.is_last(b));
+    }
+
+    #[test]
+    fn interior_nodes_are_not_last() {
+        let mut t = FpTree::new();
+        t.update(&[np("A"), np("B")]);
+        let a = t.children(t.root())[0];
+        assert!(!t.is_last(a));
+    }
+
+    #[test]
+    fn figure3_style_tree() {
+        // A Figure 3 (a)-shaped tree: NP1 with branches NP2, NP3→NP5, and
+        // NP3→NP4→NP6, where NP4 is also a transaction end (isLast).
+        let mut t = FpTree::new();
+        let (np1, np2, np3, np4, np5, np6) =
+            (np("NP1"), np("NP2"), np("NP3"), np("NP4"), np("NP5"), np("NP6"));
+        for _ in 0..33 {
+            t.update(&[np1.clone(), np2.clone()]);
+        }
+        for _ in 0..15 {
+            t.update(&[np1.clone(), np3.clone(), np5.clone()]);
+        }
+        for _ in 0..13 {
+            t.update(&[np1.clone(), np3.clone(), np4.clone(), np6.clone()]);
+        }
+        t.update(&[np1.clone(), np3.clone(), np4.clone()]);
+        let n1 = t.children(t.root())[0];
+        assert_eq!(t.count(n1), 62);
+        let kids = t.children(n1);
+        let counts: Vec<u64> = kids.iter().map(|&k| t.count(k)).collect();
+        assert!(counts.contains(&33) && counts.contains(&29), "{counts:?}");
+        // NP4 carries both the through-traffic to NP6 and its own ending.
+        let n3 = *kids
+            .iter()
+            .find(|&&k| t.path(k) == Some(&np3))
+            .unwrap();
+        let n4 = *t
+            .children(n3)
+            .iter()
+            .find(|&&k| t.path(k) == Some(&np4))
+            .unwrap();
+        assert_eq!(t.count(n4), 14);
+        assert!(t.is_last(n4));
+    }
+
+    #[test]
+    fn empty_transaction_is_a_noop() {
+        let mut t = FpTree::new();
+        t.update(&[]);
+        assert!(t.is_empty());
+        assert!(!t.is_last(t.root()));
+    }
+}

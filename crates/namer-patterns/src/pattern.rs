@@ -1,0 +1,297 @@
+//! Name patterns and their match/satisfaction/violation semantics
+//! (Definitions 3.6–3.9 of the paper).
+
+use namer_syntax::namepath::NamePath;
+use namer_syntax::Sym;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two pattern types Namer mines (§3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PatternType {
+    /// Code fragments with the same underlying semantics should be named
+    /// consistently: `D = {d1, d2}`, both symbolic.
+    Consistency,
+    /// A subtoken position should hold the *correct* word of a mined
+    /// confusing word pair: `D = {d}`, `d.n` concrete.
+    ConfusingWord,
+}
+
+impl fmt::Display for PatternType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PatternType::Consistency => "consistency",
+            PatternType::ConfusingWord => "confusing-word",
+        })
+    }
+}
+
+/// A name pattern: condition `C`, deduction `D` (Definition 3.6).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct NamePattern {
+    /// Pattern type, which fixes the satisfaction semantics.
+    pub ty: PatternType,
+    /// Condition paths (concrete).
+    pub condition: Vec<NamePath>,
+    /// Deduction paths: two symbolic paths (consistency) or one concrete
+    /// path (confusing word).
+    pub deduction: Vec<NamePath>,
+    /// Occurrence count from mining (FP-tree node count).
+    pub support: u64,
+    /// Number of matches counted by `pruneUncommon` over the mining dataset.
+    pub matches: u64,
+    /// Number of satisfactions counted by `pruneUncommon`.
+    pub satisfactions: u64,
+}
+
+/// Relationship between a statement and a pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Relation {
+    /// The statement does not match the pattern.
+    NoMatch,
+    /// The statement matches and satisfies the pattern.
+    Satisfied,
+    /// The statement matches but contradicts the deduction.
+    Violated(ViolationDetail),
+}
+
+/// What exactly was violated, and the suggested fix.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ViolationDetail {
+    /// The offending subtoken as written.
+    pub original: Sym,
+    /// The subtoken the pattern deduces.
+    pub suggested: Sym,
+    /// The statement path carrying the offending subtoken.
+    pub violated_path: NamePath,
+}
+
+impl NamePattern {
+    /// Creates a consistency pattern from a condition and two deduction
+    /// prefixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either deduction path is concrete.
+    pub fn consistency(condition: Vec<NamePath>, d1: NamePath, d2: NamePath) -> NamePattern {
+        assert!(!d1.is_concrete() && !d2.is_concrete(), "deductions must be symbolic");
+        NamePattern {
+            ty: PatternType::Consistency,
+            condition,
+            deduction: vec![d1, d2],
+            support: 0,
+            matches: 0,
+            satisfactions: 0,
+        }
+    }
+
+    /// Creates a confusing-word pattern from a condition and one concrete
+    /// deduction path ending in the correct word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deduction path is symbolic.
+    pub fn confusing_word(condition: Vec<NamePath>, d: NamePath) -> NamePattern {
+        assert!(d.is_concrete(), "confusing-word deduction must be concrete");
+        NamePattern {
+            ty: PatternType::ConfusingWord,
+            condition,
+            deduction: vec![d],
+            support: 0,
+            matches: 0,
+            satisfactions: 0,
+        }
+    }
+
+    /// Satisfaction rate counted by `pruneUncommon` (`0` when never matched).
+    pub fn satisfaction_rate(&self) -> f64 {
+        if self.matches == 0 {
+            0.0
+        } else {
+            self.satisfactions as f64 / self.matches as f64
+        }
+    }
+
+    /// The *match* relationship (Definition 3.6): every condition path is
+    /// present in `paths` (under `=`) and every deduction prefix is present
+    /// (under `∼`).
+    pub fn matches(&self, paths: &[NamePath]) -> bool {
+        self.condition
+            .iter()
+            .all(|c| paths.iter().any(|a| c.path_eq(a)))
+            && self
+                .deduction
+                .iter()
+                .all(|d| paths.iter().any(|a| d.same_prefix(a)))
+    }
+
+    /// Full classification of `paths` against this pattern.
+    pub fn relation(&self, paths: &[NamePath]) -> Relation {
+        if !self.matches(paths) {
+            return Relation::NoMatch;
+        }
+        match self.ty {
+            PatternType::ConfusingWord => {
+                let d = &self.deduction[0];
+                let expected = d.end.expect("confusing-word deduction is concrete");
+                for a in paths.iter().filter(|a| a.same_prefix(d)) {
+                    let actual = a.end.expect("statement paths are concrete");
+                    if actual != expected {
+                        return Relation::Violated(ViolationDetail {
+                            original: actual,
+                            suggested: expected,
+                            violated_path: a.clone(),
+                        });
+                    }
+                }
+                Relation::Satisfied
+            }
+            PatternType::Consistency => {
+                let (d1, d2) = (&self.deduction[0], &self.deduction[1]);
+                for a1 in paths.iter().filter(|a| a.same_prefix(d1)) {
+                    for a2 in paths.iter().filter(|a| a.same_prefix(d2)) {
+                        let (e1, e2) = (
+                            a1.end.expect("statement paths are concrete"),
+                            a2.end.expect("statement paths are concrete"),
+                        );
+                        if e1 != e2 {
+                            // Convention: the d1 position is reported as the
+                            // issue; the d2 subtoken is the suggestion.
+                            return Relation::Violated(ViolationDetail {
+                                original: e1,
+                                suggested: e2,
+                                violated_path: a1.clone(),
+                            });
+                        }
+                    }
+                }
+                Relation::Satisfied
+            }
+        }
+    }
+}
+
+impl fmt::Display for NamePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] Condition:", self.ty)?;
+        for c in &self.condition {
+            writeln!(f, "  {c}")?;
+        }
+        writeln!(f, "Deduction:")?;
+        for d in &self.deduction {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use namer_syntax::{namepath, python, stmt, transform};
+
+    fn paths_of(src: &str) -> Vec<NamePath> {
+        let file = python::parse(src).unwrap();
+        let s = &stmt::extract(&file)[0];
+        let plus = transform::to_ast_plus(&s.ast, &transform::Origins::new());
+        namepath::extract(&plus, 10)
+    }
+
+    /// The Figure 2 (e) pattern, minus the origin decoration (we build paths
+    /// without analysis in these unit tests).
+    fn figure2_pattern(paths: &[NamePath]) -> NamePattern {
+        let self_path = paths.iter().find(|p| p.end_str() == Some("self")).unwrap();
+        let assert_path = paths.iter().find(|p| p.end_str() == Some("assert")).unwrap();
+        let num_path = paths.iter().find(|p| p.end_str() == Some("NUM")).unwrap();
+        let true_path = paths.iter().find(|p| p.end_str() == Some("True")).unwrap();
+        let mut d = true_path.clone();
+        d.end = Some(Sym::intern("Equal"));
+        NamePattern::confusing_word(
+            vec![self_path.clone(), assert_path.clone(), num_path.clone()],
+            d,
+        )
+    }
+
+    #[test]
+    fn figure2_violation() {
+        let paths = paths_of("self.assertTrue(picture.rotate_angle, 90)\n");
+        let p = figure2_pattern(&paths);
+        assert!(p.matches(&paths));
+        match p.relation(&paths) {
+            Relation::Violated(v) => {
+                assert_eq!(v.original.as_str(), "True");
+                assert_eq!(v.suggested.as_str(), "Equal");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure2_satisfaction() {
+        let bad = paths_of("self.assertTrue(picture.rotate_angle, 90)\n");
+        let p = figure2_pattern(&bad);
+        let good = paths_of("self.assertEqual(picture.rotate_angle, 90)\n");
+        assert_eq!(p.relation(&good), Relation::Satisfied);
+    }
+
+    #[test]
+    fn no_match_when_condition_absent() {
+        let paths = paths_of("self.assertTrue(picture.rotate_angle, 90)\n");
+        let p = figure2_pattern(&paths);
+        // A call without the numeric second argument does not match.
+        let other = paths_of("self.assertTrue(picture.rotate_angle, msg)\n");
+        assert_eq!(p.relation(&other), Relation::NoMatch);
+    }
+
+    #[test]
+    fn consistency_example_3_8() {
+        // self.<name1> = <name2>: the two names must agree.
+        let ok = paths_of("self.docstring = docstring\n");
+        let bad = paths_of("self.help = docstring\n");
+        // Deduction prefixes from the satisfied statement.
+        let d1 = ok
+            .iter()
+            .find(|p| p.to_string().contains("AttributeStore 1 Attr"))
+            .unwrap()
+            .to_symbolic();
+        let d2 = ok
+            .iter()
+            .find(|p| p.to_string().starts_with("Assign 1 NameLoad"))
+            .unwrap()
+            .to_symbolic();
+        let self_cond = ok.iter().find(|p| p.end_str() == Some("self")).unwrap().clone();
+        let p = NamePattern::consistency(vec![self_cond], d1, d2);
+        assert_eq!(p.relation(&ok), Relation::Satisfied);
+        match p.relation(&bad) {
+            Relation::Violated(v) => {
+                assert_eq!(v.original.as_str(), "help");
+                assert_eq!(v.suggested.as_str(), "docstring");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn satisfaction_rate() {
+        let paths = paths_of("self.assertTrue(x, 90)\n");
+        let mut p = figure2_pattern(&paths);
+        assert_eq!(p.satisfaction_rate(), 0.0);
+        p.matches = 10;
+        p.satisfactions = 8;
+        assert!((p.satisfaction_rate() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbolic")]
+    fn consistency_rejects_concrete_deductions() {
+        let paths = paths_of("self.x = y\n");
+        let _ = NamePattern::consistency(vec![], paths[0].clone(), paths[1].clone());
+    }
+
+    #[test]
+    #[should_panic(expected = "concrete")]
+    fn confusing_rejects_symbolic_deduction() {
+        let paths = paths_of("self.x = y\n");
+        let _ = NamePattern::confusing_word(vec![], paths[0].to_symbolic());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for patterns, mining, and the FP tree.
+
+use namer_patterns::{
+    mine_patterns, ConfusingPairs, FpTree, MiningConfig, PathSet, PatternType, Relation,
+};
+use namer_syntax::namepath::NamePath;
+use namer_syntax::Sym;
+use proptest::prelude::*;
+
+fn np(tag: u8, end: &str) -> NamePath {
+    NamePath::concrete(
+        vec![(Sym::intern(&format!("P{tag}")), 0)],
+        Sym::intern(end),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fptree_root_children_counts_sum_to_transactions(
+        transactions in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, 0u8..3), 1..5), 1..40)
+    ) {
+        let mut tree = FpTree::new();
+        for t in &transactions {
+            let paths: Vec<NamePath> =
+                t.iter().map(|&(tag, e)| np(tag, &format!("e{e}"))).collect();
+            tree.update(&paths);
+        }
+        let total: u64 = tree
+            .children(tree.root())
+            .iter()
+            .map(|&c| tree.count(c))
+            .sum();
+        prop_assert_eq!(total, transactions.len() as u64);
+    }
+
+    #[test]
+    fn child_counts_never_exceed_parent(
+        transactions in proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 0u8..2), 1..4), 1..30)
+    ) {
+        let mut tree = FpTree::new();
+        for t in &transactions {
+            let paths: Vec<NamePath> =
+                t.iter().map(|&(tag, e)| np(tag, &format!("e{e}"))).collect();
+            tree.update(&paths);
+        }
+        fn check(tree: &FpTree, node: namer_patterns::fptree::NodeRef) -> bool {
+            let parent_count = tree.count(node);
+            tree.children(node).iter().all(|&c| {
+                (tree.path(node).is_none() || tree.count(c) <= parent_count) && check(tree, c)
+            })
+        }
+        prop_assert!(check(&tree, tree.root()));
+    }
+
+    #[test]
+    fn violation_implies_match_and_not_satisfaction(
+        good in 10u8..40, bad in 1u8..5
+    ) {
+        // good statements end in "Equal", bad ones in "True".
+        let mut stmts: Vec<PathSet> = Vec::new();
+        for _ in 0..good {
+            stmts.push(PathSet::new(vec![np(0, "self"), np(1, "Equal")]));
+        }
+        for _ in 0..bad {
+            stmts.push(PathSet::new(vec![np(0, "self"), np(1, "True")]));
+        }
+        let mut pairs = ConfusingPairs::new();
+        pairs.insert(Sym::intern("True"), Sym::intern("Equal"));
+        let config = MiningConfig {
+            min_path_count: 2,
+            min_support: 5,
+            min_satisfaction: 0.5,
+            ..MiningConfig::default()
+        };
+        let patterns = mine_patterns(&stmts, PatternType::ConfusingWord, Some(&pairs), &config);
+        for p in &patterns {
+            for s in &stmts {
+                match p.relation(&s.paths) {
+                    Relation::Violated(_) => prop_assert!(p.matches(&s.paths)),
+                    Relation::Satisfied => prop_assert!(p.matches(&s.paths)),
+                    Relation::NoMatch => prop_assert!(!p.matches(&s.paths)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_counts_are_consistent(
+        good in 10u8..40, bad in 0u8..6
+    ) {
+        let mut stmts: Vec<PathSet> = Vec::new();
+        for _ in 0..good {
+            stmts.push(PathSet::new(vec![np(0, "self"), np(1, "Equal")]));
+        }
+        for _ in 0..bad {
+            stmts.push(PathSet::new(vec![np(0, "self"), np(1, "True")]));
+        }
+        let mut pairs = ConfusingPairs::new();
+        pairs.insert(Sym::intern("True"), Sym::intern("Equal"));
+        let config = MiningConfig {
+            min_path_count: 2,
+            min_support: 5,
+            min_satisfaction: 0.0,
+            ..MiningConfig::default()
+        };
+        let patterns = mine_patterns(&stmts, PatternType::ConfusingWord, Some(&pairs), &config);
+        for p in &patterns {
+            prop_assert!(p.satisfactions <= p.matches);
+            prop_assert!(p.matches as usize <= stmts.len());
+            prop_assert!(p.satisfaction_rate() >= 0.0 && p.satisfaction_rate() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn diff_of_identical_sources_is_empty(src_idx in 0usize..4) {
+        let sources = [
+            "x = compute(y)\n",
+            "self.name = name\n",
+            "for i in range(5):\n    total += i\n",
+            "with open(path) as f:\n    data = f.read()\n",
+        ];
+        let src = sources[src_idx];
+        let a = namer_syntax::python::parse(src).expect("parses");
+        let b = namer_syntax::python::parse(src).expect("parses");
+        prop_assert!(namer_patterns::diff_word_pairs(&a, &b).is_empty());
+    }
+}

@@ -1,0 +1,425 @@
+//! Arena-allocated abstract syntax trees.
+//!
+//! Definition 3.1 of the paper models a statement AST as
+//! `⟨N, T, r, δ, V, ϕ⟩`: non-terminals `N`, terminals `T`, root `r`, child
+//! function `δ`, values `V`, and value assignment `ϕ`. [`Ast`] realises this
+//! with an index-based arena: `δ` is [`Ast::children`] and `ϕ` is
+//! [`Ast::value`]. Nodes are identified by [`NodeId`]s local to their arena.
+
+use crate::intern::Sym;
+use std::fmt;
+
+/// Index of a node within one [`Ast`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the index as a `usize` for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Classification of a terminal node's value.
+///
+/// The AST+ transformation (§3.1 of the paper) needs to know which terminals
+/// carry identifier names (to split into subtokens), which carry literals
+/// (to abstract into `NUM`/`STR`/`BOOL`), and which are structural keywords.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TermKind {
+    /// An identifier name written by the developer.
+    Ident,
+    /// A numeric literal.
+    Num,
+    /// A string literal.
+    Str,
+    /// A boolean literal.
+    Bool,
+    /// A null-like literal (`None`, `null`).
+    Null,
+    /// Anything else (operators, keywords that survive into the tree).
+    Other,
+}
+
+/// What role an identifier terminal plays, used for origin decoration.
+///
+/// §3.1 step 4 inserts origin nodes above *object names* and above *function
+/// calls* (keyed on the receiver object). The parsers record the role so the
+/// transformation does not have to re-derive it from context.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum NameRole {
+    /// Not a name, or a name with no interesting role.
+    #[default]
+    None,
+    /// A variable / object reference (e.g. `self`, `picture`).
+    Object,
+    /// The called function or method name (e.g. `assertTrue`).
+    Function,
+    /// A type name (class reference, declared type).
+    Type,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    value: Sym,
+    kind: Option<TermKind>, // `None` ⇒ non-terminal
+    role: NameRole,
+    children: Vec<NodeId>,
+    line: u32,
+}
+
+/// An arena-based abstract syntax tree (Definition 3.1).
+///
+/// # Examples
+///
+/// ```
+/// use namer_syntax::ast::{Ast, TermKind};
+/// let mut ast = Ast::new();
+/// let callee = ast.terminal("print", TermKind::Ident);
+/// let arg = ast.terminal("STR", TermKind::Str);
+/// let call = ast.non_terminal("Call", vec![callee, arg]);
+/// ast.set_root(call);
+/// assert_eq!(ast.children(call).len(), 2);
+/// assert_eq!(ast.value(callee).as_str(), "print");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Ast {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl Ast {
+    /// Creates an empty tree with no root.
+    pub fn new() -> Ast {
+        Ast::default()
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("AST too large"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Allocates a terminal node.
+    pub fn terminal(&mut self, value: impl Into<Sym>, kind: TermKind) -> NodeId {
+        self.push(Node {
+            value: value.into(),
+            kind: Some(kind),
+            role: NameRole::None,
+            children: Vec::new(),
+            line: 0,
+        })
+    }
+
+    /// Allocates a non-terminal node with the given children.
+    pub fn non_terminal(&mut self, value: impl Into<Sym>, children: Vec<NodeId>) -> NodeId {
+        self.push(Node {
+            value: value.into(),
+            kind: None,
+            role: NameRole::None,
+            children,
+            line: 0,
+        })
+    }
+
+    /// Sets the root node `r`.
+    pub fn set_root(&mut self, root: NodeId) {
+        self.root = Some(root);
+    }
+
+    /// The root node `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root has been set.
+    pub fn root(&self) -> NodeId {
+        self.root.expect("AST has no root")
+    }
+
+    /// The root node, or `None` for an unrooted arena.
+    pub fn try_root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// The value `ϕ(n)` of a node.
+    pub fn value(&self, id: NodeId) -> Sym {
+        self.nodes[id.index()].value
+    }
+
+    /// The child list `δ(n)` (empty for terminals).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Returns `true` if the node is a terminal.
+    pub fn is_terminal(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].kind.is_some()
+    }
+
+    /// The terminal kind, or `None` for non-terminals.
+    pub fn term_kind(&self, id: NodeId) -> Option<TermKind> {
+        self.nodes[id.index()].kind
+    }
+
+    /// The name role annotation of a node.
+    pub fn role(&self, id: NodeId) -> NameRole {
+        self.nodes[id.index()].role
+    }
+
+    /// Annotates a node with a name role.
+    pub fn set_role(&mut self, id: NodeId, role: NameRole) {
+        self.nodes[id.index()].role = role;
+    }
+
+    /// 1-based source line of the node (0 when unknown).
+    pub fn line(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].line
+    }
+
+    /// Records the 1-based source line of the node.
+    pub fn set_line(&mut self, id: NodeId, line: u32) {
+        self.nodes[id.index()].line = line;
+    }
+
+    /// Replaces the children of a non-terminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal node.
+    pub fn set_children(&mut self, id: NodeId, children: Vec<NodeId>) {
+        assert!(!self.is_terminal(id), "terminals cannot have children");
+        self.nodes[id.index()].children = children;
+    }
+
+    /// Pre-order iterator over the subtree rooted at `id`.
+    pub fn preorder(&self, id: NodeId) -> Preorder<'_> {
+        Preorder {
+            ast: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Pre-order iterator over the whole tree.
+    pub fn iter(&self) -> Preorder<'_> {
+        match self.try_root() {
+            Some(root) => self.preorder(root),
+            None => Preorder {
+                ast: self,
+                stack: Vec::new(),
+            },
+        }
+    }
+
+    /// Deep-copies the subtree rooted at `src_id` of `src` into `self`.
+    ///
+    /// Returns the new root and appends `(new, old)` node pairs to `map`
+    /// so callers can relate copied nodes back to their originals.
+    pub fn copy_subtree(
+        &mut self,
+        src: &Ast,
+        src_id: NodeId,
+        map: &mut Vec<(NodeId, NodeId)>,
+    ) -> NodeId {
+        let node = &src.nodes[src_id.index()];
+        let children: Vec<NodeId> = node
+            .children
+            .iter()
+            .map(|&c| self.copy_subtree(src, c, map))
+            .collect();
+        let new = self.push(Node {
+            value: node.value,
+            kind: node.kind,
+            role: node.role,
+            children,
+            line: node.line,
+        });
+        map.push((new, src_id));
+        new
+    }
+
+    /// Terminal leaves of the subtree rooted at `id`, left to right.
+    pub fn leaves(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.collect_leaves(id, &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        if self.is_terminal(id) {
+            out.push(id);
+        } else {
+            for &c in self.children(id) {
+                self.collect_leaves(c, out);
+            }
+        }
+    }
+
+    /// Renders the subtree rooted at `id` as an s-expression.
+    ///
+    /// Intended for debugging and golden tests; terminals print their value,
+    /// non-terminals print `(Value child…)`.
+    pub fn to_sexp(&self, id: NodeId) -> String {
+        let mut s = String::new();
+        self.write_sexp(id, &mut s);
+        s
+    }
+
+    fn write_sexp(&self, id: NodeId, out: &mut String) {
+        if self.is_terminal(id) {
+            out.push_str(self.value(id).as_str());
+        } else {
+            out.push('(');
+            out.push_str(self.value(id).as_str());
+            for &c in self.children(id) {
+                out.push(' ');
+                self.write_sexp(c, out);
+            }
+            out.push(')');
+        }
+    }
+
+    /// Structural hash of the subtree rooted at `id` (value + shape).
+    ///
+    /// Two subtrees get the same digest iff they are structurally identical,
+    /// which is how the pipeline counts "identical statements" (features 2–3
+    /// of Table 1) and how the AST differ matches unchanged nodes.
+    pub fn digest(&self, id: NodeId) -> u64 {
+        // FNV-1a over a pre-order serialisation.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        self.digest_into(id, &mut h);
+        h
+    }
+
+    fn digest_into(&self, id: NodeId, h: &mut u64) {
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        mix(h, self.value(id).as_str().as_bytes());
+        mix(h, &[if self.is_terminal(id) { 1 } else { 0 }]);
+        mix(h, &(self.children(id).len() as u32).to_le_bytes());
+        for c in self.children(id).to_vec() {
+            self.digest_into(c, h);
+        }
+    }
+}
+
+/// Pre-order traversal iterator returned by [`Ast::preorder`].
+#[derive(Debug)]
+pub struct Preorder<'a> {
+    ast: &'a Ast,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        for &c in self.ast.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Ast, NodeId) {
+        let mut ast = Ast::new();
+        let a = ast.terminal("self", TermKind::Ident);
+        let b = ast.terminal("assertTrue", TermKind::Ident);
+        let attr = ast.non_terminal("AttributeLoad", vec![a, b]);
+        let num = ast.terminal("90", TermKind::Num);
+        let call = ast.non_terminal("Call", vec![attr, num]);
+        ast.set_root(call);
+        (ast, call)
+    }
+
+    #[test]
+    fn sexp_rendering() {
+        let (ast, root) = sample();
+        assert_eq!(ast.to_sexp(root), "(Call (AttributeLoad self assertTrue) 90)");
+    }
+
+    #[test]
+    fn preorder_visits_all_nodes_once() {
+        let (ast, root) = sample();
+        let visited: Vec<_> = ast.preorder(root).collect();
+        assert_eq!(visited.len(), ast.len());
+        let mut sorted = visited.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), visited.len());
+    }
+
+    #[test]
+    fn leaves_are_left_to_right() {
+        let (ast, root) = sample();
+        let vals: Vec<&str> = ast
+            .leaves(root)
+            .into_iter()
+            .map(|n| ast.value(n).as_str())
+            .collect();
+        assert_eq!(vals, ["self", "assertTrue", "90"]);
+    }
+
+    #[test]
+    fn copy_subtree_preserves_structure() {
+        let (ast, root) = sample();
+        let mut dst = Ast::new();
+        let mut map = Vec::new();
+        let new_root = dst.copy_subtree(&ast, root, &mut map);
+        dst.set_root(new_root);
+        assert_eq!(dst.to_sexp(new_root), ast.to_sexp(root));
+        assert_eq!(map.len(), ast.len());
+    }
+
+    #[test]
+    fn digest_distinguishes_values_and_shape() {
+        let (ast, root) = sample();
+        let mut other = Ast::new();
+        let a = other.terminal("self", TermKind::Ident);
+        let b = other.terminal("assertEqual", TermKind::Ident);
+        let attr = other.non_terminal("AttributeLoad", vec![a, b]);
+        let num = other.terminal("90", TermKind::Num);
+        let call = other.non_terminal("Call", vec![attr, num]);
+        other.set_root(call);
+        assert_ne!(ast.digest(root), other.digest(call));
+    }
+
+    #[test]
+    fn digest_equal_for_identical_trees() {
+        let (a, ra) = sample();
+        let (b, rb) = sample();
+        assert_eq!(a.digest(ra), b.digest(rb));
+    }
+
+    #[test]
+    fn roles_round_trip() {
+        let (mut ast, root) = sample();
+        let leaf = ast.leaves(root)[0];
+        ast.set_role(leaf, NameRole::Object);
+        assert_eq!(ast.role(leaf), NameRole::Object);
+    }
+}

@@ -1,0 +1,160 @@
+//! Global string interning.
+//!
+//! Pattern mining compares AST node values across millions of files, so node
+//! values are interned into cheap, `Copy` [`Sym`] handles that are comparable
+//! process-wide. The interner is a global append-only table guarded by an
+//! `RwLock`; lookups of already-interned strings take the read path only.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string.
+///
+/// Two `Sym`s compare equal iff the strings they intern are equal, regardless
+/// of which file or thread interned them. The ordering of `Sym` is the
+/// arbitrary (but stable within a process) interning order, which is what the
+/// FP-tree miner uses as its canonical item order.
+///
+/// # Examples
+///
+/// ```
+/// use namer_syntax::Sym;
+/// let a = Sym::intern("assertTrue");
+/// let b = Sym::intern("assertTrue");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "assertTrue");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    table: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns `s`, returning its global symbol.
+    pub fn intern(s: &str) -> Sym {
+        {
+            let int = interner().read();
+            if let Some(&id) = int.table.get(s) {
+                return Sym(id);
+            }
+        }
+        let mut int = interner().write();
+        if let Some(&id) = int.table.get(s) {
+            return Sym(id);
+        }
+        let id = u32::try_from(int.names.len()).expect("interner overflow");
+        // Interned strings live for the process lifetime; leaking them gives
+        // us `&'static str` handles without unsafe code.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        int.names.push(leaked);
+        int.table.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// Returns the raw index of this symbol in the global table.
+    ///
+    /// Useful as a dense array key; indices are assigned in interning order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::intern(&s)
+    }
+}
+
+impl serde::Serialize for Sym {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Sym {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Sym, D::Error> {
+        let s = String::deserialize(de)?;
+        Ok(Sym::intern(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Sym::intern("foo");
+        let b = Sym::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        assert_ne!(Sym::intern("foo"), Sym::intern("bar"));
+    }
+
+    #[test]
+    fn round_trips_through_as_str() {
+        let s = Sym::intern("NumArgs(2)");
+        assert_eq!(s.as_str(), "NumArgs(2)");
+    }
+
+    #[test]
+    fn display_matches_content() {
+        assert_eq!(Sym::intern("Call").to_string(), "Call");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Sym::intern("concurrent-key")))
+            .collect();
+        let syms: Vec<Sym> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        assert_eq!(Sym::intern("").as_str(), "");
+    }
+}

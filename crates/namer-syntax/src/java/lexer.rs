@@ -1,0 +1,264 @@
+//! Java lexer.
+
+use crate::source::ParseError;
+
+/// One Java token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Name(String),
+    /// Numeric literal (spelling preserved, suffixes included).
+    Number(String),
+    /// String literal (contents).
+    Str(String),
+    /// Character literal (contents).
+    Char(String),
+    /// Operator or punctuation.
+    Op(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+const OPERATORS: &[&str] = &[
+    ">>>=", "<<=", ">>=", ">>>", "...", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "::", "<<", ">>", "(", ")", "[", "]", "{", "}",
+    ";", ",", ".", "=", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "<", ">", "?", ":",
+    "@",
+];
+
+/// Tokenises Java source.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated strings/comments or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(ParseError::new(start_line, "unterminated block comment"));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() || chars[i] == '\n' {
+                        return Err(ParseError::new(line, "unterminated string literal"));
+                    }
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        s.push(chars[i]);
+                        s.push(chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '"' {
+                        i += 1;
+                        break;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() || chars[i] == '\n' {
+                        return Err(ParseError::new(line, "unterminated char literal"));
+                    }
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        s.push(chars[i]);
+                        s.push(chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        i += 1;
+                        break;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Char(s),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let hex = c == '0' && matches!(chars.get(i + 1), Some('x') | Some('X'));
+                if hex {
+                    i += 2;
+                }
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    if chars[i] == '.' && !chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                        break;
+                    }
+                    // Signed exponents: 1e-3
+                    if (chars[i] == 'e' || chars[i] == 'E')
+                        && !hex
+                        && matches!(chars.get(i + 1), Some('+') | Some('-'))
+                    {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Number(chars[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ if c.is_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Name(chars[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ => {
+                let rest: String = chars[i..chars.len().min(i + 4)].iter().collect();
+                let op = OPERATORS
+                    .iter()
+                    .find(|&&op| rest.starts_with(op))
+                    .copied()
+                    .ok_or_else(|| ParseError::new(line, format!("unexpected character {c:?}")))?;
+                out.push(Spanned {
+                    tok: Tok::Op(op),
+                    line,
+                });
+                i += op.len();
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_statement() {
+        assert_eq!(
+            toks("int x = 1;"),
+            vec![
+                Tok::Name("int".into()),
+                Tok::Name("x".into()),
+                Tok::Op("="),
+                Tok::Number("1".into()),
+                Tok::Op(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("// header\nint x; /* multi\nline */ int y;");
+        assert_eq!(t.iter().filter(|t| matches!(t, Tok::Name(_))).count(), 4);
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        assert_eq!(toks(r#"s = "hi";"#)[2], Tok::Str("hi".into()));
+        assert_eq!(toks("c = 'a';")[2], Tok::Char("a".into()));
+    }
+
+    #[test]
+    fn escapes_preserved() {
+        assert_eq!(toks(r#"s = "a\"b";"#)[2], Tok::Str(r#"a\"b"#.into()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes() {
+        assert_eq!(toks("x = 10L;")[2], Tok::Number("10L".into()));
+        assert_eq!(toks("x = 1.5f;")[2], Tok::Number("1.5f".into()));
+        assert_eq!(toks("x = 0xFF;")[2], Tok::Number("0xFF".into()));
+    }
+
+    #[test]
+    fn shift_operators() {
+        assert_eq!(toks("x >>>= 1;")[1], Tok::Op(">>>="));
+        assert_eq!(toks("x >> 1;")[1], Tok::Op(">>"));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("s = \"oops\n\"").is_err());
+    }
+
+    #[test]
+    fn dollar_identifiers() {
+        assert_eq!(toks("a$b = 1;")[0], Tok::Name("a$b".into()));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let s = lex("int a;\nint b;").unwrap();
+        let b = s.iter().find(|s| s.tok == Tok::Name("b".into())).unwrap();
+        assert_eq!(b.line, 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Parsing and program abstraction substrate for the Namer reproduction.
+//!
+//! This crate implements §3.1 of *“Learning to Find Naming Issues with Big
+//! Code and Small Supervision”* (PLDI 2021):
+//!
+//! * statement-level [ASTs](ast::Ast) for Python ([`python`]) and Java
+//!   ([`java`]);
+//! * [subtoken splitting](subtoken) by naming convention;
+//! * the **AST+** [transformation](transform) (literal abstraction,
+//!   `NumArgs(k)`, `NumST(k)`, origin decoration);
+//! * [statement extraction](stmt) projecting file trees onto statements;
+//! * [name paths](namepath) — the path abstraction patterns are built from.
+//!
+//! # Examples
+//!
+//! ```
+//! use namer_syntax::{python, stmt, transform, namepath};
+//!
+//! let ast = python::parse("self.assertTrue(picture.rotate_angle, 90)\n")?;
+//! let statements = stmt::extract(&ast);
+//! let plus = transform::to_ast_plus(&statements[0].ast, &transform::Origins::default());
+//! let paths = namepath::extract(&plus, 10);
+//! assert!(paths.iter().any(|p| p.end_str() == Some("True")));
+//! # Ok::<(), namer_syntax::ParseError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod intern;
+pub mod java;
+pub mod namepath;
+pub mod python;
+pub mod source;
+pub mod stmt;
+pub mod subtoken;
+pub mod transform;
+pub mod vocab;
+
+pub use ast::{Ast, NameRole, NodeId, TermKind};
+pub use intern::Sym;
+pub use source::{Lang, ParseError, SourceFile};
+
+/// Parses a [`SourceFile`] with the parser for its language.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the file does not lex or parse.
+pub fn parse_file(file: &SourceFile) -> Result<Ast, ParseError> {
+    match file.lang {
+        Lang::Python => python::parse(&file.text),
+        Lang::Java => java::parse(&file.text),
+    }
+}

@@ -1,0 +1,355 @@
+//! Indentation-aware Python lexer.
+
+use crate::source::ParseError;
+
+/// One Python token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Name(String),
+    /// Numeric literal (spelling preserved).
+    Number(String),
+    /// String literal (contents, quotes stripped).
+    Str(String),
+    /// Operator or punctuation.
+    Op(&'static str),
+    /// Logical end of line.
+    Newline,
+    /// Indentation increased.
+    Indent,
+    /// Indentation decreased.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+const OPERATORS: &[&str] = &[
+    "**=", "//=", ">>=", "<<=", "...", "==", "!=", "<=", ">=", "->", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "**", "//", "<<", ">>", ":=", "(", ")", "[", "]", "{", "}", ",", ":", ".",
+    ";", "@", "=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "<", ">",
+];
+
+/// Tokenises Python source, emitting `Indent`/`Dedent` pairs.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on inconsistent dedents, unterminated strings, or
+/// characters outside the supported lexical grammar.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut paren_depth = 0usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut at_line_start = true;
+
+    while i < bytes.len() {
+        if at_line_start && paren_depth == 0 {
+            // Measure indentation; skip blank / comment-only lines entirely.
+            let mut width = 0usize;
+            let mut j = i;
+            while j < bytes.len() && (bytes[j] == ' ' || bytes[j] == '\t') {
+                width += if bytes[j] == '\t' { 8 } else { 1 };
+                j += 1;
+            }
+            if j >= bytes.len() {
+                break;
+            }
+            if bytes[j] == '\n' {
+                i = j + 1;
+                line += 1;
+                continue;
+            }
+            if bytes[j] == '#' {
+                while j < bytes.len() && bytes[j] != '\n' {
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            let current = *indents.last().expect("indent stack never empty");
+            if width > current {
+                indents.push(width);
+                out.push(Spanned {
+                    tok: Tok::Indent,
+                    line,
+                });
+            } else {
+                while width < *indents.last().expect("indent stack never empty") {
+                    indents.pop();
+                    out.push(Spanned {
+                        tok: Tok::Dedent,
+                        line,
+                    });
+                }
+                if width != *indents.last().expect("indent stack never empty") {
+                    return Err(ParseError::new(line, "inconsistent dedent"));
+                }
+            }
+            i = j;
+            at_line_start = false;
+            continue;
+        }
+
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+                if paren_depth == 0 {
+                    if !matches!(out.last().map(|s| &s.tok), Some(Tok::Newline) | None) {
+                        out.push(Spanned {
+                            tok: Tok::Newline,
+                            line: line - 1,
+                        });
+                    }
+                    at_line_start = true;
+                }
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\\' if i + 1 < bytes.len() && bytes[i + 1] == '\n' => {
+                line += 1;
+                i += 2;
+            }
+            '\'' | '"' => {
+                let (s, consumed, newlines) = lex_string(&bytes[i..], line)?;
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+                i += consumed;
+                line += newlines;
+            }
+            _ if c.is_ascii_digit() || (c == '.' && peek_digit(&bytes, i + 1)) => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == '.'
+                        || bytes[i] == '_'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && matches!(bytes.get(i - 1), Some('e') | Some('E'))))
+                {
+                    // Stop a trailing dot that starts an attribute access on a
+                    // method call like `1 .foo` — not valid in our subset, so
+                    // a simple greedy scan is fine, but avoid swallowing `..`.
+                    if bytes[i] == '.' && matches!(bytes.get(i + 1), Some('.')) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Number(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                // String prefixes: r"", b"", f"", u"" and combinations.
+                if word.len() <= 2
+                    && word.chars().all(|ch| "rbfuRBFU".contains(ch))
+                    && i < bytes.len()
+                    && (bytes[i] == '"' || bytes[i] == '\'')
+                {
+                    let (s, consumed, newlines) = lex_string(&bytes[i..], line)?;
+                    out.push(Spanned {
+                        tok: Tok::Str(s),
+                        line,
+                    });
+                    i += consumed;
+                    line += newlines;
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Name(word),
+                        line,
+                    });
+                }
+            }
+            _ => {
+                let rest: String = bytes[i..bytes.len().min(i + 3)].iter().collect();
+                let op = OPERATORS
+                    .iter()
+                    .find(|&&op| rest.starts_with(op))
+                    .copied()
+                    .ok_or_else(|| ParseError::new(line, format!("unexpected character {c:?}")))?;
+                match op {
+                    "(" | "[" | "{" => paren_depth += 1,
+                    ")" | "]" | "}" => paren_depth = paren_depth.saturating_sub(1),
+                    _ => {}
+                }
+                out.push(Spanned {
+                    tok: Tok::Op(op),
+                    line,
+                });
+                i += op.len();
+            }
+        }
+    }
+    while indents.len() > 1 {
+        indents.pop();
+        out.push(Spanned {
+            tok: Tok::Dedent,
+            line,
+        });
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn peek_digit(bytes: &[char], i: usize) -> bool {
+    bytes.get(i).is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Lexes a string starting at `src[0]` (a quote). Returns (contents,
+/// chars consumed, newlines crossed).
+fn lex_string(src: &[char], line: u32) -> Result<(String, usize, u32), ParseError> {
+    let quote = src[0];
+    let triple = src.len() >= 3 && src[1] == quote && src[2] == quote;
+    let (open, close_len) = if triple { (3, 3) } else { (1, 1) };
+    let mut i = open;
+    let mut s = String::new();
+    let mut newlines = 0;
+    while i < src.len() {
+        if src[i] == '\\' && i + 1 < src.len() {
+            s.push(src[i]);
+            s.push(src[i + 1]);
+            if src[i + 1] == '\n' {
+                newlines += 1;
+            }
+            i += 2;
+            continue;
+        }
+        let closed = if triple {
+            src[i] == quote && src.get(i + 1) == Some(&quote) && src.get(i + 2) == Some(&quote)
+        } else {
+            src[i] == quote
+        };
+        if closed {
+            return Ok((s, i + close_len, newlines));
+        }
+        if src[i] == '\n' {
+            if !triple {
+                return Err(ParseError::new(line, "unterminated string literal"));
+            }
+            newlines += 1;
+        }
+        s.push(src[i]);
+        i += 1;
+    }
+    Err(ParseError::new(line, "unterminated string literal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            toks("x = 1\n"),
+            vec![
+                Tok::Name("x".into()),
+                Tok::Op("="),
+                Tok::Number("1".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let t = toks("if x:\n    y = 2\nz = 3\n");
+        assert!(t.contains(&Tok::Indent));
+        assert!(t.contains(&Tok::Dedent));
+    }
+
+    #[test]
+    fn nested_dedents_unwind() {
+        let t = toks("if a:\n  if b:\n    c = 1\n");
+        let dedents = t.iter().filter(|t| matches!(t, Tok::Dedent)).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("# header\nx = 1  # trailing\n");
+        assert!(!t
+            .iter()
+            .any(|t| matches!(t, Tok::Name(n) if n.contains("header"))));
+        assert_eq!(t.iter().filter(|t| matches!(t, Tok::Name(_))).count(), 1);
+    }
+
+    #[test]
+    fn strings_with_prefixes() {
+        assert_eq!(
+            toks("s = r\"raw\"\n")[2],
+            Tok::Str("raw".into()),
+            "raw strings keep contents"
+        );
+        assert!(matches!(&toks("s = '''multi\nline'''\n")[2], Tok::Str(s) if s.contains('\n')));
+    }
+
+    #[test]
+    fn newlines_suppressed_in_brackets() {
+        let t = toks("f(a,\n  b)\n");
+        let newlines = t.iter().filter(|t| matches!(t, Tok::Newline)).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_an_error() {
+        assert!(lex("if a:\n    x = 1\n  y = 2\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("s = 'oops\n").is_err());
+    }
+
+    #[test]
+    fn float_and_exponent_numbers() {
+        assert_eq!(toks("x = 1.5e-3\n")[2], Tok::Number("1.5e-3".into()));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let t = toks("x **= 2\n");
+        assert_eq!(t[1], Tok::Op("**="));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let spanned = lex("a = 1\nb = 2\n").unwrap();
+        let b = spanned
+            .iter()
+            .find(|s| s.tok == Tok::Name("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 2);
+    }
+}

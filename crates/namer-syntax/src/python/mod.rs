@@ -1,0 +1,6 @@
+//! Python lexing and parsing.
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::parse;

@@ -1,0 +1,100 @@
+//! Source files and parse errors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The languages Namer supports end to end.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Lang {
+    /// Python (dynamically typed).
+    Python,
+    /// Java (statically typed).
+    Java,
+}
+
+impl fmt::Display for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Lang::Python => "Python",
+            Lang::Java => "Java",
+        })
+    }
+}
+
+/// A source file together with its repository identity.
+///
+/// The defect classifier's features (Table 1 of the paper) aggregate
+/// statistics at file, repository, and dataset level, so every file carries
+/// the repository it belongs to.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// Repository the file belongs to (e.g. `"github.com/acme/widget"`).
+    pub repo: String,
+    /// Path of the file within the repository.
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+    /// Language of the file.
+    pub lang: Lang,
+}
+
+impl SourceFile {
+    /// Convenience constructor.
+    pub fn new(
+        repo: impl Into<String>,
+        path: impl Into<String>,
+        text: impl Into<String>,
+        lang: Lang,
+    ) -> SourceFile {
+        SourceFile {
+            repo: repo.into(),
+            path: path.into(),
+            text: text.into(),
+            lang,
+        }
+    }
+}
+
+/// Error produced by the lexers and parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the problem was detected.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_displays_line() {
+        let e = ParseError::new(3, "unexpected token");
+        assert_eq!(e.to_string(), "parse error at line 3: unexpected token");
+    }
+
+    #[test]
+    fn lang_displays() {
+        assert_eq!(Lang::Python.to_string(), "Python");
+        assert_eq!(Lang::Java.to_string(), "Java");
+    }
+}

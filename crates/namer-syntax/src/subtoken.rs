@@ -1,0 +1,199 @@
+//! Identifier subtoken splitting.
+//!
+//! §3.1 step 3 of the paper splits identifier names "into subtokens based on
+//! standard naming conventions such as camelCase and snake_case". The splitter
+//! here handles snake_case, camelCase, PascalCase, SCREAMING_SNAKE, acronym
+//! runs (`HTTPServer` → `HTTP`, `Server`), and digit groups, while preserving
+//! the original casing of each piece (`assertTrue` → `assert`, `True`).
+
+/// Splits an identifier into its subtokens.
+///
+/// Unsplittable names (e.g. `self`, `x`) produce a single subtoken. Leading,
+/// trailing, and repeated underscores are treated as separators and never
+/// appear in the output; a name consisting only of underscores yields itself.
+///
+/// # Examples
+///
+/// ```
+/// use namer_syntax::subtoken::split;
+/// assert_eq!(split("assertTrue"), ["assert", "True"]);
+/// assert_eq!(split("rotate_angle"), ["rotate", "angle"]);
+/// assert_eq!(split("HTTPServer2"), ["HTTP", "Server", "2"]);
+/// assert_eq!(split("self"), ["self"]);
+/// ```
+pub fn split(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for piece in name.split('_').filter(|p| !p.is_empty()) {
+        split_camel(piece, &mut out);
+    }
+    if out.is_empty() {
+        // `_`, `__`, or the empty string: keep the original spelling so the
+        // statement still contributes a (degenerate) subtoken.
+        out.push(name.to_owned());
+    }
+    out
+}
+
+/// Number of subtokens [`split`] would produce, without allocating them.
+pub fn count(name: &str) -> usize {
+    let mut n = 0;
+    for piece in name.split('_').filter(|p| !p.is_empty()) {
+        n += count_camel(piece);
+    }
+    n.max(1)
+}
+
+/// Joins subtokens back into a snake_case identifier.
+///
+/// Used when rendering suggested fixes: the deduction of a violated pattern
+/// replaces one subtoken and the fix is re-serialised for display.
+pub fn join_snake(parts: &[String]) -> String {
+    parts
+        .iter()
+        .map(|p| p.to_lowercase())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CharClass {
+    Lower,
+    Upper,
+    Digit,
+    Other,
+}
+
+fn classify(c: char) -> CharClass {
+    if c.is_lowercase() {
+        CharClass::Lower
+    } else if c.is_uppercase() {
+        CharClass::Upper
+    } else if c.is_ascii_digit() {
+        CharClass::Digit
+    } else {
+        CharClass::Other
+    }
+}
+
+/// Boundary test: does a new subtoken start at position `i` (chars `prev`,
+/// `cur`, lookahead `next`)?
+fn is_boundary(prev: CharClass, cur: CharClass, next: Option<CharClass>) -> bool {
+    use CharClass::*;
+    match (prev, cur) {
+        // fooBar → foo | Bar
+        (Lower, Upper) => true,
+        // HTTPServer → HTTP | Server (upper run followed by a lower char)
+        (Upper, Upper) => next == Some(Lower),
+        // foo2 → foo | 2 ; 2foo → 2 | foo
+        (Lower | Upper, Digit) => true,
+        (Digit, Lower | Upper) => true,
+        _ => false,
+    }
+}
+
+fn split_camel(piece: &str, out: &mut Vec<String>) {
+    let chars: Vec<char> = piece.chars().collect();
+    let classes: Vec<CharClass> = chars.iter().map(|&c| classify(c)).collect();
+    let mut start = 0;
+    for i in 1..chars.len() {
+        if is_boundary(classes[i - 1], classes[i], classes.get(i + 1).copied()) {
+            out.push(chars[start..i].iter().collect());
+            start = i;
+        }
+    }
+    if start < chars.len() {
+        out.push(chars[start..].iter().collect());
+    }
+}
+
+fn count_camel(piece: &str) -> usize {
+    let chars: Vec<char> = piece.chars().collect();
+    let classes: Vec<CharClass> = chars.iter().map(|&c| classify(c)).collect();
+    let mut n = usize::from(!chars.is_empty());
+    for i in 1..chars.len() {
+        if is_boundary(classes[i - 1], classes[i], classes.get(i + 1).copied()) {
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case() {
+        assert_eq!(split("rotate_angle"), ["rotate", "angle"]);
+        assert_eq!(split("num_or_process"), ["num", "or", "process"]);
+    }
+
+    #[test]
+    fn camel_case_preserves_casing() {
+        assert_eq!(split("assertTrue"), ["assert", "True"]);
+        assert_eq!(split("getStackTrace"), ["get", "Stack", "Trace"]);
+    }
+
+    #[test]
+    fn pascal_case() {
+        assert_eq!(split("TestPicture"), ["Test", "Picture"]);
+    }
+
+    #[test]
+    fn screaming_snake() {
+        assert_eq!(split("MAX_VALUE"), ["MAX", "VALUE"]);
+    }
+
+    #[test]
+    fn acronym_runs() {
+        assert_eq!(split("HTTPServer"), ["HTTP", "Server"]);
+        assert_eq!(split("parseXMLDoc"), ["parse", "XML", "Doc"]);
+    }
+
+    #[test]
+    fn digits_split() {
+        assert_eq!(split("vec2d"), ["vec", "2", "d"]);
+        assert_eq!(split("utf8"), ["utf", "8"]);
+    }
+
+    #[test]
+    fn unsplittable_names() {
+        assert_eq!(split("self"), ["self"]);
+        assert_eq!(split("x"), ["x"]);
+        assert_eq!(split("NUM"), ["NUM"]);
+    }
+
+    #[test]
+    fn dunder_names() {
+        assert_eq!(split("__init__"), ["init"]);
+        assert_eq!(split("_private_field"), ["private", "field"]);
+    }
+
+    #[test]
+    fn underscore_only() {
+        assert_eq!(split("_"), ["_"]);
+        assert_eq!(split("__"), ["__"]);
+    }
+
+    #[test]
+    fn count_matches_split() {
+        for name in [
+            "assertTrue",
+            "rotate_angle",
+            "HTTPServer2",
+            "self",
+            "_",
+            "parseXMLDoc",
+            "MAX_VALUE",
+            "__init__",
+        ] {
+            assert_eq!(count(name), split(name).len(), "mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn join_snake_lowercases() {
+        let parts = split("assertEqual");
+        assert_eq!(join_snake(&parts), "assert_equal");
+    }
+}

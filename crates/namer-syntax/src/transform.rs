@@ -1,0 +1,290 @@
+//! The AST+ transformation (§3.1 of the paper).
+//!
+//! Given a parsed statement AST, [`to_ast_plus`] applies the four steps:
+//!
+//! 1. literal abstraction — numeric values become `NUM`, strings `STR`,
+//!    booleans `BOOL` (and null-likes `NONE`);
+//! 2. a `NumArgs(k)` node is inserted above every call and every function
+//!    definition, where `k` is the number of arguments;
+//! 3. every named terminal is split into subtokens and replaced by a
+//!    `NumST(k)` node whose children are the subtoken terminals (literals get
+//!    `NumST(1)`);
+//! 4. origin decoration — terminals whose origin the static analysis resolved
+//!    get an origin-valued node inserted as the parent of each subtoken, as
+//!    in Figure 2 (c) where `self`, `assert` and `True` all sit below
+//!    `TestCase` nodes. Unresolved (⊤) origins insert nothing, matching the
+//!    paper ("when the origin sites are precisely computed … this
+//!    information is added").
+
+use crate::ast::{Ast, NodeId, TermKind};
+use crate::intern::Sym;
+use crate::subtoken;
+use crate::vocab;
+use std::collections::HashMap;
+
+/// Origin assignments for the terminals of one statement AST.
+///
+/// Keys are terminal [`NodeId`]s of the *input* statement tree; values are
+/// origin symbols (an allocation-site class like `TestCase`, a primitive
+/// source like `Str`, or [`vocab::object_top`] when the analysis wants to
+/// force a generic origin). Terminals absent from the map get no origin node
+/// (the ⊤ case). An empty map therefore reproduces the "w/o A" ablation of
+/// Tables 2 and 5.
+#[derive(Clone, Debug, Default)]
+pub struct Origins {
+    map: HashMap<NodeId, Sym>,
+}
+
+impl Origins {
+    /// Creates an empty origin assignment (no decoration — the "w/o A" mode).
+    pub fn new() -> Origins {
+        Origins::default()
+    }
+
+    /// Assigns `origin` to terminal `node`.
+    pub fn set(&mut self, node: NodeId, origin: Sym) {
+        self.map.insert(node, origin);
+    }
+
+    /// The origin assigned to `node`, if resolved.
+    pub fn get(&self, node: NodeId) -> Option<Sym> {
+        self.map.get(&node).copied()
+    }
+
+    /// Number of resolved terminals.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no terminal has a resolved origin.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl FromIterator<(NodeId, Sym)> for Origins {
+    fn from_iter<I: IntoIterator<Item = (NodeId, Sym)>>(iter: I) -> Origins {
+        Origins {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Applies the AST+ transformation to a statement tree.
+///
+/// # Examples
+///
+/// ```
+/// use namer_syntax::{python, stmt, transform};
+/// let file = python::parse("self.assertTrue(x, 90)\n")?;
+/// let s = &stmt::extract(&file)[0];
+/// let plus = transform::to_ast_plus(&s.ast, &transform::Origins::new());
+/// let sexp = plus.to_sexp(plus.root());
+/// assert!(sexp.contains("NumArgs(2)"));
+/// assert!(sexp.contains("(NumST(2) assert True)"));
+/// assert!(sexp.contains("(NumST(1) NUM)"));
+/// # Ok::<(), namer_syntax::ParseError>(())
+/// ```
+pub fn to_ast_plus(stmt: &Ast, origins: &Origins) -> Ast {
+    let mut out = Ast::new();
+    let root = rebuild(stmt, stmt.root(), &mut out, origins);
+    out.set_root(root);
+    out
+}
+
+fn rebuild(src: &Ast, id: NodeId, out: &mut Ast, origins: &Origins) -> NodeId {
+    if src.is_terminal(id) {
+        return rebuild_terminal(src, id, out, origins);
+    }
+    let children: Vec<NodeId> = src
+        .children(id)
+        .iter()
+        .map(|&c| rebuild(src, c, out, origins))
+        .collect();
+    let value = src.value(id);
+    let node = out.non_terminal(value, children);
+    out.set_line(node, src.line(id));
+    if let Some(arity) = call_arity(src, id) {
+        let wrapper = out.non_terminal(vocab::num_args(arity), vec![node]);
+        out.set_line(wrapper, src.line(id));
+        return wrapper;
+    }
+    node
+}
+
+/// Number of arguments if `id` is a call-like or definition node.
+fn call_arity(src: &Ast, id: NodeId) -> Option<usize> {
+    let v = src.value(id);
+    if v == vocab::call() || v == vocab::new_object() {
+        // First child is the callee / constructed type.
+        Some(src.children(id).len().saturating_sub(1))
+    } else if v == vocab::function_def()
+        || v == vocab::method_decl()
+        || v == vocab::ctor_decl()
+    {
+        src.children(id)
+            .iter()
+            .find(|&&c| src.value(c) == vocab::params())
+            .map(|&p| src.children(p).len())
+    } else {
+        None
+    }
+}
+
+fn rebuild_terminal(src: &Ast, id: NodeId, out: &mut Ast, origins: &Origins) -> NodeId {
+    let kind = src.term_kind(id).expect("terminal");
+    let line = src.line(id);
+    match kind {
+        TermKind::Other => {
+            let t = out.terminal(src.value(id), TermKind::Other);
+            out.set_line(t, line);
+            t
+        }
+        TermKind::Num | TermKind::Str | TermKind::Bool | TermKind::Null => {
+            let token = match kind {
+                TermKind::Num => vocab::num_token(),
+                TermKind::Str => vocab::str_token(),
+                TermKind::Bool => vocab::bool_token(),
+                _ => vocab::none_token(),
+            };
+            let t = out.terminal(token, kind);
+            out.set_line(t, line);
+            let leaf = wrap_origin(out, t, origins.get(id));
+            let st = out.non_terminal(vocab::num_st(1), vec![leaf]);
+            out.set_line(st, line);
+            st
+        }
+        TermKind::Ident => {
+            let name = src.value(id);
+            let parts = subtoken::split(name.as_str());
+            let origin = origins.get(id);
+            let role = src.role(id);
+            let kids: Vec<NodeId> = parts
+                .iter()
+                .map(|p| {
+                    let t = out.terminal(p.as_str(), TermKind::Ident);
+                    out.set_role(t, role);
+                    out.set_line(t, line);
+                    wrap_origin(out, t, origin)
+                })
+                .collect();
+            let st = out.non_terminal(vocab::num_st(parts.len()), kids);
+            out.set_line(st, line);
+            st
+        }
+    }
+}
+
+fn wrap_origin(out: &mut Ast, terminal: NodeId, origin: Option<Sym>) -> NodeId {
+    match origin {
+        Some(o) => {
+            let line = out.line(terminal);
+            let w = out.non_terminal(o, vec![terminal]);
+            out.set_line(w, line);
+            w
+        }
+        None => terminal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{python, stmt};
+
+    fn plus_of(src: &str, origins: impl Fn(&Ast) -> Origins) -> Ast {
+        let file = python::parse(src).unwrap();
+        let s = &stmt::extract(&file)[0];
+        let o = origins(&s.ast);
+        to_ast_plus(&s.ast, &o)
+    }
+
+    fn plain(src: &str) -> String {
+        let p = plus_of(src, |_| Origins::new());
+        p.to_sexp(p.root())
+    }
+
+    #[test]
+    fn figure2_shape_without_origins() {
+        let s = plain("self.assertTrue(picture.rotate_angle, 90)\n");
+        assert_eq!(
+            s,
+            "(ExprStmt (NumArgs(2) (Call (AttributeLoad (NameLoad (NumST(1) self)) \
+             (Attr (NumST(2) assert True))) (AttributeLoad (NameLoad (NumST(1) picture)) \
+             (Attr (NumST(2) rotate angle))) (Num (NumST(1) NUM)))))"
+        );
+    }
+
+    #[test]
+    fn figure2_shape_with_origins() {
+        let p = plus_of("self.assertTrue(x, 90)\n", |ast| {
+            let test_case = Sym::intern("TestCase");
+            ast.iter()
+                .filter(|&n| ast.is_terminal(n))
+                .filter(|&n| {
+                    let v = ast.value(n).as_str();
+                    v == "self" || v == "assertTrue"
+                })
+                .map(|n| (n, test_case))
+                .collect()
+        });
+        let s = p.to_sexp(p.root());
+        assert!(s.contains("(NumST(1) (TestCase self))"), "{s}");
+        assert!(s.contains("(NumST(2) (TestCase assert) (TestCase True))"), "{s}");
+    }
+
+    #[test]
+    fn literals_are_abstracted() {
+        let s = plain("x = 'hello'\n");
+        assert!(s.contains("(Str (NumST(1) STR))"), "{s}");
+        let s = plain("flag = True\n");
+        assert!(s.contains("(Bool (NumST(1) BOOL))"), "{s}");
+        let s = plain("v = None\n");
+        assert!(s.contains("(NoneLit (NumST(1) NONE))"), "{s}");
+    }
+
+    #[test]
+    fn num_args_counts_call_arguments() {
+        assert!(plain("f()\n").contains("NumArgs(0)"));
+        assert!(plain("f(a)\n").contains("NumArgs(1)"));
+        assert!(plain("f(a, b, c)\n").contains("NumArgs(3)"));
+    }
+
+    #[test]
+    fn num_args_on_definitions() {
+        let file = python::parse("def evolve(self, a, **args):\n    pass\n").unwrap();
+        let s = &stmt::extract(&file)[0];
+        let p = to_ast_plus(&s.ast, &Origins::new());
+        assert!(p.to_sexp(p.root()).contains("NumArgs(3)"));
+    }
+
+    #[test]
+    fn subtokens_keep_roles() {
+        let p = plus_of("self.assertTrue(x)\n", |_| Origins::new());
+        let roles: Vec<_> = p
+            .iter()
+            .filter(|&n| p.is_terminal(n) && p.value(n).as_str() == "assert")
+            .map(|n| p.role(n))
+            .collect();
+        assert_eq!(roles, [crate::NameRole::Function]);
+    }
+
+    #[test]
+    fn nested_calls_each_get_num_args() {
+        let s = plain("f(g(x))\n");
+        assert_eq!(s.matches("NumArgs(1)").count(), 2);
+    }
+
+    #[test]
+    fn operators_survive_untouched() {
+        let s = plain("total += 1\n");
+        assert!(s.contains("+="), "{s}");
+    }
+
+    #[test]
+    fn origins_empty_is_identity_on_paths() {
+        // w/o A: no origin nodes anywhere.
+        let s = plain("self.run()\n");
+        assert!(!s.contains("Object"), "{s}");
+    }
+}

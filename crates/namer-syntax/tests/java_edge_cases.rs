@@ -1,0 +1,218 @@
+//! Java parser edge cases beyond the inline unit tests.
+
+use namer_syntax::{java, stmt};
+
+fn sexp(src: &str) -> String {
+    let ast = java::parse(src).unwrap_or_else(|e| panic!("parse failed for {src:?}: {e}"));
+    ast.to_sexp(ast.root())
+}
+
+fn in_method(body: &str) -> String {
+    sexp(&format!("class A {{ void f() {{ {body} }} }}"))
+}
+
+#[test]
+fn do_while_statement() {
+    let s = in_method("do { step(); } while (running);");
+    assert!(s.contains("(DoWhile (NameLoad running) (Body (ExprStmt (Call (NameLoad step)))))"), "{s}");
+    assert!(!s.contains("Block"), "bare blocks are spliced: {s}");
+}
+
+#[test]
+fn nested_ternary() {
+    let s = in_method("int x = a ? 1 : b ? 2 : 3;");
+    assert_eq!(s.matches("Ternary").count(), 2, "{s}");
+}
+
+#[test]
+fn static_initializer_block() {
+    let s = sexp("class A { static { setup(); } }");
+    assert!(s.contains("(Initializer (Body (ExprStmt (Call (NameLoad setup)))))"), "{s}");
+}
+
+#[test]
+fn varargs_method() {
+    let s = sexp("class A { void log(String... parts) { } }");
+    assert!(s.contains("(StarParam (TypeRef String) (NameParam parts))"), "{s}");
+}
+
+#[test]
+fn labeled_break_and_continue() {
+    let s = in_method("while (a) { break outer; }");
+    assert!(s.contains("(Break)"), "{s}");
+    let s = in_method("while (a) { continue outer; }");
+    assert!(s.contains("(Continue)"), "{s}");
+}
+
+#[test]
+fn multi_catch() {
+    let s = in_method("try { run(); } catch (IOException | TimeoutException e) { }");
+    assert!(s.contains("(Handler (TypeRef IOException) (TypeRef TimeoutException) (NameStore e)"), "{s}");
+}
+
+#[test]
+fn nested_generics_shift_ambiguity() {
+    let s = in_method("Map<String, Map<String, List<Integer>>> deep = build();");
+    assert!(
+        s.contains("(TypeRef Map (TypeRef String) (TypeRef Map (TypeRef String) (TypeRef List (TypeRef Integer))))"),
+        "{s}"
+    );
+    // Shift operators still work.
+    let s = in_method("int x = a >> 2;");
+    assert!(s.contains("(BinOp (NameLoad a) >> (Num 2))"), "{s}");
+}
+
+#[test]
+fn wildcard_generics() {
+    let s = in_method("List<? extends Number> xs = make();");
+    assert!(s.contains("(TypeRef List (TypeRef Number))"), "{s}");
+}
+
+#[test]
+fn qualified_types_keep_simple_name() {
+    let s = in_method("java.util.List items = fetch();");
+    assert!(s.contains("(TypeRef List)"), "{s}");
+}
+
+#[test]
+fn chained_calls_and_field_access() {
+    let s = in_method("int n = config.getServer().getPort();");
+    assert_eq!(s.matches("Call").count(), 2, "{s}");
+    assert!(s.contains("(Attr getPort)"), "{s}");
+}
+
+#[test]
+fn new_with_anonymous_class_body() {
+    let s = in_method("Runnable r = new Runnable() { public void run() { } };");
+    assert!(s.contains("(New (TypeRef Runnable))"), "{s}");
+}
+
+#[test]
+fn array_of_arrays() {
+    let s = in_method("int[][] grid = new int[3][4];");
+    assert!(s.contains("(NewArray (TypeRef int) (Num 3) (Num 4))"), "{s}");
+}
+
+#[test]
+fn array_initializer() {
+    let s = in_method("int[] xs = new int[] {1, 2, 3};");
+    assert!(s.contains("(ListLit (Num 1) (Num 2) (Num 3))"), "{s}");
+}
+
+#[test]
+fn conditional_and_or_precedence() {
+    let s = in_method("boolean b = x && y || z;");
+    // (x && y) || z
+    assert!(s.contains("(BoolOp (BoolOp (NameLoad x) && (NameLoad y)) || (NameLoad z))"), "{s}");
+}
+
+#[test]
+fn prefix_and_postfix_mix() {
+    let s = in_method("int x = ++a + b--;");
+    assert_eq!(s.matches("UnaryOp").count(), 2, "{s}");
+}
+
+#[test]
+fn string_concatenation() {
+    let s = in_method("String msg = \"a\" + name + \"b\";");
+    assert_eq!(s.matches("BinOp").count(), 2, "{s}");
+}
+
+#[test]
+fn this_call_and_field() {
+    let s = sexp("class A { int v; void f() { this.v = this.get(); } }");
+    assert!(s.contains("(AttributeStore (NameLoad this) (Attr v))"), "{s}");
+    assert!(s.contains("(Call (AttributeLoad (NameLoad this) (Attr get)))"), "{s}");
+}
+
+#[test]
+fn super_method_call() {
+    let s = in_method("super.validate();");
+    assert!(s.contains("(Call (AttributeLoad (NameLoad super) (Attr validate)))"), "{s}");
+}
+
+#[test]
+fn synchronized_method_body() {
+    let s = in_method("synchronized (lock) { count++; }");
+    assert!(s.contains("(Synchronized (NameLoad lock)"), "{s}");
+}
+
+#[test]
+fn cast_of_call_result() {
+    let s = in_method("String s = (String) box.get();");
+    assert!(s.contains("(Cast (TypeRef String) (Call (AttributeLoad (NameLoad box) (Attr get))))"), "{s}");
+}
+
+#[test]
+fn instanceof_in_condition() {
+    let s = in_method("if (o instanceof List && ready) { use(o); }");
+    assert!(s.contains("(InstanceOf (NameLoad o) (TypeRef List))"), "{s}");
+}
+
+#[test]
+fn class_literal_access() {
+    let s = in_method("Class<?> c = String.class;");
+    assert!(s.contains("(AttributeLoad (NameLoad String) (Attr class))"), "{s}");
+}
+
+#[test]
+fn interface_with_default_method() {
+    let s = sexp("interface I { default int size() { return 0; } }");
+    assert!(s.contains("(MethodDecl (TypeRef int) (NameStore size) (Params) (Return (Num 0)))"), "{s}");
+}
+
+#[test]
+fn enum_with_members() {
+    let s = sexp("enum State { ON, OFF; public boolean active() { return true; } }");
+    assert!(s.contains("(NameStore ON)"), "{s}");
+    assert!(s.contains("(MethodDecl (TypeRef boolean) (NameStore active)"), "{s}");
+}
+
+#[test]
+fn nested_class_extraction() {
+    let src = "class Outer { class Inner { void m() { helper(); } } }";
+    let ast = java::parse(src).unwrap();
+    let stmts = stmt::extract(&ast);
+    let classes = stmts
+        .iter()
+        .filter(|s| s.ast.value(s.ast.root()).as_str() == "ClassDef")
+        .count();
+    assert_eq!(classes, 2);
+    let inner_method = stmts
+        .iter()
+        .find(|s| s.to_sexp().contains("(NameStore m)"))
+        .expect("method extracted");
+    assert_eq!(inner_method.enclosing_class.unwrap().as_str(), "Inner");
+}
+
+#[test]
+fn switch_with_fallthrough_cases() {
+    let s = in_method("switch (x) { case 1: case 2: both(); break; default: other(); }");
+    assert!(s.contains("Switch"), "{s}");
+    assert!(s.contains("(Call (NameLoad both))"), "{s}");
+}
+
+#[test]
+fn hex_and_long_literals() {
+    let s = in_method("long mask = 0xFF; long big = 10000000000L;");
+    assert!(s.contains("(Num 0xFF)"), "{s}");
+    assert!(s.contains("(Num 10000000000L)"), "{s}");
+}
+
+#[test]
+fn empty_class_and_interface() {
+    assert!(sexp("class Empty { }").contains("(ClassDef (NameStore Empty) (Bases))"));
+    assert!(sexp("interface Marker { }").contains("(ClassDef (NameStore Marker) (Bases))"));
+}
+
+#[test]
+fn generic_method_declaration() {
+    let s = sexp("class A { <T> T identity(T value) { return value; } }");
+    assert!(s.contains("(MethodDecl (TypeRef T) (NameStore identity)"), "{s}");
+}
+
+#[test]
+fn annotations_on_members_and_params() {
+    let s = sexp("class A { @Override public void f(@NonNull String s) { } }");
+    assert!(s.contains("(MethodDecl (TypeRef void) (NameStore f) (Params (Param (TypeRef String) (NameParam s))))"), "{s}");
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the syntax substrate.
+
+use namer_syntax::namepath::NamePath;
+use namer_syntax::{namepath, python, stmt, subtoken, transform, Sym};
+use proptest::prelude::*;
+
+const PY_KEYWORDS: &[&str] = &[
+    "and", "or", "not", "in", "is", "if", "else", "elif", "for", "while", "def", "class",
+    "return", "pass", "break", "continue", "import", "from", "as", "with", "try", "except",
+    "finally", "raise", "assert", "del", "global", "lambda", "yield", "await", "async",
+    "nonlocal",
+];
+
+/// Strategy: plausible identifier strings (never Python keywords).
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}(_[a-z0-9]{1,6}){0,3}"
+        .prop_filter("not a keyword", |s| {
+            s.split('_').all(|part| !PY_KEYWORDS.contains(&part))
+        })
+}
+
+/// Strategy: camelCase identifiers (head never a Python keyword).
+fn camel_ident() -> impl Strategy<Value = String> {
+    ("[a-z]{1,6}", proptest::collection::vec("[A-Z][a-z]{1,5}", 0..4))
+        .prop_map(|(head, tail)| head + &tail.concat())
+        .prop_filter("head is not a keyword", |s| {
+            !PY_KEYWORDS.iter().any(|k| s == k || s.starts_with(&format!("{k}_")))
+                && !PY_KEYWORDS.contains(&s.as_str())
+        })
+}
+
+proptest! {
+    #[test]
+    fn split_preserves_all_alphanumerics(name in ident()) {
+        let parts = subtoken::split(&name);
+        let glued: String = parts.concat();
+        let expected: String = name.chars().filter(|c| *c != '_').collect();
+        // For underscore-only names the original is returned verbatim.
+        if !expected.is_empty() {
+            prop_assert_eq!(glued, expected);
+        }
+    }
+
+    #[test]
+    fn split_count_agrees(name in camel_ident()) {
+        prop_assert_eq!(subtoken::count(&name), subtoken::split(&name).len());
+    }
+
+    #[test]
+    fn split_is_idempotent_on_subtokens(name in camel_ident()) {
+        for part in subtoken::split(&name) {
+            // A subtoken has no further camel/snake boundaries except
+            // acronym runs, which stay stable under re-splitting.
+            let again = subtoken::split(&part);
+            prop_assert_eq!(again.concat(), part);
+        }
+    }
+
+    #[test]
+    fn assignments_parse_and_extract(lhs in ident(), rhs in ident()) {
+        let src = format!("{lhs} = {rhs}\n");
+        let ast = python::parse(&src).expect("simple assignment parses");
+        let stmts = stmt::extract(&ast);
+        prop_assert_eq!(stmts.len(), 1);
+        let plus = transform::to_ast_plus(&stmts[0].ast, &transform::Origins::new());
+        let paths = namepath::extract(&plus, 10);
+        // One path per subtoken of each side.
+        let expected = subtoken::count(&lhs) + subtoken::count(&rhs);
+        prop_assert_eq!(paths.len(), expected.min(10));
+        // All extracted paths are concrete with pairwise-distinct prefixes.
+        for (i, a) in paths.iter().enumerate() {
+            prop_assert!(a.is_concrete());
+            for b in paths.iter().skip(i + 1) {
+                prop_assert!(!a.same_prefix(b));
+            }
+        }
+    }
+
+    #[test]
+    fn method_calls_parse(recv in ident(), method in camel_ident(), arg in ident()) {
+        let src = format!("{recv}.{method}({arg}, 7)\n");
+        let ast = python::parse(&src).expect("call parses");
+        let sexp = ast.to_sexp(ast.root());
+        prop_assert!(sexp.contains("Call"));
+        let attr = format!("(Attr {method})");
+        prop_assert!(sexp.contains(&attr));
+    }
+
+    #[test]
+    fn path_eq_is_reflexive_and_epsilon_absorbs(prefix_len in 1usize..5, end in ident()) {
+        let prefix: Vec<(Sym, u32)> = (0..prefix_len)
+            .map(|i| (Sym::intern(&format!("N{i}")), i as u32))
+            .collect();
+        let concrete = NamePath::concrete(prefix.clone(), Sym::intern(&end));
+        let symbolic = NamePath::symbolic(prefix);
+        prop_assert!(concrete.path_eq(&concrete));
+        prop_assert!(concrete.path_eq(&symbolic));
+        prop_assert!(symbolic.path_eq(&concrete));
+        prop_assert!(concrete.same_prefix(&symbolic));
+    }
+
+    #[test]
+    fn digest_is_stable_across_reparses(a in ident(), b in ident()) {
+        let src = format!("{a} = load({b})\n");
+        let one = python::parse(&src).expect("parses");
+        let two = python::parse(&src).expect("parses");
+        prop_assert_eq!(one.digest(one.root()), two.digest(two.root()));
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii_soup(src in "[ a-z0-9_().:=\\n]{0,80}") {
+        // Errors are fine; panics are not.
+        let _ = python::parse(&src);
+        let _ = namer_syntax::java::parse(&src);
+    }
+}

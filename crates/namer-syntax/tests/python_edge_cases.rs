@@ -1,0 +1,231 @@
+//! Python parser edge cases beyond the inline unit tests.
+
+use namer_syntax::{python, stmt};
+
+fn sexp(src: &str) -> String {
+    let ast = python::parse(src).unwrap_or_else(|e| panic!("parse failed for {src:?}: {e}"));
+    ast.to_sexp(ast.root())
+}
+
+#[test]
+fn chained_method_calls() {
+    let s = sexp("result = builder.add(1).add(2).build()\n");
+    assert_eq!(s.matches("Call").count(), 3, "{s}");
+    assert!(s.contains("(Attr build)"), "{s}");
+}
+
+#[test]
+fn deeply_nested_calls() {
+    let s = sexp("x = f(g(h(i(j(1)))))\n");
+    assert_eq!(s.matches("Call").count(), 5, "{s}");
+}
+
+#[test]
+fn decorator_with_arguments() {
+    let s = sexp("@app.route('/home', methods=['GET'])\ndef home():\n    pass\n");
+    assert!(s.contains("(Decorator (Call (AttributeLoad (NameLoad app) (Attr route))"), "{s}");
+    assert!(s.contains("(KeywordArg methods"), "{s}");
+}
+
+#[test]
+fn multiple_decorators() {
+    let s = sexp("@first\n@second\ndef f():\n    pass\n");
+    assert_eq!(s.matches("Decorator").count(), 2, "{s}");
+}
+
+#[test]
+fn while_with_else() {
+    let s = sexp("while x:\n    step()\nelse:\n    done()\n");
+    assert!(s.contains("(While (NameLoad x) (Body (ExprStmt (Call (NameLoad step)))) (OrElse (ExprStmt (Call (NameLoad done)))))"), "{s}");
+}
+
+#[test]
+fn try_with_finally_only() {
+    let s = sexp("try:\n    run()\nfinally:\n    close()\n");
+    assert!(s.contains("(Finally (ExprStmt (Call (NameLoad close))))"), "{s}");
+}
+
+#[test]
+fn try_except_else_finally() {
+    let s = sexp(
+        "try:\n    run()\nexcept IOError as e:\n    log(e)\nelse:\n    ok()\nfinally:\n    close()\n",
+    );
+    assert!(s.contains("(Handler (NameLoad IOError) (NameStore e)"), "{s}");
+    assert!(s.contains("(OrElse (ExprStmt (Call (NameLoad ok))))"), "{s}");
+    assert!(s.contains("(Finally"), "{s}");
+}
+
+#[test]
+fn nested_comprehension() {
+    let s = sexp("m = [[y for y in row] for row in grid]\n");
+    assert_eq!(s.matches("Comprehension").count(), 2, "{s}");
+}
+
+#[test]
+fn dict_comprehension() {
+    let s = sexp("d = {k: v for k, v in items}\n");
+    assert!(s.contains("Comprehension"), "{s}");
+}
+
+#[test]
+fn generator_argument() {
+    let s = sexp("total = sum(x * x for x in xs)\n");
+    assert!(s.contains("(Call (NameLoad sum) (Comprehension"), "{s}");
+}
+
+#[test]
+fn conditional_comprehension() {
+    let s = sexp("xs = [x for x in ys if x > 0 if x < 10]\n");
+    assert_eq!(s.matches("Compare").count(), 2, "{s}");
+}
+
+#[test]
+fn lambda_with_default_and_star() {
+    let s = sexp("f = lambda a, b=2, *rest: a\n");
+    assert!(s.contains("(Param (NameParam b) (Num 2))"), "{s}");
+    assert!(s.contains("(StarParam (NameParam rest))"), "{s}");
+}
+
+#[test]
+fn slices_with_steps() {
+    let s = sexp("y = xs[1:10:2]\n");
+    assert!(s.contains("(Slice (Num 1) (Num 10) (Num 2))"), "{s}");
+    let s = sexp("y = xs[::2]\n");
+    assert!(s.contains("(Slice (Num 2))"), "{s}");
+}
+
+#[test]
+fn adjacent_string_concatenation() {
+    let ast = python::parse("s = 'one' 'two'\n").unwrap();
+    let s = ast.to_sexp(ast.root());
+    assert!(s.contains("onetwo"), "{s}");
+}
+
+#[test]
+fn unary_chains() {
+    let s = sexp("x = --y\n");
+    assert_eq!(s.matches("UnaryOp").count(), 2, "{s}");
+    let s = sexp("b = not not ok\n");
+    assert_eq!(s.matches("UnaryOp").count(), 2, "{s}");
+}
+
+#[test]
+fn power_operator_associativity() {
+    let s = sexp("x = 2 ** 3 ** 4\n");
+    // Right associative: 2 ** (3 ** 4).
+    assert!(s.contains("(BinOp (Num 2) ** (BinOp (Num 3) ** (Num 4)))"), "{s}");
+}
+
+#[test]
+fn augmented_assign_to_attribute() {
+    let s = sexp("self.count += 1\n");
+    assert!(s.contains("(AugAssign (AttributeStore (NameLoad self) (Attr count)) += (Num 1))"), "{s}");
+}
+
+#[test]
+fn tuple_unpacking_assignment() {
+    let s = sexp("a, b = b, a\n");
+    assert!(s.contains("(Assign (TupleLit (NameStore a) (NameStore b)) (TupleLit (NameLoad b) (NameLoad a)))"), "{s}");
+}
+
+#[test]
+fn starred_assignment_target_value() {
+    let s = sexp("xs = [*left, *right]\n");
+    assert_eq!(s.matches("Starred").count(), 2, "{s}");
+}
+
+#[test]
+fn with_multiple_context_managers() {
+    let s = sexp("with open(a) as f, open(b) as g:\n    pass\n");
+    assert!(s.contains("(NameStore f)"), "{s}");
+    assert!(s.contains("(NameStore g)"), "{s}");
+}
+
+#[test]
+fn annotated_assignment() {
+    let s = sexp("count: int = 0\n");
+    assert!(s.contains("(Assign (NameStore count) (NameLoad int) (Num 0))"), "{s}");
+}
+
+#[test]
+fn async_def_and_await() {
+    let s = sexp("async def fetch(url):\n    data = await get(url)\n    return data\n");
+    assert!(s.contains("(FunctionDef (NameStore fetch)"), "{s}");
+    assert!(s.contains("Await"), "{s}");
+}
+
+#[test]
+fn keyword_only_params() {
+    let s = sexp("def f(a, *, b=1):\n    return b\n");
+    assert!(s.contains("(Param (NameParam b) (Num 1))"), "{s}");
+}
+
+#[test]
+fn statement_extraction_depth() {
+    let src = "class A:\n    class B:\n        def m(self):\n            if x:\n                for i in range(3):\n                    total += i\n";
+    let ast = python::parse(src).unwrap();
+    let stmts = stmt::extract(&ast);
+    let kinds: Vec<String> = stmts
+        .iter()
+        .map(|s| s.ast.value(s.ast.root()).to_string())
+        .collect();
+    assert!(kinds.contains(&"ClassDef".to_owned()));
+    assert!(kinds.contains(&"FunctionDef".to_owned()));
+    assert!(kinds.contains(&"If".to_owned()));
+    assert!(kinds.contains(&"For".to_owned()));
+    assert!(kinds.contains(&"AugAssign".to_owned()));
+    // Nested classes both extracted.
+    assert_eq!(kinds.iter().filter(|k| *k == "ClassDef").count(), 2);
+}
+
+#[test]
+fn semicolon_separated_statements() {
+    let ast = python::parse("a = 1; b = 2; c = 3\n").unwrap();
+    let stmts = stmt::extract(&ast);
+    assert_eq!(stmts.len(), 3);
+    assert_eq!(stmts[0].line, 1);
+}
+
+#[test]
+fn inline_suite() {
+    let s = sexp("if ready: launch()\n");
+    assert!(s.contains("(If (NameLoad ready) (Body (ExprStmt (Call (NameLoad launch)))))"), "{s}");
+}
+
+#[test]
+fn print_as_function() {
+    let s = sexp("print('hello', sep=', ')\n");
+    assert!(s.contains("(Call (NameLoad print)"), "{s}");
+}
+
+#[test]
+fn comparison_operator_variants() {
+    for (src, op) in [
+        ("a is b\n", "is"),
+        ("a is not b\n", "is"),
+        ("a not in b\n", "not in"),
+        ("a in b\n", "in"),
+    ] {
+        let s = sexp(src);
+        assert!(s.contains(&format!("(Compare (NameLoad a) {op} (NameLoad b))")), "{src:?} → {s}");
+    }
+}
+
+#[test]
+fn empty_module_parses() {
+    let ast = python::parse("").unwrap();
+    assert_eq!(ast.children(ast.root()).len(), 0);
+    assert!(stmt::extract(&ast).is_empty());
+}
+
+#[test]
+fn comment_only_module_parses() {
+    let ast = python::parse("# nothing here\n# at all\n").unwrap();
+    assert_eq!(ast.children(ast.root()).len(), 0);
+}
+
+#[test]
+fn crlf_line_endings() {
+    let ast = python::parse("a = 1\r\nb = 2\r\n").unwrap();
+    assert_eq!(stmt::extract(&ast).len(), 2);
+}

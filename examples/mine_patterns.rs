@@ -1,0 +1,57 @@
+//! Pattern mining in isolation: mine confusing word pairs from a commit
+//! history and name patterns from a corpus, then print the most supported
+//! patterns — the interpretable rules §3.2–§3.3 are about.
+//!
+//! ```sh
+//! cargo run --release --example mine_patterns
+//! ```
+
+use namer::core::{process, Detector, ProcessConfig};
+use namer::corpus::{CorpusConfig, Generator};
+use namer::patterns::MiningConfig;
+use namer::syntax::Lang;
+
+fn main() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(23);
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+
+    let processed = process(&corpus.files, &ProcessConfig::default());
+    println!(
+        "processed {} files / {} statements ({} parse failures)",
+        processed.files.len(),
+        processed.stmt_count(),
+        processed.parse_failures
+    );
+
+    let config = MiningConfig {
+        min_path_count: 4,
+        min_support: 15,
+        ..MiningConfig::default()
+    };
+    let detector = Detector::mine(&processed, &commits, Lang::Python, &config);
+
+    println!("\ntop confusing word pairs (⟨mistaken, correct⟩, count):");
+    let mut pairs: Vec<_> = detector.pairs.iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(a.1));
+    for ((w1, w2), n) in pairs.into_iter().take(10) {
+        println!("  ⟨{w1}, {w2}⟩ × {n}");
+    }
+
+    println!("\nmost supported name patterns:");
+    for (i, p) in detector.patterns.patterns.iter().take(5).enumerate() {
+        println!("--- pattern {i} (matches {}, satisfaction rate {:.2})", p.matches, p.satisfaction_rate());
+        print!("{p}");
+    }
+
+    let scan = detector.violations(&processed);
+    println!(
+        "\nscan: {} report candidates over {} files ({} with ≥1 violation)",
+        scan.violations.len(),
+        scan.files_scanned,
+        scan.files_with_violation
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the Figure 2 walkthrough on a single snippet.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Parses the paper's `TestPicture` example, runs the §4.1 analyses, builds
+//! the AST+, extracts name paths, and checks the statement against a
+//! Figure 2 (e)-style pattern.
+
+use namer::analysis::{AnalysisConfig, FileAnalysis};
+use namer::patterns::{NamePattern, Relation};
+use namer::syntax::{namepath, python, stmt, transform, Lang, Sym};
+
+fn main() {
+    let src = "\
+class TestPicture(TestCase):
+    def test_angle_picture(self):
+        for picture in self.slide.pictures:
+            self.assertTrue(picture.rotate_angle, 90)
+";
+    let ast = python::parse(src).expect("snippet parses");
+    let analysis = FileAnalysis::analyze(&ast, Lang::Python, &AnalysisConfig::default());
+
+    let statement = stmt::extract(&ast)
+        .into_iter()
+        .find(|s| s.to_sexp().contains("assertTrue"))
+        .expect("assert statement found");
+    let origins = analysis.origins_for(&statement);
+    let plus = transform::to_ast_plus(&statement.ast, &origins);
+    println!("AST+: {}\n", plus.to_sexp(plus.root()));
+
+    let paths = namepath::extract(&plus, 10);
+    println!("name paths:");
+    for p in &paths {
+        println!("  {p}");
+    }
+
+    let find = |end: &str| {
+        paths
+            .iter()
+            .find(|p| p.end_str() == Some(end))
+            .unwrap_or_else(|| panic!("path ending in {end}"))
+            .clone()
+    };
+    let mut deduction = find("True");
+    deduction.end = Some(Sym::intern("Equal"));
+    let pattern =
+        NamePattern::confusing_word(vec![find("self"), find("assert"), find("NUM")], deduction);
+
+    match pattern.relation(&paths) {
+        Relation::Violated(v) => println!(
+            "\nnaming issue: replace `{}` with `{}` — assertTrue(x, 90) should be assertEqual(x, 90)",
+            v.original, v.suggested
+        ),
+        other => println!("\nunexpected: {other:?}"),
+    }
+}

@@ -1,0 +1,437 @@
+//! `namer` — the command-line front end.
+//!
+//! ```text
+//! namer demo   [--java] [-o MODEL]           end-to-end demo on a synthetic corpus
+//! namer corpus [--java] --out DIR            write a synthetic corpus to disk
+//! namer train  --corpus DIR [options]        mine patterns + train the classifier
+//! namer scan   --model MODEL PATH...         scan files/directories for naming issues
+//! ```
+//!
+//! `train` mines name patterns from every `.py`/`.java` file under
+//! `--corpus` (subdirectory = repository), optionally mines confusing word
+//! pairs from `--commits` (a directory of `<name>.before` / `<name>.after`
+//! file pairs), optionally trains the defect classifier from `--labels`
+//! (TSV: `path<TAB>line<TAB>true|false`), and writes a JSON model. `scan`
+//! loads the model and prints reports with rendered fixes; it exits with
+//! status 1 when issues are found, so it can gate CI.
+
+use namer::core::{fix_line, Namer, NamerConfig, SavedModel, Violation};
+use namer::corpus::{CorpusConfig, Generator};
+use namer::patterns::MiningConfig;
+use namer::syntax::{Lang, SourceFile};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `namer help`)")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
+         USAGE:\n  namer demo  [--java] [-o MODEL]\n  namer corpus [--java] [--seed N] --out DIR\n  namer train --corpus DIR \
+         [--commits DIR] [--labels TSV] [--lang python|java]\n              \
+         [--no-classifier] [--no-analysis] [-o MODEL]\n  namer scan  --model MODEL [--explain] [--format sarif] PATH...\n"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn lang_from_args(args: &[String]) -> Lang {
+    match flag_value(args, "--lang") {
+        Some("java") => Lang::Java,
+        Some("python") | None => {
+            if has_flag(args, "--java") {
+                Lang::Java
+            } else {
+                Lang::Python
+            }
+        }
+        Some(other) => {
+            eprintln!("warning: unknown language `{other}`, defaulting to python");
+            Lang::Python
+        }
+    }
+}
+
+fn default_config() -> NamerConfig {
+    NamerConfig {
+        mining: MiningConfig {
+            min_path_count: 4,
+            min_support: 15,
+            ..MiningConfig::default()
+        },
+        labeled_per_class: 30,
+        ..NamerConfig::default()
+    }
+}
+
+// ----- demo ------------------------------------------------------------------
+
+fn cmd_demo(args: &[String]) -> Result<ExitCode, String> {
+    let lang = lang_from_args(args);
+    let out = flag_value(args, "-o").unwrap_or("namer-model.json");
+    println!("generating a synthetic Big Code corpus ({lang})…");
+    let corpus = Generator::new(CorpusConfig::small(lang)).generate(2021);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let namer = Namer::train(
+        &corpus.files,
+        &commits,
+        |v: &Violation| {
+            oracle
+                .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                .is_some()
+        },
+        &default_config(),
+    );
+    println!(
+        "mined {} patterns / {} confusing pairs; classifier: {}",
+        namer.detector.pattern_count(),
+        namer.detector.pairs.len(),
+        namer.model_kind,
+    );
+    let reports = namer.detect(&corpus.files);
+    for r in reports.iter().take(10) {
+        println!("  {r}");
+    }
+    println!("… {} reports total", reports.len());
+    std::fs::write(out, SavedModel::from_namer(&namer).to_json())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("model saved to {out}");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ----- corpus ----------------------------------------------------------------
+
+/// Writes a synthetic Big Code corpus to disk in the layout `train` expects:
+/// `repos/<repo>/<path>`, `fixes/<n>.before|.after`, and a ground-truth
+/// `labels.tsv` that can stand in for the paper's manual annotation.
+fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
+    let lang = lang_from_args(args);
+    let out = PathBuf::from(flag_value(args, "--out").ok_or("`corpus` needs --out DIR")?);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .transpose()?
+        .unwrap_or(2021);
+    let corpus = Generator::new(CorpusConfig::small(lang)).generate(seed);
+
+    let repos_dir = out.join("repos");
+    for f in &corpus.files {
+        let repo_slug = f.repo.replace('/', "_");
+        let dest = repos_dir.join(&repo_slug).join(&f.path);
+        if let Some(parent) = dest.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&dest, &f.text).map_err(|e| format!("writing {}: {e}", dest.display()))?;
+    }
+
+    let fixes_dir = out.join("fixes");
+    std::fs::create_dir_all(&fixes_dir).map_err(|e| format!("mkdir {}: {e}", fixes_dir.display()))?;
+    for (i, c) in corpus.commits.iter().enumerate() {
+        std::fs::write(fixes_dir.join(format!("{i:04}.before")), &c.before)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(fixes_dir.join(format!("{i:04}.after")), &c.after)
+            .map_err(|e| e.to_string())?;
+    }
+
+    // Ground-truth labels in the on-disk path space (repo_slug/path).
+    let mut labels = String::from("# path	line	label (ground truth from the generator)
+");
+    for inj in &corpus.injections {
+        let repo_slug = inj.repo.replace('/', "_");
+        for &line in inj.lines.iter() {
+            labels.push_str(&format!("{repo_slug}/{}	{line}	true
+", inj.path));
+        }
+    }
+    std::fs::write(out.join("labels.tsv"), labels).map_err(|e| e.to_string())?;
+
+    println!(
+        "wrote {} files, {} commit pairs, {} injected issues under {}",
+        corpus.files.len(),
+        corpus.commits.len(),
+        corpus.injections.len(),
+        out.display()
+    );
+    println!(
+        "next: namer train --corpus {}/repos --commits {}/fixes --labels {}/labels.tsv --lang {}",
+        out.display(),
+        out.display(),
+        out.display(),
+        match lang { Lang::Python => "python", Lang::Java => "java" },
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+// ----- train -----------------------------------------------------------------
+
+fn cmd_train(args: &[String]) -> Result<ExitCode, String> {
+    let corpus_dir = flag_value(args, "--corpus").ok_or("`train` needs --corpus DIR")?;
+    let lang = lang_from_args(args);
+    let out = flag_value(args, "-o").unwrap_or("namer-model.json");
+
+    let files = collect_sources(Path::new(corpus_dir), lang)?;
+    if files.is_empty() {
+        return Err(format!("no {lang} sources under {corpus_dir}"));
+    }
+    println!("corpus: {} files", files.len());
+
+    let commits = match flag_value(args, "--commits") {
+        Some(dir) => collect_commits(Path::new(dir))?,
+        None => Vec::new(),
+    };
+    println!("commit pairs: {}", commits.len());
+
+    let mut config = default_config();
+    if has_flag(args, "--no-analysis") {
+        config.process.use_analysis = false;
+    }
+    let labels: HashMap<(String, u32), bool> = match flag_value(args, "--labels") {
+        Some(path) => parse_labels(Path::new(path))?,
+        None => HashMap::new(),
+    };
+    if labels.is_empty() || has_flag(args, "--no-classifier") {
+        config.use_classifier = false;
+        if !has_flag(args, "--no-classifier") {
+            println!("no --labels given: training without the defect classifier");
+        }
+    }
+
+    let namer = Namer::train(
+        &files,
+        &commits,
+        |v: &Violation| labels.get(&(v.path.clone(), v.line)).copied().unwrap_or(false),
+        &config,
+    );
+    println!(
+        "mined {} patterns / {} confusing pairs{}",
+        namer.detector.pattern_count(),
+        namer.detector.pairs.len(),
+        if namer.has_classifier() {
+            format!("; classifier: {} (CV acc {:.0}%)", namer.model_kind, namer.cv_metrics.accuracy * 100.0)
+        } else {
+            String::new()
+        }
+    );
+    std::fs::write(out, SavedModel::from_namer(&namer).to_json())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("model saved to {out}");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ----- scan ------------------------------------------------------------------
+
+fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
+    let model_path = flag_value(args, "--model").ok_or("`scan` needs --model MODEL")?;
+    let json = std::fs::read_to_string(model_path)
+        .map_err(|e| format!("reading {model_path}: {e}"))?;
+    let model = SavedModel::from_json(&json).map_err(|e| e.to_string())?;
+    let lang = model.lang;
+    let namer = model.into_namer(default_config());
+
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--model" || a == "--format" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        let _ = i;
+        paths.push(PathBuf::from(a));
+    }
+    if paths.is_empty() {
+        return Err("`scan` needs at least one PATH".to_owned());
+    }
+
+    let mut files = Vec::new();
+    for p in &paths {
+        if p.is_dir() {
+            files.extend(collect_sources(p, lang)?);
+        } else if p.is_file() {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            files.push(SourceFile::new(
+                p.parent().map(|d| d.display().to_string()).unwrap_or_default(),
+                p.display().to_string(),
+                text,
+                lang,
+            ));
+        } else {
+            return Err(format!("no such path: {}", p.display()));
+        }
+    }
+
+    let explain = has_flag(args, "--explain");
+    let reports = namer.detect(&files);
+    if flag_value(args, "--format") == Some("sarif") {
+        println!("{}", namer::core::to_sarif(&reports, &namer.detector));
+        return Ok(if reports.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+    for r in &reports {
+        println!(
+            "{}:{}: replace `{}` with `{}` [{}]",
+            r.violation.path, r.violation.line, r.violation.original, r.violation.suggested,
+            r.violation.pattern_ty
+        );
+        if explain {
+            let pattern = &namer.detector.patterns.patterns[r.violation.pattern_idx];
+            for line in pattern.to_string().lines() {
+                println!("    | {line}");
+            }
+        }
+        let file = files
+            .iter()
+            .find(|f| f.path == r.violation.path && f.repo == r.violation.repo);
+        if let Some(line) = file.and_then(|f| f.text.lines().nth(r.violation.line as usize - 1)) {
+            println!("    found: {}", line.trim());
+            if let Some(fixed) = fix_line(
+                line,
+                r.violation.original.as_str(),
+                r.violation.suggested.as_str(),
+            ) {
+                println!("    fixed: {}", fixed.trim());
+            }
+        }
+    }
+    println!("{} naming issue(s) found in {} file(s)", reports.len(), files.len());
+    Ok(if reports.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+// ----- filesystem helpers ------------------------------------------------------
+
+/// Recursively collects sources of `lang` under `root`. The first path
+/// component below `root` names the repository.
+fn collect_sources(root: &Path, lang: Lang) -> Result<Vec<SourceFile>, String> {
+    let ext = match lang {
+        Lang::Python => "py",
+        Lang::Java => "java",
+    };
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().and_then(|e| e.to_str()) == Some(ext) {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                let rel = path.strip_prefix(root).unwrap_or(&path);
+                let repo = rel
+                    .components()
+                    .next()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "repo".to_owned());
+                out.push(SourceFile::new(
+                    repo,
+                    rel.display().to_string(),
+                    text,
+                    lang,
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.repo.clone(), a.path.clone()).cmp(&(b.repo.clone(), b.path.clone())));
+    Ok(out)
+}
+
+/// Reads `<name>.before` / `<name>.after` pairs from a directory.
+fn collect_commits(dir: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut befores: HashMap<String, String> = HashMap::new();
+    let mut afters: HashMap<String, String> = HashMap::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let text = || std::fs::read_to_string(&path).map_err(|e| e.to_string());
+        if let Some(stem) = name.strip_suffix(".before") {
+            befores.insert(stem.to_owned(), text()?);
+        } else if let Some(stem) = name.strip_suffix(".after") {
+            afters.insert(stem.to_owned(), text()?);
+        }
+    }
+    let mut out = Vec::new();
+    for (stem, before) in befores {
+        if let Some(after) = afters.remove(&stem) {
+            out.push((before, after));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Parses a labels TSV: `path<TAB>line<TAB>true|false`.
+fn parse_labels(path: &Path) -> Result<HashMap<(String, u32), bool>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut out = HashMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(p), Some(l), Some(v)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("{}:{}: expected `path\\tline\\tbool`", path.display(), i + 1));
+        };
+        let l: u32 = l
+            .parse()
+            .map_err(|_| format!("{}:{}: bad line number {l:?}", path.display(), i + 1))?;
+        let v: bool = v
+            .parse()
+            .map_err(|_| format!("{}:{}: bad label {v:?}", path.display(), i + 1))?;
+        out.insert((p.to_owned(), l), v);
+    }
+    Ok(out)
+}

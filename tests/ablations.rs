@@ -1,0 +1,170 @@
+//! Integration checks on the w/o C and w/o A ablations and on report
+//! well-formedness (the machinery behind Tables 2 and 5).
+
+use namer::core::{process, Namer, NamerConfig, ProcessConfig, FEATURE_COUNT};
+use namer::corpus::{CorpusConfig, Generator, Oracle};
+use namer::patterns::MiningConfig;
+use namer::syntax::Lang;
+
+fn config(use_analysis: bool, use_classifier: bool) -> NamerConfig {
+    NamerConfig {
+        process: ProcessConfig {
+            use_analysis,
+            ..ProcessConfig::default()
+        },
+        mining: MiningConfig {
+            min_path_count: 4,
+            min_support: 15,
+            ..MiningConfig::default()
+        },
+        use_classifier,
+        labeled_per_class: 10,
+        cv_repeats: 3,
+        ..NamerConfig::default()
+    }
+}
+
+fn precision(
+    reports: &[namer::core::Report],
+    oracle: &Oracle,
+) -> (usize, f64) {
+    let tp = reports
+        .iter()
+        .filter(|r| {
+            oracle
+                .label(
+                    &r.violation.repo,
+                    &r.violation.path,
+                    r.violation.line,
+                    r.violation.original.as_str(),
+                    r.violation.suggested.as_str(),
+                )
+                .is_some()
+        })
+        .count();
+    (
+        reports.len(),
+        tp as f64 / reports.len().max(1) as f64,
+    )
+}
+
+#[test]
+fn classifier_improves_precision_over_raw_violations() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(13);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let labeler = |v: &namer::core::Violation| {
+        oracle
+            .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+            .is_some()
+    };
+    let with_c = Namer::train(&corpus.files, &commits, labeler, &config(true, true));
+    let without_c = Namer::train(&corpus.files, &commits, labeler, &config(true, false));
+    let (n_with, p_with) = precision(&with_c.detect(&corpus.files), &oracle);
+    let (n_without, p_without) = precision(&without_c.detect(&corpus.files), &oracle);
+    assert!(n_with <= n_without, "classifier only removes reports");
+    assert!(
+        p_with >= p_without,
+        "classifier must not lower precision: {p_with} vs {p_without}"
+    );
+}
+
+#[test]
+fn reports_are_well_formed() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Java)).generate(14);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let namer = Namer::train(
+        &corpus.files,
+        &commits,
+        |v| {
+            oracle
+                .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                .is_some()
+        },
+        &config(true, true),
+    );
+    let reports = namer.detect(&corpus.files);
+    assert!(!reports.is_empty());
+    for r in &reports {
+        let v = &r.violation;
+        assert_ne!(v.original, v.suggested, "a fix must change the name");
+        assert!(v.line >= 1, "lines are 1-based");
+        assert_eq!(v.features.len(), FEATURE_COUNT);
+        assert!(v.features.iter().all(|f| f.is_finite()));
+        assert!(
+            corpus.files.iter().any(|f| f.repo == v.repo && f.path == v.path),
+            "report points at a corpus file"
+        );
+        // The flagged original name is on the reported line (or the report
+        // stems from a subtoken of a composite name on that line).
+        let file = corpus
+            .files
+            .iter()
+            .find(|f| f.repo == v.repo && f.path == v.path)
+            .expect("file exists");
+        let line = file.text.lines().nth(v.line as usize - 1).unwrap_or("");
+        assert!(
+            line.contains(v.original.as_str())
+                || line
+                    .split(|c: char| !c.is_alphanumeric())
+                    .any(|tok| namer::syntax::subtoken::split(tok)
+                        .iter()
+                        .any(|st| st == v.original.as_str())),
+            "original {:?} not on line {:?}",
+            v.original,
+            line
+        );
+    }
+}
+
+#[test]
+fn without_analysis_origin_paths_disappear() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(15);
+    let with_a = process(&corpus.files, &config(true, true).process);
+    let without_a = process(&corpus.files, &config(false, true).process);
+    let count_origin = |p: &namer::core::ProcessedCorpus| {
+        p.iter_stmts()
+            .flat_map(|(_, s)| s.paths.paths.iter())
+            .filter(|path| path.to_string().contains("TestCase"))
+            .count()
+    };
+    assert!(count_origin(&with_a) > 0, "analysis decorates TestCase origins");
+    assert_eq!(count_origin(&without_a), 0, "w/o A has no origin nodes");
+}
+
+#[test]
+fn dedup_keeps_one_report_per_location_and_suggestion() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(16);
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let processed = process(&corpus.files, &ProcessConfig::default());
+    let det = namer::core::Detector::mine(
+        &processed,
+        &commits,
+        Lang::Python,
+        &config(true, true).mining,
+    );
+    let scan = det.violations(&processed);
+    let mut keys: Vec<_> = scan
+        .violations
+        .iter()
+        .map(|v| (v.repo.clone(), v.path.clone(), v.line, v.original, v.suggested))
+        .collect();
+    let n = keys.len();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), n, "violations are deduplicated per location");
+    assert!(scan.raw_violation_count >= n);
+}

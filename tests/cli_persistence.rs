@@ -1,0 +1,100 @@
+//! Integration: model persistence round trip across the public API (the
+//! machinery behind `namer train` / `namer scan`).
+
+use namer::core::{Namer, NamerConfig, SavedModel};
+use namer::corpus::{CorpusConfig, Generator};
+use namer::patterns::MiningConfig;
+use namer::syntax::{Lang, SourceFile};
+
+fn config() -> NamerConfig {
+    NamerConfig {
+        mining: MiningConfig {
+            min_path_count: 4,
+            min_support: 15,
+            ..MiningConfig::default()
+        },
+        labeled_per_class: 10,
+        cv_repeats: 3,
+        ..NamerConfig::default()
+    }
+}
+
+#[test]
+fn saved_model_scans_unseen_files() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(2021);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let namer = Namer::train(
+        &corpus.files,
+        &commits,
+        |v| {
+            oracle
+                .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                .is_some()
+        },
+        &config(),
+    );
+
+    // Round trip through JSON.
+    let json = SavedModel::from_namer(&namer).to_json();
+    assert!(json.contains("\"version\""));
+    let loaded = SavedModel::from_json(&json)
+        .expect("model parses")
+        .into_namer(config());
+
+    // Scan a file the system has never seen.
+    let unseen = SourceFile::new(
+        "user",
+        "buggy.py",
+        "class TestWidget(TestCase):\n    def test_size(self):\n        widget = load_widget()\n        self.assertTrue(widget.size, 12)\n",
+        Lang::Python,
+    );
+    let reports = loaded.detect(std::slice::from_ref(&unseen));
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.violation.original.as_str() == "True"
+                && r.violation.suggested.as_str() == "Equal"),
+        "loaded model finds the assertTrue misuse: {reports:?}"
+    );
+
+    // And the fix renders correctly.
+    let line = "        self.assertTrue(widget.size, 12)";
+    assert_eq!(
+        namer::core::fix_line(line, "True", "Equal").as_deref(),
+        Some("        self.assertEqual(widget.size, 12)")
+    );
+}
+
+#[test]
+fn model_json_is_reasonably_sized_and_versioned() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Java)).generate(2022);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let namer = Namer::train(
+        &corpus.files,
+        &commits,
+        |v| {
+            oracle
+                .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                .is_some()
+        },
+        &config(),
+    );
+    let model = SavedModel::from_namer(&namer);
+    assert_eq!(model.version, namer::core::persist::FORMAT_VERSION);
+    assert_eq!(model.lang, Lang::Java);
+    let json = model.to_json();
+    assert!(json.len() > 1_000, "model carries real content");
+    // Round trip is stable (same JSON after load + save).
+    let again = SavedModel::from_json(&json).unwrap().to_json();
+    assert_eq!(json, again);
+}

@@ -1,0 +1,82 @@
+//! Reproducibility: every stage of the system is a pure function of its
+//! seed (DESIGN.md §6).
+
+use namer::core::{process, Detector, Namer, NamerConfig, ProcessConfig};
+use namer::corpus::{CorpusConfig, Generator};
+use namer::patterns::MiningConfig;
+use namer::syntax::Lang;
+
+fn config() -> NamerConfig {
+    NamerConfig {
+        mining: MiningConfig {
+            min_path_count: 4,
+            min_support: 15,
+            ..MiningConfig::default()
+        },
+        labeled_per_class: 10,
+        cv_repeats: 3,
+        ..NamerConfig::default()
+    }
+}
+
+#[test]
+fn corpus_generation_is_reproducible() {
+    let g = Generator::new(CorpusConfig::small(Lang::Python));
+    let a = g.generate(99);
+    let b = g.generate(99);
+    assert_eq!(a.files, b.files);
+    assert_eq!(a.injections, b.injections);
+    assert_eq!(a.commits.len(), b.commits.len());
+}
+
+#[test]
+fn mining_and_detection_are_reproducible() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(77);
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let run = || {
+        let processed = process(&corpus.files, &ProcessConfig::default());
+        let det = Detector::mine(&processed, &commits, Lang::Python, &config().mining);
+        let scan = det.violations(&processed);
+        (
+            det.pattern_count(),
+            scan.violations
+                .iter()
+                .map(|v| (v.path.clone(), v.line, v.original, v.suggested))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn trained_system_reports_identically() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Java)).generate(55);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let run = || {
+        let namer = Namer::train(
+            &corpus.files,
+            &commits,
+            |v| {
+                oracle
+                    .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                    .is_some()
+            },
+            &config(),
+        );
+        namer
+            .detect(&corpus.files)
+            .iter()
+            .map(|r| (r.violation.path.clone(), r.violation.line, r.violation.suggested))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

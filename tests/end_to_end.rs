@@ -1,0 +1,91 @@
+//! Cross-crate integration: generator → Namer pipeline → oracle scoring.
+
+use namer::core::{Namer, NamerConfig, Violation};
+use namer::corpus::{CorpusConfig, Generator, Oracle};
+use namer::syntax::Lang;
+use namer_patterns::MiningConfig;
+
+fn labeler_for(oracle: &Oracle) -> impl Fn(&Violation) -> bool + '_ {
+    move |v: &Violation| {
+        oracle
+            .label(
+                &v.repo,
+                &v.path,
+                v.line,
+                v.original.as_str(),
+                v.suggested.as_str(),
+            )
+            .is_some()
+    }
+}
+
+fn config_for_small() -> NamerConfig {
+    NamerConfig {
+        mining: MiningConfig {
+            min_path_count: 4,
+            min_support: 15,
+            ..MiningConfig::default()
+        },
+        labeled_per_class: 25,
+        cv_repeats: 10,
+        ..NamerConfig::default()
+    }
+}
+
+fn run_language(lang: Lang, seed: u64) -> (f64, usize, usize) {
+    let corpus = Generator::new(CorpusConfig::small(lang)).generate(seed);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let namer = Namer::train(
+        &corpus.files,
+        &commits,
+        labeler_for(&oracle),
+        &config_for_small(),
+    );
+    let reports = namer.detect(&corpus.files);
+    let labeler = labeler_for(&oracle);
+    let true_hits = reports
+        .iter()
+        .filter(|r| labeler(&r.violation))
+        .count();
+    let precision = if reports.is_empty() {
+        0.0
+    } else {
+        true_hits as f64 / reports.len() as f64
+    };
+    // Distinct injected issues recovered (recall numerator).
+    let mut hit_lines: Vec<(String, String, u32)> = reports
+        .iter()
+        .filter(|r| labeler(&r.violation))
+        .map(|r| {
+            (
+                r.violation.repo.clone(),
+                r.violation.path.clone(),
+                r.violation.line,
+            )
+        })
+        .collect();
+    hit_lines.sort();
+    hit_lines.dedup();
+    (precision, hit_lines.len(), corpus.injections.len())
+}
+
+#[test]
+fn python_end_to_end_finds_issues_with_reasonable_precision() {
+    let (precision, found, injected) = run_language(Lang::Python, 42);
+    assert!(injected > 10, "too few injections: {injected}");
+    assert!(found >= injected / 4, "found {found}/{injected}");
+    assert!(precision > 0.4, "precision {precision}");
+}
+
+#[test]
+fn java_end_to_end_finds_issues_with_reasonable_precision() {
+    let (precision, found, injected) = run_language(Lang::Java, 43);
+    assert!(injected > 10, "too few injections: {injected}");
+    assert!(found >= injected / 4, "found {found}/{injected}");
+    assert!(precision > 0.4, "precision {precision}");
+}
