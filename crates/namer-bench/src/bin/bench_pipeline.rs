@@ -1,0 +1,102 @@
+//! `bench_pipeline` — pipeline throughput sweep over thread counts.
+//!
+//! ```text
+//! bench_pipeline [--quick | --small | --large] [--java]
+//!                [--threads 1,4,8] [--seed N] [--out FILE]
+//! ```
+//!
+//! Times the process → mine → scan pipeline on one synthetic corpus at each
+//! thread count and writes `BENCH_pipeline.json` (statements/second per
+//! stage). `--quick` runs the small corpus with threads 1,2 — fast enough
+//! for the smoke tests. By default the sweep covers 1, 2, 4, and all cores.
+
+use namer_bench::throughput::measure;
+use namer_bench::Scale;
+use namer_patterns::resolve_threads;
+use namer_syntax::Lang;
+use std::process::ExitCode;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick || args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else if args.iter().any(|a| a == "--large") {
+        Scale::Large
+    } else {
+        Scale::Medium
+    };
+    let lang = if args.iter().any(|a| a == "--java") {
+        Lang::Java
+    } else {
+        Lang::Python
+    };
+    let seed: u64 = match flag_value(&args, "--seed").map(str::parse) {
+        None => 2021,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: bad --seed");
+            return ExitCode::from(2);
+        }
+    };
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_pipeline.json");
+
+    // Order-preserving dedup; `0` entries mean "all cores".
+    let mut threads: Vec<usize> = Vec::new();
+    let requested: Vec<usize> = match flag_value(&args, "--threads") {
+        Some(list) => {
+            let mut parsed = Vec::new();
+            for part in list.split(',') {
+                match part.trim().parse() {
+                    Ok(n) => parsed.push(n),
+                    Err(_) => {
+                        eprintln!("error: bad --threads entry {part:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            parsed
+        }
+        None if quick => vec![1, 2],
+        None => vec![1, 2, 4, resolve_threads(0)],
+    };
+    for n in requested {
+        let n = resolve_threads(n);
+        if !threads.contains(&n) {
+            threads.push(n);
+        }
+    }
+
+    println!("pipeline sweep: {lang}, {scale:?} corpus, threads {threads:?}");
+    let bench = measure(lang, scale, seed, &threads);
+    println!(
+        "corpus: {} files / {} statements",
+        bench.files, bench.stmts
+    );
+    for run in &bench.runs {
+        println!(
+            "  {:>2} thread(s): process {:>9.0} stmts/s | mine {:>9.0} stmts/s | scan {:>9.0} stmts/s | {} patterns, {} violations",
+            run.threads,
+            run.process.stmts_per_sec,
+            run.mine.stmts_per_sec,
+            run.scan.stmts_per_sec,
+            run.patterns,
+            run.violations,
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

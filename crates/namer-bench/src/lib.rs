@@ -6,6 +6,8 @@
 //! common machinery: corpus setup, report inspection against the oracle,
 //! sampling, and table rendering.
 
+pub mod throughput;
+
 use namer_core::{Namer, NamerConfig, Report, Violation};
 use namer_corpus::{Corpus, CorpusConfig, Generator, IssueCategory, Oracle, Severity};
 use namer_patterns::MiningConfig;

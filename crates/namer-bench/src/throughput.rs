@@ -1,0 +1,134 @@
+//! End-to-end pipeline throughput measurement behind the `bench_pipeline`
+//! binary (`BENCH_pipeline.json`): wall-clock and statements/second for the
+//! process → mine → scan stages at each requested thread count.
+//!
+//! Unlike the criterion micro-benchmarks under `benches/`, this measures the
+//! whole pipeline once per thread count on one shared corpus, which is how
+//! the paper reports §5.1 runtimes (total hours on a 32-core machine).
+
+use crate::{namer_config, setup, Scale, Setup};
+use namer_core::{process_parallel, Detector};
+use namer_patterns::{resolve_threads, MiningConfig};
+use namer_syntax::Lang;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall-clock and throughput of one pipeline stage.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct StageTiming {
+    /// Elapsed seconds.
+    pub secs: f64,
+    /// Corpus statements divided by elapsed seconds.
+    pub stmts_per_sec: f64,
+}
+
+impl StageTiming {
+    fn new(secs: f64, stmts: usize) -> StageTiming {
+        StageTiming {
+            secs,
+            // Clamp so a sub-resolution stage can't produce a non-finite
+            // rate (serde_json writes those as null).
+            stmts_per_sec: stmts as f64 / secs.max(1e-9),
+        }
+    }
+}
+
+/// One full pipeline run at a fixed thread count.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PipelineRun {
+    /// Worker threads used (already resolved; never 0).
+    pub threads: usize,
+    /// Preprocessing: parse → analyse → name paths.
+    pub process: StageTiming,
+    /// Pattern mining (FP-growth + pruneUncommon).
+    pub mine: StageTiming,
+    /// Corpus scan (violations + features).
+    pub scan: StageTiming,
+    /// Patterns mined — must be identical across runs.
+    pub patterns: usize,
+    /// Violations found — must be identical across runs.
+    pub violations: usize,
+}
+
+/// The benchmark report serialised to `BENCH_pipeline.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct PipelineBench {
+    /// Corpus language.
+    pub lang: String,
+    /// Files in the corpus (after parse failures).
+    pub files: usize,
+    /// Statements in the corpus.
+    pub stmts: usize,
+    /// One entry per requested thread count, in request order.
+    pub runs: Vec<PipelineRun>,
+}
+
+/// Generates one corpus and times process/mine/scan at each thread count
+/// (`0` entries resolve to all available cores). Pattern and violation
+/// counts are recorded so callers can assert thread-count invariance.
+pub fn measure(lang: Lang, scale: Scale, seed: u64, thread_counts: &[usize]) -> PipelineBench {
+    let Setup {
+        corpus, commits, ..
+    } = setup(lang, scale, seed);
+    let config = namer_config(scale);
+
+    let mut out = PipelineBench {
+        lang: lang.to_string(),
+        files: 0,
+        stmts: 0,
+        runs: Vec::new(),
+    };
+    for &requested in thread_counts {
+        let threads = resolve_threads(requested);
+
+        let t = Instant::now();
+        let processed = process_parallel(&corpus.files, &config.process, threads);
+        let process_secs = t.elapsed().as_secs_f64();
+        let stmts = processed.stmt_count();
+        out.files = processed.files.len();
+        out.stmts = stmts;
+
+        let mining = MiningConfig {
+            threads,
+            ..config.mining.clone()
+        };
+        let t = Instant::now();
+        let detector = Detector::mine(&processed, &commits, lang, &mining);
+        let mine_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let scan = detector.violations_with(&processed, threads);
+        let scan_secs = t.elapsed().as_secs_f64();
+
+        out.runs.push(PipelineRun {
+            threads,
+            process: StageTiming::new(process_secs, stmts),
+            mine: StageTiming::new(mine_secs, stmts),
+            scan: StageTiming::new(scan_secs, stmts),
+            patterns: detector.pattern_count(),
+            violations: scan.violations.len(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_times_every_stage() {
+        let bench = measure(Lang::Python, Scale::Small, 7, &[1, 2]);
+        assert_eq!(bench.runs.len(), 2);
+        assert!(bench.stmts > 0);
+        for run in &bench.runs {
+            assert!(run.threads >= 1);
+            assert!(run.process.stmts_per_sec > 0.0);
+            assert!(run.mine.stmts_per_sec > 0.0);
+            assert!(run.scan.stmts_per_sec > 0.0);
+        }
+        // Thread-count invariance of the results themselves.
+        assert_eq!(bench.runs[0].patterns, bench.runs[1].patterns);
+        assert_eq!(bench.runs[0].violations, bench.runs[1].violations);
+    }
+}

@@ -68,6 +68,31 @@ fn trained_system_exposes_table9_weights() {
 }
 
 #[test]
+fn bench_pipeline_quick_emits_json() {
+    let out = std::env::temp_dir().join(format!("bench_pipeline_{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_bench_pipeline"))
+        .args(["--quick", "--threads", "1,2", "--out"])
+        .arg(&out)
+        .status()
+        .expect("bench_pipeline runs");
+    assert!(status.success(), "bench_pipeline exited with {status}");
+    let text = std::fs::read_to_string(&out).expect("JSON written");
+    let _ = std::fs::remove_file(&out);
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let runs = json["runs"].as_array().expect("runs array");
+    assert_eq!(runs.len(), 2);
+    for run in runs {
+        for stage in ["process", "mine", "scan"] {
+            let rate = run[stage]["stmts_per_sec"].as_f64().expect("finite rate");
+            assert!(rate > 0.0, "{stage} rate {rate}");
+        }
+    }
+    // The sweep only changes wall-clock, never results.
+    assert_eq!(runs[0]["patterns"], runs[1]["patterns"]);
+    assert_eq!(runs[0]["violations"], runs[1]["violations"]);
+}
+
+#[test]
 fn cv_metrics_match_section_5_2_protocol() {
     let Setup {
         corpus,

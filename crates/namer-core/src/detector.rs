@@ -2,12 +2,13 @@
 //! pattern violations with their Table 1 features.
 
 use crate::features::{self, FeatureInputs, LevelCounts, FEATURE_COUNT};
-use crate::process::ProcessedCorpus;
+use crate::process::{ProcessedCorpus, ProcessedFile};
 use namer_patterns::{
-    mine_patterns, ConfusingPairs, MiningConfig, PatternSet, PatternType, Relation,
+    mine_patterns, resolve_threads, ConfusingPairs, MatchScratch, MiningConfig, PatternSet,
+    PatternType, Relation,
 };
 use namer_syntax::{parse_file, Lang, SourceFile, Sym};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A flagged pattern violation with its feature vector.
 #[derive(Clone, Debug)]
@@ -135,72 +136,49 @@ impl Detector {
     /// Scans a preprocessed corpus and returns every violation with its
     /// Table 1 features, plus per-file coverage statistics (§5.2's
     /// "violated at least one pattern" numbers).
+    ///
+    /// Serial; [`Detector::violations_with`] is the parallel entry point.
     pub fn violations(&self, corpus: &ProcessedCorpus) -> ScanResult {
-        // Pass 1: relations per statement, accumulated at file/repo level.
-        struct Raw {
-            file_idx: usize,
-            line: u32,
-            rendered: String,
-            digest: u64,
-            path_count: usize,
-            pattern_idx: usize,
-            original: Sym,
-            suggested: Sym,
-        }
-        let mut raw: Vec<Raw> = Vec::new();
-        let mut file_counts: Vec<HashMap<usize, LevelCounts>> = Vec::new();
-        let mut repo_counts: HashMap<&str, HashMap<usize, LevelCounts>> = HashMap::new();
-        let mut file_digests: Vec<HashMap<u64, u64>> = Vec::new();
-        let mut repo_digests: HashMap<&str, HashMap<u64, u64>> = HashMap::new();
-        let mut files_with_violation = 0usize;
-        let mut repos_with_violation: HashMap<&str, bool> = HashMap::new();
+        self.violations_with(corpus, 1)
+    }
 
-        for (file_idx, file) in corpus.files.iter().enumerate() {
-            let mut this_file: HashMap<usize, LevelCounts> = HashMap::new();
-            let mut this_digests: HashMap<u64, u64> = HashMap::new();
-            let repo_entry = repo_counts.entry(&file.repo).or_default();
-            let repo_dig = repo_digests.entry(&file.repo).or_default();
-            let mut violated_here = false;
-            for stmt in &file.stmts {
-                *this_digests.entry(stmt.digest).or_default() += 1;
-                *repo_dig.entry(stmt.digest).or_default() += 1;
-                for (pidx, rel) in self.patterns.check(&stmt.paths) {
-                    let satisfied = rel == Relation::Satisfied;
-                    this_file.entry(pidx).or_default().record(satisfied);
-                    repo_entry.entry(pidx).or_default().record(satisfied);
-                    if let Relation::Violated(detail) = rel {
-                        violated_here = true;
-                        // Consistency violations are orientation-agnostic
-                        // (either name could be the mistake); when the mined
-                        // confusing pairs know the direction, use it.
-                        let (original, suggested) =
-                            if self.pairs.contains(detail.suggested, detail.original)
-                                && !self.pairs.contains(detail.original, detail.suggested)
-                            {
-                                (detail.suggested, detail.original)
-                            } else {
-                                (detail.original, detail.suggested)
-                            };
-                        raw.push(Raw {
-                            file_idx,
-                            line: stmt.line,
-                            rendered: stmt.rendered.clone(),
-                            digest: stmt.digest,
-                            path_count: stmt.paths.len(),
-                            pattern_idx: pidx,
-                            original,
-                            suggested,
-                        });
-                    }
-                }
-            }
-            if violated_here {
-                files_with_violation += 1;
-                repos_with_violation.insert(&file.repo, true);
-            }
-            file_counts.push(this_file);
-            file_digests.push(this_digests);
-        }
+    /// Like [`Detector::violations`], sharding the corpus files across
+    /// `threads` worker threads (`0` = all available cores). Violations are
+    /// re-joined in input order and per-repo counts are merged by addition,
+    /// so the result is identical to the serial scan at any thread count.
+    pub fn violations_with(&self, corpus: &ProcessedCorpus, threads: usize) -> ScanResult {
+        // Pass 1: relations per statement, accumulated at file/repo level.
+        let threads = resolve_threads(threads).min(corpus.files.len().max(1));
+        let scan = if threads <= 1 {
+            self.scan_chunk(&corpus.files, 0)
+        } else {
+            let chunk_size = corpus.files.len().div_ceil(threads);
+            let parts: Vec<ChunkScan<'_>> = crossbeam::scope(|scope| {
+                let handles: Vec<_> = corpus
+                    .files
+                    .chunks(chunk_size)
+                    .enumerate()
+                    .map(|(k, chunk)| {
+                        scope.spawn(move |_| self.scan_chunk(chunk, k * chunk_size))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan worker panicked"))
+                    .collect()
+            })
+            .expect("scan workers do not panic");
+            ChunkScan::merge(parts)
+        };
+        let ChunkScan {
+            raw,
+            file_counts,
+            file_digests,
+            repo_counts,
+            repo_digests,
+            files_with_violation,
+            repos_with_violation,
+        } = scan;
 
         // Pass 2: feature vectors.
         let violations: Vec<Violation> = raw
@@ -258,6 +236,117 @@ impl Detector {
             files_with_violation,
             repos_with_violation: repos_with_violation.len(),
         }
+    }
+
+    /// Scans one contiguous shard of the corpus: relations per statement,
+    /// accumulated at file and repo level. `base_idx` is the shard's offset
+    /// into the full file list, so `Raw::file_idx` stays a global index.
+    fn scan_chunk<'a>(&self, files: &'a [ProcessedFile], base_idx: usize) -> ChunkScan<'a> {
+        let mut out = ChunkScan::default();
+        let mut scratch = MatchScratch::for_set(&self.patterns);
+        let mut hits: Vec<(usize, Relation)> = Vec::new();
+        for (offset, file) in files.iter().enumerate() {
+            let file_idx = base_idx + offset;
+            let mut this_file: HashMap<usize, LevelCounts> = HashMap::new();
+            let mut this_digests: HashMap<u64, u64> = HashMap::new();
+            let repo_entry = out.repo_counts.entry(&file.repo).or_default();
+            let repo_dig = out.repo_digests.entry(&file.repo).or_default();
+            let mut violated_here = false;
+            for stmt in &file.stmts {
+                *this_digests.entry(stmt.digest).or_default() += 1;
+                *repo_dig.entry(stmt.digest).or_default() += 1;
+                self.patterns.check_into(&stmt.paths, &mut scratch, &mut hits);
+                for (pidx, rel) in hits.drain(..) {
+                    let satisfied = rel == Relation::Satisfied;
+                    this_file.entry(pidx).or_default().record(satisfied);
+                    repo_entry.entry(pidx).or_default().record(satisfied);
+                    if let Relation::Violated(detail) = rel {
+                        violated_here = true;
+                        // Consistency violations are orientation-agnostic
+                        // (either name could be the mistake); when the mined
+                        // confusing pairs know the direction, use it.
+                        let (original, suggested) =
+                            if self.pairs.contains(detail.suggested, detail.original)
+                                && !self.pairs.contains(detail.original, detail.suggested)
+                            {
+                                (detail.suggested, detail.original)
+                            } else {
+                                (detail.original, detail.suggested)
+                            };
+                        out.raw.push(Raw {
+                            file_idx,
+                            line: stmt.line,
+                            rendered: stmt.rendered.clone(),
+                            digest: stmt.digest,
+                            path_count: stmt.paths.len(),
+                            pattern_idx: pidx,
+                            original,
+                            suggested,
+                        });
+                    }
+                }
+            }
+            if violated_here {
+                out.files_with_violation += 1;
+                out.repos_with_violation.insert(&file.repo);
+            }
+            out.file_counts.push(this_file);
+            out.file_digests.push(this_digests);
+        }
+        out
+    }
+}
+
+/// One pre-feature violation record of the scan's first pass.
+struct Raw {
+    file_idx: usize,
+    line: u32,
+    rendered: String,
+    digest: u64,
+    path_count: usize,
+    pattern_idx: usize,
+    original: Sym,
+    suggested: Sym,
+}
+
+/// First-pass accumulator of one corpus shard; shards merge into the same
+/// state a serial scan builds.
+#[derive(Default)]
+struct ChunkScan<'a> {
+    raw: Vec<Raw>,
+    file_counts: Vec<HashMap<usize, LevelCounts>>,
+    file_digests: Vec<HashMap<u64, u64>>,
+    repo_counts: HashMap<&'a str, HashMap<usize, LevelCounts>>,
+    repo_digests: HashMap<&'a str, HashMap<u64, u64>>,
+    files_with_violation: usize,
+    repos_with_violation: HashSet<&'a str>,
+}
+
+impl<'a> ChunkScan<'a> {
+    /// Folds shards (in input order) into one accumulator: per-file vectors
+    /// concatenate, per-repo maps merge by addition, coverage sets union.
+    fn merge(parts: Vec<ChunkScan<'a>>) -> ChunkScan<'a> {
+        let mut merged = ChunkScan::default();
+        for mut part in parts {
+            merged.raw.append(&mut part.raw);
+            merged.file_counts.append(&mut part.file_counts);
+            merged.file_digests.append(&mut part.file_digests);
+            for (repo, counts) in part.repo_counts {
+                let slot = merged.repo_counts.entry(repo).or_default();
+                for (pidx, c) in counts {
+                    slot.entry(pidx).or_default().add(c);
+                }
+            }
+            for (repo, digests) in part.repo_digests {
+                let slot = merged.repo_digests.entry(repo).or_default();
+                for (digest, n) in digests {
+                    *slot.entry(digest).or_default() += n;
+                }
+            }
+            merged.files_with_violation += part.files_with_violation;
+            merged.repos_with_violation.extend(part.repos_with_violation);
+        }
+        merged
     }
 }
 

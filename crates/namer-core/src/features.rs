@@ -58,6 +58,14 @@ impl LevelCounts {
             self.violations += 1;
         }
     }
+
+    /// Accumulates another count set (merging per-shard counts of the
+    /// parallel scan).
+    pub fn add(&mut self, other: LevelCounts) {
+        self.matches += other.matches;
+        self.satisfactions += other.satisfactions;
+        self.violations += other.violations;
+    }
 }
 
 /// Everything feature extraction needs about one violation's context.

@@ -2,9 +2,9 @@
 //! defect classifier (Figure 1 of the paper).
 
 use crate::detector::{Detector, ScanResult, Violation};
-use crate::process::{process, ProcessConfig, ProcessedCorpus};
+use crate::process::{process_parallel, ProcessConfig, ProcessedCorpus};
 use namer_ml::{repeated_split_validation, select_model, Matrix, Metrics, ModelKind, Pipeline, PipelineConfig};
-use namer_patterns::MiningConfig;
+use namer_patterns::{resolve_threads, MiningConfig};
 use namer_syntax::{Lang, SourceFile};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -28,6 +28,10 @@ pub struct NamerConfig {
     pub cv_repeats: usize,
     /// Seed controlling sampling and training.
     pub seed: u64,
+    /// Worker threads for preprocessing, mining, and scanning (`0` = all
+    /// available cores, the paper's §5.1 setup). Results are byte-identical
+    /// at any thread count; this knob only changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for NamerConfig {
@@ -46,6 +50,7 @@ impl Default for NamerConfig {
             labeled_per_class: 60,
             cv_repeats: 30,
             seed: 7,
+            threads: 0,
         }
     }
 }
@@ -93,9 +98,14 @@ impl Namer {
         config: &NamerConfig,
     ) -> Namer {
         let lang = files.first().map(|f| f.lang).unwrap_or(Lang::Python);
-        let corpus = process(files, &config.process);
-        let detector = Detector::mine(&corpus, commits, lang, &config.mining);
-        let scan = detector.violations(&corpus);
+        let threads = resolve_threads(config.threads);
+        let corpus = process_parallel(files, &config.process, threads);
+        let mining = MiningConfig {
+            threads,
+            ..config.mining.clone()
+        };
+        let detector = Detector::mine(&corpus, commits, lang, &mining);
+        let scan = detector.violations_with(&corpus, threads);
 
         let (classifier, cv_metrics, model_kind, training_set) = if config.use_classifier {
             Self::fit_classifier(&scan.violations, &labeler, config)
@@ -176,14 +186,17 @@ impl Namer {
 
     /// Runs detection over raw files (processing them first).
     pub fn detect(&self, files: &[SourceFile]) -> Vec<Report> {
-        let corpus = process(files, &self.config.process);
+        let threads = resolve_threads(self.config.threads);
+        let corpus = process_parallel(files, &self.config.process, threads);
         self.detect_processed(&corpus).0
     }
 
     /// Runs detection over an already-processed corpus, also returning the
     /// raw scan (all violations + coverage statistics).
     pub fn detect_processed(&self, corpus: &ProcessedCorpus) -> (Vec<Report>, ScanResult) {
-        let scan = self.detector.violations(corpus);
+        let scan = self
+            .detector
+            .violations_with(corpus, resolve_threads(self.config.threads));
         let reports = scan
             .violations
             .iter()
@@ -251,6 +264,7 @@ impl Namer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::process::process;
 
     /// A corpus where assertEqual dominates, one file misuses assertTrue
     /// (true issue), and one repo legitimately repeats a violating shape

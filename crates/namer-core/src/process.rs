@@ -75,55 +75,50 @@ impl ProcessedCorpus {
     }
 }
 
-/// Preprocesses a set of files. Files that fail to parse are skipped and
-/// counted, mirroring how a crawler tolerates unparsable files.
+/// Preprocesses a set of files serially. Files that fail to parse are
+/// skipped and counted, mirroring how a crawler tolerates unparsable files.
+///
+/// Equivalent to [`process_parallel`] with one thread; all preprocessing
+/// funnels through that single entry point.
 pub fn process(files: &[SourceFile], config: &ProcessConfig) -> ProcessedCorpus {
-    let mut out = ProcessedCorpus::default();
-    for file in files {
-        match process_one(file, config) {
-            Some(f) => out.files.push(f),
-            None => out.parse_failures += 1,
-        }
-    }
-    out
+    process_parallel(files, config, 1)
 }
 
-/// Like [`process`], fanned out over `threads` worker threads — each file is
-/// analysed independently, exactly as the paper parallelises its per-file
-/// analyses over all cores (§5.1). Output order matches the input order, so
-/// results are identical to [`process`].
+/// Preprocesses a set of files, fanned out over `threads` worker threads
+/// (`0` = all available cores) — each file is analysed independently,
+/// exactly as the paper parallelises its per-file analyses over all cores
+/// (§5.1). Files are sharded into contiguous chunks and each worker returns
+/// its chunk's results as a plain `Vec`; chunks are re-joined in input
+/// order, so results are identical to a serial [`process`] at any thread
+/// count.
 pub fn process_parallel(
     files: &[SourceFile],
     config: &ProcessConfig,
     threads: usize,
 ) -> ProcessedCorpus {
-    let threads = threads.max(1);
-    if threads == 1 || files.len() < 2 {
-        return process(files, config);
-    }
-    let results: Vec<Option<ProcessedFile>> = {
-        let mut slots: Vec<Option<ProcessedFile>> = Vec::new();
-        slots.resize_with(files.len(), || None);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots_mutex: Vec<parking_lot_free_slot::Slot> = (0..files.len())
-            .map(|_| parking_lot_free_slot::Slot::default())
-            .collect();
+    let threads = namer_patterns::resolve_threads(threads).min(files.len().max(1));
+    let results: Vec<Option<ProcessedFile>> = if threads <= 1 {
+        files.iter().map(|f| process_one(f, config)).collect()
+    } else {
+        let chunk_size = files.len().div_ceil(threads);
         crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= files.len() {
-                        break;
-                    }
-                    slots_mutex[i].put(process_one(&files[i], config));
-                });
-            }
+            let handles: Vec<_> = files
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|f| process_one(f, config))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("process worker panicked"))
+                .collect()
         })
-        .expect("worker threads do not panic");
-        for (slot, target) in slots_mutex.into_iter().zip(slots.iter_mut()) {
-            *target = slot.take();
-        }
-        slots
+        .expect("process workers do not panic")
     };
     let mut out = ProcessedCorpus::default();
     for r in results {
@@ -133,28 +128,6 @@ pub fn process_parallel(
         }
     }
     out
-}
-
-/// One-shot write-once cells for the parallel fan-out.
-mod parking_lot_free_slot {
-    use crate::process::ProcessedFile;
-    use std::sync::Mutex;
-
-    #[derive(Default)]
-    pub(super) struct Slot(Mutex<Option<Option<ProcessedFile>>>);
-
-    impl Slot {
-        pub(super) fn put(&self, value: Option<ProcessedFile>) {
-            *self.0.lock().expect("slot lock") = Some(value);
-        }
-
-        pub(super) fn take(self) -> Option<ProcessedFile> {
-            self.0
-                .into_inner()
-                .expect("slot lock")
-                .expect("every slot is written exactly once")
-        }
-    }
 }
 
 fn process_one(file: &SourceFile, config: &ProcessConfig) -> Option<ProcessedFile> {
@@ -253,15 +226,18 @@ mod tests {
             })
             .collect();
         let seq = process(&files, &ProcessConfig::default());
-        let par = process_parallel(&files, &ProcessConfig::default(), 4);
-        assert_eq!(seq.parse_failures, par.parse_failures);
-        assert_eq!(seq.files.len(), par.files.len());
-        for (a, b) in seq.files.iter().zip(&par.files) {
-            assert_eq!(a.path, b.path);
-            assert_eq!(a.stmts.len(), b.stmts.len());
-            for (x, y) in a.stmts.iter().zip(&b.stmts) {
-                assert_eq!(x.digest, y.digest);
-                assert_eq!(x.paths.paths, y.paths.paths);
+        // 0 = all available cores; counts above the file count also work.
+        for threads in [0, 2, 4, 32] {
+            let par = process_parallel(&files, &ProcessConfig::default(), threads);
+            assert_eq!(seq.parse_failures, par.parse_failures);
+            assert_eq!(seq.files.len(), par.files.len());
+            for (a, b) in seq.files.iter().zip(&par.files) {
+                assert_eq!(a.path, b.path);
+                assert_eq!(a.stmts.len(), b.stmts.len());
+                for (x, y) in a.stmts.iter().zip(&b.stmts) {
+                    assert_eq!(x.digest, y.digest);
+                    assert_eq!(x.paths.paths, y.paths.paths);
+                }
             }
         }
     }

@@ -40,5 +40,5 @@ pub mod pattern;
 
 pub use confusion::{diff_word_pairs, ConfusingPairs};
 pub use fptree::FpTree;
-pub use mining::{mine_patterns, MiningConfig, PathSet, PatternSet};
+pub use mining::{mine_patterns, resolve_threads, MatchScratch, MiningConfig, PathSet, PatternSet};
 pub use pattern::{NamePattern, PatternType, Relation, ViolationDetail};

@@ -5,7 +5,7 @@ use crate::confusion::ConfusingPairs;
 use crate::fptree::{FpTree, NodeRef};
 use crate::pattern::{NamePattern, PatternType, Relation};
 use namer_syntax::namepath::NamePath;
-use namer_syntax::Sym;
+use namer_syntax::{PrefixId, Sym};
 use std::collections::{HashMap, HashSet};
 
 /// Regularisation knobs (§5.1 of the paper).
@@ -25,6 +25,9 @@ pub struct MiningConfig {
     pub min_support: u64,
     /// `pruneUncommon`: minimum satisfactions/matches ratio (paper: 0.8).
     pub min_satisfaction: f64,
+    /// Worker threads for the `pruneUncommon` recount, the dominant mining
+    /// cost (`0` = all available cores). Results are identical at any count.
+    pub threads: usize,
 }
 
 impl Default for MiningConfig {
@@ -35,32 +38,68 @@ impl Default for MiningConfig {
             max_subset_size: 3,
             min_support: 100,
             min_satisfaction: 0.8,
+            threads: 1,
         }
     }
 }
 
-/// The name paths of one statement, with a prefix→end index for fast
-/// matching (statement prefixes are unique — see §3.1).
+/// Resolves a requested worker-thread count: `0` means one worker per
+/// available core, any other value is used as given.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// The name paths of one statement, with an interned-prefix→end index for
+/// fast matching (statement prefixes are unique — see §3.1).
+///
+/// Prefixes are interned into dense [`PrefixId`]s once at construction, so
+/// every subsequent lookup in the match loop hashes a `u32` instead of a
+/// `Vec<(Sym, u32)>`.
 #[derive(Clone, Debug)]
 pub struct PathSet {
     /// The extracted (concrete) name paths.
     pub paths: Vec<NamePath>,
-    by_prefix: HashMap<Vec<(Sym, u32)>, Sym>,
+    /// Interned prefix of each path, parallel to `paths`.
+    prefix_ids: Vec<PrefixId>,
+    by_prefix: HashMap<PrefixId, Sym>,
 }
 
 impl PathSet {
     /// Builds the index for one statement's paths.
     pub fn new(paths: Vec<NamePath>) -> PathSet {
+        let prefix_ids: Vec<PrefixId> = paths.iter().map(NamePath::prefix_id).collect();
         let by_prefix = paths
             .iter()
-            .filter_map(|p| p.end.map(|e| (p.prefix.clone(), e)))
+            .zip(&prefix_ids)
+            .filter_map(|(p, &id)| p.end.map(|e| (id, e)))
             .collect();
-        PathSet { paths, by_prefix }
+        PathSet {
+            paths,
+            prefix_ids,
+            by_prefix,
+        }
     }
 
     /// The end subtoken at `prefix`, if this statement has that path.
     pub fn end_at(&self, prefix: &[(Sym, u32)]) -> Option<Sym> {
-        self.by_prefix.get(prefix).copied()
+        self.end_at_id(PrefixId::intern(prefix))
+    }
+
+    /// The end subtoken at the interned prefix `id`, if this statement has
+    /// that path.
+    pub fn end_at_id(&self, id: PrefixId) -> Option<Sym> {
+        self.by_prefix.get(&id).copied()
+    }
+
+    /// The interned prefix of each path, parallel to [`PathSet::paths`].
+    pub fn prefix_ids(&self) -> &[PrefixId] {
+        &self.prefix_ids
     }
 
     /// Does this statement contain `path` under the `=` operator?
@@ -263,7 +302,9 @@ fn enumerate_subsets(
 
 /// `pruneUncommon` (Algorithm 1, line 9): recount matches and satisfactions
 /// over the dataset and keep patterns that are both frequent and commonly
-/// satisfied.
+/// satisfied. The recount — the dominant mining cost — is sharded across
+/// `config.threads` workers; per-shard counts are merged by addition, so the
+/// result is identical to a serial pass.
 fn prune_uncommon(
     mut candidates: Vec<NamePattern>,
     stmts: &[PathSet],
@@ -275,16 +316,7 @@ fn prune_uncommon(
     // Cheap pre-filter on FP support to bound the recount.
     candidates.retain(|p| p.support >= config.min_support.max(1) / 2);
     let set = PatternSet::new(candidates);
-    let mut matches = vec![0u64; set.patterns.len()];
-    let mut sats = vec![0u64; set.patterns.len()];
-    for s in stmts {
-        for (idx, rel) in set.check(s) {
-            matches[idx] += 1;
-            if rel == Relation::Satisfied {
-                sats[idx] += 1;
-            }
-        }
-    }
+    let (matches, sats) = count_relations(&set, stmts, resolve_threads(config.threads));
     let mut out: Vec<NamePattern> = set
         .patterns
         .into_iter()
@@ -308,26 +340,96 @@ fn prune_uncommon(
     out
 }
 
+/// Counts per-pattern matches and satisfactions over `stmts`, sharding the
+/// statements across `threads` workers. `u64` addition is commutative, so
+/// the merged counts equal a serial pass regardless of thread count.
+fn count_relations(set: &PatternSet, stmts: &[PathSet], threads: usize) -> (Vec<u64>, Vec<u64>) {
+    fn count_chunk(set: &PatternSet, chunk: &[PathSet]) -> (Vec<u64>, Vec<u64>) {
+        let mut matches = vec![0u64; set.len()];
+        let mut sats = vec![0u64; set.len()];
+        let mut scratch = MatchScratch::for_set(set);
+        let mut hits: Vec<(usize, Relation)> = Vec::new();
+        for s in chunk {
+            set.check_into(s, &mut scratch, &mut hits);
+            for (idx, rel) in &hits {
+                matches[*idx] += 1;
+                if *rel == Relation::Satisfied {
+                    sats[*idx] += 1;
+                }
+            }
+        }
+        (matches, sats)
+    }
+
+    let threads = threads.min(stmts.len().max(1));
+    if threads <= 1 {
+        return count_chunk(set, stmts);
+    }
+    let chunk_size = stmts.len().div_ceil(threads);
+    let parts: Vec<(Vec<u64>, Vec<u64>)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = stmts
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move |_| count_chunk(set, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("count worker panicked"))
+            .collect()
+    })
+    .expect("count workers do not panic");
+    let mut matches = vec![0u64; set.len()];
+    let mut sats = vec![0u64; set.len()];
+    for (m, s) in parts {
+        for i in 0..set.len() {
+            matches[i] += m[i];
+            sats[i] += s[i];
+        }
+    }
+    (matches, sats)
+}
+
 /// An indexed set of patterns supporting fast per-statement checks.
+///
+/// Condition and deduction prefixes are interned once at construction
+/// ([`PrefixId`]), so [`PatternSet::check`] keys every lookup on a `u32`.
 #[derive(Debug)]
 pub struct PatternSet {
     /// The patterns, in the order given to [`PatternSet::new`].
     pub patterns: Vec<NamePattern>,
+    /// Per-pattern condition paths as (interned prefix, required end).
+    cond_keys: Vec<Vec<(PrefixId, Option<Sym>)>>,
+    /// Per-pattern deduction prefixes, interned.
+    ded_keys: Vec<Vec<PrefixId>>,
     /// First-deduction-prefix → pattern indices.
-    index: HashMap<Vec<(Sym, u32)>, Vec<usize>>,
+    index: HashMap<PrefixId, Vec<usize>>,
 }
 
 impl PatternSet {
     /// Builds the index.
     pub fn new(patterns: Vec<NamePattern>) -> PatternSet {
-        let mut index: HashMap<Vec<(Sym, u32)>, Vec<usize>> = HashMap::new();
-        for (i, p) in patterns.iter().enumerate() {
-            index
-                .entry(p.deduction[0].prefix.clone())
-                .or_default()
-                .push(i);
+        let cond_keys: Vec<Vec<(PrefixId, Option<Sym>)>> = patterns
+            .iter()
+            .map(|p| {
+                p.condition
+                    .iter()
+                    .map(|c| (c.prefix_id(), c.end))
+                    .collect()
+            })
+            .collect();
+        let ded_keys: Vec<Vec<PrefixId>> = patterns
+            .iter()
+            .map(|p| p.deduction.iter().map(NamePath::prefix_id).collect())
+            .collect();
+        let mut index: HashMap<PrefixId, Vec<usize>> = HashMap::new();
+        for (i, keys) in ded_keys.iter().enumerate() {
+            index.entry(keys[0]).or_default().push(i);
         }
-        PatternSet { patterns, index }
+        PatternSet {
+            patterns,
+            cond_keys,
+            ded_keys,
+            index,
+        }
     }
 
     /// Number of patterns.
@@ -343,34 +445,102 @@ impl PatternSet {
     /// Checks a statement against all patterns whose deduction can possibly
     /// be present, returning `(pattern index, relation)` for every *match*
     /// (satisfied or violated).
+    ///
+    /// Convenience wrapper over [`PatternSet::check_into`] that allocates
+    /// fresh buffers; hot loops should hold a [`MatchScratch`] and an output
+    /// `Vec` instead.
     pub fn check(&self, stmt: &PathSet) -> Vec<(usize, Relation)> {
+        let mut scratch = MatchScratch::for_set(self);
         let mut out = Vec::new();
-        let mut seen: HashSet<usize> = HashSet::new();
-        for path in &stmt.paths {
-            let Some(cands) = self.index.get(&path.prefix) else {
+        self.check_into(stmt, &mut scratch, &mut out);
+        out
+    }
+
+    /// Like [`PatternSet::check`], writing into caller-provided buffers.
+    /// `out` is cleared first; `scratch` is reusable across any number of
+    /// statements and carries no information between calls.
+    pub fn check_into(
+        &self,
+        stmt: &PathSet,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<(usize, Relation)>,
+    ) {
+        out.clear();
+        scratch.begin(self.patterns.len());
+        for &pid in stmt.prefix_ids() {
+            let Some(cands) = self.index.get(&pid) else {
                 continue;
             };
             for &i in cands {
-                if !seen.insert(i) {
+                if !scratch.first_visit(i) {
                     continue;
                 }
-                let p = &self.patterns[i];
-                if !self.quick_match(p, stmt) {
+                if !self.quick_match(i, stmt) {
                     continue;
                 }
-                match p.relation(&stmt.paths) {
+                match self.patterns[i].relation(&stmt.paths) {
                     Relation::NoMatch => {}
                     rel => out.push((i, rel)),
                 }
             }
         }
-        out
     }
 
-    /// O(|C| + |D|) match test using the prefix index.
-    fn quick_match(&self, p: &NamePattern, stmt: &PathSet) -> bool {
-        p.condition.iter().all(|c| stmt.contains_eq(c))
-            && p.deduction.iter().all(|d| stmt.end_at(&d.prefix).is_some())
+    /// O(|C| + |D|) match test over interned prefix keys.
+    fn quick_match(&self, i: usize, stmt: &PathSet) -> bool {
+        self.cond_keys[i]
+            .iter()
+            .all(|&(pid, want)| match (stmt.end_at_id(pid), want) {
+                (Some(_), None) => true,
+                (Some(e), Some(w)) => e == w,
+                (None, _) => false,
+            })
+            && self.ded_keys[i]
+                .iter()
+                .all(|&pid| stmt.end_at_id(pid).is_some())
+    }
+}
+
+/// Reusable per-worker scratch for [`PatternSet::check_into`].
+///
+/// Replaces the per-statement `HashSet` of visited pattern indices with a
+/// generation-stamped array: `begin` bumps the generation (O(1) clear) and
+/// `first_visit` stamps a slot, so dedup costs one array access per
+/// candidate.
+#[derive(Clone, Debug, Default)]
+pub struct MatchScratch {
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl MatchScratch {
+    /// Creates scratch sized for `set`.
+    pub fn for_set(set: &PatternSet) -> MatchScratch {
+        MatchScratch {
+            stamps: vec![0; set.len()],
+            generation: 0,
+        }
+    }
+
+    fn begin(&mut self, len: usize) {
+        if self.stamps.len() < len {
+            self.stamps.resize(len, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Generation wrapped: old stamps could collide with it; reset.
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.generation = 1;
+        }
+    }
+
+    fn first_visit(&mut self, i: usize) -> bool {
+        if self.stamps[i] == self.generation {
+            false
+        } else {
+            self.stamps[i] = self.generation;
+            true
+        }
     }
 }
 
@@ -527,6 +697,60 @@ mod tests {
         let mut other = true_path.clone();
         other.end = Some(Sym::intern("Equal"));
         assert!(!s.contains_eq(&other));
+    }
+
+    #[test]
+    fn check_into_matches_check_across_statements() {
+        let stmts = corpus(&[
+            ("self.assertEqual(value, 90)\n", 40),
+            ("self.assertTrue(value, 90)\n", 2),
+        ]);
+        let mut pairs = ConfusingPairs::default();
+        pairs.insert(Sym::intern("True"), Sym::intern("Equal"));
+        let patterns = mine_patterns(
+            &stmts,
+            PatternType::ConfusingWord,
+            Some(&pairs),
+            &small_config(),
+        );
+        let set = PatternSet::new(patterns);
+        // One reused scratch across many statements must agree with the
+        // allocating wrapper on every single one.
+        let mut scratch = MatchScratch::for_set(&set);
+        let mut out = Vec::new();
+        for s in stmts.iter().chain(&[
+            path_set("self.assertTrue(value, 90)\n"),
+            path_set("self.assertEqual(value, 90)\n"),
+            path_set("unrelated(x)\n"),
+        ]) {
+            set.check_into(s, &mut scratch, &mut out);
+            assert_eq!(out, set.check(s));
+        }
+    }
+
+    #[test]
+    fn mining_is_thread_count_invariant() {
+        let stmts = corpus(&[
+            ("self.assertEqual(value, 90)\n", 40),
+            ("self.assertTrue(value, 90)\n", 2),
+            ("self.name = name\n", 20),
+        ]);
+        let mut pairs = ConfusingPairs::default();
+        pairs.insert(Sym::intern("True"), Sym::intern("Equal"));
+        let serial = small_config();
+        for threads in [2, 3, 8] {
+            let parallel = MiningConfig {
+                threads,
+                ..small_config()
+            };
+            for ty in [PatternType::ConfusingWord, PatternType::Consistency] {
+                assert_eq!(
+                    mine_patterns(&stmts, ty, Some(&pairs), &serial),
+                    mine_patterns(&stmts, ty, Some(&pairs), &parallel),
+                    "{ty} mining differs at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use namer_patterns::{
     mine_patterns, ConfusingPairs, FpTree, MiningConfig, PathSet, PatternType, Relation,
 };
 use namer_syntax::namepath::NamePath;
-use namer_syntax::Sym;
+use namer_syntax::{PrefixId, Sym};
 use proptest::prelude::*;
 
 fn np(tag: u8, end: &str) -> NamePath {
@@ -112,6 +112,45 @@ proptest! {
             prop_assert!(p.satisfactions <= p.matches);
             prop_assert!(p.matches as usize <= stmts.len());
             prop_assert!(p.satisfaction_rate() >= 0.0 && p.satisfaction_rate() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn prefix_interning_round_trips(
+        prefix in proptest::collection::vec((0u8..12, 0u32..4), 0..6)
+    ) {
+        let prefix: Vec<(Sym, u32)> = prefix
+            .iter()
+            .map(|&(tag, idx)| (Sym::intern(&format!("V{tag}")), idx))
+            .collect();
+        let id = PrefixId::intern(&prefix);
+        prop_assert_eq!(id.as_slice(), prefix.as_slice());
+        // Interning is idempotent: the same prefix always maps to the
+        // same dense id.
+        prop_assert_eq!(PrefixId::intern(&prefix), id);
+    }
+
+    #[test]
+    fn path_set_lookups_match_linear_scan(
+        paths in proptest::collection::vec((0u8..6, 0u8..4), 1..8)
+    ) {
+        let paths: Vec<NamePath> = paths
+            .iter()
+            .map(|&(tag, e)| np(tag, &format!("e{e}")))
+            .collect();
+        let set = PathSet::new(paths.clone());
+        for p in &paths {
+            // The interned-key index agrees with a linear scan; on duplicate
+            // prefixes the last occurrence wins (HashMap-collect order).
+            let linear = paths
+                .iter()
+                .rev()
+                .find(|q| q.prefix == p.prefix)
+                .and_then(|q| q.end);
+            prop_assert_eq!(set.end_at(&p.prefix), linear);
+            prop_assert_eq!(set.end_at_id(p.prefix_id()), linear);
+            // Every concrete path is found via its symbolic shape.
+            prop_assert!(set.contains_eq(&p.to_symbolic()));
         }
     }
 

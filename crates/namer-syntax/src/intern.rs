@@ -1,9 +1,12 @@
-//! Global string interning.
+//! Global string and name-path-prefix interning.
 //!
 //! Pattern mining compares AST node values across millions of files, so node
 //! values are interned into cheap, `Copy` [`Sym`] handles that are comparable
-//! process-wide. The interner is a global append-only table guarded by an
-//! `RwLock`; lookups of already-interned strings take the read path only.
+//! process-wide. Whole name-path prefixes (`Vec<(Sym, u32)>`) are likewise
+//! interned into dense [`PrefixId`] handles, so the innermost match loops of
+//! mining and scanning key their hash maps on a `u32` instead of hashing and
+//! cloning vectors. Both interners are global append-only tables guarded by
+//! an `RwLock`; lookups of already-interned entries take the read path only.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -103,6 +106,77 @@ impl From<String> for Sym {
     }
 }
 
+/// An interned name-path prefix: the `S` of a name path `⟨S, n⟩`, reduced to
+/// a dense, `Copy` `u32` handle.
+///
+/// Two `PrefixId`s compare equal iff the `(Sym, u32)` sequences they intern
+/// are equal, regardless of which thread interned them. `PathSet` and
+/// `PatternSet` key their prefix indexes on `PrefixId`, so the per-statement
+/// match loop hashes a single `u32` instead of a `Vec<(Sym, u32)>`.
+///
+/// # Examples
+///
+/// ```
+/// use namer_syntax::{PrefixId, Sym};
+/// let prefix = vec![(Sym::intern("Assign"), 0), (Sym::intern("NameLoad"), 0)];
+/// let a = PrefixId::intern(&prefix);
+/// let b = PrefixId::intern(&prefix);
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_slice(), &prefix[..]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PrefixId(u32);
+
+struct PrefixInterner {
+    prefixes: Vec<&'static [(Sym, u32)]>,
+    table: HashMap<&'static [(Sym, u32)], u32>,
+}
+
+fn prefix_interner() -> &'static RwLock<PrefixInterner> {
+    static INTERNER: OnceLock<RwLock<PrefixInterner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(PrefixInterner {
+            prefixes: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl PrefixId {
+    /// Interns `prefix`, returning its global id.
+    pub fn intern(prefix: &[(Sym, u32)]) -> PrefixId {
+        {
+            let int = prefix_interner().read();
+            if let Some(&id) = int.table.get(prefix) {
+                return PrefixId(id);
+            }
+        }
+        let mut int = prefix_interner().write();
+        if let Some(&id) = int.table.get(prefix) {
+            return PrefixId(id);
+        }
+        let id = u32::try_from(int.prefixes.len()).expect("prefix interner overflow");
+        // Like interned strings, interned prefixes live for the process
+        // lifetime; leaking gives `&'static` handles without unsafe code.
+        let leaked: &'static [(Sym, u32)] = Box::leak(prefix.to_vec().into_boxed_slice());
+        int.prefixes.push(leaked);
+        int.table.insert(leaked, id);
+        PrefixId(id)
+    }
+
+    /// Returns the interned prefix.
+    pub fn as_slice(self) -> &'static [(Sym, u32)] {
+        prefix_interner().read().prefixes[self.0 as usize]
+    }
+
+    /// Returns the raw index of this prefix in the global table.
+    ///
+    /// Useful as a dense array key; indices are assigned in interning order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 impl serde::Serialize for Sym {
     fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
         ser.serialize_str(self.as_str())
@@ -156,5 +230,44 @@ mod tests {
     #[test]
     fn empty_string_is_internable() {
         assert_eq!(Sym::intern("").as_str(), "");
+    }
+
+    #[test]
+    fn prefix_intern_is_idempotent() {
+        let prefix = vec![(Sym::intern("Call"), 0), (Sym::intern("Attr"), 1)];
+        let a = PrefixId::intern(&prefix);
+        let b = PrefixId::intern(&prefix);
+        assert_eq!(a, b);
+        assert_eq!(a.as_slice(), &prefix[..]);
+    }
+
+    #[test]
+    fn distinct_prefixes_get_distinct_ids() {
+        let a = PrefixId::intern(&[(Sym::intern("Call"), 0)]);
+        let b = PrefixId::intern(&[(Sym::intern("Call"), 1)]);
+        let c = PrefixId::intern(&[(Sym::intern("Attr"), 0)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn empty_prefix_is_internable() {
+        let id = PrefixId::intern(&[]);
+        assert!(id.as_slice().is_empty());
+        assert_eq!(PrefixId::intern(&[]), id);
+    }
+
+    #[test]
+    fn concurrent_prefix_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    PrefixId::intern(&[(Sym::intern("concurrent-prefix"), 3)])
+                })
+            })
+            .collect();
+        let ids: Vec<PrefixId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
     }
 }

@@ -38,7 +38,7 @@ pub mod transform;
 pub mod vocab;
 
 pub use ast::{Ast, NameRole, NodeId, TermKind};
-pub use intern::Sym;
+pub use intern::{PrefixId, Sym};
 pub use source::{Lang, ParseError, SourceFile};
 
 /// Parses a [`SourceFile`] with the parser for its language.

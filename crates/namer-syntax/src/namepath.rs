@@ -6,7 +6,7 @@
 //! by pattern deductions.
 
 use crate::ast::{Ast, NodeId};
-use crate::intern::Sym;
+use crate::intern::{PrefixId, Sym};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -70,6 +70,13 @@ impl NamePath {
                 (None, _) | (_, None) => true,
                 (Some(a), Some(b)) => a == b,
             }
+    }
+
+    /// The interned id of this path's prefix `S` (see [`PrefixId`]).
+    ///
+    /// Two paths share a `prefix_id` iff [`NamePath::same_prefix`] holds.
+    pub fn prefix_id(&self) -> PrefixId {
+        PrefixId::intern(&self.prefix)
     }
 
     /// The value of the last prefix element, if any.
@@ -297,6 +304,18 @@ mod tests {
         for (pa, (pb, node)) in a.iter().zip(&b) {
             assert_eq!(pa, pb);
             assert_eq!(plus.value(*node), pa.end.unwrap());
+        }
+    }
+
+    #[test]
+    fn prefix_id_agrees_with_same_prefix() {
+        let paths = paths_of("self.assertTrue(picture.rotate_angle, 90)\n");
+        for a in &paths {
+            for b in &paths {
+                assert_eq!(a.same_prefix(b), a.prefix_id() == b.prefix_id());
+            }
+            // Symbolising keeps the prefix, hence the id.
+            assert_eq!(a.prefix_id(), a.to_symbolic().prefix_id());
         }
     }
 

@@ -48,9 +48,11 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
-         USAGE:\n  namer demo  [--java] [-o MODEL]\n  namer corpus [--java] [--seed N] --out DIR\n  namer train --corpus DIR \
+         USAGE:\n  namer demo  [--java] [--threads N] [-o MODEL]\n  namer corpus [--java] [--seed N] --out DIR\n  namer train --corpus DIR \
          [--commits DIR] [--labels TSV] [--lang python|java]\n              \
-         [--no-classifier] [--no-analysis] [-o MODEL]\n  namer scan  --model MODEL [--explain] [--format sarif] PATH...\n"
+         [--no-classifier] [--no-analysis] [--threads N] [-o MODEL]\n  namer scan  --model MODEL [--explain] [--format sarif] [--threads N] PATH...\n\n\
+         `--threads 0` (the default) uses all available cores; results are\n\
+         identical at any thread count.\n"
     );
 }
 
@@ -63,6 +65,14 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// `--threads N` (0 = all available cores, the default).
+fn threads_from_args(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--threads") {
+        Some(s) => s.parse().map_err(|_| format!("bad --threads {s:?}")),
+        None => Ok(0),
+    }
 }
 
 fn lang_from_args(args: &[String]) -> Lang {
@@ -99,6 +109,10 @@ fn default_config() -> NamerConfig {
 fn cmd_demo(args: &[String]) -> Result<ExitCode, String> {
     let lang = lang_from_args(args);
     let out = flag_value(args, "-o").unwrap_or("namer-model.json");
+    let config = NamerConfig {
+        threads: threads_from_args(args)?,
+        ..default_config()
+    };
     println!("generating a synthetic Big Code corpus ({lang})…");
     let corpus = Generator::new(CorpusConfig::small(lang)).generate(2021);
     let oracle = corpus.oracle();
@@ -115,7 +129,7 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, String> {
                 .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
                 .is_some()
         },
-        &default_config(),
+        &config,
     );
     println!(
         "mined {} patterns / {} confusing pairs; classifier: {}",
@@ -216,6 +230,7 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, String> {
     println!("commit pairs: {}", commits.len());
 
     let mut config = default_config();
+    config.threads = threads_from_args(args)?;
     if has_flag(args, "--no-analysis") {
         config.process.use_analysis = false;
     }
@@ -260,7 +275,10 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| format!("reading {model_path}: {e}"))?;
     let model = SavedModel::from_json(&json).map_err(|e| e.to_string())?;
     let lang = model.lang;
-    let namer = model.into_namer(default_config());
+    let namer = model.into_namer(NamerConfig {
+        threads: threads_from_args(args)?,
+        ..default_config()
+    });
 
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut skip_next = false;
@@ -269,7 +287,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
             skip_next = false;
             continue;
         }
-        if a == "--model" || a == "--format" {
+        if a == "--model" || a == "--format" || a == "--threads" {
             skip_next = true;
             continue;
         }

@@ -1,7 +1,8 @@
 //! Reproducibility: every stage of the system is a pure function of its
-//! seed (DESIGN.md §6).
+//! seed (DESIGN.md §6), and — since the pipeline went parallel — of the
+//! seed alone: thread count never changes results (DESIGN.md §7).
 
-use namer::core::{process, Detector, Namer, NamerConfig, ProcessConfig};
+use namer::core::{process, process_parallel, Detector, Namer, NamerConfig, ProcessConfig};
 use namer::corpus::{CorpusConfig, Generator};
 use namer::patterns::MiningConfig;
 use namer::syntax::Lang;
@@ -50,6 +51,77 @@ fn mining_and_detection_are_reproducible() {
         )
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn mining_and_detection_are_thread_count_invariant() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(77);
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let run = |threads: usize| {
+        let processed = process_parallel(&corpus.files, &ProcessConfig::default(), threads);
+        let mining = MiningConfig {
+            threads,
+            ..config().mining
+        };
+        let det = Detector::mine(&processed, &commits, Lang::Python, &mining);
+        let scan = det.violations_with(&processed, threads);
+        (
+            det.pattern_count(),
+            scan.raw_violation_count,
+            scan.files_with_violation,
+            scan.repos_with_violation,
+            scan.violations
+                .iter()
+                .map(|v| (v.to_string(), format!("{:?}", v.features)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let serial = run(1);
+    for threads in [2, 8] {
+        assert_eq!(serial, run(threads), "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn trained_system_reports_identically_across_thread_counts() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(66);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let run = |threads: usize| {
+        let namer = Namer::train(
+            &corpus.files,
+            &commits,
+            |v| {
+                oracle
+                    .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                    .is_some()
+            },
+            &NamerConfig {
+                threads,
+                ..config()
+            },
+        );
+        (
+            namer.detector.pattern_count(),
+            namer
+                .detect(&corpus.files)
+                .iter()
+                .map(|r| (r.to_string(), r.decision.to_bits()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let serial = run(1);
+    for threads in [2, 8] {
+        assert_eq!(serial, run(threads), "threads={threads} diverged");
+    }
 }
 
 #[test]
