@@ -1,0 +1,97 @@
+//! `bench_incremental` — incremental re-scan benchmark.
+//!
+//! ```text
+//! bench_incremental [--quick | --small | --large] [--java]
+//!                   [--threads N] [--seed N] [--out FILE]
+//! ```
+//!
+//! Mines a detector on one synthetic corpus, then times three scans through
+//! the digest-keyed scan cache — cold (empty cache), warm (unchanged
+//! corpus), and ≈ 1 %-dirty — against a from-scratch full re-scan of the
+//! mutated corpus, and writes `BENCH_incremental.json`. Every phase is
+//! checked bit for bit against its full-scan reference; the binary exits
+//! non-zero if any phase diverges. `--quick` runs the small corpus for the
+//! smoke tests; the default scale is medium (the acceptance scale for the
+//! ≥ 5× dirty-re-scan speedup).
+
+use namer_bench::incremental::measure_incremental;
+use namer_bench::Scale;
+use namer_patterns::resolve_threads;
+use namer_syntax::Lang;
+use std::process::ExitCode;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick || args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else if args.iter().any(|a| a == "--large") {
+        Scale::Large
+    } else {
+        Scale::Medium
+    };
+    let lang = if args.iter().any(|a| a == "--java") {
+        Lang::Java
+    } else {
+        Lang::Python
+    };
+    let seed: u64 = match flag_value(&args, "--seed").map(str::parse) {
+        None => 2021,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: bad --seed");
+            return ExitCode::from(2);
+        }
+    };
+    let threads = match flag_value(&args, "--threads").map(str::parse) {
+        None => resolve_threads(0),
+        Some(Ok(n)) => resolve_threads(n),
+        Some(Err(_)) => {
+            eprintln!("error: bad --threads");
+            return ExitCode::from(2);
+        }
+    };
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_incremental.json");
+
+    println!("incremental scan bench: {lang}, {scale:?} corpus, {threads} thread(s)");
+    let bench = measure_incremental(lang, scale, seed, threads);
+    println!(
+        "corpus: {} files / {} statements; {} file(s) dirtied",
+        bench.files, bench.stmts, bench.dirty_files
+    );
+    for (name, p) in [
+        ("cold", &bench.cold),
+        ("warm", &bench.warm),
+        ("dirty", &bench.dirty),
+        ("full re-scan", &bench.full_rescan),
+    ] {
+        println!(
+            "  {name:>12}: {:>8.3}s | {:>5} reused / {:>5} fresh | {} violations",
+            p.secs, p.reused, p.fresh, p.violations
+        );
+    }
+    println!(
+        "warm speedup {:.1}x | 1%-dirty speedup {:.1}x | identical: {}",
+        bench.warm_speedup, bench.dirty_speedup, bench.identical
+    );
+
+    let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out}");
+    if bench.identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: incremental scan diverged from the full scan");
+        ExitCode::from(1)
+    }
+}

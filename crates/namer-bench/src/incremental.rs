@@ -1,0 +1,190 @@
+//! Incremental re-scan benchmark behind the `bench_incremental` binary
+//! (`BENCH_incremental.json`): cold, warm, and 1 %-dirty scan timings
+//! through the digest-keyed scan cache, against a from-scratch full scan of
+//! the same corpus.
+//!
+//! Every phase's results are compared bit for bit against the matching full
+//! scan — the benchmark doubles as an end-to-end check of the DESIGN.md §8
+//! equivalence guarantee, and the binary exits non-zero when it fails.
+
+use crate::{namer_config, setup, Scale, Setup};
+use namer_core::{process_parallel, Detector, ProcessConfig, ScanCache, ScanResult};
+use namer_patterns::MiningConfig;
+use namer_syntax::{Lang, SourceFile};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall-clock and cache accounting of one scan phase.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PhaseTiming {
+    /// Elapsed seconds (processing dirty files included).
+    pub secs: f64,
+    /// Files served from the cache.
+    pub reused: usize,
+    /// Files processed and scanned fresh.
+    pub fresh: usize,
+    /// Deduplicated violations found.
+    pub violations: usize,
+}
+
+/// The benchmark report serialised to `BENCH_incremental.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct IncrementalBench {
+    /// Corpus language.
+    pub lang: String,
+    /// Files in the corpus.
+    pub files: usize,
+    /// Statements in the corpus.
+    pub stmts: usize,
+    /// Worker threads used for every phase.
+    pub threads: usize,
+    /// Files mutated for the dirty phases (≈ 1 % of the corpus).
+    pub dirty_files: usize,
+    /// Empty cache, every file fresh.
+    pub cold: PhaseTiming,
+    /// Fully warmed cache, unchanged corpus.
+    pub warm: PhaseTiming,
+    /// Warmed cache, ≈ 1 % of files mutated.
+    pub dirty: PhaseTiming,
+    /// From-scratch process + scan of the mutated corpus (the baseline the
+    /// dirty phase replaces).
+    pub full_rescan: PhaseTiming,
+    /// `cold.secs / warm.secs`.
+    pub warm_speedup: f64,
+    /// `full_rescan.secs / dirty.secs` — the headline number.
+    pub dirty_speedup: f64,
+    /// Every phase matched its full-scan reference bit for bit.
+    pub identical: bool,
+}
+
+/// Everything observable about a scan, bitwise.
+fn key(scan: &ScanResult) -> Vec<(String, Vec<u64>)> {
+    scan.violations
+        .iter()
+        .map(|v| {
+            (
+                v.to_string(),
+                v.features.iter().map(|f| f.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Appends a trailing comment to `file`, changing its digest without
+/// changing its statements — the cheapest realistic "file was touched" edit.
+fn dirty(file: &mut SourceFile, round: usize) {
+    let marker = match file.lang {
+        Lang::Python => "#",
+        Lang::Java => "//",
+    };
+    file.text
+        .push_str(&format!("\n{marker} dirtied {round} for bench_incremental\n"));
+}
+
+/// Times a from-scratch process + scan of `files`.
+fn time_full(
+    det: &Detector,
+    files: &[SourceFile],
+    config: &ProcessConfig,
+    threads: usize,
+) -> (f64, ScanResult) {
+    let t = Instant::now();
+    let processed = process_parallel(files, config, threads);
+    let scan = det.violations_with(&processed, threads);
+    (t.elapsed().as_secs_f64(), scan)
+}
+
+/// Generates one corpus, mines a detector, and times the cold / warm /
+/// 1 %-dirty incremental phases against full-scan baselines.
+pub fn measure_incremental(lang: Lang, scale: Scale, seed: u64, threads: usize) -> IncrementalBench {
+    let Setup {
+        corpus, commits, ..
+    } = setup(lang, scale, seed);
+    let config = namer_config(scale);
+    let process_config = config.process;
+
+    let processed = process_parallel(&corpus.files, &process_config, threads);
+    let stmts = processed.stmt_count();
+    let mining = MiningConfig {
+        threads,
+        ..config.mining.clone()
+    };
+    let det = Detector::mine(&processed, &commits, lang, &mining);
+    let fingerprint = det.fingerprint(&process_config);
+
+    // Baseline: a full scan of the pristine corpus.
+    let (_, full_base) = time_full(&det, &corpus.files, &process_config, threads);
+
+    let phase = |cache: &mut ScanCache, files: &[SourceFile]| {
+        let t = Instant::now();
+        let inc = det.violations_incremental(files, &process_config, cache, threads);
+        (
+            PhaseTiming {
+                secs: t.elapsed().as_secs_f64(),
+                reused: inc.reused,
+                fresh: inc.fresh,
+                violations: inc.scan.violations.len(),
+            },
+            inc.scan,
+        )
+    };
+
+    let mut cache = ScanCache::empty(fingerprint);
+    let (cold, cold_scan) = phase(&mut cache, &corpus.files);
+    let (warm, warm_scan) = phase(&mut cache, &corpus.files);
+
+    // Mutate ≈ 1 % of the files (at least one), spread across the corpus.
+    let n = corpus.files.len();
+    let dirty_files = (n / 100).max(1).min(n);
+    let step = n / dirty_files;
+    let mut mutated = corpus.files.clone();
+    for k in 0..dirty_files {
+        dirty(&mut mutated[k * step], k);
+    }
+
+    let (full_secs, full_scan) = time_full(&det, &mutated, &process_config, threads);
+    let (dirty_t, dirty_scan) = phase(&mut cache, &mutated);
+
+    let identical = key(&cold_scan) == key(&full_base)
+        && key(&warm_scan) == key(&full_base)
+        && key(&dirty_scan) == key(&full_scan);
+
+    let full_rescan = PhaseTiming {
+        secs: full_secs,
+        reused: 0,
+        fresh: n,
+        violations: full_scan.violations.len(),
+    };
+    IncrementalBench {
+        lang: lang.to_string(),
+        files: n,
+        stmts,
+        threads,
+        dirty_files,
+        cold,
+        warm,
+        dirty: dirty_t,
+        full_rescan,
+        warm_speedup: cold.secs / warm.secs.max(1e-9),
+        dirty_speedup: full_rescan.secs / dirty_t.secs.max(1e-9),
+        identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_covers_all_phases_and_stays_identical() {
+        let bench = measure_incremental(Lang::Python, Scale::Small, 7, 1);
+        assert!(bench.identical, "incremental diverged from full scan");
+        assert_eq!(bench.cold.fresh, bench.files);
+        assert_eq!(bench.warm.fresh, 0);
+        assert_eq!(bench.warm.reused, bench.files);
+        assert!(bench.dirty.fresh >= 1);
+        assert!(bench.dirty.fresh <= bench.dirty_files);
+        assert!(bench.dirty_speedup > 0.0);
+        assert!(bench.warm_speedup > 0.0);
+    }
+}

@@ -6,6 +6,7 @@
 //! common machinery: corpus setup, report inspection against the oracle,
 //! sampling, and table rendering.
 
+pub mod incremental;
 pub mod throughput;
 
 use namer_core::{Namer, NamerConfig, Report, Violation};

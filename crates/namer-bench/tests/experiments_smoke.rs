@@ -93,6 +93,34 @@ fn bench_pipeline_quick_emits_json() {
 }
 
 #[test]
+fn bench_incremental_quick_emits_json() {
+    let out = std::env::temp_dir().join(format!("bench_incremental_{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_bench_incremental"))
+        .args(["--quick", "--threads", "2", "--out"])
+        .arg(&out)
+        .status()
+        .expect("bench_incremental runs");
+    assert!(status.success(), "bench_incremental exited with {status}");
+    let text = std::fs::read_to_string(&out).expect("JSON written");
+    let _ = std::fs::remove_file(&out);
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    // The equivalence guarantee held for every phase.
+    assert_eq!(json["identical"], serde_json::Value::Bool(true));
+    // Warm scan reused everything; the dirty scan re-did only dirty files.
+    assert_eq!(json["warm"]["fresh"].as_u64(), Some(0));
+    assert!(json["dirty"]["fresh"].as_u64().unwrap() >= 1);
+    assert!(
+        json["dirty"]["fresh"].as_u64().unwrap() <= json["dirty_files"].as_u64().unwrap(),
+        "dirty scan re-scanned more than the dirtied files"
+    );
+    for phase in ["cold", "warm", "dirty", "full_rescan"] {
+        assert!(json[phase]["secs"].as_f64().unwrap() >= 0.0, "{phase}");
+    }
+    assert!(json["warm_speedup"].as_f64().unwrap() > 0.0);
+    assert!(json["dirty_speedup"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
 fn cv_metrics_match_section_5_2_protocol() {
     let Setup {
         corpus,

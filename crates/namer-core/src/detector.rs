@@ -1,13 +1,23 @@
 //! The unsupervised half of Namer: mine patterns from Big Code and flag
 //! pattern violations with their Table 1 features.
+//!
+//! Scanning is split into a per-file stage ([`FileScanState`], purely
+//! content-derived and therefore cacheable) and a corpus-level assembly
+//! stage ([`Detector::assemble_scan`]) that rebuilds repo aggregates and
+//! feature vectors. Both the full scan ([`Detector::violations_with`]) and
+//! the incremental scan ([`Detector::violations_incremental`]) funnel
+//! through the same assembly, which is what guarantees byte-identical
+//! output between them (DESIGN.md §8).
 
 use crate::features::{self, FeatureInputs, LevelCounts, FEATURE_COUNT};
-use crate::process::{ProcessedCorpus, ProcessedFile};
+use crate::persist::{CacheEntry, ScanCache};
+use crate::process::{process_each, ProcessConfig, ProcessedCorpus, ProcessedFile};
 use namer_patterns::{
     mine_patterns, resolve_threads, ConfusingPairs, MatchScratch, MiningConfig, PatternSet,
     PatternType, Relation,
 };
-use namer_syntax::{parse_file, Lang, SourceFile, Sym};
+use namer_syntax::{parse_file, ContentDigest, Fnv64, Lang, SourceFile, Sym};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A flagged pattern violation with its feature vector.
@@ -45,6 +55,44 @@ impl std::fmt::Display for Violation {
             self.rendered
         )
     }
+}
+
+/// One pre-feature violation record from the per-file scan pass.
+///
+/// Everything here is derived from the file's content alone (the statement's
+/// line, digest, and the matched pattern), so it persists in the scan cache.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RawHit {
+    /// 1-based line of the violating statement.
+    pub line: u32,
+    /// Rendered statement (for display).
+    pub rendered: String,
+    /// Structural digest of the statement.
+    pub digest: u64,
+    /// Name-path count of the statement.
+    pub path_count: usize,
+    /// Index of the violated pattern.
+    pub pattern_idx: usize,
+    /// The offending subtoken as written.
+    pub original: Sym,
+    /// The subtoken the pattern deduces.
+    pub suggested: Sym,
+}
+
+/// Per-file scan state: everything pass 1 learns about one file.
+///
+/// Deliberately contains no repository or path identity — two files with the
+/// same bytes produce the same state — which is what lets the scan cache key
+/// on content digest alone. Sorted `Vec`s rather than maps keep the
+/// serialized form deterministic and lookups branch-predictable.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FileScanState {
+    /// Match/satisfaction counts per pattern index, sorted by index.
+    pub pattern_counts: Vec<(usize, LevelCounts)>,
+    /// Occurrence count per statement digest, sorted by digest.
+    pub digest_counts: Vec<(u64, u64)>,
+    /// Pre-feature violations in statement order.
+    pub raw: Vec<RawHit>,
 }
 
 /// The mined detector: patterns, pairs, and dataset-level statistics.
@@ -133,6 +181,58 @@ impl Detector {
         }
     }
 
+    /// A stable fingerprint of everything that determines scan output:
+    /// patterns (structure and mined counts), dataset statistics, confusing
+    /// pairs, and the preprocessing configuration. Cached scan state is only
+    /// valid under the exact fingerprint it was produced with.
+    ///
+    /// Built from string renderings with [`Fnv64`] rather than `std::hash`,
+    /// because interned symbol ids are process-local and `std` hashes are
+    /// not stable across processes.
+    pub fn fingerprint(&self, process: &ProcessConfig) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.patterns.len() as u64);
+        for p in &self.patterns.patterns {
+            h.write_u8(match p.ty {
+                PatternType::Consistency => 0,
+                PatternType::ConfusingWord => 1,
+            });
+            h.write_u64(p.condition.len() as u64);
+            for path in &p.condition {
+                h.write_str(&path.to_string());
+            }
+            h.write_u64(p.deduction.len() as u64);
+            for path in &p.deduction {
+                h.write_str(&path.to_string());
+            }
+            h.write_u64(p.support);
+            h.write_u64(p.matches);
+            h.write_u64(p.satisfactions);
+        }
+        for c in &self.dataset {
+            h.write_u64(c.matches);
+            h.write_u64(c.satisfactions);
+            h.write_u64(c.violations);
+        }
+        let mut pairs: Vec<(&str, &str, u64)> = self
+            .pairs
+            .iter()
+            .map(|(&(a, b), &n)| (a.as_str(), b.as_str(), n))
+            .collect();
+        pairs.sort_unstable();
+        h.write_u64(pairs.len() as u64);
+        for (a, b, n) in pairs {
+            h.write_str(a);
+            h.write_str(b);
+            h.write_u64(n);
+        }
+        h.write_u8(u8::from(process.use_analysis));
+        h.write_u64(process.max_paths as u64);
+        h.write_u64(process.analysis.pointsto.k as u64);
+        h.write_u64(process.analysis.pointsto.max_avg_contexts as u64);
+        h.finish()
+    }
+
     /// Scans a preprocessed corpus and returns every violation with its
     /// Table 1 features, plus per-file coverage statistics (§5.2's
     /// "violated at least one pattern" numbers).
@@ -147,63 +247,233 @@ impl Detector {
     /// re-joined in input order and per-repo counts are merged by addition,
     /// so the result is identical to the serial scan at any thread count.
     pub fn violations_with(&self, corpus: &ProcessedCorpus, threads: usize) -> ScanResult {
-        // Pass 1: relations per statement, accumulated at file/repo level.
-        let threads = resolve_threads(threads).min(corpus.files.len().max(1));
-        let scan = if threads <= 1 {
-            self.scan_chunk(&corpus.files, 0)
+        let states = self.scan_files(&corpus.files, threads);
+        let metas: Vec<(&str, &str)> = corpus
+            .files
+            .iter()
+            .map(|f| (f.repo.as_str(), f.path.as_str()))
+            .collect();
+        let state_refs: Vec<&FileScanState> = states.iter().collect();
+        self.assemble_scan(&metas, &state_refs)
+    }
+
+    /// Scans `files`, reusing cached per-file state for every file whose
+    /// content digest is already in `cache` and freshly scanning the rest
+    /// (fanned out over `threads` workers, `0` = all cores). Fresh state —
+    /// including parse failures, so unparsable files are never re-parsed —
+    /// is inserted into `cache`. The assembled result is byte-identical to
+    /// processing and scanning `files` from scratch.
+    ///
+    /// The caller is responsible for pairing `cache` with the right
+    /// detector: load it via [`ScanCache::load`] with
+    /// [`Detector::fingerprint`] so stale caches degrade to a cold scan.
+    pub fn violations_incremental(
+        &self,
+        files: &[SourceFile],
+        process: &ProcessConfig,
+        cache: &mut ScanCache,
+        threads: usize,
+    ) -> IncrementalScan {
+        let digests: Vec<ContentDigest> = files.iter().map(|f| f.content_digest()).collect();
+        let mut reused = 0usize;
+        let mut fresh = 0usize;
+        let mut scheduled: HashSet<ContentDigest> = HashSet::new();
+        let mut fresh_refs: Vec<&SourceFile> = Vec::new();
+        let mut fresh_digests: Vec<ContentDigest> = Vec::new();
+        for (file, &digest) in files.iter().zip(&digests) {
+            if cache.contains(digest) {
+                reused += 1;
+            } else {
+                fresh += 1;
+                if scheduled.insert(digest) {
+                    fresh_refs.push(file);
+                    fresh_digests.push(digest);
+                }
+            }
+        }
+
+        let mut parsed: Vec<ProcessedFile> = Vec::new();
+        let mut parsed_digests: Vec<ContentDigest> = Vec::new();
+        let mut failed_digests: Vec<ContentDigest> = Vec::new();
+        for (result, digest) in process_each(&fresh_refs, process, threads)
+            .into_iter()
+            .zip(fresh_digests)
+        {
+            match result {
+                Some(f) => {
+                    parsed.push(f);
+                    parsed_digests.push(digest);
+                }
+                None => failed_digests.push(digest),
+            }
+        }
+        let states = self.scan_files(&parsed, threads);
+        for (digest, state) in parsed_digests.into_iter().zip(states) {
+            cache.insert(digest, CacheEntry::Parsed(state));
+        }
+        for digest in failed_digests {
+            cache.insert(digest, CacheEntry::ParseFailure);
+        }
+
+        // Assemble in input order from the now fully populated cache, so
+        // ordering (and therefore dedup tie-breaking) matches a full scan.
+        let mut metas: Vec<(&str, &str)> = Vec::new();
+        let mut state_refs: Vec<&FileScanState> = Vec::new();
+        let mut parse_failures = 0usize;
+        for (file, &digest) in files.iter().zip(&digests) {
+            match cache.get(digest) {
+                Some(CacheEntry::Parsed(state)) => {
+                    metas.push((file.repo.as_str(), file.path.as_str()));
+                    state_refs.push(state);
+                }
+                Some(CacheEntry::ParseFailure) => parse_failures += 1,
+                None => unreachable!("every scheduled digest was inserted above"),
+            }
+        }
+        let scan = self.assemble_scan(&metas, &state_refs);
+        IncrementalScan {
+            scan,
+            reused,
+            fresh,
+            parse_failures,
+        }
+    }
+
+    /// Runs the per-file scan pass over `files`, sharded across `threads`
+    /// workers (`0` = all cores) with results re-joined in input order.
+    pub fn scan_files(&self, files: &[ProcessedFile], threads: usize) -> Vec<FileScanState> {
+        let threads = resolve_threads(threads).min(files.len().max(1));
+        if threads <= 1 {
+            let mut scratch = MatchScratch::for_set(&self.patterns);
+            let mut hits: Vec<(usize, Relation)> = Vec::new();
+            files
+                .iter()
+                .map(|f| self.scan_file(f, &mut scratch, &mut hits))
+                .collect()
         } else {
-            let chunk_size = corpus.files.len().div_ceil(threads);
-            let parts: Vec<ChunkScan<'_>> = crossbeam::scope(|scope| {
-                let handles: Vec<_> = corpus
-                    .files
+            let chunk_size = files.len().div_ceil(threads);
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = files
                     .chunks(chunk_size)
-                    .enumerate()
-                    .map(|(k, chunk)| {
-                        scope.spawn(move |_| self.scan_chunk(chunk, k * chunk_size))
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let mut scratch = MatchScratch::for_set(&self.patterns);
+                            let mut hits: Vec<(usize, Relation)> = Vec::new();
+                            chunk
+                                .iter()
+                                .map(|f| self.scan_file(f, &mut scratch, &mut hits))
+                                .collect::<Vec<_>>()
+                        })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("scan worker panicked"))
+                    .flat_map(|h| h.join().expect("scan worker panicked"))
                     .collect()
             })
-            .expect("scan workers do not panic");
-            ChunkScan::merge(parts)
-        };
-        let ChunkScan {
-            raw,
-            file_counts,
-            file_digests,
-            repo_counts,
-            repo_digests,
-            files_with_violation,
-            repos_with_violation,
-        } = scan;
+            .expect("scan workers do not panic")
+        }
+    }
 
-        // Pass 2: feature vectors.
-        let violations: Vec<Violation> = raw
-            .into_iter()
-            .map(|r| {
-                let file = &corpus.files[r.file_idx];
+    /// Scans one file: relations per statement, accumulated into the file's
+    /// own [`FileScanState`].
+    fn scan_file(
+        &self,
+        file: &ProcessedFile,
+        scratch: &mut MatchScratch,
+        hits: &mut Vec<(usize, Relation)>,
+    ) -> FileScanState {
+        let mut counts: HashMap<usize, LevelCounts> = HashMap::new();
+        let mut digests: HashMap<u64, u64> = HashMap::new();
+        let mut raw: Vec<RawHit> = Vec::new();
+        for stmt in &file.stmts {
+            *digests.entry(stmt.digest).or_default() += 1;
+            self.patterns.check_into(&stmt.paths, scratch, hits);
+            for (pidx, rel) in hits.drain(..) {
+                let satisfied = rel == Relation::Satisfied;
+                counts.entry(pidx).or_default().record(satisfied);
+                if let Relation::Violated(detail) = rel {
+                    // Consistency violations are orientation-agnostic
+                    // (either name could be the mistake); when the mined
+                    // confusing pairs know the direction, use it.
+                    let (original, suggested) =
+                        if self.pairs.contains(detail.suggested, detail.original)
+                            && !self.pairs.contains(detail.original, detail.suggested)
+                        {
+                            (detail.suggested, detail.original)
+                        } else {
+                            (detail.original, detail.suggested)
+                        };
+                    raw.push(RawHit {
+                        line: stmt.line,
+                        rendered: stmt.rendered.clone(),
+                        digest: stmt.digest,
+                        path_count: stmt.paths.len(),
+                        pattern_idx: pidx,
+                        original,
+                        suggested,
+                    });
+                }
+            }
+        }
+        let mut pattern_counts: Vec<(usize, LevelCounts)> = counts.into_iter().collect();
+        pattern_counts.sort_unstable_by_key(|e| e.0);
+        let mut digest_counts: Vec<(u64, u64)> = digests.into_iter().collect();
+        digest_counts.sort_unstable_by_key(|e| e.0);
+        FileScanState {
+            pattern_counts,
+            digest_counts,
+            raw,
+        }
+    }
+
+    /// Assembles per-file scan states into a [`ScanResult`]: merges repo
+    /// aggregates (commutative addition, so any mix of cached and fresh
+    /// states works), computes Table 1 features, and deduplicates report
+    /// candidates. `metas[i]` is the `(repo, path)` identity of `states[i]`;
+    /// files must be given in corpus order, which fixes dedup tie-breaking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metas` and `states` have different lengths.
+    pub fn assemble_scan(&self, metas: &[(&str, &str)], states: &[&FileScanState]) -> ScanResult {
+        assert_eq!(metas.len(), states.len(), "one meta per state");
+        let mut repo_counts: HashMap<&str, HashMap<usize, LevelCounts>> = HashMap::new();
+        let mut repo_digests: HashMap<&str, HashMap<u64, u64>> = HashMap::new();
+        let mut files_with_violation = 0usize;
+        let mut repos_with_violation: HashSet<&str> = HashSet::new();
+        for (&(repo, _), state) in metas.iter().zip(states) {
+            let slot = repo_counts.entry(repo).or_default();
+            for &(pidx, c) in &state.pattern_counts {
+                slot.entry(pidx).or_default().add(c);
+            }
+            let dig = repo_digests.entry(repo).or_default();
+            for &(digest, n) in &state.digest_counts {
+                *dig.entry(digest).or_default() += n;
+            }
+            if !state.raw.is_empty() {
+                files_with_violation += 1;
+                repos_with_violation.insert(repo);
+            }
+        }
+
+        let mut violations: Vec<Violation> = Vec::new();
+        for (&(repo, path), state) in metas.iter().zip(states) {
+            for r in &state.raw {
                 let pattern = &self.patterns.patterns[r.pattern_idx];
                 let inputs = FeatureInputs {
                     pattern,
                     stmt_path_count: r.path_count,
-                    identical_in_file: file_digests[r.file_idx]
-                        .get(&r.digest)
-                        .copied()
-                        .unwrap_or(1),
+                    identical_in_file: lookup_u64(&state.digest_counts, r.digest).unwrap_or(1),
                     identical_in_repo: repo_digests
-                        .get(file.repo.as_str())
+                        .get(repo)
                         .and_then(|m| m.get(&r.digest))
                         .copied()
                         .unwrap_or(1),
-                    file: file_counts[r.file_idx]
-                        .get(&r.pattern_idx)
-                        .copied()
+                    file: lookup_counts(&state.pattern_counts, r.pattern_idx)
                         .unwrap_or_default(),
                     repo: repo_counts
-                        .get(file.repo.as_str())
+                        .get(repo)
                         .and_then(|m| m.get(&r.pattern_idx))
                         .copied()
                         .unwrap_or_default(),
@@ -211,20 +481,20 @@ impl Detector {
                     original: r.original,
                     suggested: r.suggested,
                 };
-                Violation {
-                    repo: file.repo.clone(),
-                    path: file.path.clone(),
+                violations.push(Violation {
+                    repo: repo.to_owned(),
+                    path: path.to_owned(),
                     line: r.line,
                     original: r.original,
                     suggested: r.suggested,
                     pattern_idx: r.pattern_idx,
                     pattern_ty: pattern.ty,
-                    rendered: r.rendered,
+                    rendered: r.rendered.clone(),
                     features: features::extract(&inputs, &self.pairs),
                     detected_by_both: false,
-                }
-            })
-            .collect();
+                });
+            }
+        }
 
         let raw_count = violations.len();
         let violations = dedup_violations(violations, self);
@@ -232,122 +502,21 @@ impl Detector {
         ScanResult {
             violations,
             raw_violation_count: raw_count,
-            files_scanned: corpus.files.len(),
+            files_scanned: metas.len(),
             files_with_violation,
             repos_with_violation: repos_with_violation.len(),
         }
     }
-
-    /// Scans one contiguous shard of the corpus: relations per statement,
-    /// accumulated at file and repo level. `base_idx` is the shard's offset
-    /// into the full file list, so `Raw::file_idx` stays a global index.
-    fn scan_chunk<'a>(&self, files: &'a [ProcessedFile], base_idx: usize) -> ChunkScan<'a> {
-        let mut out = ChunkScan::default();
-        let mut scratch = MatchScratch::for_set(&self.patterns);
-        let mut hits: Vec<(usize, Relation)> = Vec::new();
-        for (offset, file) in files.iter().enumerate() {
-            let file_idx = base_idx + offset;
-            let mut this_file: HashMap<usize, LevelCounts> = HashMap::new();
-            let mut this_digests: HashMap<u64, u64> = HashMap::new();
-            let repo_entry = out.repo_counts.entry(&file.repo).or_default();
-            let repo_dig = out.repo_digests.entry(&file.repo).or_default();
-            let mut violated_here = false;
-            for stmt in &file.stmts {
-                *this_digests.entry(stmt.digest).or_default() += 1;
-                *repo_dig.entry(stmt.digest).or_default() += 1;
-                self.patterns.check_into(&stmt.paths, &mut scratch, &mut hits);
-                for (pidx, rel) in hits.drain(..) {
-                    let satisfied = rel == Relation::Satisfied;
-                    this_file.entry(pidx).or_default().record(satisfied);
-                    repo_entry.entry(pidx).or_default().record(satisfied);
-                    if let Relation::Violated(detail) = rel {
-                        violated_here = true;
-                        // Consistency violations are orientation-agnostic
-                        // (either name could be the mistake); when the mined
-                        // confusing pairs know the direction, use it.
-                        let (original, suggested) =
-                            if self.pairs.contains(detail.suggested, detail.original)
-                                && !self.pairs.contains(detail.original, detail.suggested)
-                            {
-                                (detail.suggested, detail.original)
-                            } else {
-                                (detail.original, detail.suggested)
-                            };
-                        out.raw.push(Raw {
-                            file_idx,
-                            line: stmt.line,
-                            rendered: stmt.rendered.clone(),
-                            digest: stmt.digest,
-                            path_count: stmt.paths.len(),
-                            pattern_idx: pidx,
-                            original,
-                            suggested,
-                        });
-                    }
-                }
-            }
-            if violated_here {
-                out.files_with_violation += 1;
-                out.repos_with_violation.insert(&file.repo);
-            }
-            out.file_counts.push(this_file);
-            out.file_digests.push(this_digests);
-        }
-        out
-    }
 }
 
-/// One pre-feature violation record of the scan's first pass.
-struct Raw {
-    file_idx: usize,
-    line: u32,
-    rendered: String,
-    digest: u64,
-    path_count: usize,
-    pattern_idx: usize,
-    original: Sym,
-    suggested: Sym,
+/// Binary-search lookup in a sorted `(key, count)` vector.
+fn lookup_u64(v: &[(u64, u64)], key: u64) -> Option<u64> {
+    v.binary_search_by_key(&key, |e| e.0).ok().map(|i| v[i].1)
 }
 
-/// First-pass accumulator of one corpus shard; shards merge into the same
-/// state a serial scan builds.
-#[derive(Default)]
-struct ChunkScan<'a> {
-    raw: Vec<Raw>,
-    file_counts: Vec<HashMap<usize, LevelCounts>>,
-    file_digests: Vec<HashMap<u64, u64>>,
-    repo_counts: HashMap<&'a str, HashMap<usize, LevelCounts>>,
-    repo_digests: HashMap<&'a str, HashMap<u64, u64>>,
-    files_with_violation: usize,
-    repos_with_violation: HashSet<&'a str>,
-}
-
-impl<'a> ChunkScan<'a> {
-    /// Folds shards (in input order) into one accumulator: per-file vectors
-    /// concatenate, per-repo maps merge by addition, coverage sets union.
-    fn merge(parts: Vec<ChunkScan<'a>>) -> ChunkScan<'a> {
-        let mut merged = ChunkScan::default();
-        for mut part in parts {
-            merged.raw.append(&mut part.raw);
-            merged.file_counts.append(&mut part.file_counts);
-            merged.file_digests.append(&mut part.file_digests);
-            for (repo, counts) in part.repo_counts {
-                let slot = merged.repo_counts.entry(repo).or_default();
-                for (pidx, c) in counts {
-                    slot.entry(pidx).or_default().add(c);
-                }
-            }
-            for (repo, digests) in part.repo_digests {
-                let slot = merged.repo_digests.entry(repo).or_default();
-                for (digest, n) in digests {
-                    *slot.entry(digest).or_default() += n;
-                }
-            }
-            merged.files_with_violation += part.files_with_violation;
-            merged.repos_with_violation.extend(part.repos_with_violation);
-        }
-        merged
-    }
+/// Binary-search lookup in a sorted `(pattern_idx, counts)` vector.
+fn lookup_counts(v: &[(usize, LevelCounts)], key: usize) -> Option<LevelCounts> {
+    v.binary_search_by_key(&key, |e| e.0).ok().map(|i| v[i].1)
 }
 
 /// Collapses violations to one *report candidate* per
@@ -412,6 +581,20 @@ pub struct ScanResult {
     pub repos_with_violation: usize,
 }
 
+/// Output of [`Detector::violations_incremental`]: the assembled scan plus
+/// cache accounting.
+#[derive(Clone, Debug)]
+pub struct IncrementalScan {
+    /// The assembled scan, byte-identical to a full scan of the same files.
+    pub scan: ScanResult,
+    /// Input files served from pre-existing cache entries.
+    pub reused: usize,
+    /// Input files that required a fresh parse + scan.
+    pub fresh: usize,
+    /// Input files recorded (now or previously) as unparsable.
+    pub parse_failures: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +629,19 @@ mod tests {
             min_support: 5,
             ..MiningConfig::default()
         }
+    }
+
+    fn scan_key(scan: &ScanResult) -> Vec<(String, [u64; FEATURE_COUNT], bool)> {
+        scan.violations
+            .iter()
+            .map(|v| {
+                (
+                    v.to_string(),
+                    v.features.map(f64::to_bits),
+                    v.detected_by_both,
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -513,5 +709,75 @@ mod tests {
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
         let scan = det.violations(&corpus);
         assert!(scan.violations.is_empty());
+    }
+
+    #[test]
+    fn incremental_cold_scan_matches_full_scan() {
+        let (files, commits) = tiny_corpus();
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let full = det.violations(&corpus);
+        let mut cache = ScanCache::empty(det.fingerprint(&config));
+        let inc = det.violations_incremental(&files, &config, &mut cache, 1);
+        assert_eq!(inc.reused, 0);
+        assert_eq!(inc.fresh, files.len());
+        assert_eq!(scan_key(&full), scan_key(&inc.scan));
+        assert_eq!(full.raw_violation_count, inc.scan.raw_violation_count);
+        assert_eq!(full.files_scanned, inc.scan.files_scanned);
+        assert_eq!(full.files_with_violation, inc.scan.files_with_violation);
+        assert_eq!(full.repos_with_violation, inc.scan.repos_with_violation);
+    }
+
+    #[test]
+    fn incremental_warm_scan_reuses_everything() {
+        let (files, commits) = tiny_corpus();
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let full = det.violations(&corpus);
+        let mut cache = ScanCache::empty(det.fingerprint(&config));
+        det.violations_incremental(&files, &config, &mut cache, 1);
+        let warm = det.violations_incremental(&files, &config, &mut cache, 1);
+        assert_eq!(warm.fresh, 0);
+        assert_eq!(warm.reused, files.len());
+        assert_eq!(scan_key(&full), scan_key(&warm.scan));
+    }
+
+    #[test]
+    fn incremental_records_parse_failures_once() {
+        let (mut files, commits) = tiny_corpus();
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        files.push(SourceFile::new("repo0", "broken.py", "def broken(:\n", Lang::Python));
+        let mut cache = ScanCache::empty(det.fingerprint(&config));
+        let cold = det.violations_incremental(&files, &config, &mut cache, 1);
+        assert_eq!(cold.parse_failures, 1);
+        let warm = det.violations_incremental(&files, &config, &mut cache, 1);
+        assert_eq!(warm.parse_failures, 1);
+        assert_eq!(warm.fresh, 0);
+        assert_eq!(cold.scan.files_scanned, warm.scan.files_scanned);
+    }
+
+    #[test]
+    fn fingerprint_tracks_pattern_set_and_config() {
+        let (files, commits) = tiny_corpus();
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let base = det.fingerprint(&config);
+        assert_eq!(base, det.fingerprint(&config), "fingerprint is stable");
+        let truncated = Detector::from_parts(
+            det.patterns.patterns[..det.pattern_count() - 1].to_vec(),
+            det.pairs.clone(),
+            det.dataset[..det.pattern_count() - 1].to_vec(),
+        );
+        assert_ne!(base, truncated.fingerprint(&config));
+        let no_analysis = ProcessConfig {
+            use_analysis: false,
+            ..ProcessConfig::default()
+        };
+        assert_ne!(base, det.fingerprint(&no_analysis));
     }
 }

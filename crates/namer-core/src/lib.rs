@@ -27,10 +27,14 @@ pub mod persist;
 pub mod process;
 pub mod sarif;
 
-pub use detector::{Detector, ScanResult, Violation};
+pub use detector::{
+    Detector, FileScanState, IncrementalScan, RawHit, ScanResult, Violation,
+};
 pub use fix::{fix_line, rename_identifier};
 pub use features::{LevelCounts, FEATURE_COUNT, FEATURE_NAMES};
 pub use namer::{Namer, NamerConfig, Report};
-pub use persist::{PersistError, SavedModel};
+pub use persist::{
+    CacheEntry, CacheLoadStatus, PersistError, SavedModel, ScanCache, CACHE_FORMAT_VERSION,
+};
 pub use sarif::to_sarif;
-pub use process::{process, process_parallel, ProcessConfig, ProcessedCorpus};
+pub use process::{process, process_each, process_parallel, ProcessConfig, ProcessedCorpus};

@@ -1,7 +1,8 @@
 //! The end-to-end Namer system: unsupervised mining + the small-supervision
 //! defect classifier (Figure 1 of the paper).
 
-use crate::detector::{Detector, ScanResult, Violation};
+use crate::detector::{Detector, IncrementalScan, ScanResult, Violation};
+use crate::persist::ScanCache;
 use crate::process::{process_parallel, ProcessConfig, ProcessedCorpus};
 use namer_ml::{repeated_split_validation, select_model, Matrix, Metrics, ModelKind, Pipeline, PipelineConfig};
 use namer_patterns::{resolve_threads, MiningConfig};
@@ -197,8 +198,40 @@ impl Namer {
         let scan = self
             .detector
             .violations_with(corpus, resolve_threads(self.config.threads));
-        let reports = scan
-            .violations
+        let reports = self.reports_from(&scan);
+        (reports, scan)
+    }
+
+    /// The fingerprint a [`ScanCache`] must carry to be valid for this
+    /// system (covers the detector and the preprocessing configuration).
+    pub fn scan_fingerprint(&self) -> u64 {
+        self.detector.fingerprint(&self.config.process)
+    }
+
+    /// Runs detection over raw files through `cache`: unchanged files reuse
+    /// their cached scan state, changed ones are processed and scanned
+    /// fresh. Reports are byte-identical to [`Namer::detect`] on the same
+    /// files. The cache must have been loaded with
+    /// [`Namer::scan_fingerprint`]; fresh state is inserted into it, so save
+    /// it afterwards to warm the next run.
+    pub fn detect_incremental(
+        &self,
+        files: &[SourceFile],
+        cache: &mut ScanCache,
+    ) -> (Vec<Report>, IncrementalScan) {
+        let inc = self.detector.violations_incremental(
+            files,
+            &self.config.process,
+            cache,
+            resolve_threads(self.config.threads),
+        );
+        let reports = self.reports_from(&inc.scan);
+        (reports, inc)
+    }
+
+    /// Filters a scan's violations through the classifier into reports.
+    fn reports_from(&self, scan: &ScanResult) -> Vec<Report> {
+        scan.violations
             .iter()
             .filter(|v| self.classify(v))
             .map(|v| Report {
@@ -209,8 +242,7 @@ impl Namer {
                     .map(|c| c.decision(&v.features))
                     .unwrap_or(0.0),
             })
-            .collect();
-        (reports, scan)
+            .collect()
     }
 
     /// Whether the defect classifier is active.

@@ -1,18 +1,27 @@
-//! Saving and loading trained Namer systems.
+//! Saving and loading trained Namer systems and scan caches.
 //!
 //! Mining over a large corpus is the expensive step; a deployed detector
 //! (what the paper envisions as an IDE plugin or CI bot, §5.4) loads a
 //! pre-trained model and scans new code. [`SavedModel`] captures everything
 //! inference needs: the mined patterns with their dataset statistics, the
 //! confusing word pairs, and the classifier pipeline.
+//!
+//! [`ScanCache`] persists per-file scan state between CI runs, keyed by
+//! content digest and guarded by the detector fingerprint (DESIGN.md §8).
+//! Unlike model loading, cache loading *never* fails: any mismatch or
+//! corruption degrades to an empty cache and therefore a cold — but still
+//! correct — scan.
 
-use crate::detector::Detector;
+use crate::detector::{Detector, FileScanState};
 use crate::features::LevelCounts;
 use crate::namer::{Namer, NamerConfig};
 use namer_ml::{ModelKind, Pipeline};
 use namer_patterns::{ConfusingPairs, NamePattern};
-use namer_syntax::Lang;
+use namer_syntax::{ContentDigest, Lang};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use std::io;
+use std::path::Path;
 
 /// A serialisable snapshot of a trained [`Namer`].
 #[derive(Serialize, Deserialize)]
@@ -108,6 +117,164 @@ impl SavedModel {
             return Err(PersistError::UnsupportedVersion(model.version));
         }
         Ok(model)
+    }
+}
+
+/// Current scan-cache format version (independent of the model format).
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// One cached entry: the file either parsed (with its scan state) or is
+/// known unparsable, so the incremental scan never re-parses it either way.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CacheEntry {
+    /// The file parsed; its per-file scan state.
+    Parsed(FileScanState),
+    /// The file failed to parse under the fingerprinted configuration.
+    ParseFailure,
+}
+
+/// How a persisted cache was (or was not) accepted at load time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheLoadStatus {
+    /// No cache file (or it was unreadable); starting cold.
+    Cold,
+    /// Cache accepted with this many entries.
+    Warm(usize),
+    /// The file did not parse as a cache; discarded.
+    Corrupt,
+    /// The cache was written by a different format version; discarded.
+    VersionMismatch,
+    /// The cache belongs to a different detector/config; discarded.
+    FingerprintMismatch,
+}
+
+impl std::fmt::Display for CacheLoadStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheLoadStatus::Cold => write!(f, "cold (no cache)"),
+            CacheLoadStatus::Warm(n) => write!(f, "warm ({n} entries)"),
+            CacheLoadStatus::Corrupt => write!(f, "cold (cache corrupt, discarded)"),
+            CacheLoadStatus::VersionMismatch => {
+                write!(f, "cold (cache format version mismatch, discarded)")
+            }
+            CacheLoadStatus::FingerprintMismatch => {
+                write!(f, "cold (detector fingerprint changed, discarded)")
+            }
+        }
+    }
+}
+
+/// Persisted per-file scan state, keyed by content-digest hex strings.
+///
+/// A `BTreeMap` keeps serialization deterministic: the same corpus and
+/// detector always produce byte-identical cache files.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScanCache {
+    /// Cache format version.
+    version: u32,
+    /// Fingerprint of the detector + preprocessing config this cache is
+    /// valid for ([`Detector::fingerprint`]).
+    fingerprint: u64,
+    /// Scan state per content digest (hex-encoded).
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+impl ScanCache {
+    /// Creates an empty cache bound to `fingerprint`.
+    pub fn empty(fingerprint: u64) -> ScanCache {
+        ScanCache {
+            version: CACHE_FORMAT_VERSION,
+            fingerprint,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The detector fingerprint this cache is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `digest` has a cached entry.
+    pub fn contains(&self, digest: ContentDigest) -> bool {
+        self.entries.contains_key(&digest.to_hex())
+    }
+
+    /// The cached entry for `digest`, if any.
+    pub fn get(&self, digest: ContentDigest) -> Option<&CacheEntry> {
+        self.entries.get(&digest.to_hex())
+    }
+
+    /// Inserts (or replaces) the entry for `digest`.
+    pub fn insert(&mut self, digest: ContentDigest, entry: CacheEntry) {
+        self.entries.insert(digest.to_hex(), entry);
+    }
+
+    /// Drops every entry whose digest is not in `live`, so the cache tracks
+    /// the current corpus instead of growing without bound.
+    pub fn retain_digests(&mut self, live: &HashSet<ContentDigest>) {
+        self.entries
+            .retain(|k, _| ContentDigest::from_hex(k).is_some_and(|d| live.contains(&d)));
+    }
+
+    /// Serialises to compact JSON (caches are machine-read only).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serde serialisation fails, which cannot happen for
+    /// this self-describing structure.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ScanCache serialises")
+    }
+
+    /// Parses a cache, validating it against `fingerprint`.
+    ///
+    /// Never fails: anything unacceptable — unparsable JSON, a different
+    /// format version, a different fingerprint — returns an empty cache and
+    /// the reason, degrading the next scan to cold rather than wrong.
+    pub fn from_json(json: &str, fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
+        let parsed: ScanCache = match serde_json::from_str(json) {
+            Ok(c) => c,
+            Err(_) => return (ScanCache::empty(fingerprint), CacheLoadStatus::Corrupt),
+        };
+        if parsed.version != CACHE_FORMAT_VERSION {
+            return (ScanCache::empty(fingerprint), CacheLoadStatus::VersionMismatch);
+        }
+        if parsed.fingerprint != fingerprint {
+            return (
+                ScanCache::empty(fingerprint),
+                CacheLoadStatus::FingerprintMismatch,
+            );
+        }
+        let n = parsed.len();
+        (parsed, CacheLoadStatus::Warm(n))
+    }
+
+    /// Loads a cache file; a missing or unreadable file is a cold start,
+    /// not an error.
+    pub fn load(path: &Path, fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
+        match std::fs::read_to_string(path) {
+            Ok(json) => ScanCache::from_json(&json, fingerprint),
+            Err(_) => (ScanCache::empty(fingerprint), CacheLoadStatus::Cold),
+        }
+    }
+
+    /// Writes the cache to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be written.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
     }
 }
 
@@ -208,5 +375,53 @@ mod tests {
             .unwrap()
             .into_namer(NamerConfig::default());
         assert_eq!(loaded.has_classifier(), had);
+    }
+
+    #[test]
+    fn scan_cache_round_trips() {
+        let mut cache = ScanCache::empty(42);
+        let d = namer_syntax::content_digest("x = 1\n", Lang::Python);
+        cache.insert(d, CacheEntry::ParseFailure);
+        assert!(cache.contains(d));
+        let (back, status) = ScanCache::from_json(&cache.to_json(), 42);
+        assert_eq!(status, CacheLoadStatus::Warm(1));
+        assert_eq!(back, cache);
+    }
+
+    #[test]
+    fn scan_cache_rejects_corruption_and_mismatches() {
+        let cache = ScanCache::empty(42);
+        let json = cache.to_json();
+
+        let (c, s) = ScanCache::from_json("{definitely not json", 42);
+        assert_eq!(s, CacheLoadStatus::Corrupt);
+        assert!(c.is_empty());
+
+        let (c, s) = ScanCache::from_json(&json[..json.len() / 2], 42);
+        assert_eq!(s, CacheLoadStatus::Corrupt);
+        assert!(c.is_empty());
+
+        let (c, s) = ScanCache::from_json(&json, 43);
+        assert_eq!(s, CacheLoadStatus::FingerprintMismatch);
+        assert_eq!(c.fingerprint(), 43);
+
+        let bumped = json.replacen("\"version\":1", "\"version\":2", 1);
+        let (c, s) = ScanCache::from_json(&bumped, 42);
+        assert_eq!(s, CacheLoadStatus::VersionMismatch);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn scan_cache_retains_only_live_digests() {
+        let mut cache = ScanCache::empty(7);
+        let a = namer_syntax::content_digest("a = 1\n", Lang::Python);
+        let b = namer_syntax::content_digest("b = 2\n", Lang::Python);
+        cache.insert(a, CacheEntry::ParseFailure);
+        cache.insert(b, CacheEntry::ParseFailure);
+        let live: HashSet<ContentDigest> = [a].into_iter().collect();
+        cache.retain_digests(&live);
+        assert!(cache.contains(a));
+        assert!(!cache.contains(b));
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -96,8 +96,29 @@ pub fn process_parallel(
     config: &ProcessConfig,
     threads: usize,
 ) -> ProcessedCorpus {
+    let refs: Vec<&SourceFile> = files.iter().collect();
+    let mut out = ProcessedCorpus::default();
+    for r in process_each(&refs, config, threads) {
+        match r {
+            Some(f) => out.files.push(f),
+            None => out.parse_failures += 1,
+        }
+    }
+    out
+}
+
+/// Preprocesses each file independently, preserving positions: the result at
+/// index `i` is `Some` if `files[i]` parsed and `None` if it did not. The
+/// incremental scan path uses this to line cache slots up with fresh files;
+/// [`process_parallel`] folds it into a [`ProcessedCorpus`]. Sharding and
+/// rejoin order match [`process_parallel`] exactly.
+pub fn process_each(
+    files: &[&SourceFile],
+    config: &ProcessConfig,
+    threads: usize,
+) -> Vec<Option<ProcessedFile>> {
     let threads = namer_patterns::resolve_threads(threads).min(files.len().max(1));
-    let results: Vec<Option<ProcessedFile>> = if threads <= 1 {
+    if threads <= 1 {
         files.iter().map(|f| process_one(f, config)).collect()
     } else {
         let chunk_size = files.len().div_ceil(threads);
@@ -119,15 +140,7 @@ pub fn process_parallel(
                 .collect()
         })
         .expect("process workers do not panic")
-    };
-    let mut out = ProcessedCorpus::default();
-    for r in results {
-        match r {
-            Some(f) => out.files.push(f),
-            None => out.parse_failures += 1,
-        }
     }
-    out
 }
 
 fn process_one(file: &SourceFile, config: &ProcessConfig) -> Option<ProcessedFile> {

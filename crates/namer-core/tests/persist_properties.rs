@@ -1,0 +1,257 @@
+//! Round-trip properties for every persisted type (`persist.rs`): anything
+//! that can be written to disk must deserialize back to an equal value, and
+//! both persisted formats must reject any version tag but their own.
+
+use namer_core::persist::FORMAT_VERSION;
+use namer_core::{
+    CacheEntry, CacheLoadStatus, FileScanState, LevelCounts, PersistError, RawHit, SavedModel,
+    ScanCache, CACHE_FORMAT_VERSION,
+};
+use namer_ml::ModelKind;
+use namer_patterns::{ConfusingPairs, NamePattern};
+use namer_syntax::namepath::NamePath;
+use namer_syntax::{ContentDigest, Lang, Sym};
+use proptest::prelude::*;
+
+fn sym() -> impl Strategy<Value = Sym> {
+    "[a-z]{1,8}".prop_map(|s| Sym::intern(&s))
+}
+
+fn prefix() -> impl Strategy<Value = Vec<(Sym, u32)>> {
+    prop::collection::vec((sym(), 0u32..5), 0..4)
+}
+
+fn concrete_path() -> impl Strategy<Value = NamePath> {
+    (prefix(), sym()).prop_map(|(p, end)| NamePath::concrete(p, end))
+}
+
+fn symbolic_path() -> impl Strategy<Value = NamePath> {
+    prefix().prop_map(NamePath::symbolic)
+}
+
+fn level_counts() -> impl Strategy<Value = LevelCounts> {
+    (0u64..1_000, 0u64..1_000, 0u64..1_000).prop_map(|(matches, satisfactions, violations)| {
+        LevelCounts {
+            matches,
+            satisfactions,
+            violations,
+        }
+    })
+}
+
+/// Either pattern type, through the public constructors (which enforce the
+/// symbolic/concrete deduction invariants), with arbitrary mining counts.
+fn name_pattern() -> impl Strategy<Value = NamePattern> {
+    let condition = prop::collection::vec(concrete_path(), 0..3);
+    let counts = (0u64..500, 0u64..500, 0u64..500);
+    let consistency = (condition.clone(), symbolic_path(), symbolic_path(), counts).prop_map(
+        |(c, d1, d2, (support, matches, satisfactions))| {
+            let mut p = NamePattern::consistency(c, d1, d2);
+            p.support = support;
+            p.matches = matches;
+            p.satisfactions = satisfactions;
+            p
+        },
+    );
+    let confusing = (condition, concrete_path(), counts).prop_map(
+        |(c, d, (support, matches, satisfactions))| {
+            let mut p = NamePattern::confusing_word(c, d);
+            p.support = support;
+            p.matches = matches;
+            p.satisfactions = satisfactions;
+            p
+        },
+    );
+    prop_oneof![consistency, confusing]
+}
+
+fn confusing_pairs() -> impl Strategy<Value = ConfusingPairs> {
+    prop::collection::vec((sym(), sym(), 1u64..4), 0..8).prop_map(|obs| {
+        let mut cp = ConfusingPairs::new();
+        for (mistaken, correct, n) in obs {
+            for _ in 0..n {
+                cp.insert(mistaken, correct);
+            }
+        }
+        cp
+    })
+}
+
+/// `ConfusingPairs` has no `PartialEq`; compare through a sorted rendering.
+fn pairs_key(cp: &ConfusingPairs) -> (Vec<(String, String, u64)>, Vec<String>) {
+    let mut pairs: Vec<(String, String, u64)> = cp
+        .iter()
+        .map(|(&(a, b), &n)| (a.as_str().to_owned(), b.as_str().to_owned(), n))
+        .collect();
+    pairs.sort();
+    let mut words: Vec<String> = cp
+        .correct_words
+        .iter()
+        .map(|w| w.as_str().to_owned())
+        .collect();
+    words.sort();
+    (pairs, words)
+}
+
+fn raw_hit() -> impl Strategy<Value = RawHit> {
+    (
+        1u32..10_000,
+        "[ -~]{0,40}",
+        any::<u64>(),
+        0usize..64,
+        0usize..64,
+        sym(),
+        sym(),
+    )
+        .prop_map(
+            |(line, rendered, digest, path_count, pattern_idx, original, suggested)| RawHit {
+                line,
+                rendered,
+                digest,
+                path_count,
+                pattern_idx,
+                original,
+                suggested,
+            },
+        )
+}
+
+/// Sorted-`Vec` invariants hold by construction: the count tables come from
+/// `BTreeMap`s, so keys are unique and ascending, exactly as `scan_file`
+/// produces them.
+fn file_scan_state() -> impl Strategy<Value = FileScanState> {
+    (
+        prop::collection::btree_map(0usize..32, level_counts(), 0..6),
+        prop::collection::btree_map(any::<u64>(), 1u64..5, 0..6),
+        prop::collection::vec(raw_hit(), 0..5),
+    )
+        .prop_map(|(patterns, digests, raw)| FileScanState {
+            pattern_counts: patterns.into_iter().collect(),
+            digest_counts: digests.into_iter().collect(),
+            raw,
+        })
+}
+
+fn cache_entry() -> impl Strategy<Value = CacheEntry> {
+    prop_oneof![
+        file_scan_state().prop_map(CacheEntry::Parsed),
+        Just(CacheEntry::ParseFailure),
+    ]
+}
+
+fn scan_cache() -> impl Strategy<Value = ScanCache> {
+    (
+        any::<u64>(),
+        prop::collection::btree_map(any::<u128>().prop_map(ContentDigest), cache_entry(), 0..6),
+    )
+        .prop_map(|(fingerprint, entries)| {
+            let mut cache = ScanCache::empty(fingerprint);
+            for (digest, entry) in entries {
+                cache.insert(digest, entry);
+            }
+            cache
+        })
+}
+
+proptest! {
+    #[test]
+    fn level_counts_round_trip(c in level_counts()) {
+        let json = serde_json::to_string(&c).unwrap();
+        let back: LevelCounts = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn name_pattern_round_trip(p in name_pattern()) {
+        let json = serde_json::to_string(&p).unwrap();
+        let back: NamePattern = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn confusing_pairs_round_trip(cp in confusing_pairs()) {
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: ConfusingPairs = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(pairs_key(&back), pairs_key(&cp));
+    }
+
+    #[test]
+    fn file_scan_state_round_trip(state in file_scan_state()) {
+        let json = serde_json::to_string(&state).unwrap();
+        let back: FileScanState = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, state);
+    }
+
+    #[test]
+    fn cache_entry_round_trip(entry in cache_entry()) {
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: CacheEntry = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn scan_cache_round_trip(cache in scan_cache()) {
+        let (back, status) = ScanCache::from_json(&cache.to_json(), cache.fingerprint());
+        prop_assert_eq!(status, CacheLoadStatus::Warm(cache.len()));
+        prop_assert_eq!(back, cache);
+    }
+
+    #[test]
+    fn scan_cache_rejects_every_other_version(cache in scan_cache(), v in any::<u32>()) {
+        prop_assume!(v != CACHE_FORMAT_VERSION);
+        let fp = cache.fingerprint();
+        let mut value: serde_json::Value = serde_json::from_str(&cache.to_json()).unwrap();
+        value["version"] = serde_json::json!(v);
+        let (back, status) = ScanCache::from_json(&value.to_string(), fp);
+        prop_assert_eq!(status, CacheLoadStatus::VersionMismatch);
+        prop_assert!(back.is_empty());
+        prop_assert_eq!(back.fingerprint(), fp);
+    }
+
+    #[test]
+    fn saved_model_parts_round_trip(
+        patterns in prop::collection::vec(name_pattern(), 0..4),
+        dataset in prop::collection::vec(level_counts(), 0..4),
+        pairs in confusing_pairs(),
+        use_analysis in any::<bool>(),
+    ) {
+        let model = SavedModel {
+            version: FORMAT_VERSION,
+            lang: Lang::Python,
+            use_analysis,
+            patterns,
+            dataset,
+            pairs,
+            classifier: None,
+            model_kind: ModelKind::SvmLinear,
+        };
+        let back = SavedModel::from_json(&model.to_json()).unwrap();
+        prop_assert_eq!(back.version, model.version);
+        prop_assert_eq!(back.lang, model.lang);
+        prop_assert_eq!(back.use_analysis, model.use_analysis);
+        prop_assert_eq!(back.patterns, model.patterns);
+        prop_assert_eq!(back.dataset, model.dataset);
+        prop_assert_eq!(pairs_key(&back.pairs), pairs_key(&model.pairs));
+        prop_assert!(back.classifier.is_none());
+        prop_assert_eq!(back.model_kind, model.model_kind);
+    }
+
+    #[test]
+    fn saved_model_rejects_every_other_version(v in any::<u32>()) {
+        prop_assume!(v != FORMAT_VERSION);
+        let model = SavedModel {
+            version: v,
+            lang: Lang::Python,
+            use_analysis: true,
+            patterns: Vec::new(),
+            dataset: Vec::new(),
+            pairs: ConfusingPairs::new(),
+            classifier: None,
+            model_kind: ModelKind::SvmLinear,
+        };
+        match SavedModel::from_json(&model.to_json()) {
+            Err(PersistError::UnsupportedVersion(got)) => prop_assert_eq!(got, v),
+            other => prop_assert!(false, "expected UnsupportedVersion, got {:?}", other.is_ok()),
+        }
+    }
+}

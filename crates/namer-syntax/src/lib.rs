@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod digest;
 mod intern;
 pub mod java;
 pub mod namepath;
@@ -38,6 +39,7 @@ pub mod transform;
 pub mod vocab;
 
 pub use ast::{Ast, NameRole, NodeId, TermKind};
+pub use digest::{content_digest, ContentDigest, Fnv64};
 pub use intern::{PrefixId, Sym};
 pub use source::{Lang, ParseError, SourceFile};
 

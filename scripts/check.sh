@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: build, every test (incl. the bench_incremental smoke
+# test), and clippy with warnings denied. CI and pre-push both run this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

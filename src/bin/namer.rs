@@ -15,11 +15,11 @@
 //! loads the model and prints reports with rendered fixes; it exits with
 //! status 1 when issues are found, so it can gate CI.
 
-use namer::core::{fix_line, Namer, NamerConfig, SavedModel, Violation};
+use namer::core::{fix_line, Namer, NamerConfig, SavedModel, ScanCache, Violation};
 use namer::corpus::{CorpusConfig, Generator};
 use namer::patterns::MiningConfig;
-use namer::syntax::{Lang, SourceFile};
-use std::collections::HashMap;
+use namer::syntax::{ContentDigest, Lang, SourceFile};
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -50,9 +50,13 @@ fn print_usage() {
         "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
          USAGE:\n  namer demo  [--java] [--threads N] [-o MODEL]\n  namer corpus [--java] [--seed N] --out DIR\n  namer train --corpus DIR \
          [--commits DIR] [--labels TSV] [--lang python|java]\n              \
-         [--no-classifier] [--no-analysis] [--threads N] [-o MODEL]\n  namer scan  --model MODEL [--explain] [--format sarif] [--threads N] PATH...\n\n\
+         [--no-classifier] [--no-analysis] [--threads N] [-o MODEL]\n  namer scan  --model MODEL [--explain] [--format sarif] [--threads N]\n              [--cache-dir DIR] [--changed-only] PATH...\n\n\
          `--threads 0` (the default) uses all available cores; results are\n\
-         identical at any thread count.\n"
+         identical at any thread count.\n\n\
+         `--cache-dir DIR` caches per-file scan state between runs, so\n\
+         unchanged files are not re-scanned; output stays byte-identical to\n\
+         a full scan. `--changed-only` (requires --cache-dir) prints reports\n\
+         only for files whose content changed since the cached run.\n"
     );
 }
 
@@ -282,19 +286,18 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
 
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut skip_next = false;
-    for (i, a) in args.iter().enumerate() {
+    for a in args {
         if skip_next {
             skip_next = false;
             continue;
         }
-        if a == "--model" || a == "--format" || a == "--threads" {
+        if a == "--model" || a == "--format" || a == "--threads" || a == "--cache-dir" {
             skip_next = true;
             continue;
         }
         if a.starts_with('-') {
             continue;
         }
-        let _ = i;
         paths.push(PathBuf::from(a));
     }
     if paths.is_empty() {
@@ -319,7 +322,58 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let explain = has_flag(args, "--explain");
-    let reports = namer.detect(&files);
+    let changed_only = has_flag(args, "--changed-only");
+    let cache_dir = flag_value(args, "--cache-dir");
+    if changed_only && cache_dir.is_none() {
+        return Err("--changed-only requires --cache-dir".to_owned());
+    }
+
+    let mut reports;
+    let mut changed: Option<HashSet<(String, String)>> = None;
+    match cache_dir {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            let cache_path = dir.join("scan-cache.json");
+            let fingerprint = namer.scan_fingerprint();
+            let (mut cache, status) = ScanCache::load(&cache_path, fingerprint);
+            println!("scan cache: {status}");
+            // A file "changed" when its content digest misses the cache as
+            // loaded — i.e. it was not part of (or differs from) the run
+            // that wrote the cache.
+            let current: HashSet<ContentDigest> =
+                files.iter().map(SourceFile::content_digest).collect();
+            if changed_only {
+                changed = Some(
+                    files
+                        .iter()
+                        .filter(|f| !cache.contains(f.content_digest()))
+                        .map(|f| (f.repo.clone(), f.path.clone()))
+                        .collect(),
+                );
+            }
+            let (r, inc) = namer.detect_incremental(&files, &mut cache);
+            reports = r;
+            println!(
+                "scanned {} file(s): {} reused from cache, {} fresh",
+                files.len(),
+                inc.reused,
+                inc.fresh
+            );
+            cache.retain_digests(&current);
+            cache
+                .save(&cache_path)
+                .map_err(|e| format!("writing {}: {e}", cache_path.display()))?;
+        }
+        None => {
+            reports = namer.detect(&files);
+        }
+    }
+    if let Some(changed) = &changed {
+        reports.retain(|r| changed.contains(&(r.violation.repo.clone(), r.violation.path.clone())));
+    }
+
     if flag_value(args, "--format") == Some("sarif") {
         println!("{}", namer::core::to_sarif(&reports, &namer.detector));
         return Ok(if reports.is_empty() {

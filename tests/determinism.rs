@@ -2,10 +2,12 @@
 //! seed (DESIGN.md §6), and — since the pipeline went parallel — of the
 //! seed alone: thread count never changes results (DESIGN.md §7).
 
-use namer::core::{process, process_parallel, Detector, Namer, NamerConfig, ProcessConfig};
+use namer::core::{
+    process, process_parallel, Detector, Namer, NamerConfig, ProcessConfig, ScanCache,
+};
 use namer::corpus::{CorpusConfig, Generator};
 use namer::patterns::MiningConfig;
-use namer::syntax::Lang;
+use namer::syntax::{Lang, SourceFile};
 
 fn config() -> NamerConfig {
     NamerConfig {
@@ -84,6 +86,73 @@ fn mining_and_detection_are_thread_count_invariant() {
     for threads in [2, 8] {
         assert_eq!(serial, run(threads), "threads={threads} diverged");
     }
+}
+
+#[test]
+fn incremental_scan_is_thread_count_invariant() {
+    // A warmed cache plus a dirty mix (edited, truncated, and brand-new
+    // files) must scan identically at any thread count — and identically to
+    // a from-scratch full scan of the same mutated corpus.
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(77);
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let process_config = ProcessConfig::default();
+    let processed = process(&corpus.files, &process_config);
+    let det = Detector::mine(&processed, &commits, Lang::Python, &config().mining);
+
+    // Warm the cache on the pristine corpus at one thread.
+    let mut warmed = ScanCache::empty(det.fingerprint(&process_config));
+    det.violations_incremental(&corpus.files, &process_config, &mut warmed, 1);
+
+    // Dirty mix: edit every 7th file, truncate a few, add a fresh one.
+    let mut mutated = corpus.files.clone();
+    for (i, f) in mutated.iter_mut().enumerate() {
+        if i % 7 == 0 {
+            f.text.push_str("\nzz_dirty = 1\n");
+        }
+    }
+    mutated.truncate(mutated.len().saturating_sub(3));
+    mutated.push(SourceFile::new(
+        "fresh-repo",
+        "fresh.py",
+        "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 2)\n",
+        Lang::Python,
+    ));
+
+    let run = |threads: usize| {
+        let mut cache = warmed.clone();
+        let inc = det.violations_incremental(&mutated, &process_config, &mut cache, threads);
+        (
+            inc.reused,
+            inc.fresh,
+            inc.parse_failures,
+            inc.scan.raw_violation_count,
+            inc.scan.files_with_violation,
+            inc.scan.repos_with_violation,
+            inc.scan
+                .violations
+                .iter()
+                .map(|v| (v.to_string(), format!("{:?}", v.features)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let serial = run(1);
+    for threads in [2, 8] {
+        assert_eq!(serial, run(threads), "threads={threads} diverged");
+    }
+
+    // The warm dirty scan equals a cold full scan of the mutated corpus.
+    let full = det.violations(&process(&mutated, &process_config));
+    let full_key: Vec<(String, String)> = full
+        .violations
+        .iter()
+        .map(|v| (v.to_string(), format!("{:?}", v.features)))
+        .collect();
+    assert_eq!(serial.6, full_key);
+    assert_eq!(serial.3, full.raw_violation_count);
 }
 
 #[test]

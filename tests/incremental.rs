@@ -1,0 +1,293 @@
+//! Differential harness for the incremental scan (DESIGN.md §8): under any
+//! mix of file edits, additions, and deletions, the cache-backed scan must
+//! produce byte-identical output to a full scan from scratch — and damaged
+//! or mismatched caches must degrade to a cold (correct) scan, never a
+//! panic or a wrong answer.
+
+use namer::core::{
+    process, CacheLoadStatus, Detector, ProcessConfig, ScanCache, ScanResult,
+    CACHE_FORMAT_VERSION,
+};
+use namer::patterns::MiningConfig;
+use namer::syntax::{Lang, SourceFile};
+use proptest::prelude::*;
+use proptest::sample::Index;
+use std::sync::OnceLock;
+
+/// File bodies the generated corpora draw from: the dominant idiom, the
+/// injected misuse, unrelated code, and the degenerate cases (empty,
+/// whitespace-only, unparsable).
+const TEMPLATES: &[&str] = &[
+    "class T(TestCase):\n    def test_a(self):\n        self.assertEqual(value.count, 4)\n",
+    "class T(TestCase):\n    def test_b(self):\n        self.assertTrue(value.count, 4)\n",
+    "class T(TestCase):\n    def test_c(self):\n        self.assertEqual(other.size, 1)\n",
+    "x = 1\n",
+    "",
+    "   \n\n",
+    "def broken(:\n",
+    "class T(TestCase):\n    def test_d(self):\n        self.assertTrue(value.count, 9)\n\nclass U(TestCase):\n    def test_e(self):\n        self.assertEqual(value.count, 9)\n",
+];
+
+/// Mines one detector (expensive) shared by every test and proptest case.
+fn mined() -> &'static (Detector, ProcessConfig) {
+    static DET: OnceLock<(Detector, ProcessConfig)> = OnceLock::new();
+    DET.get_or_init(|| {
+        let mut files: Vec<SourceFile> = (0..40)
+            .map(|i| {
+                SourceFile::new(
+                    format!("r{}", i % 5),
+                    format!("train{i}.py"),
+                    TEMPLATES[0],
+                    Lang::Python,
+                )
+            })
+            .collect();
+        files.push(SourceFile::new("r0", "bad.py", TEMPLATES[1], Lang::Python));
+        let commits = vec![(
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 1)\n"
+                .to_owned(),
+            "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 1)\n"
+                .to_owned(),
+        )];
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(
+            &corpus,
+            &commits,
+            Lang::Python,
+            &MiningConfig {
+                min_path_count: 2,
+                min_support: 5,
+                ..MiningConfig::default()
+            },
+        );
+        assert!(det.pattern_count() > 0, "harness needs mined patterns");
+        (det, config)
+    })
+}
+
+/// Builds a corpus from `(repo, template)` picks, named by position.
+fn build_files(specs: &[(u8, u8)]) -> Vec<SourceFile> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(r, t))| {
+            SourceFile::new(
+                format!("repo{r}"),
+                format!("f{i}.py"),
+                TEMPLATES[t as usize % TEMPLATES.len()],
+                Lang::Python,
+            )
+        })
+        .collect()
+}
+
+/// Everything observable about a scan, bitwise (features via `to_bits`).
+#[allow(clippy::type_complexity)]
+fn key(scan: &ScanResult) -> (Vec<(String, usize, bool, Vec<u64>)>, usize, usize, usize, usize) {
+    (
+        scan.violations
+            .iter()
+            .map(|v| {
+                (
+                    v.to_string(),
+                    v.pattern_idx,
+                    v.detected_by_both,
+                    v.features.iter().map(|f| f.to_bits()).collect(),
+                )
+            })
+            .collect(),
+        scan.raw_violation_count,
+        scan.files_scanned,
+        scan.files_with_violation,
+        scan.repos_with_violation,
+    )
+}
+
+/// The ground truth: process + scan everything from scratch.
+fn full_scan(det: &Detector, config: &ProcessConfig, files: &[SourceFile]) -> ScanResult {
+    det.violations(&process(files, config))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The acceptance-criteria property: across ≥ 100 random corpora and
+    /// random mutations of them, a cold incremental scan, a warm
+    /// incremental scan of the mutated corpus, and a reloaded-from-JSON
+    /// warm scan all match the full scan bit for bit.
+    #[test]
+    fn incremental_scan_matches_full_scan(
+        base in proptest::collection::vec((0u8..4, 0u8..TEMPLATES.len() as u8), 1..12),
+        edits in proptest::collection::vec((any::<Index>(), 0u8..TEMPLATES.len() as u8), 0..6),
+        drops in proptest::collection::vec(any::<Index>(), 0..3),
+        adds in proptest::collection::vec((0u8..4, 0u8..TEMPLATES.len() as u8), 0..4),
+    ) {
+        let (det, config) = mined();
+        let fingerprint = det.fingerprint(config);
+        let files = build_files(&base);
+
+        // Cold incremental == full.
+        let mut cache = ScanCache::empty(fingerprint);
+        let cold = det.violations_incremental(&files, config, &mut cache, 1);
+        prop_assert_eq!(key(&full_scan(det, config, &files)), key(&cold.scan));
+        prop_assert_eq!(cold.reused, 0);
+
+        // Mutate: rewrite some files, delete some, append new ones.
+        let mut mutated = files.clone();
+        for (idx, t) in &edits {
+            if mutated.is_empty() {
+                break;
+            }
+            let i = idx.index(mutated.len());
+            mutated[i].text = TEMPLATES[*t as usize % TEMPLATES.len()].to_owned();
+        }
+        for idx in &drops {
+            if mutated.is_empty() {
+                break;
+            }
+            let i = idx.index(mutated.len());
+            mutated.remove(i);
+        }
+        for (j, &(r, t)) in adds.iter().enumerate() {
+            mutated.push(SourceFile::new(
+                format!("repo{r}"),
+                format!("added{j}.py"),
+                TEMPLATES[t as usize % TEMPLATES.len()],
+                Lang::Python,
+            ));
+        }
+
+        // Warm incremental over the mutated corpus == full scan of it.
+        let warm = det.violations_incremental(&mutated, config, &mut cache, 1);
+        prop_assert_eq!(key(&full_scan(det, config, &mutated)), key(&warm.scan));
+
+        // A JSON round-trip of the cache changes nothing, and serves the
+        // whole mutated corpus without fresh work — at 2 threads.
+        let (mut reloaded, status) = ScanCache::from_json(&cache.to_json(), fingerprint);
+        prop_assert_eq!(status, CacheLoadStatus::Warm(cache.len()));
+        let again = det.violations_incremental(&mutated, config, &mut reloaded, 2);
+        prop_assert_eq!(again.fresh, 0);
+        prop_assert_eq!(key(&warm.scan), key(&again.scan));
+    }
+}
+
+#[test]
+fn cache_round_trips_through_disk() {
+    let (det, config) = mined();
+    let files = build_files(&[(0, 1), (1, 0), (0, 3), (2, 7)]);
+    let mut cache = ScanCache::empty(det.fingerprint(config));
+    let first = det.violations_incremental(&files, config, &mut cache, 1);
+    let dir = std::env::temp_dir().join(format!("namer-incremental-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scan-cache.json");
+    cache.save(&path).unwrap();
+    let (mut loaded, status) = ScanCache::load(&path, det.fingerprint(config));
+    assert_eq!(status, CacheLoadStatus::Warm(cache.len()));
+    let second = det.violations_incremental(&files, config, &mut loaded, 1);
+    assert_eq!(second.fresh, 0);
+    assert_eq!(second.reused, files.len());
+    assert_eq!(key(&first.scan), key(&second.scan));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_cache_file_loads_cold() {
+    let (det, config) = mined();
+    let path = std::env::temp_dir().join("namer-no-such-cache-file.json");
+    let (cache, status) = ScanCache::load(&path, det.fingerprint(config));
+    assert_eq!(status, CacheLoadStatus::Cold);
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn pattern_set_change_invalidates_cache() {
+    let (det, config) = mined();
+    assert!(det.pattern_count() > 1);
+    let files = build_files(&[(0, 1), (1, 0), (2, 2)]);
+    let mut cache = ScanCache::empty(det.fingerprint(config));
+    det.violations_incremental(&files, config, &mut cache, 1);
+
+    // Drop the last mined pattern: a different detector, so a different
+    // fingerprint, so the old cache must not be accepted.
+    let n = det.pattern_count() - 1;
+    let truncated = Detector::from_parts(
+        det.patterns.patterns[..n].to_vec(),
+        det.pairs.clone(),
+        det.dataset_counts_all()[..n].to_vec(),
+    );
+    assert_ne!(det.fingerprint(config), truncated.fingerprint(config));
+
+    let (mut invalidated, status) =
+        ScanCache::from_json(&cache.to_json(), truncated.fingerprint(config));
+    assert_eq!(status, CacheLoadStatus::FingerprintMismatch);
+    assert!(invalidated.is_empty());
+    let scan = truncated.violations_incremental(&files, config, &mut invalidated, 1);
+    assert_eq!(scan.reused, 0);
+    assert_eq!(key(&full_scan(&truncated, config, &files)), key(&scan.scan));
+}
+
+#[test]
+fn corrupt_cache_degrades_to_cold_scan() {
+    let (det, config) = mined();
+    let fingerprint = det.fingerprint(config);
+    let files = build_files(&[(0, 1), (2, 7), (1, 4)]);
+    let mut cache = ScanCache::empty(fingerprint);
+    det.violations_incremental(&files, config, &mut cache, 1);
+    let json = cache.to_json();
+    let reference = full_scan(det, config, &files);
+    for damaged in [
+        "not json at all".to_owned(),
+        String::new(),
+        json[..json.len() / 2].to_owned(),
+        json.replace("Parsed", "Parsnip"),
+    ] {
+        let (mut c, status) = ScanCache::from_json(&damaged, fingerprint);
+        assert_eq!(status, CacheLoadStatus::Corrupt, "input: {damaged:.60}…");
+        assert!(c.is_empty());
+        let scan = det.violations_incremental(&files, config, &mut c, 1);
+        assert_eq!(key(&reference), key(&scan.scan));
+    }
+}
+
+#[test]
+fn version_bump_is_rejected() {
+    let (det, config) = mined();
+    let fingerprint = det.fingerprint(config);
+    let cache = ScanCache::empty(fingerprint);
+    let mut value: serde_json::Value = serde_json::from_str(&cache.to_json()).unwrap();
+    value["version"] = serde_json::json!(CACHE_FORMAT_VERSION + 1);
+    let (c, status) = ScanCache::from_json(&value.to_string(), fingerprint);
+    assert_eq!(status, CacheLoadStatus::VersionMismatch);
+    assert!(c.is_empty());
+}
+
+#[test]
+fn empty_and_whitespace_files_scan_cleanly() {
+    let (det, config) = mined();
+    let files = vec![
+        SourceFile::new("r", "empty.py", "", Lang::Python),
+        SourceFile::new("r", "ws.py", "   \n\n  \n", Lang::Python),
+        SourceFile::new("r", "nl.py", "\n", Lang::Python),
+        SourceFile::new("r", "ok.py", TEMPLATES[1], Lang::Python),
+    ];
+    let reference = full_scan(det, config, &files);
+    for threads in [1, 2, 8] {
+        let mut cache = ScanCache::empty(det.fingerprint(config));
+        let scan = det.violations_incremental(&files, config, &mut cache, threads);
+        assert_eq!(key(&reference), key(&scan.scan), "threads={threads}");
+    }
+}
+
+#[test]
+fn identical_files_share_cache_entries() {
+    let (det, config) = mined();
+    // Five copies of the same content across different repos/paths: one
+    // fresh parse serves all of them, and the scan still sees five files.
+    let files = build_files(&[(0, 1), (1, 1), (2, 1), (3, 1), (0, 1)]);
+    let mut cache = ScanCache::empty(det.fingerprint(config));
+    let scan = det.violations_incremental(&files, config, &mut cache, 1);
+    assert_eq!(cache.len(), 1, "one entry per distinct content");
+    assert_eq!(scan.scan.files_scanned, 5);
+    assert_eq!(key(&full_scan(det, config, &files)), key(&scan.scan));
+}
