@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use namer_bench::{labeler, namer_config, setup, Scale, Setup};
-use namer_core::{process, Namer};
+use namer_core::{process, Namer, NamerBuilder};
 use namer_syntax::Lang;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -27,9 +27,13 @@ fn bench_pipeline(c: &mut Criterion) {
         })
     });
     let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
+    let session = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds");
     let processed = process(&corpus.files, &config.process);
     g.bench_function("detect_small_corpus", |b| {
-        b.iter(|| namer.detect_processed(&processed).0.len())
+        b.iter(|| session.run_processed(&processed).reports.len())
     });
     g.finish();
 }

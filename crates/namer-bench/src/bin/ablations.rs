@@ -9,7 +9,7 @@ use namer_bench::{
     classify_sample, inspect, labeler, namer_config, print_table, sample_violations, setup, pct,
     Scale, Setup,
 };
-use namer_core::{process, Namer, Report};
+use namer_core::{process, Namer, NamerBuilder, Report};
 use namer_syntax::Lang;
 
 fn run_variant(
@@ -26,9 +26,14 @@ fn run_variant(
         &config,
     );
     let processed = process(&setup_data.corpus.files, &config.process);
-    let (_, scan) = namer.detect_processed(&processed);
+    let session = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds");
+    let scan = session.run_processed(&processed).scan;
+    let namer = session.namer();
     let sample = sample_violations(&scan.violations, &namer.training_set, 300, 7);
-    let reports = classify_sample(&namer, &sample);
+    let reports = classify_sample(namer, &sample);
     let refs: Vec<&Report> = reports.iter().collect();
     let inspection = inspect(&refs, &setup_data.oracle);
     (

@@ -1,0 +1,130 @@
+//! `bench_shard` — pattern-axis sharding benchmark.
+//!
+//! ```text
+//! bench_shard [--quick | --small | --large] [--java] [--seed N]
+//!             [--inflation N] [--shards LIST] [--reps N] [--out FILE]
+//! ```
+//!
+//! Mines a detector on one synthetic corpus, inflates its pattern set with
+//! never-matching clone variants (`--inflation` clones per pattern, default
+//! 15) so per-statement match cost dominates as it does at big-code scale,
+//! then times the scan at one file thread across a shard-count curve
+//! (`--shards`, default `2,4,8`) against the unsharded reference, and writes
+//! `BENCH_shard.json`. Every sharded scan is checked bit for bit against the
+//! reference; the binary exits non-zero if any point diverges. `--quick`
+//! runs the small corpus for the smoke tests; the default scale is medium
+//! (the acceptance scale for the ≥ 1.5× speedup at 4 shards).
+
+use namer_bench::shard::measure_shard;
+use namer_bench::Scale;
+use namer_syntax::Lang;
+use std::process::ExitCode;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick || args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else if args.iter().any(|a| a == "--large") {
+        Scale::Large
+    } else {
+        Scale::Medium
+    };
+    let lang = if args.iter().any(|a| a == "--java") {
+        Lang::Java
+    } else {
+        Lang::Python
+    };
+    let seed: u64 = match flag_value(&args, "--seed").map(str::parse) {
+        None => 2021,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: bad --seed");
+            return ExitCode::from(2);
+        }
+    };
+    let inflation: usize = match flag_value(&args, "--inflation").map(str::parse) {
+        None => {
+            if quick {
+                3
+            } else {
+                15
+            }
+        }
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: bad --inflation");
+            return ExitCode::from(2);
+        }
+    };
+    let shard_counts: Vec<usize> = match flag_value(&args, "--shards") {
+        None => vec![2, 4, 8],
+        Some(list) => {
+            let parsed: Result<Vec<usize>, _> =
+                list.split(',').map(|s| s.trim().parse()).collect();
+            match parsed {
+                Ok(v) if !v.is_empty() => v,
+                _ => {
+                    eprintln!("error: bad --shards (expected e.g. 2,4,8)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let reps: usize = match flag_value(&args, "--reps").map(str::parse) {
+        None => {
+            if quick {
+                1
+            } else {
+                3
+            }
+        }
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: bad --reps");
+            return ExitCode::from(2);
+        }
+    };
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_shard.json");
+
+    println!(
+        "pattern-shard bench: {lang}, {scale:?} corpus, inflation ×{}, best of {reps}",
+        inflation + 1
+    );
+    let bench = measure_shard(lang, scale, seed, inflation, &shard_counts, reps);
+    println!(
+        "corpus: {} files / {} statements; {} patterns ({} mined), file_threads=1",
+        bench.files, bench.stmts, bench.patterns, bench.base_patterns
+    );
+    println!("  unsharded: {:>8.3}s", bench.unsharded_secs);
+    for p in &bench.points {
+        println!(
+            "  {:>2} shards: {:>8.3}s | {:.2}x",
+            p.shards, p.secs, p.speedup
+        );
+    }
+    println!(
+        "shard loads at 4: {:?} | speedup at 4 shards {:.2}x | identical: {}",
+        bench.loads, bench.speedup_at_4, bench.identical
+    );
+
+    let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out}");
+    if bench.identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: a sharded scan diverged from the unsharded reference");
+        ExitCode::from(1)
+    }
+}

@@ -1,7 +1,7 @@
 //! Diagnostic dump of mining and violation behaviour (not a paper table).
 
 use namer_bench::{label_of, labeler, namer_config, setup, Scale, Setup};
-use namer_core::Namer;
+use namer_core::{Namer, NamerBuilder};
 use namer_syntax::Lang;
 use std::collections::HashMap;
 
@@ -44,7 +44,12 @@ fn main() {
         namer.cv_metrics.accuracy
     );
     let processed = namer_core::process(&corpus.files, &config.process);
-    let (_, scan) = namer.detect_processed(&processed);
+    let session = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds");
+    let scan = session.run_processed(&processed).scan;
+    let namer = session.namer();
     let tp_total = scan
         .violations
         .iter()

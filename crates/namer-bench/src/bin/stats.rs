@@ -3,7 +3,7 @@
 //! ablation knobs DESIGN.md calls out (classifier model comparison).
 
 use namer_bench::{labeler, namer_config, pct, print_table, setup, Scale, Setup};
-use namer_core::{process, Namer};
+use namer_core::{process, Namer, NamerBuilder};
 use namer_ml::{k_fold_validation, Matrix, ModelKind};
 use namer_syntax::Lang;
 use std::time::Instant;
@@ -23,7 +23,12 @@ fn run_lang(lang: Lang, scale: Scale, seed: u64) {
     let per_file_ms = t0.elapsed().as_secs_f64() * 1000.0 / corpus.files.len().max(1) as f64;
 
     let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
-    let (_, scan) = namer.detect_processed(&processed);
+    let session = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds");
+    let scan = session.run_processed(&processed).scan;
+    let namer = session.namer();
 
     let rows = vec![
         vec!["files".into(), corpus.files.len().to_string()],

@@ -7,7 +7,7 @@
 use namer_bench::{
     inspect, labeler, namer_config, pct, print_table, setup, Inspection, Scale, Setup,
 };
-use namer_core::{Namer, Report};
+use namer_core::{Namer, NamerBuilder, Report};
 use namer_corpus::Severity;
 use namer_nn::{build_vocab, make_samples, scan, top_reports, Arch, Model, ModelConfig};
 use namer_syntax::Lang;
@@ -20,7 +20,13 @@ fn run_lang(lang: Lang, scale: Scale, seed: u64) {
     } = setup(lang, scale, seed);
     let config = namer_config(scale);
     let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
-    let namer_reports = namer.detect(&corpus.files);
+    let namer_reports = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds")
+        .run(&corpus.files)
+        .expect("cacheless run")
+        .reports;
     let namer_refs: Vec<&Report> = namer_reports.iter().collect();
     let namer_row = inspect(&namer_refs, &oracle);
 

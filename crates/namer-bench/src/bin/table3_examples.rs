@@ -2,7 +2,7 @@
 //! full pipeline, printing Namer's suggested fixes (`--java` for Table 6).
 
 use namer_bench::{labeler, namer_config, setup, Scale, Setup};
-use namer_core::Namer;
+use namer_core::{Namer, NamerBuilder};
 use namer_syntax::{Lang, SourceFile};
 
 fn main() {
@@ -19,6 +19,10 @@ fn main() {
     } = setup(lang, scale, 45);
     let config = namer_config(scale);
     let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
+    let mut session = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds");
 
     // Curated statements shaped like the paper's Tables 3 / 6 rows.
     let snippets: Vec<(&str, String)> = match lang {
@@ -88,7 +92,10 @@ fn main() {
     println!("== {table}: example reports by Namer ({lang}) ==\n");
     for (label, code) in snippets {
         let file = SourceFile::new("examples", "snippet", code.clone(), lang);
-        let reports = namer.detect(std::slice::from_ref(&file));
+        let reports = session
+            .run(std::slice::from_ref(&file))
+            .expect("cacheless run")
+            .reports;
         println!("--- {label}");
         for line in code.lines().filter(|l| !l.trim().is_empty()) {
             println!("    {line}");

@@ -3,7 +3,7 @@
 //! type (consistency vs confusing-word vs both).
 
 use namer_bench::{label_of, labeler, namer_config, pct, print_table, setup, Scale, Setup};
-use namer_core::Namer;
+use namer_core::{Namer, NamerBuilder};
 use namer_corpus::{IssueCategory, Severity};
 use namer_patterns::PatternType;
 use namer_syntax::Lang;
@@ -22,7 +22,13 @@ fn main() {
     } = setup(lang, scale, 44);
     let config = namer_config(scale);
     let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
-    let reports = namer.detect(&corpus.files);
+    let reports = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds")
+        .run(&corpus.files)
+        .expect("cacheless run")
+        .reports;
 
     // §5.2 distribution: % of reports per pattern type.
     let total = reports.len().max(1) as f64;

@@ -7,9 +7,10 @@
 //! sampling, and table rendering.
 
 pub mod incremental;
+pub mod shard;
 pub mod throughput;
 
-use namer_core::{Namer, NamerConfig, Report, Violation};
+use namer_core::{Namer, NamerBuilder, NamerConfig, Report, Violation};
 use namer_corpus::{Corpus, CorpusConfig, Generator, IssueCategory, Oracle, Severity};
 use namer_patterns::MiningConfig;
 use namer_syntax::Lang;
@@ -278,9 +279,14 @@ pub fn ablation_table(lang: Lang, scale: Scale, seed: u64, sample_n: usize) -> V
         config.process.use_analysis = use_analysis;
         let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
         let processed = namer_core::process(&corpus.files, &config.process);
-        let (_, scan) = namer.detect_processed(&processed);
+        let session = NamerBuilder::new()
+            .namer(namer)
+            .build()
+            .expect("trained source builds");
+        let scan = session.run_processed(&processed).scan;
+        let namer = session.namer();
         let sample = sample_violations(&scan.violations, &namer.training_set, sample_n, seed ^ 0xab);
-        let with_c = classify_sample(&namer, &sample);
+        let with_c = classify_sample(namer, &sample);
         let refs: Vec<&Report> = with_c.iter().collect();
         let without_c: Vec<Report> = sample
             .iter()

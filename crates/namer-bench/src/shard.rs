@@ -1,0 +1,222 @@
+//! Pattern-axis sharding benchmark behind the `bench_shard` binary
+//! (`BENCH_shard.json`): scan wall-clock versus shard count at one file
+//! thread, so the curve isolates the pattern axis (DESIGN.md §9).
+//!
+//! Mined pattern sets on the synthetic corpus are small, so the benchmark
+//! inflates the set with never-matching clone variants: each clone keeps its
+//! base pattern's deduction (so the candidate walk visits it exactly as
+//! often) and appends one extra condition whose prefix the statement has but
+//! whose end no statement carries — `quick_match` walks every real key
+//! first, then rejects on the last one. That reproduces the shape of a
+//! big-code-scale set (the paper mines hundreds of thousands of patterns)
+//! where per-statement match cost, not file count, dominates.
+//!
+//! Every sharded scan is compared bit for bit against the unsharded
+//! reference — the benchmark doubles as an end-to-end check of the
+//! byte-identical guarantee, and the binary exits non-zero when it fails.
+
+use crate::{namer_config, setup, Scale, Setup};
+use namer_core::{process_parallel, Detector, ScanResult};
+use namer_patterns::{resolve_threads, MiningConfig, ShardPlan};
+use namer_syntax::namepath::NamePath;
+use namer_syntax::{Lang, Sym};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One point on the shard-count scaling curve.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ShardPoint {
+    /// Pattern shards used.
+    pub shards: usize,
+    /// Best-of-`reps` scan wall-clock, seconds.
+    pub secs: f64,
+    /// `unsharded_secs / secs`.
+    pub speedup: f64,
+}
+
+/// The benchmark report serialised to `BENCH_shard.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardBench {
+    /// Corpus language.
+    pub lang: String,
+    /// Files in the corpus.
+    pub files: usize,
+    /// Statements in the corpus.
+    pub stmts: usize,
+    /// Patterns actually mined from the corpus.
+    pub base_patterns: usize,
+    /// Pattern-set size after inflation (what every scan runs against).
+    pub patterns: usize,
+    /// File-axis worker threads (always 1 — the curve isolates shards).
+    pub file_threads: usize,
+    /// Timing repetitions per point (best is kept).
+    pub reps: usize,
+    /// Unsharded reference scan, seconds.
+    pub unsharded_secs: f64,
+    /// The scaling curve.
+    pub points: Vec<ShardPoint>,
+    /// Speedup at 4 shards (the acceptance number), 0 when 4 was not run.
+    pub speedup_at_4: f64,
+    /// Per-shard pattern weight at 4 shards (balance diagnostics).
+    pub loads: Vec<u64>,
+    /// Every sharded scan matched the unsharded reference bit for bit.
+    pub identical: bool,
+}
+
+/// Everything observable about a scan, bitwise.
+fn key(scan: &ScanResult) -> Vec<(String, Vec<u64>)> {
+    scan.violations
+        .iter()
+        .map(|v| {
+            (
+                v.to_string(),
+                v.features.iter().map(|f| f.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Inflates a mined detector with `factor` never-matching clone variants of
+/// every pattern. Clones are appended after the base set, so base pattern
+/// indices — and therefore all scan output — are unchanged.
+fn inflate(det: &Detector, factor: usize) -> Detector {
+    let base = &det.patterns.patterns;
+    let mut patterns = base.clone();
+    let mut dataset = det.dataset_counts_all().to_vec();
+    for v in 0..factor {
+        let never = Sym::intern(&format!("__bench_never_{v}"));
+        for (j, p) in base.iter().enumerate() {
+            let mut clone = p.clone();
+            // Appended last: the matcher pays for every real condition key
+            // before this one rejects the candidate.
+            clone
+                .condition
+                .push(NamePath::concrete(clone.deduction[0].prefix.clone(), never));
+            patterns.push(clone);
+            dataset.push(det.dataset_counts(j));
+        }
+    }
+    Detector::from_parts(patterns, det.pairs.clone(), dataset)
+}
+
+/// Generates one corpus, mines and inflates a detector, and times the scan
+/// at one file thread across `shard_counts`, against the unsharded
+/// reference.
+pub fn measure_shard(
+    lang: Lang,
+    scale: Scale,
+    seed: u64,
+    inflation: usize,
+    shard_counts: &[usize],
+    reps: usize,
+) -> ShardBench {
+    let Setup {
+        corpus, commits, ..
+    } = setup(lang, scale, seed);
+    let config = namer_config(scale);
+    // Preprocessing and mining are not what this benchmark measures: run
+    // them on all cores.
+    let threads = resolve_threads(0);
+    let processed = process_parallel(&corpus.files, &config.process, threads);
+    let mining = MiningConfig {
+        threads,
+        ..config.mining.clone()
+    };
+    let base = Detector::mine(&processed, &commits, lang, &mining);
+    let base_patterns = base.pattern_count();
+    let det = inflate(&base, inflation);
+
+    let reps = reps.max(1);
+    let time = |plan: &ShardPlan| -> (f64, ScanResult) {
+        let mut best = f64::INFINITY;
+        let mut scan = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let s = det.violations_sharded(&processed, 1, plan);
+            best = best.min(t.elapsed().as_secs_f64());
+            scan = Some(s);
+        }
+        (best, scan.expect("at least one rep"))
+    };
+
+    let (unsharded_secs, reference) = time(&ShardPlan::unsharded());
+    let reference_key = key(&reference);
+
+    let mut identical = true;
+    let mut points = Vec::new();
+    for &shards in shard_counts {
+        let plan = ShardPlan {
+            shards,
+            min_patterns: 0,
+        };
+        let (secs, scan) = time(&plan);
+        identical &= key(&scan) == reference_key;
+        points.push(ShardPoint {
+            shards,
+            secs,
+            speedup: unsharded_secs / secs.max(1e-9),
+        });
+    }
+    let speedup_at_4 = points
+        .iter()
+        .find(|p| p.shards == 4)
+        .map(|p| p.speedup)
+        .unwrap_or(0.0);
+    let loads = det
+        .patterns
+        .shard(&ShardPlan {
+            shards: 4,
+            min_patterns: 0,
+        })
+        .loads()
+        .to_vec();
+
+    ShardBench {
+        lang: lang.to_string(),
+        files: corpus.files.len(),
+        stmts: processed.stmt_count(),
+        base_patterns,
+        patterns: det.pattern_count(),
+        file_threads: 1,
+        reps,
+        unsharded_secs,
+        points,
+        speedup_at_4,
+        loads,
+        identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflated_sharded_scans_stay_identical() {
+        let bench = measure_shard(Lang::Python, Scale::Small, 7, 3, &[2, 4], 1);
+        assert!(bench.identical, "sharded scan diverged from unsharded");
+        assert_eq!(bench.patterns, bench.base_patterns * 4);
+        assert_eq!(bench.points.len(), 2);
+        assert!(bench.unsharded_secs > 0.0);
+        // Shard count clamps to the number of prefix groups.
+        assert!((1..=4).contains(&bench.loads.len()));
+        assert!(bench.points.iter().all(|p| p.secs > 0.0));
+        assert!(bench.speedup_at_4 > 0.0);
+    }
+
+    #[test]
+    fn inflation_never_changes_scan_results() {
+        let Setup {
+            corpus, commits, ..
+        } = setup(Lang::Python, Scale::Small, 9);
+        let config = namer_config(Scale::Small);
+        let processed = process_parallel(&corpus.files, &config.process, 2);
+        let base = Detector::mine(&processed, &commits, Lang::Python, &config.mining);
+        let inflated = inflate(&base, 4);
+        assert_eq!(
+            key(&base.violations(&processed)),
+            key(&inflated.violations(&processed)),
+            "never-matching clones leaked into results"
+        );
+    }
+}

@@ -121,6 +121,32 @@ fn bench_incremental_quick_emits_json() {
 }
 
 #[test]
+fn bench_shard_quick_emits_json() {
+    let out = std::env::temp_dir().join(format!("bench_shard_{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_bench_shard"))
+        .args(["--quick", "--shards", "2,4", "--out"])
+        .arg(&out)
+        .status()
+        .expect("bench_shard runs");
+    assert!(status.success(), "bench_shard exited with {status}");
+    let text = std::fs::read_to_string(&out).expect("JSON written");
+    let _ = std::fs::remove_file(&out);
+    let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    // Every sharded scan matched the unsharded reference bit for bit.
+    assert_eq!(json["identical"], serde_json::Value::Bool(true));
+    // The curve isolates the pattern axis at one file thread.
+    assert_eq!(json["file_threads"].as_u64(), Some(1));
+    assert!(json["patterns"].as_u64().unwrap() > json["base_patterns"].as_u64().unwrap());
+    let points = json["points"].as_array().expect("points array");
+    assert_eq!(points.len(), 2);
+    for p in points {
+        assert!(p["secs"].as_f64().unwrap() > 0.0);
+        assert!(p["speedup"].as_f64().unwrap() > 0.0);
+    }
+    assert!(json["speedup_at_4"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
 fn cv_metrics_match_section_5_2_protocol() {
     let Setup {
         corpus,

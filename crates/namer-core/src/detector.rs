@@ -14,7 +14,7 @@ use crate::persist::{CacheEntry, ScanCache};
 use crate::process::{process_each, ProcessConfig, ProcessedCorpus, ProcessedFile};
 use namer_patterns::{
     mine_patterns, resolve_threads, ConfusingPairs, MatchScratch, MiningConfig, PatternSet,
-    PatternType, Relation,
+    PatternShards, PatternType, Relation, ShardHit, ShardPlan,
 };
 use namer_syntax::{parse_file, ContentDigest, Fnv64, Lang, SourceFile, Sym};
 use serde::{Deserialize, Serialize};
@@ -181,15 +181,26 @@ impl Detector {
         }
     }
 
-    /// A stable fingerprint of everything that determines scan output:
+    /// A stable fingerprint of the scan configuration under the identity
+    /// (unsharded) [`ShardPlan`]; see [`Detector::fingerprint_sharded`].
+    pub fn fingerprint(&self, process: &ProcessConfig) -> u64 {
+        self.fingerprint_sharded(process, &ShardPlan::unsharded())
+    }
+
+    /// A stable fingerprint of everything that determines scan output —
     /// patterns (structure and mined counts), dataset statistics, confusing
-    /// pairs, and the preprocessing configuration. Cached scan state is only
-    /// valid under the exact fingerprint it was produced with.
+    /// pairs, and the preprocessing configuration — plus the [`ShardPlan`].
+    /// Cached scan state is only valid under the exact fingerprint it was
+    /// produced with.
+    ///
+    /// The shard plan cannot change results (DESIGN.md §9), but folding it
+    /// in anyway keys cached state by the full scan configuration; a plan
+    /// change costs one cold scan rather than risking a subtle mismatch.
     ///
     /// Built from string renderings with [`Fnv64`] rather than `std::hash`,
     /// because interned symbol ids are process-local and `std` hashes are
     /// not stable across processes.
-    pub fn fingerprint(&self, process: &ProcessConfig) -> u64 {
+    pub fn fingerprint_sharded(&self, process: &ProcessConfig, plan: &ShardPlan) -> u64 {
         let mut h = Fnv64::new();
         h.write_u64(self.patterns.len() as u64);
         for p in &self.patterns.patterns {
@@ -230,6 +241,8 @@ impl Detector {
         h.write_u64(process.max_paths as u64);
         h.write_u64(process.analysis.pointsto.k as u64);
         h.write_u64(process.analysis.pointsto.max_avg_contexts as u64);
+        h.write_u64(plan.shards as u64);
+        h.write_u64(plan.min_patterns as u64);
         h.finish()
     }
 
@@ -247,7 +260,22 @@ impl Detector {
     /// re-joined in input order and per-repo counts are merged by addition,
     /// so the result is identical to the serial scan at any thread count.
     pub fn violations_with(&self, corpus: &ProcessedCorpus, threads: usize) -> ScanResult {
-        let states = self.scan_files(&corpus.files, threads);
+        self.violations_sharded(corpus, threads, &ShardPlan::unsharded())
+    }
+
+    /// Like [`Detector::violations_with`], additionally splitting the
+    /// pattern set into prefix-disjoint shards (`plan`) so each file's
+    /// statements are matched by up to `file-threads × pattern-shards`
+    /// workers at once. Per-shard hits are merged back into canonical order
+    /// (DESIGN.md §9), so the result is byte-identical to the serial scan at
+    /// any (threads × shards) combination.
+    pub fn violations_sharded(
+        &self,
+        corpus: &ProcessedCorpus,
+        threads: usize,
+        plan: &ShardPlan,
+    ) -> ScanResult {
+        let states = self.scan_files_sharded(&corpus.files, threads, plan);
         let metas: Vec<(&str, &str)> = corpus
             .files
             .iter()
@@ -273,6 +301,22 @@ impl Detector {
         process: &ProcessConfig,
         cache: &mut ScanCache,
         threads: usize,
+    ) -> IncrementalScan {
+        self.violations_incremental_sharded(files, process, cache, threads, &ShardPlan::unsharded())
+    }
+
+    /// Like [`Detector::violations_incremental`] with pattern-axis sharding
+    /// for the fresh-file scan. The cache must have been loaded with the
+    /// matching [`Detector::fingerprint_sharded`] (same `process` *and*
+    /// `plan`); cached per-file state itself is plan-invariant, so keying it
+    /// this strictly only ever costs a cold scan, never a wrong one.
+    pub fn violations_incremental_sharded(
+        &self,
+        files: &[SourceFile],
+        process: &ProcessConfig,
+        cache: &mut ScanCache,
+        threads: usize,
+        plan: &ShardPlan,
     ) -> IncrementalScan {
         let digests: Vec<ContentDigest> = files.iter().map(|f| f.content_digest()).collect();
         let mut reused = 0usize;
@@ -307,7 +351,7 @@ impl Detector {
                 None => failed_digests.push(digest),
             }
         }
-        let states = self.scan_files(&parsed, threads);
+        let states = self.scan_files_sharded(&parsed, threads, plan);
         for (digest, state) in parsed_digests.into_iter().zip(states) {
             cache.insert(digest, CacheEntry::Parsed(state));
         }
@@ -342,6 +386,82 @@ impl Detector {
     /// Runs the per-file scan pass over `files`, sharded across `threads`
     /// workers (`0` = all cores) with results re-joined in input order.
     pub fn scan_files(&self, files: &[ProcessedFile], threads: usize) -> Vec<FileScanState> {
+        self.scan_files_sharded(files, threads, &ShardPlan::unsharded())
+    }
+
+    /// Like [`Detector::scan_files`] with pattern-axis sharding: each file
+    /// chunk is matched by one worker *per pattern shard* and the per-shard
+    /// partial states are merged back per file. The merge reproduces the
+    /// serial statement-walk order exactly (DESIGN.md §9), so the returned
+    /// states are byte-identical to the unsharded scan.
+    pub fn scan_files_sharded(
+        &self,
+        files: &[ProcessedFile],
+        threads: usize,
+        plan: &ShardPlan,
+    ) -> Vec<FileScanState> {
+        if files.is_empty() {
+            return Vec::new();
+        }
+        let shards = match plan.effective(self.patterns.len()) {
+            0 | 1 => None,
+            _ => Some(self.patterns.shard(plan)),
+        };
+        let shards = match shards {
+            Some(sh) if sh.shard_count() > 1 => sh,
+            _ => return self.scan_files_unsharded(files, threads),
+        };
+        let threads = resolve_threads(threads).min(files.len());
+        let chunk_size = files.len().div_ceil(threads.max(1)).max(1);
+        let k = shards.shard_count();
+        crossbeam::scope(|scope| {
+            let shards = &shards;
+            // One worker per (file chunk × pattern shard): with few files
+            // and many patterns the shard axis supplies the parallelism,
+            // with many files the chunk axis does, and the merge is the
+            // same either way.
+            let handles: Vec<Vec<_>> = files
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    (0..k)
+                        .map(|shard| {
+                            scope.spawn(move |_| {
+                                let mut scratch = MatchScratch::for_set(&self.patterns);
+                                let mut hits: Vec<ShardHit> = Vec::new();
+                                chunk
+                                    .iter()
+                                    .map(|f| {
+                                        self.scan_file_shard(f, shards, shard, &mut scratch, &mut hits)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut out: Vec<FileScanState> = Vec::with_capacity(files.len());
+            for chunk_handles in handles {
+                let per_shard: Vec<Vec<ShardFilePartial>> = chunk_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard scan worker panicked"))
+                    .collect();
+                let files_in_chunk = per_shard[0].len();
+                let mut columns: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect();
+                for _ in 0..files_in_chunk {
+                    let parts: Vec<ShardFilePartial> = columns
+                        .iter_mut()
+                        .map(|it| it.next().expect("equal files per shard column"))
+                        .collect();
+                    out.push(merge_file_partials(parts));
+                }
+            }
+            out
+        })
+        .expect("scan workers do not panic")
+    }
+
+    /// The pre-sharding scan loop: file-chunk workers only.
+    fn scan_files_unsharded(&self, files: &[ProcessedFile], threads: usize) -> Vec<FileScanState> {
         let threads = resolve_threads(threads).min(files.len().max(1));
         if threads <= 1 {
             let mut scratch = MatchScratch::for_set(&self.patterns);
@@ -375,6 +495,17 @@ impl Detector {
         }
     }
 
+    /// Orients a violation's (original, suggested) pair. Consistency
+    /// violations are orientation-agnostic (either name could be the
+    /// mistake); when the mined confusing pairs know the direction, use it.
+    fn orient(&self, original: Sym, suggested: Sym) -> (Sym, Sym) {
+        if self.pairs.contains(suggested, original) && !self.pairs.contains(original, suggested) {
+            (suggested, original)
+        } else {
+            (original, suggested)
+        }
+    }
+
     /// Scans one file: relations per statement, accumulated into the file's
     /// own [`FileScanState`].
     fn scan_file(
@@ -393,17 +524,7 @@ impl Detector {
                 let satisfied = rel == Relation::Satisfied;
                 counts.entry(pidx).or_default().record(satisfied);
                 if let Relation::Violated(detail) = rel {
-                    // Consistency violations are orientation-agnostic
-                    // (either name could be the mistake); when the mined
-                    // confusing pairs know the direction, use it.
-                    let (original, suggested) =
-                        if self.pairs.contains(detail.suggested, detail.original)
-                            && !self.pairs.contains(detail.original, detail.suggested)
-                        {
-                            (detail.suggested, detail.original)
-                        } else {
-                            (detail.original, detail.suggested)
-                        };
+                    let (original, suggested) = self.orient(detail.original, detail.suggested);
                     raw.push(RawHit {
                         line: stmt.line,
                         rendered: stmt.rendered.clone(),
@@ -421,6 +542,59 @@ impl Detector {
         let mut digest_counts: Vec<(u64, u64)> = digests.into_iter().collect();
         digest_counts.sort_unstable_by_key(|e| e.0);
         FileScanState {
+            pattern_counts,
+            digest_counts,
+            raw,
+        }
+    }
+
+    /// Scans one file against one pattern shard, producing a partial state
+    /// whose raw hits carry their merge key (statement index + prefix
+    /// position). Digest counts are pattern-independent and are computed by
+    /// shard 0 only.
+    fn scan_file_shard(
+        &self,
+        file: &ProcessedFile,
+        shards: &PatternShards,
+        shard: usize,
+        scratch: &mut MatchScratch,
+        hits: &mut Vec<ShardHit>,
+    ) -> ShardFilePartial {
+        let mut counts: HashMap<usize, LevelCounts> = HashMap::new();
+        let mut digests: HashMap<u64, u64> = HashMap::new();
+        let mut raw: Vec<TaggedRawHit> = Vec::new();
+        for (stmt_i, stmt) in file.stmts.iter().enumerate() {
+            if shard == 0 {
+                *digests.entry(stmt.digest).or_default() += 1;
+            }
+            self.patterns
+                .check_shard_into(shards, shard, &stmt.paths, scratch, hits);
+            for h in hits.drain(..) {
+                let satisfied = h.relation == Relation::Satisfied;
+                counts.entry(h.pattern_idx).or_default().record(satisfied);
+                if let Relation::Violated(detail) = h.relation {
+                    let (original, suggested) = self.orient(detail.original, detail.suggested);
+                    raw.push(TaggedRawHit {
+                        stmt: stmt_i as u32,
+                        pos: h.pos,
+                        hit: RawHit {
+                            line: stmt.line,
+                            rendered: stmt.rendered.clone(),
+                            digest: stmt.digest,
+                            path_count: stmt.paths.len(),
+                            pattern_idx: h.pattern_idx,
+                            original,
+                            suggested,
+                        },
+                    });
+                }
+            }
+        }
+        let mut pattern_counts: Vec<(usize, LevelCounts)> = counts.into_iter().collect();
+        pattern_counts.sort_unstable_by_key(|e| e.0);
+        let mut digest_counts: Vec<(u64, u64)> = digests.into_iter().collect();
+        digest_counts.sort_unstable_by_key(|e| e.0);
+        ShardFilePartial {
             pattern_counts,
             digest_counts,
             raw,
@@ -506,6 +680,59 @@ impl Detector {
             files_with_violation,
             repos_with_violation: repos_with_violation.len(),
         }
+    }
+}
+
+/// A [`RawHit`] tagged with its merge key: the statement index within the
+/// file and the matched-prefix position within the statement.
+struct TaggedRawHit {
+    stmt: u32,
+    pos: u32,
+    hit: RawHit,
+}
+
+/// One pattern shard's view of one file, produced by `scan_file_shard`.
+struct ShardFilePartial {
+    /// Counts for this shard's patterns only (shards partition the set, so
+    /// the per-shard vectors are index-disjoint).
+    pattern_counts: Vec<(usize, LevelCounts)>,
+    /// Statement-digest counts; populated by shard 0 only (they do not
+    /// depend on patterns).
+    digest_counts: Vec<(u64, u64)>,
+    /// Violations found by this shard, tagged for merging.
+    raw: Vec<TaggedRawHit>,
+}
+
+/// Merges the per-shard partial states of one file into the exact
+/// [`FileScanState`] an unsharded scan produces.
+///
+/// The unsharded scan emits each statement's hits by walking the
+/// statement's path prefixes in order and, per prefix, its candidate
+/// patterns in ascending index order. A pattern hits at most once per
+/// statement and belongs to exactly one shard, so sorting the union of all
+/// shards' tagged hits by `(statement, prefix position, pattern index)` —
+/// a key that is unique per hit — reproduces the serial order exactly.
+/// Pattern counts are index-disjoint across shards and digest counts come
+/// from shard 0 alone, so both merge by concatenation.
+fn merge_file_partials(parts: Vec<ShardFilePartial>) -> FileScanState {
+    let mut pattern_counts: Vec<(usize, LevelCounts)> = Vec::new();
+    let mut digest_counts: Vec<(u64, u64)> = Vec::new();
+    let mut tagged: Vec<TaggedRawHit> = Vec::new();
+    for (shard, part) in parts.into_iter().enumerate() {
+        pattern_counts.extend(part.pattern_counts);
+        if shard == 0 {
+            digest_counts = part.digest_counts;
+        }
+        tagged.extend(part.raw);
+    }
+    pattern_counts.sort_unstable_by_key(|e| e.0);
+    tagged.sort_unstable_by(|a, b| {
+        (a.stmt, a.pos, a.hit.pattern_idx).cmp(&(b.stmt, b.pos, b.hit.pattern_idx))
+    });
+    FileScanState {
+        pattern_counts,
+        digest_counts,
+        raw: tagged.into_iter().map(|t| t.hit).collect(),
     }
 }
 
@@ -758,6 +985,68 @@ mod tests {
         assert_eq!(warm.parse_failures, 1);
         assert_eq!(warm.fresh, 0);
         assert_eq!(cold.scan.files_scanned, warm.scan.files_scanned);
+    }
+
+    #[test]
+    fn sharded_scan_is_byte_identical_to_unsharded() {
+        let (files, commits) = tiny_corpus();
+        let corpus = process(&files, &ProcessConfig::default());
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let reference = det.violations(&corpus);
+        for threads in [1usize, 2, 8] {
+            for shards in [1usize, 2, 4] {
+                let plan = ShardPlan {
+                    shards,
+                    min_patterns: 0,
+                };
+                let scan = det.violations_sharded(&corpus, threads, &plan);
+                assert_eq!(
+                    scan_key(&reference),
+                    scan_key(&scan),
+                    "sharded scan diverges at {threads} threads x {shards} shards"
+                );
+                assert_eq!(reference.raw_violation_count, scan.raw_violation_count);
+                assert_eq!(reference.files_with_violation, scan.files_with_violation);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_incremental_scan_matches_full_scan() {
+        let (files, commits) = tiny_corpus();
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let full = det.violations(&corpus);
+        let plan = ShardPlan {
+            shards: 4,
+            min_patterns: 0,
+        };
+        let mut cache = ScanCache::empty(det.fingerprint_sharded(&config, &plan));
+        let cold = det.violations_incremental_sharded(&files, &config, &mut cache, 2, &plan);
+        assert_eq!(scan_key(&full), scan_key(&cold.scan));
+        let warm = det.violations_incremental_sharded(&files, &config, &mut cache, 2, &plan);
+        assert_eq!(warm.fresh, 0);
+        assert_eq!(scan_key(&full), scan_key(&warm.scan));
+    }
+
+    #[test]
+    fn fingerprint_tracks_shard_plan() {
+        let (files, commits) = tiny_corpus();
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let base = det.fingerprint(&config);
+        assert_eq!(
+            base,
+            det.fingerprint_sharded(&config, &ShardPlan::unsharded()),
+            "plain fingerprint is the unsharded-plan fingerprint"
+        );
+        assert_ne!(
+            base,
+            det.fingerprint_sharded(&config, &ShardPlan::with_shards(4)),
+            "shard plan is part of the cache key"
+        );
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The unified error type of the builder/session API (DESIGN.md §9).
+//!
+//! Hand-rolled `Display`/`Error` impls in the `thiserror` style — the crate
+//! has no error-derive dependency and does not need one for four variants.
+
+use crate::persist::PersistError;
+use std::path::PathBuf;
+
+/// Everything that can go wrong building or running a
+/// [`DetectSession`](crate::session::DetectSession), or in the CLI front
+/// end wrapped around it.
+#[derive(Debug)]
+pub enum NamerError {
+    /// An I/O operation on `path` failed.
+    Io {
+        /// The file or directory being read or written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A saved model or cache file exists but cannot be used.
+    Model(PersistError),
+    /// The builder was asked for an impossible configuration.
+    InvalidConfig(String),
+    /// A command-line usage error (bad flag, missing argument).
+    Usage(String),
+}
+
+impl std::fmt::Display for NamerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NamerError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            NamerError::Model(e) => write!(f, "loading model: {e}"),
+            NamerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NamerError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NamerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NamerError::Io { source, .. } => Some(source),
+            NamerError::Model(e) => Some(e),
+            NamerError::InvalidConfig(_) | NamerError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<PersistError> for NamerError {
+    fn from(e: PersistError) -> NamerError {
+        NamerError::Model(e)
+    }
+}
+
+impl NamerError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> NamerError {
+        NamerError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_includes_path_and_cause() {
+        let e = NamerError::io(
+            "/tmp/model.json",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/model.json"), "{msg}");
+        assert!(msg.contains("gone"), "{msg}");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn persist_errors_convert() {
+        let e: NamerError = PersistError::UnsupportedVersion(99).into();
+        assert!(matches!(e, NamerError::Model(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn usage_and_config_have_no_source() {
+        assert!(NamerError::Usage("bad flag".into()).source().is_none());
+        assert!(NamerError::InvalidConfig("no patterns".into())
+            .source()
+            .is_none());
+    }
+}

@@ -8,28 +8,43 @@
 //!
 //! * [`process`](mod@process) — parse → §4.1 analyses → statements → AST+ → name paths;
 //! * [`detector`] — pattern mining and violation detection with the
-//!   17 features of Table 1 ([`features`]);
+//!   17 features of Table 1 ([`features`]); scans parallelise along both
+//!   the file axis and the pattern axis (prefix-disjoint shards, DESIGN.md
+//!   §7 and §9) with byte-identical results at any combination;
 //! * [`namer`] — the trained system: classifier fitting (SVM/LogReg/LDA with
-//!   model selection), detection, reports, and the "w/o C" / "w/o A"
-//!   ablations of Tables 2 and 5.
+//!   model selection), reports, and the "w/o C" / "w/o A" ablations of
+//!   Tables 2 and 5;
+//! * [`session`] — the detection entry point: [`NamerBuilder`] assembles a
+//!   system from a trained [`Namer`], a [`SavedModel`], or raw mined parts,
+//!   and [`DetectSession::run`] covers full, incremental (scan-cache-backed,
+//!   DESIGN.md §8), and sharded scans behind one call;
+//! * [`persist`] — model snapshots ([`SavedModel`]) and the digest-keyed
+//!   [`ScanCache`] behind incremental runs;
+//! * [`error`] — [`NamerError`], the unified error type of the builder,
+//!   session, and CLI paths.
 //!
-//! See the `namer` facade crate and the repository's `examples/` directory
-//! for runnable end-to-end usage; this crate's unit tests exercise the
-//! pipeline on inline corpora.
+//! The older `Namer::detect` / `detect_processed` / `detect_incremental` /
+//! `from_parts` entry points still work but are deprecated shims over the
+//! session API. See the `namer` facade crate and the repository's
+//! `examples/` directory for runnable end-to-end usage; this crate's unit
+//! tests exercise the pipeline on inline corpora.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod detector;
+pub mod error;
 pub mod features;
 pub mod fix;
 pub mod namer;
 pub mod persist;
 pub mod process;
 pub mod sarif;
+pub mod session;
 
 pub use detector::{
     Detector, FileScanState, IncrementalScan, RawHit, ScanResult, Violation,
 };
+pub use error::NamerError;
 pub use fix::{fix_line, rename_identifier};
 pub use features::{LevelCounts, FEATURE_COUNT, FEATURE_NAMES};
 pub use namer::{Namer, NamerConfig, Report};
@@ -38,3 +53,4 @@ pub use persist::{
 };
 pub use sarif::to_sarif;
 pub use process::{process, process_each, process_parallel, ProcessConfig, ProcessedCorpus};
+pub use session::{CacheOutcome, DetectOutcome, DetectSession, NamerBuilder};

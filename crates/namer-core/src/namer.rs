@@ -5,7 +5,7 @@ use crate::detector::{Detector, IncrementalScan, ScanResult, Violation};
 use crate::persist::ScanCache;
 use crate::process::{process_parallel, ProcessConfig, ProcessedCorpus};
 use namer_ml::{repeated_split_validation, select_model, Matrix, Metrics, ModelKind, Pipeline, PipelineConfig};
-use namer_patterns::{resolve_threads, MiningConfig};
+use namer_patterns::{resolve_threads, MiningConfig, ShardPlan};
 use namer_syntax::{Lang, SourceFile};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -33,6 +33,10 @@ pub struct NamerConfig {
     /// available cores, the paper's §5.1 setup). Results are byte-identical
     /// at any thread count; this knob only changes wall-clock time.
     pub threads: usize,
+    /// Pattern-axis sharding for mining recounts and scans (DESIGN.md §9).
+    /// Like `threads`, sharding never changes results — only wall-clock
+    /// time — but the plan is part of the scan-cache fingerprint.
+    pub shard_plan: ShardPlan,
 }
 
 impl Default for NamerConfig {
@@ -52,6 +56,7 @@ impl Default for NamerConfig {
             cv_repeats: 30,
             seed: 7,
             threads: 0,
+            shard_plan: ShardPlan::unsharded(),
         }
     }
 }
@@ -103,10 +108,11 @@ impl Namer {
         let corpus = process_parallel(files, &config.process, threads);
         let mining = MiningConfig {
             threads,
+            shard_plan: config.shard_plan,
             ..config.mining.clone()
         };
         let detector = Detector::mine(&corpus, commits, lang, &mining);
-        let scan = detector.violations_with(&corpus, threads);
+        let scan = detector.violations_sharded(&corpus, threads, &config.shard_plan);
 
         let (classifier, cv_metrics, model_kind, training_set) = if config.use_classifier {
             Self::fit_classifier(&scan.violations, &labeler, config)
@@ -186,51 +192,65 @@ impl Namer {
     }
 
     /// Runs detection over raw files (processing them first).
+    #[deprecated(note = "use `NamerBuilder` and `DetectSession::run` instead (DESIGN.md §9)")]
     pub fn detect(&self, files: &[SourceFile]) -> Vec<Report> {
         let threads = resolve_threads(self.config.threads);
         let corpus = process_parallel(files, &self.config.process, threads);
-        self.detect_processed(&corpus).0
+        let scan = self
+            .detector
+            .violations_sharded(&corpus, threads, &self.config.shard_plan);
+        self.reports_from(&scan)
     }
 
     /// Runs detection over an already-processed corpus, also returning the
     /// raw scan (all violations + coverage statistics).
+    #[deprecated(
+        note = "use `NamerBuilder` and `DetectSession::run_processed` instead (DESIGN.md §9)"
+    )]
     pub fn detect_processed(&self, corpus: &ProcessedCorpus) -> (Vec<Report>, ScanResult) {
-        let scan = self
-            .detector
-            .violations_with(corpus, resolve_threads(self.config.threads));
+        let scan = self.detector.violations_sharded(
+            corpus,
+            resolve_threads(self.config.threads),
+            &self.config.shard_plan,
+        );
         let reports = self.reports_from(&scan);
         (reports, scan)
     }
 
     /// The fingerprint a [`ScanCache`] must carry to be valid for this
-    /// system (covers the detector and the preprocessing configuration).
+    /// system (covers the detector, the preprocessing configuration, and
+    /// the shard plan).
     pub fn scan_fingerprint(&self) -> u64 {
-        self.detector.fingerprint(&self.config.process)
+        self.detector
+            .fingerprint_sharded(&self.config.process, &self.config.shard_plan)
     }
 
     /// Runs detection over raw files through `cache`: unchanged files reuse
     /// their cached scan state, changed ones are processed and scanned
-    /// fresh. Reports are byte-identical to [`Namer::detect`] on the same
-    /// files. The cache must have been loaded with
+    /// fresh. The cache must have been loaded with
     /// [`Namer::scan_fingerprint`]; fresh state is inserted into it, so save
     /// it afterwards to warm the next run.
+    #[deprecated(
+        note = "use `NamerBuilder::cache_dir` and `DetectSession::run` instead (DESIGN.md §9)"
+    )]
     pub fn detect_incremental(
         &self,
         files: &[SourceFile],
         cache: &mut ScanCache,
     ) -> (Vec<Report>, IncrementalScan) {
-        let inc = self.detector.violations_incremental(
+        let inc = self.detector.violations_incremental_sharded(
             files,
             &self.config.process,
             cache,
             resolve_threads(self.config.threads),
+            &self.config.shard_plan,
         );
         let reports = self.reports_from(&inc.scan);
         (reports, inc)
     }
 
     /// Filters a scan's violations through the classifier into reports.
-    fn reports_from(&self, scan: &ScanResult) -> Vec<Report> {
+    pub(crate) fn reports_from(&self, scan: &ScanResult) -> Vec<Report> {
         scan.violations
             .iter()
             .filter(|v| self.classify(v))
@@ -258,7 +278,21 @@ impl Namer {
     /// Reassembles a trained system from persisted parts (the counterpart of
     /// saving a [`Namer`] with [`crate::persist::SavedModel`]). The training
     /// set and CV metrics are not persisted and come back empty.
+    #[deprecated(note = "use `NamerBuilder::patterns`/`NamerBuilder::model` instead (DESIGN.md §9)")]
     pub fn from_parts(
+        detector: Detector,
+        classifier: Option<Pipeline>,
+        model_kind: ModelKind,
+        lang: Lang,
+        config: NamerConfig,
+    ) -> Namer {
+        Namer::assemble(detector, classifier, model_kind, lang, config)
+    }
+
+    /// Internal constructor behind [`crate::session::NamerBuilder`] and the
+    /// persistence layer: a runnable system from its parts, with empty
+    /// training set and CV metrics.
+    pub(crate) fn assemble(
         detector: Detector,
         classifier: Option<Pipeline>,
         model_kind: ModelKind,
@@ -273,6 +307,24 @@ impl Namer {
             training_set: Vec::new(),
             config,
             lang,
+        }
+    }
+
+    /// Replaces the defect classifier (builder override path).
+    pub(crate) fn set_classifier(&mut self, classifier: Option<Pipeline>, kind: ModelKind) {
+        self.config.use_classifier = classifier.is_some();
+        self.classifier = classifier;
+        self.model_kind = kind;
+    }
+
+    /// Applies session-level overrides to the runtime configuration
+    /// (builder path; training-time knobs are left untouched).
+    pub(crate) fn override_runtime(&mut self, threads: Option<usize>, plan: Option<ShardPlan>) {
+        if let Some(t) = threads {
+            self.config.threads = t;
+        }
+        if let Some(p) = plan {
+            self.config.shard_plan = p;
         }
     }
 
@@ -362,7 +414,11 @@ mod tests {
         let (files, commits) = corpus();
         let namer = Namer::train(&files, &commits, labeler, &config());
         assert!(namer.has_classifier());
-        let reports = namer.detect(&files);
+        let mut session = crate::session::NamerBuilder::new()
+            .namer(namer)
+            .build()
+            .expect("session builds");
+        let reports = session.run(&files).expect("cacheless run cannot fail").reports;
         assert!(!reports.is_empty());
         // The true issues are reported…
         let true_hits = reports
@@ -389,8 +445,12 @@ mod tests {
         let namer = Namer::train(&files, &commits, labeler, &cfg);
         assert!(!namer.has_classifier());
         let corpus_p = process(&files, &cfg.process);
-        let (reports, scan) = namer.detect_processed(&corpus_p);
-        assert_eq!(reports.len(), scan.violations.len());
+        let session = crate::session::NamerBuilder::new()
+            .namer(namer)
+            .build()
+            .expect("session builds");
+        let outcome = session.run_processed(&corpus_p);
+        assert_eq!(outcome.reports.len(), outcome.scan.violations.len());
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl SavedModel {
         config.process.use_analysis = self.use_analysis;
         config.use_classifier = self.classifier.is_some();
         let detector = Detector::from_parts(self.patterns, self.pairs, self.dataset);
-        Namer::from_parts(detector, self.classifier, self.model_kind, self.lang, config)
+        Namer::assemble(detector, self.classifier, self.model_kind, self.lang, config)
     }
 
     /// Serialises to pretty JSON.
@@ -327,22 +327,32 @@ mod tests {
     #[test]
     fn save_load_round_trip_preserves_reports() {
         let (namer, files) = trained();
-        let before: Vec<String> = namer
-            .detect(&files)
+        let json = SavedModel::from_namer(&namer).to_json();
+        let mut before_session = crate::session::NamerBuilder::new()
+            .namer(namer)
+            .build()
+            .expect("session builds");
+        let before: Vec<String> = before_session
+            .run(&files)
+            .expect("cacheless run cannot fail")
+            .reports
             .iter()
             .map(|r| r.to_string())
             .collect();
-        let json = SavedModel::from_namer(&namer).to_json();
-        let loaded = SavedModel::from_json(&json)
-            .expect("round trip parses")
-            .into_namer(NamerConfig::default());
-        let after: Vec<String> = loaded
-            .detect(&files)
+        let mut after_session = crate::session::NamerBuilder::new()
+            .model(SavedModel::from_json(&json).expect("round trip parses"))
+            .build()
+            .expect("session builds");
+        let after: Vec<String> = after_session
+            .run(&files)
+            .expect("cacheless run cannot fail")
+            .reports
             .iter()
             .map(|r| r.to_string())
             .collect();
         assert_eq!(before, after);
-        assert_eq!(loaded.model_kind, namer.model_kind);
+        let loaded = after_session.into_namer();
+        assert_eq!(loaded.model_kind, before_session.namer().model_kind);
         assert_eq!(loaded.lang(), Lang::Python);
     }
 

@@ -196,8 +196,12 @@ mod tests {
             ..NamerConfig::default()
         };
         let namer = Namer::train(&files, &commits, |_| false, &config);
-        let reports = namer.detect(&files);
-        (namer, reports)
+        let mut session = crate::session::NamerBuilder::new()
+            .namer(namer)
+            .build()
+            .expect("trained source builds");
+        let reports = session.run(&files).expect("cacheless run").reports;
+        (session.into_namer(), reports)
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! The builder/session detection API (DESIGN.md §9).
+//!
+//! One construction path replaces the old `Namer::detect` /
+//! `detect_processed` / `detect_incremental` / `from_parts` quartet:
+//! a [`NamerBuilder`] assembles a system from any source (a trained
+//! [`Namer`], a [`SavedModel`], or raw mined parts), layers on runtime
+//! overrides (worker threads, pattern shards, an on-disk scan cache), and
+//! produces a [`DetectSession`] whose single [`DetectSession::run`] entry
+//! point covers full, cached, and sharded scans uniformly — byte-identical
+//! results in every mode.
+//!
+//! ```no_run
+//! use namer_core::session::NamerBuilder;
+//! # fn demo(model: namer_core::SavedModel, files: Vec<namer_syntax::SourceFile>)
+//! #     -> Result<(), namer_core::NamerError> {
+//! let mut session = NamerBuilder::new()
+//!     .model(model)
+//!     .threads(8)
+//!     .pattern_shards(4)
+//!     .cache_dir(".namer-cache")
+//!     .build()?;
+//! let outcome = session.run(&files)?;
+//! for report in &outcome.reports {
+//!     println!("{report}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::detector::{Detector, ScanResult};
+use crate::error::NamerError;
+use crate::features::LevelCounts;
+use crate::namer::{Namer, NamerConfig, Report};
+use crate::persist::{CacheLoadStatus, SavedModel, ScanCache};
+use crate::process::{process_parallel, ProcessedCorpus};
+use namer_ml::{ModelKind, Pipeline};
+use namer_patterns::{resolve_threads, ConfusingPairs, NamePattern, ShardPlan};
+use namer_syntax::{ContentDigest, Lang, SourceFile};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// File name of the on-disk scan cache inside a session's cache directory.
+pub const CACHE_FILE_NAME: &str = "scan-cache.json";
+
+/// Where a session's detector comes from.
+enum Source {
+    /// A system trained in-process ([`Namer::train`]).
+    Trained(Box<Namer>),
+    /// A persisted model snapshot.
+    Saved(Box<SavedModel>),
+    /// Raw mined parts (patterns + pairs + dataset counts).
+    Parts {
+        patterns: Vec<NamePattern>,
+        pairs: ConfusingPairs,
+        dataset: Vec<LevelCounts>,
+    },
+}
+
+/// Builder for a [`DetectSession`]: pick a pattern source, layer on runtime
+/// options, then [`NamerBuilder::build`].
+#[derive(Default)]
+pub struct NamerBuilder {
+    source: Option<Source>,
+    classifier: Option<(Pipeline, ModelKind)>,
+    lang: Option<Lang>,
+    config: Option<NamerConfig>,
+    threads: Option<usize>,
+    shard_plan: Option<ShardPlan>,
+    cache_dir: Option<PathBuf>,
+}
+
+impl NamerBuilder {
+    /// An empty builder. A pattern source ([`NamerBuilder::namer`],
+    /// [`NamerBuilder::model`], or [`NamerBuilder::patterns`]) is required
+    /// before [`NamerBuilder::build`]; everything else is optional.
+    pub fn new() -> NamerBuilder {
+        NamerBuilder::default()
+    }
+
+    /// Uses a system trained in-process as the source. Its training-time
+    /// configuration is kept; combine with [`NamerBuilder::threads`] /
+    /// [`NamerBuilder::pattern_shards`] for runtime overrides.
+    pub fn namer(mut self, namer: Namer) -> NamerBuilder {
+        self.source = Some(Source::Trained(Box::new(namer)));
+        self
+    }
+
+    /// Uses a persisted model snapshot as the source.
+    pub fn model(mut self, model: SavedModel) -> NamerBuilder {
+        self.source = Some(Source::Saved(Box::new(model)));
+        self
+    }
+
+    /// Uses raw mined parts as the source: patterns, confusing pairs, and
+    /// one dataset-level count entry per pattern.
+    pub fn patterns(
+        mut self,
+        patterns: Vec<NamePattern>,
+        pairs: ConfusingPairs,
+        dataset: Vec<LevelCounts>,
+    ) -> NamerBuilder {
+        self.source = Some(Source::Parts {
+            patterns,
+            pairs,
+            dataset,
+        });
+        self
+    }
+
+    /// Attaches (or replaces) the defect classifier.
+    pub fn classifier(mut self, pipeline: Pipeline, kind: ModelKind) -> NamerBuilder {
+        self.classifier = Some((pipeline, kind));
+        self
+    }
+
+    /// Language of the files the session will scan. Required only for the
+    /// [`NamerBuilder::patterns`] source (defaults to Python there); for
+    /// trained or saved sources it must match the source's language.
+    pub fn lang(mut self, lang: Lang) -> NamerBuilder {
+        self.lang = Some(lang);
+        self
+    }
+
+    /// Runtime configuration for [`NamerBuilder::model`] /
+    /// [`NamerBuilder::patterns`] sources. A trained [`Namer`] carries its
+    /// own configuration; combining it with this setter is an error.
+    pub fn config(mut self, config: NamerConfig) -> NamerBuilder {
+        self.config = Some(config);
+        self
+    }
+
+    /// Worker-thread override for processing and scanning (`0` = all
+    /// cores).
+    pub fn threads(mut self, threads: usize) -> NamerBuilder {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Pattern-shard override: split the pattern set into `shards`
+    /// prefix-disjoint shards per file chunk (`1` = unsharded, `0` = one
+    /// shard per core; see DESIGN.md §9). Keeps the default size threshold;
+    /// use [`NamerBuilder::shard_plan`] for full control.
+    pub fn pattern_shards(mut self, shards: usize) -> NamerBuilder {
+        let mut plan = self.shard_plan.unwrap_or_default();
+        plan.shards = shards;
+        self.shard_plan = Some(plan);
+        self
+    }
+
+    /// Full shard-plan override (shard count and fallback threshold).
+    pub fn shard_plan(mut self, plan: ShardPlan) -> NamerBuilder {
+        self.shard_plan = Some(plan);
+        self
+    }
+
+    /// Keeps an on-disk scan cache in `dir` (created if missing): each
+    /// [`DetectSession::run`] reuses cached per-file scan state, scans only
+    /// changed files, and saves the pruned cache back. The cache is keyed
+    /// by [`Namer::scan_fingerprint`], so model or configuration changes
+    /// degrade to a cold scan, never a wrong one.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> NamerBuilder {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Assembles the session.
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::InvalidConfig`] when no source was given, when parts
+    /// are inconsistent (dataset/pattern length mismatch), or when
+    /// `config`/`lang` conflict with a trained source;
+    /// [`NamerError::Io`] when the cache directory cannot be created.
+    pub fn build(self) -> Result<DetectSession, NamerError> {
+        let Some(source) = self.source else {
+            return Err(NamerError::InvalidConfig(
+                "no pattern source: call .namer(..), .model(..), or .patterns(..)".to_owned(),
+            ));
+        };
+        let mut namer = match source {
+            Source::Trained(namer) => {
+                if self.config.is_some() {
+                    return Err(NamerError::InvalidConfig(
+                        "a trained system carries its own config; use .threads()/.pattern_shards() \
+                         for runtime overrides"
+                            .to_owned(),
+                    ));
+                }
+                if let Some(lang) = self.lang {
+                    if lang != namer.lang() {
+                        return Err(NamerError::InvalidConfig(format!(
+                            "language {lang:?} conflicts with the trained system's {:?}",
+                            namer.lang()
+                        )));
+                    }
+                }
+                *namer
+            }
+            Source::Saved(model) => {
+                if let Some(lang) = self.lang {
+                    if lang != model.lang {
+                        return Err(NamerError::InvalidConfig(format!(
+                            "language {lang:?} conflicts with the saved model's {:?}",
+                            model.lang
+                        )));
+                    }
+                }
+                model.into_namer(self.config.unwrap_or_default())
+            }
+            Source::Parts {
+                patterns,
+                pairs,
+                dataset,
+            } => {
+                if patterns.len() != dataset.len() {
+                    return Err(NamerError::InvalidConfig(format!(
+                        "{} patterns but {} dataset count entries",
+                        patterns.len(),
+                        dataset.len()
+                    )));
+                }
+                let detector = Detector::from_parts(patterns, pairs, dataset);
+                let mut config = self.config.unwrap_or_default();
+                config.use_classifier = false;
+                Namer::assemble(
+                    detector,
+                    None,
+                    ModelKind::SvmLinear,
+                    self.lang.unwrap_or(Lang::Python),
+                    config,
+                )
+            }
+        };
+        // For trained/saved sources the classifier setter is an override;
+        // for raw parts it is the only way to attach one.
+        if let Some((pipeline, kind)) = self.classifier {
+            namer.set_classifier(Some(pipeline), kind);
+        }
+        namer.override_runtime(self.threads, self.shard_plan);
+
+        let cache = match self.cache_dir {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(&dir).map_err(|e| NamerError::io(&dir, e))?;
+                let path = dir.join(CACHE_FILE_NAME);
+                let (cache, status) = ScanCache::load(&path, namer.scan_fingerprint());
+                Some(SessionCache {
+                    path,
+                    cache,
+                    status,
+                })
+            }
+        };
+        Ok(DetectSession { namer, cache })
+    }
+}
+
+/// A session's on-disk cache binding.
+struct SessionCache {
+    path: PathBuf,
+    cache: ScanCache,
+    status: CacheLoadStatus,
+}
+
+/// A ready-to-run detection session produced by [`NamerBuilder::build`].
+///
+/// Holds the assembled [`Namer`] and, when configured, the loaded scan
+/// cache. [`DetectSession::run`] is the one entry point: it processes,
+/// scans (sharded per the session's plan), classifies, and — with a cache
+/// directory — persists updated cache state, all with byte-identical
+/// results in every mode.
+pub struct DetectSession {
+    namer: Namer,
+    cache: Option<SessionCache>,
+}
+
+impl DetectSession {
+    /// Runs detection over `files`.
+    ///
+    /// Without a cache directory this processes and scans everything; with
+    /// one, unchanged files reuse their cached per-file state and the
+    /// pruned, updated cache is saved back afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::Io`] when saving the scan cache fails; cacheless runs
+    /// cannot fail.
+    pub fn run(&mut self, files: &[SourceFile]) -> Result<DetectOutcome, NamerError> {
+        let threads = resolve_threads(self.namer.config().threads);
+        let plan = self.namer.config().shard_plan;
+        let process = self.namer.config().process.clone();
+        let Some(state) = self.cache.as_mut() else {
+            let corpus = process_parallel(files, &process, threads);
+            let scan = self
+                .namer
+                .detector
+                .violations_sharded(&corpus, threads, &plan);
+            let reports = self.namer.reports_from(&scan);
+            return Ok(DetectOutcome {
+                reports,
+                scan,
+                cache: None,
+            });
+        };
+        // Which inputs will scan fresh (recorded before the scan warms the
+        // cache): the "changed files" of a CI-style incremental run.
+        let changed: Vec<(String, String)> = files
+            .iter()
+            .filter(|f| !state.cache.contains(f.content_digest()))
+            .map(|f| (f.repo.clone(), f.path.clone()))
+            .collect();
+        let inc = self.namer.detector.violations_incremental_sharded(
+            files,
+            &process,
+            &mut state.cache,
+            threads,
+            &plan,
+        );
+        // Keep the cache bounded by the current input set before saving.
+        let live: HashSet<ContentDigest> = files.iter().map(SourceFile::content_digest).collect();
+        state.cache.retain_digests(&live);
+        state
+            .cache
+            .save(&state.path)
+            .map_err(|e| NamerError::io(&state.path, e))?;
+        let reports = self.namer.reports_from(&inc.scan);
+        Ok(DetectOutcome {
+            reports,
+            scan: inc.scan,
+            cache: Some(CacheOutcome {
+                reused: inc.reused,
+                fresh: inc.fresh,
+                parse_failures: inc.parse_failures,
+                changed,
+            }),
+        })
+    }
+
+    /// Runs detection over an already-processed corpus (benchmark and
+    /// ablation paths that reuse one preprocessing pass across many scans).
+    /// Never touches the cache.
+    pub fn run_processed(&self, corpus: &ProcessedCorpus) -> DetectOutcome {
+        let threads = resolve_threads(self.namer.config().threads);
+        let plan = self.namer.config().shard_plan;
+        let scan = self.namer.detector.violations_sharded(corpus, threads, &plan);
+        let reports = self.namer.reports_from(&scan);
+        DetectOutcome {
+            reports,
+            scan,
+            cache: None,
+        }
+    }
+
+    /// How the scan cache loaded at build time; `None` without a cache
+    /// directory.
+    pub fn cache_status(&self) -> Option<CacheLoadStatus> {
+        self.cache.as_ref().map(|c| c.status)
+    }
+
+    /// The assembled system (for persistence, classification, metadata).
+    pub fn namer(&self) -> &Namer {
+        &self.namer
+    }
+
+    /// Consumes the session, returning the assembled system.
+    pub fn into_namer(self) -> Namer {
+        self.namer
+    }
+}
+
+/// Everything one [`DetectSession::run`] produces.
+pub struct DetectOutcome {
+    /// The issues to report (violations the classifier let through).
+    pub reports: Vec<Report>,
+    /// The full raw scan (all violations + coverage statistics).
+    pub scan: ScanResult,
+    /// Cache accounting; `None` for cacheless runs.
+    pub cache: Option<CacheOutcome>,
+}
+
+/// Cache accounting of one cached [`DetectSession::run`].
+pub struct CacheOutcome {
+    /// Input files served from pre-existing cache entries.
+    pub reused: usize,
+    /// Input files scanned fresh this run.
+    pub fresh: usize,
+    /// Input files recorded (now or previously) as unparsable.
+    pub parse_failures: usize,
+    /// `(repo, path)` of inputs that were not in the cache when the run
+    /// started, in input order — the changed set of an incremental run.
+    pub changed: Vec<(String, String)>,
+}

@@ -1,0 +1,382 @@
+//! Pattern-axis sharding: partition a [`PatternSet`] into prefix-disjoint
+//! shards so one statement can be matched against slices of a huge mined
+//! set concurrently (DESIGN.md §9).
+//!
+//! The unit of partitioning is the *prefix group*: all patterns sharing the
+//! interned [`PrefixId`] of their first deduction path. Groups are atomic —
+//! [`PatternSet::check_into`] only ever considers a pattern when that prefix
+//! occurs in the statement, so keeping a group on one shard means each shard
+//! can run the exact same candidate walk over its own index and no two
+//! shards ever visit the same pattern. Groups are balanced across shards by
+//! total pattern weight (condition + deduction key count) with a greedy
+//! longest-processing-time pass, deterministically tie-broken so the same
+//! set and plan always yield the same partition.
+//!
+//! Per-shard hits carry their merge key ([`ShardHit::pos`], the position of
+//! the matched prefix in the statement's path list, plus the global pattern
+//! index), so sorting the union of all shards' hits by `(pos, pattern_idx)`
+//! reproduces the serial [`PatternSet::check`] order exactly — the property
+//! the detector relies on for byte-identical reports at any
+//! (file-threads × pattern-shards) combination.
+
+use crate::mining::{resolve_threads, MatchScratch, PathSet, PatternSet};
+use crate::pattern::Relation;
+use namer_syntax::PrefixId;
+use std::collections::HashMap;
+
+/// Below this many patterns a [`ShardPlan`] falls back to a single shard:
+/// the merge overhead would dominate any parallel win.
+pub const DEFAULT_MIN_PATTERNS: usize = 64;
+
+/// How to partition a pattern set along the pattern axis.
+///
+/// The plan is part of the scan configuration: it changes only scheduling,
+/// never results, but it is still folded into the detector fingerprint so
+/// cached scan state is keyed by the exact configuration that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Requested shard count. `1` disables sharding; `0` means one shard
+    /// per available core (same convention as worker threads).
+    pub shards: usize,
+    /// Pattern sets smaller than this stay unsharded regardless of
+    /// [`ShardPlan::shards`].
+    pub min_patterns: usize,
+}
+
+impl Default for ShardPlan {
+    fn default() -> ShardPlan {
+        ShardPlan::unsharded()
+    }
+}
+
+impl ShardPlan {
+    /// The identity plan: everything on one shard.
+    pub fn unsharded() -> ShardPlan {
+        ShardPlan {
+            shards: 1,
+            min_patterns: DEFAULT_MIN_PATTERNS,
+        }
+    }
+
+    /// A plan requesting `shards` shards with the default size threshold.
+    pub fn with_shards(shards: usize) -> ShardPlan {
+        ShardPlan {
+            shards,
+            min_patterns: DEFAULT_MIN_PATTERNS,
+        }
+    }
+
+    /// The shard count this plan actually yields for a set of
+    /// `pattern_count` patterns: the requested count (resolved like a
+    /// thread count, so `0` = all cores), clamped to the set size, or `1`
+    /// when the set is below [`ShardPlan::min_patterns`].
+    pub fn effective(&self, pattern_count: usize) -> usize {
+        if pattern_count < self.min_patterns {
+            return 1;
+        }
+        resolve_threads(self.shards).clamp(1, pattern_count.max(1))
+    }
+}
+
+/// One match hit from [`PatternSet::check_shard_into`], tagged with the key
+/// that merges per-shard hit lists back into serial order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardHit {
+    /// Position in the statement's path list where the pattern's first
+    /// deduction prefix matched (primary merge key).
+    pub pos: u32,
+    /// Global index of the matched pattern in the full set (secondary merge
+    /// key — candidate lists are walked in ascending index order).
+    pub pattern_idx: usize,
+    /// The match relation (never [`Relation::NoMatch`]).
+    pub relation: Relation,
+}
+
+/// A prefix-disjoint partition of a [`PatternSet`] built by
+/// [`PatternSet::shard`].
+///
+/// Holds per-shard first-deduction-prefix indexes over the *shared* set
+/// (global pattern indices; patterns are not cloned). Every pattern lives
+/// in exactly one shard, and all patterns sharing a first-deduction prefix
+/// live together.
+#[derive(Clone, Debug)]
+pub struct PatternShards {
+    /// Shard id of each pattern, parallel to `PatternSet::patterns`.
+    assignment: Vec<u32>,
+    /// Per-shard prefix → ascending global pattern indices.
+    indexes: Vec<HashMap<PrefixId, Vec<usize>>>,
+    /// Total pattern weight placed on each shard (for balance inspection).
+    loads: Vec<u64>,
+}
+
+impl PatternShards {
+    fn build(set: &PatternSet, plan: &ShardPlan) -> PatternShards {
+        // One atomic group per first-deduction prefix; weight is the
+        // per-candidate match cost (number of interned keys quick_match
+        // walks, plus one for the relation check).
+        let mut groups: Vec<(u64, usize, PrefixId, &[usize])> = set
+            .index
+            .iter()
+            .map(|(&pid, idxs)| {
+                let weight: u64 = idxs
+                    .iter()
+                    .map(|&i| 1 + set.cond_keys[i].len() as u64 + set.ded_keys[i].len() as u64)
+                    .sum();
+                (weight, idxs[0], pid, idxs.as_slice())
+            })
+            .collect();
+        // LPT greedy: heaviest group first, deterministic tie-break on the
+        // group's lowest pattern index (unique per group).
+        groups.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let shard_count = plan.effective(set.len()).min(groups.len()).max(1);
+        let mut loads = vec![0u64; shard_count];
+        let mut indexes: Vec<HashMap<PrefixId, Vec<usize>>> =
+            vec![HashMap::new(); shard_count];
+        let mut assignment = vec![0u32; set.len()];
+        for (weight, _, pid, idxs) in groups {
+            // `min_by_key` keeps the first minimum, so ties deterministically
+            // go to the lowest shard id.
+            let s = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &load)| load)
+                .map(|(i, _)| i)
+                .expect("at least one shard");
+            loads[s] += weight;
+            indexes[s].insert(pid, idxs.to_vec());
+            for &i in idxs {
+                assignment[i] = s as u32;
+            }
+        }
+        PatternShards {
+            assignment,
+            indexes,
+            loads,
+        }
+    }
+
+    /// Number of shards (≥ 1; `1` means the partition is trivial).
+    pub fn shard_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Shard id of each pattern, parallel to the set's pattern list.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// The shard holding pattern `idx`.
+    pub fn shard_of(&self, idx: usize) -> usize {
+        self.assignment[idx] as usize
+    }
+
+    /// Total pattern weight placed on each shard (balance diagnostics).
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+}
+
+impl PatternSet {
+    /// Partitions this set into prefix-disjoint shards according to `plan`.
+    pub fn shard(&self, plan: &ShardPlan) -> PatternShards {
+        PatternShards::build(self, plan)
+    }
+
+    /// Checks `stmt` against the patterns of one shard only, writing every
+    /// match as a [`ShardHit`] into `out` (cleared first). `scratch` is
+    /// reusable across statements and shards.
+    ///
+    /// Running this for every shard of `shards` and sorting the combined
+    /// hits by `(pos, pattern_idx)` yields exactly the
+    /// [`PatternSet::check_into`] output (see [`PatternSet::check_sharded`]).
+    pub fn check_shard_into(
+        &self,
+        shards: &PatternShards,
+        shard: usize,
+        stmt: &PathSet,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<ShardHit>,
+    ) {
+        out.clear();
+        scratch.begin(self.patterns.len());
+        let index = &shards.indexes[shard];
+        for (pos, &pid) in stmt.prefix_ids().iter().enumerate() {
+            let Some(cands) = index.get(&pid) else {
+                continue;
+            };
+            for &i in cands {
+                if !scratch.first_visit(i) {
+                    continue;
+                }
+                if !self.quick_match(i, stmt) {
+                    continue;
+                }
+                match self.patterns[i].relation(&stmt.paths) {
+                    Relation::NoMatch => {}
+                    relation => out.push(ShardHit {
+                        pos: pos as u32,
+                        pattern_idx: i,
+                        relation,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Checks `stmt` against every shard (serially) and merges the hits back
+    /// into canonical order. Allocates; exists as the reference semantics
+    /// for sharded checking and for tests — hot loops run
+    /// [`PatternSet::check_shard_into`] per worker instead.
+    pub fn check_sharded(&self, shards: &PatternShards, stmt: &PathSet) -> Vec<(usize, Relation)> {
+        let mut scratch = MatchScratch::for_set(self);
+        let mut shard_out: Vec<ShardHit> = Vec::new();
+        let mut all: Vec<ShardHit> = Vec::new();
+        for shard in 0..shards.shard_count() {
+            self.check_shard_into(shards, shard, stmt, &mut scratch, &mut shard_out);
+            all.append(&mut shard_out);
+        }
+        merge_shard_hits(&mut all);
+        all.into_iter().map(|h| (h.pattern_idx, h.relation)).collect()
+    }
+}
+
+/// Sorts a combined per-statement hit list into canonical
+/// [`PatternSet::check`] order. Keys are unique — a pattern hits a
+/// statement at most once — so an unstable sort is exact.
+pub fn merge_shard_hits(hits: &mut [ShardHit]) {
+    hits.sort_unstable_by_key(|h| (h.pos, h.pattern_idx));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confusion::ConfusingPairs;
+    use crate::mining::{mine_patterns, MiningConfig};
+    use crate::pattern::PatternType;
+    use namer_syntax::{namepath, python, stmt, transform, Sym};
+
+    fn path_set(src: &str) -> PathSet {
+        let file = python::parse(src).unwrap();
+        let s = &stmt::extract(&file)[0];
+        let plus = transform::to_ast_plus(&s.ast, &transform::Origins::new());
+        PathSet::new(namepath::extract(&plus, 10))
+    }
+
+    fn mined_set() -> PatternSet {
+        let mut stmts: Vec<PathSet> = Vec::new();
+        for src in [
+            "self.assertEqual(value, 90)\n",
+            "self.name = name\n",
+            "self.value = value\n",
+            "self.data = data\n",
+        ] {
+            stmts.extend(std::iter::repeat_with(|| path_set(src)).take(20));
+        }
+        stmts.extend(std::iter::repeat_with(|| path_set("self.assertTrue(value, 90)\n")).take(2));
+        let mut pairs = ConfusingPairs::default();
+        pairs.insert(Sym::intern("True"), Sym::intern("Equal"));
+        let cfg = MiningConfig {
+            min_path_count: 2,
+            min_support: 5,
+            ..MiningConfig::default()
+        };
+        let mut patterns = mine_patterns(&stmts, PatternType::Consistency, None, &cfg);
+        patterns.extend(mine_patterns(
+            &stmts,
+            PatternType::ConfusingWord,
+            Some(&pairs),
+            &cfg,
+        ));
+        assert!(!patterns.is_empty(), "test corpus mines no patterns");
+        PatternSet::new(patterns)
+    }
+
+    fn tight_plan(shards: usize) -> ShardPlan {
+        ShardPlan {
+            shards,
+            min_patterns: 0,
+        }
+    }
+
+    #[test]
+    fn small_sets_fall_back_to_one_shard() {
+        let set = mined_set();
+        let plan = ShardPlan {
+            shards: 8,
+            min_patterns: set.len() + 1,
+        };
+        assert_eq!(plan.effective(set.len()), 1);
+        assert_eq!(set.shard(&plan).shard_count(), 1);
+    }
+
+    #[test]
+    fn zero_shards_means_auto() {
+        let plan = ShardPlan {
+            shards: 0,
+            min_patterns: 0,
+        };
+        assert_eq!(plan.effective(10_000), resolve_threads(0).clamp(1, 10_000));
+    }
+
+    #[test]
+    fn every_pattern_lands_on_exactly_one_shard() {
+        let set = mined_set();
+        for k in [1usize, 2, 3, 8] {
+            let shards = set.shard(&tight_plan(k));
+            assert!(shards.shard_count() >= 1 && shards.shard_count() <= k.max(1));
+            assert_eq!(shards.assignment().len(), set.len());
+            let mut per_shard = vec![0usize; shards.shard_count()];
+            for &s in shards.assignment() {
+                per_shard[s as usize] += 1;
+            }
+            assert_eq!(per_shard.iter().sum::<usize>(), set.len());
+        }
+    }
+
+    #[test]
+    fn prefix_groups_stay_together() {
+        let set = mined_set();
+        let shards = set.shard(&tight_plan(4));
+        let mut by_prefix: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+        for (i, p) in set.patterns.iter().enumerate() {
+            let pid = p.deduction[0].prefix_id();
+            let shard = shards.shard_of(i);
+            assert_eq!(
+                *by_prefix.entry(pid).or_insert(shard),
+                shard,
+                "prefix group split across shards"
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_is_deterministic() {
+        let set = mined_set();
+        let a = set.shard(&tight_plan(4));
+        let b = set.shard(&tight_plan(4));
+        assert_eq!(a.assignment(), b.assignment());
+        assert_eq!(a.loads(), b.loads());
+    }
+
+    #[test]
+    fn check_sharded_matches_check_at_every_shard_count() {
+        let set = mined_set();
+        let stmts = [
+            path_set("self.assertTrue(value, 90)\n"),
+            path_set("self.assertEqual(value, 90)\n"),
+            path_set("self.help = docstring\n"),
+            path_set("self.name = name\n"),
+            path_set("unrelated(x)\n"),
+        ];
+        for k in [1usize, 2, 3, 4, 8] {
+            let shards = set.shard(&tight_plan(k));
+            for s in &stmts {
+                assert_eq!(
+                    set.check_sharded(&shards, s),
+                    set.check(s),
+                    "sharded check diverges at {k} shards"
+                );
+            }
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Property-based tests for patterns, mining, and the FP tree.
 
 use namer_patterns::{
-    mine_patterns, ConfusingPairs, FpTree, MiningConfig, PathSet, PatternType, Relation,
+    mine_patterns, ConfusingPairs, FpTree, MiningConfig, PathSet, PatternSet, PatternType,
+    Relation, ShardPlan,
 };
 use namer_syntax::namepath::NamePath;
 use namer_syntax::{PrefixId, Sym};
@@ -151,6 +152,57 @@ proptest! {
             prop_assert_eq!(set.end_at_id(p.prefix_id()), linear);
             // Every concrete path is found via its symbolic shape.
             prop_assert!(set.contains_eq(&p.to_symbolic()));
+        }
+    }
+
+    #[test]
+    fn shards_partition_patterns_prefix_disjoint_exactly_once(
+        groups in proptest::collection::vec((0u8..8, 10u8..25), 1..5),
+        shard_count in 0usize..9,
+    ) {
+        // Each distinct tag yields its own deduction prefix, so mining over
+        // several tags produces several prefix groups to distribute.
+        let mut stmts: Vec<PathSet> = Vec::new();
+        for &(tag, n) in &groups {
+            for _ in 0..n {
+                stmts.push(PathSet::new(vec![np(tag, "self"), np(tag + 8, "Equal")]));
+            }
+        }
+        let config = MiningConfig {
+            min_path_count: 2,
+            min_support: 5,
+            min_satisfaction: 0.5,
+            ..MiningConfig::default()
+        };
+        let set = PatternSet::new(mine_patterns(
+            &stmts,
+            PatternType::Consistency,
+            None,
+            &config,
+        ));
+        let shards = set.shard(&ShardPlan { shards: shard_count, min_patterns: 0 });
+
+        // Every pattern lands on exactly one shard.
+        prop_assert_eq!(shards.assignment().len(), set.len());
+        let mut per_shard = vec![0usize; shards.shard_count()];
+        for &s in shards.assignment() {
+            per_shard[s as usize] += 1;
+        }
+        prop_assert_eq!(per_shard.iter().sum::<usize>(), set.len());
+
+        // Prefix groups are atomic: patterns sharing a first-deduction
+        // prefix always share a shard.
+        let mut by_prefix: std::collections::HashMap<_, usize> =
+            std::collections::HashMap::new();
+        for (i, p) in set.patterns.iter().enumerate() {
+            let pid = p.deduction[0].prefix_id();
+            let shard = shards.shard_of(i);
+            prop_assert_eq!(*by_prefix.entry(pid).or_insert(shard), shard);
+        }
+
+        // And the partition is invisible to matching.
+        for stmt in &stmts {
+            prop_assert_eq!(set.check_sharded(&shards, stmt), set.check(stmt));
         }
     }
 

@@ -6,7 +6,7 @@
 //! cargo run --release --example java_bug_hunt
 //! ```
 
-use namer::core::{Namer, NamerConfig};
+use namer::core::{Namer, NamerBuilder, NamerConfig};
 use namer::corpus::{CorpusConfig, Generator, Severity};
 use namer::patterns::MiningConfig;
 use namer::syntax::Lang;
@@ -40,7 +40,14 @@ fn main() {
         &config,
     );
 
-    let reports = namer.detect(&corpus.files);
+    let mut session = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("a trained system always builds");
+    let reports = session
+        .run(&corpus.files)
+        .expect("cacheless runs cannot fail")
+        .reports;
     let mut semantic = 0;
     let mut quality = 0;
     let mut fp = 0;

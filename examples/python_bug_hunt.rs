@@ -10,7 +10,7 @@
 //! set — and prints the issues it reports, scored against the generator's
 //! ground truth.
 
-use namer::core::{Namer, NamerConfig};
+use namer::core::{Namer, NamerBuilder, NamerConfig};
 use namer::corpus::{CorpusConfig, Generator};
 use namer::patterns::MiningConfig;
 use namer::syntax::Lang;
@@ -58,7 +58,14 @@ fn main() {
         namer.cv_metrics.accuracy * 100.0
     );
 
-    let reports = namer.detect(&corpus.files);
+    let mut session = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("a trained system always builds");
+    let reports = session
+        .run(&corpus.files)
+        .expect("cacheless runs cannot fail")
+        .reports;
     let mut tp = 0;
     println!("\nreports:");
     for r in &reports {

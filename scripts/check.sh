@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Full local gate: build, every test (incl. the bench_incremental smoke
-# test), and clippy with warnings denied. CI and pre-push both run this.
+# Full local gate: build, every test (incl. the bench_incremental and
+# bench_shard smoke tests), clippy with warnings denied, a quick run of the
+# sharding benchmark (its exit code enforces the byte-identical guarantee),
+# and rustdoc with warnings denied (catches doc drift and broken intra-doc
+# links). CI and pre-push both run this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo run --release -p namer-bench --bin bench_shard -- --quick --out /tmp/BENCH_shard_check.json
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

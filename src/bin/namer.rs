@@ -12,13 +12,16 @@
 //! pairs from `--commits` (a directory of `<name>.before` / `<name>.after`
 //! file pairs), optionally trains the defect classifier from `--labels`
 //! (TSV: `path<TAB>line<TAB>true|false`), and writes a JSON model. `scan`
-//! loads the model and prints reports with rendered fixes; it exits with
-//! status 1 when issues are found, so it can gate CI.
+//! loads the model into a [`NamerBuilder`] session and prints reports with
+//! rendered fixes; it exits with status 1 when issues are found, so it can
+//! gate CI. All commands take `--threads N` (file axis) and
+//! `--pattern-shards N` (pattern axis, DESIGN.md §9); output is
+//! byte-identical at any combination.
 
-use namer::core::{fix_line, Namer, NamerConfig, SavedModel, ScanCache, Violation};
+use namer::core::{fix_line, Namer, NamerBuilder, NamerConfig, NamerError, SavedModel, Violation};
 use namer::corpus::{CorpusConfig, Generator};
-use namer::patterns::MiningConfig;
-use namer::syntax::{ContentDigest, Lang, SourceFile};
+use namer::patterns::{MiningConfig, ShardPlan};
+use namer::syntax::{Lang, SourceFile};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -34,7 +37,9 @@ fn main() -> ExitCode {
             print_usage();
             Ok(ExitCode::SUCCESS)
         }
-        Some(other) => Err(format!("unknown command `{other}` (try `namer help`)")),
+        Some(other) => Err(NamerError::Usage(format!(
+            "unknown command `{other}` (try `namer help`)"
+        ))),
     };
     match result {
         Ok(code) => code,
@@ -48,11 +53,14 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
-         USAGE:\n  namer demo  [--java] [--threads N] [-o MODEL]\n  namer corpus [--java] [--seed N] --out DIR\n  namer train --corpus DIR \
+         USAGE:\n  namer demo  [--java] [--threads N] [--pattern-shards N] [-o MODEL]\n  namer corpus [--java] [--seed N] --out DIR\n  namer train --corpus DIR \
          [--commits DIR] [--labels TSV] [--lang python|java]\n              \
-         [--no-classifier] [--no-analysis] [--threads N] [-o MODEL]\n  namer scan  --model MODEL [--explain] [--format sarif] [--threads N]\n              [--cache-dir DIR] [--changed-only] PATH...\n\n\
+         [--no-classifier] [--no-analysis] [--threads N] [--pattern-shards N] [-o MODEL]\n  namer scan  --model MODEL [--explain] [--format sarif] [--threads N]\n              [--pattern-shards N] [--cache-dir DIR] [--changed-only] PATH...\n\n\
          `--threads 0` (the default) uses all available cores; results are\n\
-         identical at any thread count.\n\n\
+         identical at any thread count. `--pattern-shards N` additionally\n\
+         splits the pattern set into N prefix-disjoint shards matched\n\
+         concurrently (1 = off, the default; 0 = one shard per core);\n\
+         output is byte-identical at any shard count.\n\n\
          `--cache-dir DIR` caches per-file scan state between runs, so\n\
          unchanged files are not re-scanned; output stays byte-identical to\n\
          a full scan. `--changed-only` (requires --cache-dir) prints reports\n\
@@ -72,10 +80,24 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 }
 
 /// `--threads N` (0 = all available cores, the default).
-fn threads_from_args(args: &[String]) -> Result<usize, String> {
+fn threads_from_args(args: &[String]) -> Result<usize, NamerError> {
     match flag_value(args, "--threads") {
-        Some(s) => s.parse().map_err(|_| format!("bad --threads {s:?}")),
+        Some(s) => s
+            .parse()
+            .map_err(|_| NamerError::Usage(format!("bad --threads {s:?}"))),
         None => Ok(0),
+    }
+}
+
+/// `--pattern-shards N` (1 = unsharded, the default; 0 = one shard per
+/// core).
+fn shard_plan_from_args(args: &[String]) -> Result<ShardPlan, NamerError> {
+    match flag_value(args, "--pattern-shards") {
+        Some(s) => s
+            .parse()
+            .map(ShardPlan::with_shards)
+            .map_err(|_| NamerError::Usage(format!("bad --pattern-shards {s:?}"))),
+        None => Ok(ShardPlan::unsharded()),
     }
 }
 
@@ -108,13 +130,29 @@ fn default_config() -> NamerConfig {
     }
 }
 
+fn read_file(path: impl AsRef<Path>) -> Result<String, NamerError> {
+    let path = path.as_ref();
+    std::fs::read_to_string(path).map_err(|e| NamerError::io(path, e))
+}
+
+fn write_file(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> Result<(), NamerError> {
+    let path = path.as_ref();
+    std::fs::write(path, contents).map_err(|e| NamerError::io(path, e))
+}
+
+fn make_dirs(path: impl AsRef<Path>) -> Result<(), NamerError> {
+    let path = path.as_ref();
+    std::fs::create_dir_all(path).map_err(|e| NamerError::io(path, e))
+}
+
 // ----- demo ------------------------------------------------------------------
 
-fn cmd_demo(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
     let lang = lang_from_args(args);
     let out = flag_value(args, "-o").unwrap_or("namer-model.json");
     let config = NamerConfig {
         threads: threads_from_args(args)?,
+        shard_plan: shard_plan_from_args(args)?,
         ..default_config()
     };
     println!("generating a synthetic Big Code corpus ({lang})…");
@@ -141,13 +179,13 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, String> {
         namer.detector.pairs.len(),
         namer.model_kind,
     );
-    let reports = namer.detect(&corpus.files);
-    for r in reports.iter().take(10) {
+    let mut session = NamerBuilder::new().namer(namer).build()?;
+    let outcome = session.run(&corpus.files)?;
+    for r in outcome.reports.iter().take(10) {
         println!("  {r}");
     }
-    println!("… {} reports total", reports.len());
-    std::fs::write(out, SavedModel::from_namer(&namer).to_json())
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("… {} reports total", outcome.reports.len());
+    write_file(out, SavedModel::from_namer(session.namer()).to_json())?;
     println!("model saved to {out}");
     Ok(ExitCode::SUCCESS)
 }
@@ -157,11 +195,17 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, String> {
 /// Writes a synthetic Big Code corpus to disk in the layout `train` expects:
 /// `repos/<repo>/<path>`, `fixes/<n>.before|.after`, and a ground-truth
 /// `labels.tsv` that can stand in for the paper's manual annotation.
-fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_corpus(args: &[String]) -> Result<ExitCode, NamerError> {
     let lang = lang_from_args(args);
-    let out = PathBuf::from(flag_value(args, "--out").ok_or("`corpus` needs --out DIR")?);
+    let out = PathBuf::from(
+        flag_value(args, "--out")
+            .ok_or_else(|| NamerError::Usage("`corpus` needs --out DIR".to_owned()))?,
+    );
     let seed: u64 = flag_value(args, "--seed")
-        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| NamerError::Usage(format!("bad --seed {s:?}")))
+        })
         .transpose()?
         .unwrap_or(2021);
     let corpus = Generator::new(CorpusConfig::small(lang)).generate(seed);
@@ -171,18 +215,16 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
         let repo_slug = f.repo.replace('/', "_");
         let dest = repos_dir.join(&repo_slug).join(&f.path);
         if let Some(parent) = dest.parent() {
-            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+            make_dirs(parent)?;
         }
-        std::fs::write(&dest, &f.text).map_err(|e| format!("writing {}: {e}", dest.display()))?;
+        write_file(&dest, &f.text)?;
     }
 
     let fixes_dir = out.join("fixes");
-    std::fs::create_dir_all(&fixes_dir).map_err(|e| format!("mkdir {}: {e}", fixes_dir.display()))?;
+    make_dirs(&fixes_dir)?;
     for (i, c) in corpus.commits.iter().enumerate() {
-        std::fs::write(fixes_dir.join(format!("{i:04}.before")), &c.before)
-            .map_err(|e| e.to_string())?;
-        std::fs::write(fixes_dir.join(format!("{i:04}.after")), &c.after)
-            .map_err(|e| e.to_string())?;
+        write_file(fixes_dir.join(format!("{i:04}.before")), &c.before)?;
+        write_file(fixes_dir.join(format!("{i:04}.after")), &c.after)?;
     }
 
     // Ground-truth labels in the on-disk path space (repo_slug/path).
@@ -195,7 +237,7 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
 ", inj.path));
         }
     }
-    std::fs::write(out.join("labels.tsv"), labels).map_err(|e| e.to_string())?;
+    write_file(out.join("labels.tsv"), labels)?;
 
     println!(
         "wrote {} files, {} commit pairs, {} injected issues under {}",
@@ -216,14 +258,17 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
 
 // ----- train -----------------------------------------------------------------
 
-fn cmd_train(args: &[String]) -> Result<ExitCode, String> {
-    let corpus_dir = flag_value(args, "--corpus").ok_or("`train` needs --corpus DIR")?;
+fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
+    let corpus_dir = flag_value(args, "--corpus")
+        .ok_or_else(|| NamerError::Usage("`train` needs --corpus DIR".to_owned()))?;
     let lang = lang_from_args(args);
     let out = flag_value(args, "-o").unwrap_or("namer-model.json");
 
     let files = collect_sources(Path::new(corpus_dir), lang)?;
     if files.is_empty() {
-        return Err(format!("no {lang} sources under {corpus_dir}"));
+        return Err(NamerError::InvalidConfig(format!(
+            "no {lang} sources under {corpus_dir}"
+        )));
     }
     println!("corpus: {} files", files.len());
 
@@ -235,6 +280,7 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, String> {
 
     let mut config = default_config();
     config.threads = threads_from_args(args)?;
+    config.shard_plan = shard_plan_from_args(args)?;
     if has_flag(args, "--no-analysis") {
         config.process.use_analysis = false;
     }
@@ -265,24 +311,18 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, String> {
             String::new()
         }
     );
-    std::fs::write(out, SavedModel::from_namer(&namer).to_json())
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    write_file(out, SavedModel::from_namer(&namer).to_json())?;
     println!("model saved to {out}");
     Ok(ExitCode::SUCCESS)
 }
 
 // ----- scan ------------------------------------------------------------------
 
-fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
-    let model_path = flag_value(args, "--model").ok_or("`scan` needs --model MODEL")?;
-    let json = std::fs::read_to_string(model_path)
-        .map_err(|e| format!("reading {model_path}: {e}"))?;
-    let model = SavedModel::from_json(&json).map_err(|e| e.to_string())?;
+fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
+    let model_path = flag_value(args, "--model")
+        .ok_or_else(|| NamerError::Usage("`scan` needs --model MODEL".to_owned()))?;
+    let model = SavedModel::from_json(&read_file(model_path)?)?;
     let lang = model.lang;
-    let namer = model.into_namer(NamerConfig {
-        threads: threads_from_args(args)?,
-        ..default_config()
-    });
 
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut skip_next = false;
@@ -291,7 +331,12 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
             skip_next = false;
             continue;
         }
-        if a == "--model" || a == "--format" || a == "--threads" || a == "--cache-dir" {
+        if a == "--model"
+            || a == "--format"
+            || a == "--threads"
+            || a == "--pattern-shards"
+            || a == "--cache-dir"
+        {
             skip_next = true;
             continue;
         }
@@ -301,7 +346,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
         paths.push(PathBuf::from(a));
     }
     if paths.is_empty() {
-        return Err("`scan` needs at least one PATH".to_owned());
+        return Err(NamerError::Usage("`scan` needs at least one PATH".to_owned()));
     }
 
     let mut files = Vec::new();
@@ -309,7 +354,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
         if p.is_dir() {
             files.extend(collect_sources(p, lang)?);
         } else if p.is_file() {
-            let text = std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let text = read_file(p)?;
             files.push(SourceFile::new(
                 p.parent().map(|d| d.display().to_string()).unwrap_or_default(),
                 p.display().to_string(),
@@ -317,7 +362,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
                 lang,
             ));
         } else {
-            return Err(format!("no such path: {}", p.display()));
+            return Err(NamerError::Usage(format!("no such path: {}", p.display())));
         }
     }
 
@@ -325,54 +370,41 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
     let changed_only = has_flag(args, "--changed-only");
     let cache_dir = flag_value(args, "--cache-dir");
     if changed_only && cache_dir.is_none() {
-        return Err("--changed-only requires --cache-dir".to_owned());
+        return Err(NamerError::Usage(
+            "--changed-only requires --cache-dir".to_owned(),
+        ));
     }
 
-    let mut reports;
-    let mut changed: Option<HashSet<(String, String)>> = None;
-    match cache_dir {
-        Some(dir) => {
-            let dir = PathBuf::from(dir);
-            std::fs::create_dir_all(&dir)
-                .map_err(|e| format!("creating {}: {e}", dir.display()))?;
-            let cache_path = dir.join("scan-cache.json");
-            let fingerprint = namer.scan_fingerprint();
-            let (mut cache, status) = ScanCache::load(&cache_path, fingerprint);
-            println!("scan cache: {status}");
-            // A file "changed" when its content digest misses the cache as
-            // loaded — i.e. it was not part of (or differs from) the run
-            // that wrote the cache.
-            let current: HashSet<ContentDigest> =
-                files.iter().map(SourceFile::content_digest).collect();
-            if changed_only {
-                changed = Some(
-                    files
-                        .iter()
-                        .filter(|f| !cache.contains(f.content_digest()))
-                        .map(|f| (f.repo.clone(), f.path.clone()))
-                        .collect(),
-                );
-            }
-            let (r, inc) = namer.detect_incremental(&files, &mut cache);
-            reports = r;
-            println!(
-                "scanned {} file(s): {} reused from cache, {} fresh",
-                files.len(),
-                inc.reused,
-                inc.fresh
-            );
-            cache.retain_digests(&current);
-            cache
-                .save(&cache_path)
-                .map_err(|e| format!("writing {}: {e}", cache_path.display()))?;
-        }
-        None => {
-            reports = namer.detect(&files);
+    let mut builder = NamerBuilder::new()
+        .model(model)
+        .config(default_config())
+        .threads(threads_from_args(args)?)
+        .shard_plan(shard_plan_from_args(args)?);
+    if let Some(dir) = cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let mut session = builder.build()?;
+    if let Some(status) = session.cache_status() {
+        println!("scan cache: {status}");
+    }
+
+    let outcome = session.run(&files)?;
+    let mut reports = outcome.reports;
+    if let Some(cache) = &outcome.cache {
+        println!(
+            "scanned {} file(s): {} reused from cache, {} fresh",
+            files.len(),
+            cache.reused,
+            cache.fresh
+        );
+        if changed_only {
+            let changed: HashSet<(String, String)> = cache.changed.iter().cloned().collect();
+            reports.retain(|r| {
+                changed.contains(&(r.violation.repo.clone(), r.violation.path.clone()))
+            });
         }
     }
-    if let Some(changed) = &changed {
-        reports.retain(|r| changed.contains(&(r.violation.repo.clone(), r.violation.path.clone())));
-    }
+    let namer = session.namer();
 
     if flag_value(args, "--format") == Some("sarif") {
         println!("{}", namer::core::to_sarif(&reports, &namer.detector));
@@ -420,7 +452,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
 
 /// Recursively collects sources of `lang` under `root`. The first path
 /// component below `root` names the repository.
-fn collect_sources(root: &Path, lang: Lang) -> Result<Vec<SourceFile>, String> {
+fn collect_sources(root: &Path, lang: Lang) -> Result<Vec<SourceFile>, NamerError> {
     let ext = match lang {
         Lang::Python => "py",
         Lang::Java => "java",
@@ -428,16 +460,14 @@ fn collect_sources(root: &Path, lang: Lang) -> Result<Vec<SourceFile>, String> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
-        let entries = std::fs::read_dir(&dir)
-            .map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let entries = std::fs::read_dir(&dir).map_err(|e| NamerError::io(&dir, e))?;
         for entry in entries {
-            let entry = entry.map_err(|e| e.to_string())?;
+            let entry = entry.map_err(|e| NamerError::io(&dir, e))?;
             let path = entry.path();
             if path.is_dir() {
                 stack.push(path);
             } else if path.extension().and_then(|e| e.to_str()) == Some(ext) {
-                let text = std::fs::read_to_string(&path)
-                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                let text = read_file(&path)?;
                 let rel = path.strip_prefix(root).unwrap_or(&path);
                 let repo = rel
                     .components()
@@ -458,20 +488,19 @@ fn collect_sources(root: &Path, lang: Lang) -> Result<Vec<SourceFile>, String> {
 }
 
 /// Reads `<name>.before` / `<name>.after` pairs from a directory.
-fn collect_commits(dir: &Path) -> Result<Vec<(String, String)>, String> {
+fn collect_commits(dir: &Path) -> Result<Vec<(String, String)>, NamerError> {
     let mut befores: HashMap<String, String> = HashMap::new();
     let mut afters: HashMap<String, String> = HashMap::new();
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let entries = std::fs::read_dir(dir).map_err(|e| NamerError::io(dir, e))?;
     for entry in entries {
-        let path = entry.map_err(|e| e.to_string())?.path();
+        let path = entry.map_err(|e| NamerError::io(dir, e))?.path();
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
-        let text = || std::fs::read_to_string(&path).map_err(|e| e.to_string());
         if let Some(stem) = name.strip_suffix(".before") {
-            befores.insert(stem.to_owned(), text()?);
+            befores.insert(stem.to_owned(), read_file(&path)?);
         } else if let Some(stem) = name.strip_suffix(".after") {
-            afters.insert(stem.to_owned(), text()?);
+            afters.insert(stem.to_owned(), read_file(&path)?);
         }
     }
     let mut out = Vec::new();
@@ -485,8 +514,8 @@ fn collect_commits(dir: &Path) -> Result<Vec<(String, String)>, String> {
 }
 
 /// Parses a labels TSV: `path<TAB>line<TAB>true|false`.
-fn parse_labels(path: &Path) -> Result<HashMap<(String, u32), bool>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+fn parse_labels(path: &Path) -> Result<HashMap<(String, u32), bool>, NamerError> {
+    let text = read_file(path)?;
     let mut out = HashMap::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -495,14 +524,18 @@ fn parse_labels(path: &Path) -> Result<HashMap<(String, u32), bool>, String> {
         }
         let mut parts = line.split('\t');
         let (Some(p), Some(l), Some(v)) = (parts.next(), parts.next(), parts.next()) else {
-            return Err(format!("{}:{}: expected `path\\tline\\tbool`", path.display(), i + 1));
+            return Err(NamerError::Usage(format!(
+                "{}:{}: expected `path\\tline\\tbool`",
+                path.display(),
+                i + 1
+            )));
         };
-        let l: u32 = l
-            .parse()
-            .map_err(|_| format!("{}:{}: bad line number {l:?}", path.display(), i + 1))?;
-        let v: bool = v
-            .parse()
-            .map_err(|_| format!("{}:{}: bad label {v:?}", path.display(), i + 1))?;
+        let l: u32 = l.parse().map_err(|_| {
+            NamerError::Usage(format!("{}:{}: bad line number {l:?}", path.display(), i + 1))
+        })?;
+        let v: bool = v.parse().map_err(|_| {
+            NamerError::Usage(format!("{}:{}: bad label {v:?}", path.display(), i + 1))
+        })?;
         out.insert((p.to_owned(), l), v);
     }
     Ok(out)

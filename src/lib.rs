@@ -24,10 +24,11 @@
 //! ## Quickstart
 //!
 //! ```rust,no_run
-//! use namer::core::{Namer, NamerConfig};
+//! use namer::core::{Namer, NamerBuilder, NamerConfig};
 //! use namer::corpus::{CorpusConfig, Generator};
 //! use namer::syntax::Lang;
 //!
+//! # fn main() -> Result<(), namer::core::NamerError> {
 //! // Generate a small synthetic Big Code corpus (stands in for GitHub).
 //! let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(42);
 //! let oracle = corpus.oracle();
@@ -36,16 +37,20 @@
 //!     .iter()
 //!     .map(|c| (c.before.clone(), c.after.clone()))
 //!     .collect();
-//! // Mine patterns, train the classifier on a small labeled set, detect.
+//! // Mine patterns and train the classifier on a small labeled set.
 //! let namer = Namer::train(
 //!     &corpus.files,
 //!     &commits,
 //!     |v| oracle.label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str()).is_some(),
 //!     &NamerConfig::default(),
 //! );
-//! for report in namer.detect(&corpus.files).iter().take(3) {
+//! // Detect through a session: one API for full, cached, and sharded scans.
+//! let mut session = NamerBuilder::new().namer(namer).build()?;
+//! for report in session.run(&corpus.files)?.reports.iter().take(3) {
 //!     println!("{report}");
 //! }
+//! # Ok(())
+//! # }
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,10 +1,21 @@
 //! Integration checks on the w/o C and w/o A ablations and on report
 //! well-formedness (the machinery behind Tables 2 and 5).
 
-use namer::core::{process, Namer, NamerConfig, ProcessConfig, FEATURE_COUNT};
+use namer::core::{process, Namer, NamerBuilder, NamerConfig, ProcessConfig, FEATURE_COUNT};
 use namer::corpus::{CorpusConfig, Generator, Oracle};
 use namer::patterns::MiningConfig;
-use namer::syntax::Lang;
+use namer::syntax::{Lang, SourceFile};
+
+/// Detects through the session API (consumes the trained system).
+fn detect(namer: Namer, files: &[SourceFile]) -> Vec<namer::core::Report> {
+    NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds")
+        .run(files)
+        .expect("cacheless run")
+        .reports
+}
 
 fn config(use_analysis: bool, use_classifier: bool) -> NamerConfig {
     NamerConfig {
@@ -64,8 +75,8 @@ fn classifier_improves_precision_over_raw_violations() {
     };
     let with_c = Namer::train(&corpus.files, &commits, labeler, &config(true, true));
     let without_c = Namer::train(&corpus.files, &commits, labeler, &config(true, false));
-    let (n_with, p_with) = precision(&with_c.detect(&corpus.files), &oracle);
-    let (n_without, p_without) = precision(&without_c.detect(&corpus.files), &oracle);
+    let (n_with, p_with) = precision(&detect(with_c, &corpus.files), &oracle);
+    let (n_without, p_without) = precision(&detect(without_c, &corpus.files), &oracle);
     assert!(n_with <= n_without, "classifier only removes reports");
     assert!(
         p_with >= p_without,
@@ -92,7 +103,7 @@ fn reports_are_well_formed() {
         },
         &config(true, true),
     );
-    let reports = namer.detect(&corpus.files);
+    let reports = detect(namer, &corpus.files);
     assert!(!reports.is_empty());
     for r in &reports {
         let v = &r.violation;

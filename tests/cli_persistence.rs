@@ -1,7 +1,7 @@
 //! Integration: model persistence round trip across the public API (the
 //! machinery behind `namer train` / `namer scan`).
 
-use namer::core::{Namer, NamerConfig, SavedModel};
+use namer::core::{Namer, NamerBuilder, NamerConfig, SavedModel};
 use namer::corpus::{CorpusConfig, Generator};
 use namer::patterns::MiningConfig;
 use namer::syntax::{Lang, SourceFile};
@@ -39,12 +39,14 @@ fn saved_model_scans_unseen_files() {
         &config(),
     );
 
-    // Round trip through JSON.
+    // Round trip through JSON, then scan through the session API.
     let json = SavedModel::from_namer(&namer).to_json();
     assert!(json.contains("\"version\""));
-    let loaded = SavedModel::from_json(&json)
-        .expect("model parses")
-        .into_namer(config());
+    let mut session = NamerBuilder::new()
+        .model(SavedModel::from_json(&json).expect("model parses"))
+        .config(config())
+        .build()
+        .expect("saved source builds");
 
     // Scan a file the system has never seen.
     let unseen = SourceFile::new(
@@ -53,7 +55,10 @@ fn saved_model_scans_unseen_files() {
         "class TestWidget(TestCase):\n    def test_size(self):\n        widget = load_widget()\n        self.assertTrue(widget.size, 12)\n",
         Lang::Python,
     );
-    let reports = loaded.detect(std::slice::from_ref(&unseen));
+    let reports = session
+        .run(std::slice::from_ref(&unseen))
+        .expect("cacheless run")
+        .reports;
     assert!(
         reports
             .iter()

@@ -3,7 +3,8 @@
 //! seed alone: thread count never changes results (DESIGN.md §7).
 
 use namer::core::{
-    process, process_parallel, Detector, Namer, NamerConfig, ProcessConfig, ScanCache,
+    process, process_parallel, Detector, Namer, NamerBuilder, NamerConfig, ProcessConfig,
+    ScanCache,
 };
 use namer::corpus::{CorpusConfig, Generator};
 use namer::patterns::MiningConfig;
@@ -178,10 +179,17 @@ fn trained_system_reports_identically_across_thread_counts() {
                 ..config()
             },
         );
+        let pattern_count = namer.detector.pattern_count();
+        let reports = NamerBuilder::new()
+            .namer(namer)
+            .build()
+            .expect("trained source builds")
+            .run(&corpus.files)
+            .expect("cacheless run")
+            .reports;
         (
-            namer.detector.pattern_count(),
-            namer
-                .detect(&corpus.files)
+            pattern_count,
+            reports
                 .iter()
                 .map(|r| (r.to_string(), r.decision.to_bits()))
                 .collect::<Vec<_>>(),
@@ -213,8 +221,13 @@ fn trained_system_reports_identically() {
             },
             &config(),
         );
-        namer
-            .detect(&corpus.files)
+        NamerBuilder::new()
+            .namer(namer)
+            .build()
+            .expect("trained source builds")
+            .run(&corpus.files)
+            .expect("cacheless run")
+            .reports
             .iter()
             .map(|r| (r.violation.path.clone(), r.violation.line, r.violation.suggested))
             .collect::<Vec<_>>()

@@ -1,6 +1,6 @@
 //! Cross-crate integration: generator → Namer pipeline → oracle scoring.
 
-use namer::core::{Namer, NamerConfig, Violation};
+use namer::core::{Namer, NamerBuilder, NamerConfig, Violation};
 use namer::corpus::{CorpusConfig, Generator, Oracle};
 use namer::syntax::Lang;
 use namer_patterns::MiningConfig;
@@ -46,7 +46,13 @@ fn run_language(lang: Lang, seed: u64) -> (f64, usize, usize) {
         labeler_for(&oracle),
         &config_for_small(),
     );
-    let reports = namer.detect(&corpus.files);
+    let reports = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("trained source builds")
+        .run(&corpus.files)
+        .expect("cacheless run")
+        .reports;
     let labeler = labeler_for(&oracle);
     let true_hits = reports
         .iter()

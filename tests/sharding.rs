@@ -1,0 +1,198 @@
+//! Integration: pattern-axis sharding and the builder/session API
+//! (DESIGN.md §9).
+//!
+//! The contract under test: a scan's output is a pure function of the model
+//! and the input files — worker threads and pattern shards are scheduling
+//! knobs only. Every (file-threads × pattern-shards) grid point must produce
+//! byte-identical reports, and the session API must agree with the
+//! deprecated entry points it replaces.
+
+use namer::core::{CacheLoadStatus, Namer, NamerBuilder, NamerConfig, NamerError, SavedModel};
+use namer::corpus::{CorpusConfig, Generator};
+use namer::patterns::{MiningConfig, ShardPlan};
+use namer::syntax::{Lang, SourceFile};
+
+fn config() -> NamerConfig {
+    NamerConfig {
+        mining: MiningConfig {
+            min_path_count: 4,
+            min_support: 15,
+            ..MiningConfig::default()
+        },
+        labeled_per_class: 10,
+        cv_repeats: 3,
+        ..NamerConfig::default()
+    }
+}
+
+/// Trains once and returns the corpus plus the model snapshot the grid
+/// points rebuild their sessions from.
+fn trained_model(seed: u64) -> (Vec<SourceFile>, String) {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(seed);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let namer = Namer::train(
+        &corpus.files,
+        &commits,
+        |v| {
+            oracle
+                .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                .is_some()
+        },
+        &config(),
+    );
+    let json = SavedModel::from_namer(&namer).to_json();
+    (corpus.files, json)
+}
+
+/// Full-fidelity scan key: rendered reports with decision bits plus the
+/// aggregate scan statistics.
+fn scan_key(files: &[SourceFile], json: &str, threads: usize, shards: usize) -> String {
+    let mut session = NamerBuilder::new()
+        .model(SavedModel::from_json(json).expect("model parses"))
+        .config(config())
+        .threads(threads)
+        // min_patterns: 0 so small mined sets still shard — the grid must
+        // exercise real partitions, not the size fallback.
+        .shard_plan(ShardPlan {
+            shards,
+            min_patterns: 0,
+        })
+        .build()
+        .expect("saved source builds");
+    let outcome = session.run(files).expect("cacheless run");
+    let mut key = String::new();
+    for r in &outcome.reports {
+        key.push_str(&format!("{r} {:x}\n", r.decision.to_bits()));
+    }
+    key.push_str(&format!(
+        "raw={} files={} repos={}\n",
+        outcome.scan.raw_violation_count,
+        outcome.scan.files_with_violation,
+        outcome.scan.repos_with_violation
+    ));
+    key
+}
+
+#[test]
+fn report_bytes_are_identical_across_the_thread_shard_grid() {
+    let (files, json) = trained_model(2021);
+    let baseline = scan_key(&files, &json, 1, 1);
+    assert!(!baseline.is_empty());
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 4] {
+            assert_eq!(
+                baseline,
+                scan_key(&files, &json, threads, shards),
+                "diverged at threads={threads} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn session_run_matches_deprecated_detect() {
+    let (files, json) = trained_model(2022);
+    let namer = SavedModel::from_json(&json)
+        .expect("model parses")
+        .into_namer(config());
+    let old: Vec<String> = namer.detect(&files).iter().map(|r| r.to_string()).collect();
+    let new: Vec<String> = NamerBuilder::new()
+        .model(SavedModel::from_json(&json).expect("model parses"))
+        .config(config())
+        .build()
+        .expect("saved source builds")
+        .run(&files)
+        .expect("cacheless run")
+        .reports
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    assert_eq!(old, new);
+}
+
+#[test]
+fn cached_session_round_trips_and_tracks_changed_files() {
+    let (mut files, json) = trained_model(2023);
+    let dir = std::env::temp_dir().join(format!("namer-shard-session-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let build = || {
+        NamerBuilder::new()
+            .model(SavedModel::from_json(&json).expect("model parses"))
+            .config(config())
+            .shard_plan(ShardPlan {
+                shards: 4,
+                min_patterns: 0,
+            })
+            .cache_dir(&dir)
+            .build()
+            .expect("saved source builds")
+    };
+
+    // Cold run: nothing cached, every file is "changed".
+    let mut cold = build();
+    assert_eq!(cold.cache_status(), Some(CacheLoadStatus::Cold));
+    let cold_out = cold.run(&files).expect("cold run");
+    let cold_cache = cold_out.cache.as_ref().expect("cache accounting");
+    assert_eq!(cold_cache.fresh, files.len());
+    assert_eq!(cold_cache.changed.len(), files.len());
+
+    // Warm run over identical inputs: all reused, nothing changed, and the
+    // reports are byte-identical to the cold (sharded) scan.
+    let mut warm = build();
+    assert!(matches!(warm.cache_status(), Some(CacheLoadStatus::Warm(_))));
+    let warm_out = warm.run(&files).expect("warm run");
+    let warm_cache = warm_out.cache.as_ref().expect("cache accounting");
+    assert_eq!(warm_cache.fresh, 0);
+    assert!(warm_cache.changed.is_empty());
+    let render = |reports: &[namer::core::Report]| {
+        reports.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+    };
+    assert_eq!(render(&cold_out.reports), render(&warm_out.reports));
+
+    // Edit one file: exactly that file re-scans and shows up as changed.
+    files[0].text.push_str("\nzz_extra = 1\n");
+    let mut dirty = build();
+    let dirty_out = dirty.run(&files).expect("dirty run");
+    let dirty_cache = dirty_out.cache.as_ref().expect("cache accounting");
+    assert_eq!(
+        dirty_cache.changed,
+        vec![(files[0].repo.clone(), files[0].path.clone())]
+    );
+    assert_eq!(dirty_cache.fresh, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn builder_rejects_invalid_configurations() {
+    // No source at all.
+    assert!(matches!(
+        NamerBuilder::new().build(),
+        Err(NamerError::InvalidConfig(_))
+    ));
+
+    // A trained system carries its own config; overriding it is an error.
+    let (_, json) = trained_model(2024);
+    let namer = SavedModel::from_json(&json)
+        .expect("model parses")
+        .into_namer(config());
+    assert!(matches!(
+        NamerBuilder::new().namer(namer).config(config()).build(),
+        Err(NamerError::InvalidConfig(_))
+    ));
+
+    // Language conflicts with the saved model's.
+    assert!(matches!(
+        NamerBuilder::new()
+            .model(SavedModel::from_json(&json).expect("model parses"))
+            .lang(Lang::Java)
+            .build(),
+        Err(NamerError::InvalidConfig(_))
+    ));
+}
