@@ -7,10 +7,13 @@
 //!
 //! Times the process → mine → scan pipeline on one synthetic corpus at each
 //! thread count and writes `BENCH_pipeline.json` (statements/second per
-//! stage). `--quick` runs the small corpus with threads 1,2 — fast enough
-//! for the smoke tests. By default the sweep covers 1, 2, 4, and all cores.
+//! stage, straight from the pipeline's own metrics collector). A final
+//! overhead check times the scan with and without a live collector against
+//! DESIGN.md §10's ≤ 2 % budget. `--quick` runs the small corpus with
+//! threads 1,2 — fast enough for the smoke tests. By default the sweep
+//! covers 1, 2, 4, and all cores.
 
-use namer_bench::throughput::measure;
+use namer_bench::throughput::{measure, measure_overhead};
 use namer_bench::Scale;
 use namer_patterns::resolve_threads;
 use namer_syntax::Lang;
@@ -75,7 +78,7 @@ fn main() -> ExitCode {
     }
 
     println!("pipeline sweep: {lang}, {scale:?} corpus, threads {threads:?}");
-    let bench = measure(lang, scale, seed, &threads);
+    let mut bench = measure(lang, scale, seed, &threads);
     println!(
         "corpus: {} files / {} statements",
         bench.files, bench.stmts
@@ -91,6 +94,14 @@ fn main() -> ExitCode {
             run.violations,
         );
     }
+
+    let overhead_reps = if quick { 2 } else { 5 };
+    let overhead = measure_overhead(lang, scale, seed, overhead_reps);
+    println!(
+        "observer overhead: {:+.2}% (unobserved {:.4}s, observed {:.4}s, best of {})",
+        overhead.overhead_pct, overhead.unobserved_secs, overhead.observed_secs, overhead.reps,
+    );
+    bench.overhead = Some(overhead);
 
     let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
     if let Err(e) = std::fs::write(out, json + "\n") {

@@ -8,11 +8,13 @@
 //! equivalence guarantee, and the binary exits non-zero when it fails.
 
 use crate::{namer_config, setup, Scale, Setup};
-use namer_core::{process_parallel, Detector, ProcessConfig, ScanCache, ScanResult};
-use namer_patterns::MiningConfig;
+use namer_core::{
+    process_parallel, process_parallel_observed, Detector, ProcessConfig, ScanCache, ScanResult,
+};
+use namer_observe::{Phase, PipelineMetrics};
+use namer_patterns::{MiningConfig, ShardPlan};
 use namer_syntax::{Lang, SourceFile};
 use serde::Serialize;
-use std::time::Instant;
 
 /// Wall-clock and cache accounting of one scan phase.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -81,17 +83,25 @@ fn dirty(file: &mut SourceFile, round: usize) {
         .push_str(&format!("\n{marker} dirtied {round} for bench_incremental\n"));
 }
 
-/// Times a from-scratch process + scan of `files`.
+/// Times a from-scratch process + scan of `files`. Seconds are the sum of
+/// the collector's process, scan, and assembly phase walls — the same
+/// clocks the incremental phases report, so the speedup ratios compare like
+/// with like.
 fn time_full(
     det: &Detector,
     files: &[SourceFile],
     config: &ProcessConfig,
     threads: usize,
 ) -> (f64, ScanResult) {
-    let t = Instant::now();
-    let processed = process_parallel(files, config, threads);
-    let scan = det.violations_with(&processed, threads);
-    (t.elapsed().as_secs_f64(), scan)
+    let metrics = PipelineMetrics::new();
+    let obs = metrics.observer();
+    let processed = process_parallel_observed(files, config, threads, obs);
+    let scan = det.violations_sharded_observed(&processed, threads, &ShardPlan::unsharded(), obs);
+    let snap = metrics.snapshot();
+    let secs = snap.phase_secs(Phase::Process)
+        + snap.phase_secs(Phase::Scan)
+        + snap.phase_secs(Phase::Assemble);
+    (secs, scan)
 }
 
 /// Generates one corpus, mines a detector, and times the cold / warm /
@@ -116,11 +126,25 @@ pub fn measure_incremental(lang: Lang, scale: Scale, seed: u64, threads: usize) 
     let (_, full_base) = time_full(&det, &corpus.files, &process_config, threads);
 
     let phase = |cache: &mut ScanCache, files: &[SourceFile]| {
-        let t = Instant::now();
-        let inc = det.violations_incremental(files, &process_config, cache, threads);
+        let metrics = PipelineMetrics::new();
+        let inc = det.violations_incremental_sharded_observed(
+            files,
+            &process_config,
+            cache,
+            threads,
+            &ShardPlan::unsharded(),
+            metrics.observer(),
+        );
+        let snap = metrics.snapshot();
+        // Cache lookup + fresh-file processing + scan + assembly: every
+        // phase the incremental path actually runs.
+        let secs = snap.phase_secs(Phase::CacheLookup)
+            + snap.phase_secs(Phase::Process)
+            + snap.phase_secs(Phase::Scan)
+            + snap.phase_secs(Phase::Assemble);
         (
             PhaseTiming {
-                secs: t.elapsed().as_secs_f64(),
+                secs,
                 reused: inc.reused,
                 fresh: inc.fresh,
                 violations: inc.scan.violations.len(),

@@ -17,11 +17,11 @@
 
 use crate::{namer_config, setup, Scale, Setup};
 use namer_core::{process_parallel, Detector, ScanResult};
+use namer_observe::{MetricsSnapshot, Phase, PipelineMetrics};
 use namer_patterns::{resolve_threads, MiningConfig, ShardPlan};
 use namer_syntax::namepath::NamePath;
 use namer_syntax::{Lang, Sym};
 use serde::Serialize;
-use std::time::Instant;
 
 /// One point on the shard-count scaling curve.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -59,6 +59,13 @@ pub struct ShardBench {
     pub speedup_at_4: f64,
     /// Per-shard pattern weight at 4 shards (balance diagnostics).
     pub loads: Vec<u64>,
+    /// Measured per-shard busy nanoseconds at 4 shards, from the pipeline's
+    /// own collector (empty when 4 was not run or the plan fell back to the
+    /// unsharded scan; scheduling-dependent, unlike `loads`).
+    pub busy_at_4: Vec<u64>,
+    /// Max/mean busy ratio across shards at 4 shards (`1.0` = perfectly
+    /// balanced, `0.0` when no shard data was recorded).
+    pub imbalance_at_4: f64,
     /// Every sharded scan matched the unsharded reference bit for bit.
     pub identical: bool,
 }
@@ -127,30 +134,49 @@ pub fn measure_shard(
     let det = inflate(&base, inflation);
 
     let reps = reps.max(1);
-    let time = |plan: &ShardPlan| -> (f64, ScanResult) {
+    // Timed through the pipeline's own collector: seconds are the scan +
+    // assembly phase walls of the best rep, and the best rep's snapshot
+    // carries the per-shard busy split.
+    let time = |plan: &ShardPlan| -> (f64, ScanResult, MetricsSnapshot) {
         let mut best = f64::INFINITY;
+        let mut best_snap = None;
         let mut scan = None;
         for _ in 0..reps {
-            let t = Instant::now();
-            let s = det.violations_sharded(&processed, 1, plan);
-            best = best.min(t.elapsed().as_secs_f64());
+            let metrics = PipelineMetrics::new();
+            let s = det.violations_sharded_observed(&processed, 1, plan, metrics.observer());
+            let snap = metrics.snapshot();
+            let secs = snap.phase_secs(Phase::Scan) + snap.phase_secs(Phase::Assemble);
+            if secs < best {
+                best = secs;
+                best_snap = Some(snap);
+            }
             scan = Some(s);
         }
-        (best, scan.expect("at least one rep"))
+        (
+            best,
+            scan.expect("at least one rep"),
+            best_snap.expect("at least one rep"),
+        )
     };
 
-    let (unsharded_secs, reference) = time(&ShardPlan::unsharded());
+    let (unsharded_secs, reference, _) = time(&ShardPlan::unsharded());
     let reference_key = key(&reference);
 
     let mut identical = true;
     let mut points = Vec::new();
+    let mut busy_at_4 = Vec::new();
+    let mut imbalance_at_4 = 0.0;
     for &shards in shard_counts {
         let plan = ShardPlan {
             shards,
             min_patterns: 0,
         };
-        let (secs, scan) = time(&plan);
+        let (secs, scan, snap) = time(&plan);
         identical &= key(&scan) == reference_key;
+        if shards == 4 {
+            busy_at_4 = snap.shard_busy_nanos;
+            imbalance_at_4 = snap.shard_imbalance;
+        }
         points.push(ShardPoint {
             shards,
             secs,
@@ -183,6 +209,8 @@ pub fn measure_shard(
         points,
         speedup_at_4,
         loads,
+        busy_at_4,
+        imbalance_at_4,
         identical,
     }
 }
@@ -202,6 +230,12 @@ mod tests {
         assert!((1..=4).contains(&bench.loads.len()));
         assert!(bench.points.iter().all(|p| p.secs > 0.0));
         assert!(bench.speedup_at_4 > 0.0);
+        // Busy split comes from the collector; it only exists when the
+        // 4-shard plan actually sharded (more than one prefix group).
+        if bench.loads.len() > 1 {
+            assert_eq!(bench.busy_at_4.len(), bench.loads.len());
+            assert!(bench.imbalance_at_4 >= 1.0);
+        }
     }
 
     #[test]

@@ -4,11 +4,17 @@
 //!
 //! Unlike the criterion micro-benchmarks under `benches/`, this measures the
 //! whole pipeline once per thread count on one shared corpus, which is how
-//! the paper reports §5.1 runtimes (total hours on a 32-core machine).
+//! the paper reports §5.1 runtimes (total hours on a 32-core machine). Stage
+//! timings come from the pipeline's own [`PipelineMetrics`] collector — the
+//! same per-phase wall clocks `--metrics-out` reports — rather than private
+//! stopwatches, so the benchmark and the CLI can never drift apart on what
+//! a "stage" covers. The [`measure_overhead`] check times the scan with and
+//! without a live collector to police DESIGN.md §10's ≤ 2 % budget.
 
 use crate::{namer_config, setup, Scale, Setup};
-use namer_core::{process_parallel, Detector};
-use namer_patterns::{resolve_threads, MiningConfig};
+use namer_core::{process_parallel_observed, Detector};
+use namer_observe::{Observer, Phase, PipelineMetrics};
+use namer_patterns::{resolve_threads, MiningConfig, ShardPlan};
 use namer_syntax::Lang;
 use serde::Serialize;
 use std::time::Instant;
@@ -42,12 +48,29 @@ pub struct PipelineRun {
     pub process: StageTiming,
     /// Pattern mining (FP-growth + pruneUncommon).
     pub mine: StageTiming,
-    /// Corpus scan (violations + features).
+    /// Corpus scan (violations + features + assembly).
     pub scan: StageTiming,
     /// Patterns mined — must be identical across runs.
     pub patterns: usize,
     /// Violations found — must be identical across runs.
     pub violations: usize,
+}
+
+/// Live-collector cost of the observability layer: the same scan timed with
+/// an inert [`Observer`] (the no-sink default every uninstrumented caller
+/// gets) and with a [`PipelineMetrics`] collector attached. The arms are
+/// interleaved rep by rep so thermal and cache drift hit both equally.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct OverheadCheck {
+    /// Timing repetitions per arm (best is kept).
+    pub reps: usize,
+    /// Best scan wall-clock with the inert observer, seconds.
+    pub unobserved_secs: f64,
+    /// Best scan wall-clock with a live collector, seconds.
+    pub observed_secs: f64,
+    /// `(observed − unobserved) / unobserved × 100`; small negative values
+    /// are timer noise. DESIGN.md §10 budgets ≤ 2 %.
+    pub overhead_pct: f64,
 }
 
 /// The benchmark report serialised to `BENCH_pipeline.json`.
@@ -61,11 +84,15 @@ pub struct PipelineBench {
     pub stmts: usize,
     /// One entry per requested thread count, in request order.
     pub runs: Vec<PipelineRun>,
+    /// Collector-overhead check; `None` when the sweep skipped it.
+    pub overhead: Option<OverheadCheck>,
 }
 
 /// Generates one corpus and times process/mine/scan at each thread count
-/// (`0` entries resolve to all available cores). Pattern and violation
-/// counts are recorded so callers can assert thread-count invariance.
+/// (`0` entries resolve to all available cores). Stage seconds are the
+/// collector's per-phase wall clocks (scan = scan + assembly). Pattern and
+/// violation counts are recorded so callers can assert thread-count
+/// invariance.
 pub fn measure(lang: Lang, scale: Scale, seed: u64, thread_counts: &[usize]) -> PipelineBench {
     let Setup {
         corpus, commits, ..
@@ -77,13 +104,14 @@ pub fn measure(lang: Lang, scale: Scale, seed: u64, thread_counts: &[usize]) -> 
         files: 0,
         stmts: 0,
         runs: Vec::new(),
+        overhead: None,
     };
     for &requested in thread_counts {
         let threads = resolve_threads(requested);
+        let metrics = PipelineMetrics::new();
+        let obs = metrics.observer();
 
-        let t = Instant::now();
-        let processed = process_parallel(&corpus.files, &config.process, threads);
-        let process_secs = t.elapsed().as_secs_f64();
+        let processed = process_parallel_observed(&corpus.files, &config.process, threads, obs);
         let stmts = processed.stmt_count();
         out.files = processed.files.len();
         out.stmts = stmts;
@@ -92,24 +120,70 @@ pub fn measure(lang: Lang, scale: Scale, seed: u64, thread_counts: &[usize]) -> 
             threads,
             ..config.mining.clone()
         };
-        let t = Instant::now();
-        let detector = Detector::mine(&processed, &commits, lang, &mining);
-        let mine_secs = t.elapsed().as_secs_f64();
+        let detector = Detector::mine_observed(&processed, &commits, lang, &mining, obs);
 
-        let t = Instant::now();
-        let scan = detector.violations_with(&processed, threads);
-        let scan_secs = t.elapsed().as_secs_f64();
+        let scan =
+            detector.violations_sharded_observed(&processed, threads, &ShardPlan::unsharded(), obs);
 
+        let snap = metrics.snapshot();
         out.runs.push(PipelineRun {
             threads,
-            process: StageTiming::new(process_secs, stmts),
-            mine: StageTiming::new(mine_secs, stmts),
-            scan: StageTiming::new(scan_secs, stmts),
+            process: StageTiming::new(snap.phase_secs(Phase::Process), stmts),
+            mine: StageTiming::new(snap.phase_secs(Phase::Mine), stmts),
+            scan: StageTiming::new(
+                snap.phase_secs(Phase::Scan) + snap.phase_secs(Phase::Assemble),
+                stmts,
+            ),
             patterns: detector.pattern_count(),
             violations: scan.violations.len(),
         });
     }
     out
+}
+
+/// Times the corpus scan with an inert observer versus a live
+/// [`PipelineMetrics`] collector, interleaved best-of-`reps` per arm. One
+/// file thread, unsharded, so the single-worker loop — where per-statement
+/// instrumentation cost is least diluted — is what gets measured.
+pub fn measure_overhead(lang: Lang, scale: Scale, seed: u64, reps: usize) -> OverheadCheck {
+    let Setup {
+        corpus, commits, ..
+    } = setup(lang, scale, seed);
+    let config = namer_config(scale);
+    let threads = resolve_threads(0);
+    let processed =
+        process_parallel_observed(&corpus.files, &config.process, threads, Observer::none());
+    let mining = MiningConfig {
+        threads,
+        ..config.mining.clone()
+    };
+    let det = Detector::mine(&processed, &commits, lang, &mining);
+
+    let reps = reps.max(1);
+    let plan = ShardPlan::unsharded();
+    let mut unobserved = f64::INFINITY;
+    let mut observed = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let base = det.violations_sharded(&processed, 1, &plan);
+        unobserved = unobserved.min(t.elapsed().as_secs_f64());
+
+        let metrics = PipelineMetrics::new();
+        let t = Instant::now();
+        let live = det.violations_sharded_observed(&processed, 1, &plan, metrics.observer());
+        observed = observed.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            base.violations.len(),
+            live.violations.len(),
+            "observation changed scan results"
+        );
+    }
+    OverheadCheck {
+        reps,
+        unobserved_secs: unobserved,
+        observed_secs: observed,
+        overhead_pct: (observed - unobserved) / unobserved.max(1e-9) * 100.0,
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +195,7 @@ mod tests {
         let bench = measure(Lang::Python, Scale::Small, 7, &[1, 2]);
         assert_eq!(bench.runs.len(), 2);
         assert!(bench.stmts > 0);
+        assert!(bench.overhead.is_none());
         for run in &bench.runs {
             assert!(run.threads >= 1);
             assert!(run.process.stmts_per_sec > 0.0);
@@ -130,5 +205,14 @@ mod tests {
         // Thread-count invariance of the results themselves.
         assert_eq!(bench.runs[0].patterns, bench.runs[1].patterns);
         assert_eq!(bench.runs[0].violations, bench.runs[1].violations);
+    }
+
+    #[test]
+    fn overhead_check_times_both_arms() {
+        let check = measure_overhead(Lang::Python, Scale::Small, 7, 1);
+        assert_eq!(check.reps, 1);
+        assert!(check.unobserved_secs > 0.0);
+        assert!(check.observed_secs > 0.0);
+        assert!(check.overhead_pct.is_finite());
     }
 }

@@ -11,14 +11,16 @@
 
 use crate::features::{self, FeatureInputs, LevelCounts, FEATURE_COUNT};
 use crate::persist::{CacheEntry, ScanCache};
-use crate::process::{process_each, ProcessConfig, ProcessedCorpus, ProcessedFile};
+use crate::process::{process_each_observed, ProcessConfig, ProcessedCorpus, ProcessedFile};
+use namer_observe::{Counter, Observer, Phase};
 use namer_patterns::{
-    mine_patterns, resolve_threads, ConfusingPairs, MatchScratch, MiningConfig, PatternSet,
-    PatternShards, PatternType, Relation, ShardHit, ShardPlan,
+    mine_patterns_observed, resolve_threads, ConfusingPairs, MatchScratch, MiningConfig,
+    PatternSet, PatternShards, PatternType, Relation, ShardHit, ShardPlan,
 };
 use namer_syntax::{parse_file, ContentDigest, Fnv64, Lang, SourceFile, Sym};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// A flagged pattern violation with its feature vector.
 #[derive(Clone, Debug)]
@@ -114,25 +116,48 @@ impl Detector {
         lang: Lang,
         config: &MiningConfig,
     ) -> Detector {
+        Detector::mine_observed(corpus, commits, lang, config, Observer::none())
+    }
+
+    /// [`Detector::mine`] with observability: the whole pass reports as
+    /// [`Phase::Mine`], commit diffing as [`Phase::MinePairs`], and candidate
+    /// generation / pruning land in their own phases via
+    /// [`mine_patterns_observed`]. Mined pair and pattern counts feed the
+    /// [`Counter::PairsMined`] / [`Counter::PatternsMined`] counters.
+    pub fn mine_observed(
+        corpus: &ProcessedCorpus,
+        commits: &[(String, String)],
+        lang: Lang,
+        config: &MiningConfig,
+        obs: Observer<'_>,
+    ) -> Detector {
+        let _span = obs.phase(Phase::Mine);
         let mut pairs = ConfusingPairs::new();
-        for (before, after) in commits {
-            let b = parse_file(&SourceFile::new("c", "b", before.clone(), lang));
-            let a = parse_file(&SourceFile::new("c", "a", after.clone(), lang));
-            if let (Ok(b), Ok(a)) = (b, a) {
-                pairs.mine_commit(&b, &a);
+        {
+            let _pairs_span = obs.phase(Phase::MinePairs);
+            for (before, after) in commits {
+                let b = parse_file(&SourceFile::new("c", "b", before.clone(), lang));
+                let a = parse_file(&SourceFile::new("c", "a", after.clone(), lang));
+                if let (Ok(b), Ok(a)) = (b, a) {
+                    pairs.mine_commit(&b, &a);
+                }
             }
         }
+        obs.add(Counter::PairsMined, pairs.iter().count() as u64);
         let stmts: Vec<_> = corpus
             .iter_stmts()
             .map(|(_, s)| s.paths.clone())
             .collect();
-        let mut patterns = mine_patterns(&stmts, PatternType::Consistency, None, config);
-        patterns.extend(mine_patterns(
+        let mut patterns =
+            mine_patterns_observed(&stmts, PatternType::Consistency, None, config, obs);
+        patterns.extend(mine_patterns_observed(
             &stmts,
             PatternType::ConfusingWord,
             Some(&pairs),
             config,
+            obs,
         ));
+        obs.add(Counter::PatternsMined, patterns.len() as u64);
         let dataset = patterns
             .iter()
             .map(|p| LevelCounts {
@@ -275,14 +300,28 @@ impl Detector {
         threads: usize,
         plan: &ShardPlan,
     ) -> ScanResult {
-        let states = self.scan_files_sharded(&corpus.files, threads, plan);
+        self.violations_sharded_observed(corpus, threads, plan, Observer::none())
+    }
+
+    /// [`Detector::violations_sharded`] with observability: the per-file
+    /// pass reports as [`Phase::Scan`] (with per-shard busy time) and the
+    /// corpus-level assembly as [`Phase::Assemble`] with the scan counters
+    /// (DESIGN.md §10).
+    pub fn violations_sharded_observed(
+        &self,
+        corpus: &ProcessedCorpus,
+        threads: usize,
+        plan: &ShardPlan,
+        obs: Observer<'_>,
+    ) -> ScanResult {
+        let states = self.scan_files_sharded_observed(&corpus.files, threads, plan, obs);
         let metas: Vec<(&str, &str)> = corpus
             .files
             .iter()
             .map(|f| (f.repo.as_str(), f.path.as_str()))
             .collect();
         let state_refs: Vec<&FileScanState> = states.iter().collect();
-        self.assemble_scan(&metas, &state_refs)
+        self.assemble_scan_observed(&metas, &state_refs, obs)
     }
 
     /// Scans `files`, reusing cached per-file state for every file whose
@@ -318,6 +357,32 @@ impl Detector {
         threads: usize,
         plan: &ShardPlan,
     ) -> IncrementalScan {
+        self.violations_incremental_sharded_observed(
+            files,
+            process,
+            cache,
+            threads,
+            plan,
+            Observer::none(),
+        )
+    }
+
+    /// [`Detector::violations_incremental_sharded`] with observability: the
+    /// cache partition reports as [`Phase::CacheLookup`] with hit/miss
+    /// counters, and the fresh-file pass goes through the observed process /
+    /// scan / assemble entry points. Because assembly always re-derives the
+    /// scan counters from the full per-file state set (cached and fresh
+    /// alike), counter totals match a cold scan of the same files exactly.
+    pub fn violations_incremental_sharded_observed(
+        &self,
+        files: &[SourceFile],
+        process: &ProcessConfig,
+        cache: &mut ScanCache,
+        threads: usize,
+        plan: &ShardPlan,
+        obs: Observer<'_>,
+    ) -> IncrementalScan {
+        let lookup_span = obs.phase(Phase::CacheLookup);
         let digests: Vec<ContentDigest> = files.iter().map(|f| f.content_digest()).collect();
         let mut reused = 0usize;
         let mut fresh = 0usize;
@@ -335,11 +400,14 @@ impl Detector {
                 }
             }
         }
+        drop(lookup_span);
+        obs.add(Counter::CacheHits, reused as u64);
+        obs.add(Counter::CacheMisses, fresh as u64);
 
         let mut parsed: Vec<ProcessedFile> = Vec::new();
         let mut parsed_digests: Vec<ContentDigest> = Vec::new();
         let mut failed_digests: Vec<ContentDigest> = Vec::new();
-        for (result, digest) in process_each(&fresh_refs, process, threads)
+        for (result, digest) in process_each_observed(&fresh_refs, process, threads, obs)
             .into_iter()
             .zip(fresh_digests)
         {
@@ -351,7 +419,7 @@ impl Detector {
                 None => failed_digests.push(digest),
             }
         }
-        let states = self.scan_files_sharded(&parsed, threads, plan);
+        let states = self.scan_files_sharded_observed(&parsed, threads, plan, obs);
         for (digest, state) in parsed_digests.into_iter().zip(states) {
             cache.insert(digest, CacheEntry::Parsed(state));
         }
@@ -374,7 +442,8 @@ impl Detector {
                 None => unreachable!("every scheduled digest was inserted above"),
             }
         }
-        let scan = self.assemble_scan(&metas, &state_refs);
+        obs.add(Counter::CacheParseFailures, parse_failures as u64);
+        let scan = self.assemble_scan_observed(&metas, &state_refs, obs);
         IncrementalScan {
             scan,
             reused,
@@ -400,6 +469,21 @@ impl Detector {
         threads: usize,
         plan: &ShardPlan,
     ) -> Vec<FileScanState> {
+        self.scan_files_sharded_observed(files, threads, plan, Observer::none())
+    }
+
+    /// [`Detector::scan_files_sharded`] with observability: the pass
+    /// reports as [`Phase::Scan`] wall time, every worker contributes
+    /// [`Phase::Scan`] busy time, and sharded workers additionally report
+    /// per-shard busy time (the load-imbalance input of DESIGN.md §10).
+    pub fn scan_files_sharded_observed(
+        &self,
+        files: &[ProcessedFile],
+        threads: usize,
+        plan: &ShardPlan,
+        obs: Observer<'_>,
+    ) -> Vec<FileScanState> {
+        let _span = obs.phase(Phase::Scan);
         if files.is_empty() {
             return Vec::new();
         }
@@ -409,7 +493,7 @@ impl Detector {
         };
         let shards = match shards {
             Some(sh) if sh.shard_count() > 1 => sh,
-            _ => return self.scan_files_unsharded(files, threads),
+            _ => return self.scan_files_unsharded(files, threads, obs),
         };
         let threads = resolve_threads(threads).min(files.len());
         let chunk_size = files.len().div_ceil(threads.max(1)).max(1);
@@ -426,14 +510,21 @@ impl Detector {
                     (0..k)
                         .map(|shard| {
                             scope.spawn(move |_| {
+                                let start = obs.is_active().then(Instant::now);
                                 let mut scratch = MatchScratch::for_set(&self.patterns);
                                 let mut hits: Vec<ShardHit> = Vec::new();
-                                chunk
+                                let part = chunk
                                     .iter()
                                     .map(|f| {
                                         self.scan_file_shard(f, shards, shard, &mut scratch, &mut hits)
                                     })
-                                    .collect::<Vec<_>>()
+                                    .collect::<Vec<_>>();
+                                if let Some(start) = start {
+                                    let nanos = start.elapsed().as_nanos() as u64;
+                                    obs.busy(Phase::Scan, nanos);
+                                    obs.shard_busy(shard, nanos);
+                                }
+                                part
                             })
                         })
                         .collect()
@@ -460,16 +551,28 @@ impl Detector {
         .expect("scan workers do not panic")
     }
 
-    /// The pre-sharding scan loop: file-chunk workers only.
-    fn scan_files_unsharded(&self, files: &[ProcessedFile], threads: usize) -> Vec<FileScanState> {
+    /// The pre-sharding scan loop: file-chunk workers only. Workers report
+    /// [`Phase::Scan`] busy time; shard busy slots stay untouched (there is
+    /// exactly one pattern shard).
+    fn scan_files_unsharded(
+        &self,
+        files: &[ProcessedFile],
+        threads: usize,
+        obs: Observer<'_>,
+    ) -> Vec<FileScanState> {
         let threads = resolve_threads(threads).min(files.len().max(1));
         if threads <= 1 {
+            let start = obs.is_active().then(Instant::now);
             let mut scratch = MatchScratch::for_set(&self.patterns);
             let mut hits: Vec<(usize, Relation)> = Vec::new();
-            files
+            let out = files
                 .iter()
                 .map(|f| self.scan_file(f, &mut scratch, &mut hits))
-                .collect()
+                .collect();
+            if let Some(start) = start {
+                obs.busy(Phase::Scan, start.elapsed().as_nanos() as u64);
+            }
+            out
         } else {
             let chunk_size = files.len().div_ceil(threads);
             crossbeam::scope(|scope| {
@@ -477,12 +580,17 @@ impl Detector {
                     .chunks(chunk_size)
                     .map(|chunk| {
                         scope.spawn(move |_| {
+                            let start = obs.is_active().then(Instant::now);
                             let mut scratch = MatchScratch::for_set(&self.patterns);
                             let mut hits: Vec<(usize, Relation)> = Vec::new();
-                            chunk
+                            let part = chunk
                                 .iter()
                                 .map(|f| self.scan_file(f, &mut scratch, &mut hits))
-                                .collect::<Vec<_>>()
+                                .collect::<Vec<_>>();
+                            if let Some(start) = start {
+                                obs.busy(Phase::Scan, start.elapsed().as_nanos() as u64);
+                            }
+                            part
                         })
                     })
                     .collect();
@@ -611,7 +719,43 @@ impl Detector {
     ///
     /// Panics if `metas` and `states` have different lengths.
     pub fn assemble_scan(&self, metas: &[(&str, &str)], states: &[&FileScanState]) -> ScanResult {
+        self.assemble_scan_observed(metas, states, Observer::none())
+    }
+
+    /// [`Detector::assemble_scan`] with observability. Assembly is where
+    /// every scan counter is derived, deliberately: the per-file states are
+    /// byte-identical at any (threads × shards) combination and across the
+    /// cached/fresh split (DESIGN.md §8–§9), so counting here — rather than
+    /// inside the workers — is what makes the counter totals deterministic
+    /// (DESIGN.md §10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metas` and `states` have different lengths.
+    pub fn assemble_scan_observed(
+        &self,
+        metas: &[(&str, &str)],
+        states: &[&FileScanState],
+        obs: Observer<'_>,
+    ) -> ScanResult {
         assert_eq!(metas.len(), states.len(), "one meta per state");
+        let _span = obs.phase(Phase::Assemble);
+        if obs.is_active() {
+            let mut stmts = 0u64;
+            let mut matches = 0u64;
+            let mut sats = 0u64;
+            for state in states {
+                stmts += state.digest_counts.iter().map(|&(_, n)| n).sum::<u64>();
+                for &(_, c) in &state.pattern_counts {
+                    matches += c.matches;
+                    sats += c.satisfactions;
+                }
+            }
+            obs.add(Counter::FilesScanned, metas.len() as u64);
+            obs.add(Counter::StatementsScanned, stmts);
+            obs.add(Counter::PatternMatches, matches);
+            obs.add(Counter::PatternSatisfactions, sats);
+        }
         let mut repo_counts: HashMap<&str, HashMap<usize, LevelCounts>> = HashMap::new();
         let mut repo_digests: HashMap<&str, HashMap<u64, u64>> = HashMap::new();
         let mut files_with_violation = 0usize;
@@ -672,6 +816,8 @@ impl Detector {
 
         let raw_count = violations.len();
         let violations = dedup_violations(violations, self);
+        obs.add(Counter::ViolationsRaw, raw_count as u64);
+        obs.add(Counter::ViolationsDeduped, violations.len() as u64);
 
         ScanResult {
             violations,

@@ -23,11 +23,13 @@
 //! * [`error`] — [`NamerError`], the unified error type of the builder,
 //!   session, and CLI paths.
 //!
-//! The older `Namer::detect` / `detect_processed` / `detect_incremental` /
-//! `from_parts` entry points still work but are deprecated shims over the
-//! session API. See the `namer` facade crate and the repository's
-//! `examples/` directory for runnable end-to-end usage; this crate's unit
-//! tests exercise the pipeline on inline corpora.
+//! The pre-session `Namer::detect` / `detect_processed` /
+//! `detect_incremental` / `from_parts` entry points have been removed; the
+//! session API is the one way in. Every stage is instrumented through the
+//! `namer-observe` crate: attach a sink with `NamerBuilder::metrics` or read
+//! [`DetectOutcome::metrics`] (DESIGN.md §10). See the `namer` facade crate
+//! and the repository's `examples/` directory for runnable end-to-end usage;
+//! this crate's unit tests exercise the pipeline on inline corpora.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -52,5 +54,8 @@ pub use persist::{
     CacheEntry, CacheLoadStatus, PersistError, SavedModel, ScanCache, CACHE_FORMAT_VERSION,
 };
 pub use sarif::to_sarif;
-pub use process::{process, process_each, process_parallel, ProcessConfig, ProcessedCorpus};
+pub use process::{
+    process, process_each, process_each_observed, process_parallel, process_parallel_observed,
+    ProcessConfig, ProcessedCorpus,
+};
 pub use session::{CacheOutcome, DetectOutcome, DetectSession, NamerBuilder};

@@ -1,10 +1,10 @@
 //! The end-to-end Namer system: unsupervised mining + the small-supervision
 //! defect classifier (Figure 1 of the paper).
 
-use crate::detector::{Detector, IncrementalScan, ScanResult, Violation};
-use crate::persist::ScanCache;
-use crate::process::{process_parallel, ProcessConfig, ProcessedCorpus};
+use crate::detector::{Detector, ScanResult, Violation};
+use crate::process::{process_parallel_observed, ProcessConfig};
 use namer_ml::{repeated_split_validation, select_model, Matrix, Metrics, ModelKind, Pipeline, PipelineConfig};
+use namer_observe::{Counter, Observer, Phase};
 use namer_patterns::{resolve_threads, MiningConfig, ShardPlan};
 use namer_syntax::{Lang, SourceFile};
 use rand::rngs::SmallRng;
@@ -103,16 +103,30 @@ impl Namer {
         labeler: impl Fn(&Violation) -> bool,
         config: &NamerConfig,
     ) -> Namer {
+        Namer::train_observed(files, commits, labeler, config, Observer::none())
+    }
+
+    /// [`Namer::train`] with observability: the whole pass reports as
+    /// [`Phase::Train`], and processing / mining / scanning break down into
+    /// their own phases and counters (DESIGN.md §10).
+    pub fn train_observed(
+        files: &[SourceFile],
+        commits: &[(String, String)],
+        labeler: impl Fn(&Violation) -> bool,
+        config: &NamerConfig,
+        obs: Observer<'_>,
+    ) -> Namer {
+        let _span = obs.phase(Phase::Train);
         let lang = files.first().map(|f| f.lang).unwrap_or(Lang::Python);
         let threads = resolve_threads(config.threads);
-        let corpus = process_parallel(files, &config.process, threads);
+        let corpus = process_parallel_observed(files, &config.process, threads, obs);
         let mining = MiningConfig {
             threads,
             shard_plan: config.shard_plan,
             ..config.mining.clone()
         };
-        let detector = Detector::mine(&corpus, commits, lang, &mining);
-        let scan = detector.violations_sharded(&corpus, threads, &config.shard_plan);
+        let detector = Detector::mine_observed(&corpus, commits, lang, &mining, obs);
+        let scan = detector.violations_sharded_observed(&corpus, threads, &config.shard_plan, obs);
 
         let (classifier, cv_metrics, model_kind, training_set) = if config.use_classifier {
             Self::fit_classifier(&scan.violations, &labeler, config)
@@ -191,67 +205,20 @@ impl Namer {
         }
     }
 
-    /// Runs detection over raw files (processing them first).
-    #[deprecated(note = "use `NamerBuilder` and `DetectSession::run` instead (DESIGN.md §9)")]
-    pub fn detect(&self, files: &[SourceFile]) -> Vec<Report> {
-        let threads = resolve_threads(self.config.threads);
-        let corpus = process_parallel(files, &self.config.process, threads);
-        let scan = self
-            .detector
-            .violations_sharded(&corpus, threads, &self.config.shard_plan);
-        self.reports_from(&scan)
-    }
-
-    /// Runs detection over an already-processed corpus, also returning the
-    /// raw scan (all violations + coverage statistics).
-    #[deprecated(
-        note = "use `NamerBuilder` and `DetectSession::run_processed` instead (DESIGN.md §9)"
-    )]
-    pub fn detect_processed(&self, corpus: &ProcessedCorpus) -> (Vec<Report>, ScanResult) {
-        let scan = self.detector.violations_sharded(
-            corpus,
-            resolve_threads(self.config.threads),
-            &self.config.shard_plan,
-        );
-        let reports = self.reports_from(&scan);
-        (reports, scan)
-    }
-
-    /// The fingerprint a [`ScanCache`] must carry to be valid for this
-    /// system (covers the detector, the preprocessing configuration, and
-    /// the shard plan).
+    /// The fingerprint a [`crate::persist::ScanCache`] must carry to be
+    /// valid for this system (covers the detector, the preprocessing
+    /// configuration, and the shard plan).
     pub fn scan_fingerprint(&self) -> u64 {
         self.detector
             .fingerprint_sharded(&self.config.process, &self.config.shard_plan)
     }
 
-    /// Runs detection over raw files through `cache`: unchanged files reuse
-    /// their cached scan state, changed ones are processed and scanned
-    /// fresh. The cache must have been loaded with
-    /// [`Namer::scan_fingerprint`]; fresh state is inserted into it, so save
-    /// it afterwards to warm the next run.
-    #[deprecated(
-        note = "use `NamerBuilder::cache_dir` and `DetectSession::run` instead (DESIGN.md §9)"
-    )]
-    pub fn detect_incremental(
-        &self,
-        files: &[SourceFile],
-        cache: &mut ScanCache,
-    ) -> (Vec<Report>, IncrementalScan) {
-        let inc = self.detector.violations_incremental_sharded(
-            files,
-            &self.config.process,
-            cache,
-            resolve_threads(self.config.threads),
-            &self.config.shard_plan,
-        );
-        let reports = self.reports_from(&inc.scan);
-        (reports, inc)
-    }
-
     /// Filters a scan's violations through the classifier into reports.
-    pub(crate) fn reports_from(&self, scan: &ScanResult) -> Vec<Report> {
-        scan.violations
+    /// Reports as [`Phase::Classify`] and counts the surviving reports.
+    pub(crate) fn reports_from(&self, scan: &ScanResult, obs: Observer<'_>) -> Vec<Report> {
+        let _span = obs.phase(Phase::Classify);
+        let reports: Vec<Report> = scan
+            .violations
             .iter()
             .filter(|v| self.classify(v))
             .map(|v| Report {
@@ -262,7 +229,9 @@ impl Namer {
                     .map(|c| c.decision(&v.features))
                     .unwrap_or(0.0),
             })
-            .collect()
+            .collect();
+        obs.add(Counter::ReportsEmitted, reports.len() as u64);
+        reports
     }
 
     /// Whether the defect classifier is active.
@@ -273,20 +242,6 @@ impl Namer {
     /// The trained classifier pipeline, if any (for persistence).
     pub fn classifier(&self) -> Option<&Pipeline> {
         self.classifier.as_ref()
-    }
-
-    /// Reassembles a trained system from persisted parts (the counterpart of
-    /// saving a [`Namer`] with [`crate::persist::SavedModel`]). The training
-    /// set and CV metrics are not persisted and come back empty.
-    #[deprecated(note = "use `NamerBuilder::patterns`/`NamerBuilder::model` instead (DESIGN.md §9)")]
-    pub fn from_parts(
-        detector: Detector,
-        classifier: Option<Pipeline>,
-        model_kind: ModelKind,
-        lang: Lang,
-        config: NamerConfig,
-    ) -> Namer {
-        Namer::assemble(detector, classifier, model_kind, lang, config)
     }
 
     /// Internal constructor behind [`crate::session::NamerBuilder`] and the

@@ -2,9 +2,11 @@
 //! name paths, once per file, shared by mining and detection.
 
 use namer_analysis::{AnalysisConfig, FileAnalysis};
+use namer_observe::{Counter, Observer, Phase};
 use namer_patterns::PathSet;
 use namer_syntax::transform::Origins;
 use namer_syntax::{namepath, parse_file, stmt, transform, SourceFile};
+use std::time::Instant;
 
 /// Preprocessing options.
 #[derive(Clone, Copy, Debug)]
@@ -96,9 +98,19 @@ pub fn process_parallel(
     config: &ProcessConfig,
     threads: usize,
 ) -> ProcessedCorpus {
+    process_parallel_observed(files, config, threads, Observer::none())
+}
+
+/// [`process_parallel`] with observability (see [`process_each_observed`]).
+pub fn process_parallel_observed(
+    files: &[SourceFile],
+    config: &ProcessConfig,
+    threads: usize,
+    obs: Observer<'_>,
+) -> ProcessedCorpus {
     let refs: Vec<&SourceFile> = files.iter().collect();
     let mut out = ProcessedCorpus::default();
-    for r in process_each(&refs, config, threads) {
+    for r in process_each_observed(&refs, config, threads, obs) {
         match r {
             Some(f) => out.files.push(f),
             None => out.parse_failures += 1,
@@ -117,9 +129,31 @@ pub fn process_each(
     config: &ProcessConfig,
     threads: usize,
 ) -> Vec<Option<ProcessedFile>> {
+    process_each_observed(files, config, threads, Observer::none())
+}
+
+/// [`process_each`] with observability: the whole pass reports as
+/// [`Phase::Process`] (workers contribute busy time, parse time lands in
+/// [`Phase::Parse`] busy), and each worker flushes its chunk's file /
+/// parse-failure / statement counters once. Chunking never splits a file,
+/// so counter totals are identical at any thread count (DESIGN.md §10).
+pub fn process_each_observed(
+    files: &[&SourceFile],
+    config: &ProcessConfig,
+    threads: usize,
+    obs: Observer<'_>,
+) -> Vec<Option<ProcessedFile>> {
+    let _span = obs.phase(Phase::Process);
     let threads = namer_patterns::resolve_threads(threads).min(files.len().max(1));
     if threads <= 1 {
-        files.iter().map(|f| process_one(f, config)).collect()
+        let start = obs.is_active().then(Instant::now);
+        let out: Vec<Option<ProcessedFile>> =
+            files.iter().map(|f| process_one(f, config, obs)).collect();
+        if let Some(start) = start {
+            obs.busy(Phase::Process, start.elapsed().as_nanos() as u64);
+        }
+        flush_process_counters(&out, obs);
+        out
     } else {
         let chunk_size = files.len().div_ceil(threads);
         crossbeam::scope(|scope| {
@@ -127,10 +161,16 @@ pub fn process_each(
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move |_| {
-                        chunk
+                        let start = obs.is_active().then(Instant::now);
+                        let part: Vec<Option<ProcessedFile>> = chunk
                             .iter()
-                            .map(|f| process_one(f, config))
-                            .collect::<Vec<_>>()
+                            .map(|f| process_one(f, config, obs))
+                            .collect();
+                        if let Some(start) = start {
+                            obs.busy(Phase::Process, start.elapsed().as_nanos() as u64);
+                        }
+                        flush_process_counters(&part, obs);
+                        part
                     })
                 })
                 .collect();
@@ -143,8 +183,40 @@ pub fn process_each(
     }
 }
 
-fn process_one(file: &SourceFile, config: &ProcessConfig) -> Option<ProcessedFile> {
-    let ast = parse_file(file).ok()?;
+/// Flushes one chunk's counters in a single batch (one atomic add per
+/// counter per chunk, not per file).
+fn flush_process_counters(results: &[Option<ProcessedFile>], obs: Observer<'_>) {
+    if !obs.is_active() {
+        return;
+    }
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut stmts = 0u64;
+    for r in results {
+        match r {
+            Some(f) => {
+                ok += 1;
+                stmts += f.stmts.len() as u64;
+            }
+            None => failed += 1,
+        }
+    }
+    obs.add(Counter::FilesProcessed, ok);
+    obs.add(Counter::ParseFailures, failed);
+    obs.add(Counter::StatementsProcessed, stmts);
+}
+
+fn process_one(
+    file: &SourceFile,
+    config: &ProcessConfig,
+    obs: Observer<'_>,
+) -> Option<ProcessedFile> {
+    let parse_start = obs.is_active().then(Instant::now);
+    let parsed = parse_file(file);
+    if let Some(start) = parse_start {
+        obs.busy(Phase::Parse, start.elapsed().as_nanos() as u64);
+    }
+    let ast = parsed.ok()?;
     let analysis = config
         .use_analysis
         .then(|| FileAnalysis::analyze(&ast, file.lang, &config.analysis));
@@ -175,6 +247,7 @@ fn process_one(file: &SourceFile, config: &ProcessConfig) -> Option<ProcessedFil
 #[cfg(test)]
 mod tests {
     use super::*;
+    use namer_observe::PipelineMetrics;
     use namer_syntax::Lang;
 
     fn file(text: &str) -> SourceFile {
@@ -261,5 +334,36 @@ mod tests {
         let d: Vec<u64> = corpus.files[0].stmts.iter().map(|s| s.digest).collect();
         assert_eq!(d[0], d[2]);
         assert_ne!(d[0], d[1]);
+    }
+
+    #[test]
+    fn observed_processing_counts_files_statements_and_failures() {
+        let files = vec![
+            file("x = 1\ny = open(p)\n"),
+            file("def broken(:\n"),
+            file("z = 2\n"),
+        ];
+        // The counter totals are chunk-invariant: same at any thread count.
+        let mut baseline = None;
+        for threads in [1usize, 2, 3] {
+            let metrics = PipelineMetrics::new();
+            let corpus =
+                process_parallel_observed(&files, &ProcessConfig::default(), threads, metrics.observer());
+            let snap = metrics.snapshot();
+            assert_eq!(snap.counter(Counter::FilesProcessed), 2);
+            assert_eq!(snap.counter(Counter::ParseFailures), 1);
+            assert_eq!(
+                snap.counter(Counter::StatementsProcessed) as usize,
+                corpus.stmt_count()
+            );
+            assert_eq!(snap.phase(Phase::Process).calls, 1);
+            assert!(snap.phase(Phase::Parse).busy_nanos > 0);
+            let counters = snap.counters.clone();
+            if let Some(base) = &baseline {
+                assert_eq!(base, &counters, "counters diverge at {threads} threads");
+            } else {
+                baseline = Some(counters);
+            }
+        }
     }
 }

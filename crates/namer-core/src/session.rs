@@ -32,12 +32,16 @@ use crate::error::NamerError;
 use crate::features::LevelCounts;
 use crate::namer::{Namer, NamerConfig, Report};
 use crate::persist::{CacheLoadStatus, SavedModel, ScanCache};
-use crate::process::{process_parallel, ProcessedCorpus};
+use crate::process::{process_parallel_observed, ProcessedCorpus};
 use namer_ml::{ModelKind, Pipeline};
+use namer_observe::{
+    Counter, MetricsSink, MetricsSnapshot, Observer, Phase, PipelineMetrics, Tee,
+};
 use namer_patterns::{resolve_threads, ConfusingPairs, NamePattern, ShardPlan};
 use namer_syntax::{ContentDigest, Lang, SourceFile};
 use std::collections::HashSet;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// File name of the on-disk scan cache inside a session's cache directory.
 pub const CACHE_FILE_NAME: &str = "scan-cache.json";
@@ -67,6 +71,7 @@ pub struct NamerBuilder {
     threads: Option<usize>,
     shard_plan: Option<ShardPlan>,
     cache_dir: Option<PathBuf>,
+    sink: Option<Arc<dyn MetricsSink>>,
 }
 
 impl NamerBuilder {
@@ -163,6 +168,15 @@ impl NamerBuilder {
         self
     }
 
+    /// Streams metrics to a caller-supplied [`MetricsSink`] in addition to
+    /// the session's own collector. Every run still returns its complete
+    /// [`MetricsSnapshot`] via [`DetectOutcome::metrics`]; a custom sink is
+    /// only needed to observe events live (DESIGN.md §10).
+    pub fn metrics(mut self, sink: Arc<dyn MetricsSink>) -> NamerBuilder {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Assembles the session.
     ///
     /// # Errors
@@ -251,7 +265,11 @@ impl NamerBuilder {
                 })
             }
         };
-        Ok(DetectSession { namer, cache })
+        Ok(DetectSession {
+            namer,
+            cache,
+            sink: self.sink,
+        })
     }
 }
 
@@ -272,6 +290,7 @@ struct SessionCache {
 pub struct DetectSession {
     namer: Namer,
     cache: Option<SessionCache>,
+    sink: Option<Arc<dyn MetricsSink>>,
 }
 
 impl DetectSession {
@@ -281,27 +300,63 @@ impl DetectSession {
     /// one, unchanged files reuse their cached per-file state and the
     /// pruned, updated cache is saved back afterwards.
     ///
+    /// Every run collects its own [`MetricsSnapshot`]
+    /// ([`DetectOutcome::metrics`]); counter totals are deterministic across
+    /// any thread/shard combination and across cold/warm cache runs of the
+    /// same inputs (DESIGN.md §10).
+    ///
     /// # Errors
     ///
     /// [`NamerError::Io`] when saving the scan cache fails; cacheless runs
     /// cannot fail.
     pub fn run(&mut self, files: &[SourceFile]) -> Result<DetectOutcome, NamerError> {
+        let collector = PipelineMetrics::new();
+        let result = match self.sink.clone() {
+            Some(user) => {
+                let tee = Tee(&collector, user.as_ref());
+                self.run_observed(files, Observer::new(&tee))
+            }
+            None => self.run_observed(files, Observer::new(&collector)),
+        };
+        result.map(|mut outcome| {
+            outcome.metrics = collector.snapshot();
+            outcome
+        })
+    }
+
+    /// [`DetectSession::run`] against a caller-chosen observer; the whole
+    /// run reports as [`Phase::Detect`].
+    fn run_observed(
+        &mut self,
+        files: &[SourceFile],
+        obs: Observer<'_>,
+    ) -> Result<DetectOutcome, NamerError> {
+        let _span = obs.phase(Phase::Detect);
         let threads = resolve_threads(self.namer.config().threads);
         let plan = self.namer.config().shard_plan;
         let process = self.namer.config().process.clone();
         let Some(state) = self.cache.as_mut() else {
-            let corpus = process_parallel(files, &process, threads);
+            let corpus = process_parallel_observed(files, &process, threads, obs);
             let scan = self
                 .namer
                 .detector
-                .violations_sharded(&corpus, threads, &plan);
-            let reports = self.namer.reports_from(&scan);
+                .violations_sharded_observed(&corpus, threads, &plan, obs);
+            let reports = self.namer.reports_from(&scan, obs);
             return Ok(DetectOutcome {
                 reports,
                 scan,
                 cache: None,
+                metrics: MetricsSnapshot::default(),
             });
         };
+        if matches!(
+            state.status,
+            CacheLoadStatus::Corrupt
+                | CacheLoadStatus::VersionMismatch
+                | CacheLoadStatus::FingerprintMismatch
+        ) {
+            obs.add(Counter::CacheDegradedCold, 1);
+        }
         // Which inputs will scan fresh (recorded before the scan warms the
         // cache): the "changed files" of a CI-style incremental run.
         let changed: Vec<(String, String)> = files
@@ -309,21 +364,25 @@ impl DetectSession {
             .filter(|f| !state.cache.contains(f.content_digest()))
             .map(|f| (f.repo.clone(), f.path.clone()))
             .collect();
-        let inc = self.namer.detector.violations_incremental_sharded(
+        let inc = self.namer.detector.violations_incremental_sharded_observed(
             files,
             &process,
             &mut state.cache,
             threads,
             &plan,
+            obs,
         );
         // Keep the cache bounded by the current input set before saving.
         let live: HashSet<ContentDigest> = files.iter().map(SourceFile::content_digest).collect();
         state.cache.retain_digests(&live);
-        state
-            .cache
-            .save(&state.path)
-            .map_err(|e| NamerError::io(&state.path, e))?;
-        let reports = self.namer.reports_from(&inc.scan);
+        {
+            let _save_span = obs.phase(Phase::CacheSave);
+            state
+                .cache
+                .save(&state.path)
+                .map_err(|e| NamerError::io(&state.path, e))?;
+        }
+        let reports = self.namer.reports_from(&inc.scan, obs);
         Ok(DetectOutcome {
             reports,
             scan: inc.scan,
@@ -333,21 +392,43 @@ impl DetectSession {
                 parse_failures: inc.parse_failures,
                 changed,
             }),
+            metrics: MetricsSnapshot::default(),
         })
     }
 
     /// Runs detection over an already-processed corpus (benchmark and
     /// ablation paths that reuse one preprocessing pass across many scans).
-    /// Never touches the cache.
+    /// Never touches the cache. Like [`DetectSession::run`], the outcome
+    /// carries the run's [`MetricsSnapshot`] (processing-phase counters are
+    /// absent — the corpus arrived preprocessed).
     pub fn run_processed(&self, corpus: &ProcessedCorpus) -> DetectOutcome {
+        let collector = PipelineMetrics::new();
+        let mut outcome = match self.sink.clone() {
+            Some(user) => {
+                let tee = Tee(&collector, user.as_ref());
+                self.run_processed_observed(corpus, Observer::new(&tee))
+            }
+            None => self.run_processed_observed(corpus, Observer::new(&collector)),
+        };
+        outcome.metrics = collector.snapshot();
+        outcome
+    }
+
+    /// [`DetectSession::run_processed`] against a caller-chosen observer.
+    fn run_processed_observed(&self, corpus: &ProcessedCorpus, obs: Observer<'_>) -> DetectOutcome {
+        let _span = obs.phase(Phase::Detect);
         let threads = resolve_threads(self.namer.config().threads);
         let plan = self.namer.config().shard_plan;
-        let scan = self.namer.detector.violations_sharded(corpus, threads, &plan);
-        let reports = self.namer.reports_from(&scan);
+        let scan = self
+            .namer
+            .detector
+            .violations_sharded_observed(corpus, threads, &plan, obs);
+        let reports = self.namer.reports_from(&scan, obs);
         DetectOutcome {
             reports,
             scan,
             cache: None,
+            metrics: MetricsSnapshot::default(),
         }
     }
 
@@ -376,6 +457,10 @@ pub struct DetectOutcome {
     pub scan: ScanResult,
     /// Cache accounting; `None` for cacheless runs.
     pub cache: Option<CacheOutcome>,
+    /// The run's observability snapshot: per-phase timings and pipeline
+    /// counters (DESIGN.md §10). Always populated; counter totals are
+    /// deterministic, timings are not.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Cache accounting of one cached [`DetectSession::run`].

@@ -44,6 +44,9 @@ pub mod shard;
 
 pub use confusion::{diff_word_pairs, ConfusingPairs};
 pub use fptree::FpTree;
-pub use mining::{mine_patterns, resolve_threads, MatchScratch, MiningConfig, PathSet, PatternSet};
+pub use mining::{
+    mine_patterns, mine_patterns_observed, resolve_threads, MatchScratch, MiningConfig, PathSet,
+    PatternSet,
+};
 pub use pattern::{NamePattern, PatternType, Relation, ViolationDetail};
 pub use shard::{merge_shard_hits, PatternShards, ShardHit, ShardPlan};

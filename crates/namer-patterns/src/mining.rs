@@ -5,6 +5,7 @@ use crate::confusion::ConfusingPairs;
 use crate::fptree::{FpTree, NodeRef};
 use crate::pattern::{NamePattern, PatternType, Relation};
 use crate::shard::{PatternShards, ShardPlan};
+use namer_observe::{Counter, Observer, Phase};
 use namer_syntax::namepath::NamePath;
 use namer_syntax::{PrefixId, Sym};
 use std::collections::{HashMap, HashSet};
@@ -142,9 +143,45 @@ pub fn mine_patterns(
     pairs: Option<&ConfusingPairs>,
     config: &MiningConfig,
 ) -> Vec<NamePattern> {
+    mine_patterns_observed(stmts, ty, pairs, config, Observer::none())
+}
+
+/// [`mine_patterns`] with observability: candidate generation and the
+/// `pruneUncommon` recount report as [`Phase::MineCandidates`] /
+/// [`Phase::MinePrune`], and the candidate count lands in
+/// [`Counter::PatternCandidates`]. Candidate generation is serial, so the
+/// counter is identical at any thread/shard combination (DESIGN.md §10).
+///
+/// # Panics
+///
+/// Panics if `ty` is `ConfusingWord` and `pairs` is `None`.
+pub fn mine_patterns_observed(
+    stmts: &[PathSet],
+    ty: PatternType,
+    pairs: Option<&ConfusingPairs>,
+    config: &MiningConfig,
+    obs: Observer<'_>,
+) -> Vec<NamePattern> {
     if ty == PatternType::ConfusingWord {
         assert!(pairs.is_some(), "confusing-word mining needs mined pairs");
     }
+    let candidates = {
+        let _span = obs.phase(Phase::MineCandidates);
+        gen_candidates(stmts, ty, pairs, config)
+    };
+    obs.add(Counter::PatternCandidates, candidates.len() as u64);
+    let _span = obs.phase(Phase::MinePrune);
+    prune_uncommon(candidates, stmts, config)
+}
+
+/// Algorithm 1 lines 1–8: frequency-filter paths, grow the FP tree, and
+/// walk it into candidate patterns (everything before `pruneUncommon`).
+fn gen_candidates(
+    stmts: &[PathSet],
+    ty: PatternType,
+    pairs: Option<&ConfusingPairs>,
+    config: &MiningConfig,
+) -> Vec<NamePattern> {
     // §5.1: drop infrequent name paths before growing the tree.
     let mut freq: HashMap<&NamePath, u64> = HashMap::new();
     for s in stmts {
@@ -208,8 +245,7 @@ pub fn mine_patterns(
         }
     }
 
-    let candidates = gen_patterns(&tree, ty, config);
-    prune_uncommon(candidates, stmts, config)
+    gen_patterns(&tree, ty, config)
 }
 
 /// Algorithm 2: walk the FP tree, emitting (condition, deduction) pairs at

@@ -2,8 +2,9 @@
 # Full local gate: build, every test (incl. the bench_incremental and
 # bench_shard smoke tests), clippy with warnings denied, a quick run of the
 # sharding benchmark (its exit code enforces the byte-identical guarantee),
-# and rustdoc with warnings denied (catches doc drift and broken intra-doc
-# links). CI and pre-push both run this.
+# a CLI metrics smoke (train + scan with --metrics-out, validating the JSON
+# key set of DESIGN.md §10), and rustdoc with warnings denied (catches doc
+# drift and broken intra-doc links). CI and pre-push both run this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,4 +12,34 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p namer-bench --bin bench_shard -- --quick --out /tmp/BENCH_shard_check.json
+
+# Metrics smoke: corpus -> train -> scan --metrics-out, then check the
+# snapshot carries the full §10 key set. scan exits 1 when it finds issues,
+# which the synthetic corpus is built to contain — tolerate exactly that.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+target/release/namer corpus --out "$smoke/playground" --seed 7
+target/release/namer train \
+    --corpus "$smoke/playground/repos" \
+    --commits "$smoke/playground/fixes" \
+    --labels "$smoke/playground/labels.tsv" \
+    -o "$smoke/model.json"
+scan_rc=0
+target/release/namer scan --model "$smoke/model.json" \
+    --metrics-out "$smoke/metrics.json" \
+    "$smoke/playground/repos" >/dev/null || scan_rc=$?
+if [ "$scan_rc" -gt 1 ]; then
+    echo "check.sh: metrics smoke scan failed (exit $scan_rc)" >&2
+    exit "$scan_rc"
+fi
+for key in schema_version counters phases shard_busy_nanos shard_imbalance \
+           files_scanned statements_scanned pattern_matches cache_hits \
+           cache_degraded_cold detect process scan assemble classify; do
+    grep -q "\"$key\"" "$smoke/metrics.json" || {
+        echo "check.sh: metrics.json missing key \"$key\"" >&2
+        exit 1
+    }
+done
+echo "metrics smoke: ok ($smoke/metrics.json validated)"
+
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

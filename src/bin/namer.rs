@@ -14,17 +14,22 @@
 //! (TSV: `path<TAB>line<TAB>true|false`), and writes a JSON model. `scan`
 //! loads the model into a [`NamerBuilder`] session and prints reports with
 //! rendered fixes; it exits with status 1 when issues are found, so it can
-//! gate CI. All commands take `--threads N` (file axis) and
-//! `--pattern-shards N` (pattern axis, DESIGN.md §9); output is
-//! byte-identical at any combination.
+//! gate CI. Every command accepts the shared runtime options ([`RuntimeOpts`]):
+//! `--threads N` (file axis), `--pattern-shards N` (pattern axis, DESIGN.md
+//! §9), `--cache-dir DIR` (scan cache, DESIGN.md §8), `--metrics-out FILE`
+//! (per-phase timings + counters as JSON, DESIGN.md §10), and `--timings`
+//! (human-readable timing table on stderr). Output is byte-identical at any
+//! threads × shards combination.
 
 use namer::core::{fix_line, Namer, NamerBuilder, NamerConfig, NamerError, SavedModel, Violation};
 use namer::corpus::{CorpusConfig, Generator};
+use namer::observe::{Counter, MetricsSnapshot, Observer, PipelineMetrics};
 use namer::patterns::{MiningConfig, ShardPlan};
 use namer::syntax::{Lang, SourceFile};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,18 +58,22 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
-         USAGE:\n  namer demo  [--java] [--threads N] [--pattern-shards N] [-o MODEL]\n  namer corpus [--java] [--seed N] --out DIR\n  namer train --corpus DIR \
+         USAGE:\n  namer demo  [--java] [-o MODEL] [runtime options]\n  namer corpus [--java] [--seed N] --out DIR [runtime options]\n  namer train --corpus DIR \
          [--commits DIR] [--labels TSV] [--lang python|java]\n              \
-         [--no-classifier] [--no-analysis] [--threads N] [--pattern-shards N] [-o MODEL]\n  namer scan  --model MODEL [--explain] [--format sarif] [--threads N]\n              [--pattern-shards N] [--cache-dir DIR] [--changed-only] PATH...\n\n\
-         `--threads 0` (the default) uses all available cores; results are\n\
-         identical at any thread count. `--pattern-shards N` additionally\n\
-         splits the pattern set into N prefix-disjoint shards matched\n\
-         concurrently (1 = off, the default; 0 = one shard per core);\n\
-         output is byte-identical at any shard count.\n\n\
-         `--cache-dir DIR` caches per-file scan state between runs, so\n\
-         unchanged files are not re-scanned; output stays byte-identical to\n\
-         a full scan. `--changed-only` (requires --cache-dir) prints reports\n\
-         only for files whose content changed since the cached run.\n"
+         [--no-classifier] [--no-analysis] [-o MODEL] [runtime options]\n  namer scan  --model MODEL [--explain] [--format sarif] [--changed-only]\n              [runtime options] PATH...\n\n\
+         Runtime options (every command):\n  \
+         --threads N         worker threads (0 = all cores, the default)\n  \
+         --pattern-shards N  prefix-disjoint pattern shards (1 = off; 0 = per core)\n  \
+         --cache-dir DIR     per-file scan cache between runs (scan only)\n  \
+         --metrics-out FILE  write per-phase timings + counters as JSON\n  \
+         --timings           print a human-readable timing table to stderr\n\n\
+         Threads and shards are scheduling knobs only: output is\n\
+         byte-identical at any threads × shards combination, and so are the\n\
+         metrics counters (timings vary run to run). `--cache-dir DIR`\n\
+         caches per-file scan state between runs, so unchanged files are\n\
+         not re-scanned; output stays byte-identical to a full scan.\n\
+         `--changed-only` (requires --cache-dir) prints reports only for\n\
+         files whose content changed since the cached run.\n"
     );
 }
 
@@ -79,25 +88,68 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-/// `--threads N` (0 = all available cores, the default).
-fn threads_from_args(args: &[String]) -> Result<usize, NamerError> {
-    match flag_value(args, "--threads") {
-        Some(s) => s
-            .parse()
-            .map_err(|_| NamerError::Usage(format!("bad --threads {s:?}"))),
-        None => Ok(0),
-    }
+/// Runtime options shared by every subcommand, parsed once by
+/// [`RuntimeOpts::parse`] so `--threads` / `--pattern-shards` /
+/// `--cache-dir` / `--metrics-out` / `--timings` mean the same thing
+/// everywhere.
+struct RuntimeOpts {
+    /// `--threads N` (0 = all available cores, the default).
+    threads: usize,
+    /// `--pattern-shards N` (1 = unsharded, the default; 0 = one shard per
+    /// core).
+    shard_plan: ShardPlan,
+    /// `--cache-dir DIR`: on-disk scan cache (used by `scan`; accepted and
+    /// ignored elsewhere).
+    cache_dir: Option<String>,
+    /// `--metrics-out FILE`: write the run's [`MetricsSnapshot`] as JSON.
+    metrics_out: Option<PathBuf>,
+    /// `--timings`: print the human-readable timing table to stderr.
+    timings: bool,
 }
 
-/// `--pattern-shards N` (1 = unsharded, the default; 0 = one shard per
-/// core).
-fn shard_plan_from_args(args: &[String]) -> Result<ShardPlan, NamerError> {
-    match flag_value(args, "--pattern-shards") {
-        Some(s) => s
-            .parse()
-            .map(ShardPlan::with_shards)
-            .map_err(|_| NamerError::Usage(format!("bad --pattern-shards {s:?}"))),
-        None => Ok(ShardPlan::unsharded()),
+impl RuntimeOpts {
+    fn parse(args: &[String]) -> Result<RuntimeOpts, NamerError> {
+        let threads = match flag_value(args, "--threads") {
+            Some(s) => s
+                .parse()
+                .map_err(|_| NamerError::Usage(format!("bad --threads {s:?}")))?,
+            None => 0,
+        };
+        let shard_plan = match flag_value(args, "--pattern-shards") {
+            Some(s) => s
+                .parse()
+                .map(ShardPlan::with_shards)
+                .map_err(|_| NamerError::Usage(format!("bad --pattern-shards {s:?}")))?,
+            None => ShardPlan::unsharded(),
+        };
+        Ok(RuntimeOpts {
+            threads,
+            shard_plan,
+            cache_dir: flag_value(args, "--cache-dir").map(str::to_owned),
+            metrics_out: flag_value(args, "--metrics-out").map(PathBuf::from),
+            timings: has_flag(args, "--timings"),
+        })
+    }
+
+    /// Applies the session-relevant options to a builder.
+    fn apply(&self, builder: NamerBuilder) -> NamerBuilder {
+        let builder = builder.threads(self.threads).shard_plan(self.shard_plan);
+        match &self.cache_dir {
+            Some(dir) => builder.cache_dir(dir),
+            None => builder,
+        }
+    }
+
+    /// Emits a run's metrics per `--metrics-out` / `--timings`.
+    fn emit(&self, snapshot: &MetricsSnapshot) -> Result<(), NamerError> {
+        if let Some(path) = &self.metrics_out {
+            write_file(path, snapshot.to_json())?;
+            eprintln!("metrics written to {}", path.display());
+        }
+        if self.timings {
+            eprint!("{}", snapshot.render_human());
+        }
+        Ok(())
     }
 }
 
@@ -149,10 +201,11 @@ fn make_dirs(path: impl AsRef<Path>) -> Result<(), NamerError> {
 
 fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
     let lang = lang_from_args(args);
+    let opts = RuntimeOpts::parse(args)?;
     let out = flag_value(args, "-o").unwrap_or("namer-model.json");
     let config = NamerConfig {
-        threads: threads_from_args(args)?,
-        shard_plan: shard_plan_from_args(args)?,
+        threads: opts.threads,
+        shard_plan: opts.shard_plan,
         ..default_config()
     };
     println!("generating a synthetic Big Code corpus ({lang})…");
@@ -163,7 +216,10 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
         .iter()
         .map(|c| (c.before.clone(), c.after.clone()))
         .collect();
-    let namer = Namer::train(
+    // One collector spans training and detection, so --metrics-out covers
+    // the whole demo pipeline.
+    let collector = Arc::new(PipelineMetrics::new());
+    let namer = Namer::train_observed(
         &corpus.files,
         &commits,
         |v: &Violation| {
@@ -172,6 +228,7 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
                 .is_some()
         },
         &config,
+        Observer::new(collector.as_ref()),
     );
     println!(
         "mined {} patterns / {} confusing pairs; classifier: {}",
@@ -179,7 +236,10 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
         namer.detector.pairs.len(),
         namer.model_kind,
     );
-    let mut session = NamerBuilder::new().namer(namer).build()?;
+    let mut session = NamerBuilder::new()
+        .namer(namer)
+        .metrics(collector.clone())
+        .build()?;
     let outcome = session.run(&corpus.files)?;
     for r in outcome.reports.iter().take(10) {
         println!("  {r}");
@@ -187,6 +247,7 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
     println!("… {} reports total", outcome.reports.len());
     write_file(out, SavedModel::from_namer(session.namer()).to_json())?;
     println!("model saved to {out}");
+    opts.emit(&collector.snapshot())?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -197,6 +258,9 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
 /// `labels.tsv` that can stand in for the paper's manual annotation.
 fn cmd_corpus(args: &[String]) -> Result<ExitCode, NamerError> {
     let lang = lang_from_args(args);
+    // Corpus generation runs no pipeline stage; the runtime options are
+    // still parsed (and validated) for a uniform CLI.
+    let opts = RuntimeOpts::parse(args)?;
     let out = PathBuf::from(
         flag_value(args, "--out")
             .ok_or_else(|| NamerError::Usage("`corpus` needs --out DIR".to_owned()))?,
@@ -253,6 +317,9 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, NamerError> {
         out.display(),
         match lang { Lang::Python => "python", Lang::Java => "java" },
     );
+    // Nothing ran, but an explicit --metrics-out still gets a (zeroed)
+    // snapshot rather than silently no file.
+    opts.emit(&PipelineMetrics::new().snapshot())?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -278,9 +345,10 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
     };
     println!("commit pairs: {}", commits.len());
 
+    let opts = RuntimeOpts::parse(args)?;
     let mut config = default_config();
-    config.threads = threads_from_args(args)?;
-    config.shard_plan = shard_plan_from_args(args)?;
+    config.threads = opts.threads;
+    config.shard_plan = opts.shard_plan;
     if has_flag(args, "--no-analysis") {
         config.process.use_analysis = false;
     }
@@ -295,11 +363,13 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
         }
     }
 
-    let namer = Namer::train(
+    let collector = PipelineMetrics::new();
+    let namer = Namer::train_observed(
         &files,
         &commits,
         |v: &Violation| labels.get(&(v.path.clone(), v.line)).copied().unwrap_or(false),
         &config,
+        collector.observer(),
     );
     println!(
         "mined {} patterns / {} confusing pairs{}",
@@ -313,6 +383,7 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
     );
     write_file(out, SavedModel::from_namer(&namer).to_json())?;
     println!("model saved to {out}");
+    opts.emit(&collector.snapshot())?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -336,6 +407,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
             || a == "--threads"
             || a == "--pattern-shards"
             || a == "--cache-dir"
+            || a == "--metrics-out"
         {
             skip_next = true;
             continue;
@@ -368,42 +440,47 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
 
     let explain = has_flag(args, "--explain");
     let changed_only = has_flag(args, "--changed-only");
-    let cache_dir = flag_value(args, "--cache-dir");
-    if changed_only && cache_dir.is_none() {
+    let opts = RuntimeOpts::parse(args)?;
+    if changed_only && opts.cache_dir.is_none() {
         return Err(NamerError::Usage(
             "--changed-only requires --cache-dir".to_owned(),
         ));
     }
 
-    let mut builder = NamerBuilder::new()
-        .model(model)
-        .config(default_config())
-        .threads(threads_from_args(args)?)
-        .shard_plan(shard_plan_from_args(args)?);
-    if let Some(dir) = cache_dir {
-        builder = builder.cache_dir(dir);
-    }
-    let mut session = builder.build()?;
+    let mut session = opts
+        .apply(NamerBuilder::new().model(model).config(default_config()))
+        .build()?;
     if let Some(status) = session.cache_status() {
         println!("scan cache: {status}");
     }
 
     let outcome = session.run(&files)?;
     let mut reports = outcome.reports;
-    if let Some(cache) = &outcome.cache {
+    if outcome.cache.is_some() {
+        // Cache accounting straight from the pipeline's own metrics, so the
+        // summary can never drift from what the scan actually did.
+        let m = &outcome.metrics;
+        let degraded = if m.counter(Counter::CacheDegradedCold) > 0 {
+            ", cache degraded to cold"
+        } else {
+            ""
+        };
         println!(
-            "scanned {} file(s): {} reused from cache, {} fresh",
+            "scanned {} file(s): {} cache hit(s), {} miss(es), {} known parse failure(s){}",
             files.len(),
-            cache.reused,
-            cache.fresh
+            m.counter(Counter::CacheHits),
+            m.counter(Counter::CacheMisses),
+            m.counter(Counter::CacheParseFailures),
+            degraded
         );
-        if changed_only {
-            let changed: HashSet<(String, String)> = cache.changed.iter().cloned().collect();
-            reports.retain(|r| {
-                changed.contains(&(r.violation.repo.clone(), r.violation.path.clone()))
-            });
-        }
     }
+    if let (true, Some(cache)) = (changed_only, &outcome.cache) {
+        let changed: HashSet<(String, String)> = cache.changed.iter().cloned().collect();
+        reports.retain(|r| {
+            changed.contains(&(r.violation.repo.clone(), r.violation.path.clone()))
+        });
+    }
+    opts.emit(&outcome.metrics)?;
     let namer = session.namer();
 
     if flag_value(args, "--format") == Some("sarif") {

@@ -20,6 +20,8 @@
 //!   dataset, with ground-truth issue injection.
 //! * [`core`] — the end-to-end Namer pipeline: mining → matching →
 //!   classification → reports.
+//! * [`observe`] — pipeline observability: counters, phase timings, and the
+//!   `MetricsSink` trait behind `--metrics-out` (DESIGN.md §10).
 //!
 //! ## Quickstart
 //!
@@ -61,5 +63,6 @@ pub use namer_corpus as corpus;
 pub use namer_datalog as datalog;
 pub use namer_ml as ml;
 pub use namer_nn as nn;
+pub use namer_observe as observe;
 pub use namer_patterns as patterns;
 pub use namer_syntax as syntax;

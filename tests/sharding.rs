@@ -4,8 +4,7 @@
 //! The contract under test: a scan's output is a pure function of the model
 //! and the input files — worker threads and pattern shards are scheduling
 //! knobs only. Every (file-threads × pattern-shards) grid point must produce
-//! byte-identical reports, and the session API must agree with the
-//! deprecated entry points it replaces.
+//! byte-identical reports.
 
 use namer::core::{CacheLoadStatus, Namer, NamerBuilder, NamerConfig, NamerError, SavedModel};
 use namer::corpus::{CorpusConfig, Generator};
@@ -92,28 +91,6 @@ fn report_bytes_are_identical_across_the_thread_shard_grid() {
             );
         }
     }
-}
-
-#[test]
-#[allow(deprecated)]
-fn session_run_matches_deprecated_detect() {
-    let (files, json) = trained_model(2022);
-    let namer = SavedModel::from_json(&json)
-        .expect("model parses")
-        .into_namer(config());
-    let old: Vec<String> = namer.detect(&files).iter().map(|r| r.to_string()).collect();
-    let new: Vec<String> = NamerBuilder::new()
-        .model(SavedModel::from_json(&json).expect("model parses"))
-        .config(config())
-        .build()
-        .expect("saved source builds")
-        .run(&files)
-        .expect("cacheless run")
-        .reports
-        .iter()
-        .map(|r| r.to_string())
-        .collect();
-    assert_eq!(old, new);
 }
 
 #[test]
