@@ -15,6 +15,7 @@
 
 use namer_bench::throughput::{measure, measure_overhead};
 use namer_bench::Scale;
+use namer_core::{atomic_write, RealFs};
 use namer_patterns::resolve_threads;
 use namer_syntax::Lang;
 use std::process::ExitCode;
@@ -104,7 +105,7 @@ fn main() -> ExitCode {
     bench.overhead = Some(overhead);
 
     let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
-    if let Err(e) = std::fs::write(out, json + "\n") {
+    if let Err(e) = atomic_write(&RealFs, out.as_ref(), (json + "\n").as_bytes()) {
         eprintln!("error: writing {out}: {e}");
         return ExitCode::from(2);
     }

@@ -17,6 +17,7 @@
 
 use namer_bench::shard::measure_shard;
 use namer_bench::Scale;
+use namer_core::{atomic_write, RealFs};
 use namer_syntax::Lang;
 use std::process::ExitCode;
 
@@ -116,7 +117,7 @@ fn main() -> ExitCode {
     );
 
     let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
-    if let Err(e) = std::fs::write(out, json + "\n") {
+    if let Err(e) = atomic_write(&RealFs, out.as_ref(), (json + "\n").as_bytes()) {
         eprintln!("error: writing {out}: {e}");
         return ExitCode::from(2);
     }

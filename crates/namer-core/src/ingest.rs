@@ -1,0 +1,470 @@
+//! Fault-tolerant corpus ingestion (DESIGN.md §11).
+//!
+//! Mining and scanning Big Code means reading corpora salted with hostile
+//! inputs: unreadable files, non-UTF-8 sources, dangling and cyclic
+//! symlinks. One bad file must never abort a million-file run — the paper's
+//! pipeline (§5) and DeepBugs' 150k-file extraction both depend on
+//! degrading gracefully. [`CorpusReader`] is that contract, made concrete:
+//!
+//! * every read goes through a [`Vfs`] with bounded [`RetryPolicy`] retries
+//!   for transient errors;
+//! * files that still fail — unreadable, non-UTF-8, dangling — are
+//!   **quarantined**: skipped, recorded in the per-run [`Diagnostics`], and
+//!   counted into [`Counter::QuarantinedFiles`], while every healthy file
+//!   produces byte-identical results to a fault-free run;
+//! * directory traversal tracks canonical paths, so cyclic symlinks are
+//!   skipped with a diagnostic instead of hanging the scan forever.
+
+use crate::error::NamerError;
+use crate::vfs::{with_retry_counted, RetryPolicy, Vfs};
+use namer_observe::{Counter, Observer};
+use namer_syntax::{Lang, SourceFile};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a file was quarantined instead of ingested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// The file could not be read (permission denied, vanished mid-scan,
+    /// dangling symlink, …) after exhausting retries.
+    Unreadable,
+    /// The file's bytes are not valid UTF-8.
+    NonUtf8,
+    /// A symlinked directory resolved to an already-visited location;
+    /// descending would revisit (or loop over) the same tree.
+    SymlinkCycle,
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::Unreadable => write!(f, "unreadable"),
+            QuarantineReason::NonUtf8 => write!(f, "not valid UTF-8"),
+            QuarantineReason::SymlinkCycle => write!(f, "symlink cycle"),
+        }
+    }
+}
+
+/// One quarantined input.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quarantined {
+    /// The offending path.
+    pub path: PathBuf,
+    /// Why it was skipped.
+    pub reason: QuarantineReason,
+    /// The underlying error text (empty for cycle skips).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Quarantined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.reason)?;
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-run robustness report: what was skipped and what was retried.
+/// Produced by [`CorpusReader::finish`], seeded into a session via
+/// `NamerBuilder::ingest_diagnostics`, and surfaced on
+/// `DetectOutcome::diagnostics`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Inputs skipped with their reasons, sorted by path.
+    pub quarantined: Vec<Quarantined>,
+    /// Transient I/O errors recovered by retrying.
+    pub io_retries: u64,
+}
+
+impl Diagnostics {
+    /// `true` when nothing was skipped or retried.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.io_retries == 0
+    }
+
+    /// Folds another report into this one (re-sorting the quarantine
+    /// list).
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.quarantined.extend(other.quarantined);
+        self.quarantined.sort_by(|a, b| a.path.cmp(&b.path));
+        self.io_retries += other.io_retries;
+    }
+
+    /// Human-readable multi-line summary (empty string when clean) — the
+    /// CLI prints this after the scan summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if !self.quarantined.is_empty() {
+            out.push_str(&format!(
+                "quarantined {} file(s):\n",
+                self.quarantined.len()
+            ));
+            for q in &self.quarantined {
+                out.push_str(&format!("  {q}\n"));
+            }
+        }
+        if self.io_retries > 0 {
+            out.push_str(&format!(
+                "recovered {} transient I/O error(s) by retrying\n",
+                self.io_retries
+            ));
+        }
+        out
+    }
+}
+
+/// Fault-tolerant reader for corpora, commit-pair directories, and single
+/// source files — the ingestion side of the CLI's `train` and `scan`,
+/// reusable (and fault-injectable) as a library.
+pub struct CorpusReader<'a> {
+    vfs: &'a dyn Vfs,
+    retry: RetryPolicy,
+    obs: Observer<'a>,
+    diag: Diagnostics,
+}
+
+impl<'a> CorpusReader<'a> {
+    /// A reader over `vfs` with the default [`RetryPolicy`] and no
+    /// observer.
+    pub fn new(vfs: &'a dyn Vfs) -> CorpusReader<'a> {
+        CorpusReader {
+            vfs,
+            retry: RetryPolicy::default(),
+            obs: Observer::default(),
+            diag: Diagnostics::default(),
+        }
+    }
+
+    /// Overrides the retry policy.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> CorpusReader<'a> {
+        self.retry = retry;
+        self
+    }
+
+    /// Streams [`Counter::QuarantinedFiles`] / [`Counter::IoRetries`] into
+    /// `obs` as ingestion proceeds.
+    pub fn observed(mut self, obs: Observer<'a>) -> CorpusReader<'a> {
+        self.obs = obs;
+        self
+    }
+
+    /// The diagnostics accumulated so far.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diag
+    }
+
+    /// Consumes the reader, returning the final sorted [`Diagnostics`].
+    pub fn finish(mut self) -> Diagnostics {
+        self.diag.quarantined.sort_by(|a, b| a.path.cmp(&b.path));
+        self.diag
+    }
+
+    fn retrying<T>(&mut self, op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let (result, retries) = with_retry_counted(self.retry, op);
+        if retries > 0 {
+            self.diag.io_retries += retries;
+            self.obs.add(Counter::IoRetries, retries);
+        }
+        result
+    }
+
+    fn quarantine(&mut self, path: &Path, reason: QuarantineReason, detail: String) {
+        self.diag.quarantined.push(Quarantined {
+            path: path.to_path_buf(),
+            reason,
+            detail,
+        });
+        self.obs.add(Counter::QuarantinedFiles, 1);
+    }
+
+    /// Reads a file the run can live without: transient errors are
+    /// retried; a file that still fails is quarantined and `None` is
+    /// returned so the caller skips it.
+    pub fn read_text(&mut self, path: &Path) -> Option<String> {
+        let vfs = self.vfs;
+        match self.retrying(|| vfs.read_to_string(path)) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                let reason = if e.kind() == io::ErrorKind::InvalidData {
+                    QuarantineReason::NonUtf8
+                } else {
+                    QuarantineReason::Unreadable
+                };
+                self.quarantine(path, reason, e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Reads a file the run *cannot* live without (a model, a labels TSV):
+    /// transient errors are retried, anything else is a hard
+    /// [`NamerError::Io`].
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::Io`] when the file stays unreadable.
+    pub fn read_required(&mut self, path: &Path) -> Result<String, NamerError> {
+        let vfs = self.vfs;
+        self.retrying(|| vfs.read_to_string(path))
+            .map_err(|e| NamerError::io(path, e))
+    }
+
+    /// Recursively collects sources of `lang` under `root`; the first path
+    /// component below `root` names the repository. Unreadable and
+    /// non-UTF-8 files are quarantined, symlink cycles are skipped with a
+    /// diagnostic, and the output is sorted by `(repo, path)` — identical
+    /// to a fault-free collection of the healthy subset.
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::Io`] only when `root` itself cannot be listed; any
+    /// deeper failure degrades to a quarantine entry.
+    pub fn collect_sources(
+        &mut self,
+        root: &Path,
+        lang: Lang,
+    ) -> Result<Vec<SourceFile>, NamerError> {
+        let ext = match lang {
+            Lang::Python => "py",
+            Lang::Java => "java",
+        };
+        let vfs = self.vfs;
+        let root_canon = self
+            .retrying(|| vfs.canonicalize(root))
+            .map_err(|e| NamerError::io(root, e))?;
+        let mut visited: HashSet<PathBuf> = HashSet::from([root_canon]);
+        let mut out = Vec::new();
+        let mut stack = vec![root.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            let entries = match self.retrying(|| vfs.read_dir(&dir)) {
+                Ok(entries) => entries,
+                Err(e) if dir == root => return Err(NamerError::io(&dir, e)),
+                Err(e) => {
+                    self.quarantine(&dir, QuarantineReason::Unreadable, e.to_string());
+                    continue;
+                }
+            };
+            for entry in entries {
+                if entry.is_dir {
+                    match self.retrying(|| vfs.canonicalize(&entry.path)) {
+                        Ok(canon) => {
+                            if visited.insert(canon) {
+                                stack.push(entry.path);
+                            } else if entry.is_symlink {
+                                self.quarantine(
+                                    &entry.path,
+                                    QuarantineReason::SymlinkCycle,
+                                    String::new(),
+                                );
+                            }
+                            // A revisited *non*-symlink directory cannot
+                            // occur in a tree; nothing to report.
+                        }
+                        Err(e) => {
+                            self.quarantine(&entry.path, QuarantineReason::Unreadable, e.to_string())
+                        }
+                    }
+                } else if entry.path.extension().and_then(|e| e.to_str()) == Some(ext) {
+                    let Some(text) = self.read_text(&entry.path) else {
+                        continue;
+                    };
+                    let rel = entry.path.strip_prefix(root).unwrap_or(&entry.path);
+                    let repo = rel
+                        .components()
+                        .next()
+                        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "repo".to_owned());
+                    out.push(SourceFile::new(repo, rel.display().to_string(), text, lang));
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.repo.clone(), a.path.clone()).cmp(&(b.repo.clone(), b.path.clone())));
+        Ok(out)
+    }
+
+    /// Reads `<name>.before` / `<name>.after` pairs from `dir`, sorted.
+    /// A pair with an unreadable member is quarantined and dropped whole.
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::Io`] when `dir` itself cannot be listed.
+    pub fn collect_commits(&mut self, dir: &Path) -> Result<Vec<(String, String)>, NamerError> {
+        let vfs = self.vfs;
+        let entries = self
+            .retrying(|| vfs.read_dir(dir))
+            .map_err(|e| NamerError::io(dir, e))?;
+        let mut befores: HashMap<String, String> = HashMap::new();
+        let mut afters: HashMap<String, String> = HashMap::new();
+        for entry in entries {
+            let Some(name) = entry.path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(stem) = name.strip_suffix(".before") {
+                if let Some(text) = self.read_text(&entry.path) {
+                    befores.insert(stem.to_owned(), text);
+                }
+            } else if let Some(stem) = name.strip_suffix(".after") {
+                if let Some(text) = self.read_text(&entry.path) {
+                    afters.insert(stem.to_owned(), text);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (stem, before) in befores {
+            if let Some(after) = afters.remove(&stem) {
+                out.push((before, after));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{Fault, FaultSchedule, FaultVfs, RealFs};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "namer-ingest-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn write(dir: &Path, rel: &str, contents: &[u8]) {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, contents).unwrap();
+    }
+
+    #[test]
+    fn collects_sorted_sources_with_repo_split() {
+        let dir = scratch("sorted");
+        write(&dir, "r2/b.py", b"x = 2\n");
+        write(&dir, "r1/sub/a.py", b"x = 1\n");
+        write(&dir, "r1/readme.txt", b"not source\n");
+        let mut reader = CorpusReader::new(&RealFs);
+        let files = reader.collect_sources(&dir, Lang::Python).unwrap();
+        let ids: Vec<_> = files.iter().map(|f| (f.repo.as_str(), f.path.as_str())).collect();
+        assert_eq!(ids, [("r1", "r1/sub/a.py"), ("r2", "r2/b.py")]);
+        assert!(reader.finish().is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_utf8_and_unreadable_files_are_quarantined() {
+        let dir = scratch("bad");
+        write(&dir, "r/good.py", b"x = 1\n");
+        write(&dir, "r/bad.py", b"\xc3\x28\xff\xfe");
+        write(&dir, "r/locked.py", b"y = 2\n");
+        let vfs = FaultVfs::real(
+            FaultSchedule::new().on_path("locked.py", Fault::Err(io::ErrorKind::PermissionDenied)),
+        );
+        let mut reader = CorpusReader::new(&vfs);
+        let files = reader.collect_sources(&dir, Lang::Python).unwrap();
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].path, "r/good.py");
+        let diag = reader.finish();
+        assert_eq!(diag.quarantined.len(), 2);
+        assert_eq!(diag.quarantined[0].reason, QuarantineReason::NonUtf8);
+        assert_eq!(diag.quarantined[1].reason, QuarantineReason::Unreadable);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried_not_quarantined() {
+        let dir = scratch("flaky");
+        write(&dir, "r/flaky.py", b"x = 1\n");
+        let vfs = FaultVfs::real(
+            FaultSchedule::new().on_path("flaky.py", Fault::Err(io::ErrorKind::Interrupted)),
+        );
+        let mut reader =
+            CorpusReader::new(&vfs).retry_policy(crate::vfs::RetryPolicy::immediate(3));
+        let files = reader.collect_sources(&dir, Lang::Python).unwrap();
+        assert_eq!(files.len(), 1);
+        let diag = reader.finish();
+        assert!(diag.quarantined.is_empty());
+        assert_eq!(diag.io_retries, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlink_cycles_are_skipped_with_diagnostic() {
+        let dir = scratch("cycle");
+        write(&dir, "r/a.py", b"x = 1\n");
+        std::os::unix::fs::symlink(&dir, dir.join("r/loop")).unwrap();
+        let mut reader = CorpusReader::new(&RealFs);
+        let files = reader.collect_sources(&dir, Lang::Python).unwrap();
+        assert_eq!(files.len(), 1);
+        let diag = reader.finish();
+        assert_eq!(diag.quarantined.len(), 1);
+        assert_eq!(diag.quarantined[0].reason, QuarantineReason::SymlinkCycle);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_root_is_a_hard_error() {
+        let dir = scratch("gone").join("never-created");
+        let mut reader = CorpusReader::new(&RealFs);
+        assert!(matches!(
+            reader.collect_sources(&dir, Lang::Python),
+            Err(NamerError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn commit_pairs_with_unreadable_members_are_dropped_whole() {
+        let dir = scratch("commits");
+        write(&dir, "0.before", b"a = 1\n");
+        write(&dir, "0.after", b"a = 2\n");
+        write(&dir, "1.before", b"b = 1\n");
+        write(&dir, "1.after", b"b = 2\n");
+        let vfs = FaultVfs::real(
+            FaultSchedule::new().on_path("1.after", Fault::Err(io::ErrorKind::PermissionDenied)),
+        );
+        let mut reader = CorpusReader::new(&vfs);
+        let pairs = reader.collect_commits(&dir).unwrap();
+        assert_eq!(pairs, vec![("a = 1\n".to_owned(), "a = 2\n".to_owned())]);
+        assert_eq!(reader.finish().quarantined.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diagnostics_merge_and_render() {
+        let mut a = Diagnostics {
+            quarantined: vec![Quarantined {
+                path: PathBuf::from("b.py"),
+                reason: QuarantineReason::NonUtf8,
+                detail: "stream did not contain valid UTF-8".to_owned(),
+            }],
+            io_retries: 1,
+        };
+        let b = Diagnostics {
+            quarantined: vec![Quarantined {
+                path: PathBuf::from("a.py"),
+                reason: QuarantineReason::Unreadable,
+                detail: String::new(),
+            }],
+            io_retries: 2,
+        };
+        a.merge(b);
+        assert_eq!(a.io_retries, 3);
+        assert_eq!(a.quarantined[0].path, PathBuf::from("a.py"));
+        let text = a.render_human();
+        assert!(text.contains("quarantined 2 file(s)"));
+        assert!(text.contains("not valid UTF-8"));
+        assert!(text.contains("3 transient I/O error(s)"));
+        assert!(Diagnostics::default().render_human().is_empty());
+    }
+}

@@ -21,7 +21,13 @@
 //! * [`persist`] — model snapshots ([`SavedModel`]) and the digest-keyed
 //!   [`ScanCache`] behind incremental runs;
 //! * [`error`] — [`NamerError`], the unified error type of the builder,
-//!   session, and CLI paths.
+//!   session, and CLI paths;
+//! * [`vfs`] — the virtual-filesystem seam ([`Vfs`], [`RealFs`], the
+//!   fault-injecting [`FaultVfs`]), crash-safe [`atomic_write`], and the
+//!   bounded [`RetryPolicy`] (DESIGN.md §11);
+//! * [`ingest`](mod@ingest) — fault-tolerant corpus ingestion:
+//!   [`CorpusReader`] quarantines unreadable / non-UTF-8 inputs and
+//!   symlink cycles into per-run [`Diagnostics`] instead of aborting.
 //!
 //! The pre-session `Namer::detect` / `detect_processed` /
 //! `detect_incremental` / `from_parts` entry points have been removed; the
@@ -37,11 +43,13 @@ pub mod detector;
 pub mod error;
 pub mod features;
 pub mod fix;
+pub mod ingest;
 pub mod namer;
 pub mod persist;
 pub mod process;
 pub mod sarif;
 pub mod session;
+pub mod vfs;
 
 pub use detector::{
     Detector, FileScanState, IncrementalScan, RawHit, ScanResult, Violation,
@@ -58,4 +66,8 @@ pub use process::{
     process, process_each, process_each_observed, process_parallel, process_parallel_observed,
     ProcessConfig, ProcessedCorpus,
 };
+pub use ingest::{CorpusReader, Diagnostics, Quarantined, QuarantineReason};
 pub use session::{CacheOutcome, DetectOutcome, DetectSession, NamerBuilder};
+pub use vfs::{
+    atomic_write, Fault, FaultSchedule, FaultVfs, RealFs, RetryPolicy, Vfs, VfsEntry,
+};

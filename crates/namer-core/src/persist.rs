@@ -13,8 +13,10 @@
 //! correct — scan.
 
 use crate::detector::{Detector, FileScanState};
+use crate::error::NamerError;
 use crate::features::LevelCounts;
 use crate::namer::{Namer, NamerConfig};
+use crate::vfs::{atomic_write, RealFs, Vfs};
 use namer_ml::{ModelKind, Pipeline};
 use namer_patterns::{ConfusingPairs, NamePattern};
 use namer_syntax::{ContentDigest, Lang};
@@ -117,6 +119,40 @@ impl SavedModel {
             return Err(PersistError::UnsupportedVersion(model.version));
         }
         Ok(model)
+    }
+
+    /// Writes the model to `path` crash-safely through `vfs` (write-temp +
+    /// fsync + atomic rename, DESIGN.md §11): a process killed mid-save
+    /// leaves either the previous model or the new one, never a
+    /// truncation.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error when the write or rename fails.
+    pub fn save_via(&self, vfs: &dyn Vfs, path: &Path) -> io::Result<()> {
+        atomic_write(vfs, path, self.to_json().as_bytes())
+    }
+
+    /// Writes the model to `path` crash-safely on the real filesystem.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error when the write or rename fails.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_via(&RealFs, path)
+    }
+
+    /// Loads a model file through `vfs`.
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::Io`] when the file cannot be read,
+    /// [`NamerError::Model`] when it parses but cannot be used.
+    pub fn load_via(vfs: &dyn Vfs, path: &Path) -> Result<SavedModel, NamerError> {
+        let json = vfs
+            .read_to_string(path)
+            .map_err(|e| NamerError::io(path, e))?;
+        SavedModel::from_json(&json).map_err(NamerError::from)
     }
 }
 
@@ -259,22 +295,40 @@ impl ScanCache {
         (parsed, CacheLoadStatus::Warm(n))
     }
 
-    /// Loads a cache file; a missing or unreadable file is a cold start,
-    /// not an error.
-    pub fn load(path: &Path, fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
-        match std::fs::read_to_string(path) {
+    /// Loads a cache file through `vfs`; a missing or unreadable file is a
+    /// cold start, not an error.
+    pub fn load_via(vfs: &dyn Vfs, path: &Path, fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
+        match vfs.read_to_string(path) {
             Ok(json) => ScanCache::from_json(&json, fingerprint),
             Err(_) => (ScanCache::empty(fingerprint), CacheLoadStatus::Cold),
         }
     }
 
-    /// Writes the cache to `path`.
+    /// Loads a cache file from the real filesystem; a missing or
+    /// unreadable file is a cold start, not an error.
+    pub fn load(path: &Path, fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
+        ScanCache::load_via(&RealFs, path, fingerprint)
+    }
+
+    /// Writes the cache to `path` crash-safely through `vfs` (write-temp +
+    /// fsync + atomic rename, DESIGN.md §11): a killed process leaves the
+    /// previous cache or the new one, never a truncation that would show
+    /// up as a corrupt (cold-degraded) load.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be written.
+    pub fn save_via(&self, vfs: &dyn Vfs, path: &Path) -> io::Result<()> {
+        atomic_write(vfs, path, self.to_json().as_bytes())
+    }
+
+    /// Writes the cache to `path` crash-safely on the real filesystem.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error when the file cannot be written.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_json())
+        self.save_via(&RealFs, path)
     }
 }
 

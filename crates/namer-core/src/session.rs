@@ -30,9 +30,11 @@
 use crate::detector::{Detector, ScanResult};
 use crate::error::NamerError;
 use crate::features::LevelCounts;
+use crate::ingest::Diagnostics;
 use crate::namer::{Namer, NamerConfig, Report};
 use crate::persist::{CacheLoadStatus, SavedModel, ScanCache};
 use crate::process::{process_parallel_observed, ProcessedCorpus};
+use crate::vfs::{with_retry, RealFs, RetryPolicy, Vfs};
 use namer_ml::{ModelKind, Pipeline};
 use namer_observe::{
     Counter, MetricsSink, MetricsSnapshot, Observer, Phase, PipelineMetrics, Tee,
@@ -72,6 +74,9 @@ pub struct NamerBuilder {
     shard_plan: Option<ShardPlan>,
     cache_dir: Option<PathBuf>,
     sink: Option<Arc<dyn MetricsSink>>,
+    vfs: Option<Arc<dyn Vfs>>,
+    retry: Option<RetryPolicy>,
+    ingest_diag: Option<Diagnostics>,
 }
 
 impl NamerBuilder {
@@ -177,6 +182,32 @@ impl NamerBuilder {
         self
     }
 
+    /// Routes every filesystem operation of the session (cache load/save)
+    /// through `vfs` instead of the real filesystem — how the fault
+    /// harness injects failures and kill-points (DESIGN.md §11).
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> NamerBuilder {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// Overrides the bounded-retry policy for the session's transient I/O
+    /// errors (default: [`RetryPolicy::default`]).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> NamerBuilder {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Seeds the session with ingestion [`Diagnostics`] (from
+    /// [`CorpusReader`](crate::ingest::CorpusReader)), so every
+    /// [`DetectOutcome::diagnostics`] report and metrics snapshot covers
+    /// the whole pipeline: quarantined inputs surface as
+    /// [`Counter::QuarantinedFiles`] and retries as
+    /// [`Counter::IoRetries`] in the run's own metrics.
+    pub fn ingest_diagnostics(mut self, diag: Diagnostics) -> NamerBuilder {
+        self.ingest_diag = Some(diag);
+        self
+    }
+
     /// Assembles the session.
     ///
     /// # Errors
@@ -252,12 +283,36 @@ impl NamerBuilder {
         }
         namer.override_runtime(self.threads, self.shard_plan);
 
+        let vfs = self.vfs.unwrap_or_else(|| Arc::new(RealFs));
+        let retry = self.retry.unwrap_or_default();
+        let mut diag = self.ingest_diag.unwrap_or_default();
         let cache = match self.cache_dir {
             None => None,
             Some(dir) => {
-                std::fs::create_dir_all(&dir).map_err(|e| NamerError::io(&dir, e))?;
+                let (created, retries) = crate::vfs::with_retry_counted(retry, || {
+                    vfs.create_dir_all(&dir)
+                });
+                diag.io_retries += retries;
+                created.map_err(|e| NamerError::io(&dir, e))?;
                 let path = dir.join(CACHE_FILE_NAME);
-                let (cache, status) = ScanCache::load(&path, namer.scan_fingerprint());
+                // Unreadable-cache degradation is already folded into
+                // `load_via` (any read error is a cold start); retrying
+                // transient errors first keeps a briefly-busy cache warm.
+                let (loaded, retries) = crate::vfs::with_retry_counted(retry, || {
+                    match vfs.read_to_string(&path) {
+                        Ok(json) => Ok(Some(json)),
+                        Err(e) if crate::vfs::is_transient(e.kind()) => Err(e),
+                        Err(_) => Ok(None),
+                    }
+                });
+                diag.io_retries += retries;
+                let (cache, status) = match loaded.ok().flatten() {
+                    Some(json) => ScanCache::from_json(&json, namer.scan_fingerprint()),
+                    None => (
+                        ScanCache::empty(namer.scan_fingerprint()),
+                        CacheLoadStatus::Cold,
+                    ),
+                };
                 Some(SessionCache {
                     path,
                     cache,
@@ -269,6 +324,9 @@ impl NamerBuilder {
             namer,
             cache,
             sink: self.sink,
+            vfs,
+            retry,
+            base_diag: diag,
         })
     }
 }
@@ -291,6 +349,11 @@ pub struct DetectSession {
     namer: Namer,
     cache: Option<SessionCache>,
     sink: Option<Arc<dyn MetricsSink>>,
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
+    /// Ingestion diagnostics seeded at build time (plus build-time cache
+    /// retries); cloned into every run's outcome.
+    base_diag: Diagnostics,
 }
 
 impl DetectSession {
@@ -335,6 +398,21 @@ impl DetectSession {
         let threads = resolve_threads(self.namer.config().threads);
         let plan = self.namer.config().shard_plan;
         let process = self.namer.config().process.clone();
+        // Ingestion robustness events (quarantines, retries) seeded at
+        // build time count into every run's own metrics, so one snapshot
+        // covers the whole pipeline.
+        if !self.base_diag.quarantined.is_empty() {
+            obs.add(
+                Counter::QuarantinedFiles,
+                self.base_diag.quarantined.len() as u64,
+            );
+        }
+        if self.base_diag.io_retries > 0 {
+            obs.add(Counter::IoRetries, self.base_diag.io_retries);
+        }
+        let diagnostics = self.base_diag.clone();
+        let vfs = self.vfs.clone();
+        let retry = self.retry;
         let Some(state) = self.cache.as_mut() else {
             let corpus = process_parallel_observed(files, &process, threads, obs);
             let scan = self
@@ -347,6 +425,7 @@ impl DetectSession {
                 scan,
                 cache: None,
                 metrics: MetricsSnapshot::default(),
+                diagnostics,
             });
         };
         if matches!(
@@ -376,10 +455,11 @@ impl DetectSession {
         let live: HashSet<ContentDigest> = files.iter().map(SourceFile::content_digest).collect();
         state.cache.retain_digests(&live);
         {
+            // Crash-safe save (write-temp + fsync + rename) with bounded
+            // retry: a kill at any point leaves the old or the new cache
+            // on disk, never a truncation (DESIGN.md §11).
             let _save_span = obs.phase(Phase::CacheSave);
-            state
-                .cache
-                .save(&state.path)
+            with_retry(retry, obs, || state.cache.save_via(vfs.as_ref(), &state.path))
                 .map_err(|e| NamerError::io(&state.path, e))?;
         }
         let reports = self.namer.reports_from(&inc.scan, obs);
@@ -393,6 +473,7 @@ impl DetectSession {
                 changed,
             }),
             metrics: MetricsSnapshot::default(),
+            diagnostics,
         })
     }
 
@@ -429,6 +510,8 @@ impl DetectSession {
             scan,
             cache: None,
             metrics: MetricsSnapshot::default(),
+            // Preprocessed corpora never touched the filesystem here.
+            diagnostics: Diagnostics::default(),
         }
     }
 
@@ -461,6 +544,10 @@ pub struct DetectOutcome {
     /// counters (DESIGN.md §10). Always populated; counter totals are
     /// deterministic, timings are not.
     pub metrics: MetricsSnapshot,
+    /// The run's robustness report: quarantined inputs and recovered
+    /// transient I/O errors, including ingestion diagnostics seeded via
+    /// [`NamerBuilder::ingest_diagnostics`] (DESIGN.md §11).
+    pub diagnostics: Diagnostics,
 }
 
 /// Cache accounting of one cached [`DetectSession::run`].

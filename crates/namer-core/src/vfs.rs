@@ -1,0 +1,648 @@
+//! Virtual filesystem, crash-safe writes, and fault injection (DESIGN.md §11).
+//!
+//! Everything in the pipeline that touches disk — model persistence, the
+//! scan cache, corpus ingestion — goes through the [`Vfs`] trait instead of
+//! calling `std::fs` directly. Production code uses [`RealFs`]; tests wrap
+//! it in a [`FaultVfs`] that injects `ErrorKind`-typed failures, partial
+//! writes, and kill-points from a deterministic [`FaultSchedule`], so the
+//! crash-safety and degrade-gracefully contracts are testable without
+//! actually killing processes or corrupting disks.
+//!
+//! Two policies live here alongside the trait:
+//!
+//! * [`atomic_write`] — the write-temp + fsync + rename protocol. A process
+//!   killed at *any* point mid-write leaves the destination holding either
+//!   the complete old contents or the complete new contents, never a
+//!   truncated hybrid.
+//! * [`RetryPolicy`] / [`with_retry`] — bounded retry with exponential
+//!   backoff for *transient* I/O errors ([`is_transient`]); permanent
+//!   failures surface immediately. Retries are counted into
+//!   [`Counter::IoRetries`] when an observer is attached.
+
+use namer_observe::{Counter, Observer};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One entry of a [`Vfs::read_dir`] listing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VfsEntry {
+    /// Full path of the entry.
+    pub path: PathBuf,
+    /// Whether the entry is a directory *after* following symlinks (a
+    /// dangling symlink reports `false` and fails on read instead).
+    pub is_dir: bool,
+    /// Whether the entry itself is a symlink (before following).
+    pub is_symlink: bool,
+}
+
+/// The filesystem operations the pipeline needs, as a trait so tests can
+/// substitute a fault-injecting implementation ([`FaultVfs`]).
+///
+/// Implementations must be thread-safe: sessions and ingestion may be
+/// driven from worker threads.
+pub trait Vfs: Send + Sync {
+    /// Reads a file into a UTF-8 string. Non-UTF-8 contents fail with
+    /// [`io::ErrorKind::InvalidData`].
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Creates (or truncates) `path` with `contents`, flushed durably
+    /// (`fsync` or the implementation's equivalent) before returning.
+    fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
+    /// Atomically renames `from` onto `to` (POSIX `rename(2)` semantics:
+    /// `to` is replaced as a unit, never observed half-written).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file (cleanup of orphaned temporaries).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Creates `path` and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Lists a directory, sorted by path for deterministic traversal.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<VfsEntry>>;
+    /// Resolves symlinks and relative components to a canonical path (the
+    /// identity used by ingestion's symlink-cycle guard).
+    fn canonicalize(&self, path: &Path) -> io::Result<PathBuf>;
+}
+
+/// The production [`Vfs`]: thin wrappers over `std::fs` with durable
+/// writes and sorted directory listings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealFs;
+
+impl Vfs for RealFs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(contents)?;
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        // Durability of the rename itself needs the parent directory
+        // synced; best-effort — the rename's atomicity does not depend
+        // on it, only how soon it survives a power loss.
+        if let Some(parent) = to.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<VfsEntry>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            let path = entry.path();
+            let ty = entry.file_type()?;
+            let is_symlink = ty.is_symlink();
+            let is_dir = if is_symlink {
+                // Follow the link to classify it; a dangling link reads as
+                // a file and is quarantined at read time instead.
+                std::fs::metadata(&path).map(|m| m.is_dir()).unwrap_or(false)
+            } else {
+                ty.is_dir()
+            };
+            out.push(VfsEntry {
+                path,
+                is_dir,
+                is_symlink,
+            });
+        }
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+
+    fn canonicalize(&self, path: &Path) -> io::Result<PathBuf> {
+        std::fs::canonicalize(path)
+    }
+}
+
+/// Writes `contents` to `path` crash-safely: write a sibling temporary,
+/// fsync it ([`Vfs::write`] is durable), then atomically rename it over
+/// the destination. A process killed at any point leaves `path` holding
+/// either its previous contents or the new ones — never a truncation.
+///
+/// A failed rename removes the temporary best-effort; a stale temporary
+/// from an earlier crash is simply overwritten by the next write.
+///
+/// # Errors
+///
+/// The underlying I/O error of the failing step.
+pub fn atomic_write(vfs: &dyn Vfs, path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = temp_sibling(path);
+    vfs.write(&tmp, contents)?;
+    match vfs.rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = vfs.remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The temporary path [`atomic_write`] stages through: `<name>.tmp` next
+/// to the destination (same filesystem, so the rename stays atomic).
+pub fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Whether an I/O error kind is worth retrying: the operation may succeed
+/// if simply re-issued. Permission, not-found, and data errors are
+/// permanent and never retried.
+pub fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Bounded-retry policy for transient I/O errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (`1` = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 5 ms initial backoff.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every error is final.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// `attempts` tries with no sleeping between them (tests).
+    pub const fn immediate(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            base_backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Runs `op`, retrying transient failures per `policy`, and returns the
+/// final result plus how many retries were spent.
+pub fn with_retry_counted<T>(
+    policy: RetryPolicy,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> (io::Result<T>, u64) {
+    let attempts = policy.attempts.max(1);
+    let mut retries = 0u64;
+    let mut failures = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return (Ok(v), retries),
+            Err(e) => {
+                failures += 1;
+                if failures >= attempts || !is_transient(e.kind()) {
+                    return (Err(e), retries);
+                }
+                retries += 1;
+                let backoff = policy.base_backoff * (1u32 << (failures - 1).min(6));
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// [`with_retry_counted`] reporting its retries into
+/// [`Counter::IoRetries`] on `obs`.
+pub fn with_retry<T>(
+    policy: RetryPolicy,
+    obs: Observer<'_>,
+    op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let (result, retries) = with_retry_counted(policy, op);
+    if retries > 0 {
+        obs.add(Counter::IoRetries, retries);
+    }
+    result
+}
+
+// ----- fault injection --------------------------------------------------------
+
+/// One injected fault, consumed by the [`FaultVfs`] operation it fires on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails with this error kind and has no effect.
+    Err(io::ErrorKind),
+    /// A write persists only the first `n` bytes, then fails with
+    /// [`io::ErrorKind::WriteZero`] (disk-full style). On non-write
+    /// operations this degrades to a plain failure.
+    PartialWrite(usize),
+    /// The process "dies" at this operation: a write persists the first
+    /// `n` bytes (`None` = nothing), the operation fails, and **every
+    /// subsequent operation fails too** — the harness's stand-in for
+    /// `kill -9`. The test then reopens the directory with a fresh
+    /// [`RealFs`] to observe what a restarted process would see.
+    Kill(Option<usize>),
+}
+
+/// A deterministic plan of which [`FaultVfs`] operations fail and how.
+///
+/// Faults are keyed two ways, checked in order:
+///
+/// 1. **By operation index** — the `n`-th VFS call overall (retries count
+///    as new operations). This is how the kill-point matrix sweeps every
+///    point of a persistence protocol.
+/// 2. **By path substring** — a FIFO queue of faults per pattern, consumed
+///    one per matching operation. This is how ingestion tests pin faults
+///    to specific corpus files.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    at_op: BTreeMap<u64, Fault>,
+    by_path: Vec<(String, VecDeque<Fault>)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults; useful for counting operations).
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Fails the `op`-th operation (0-based, across all operations).
+    pub fn at_op(mut self, op: u64, fault: Fault) -> FaultSchedule {
+        self.at_op.insert(op, fault);
+        self
+    }
+
+    /// Queues `fault` for the next operation whose path contains
+    /// `pattern`. Repeated calls queue further faults for later matching
+    /// operations (e.g. two transient errors then success).
+    pub fn on_path(mut self, pattern: impl Into<String>, fault: Fault) -> FaultSchedule {
+        let pattern = pattern.into();
+        match self.by_path.iter_mut().find(|(p, _)| *p == pattern) {
+            Some((_, queue)) => queue.push_back(fault),
+            None => self.by_path.push((pattern, VecDeque::from([fault]))),
+        }
+        self
+    }
+
+    /// A schedule that kills the process at operation `op` with `landed`
+    /// bytes persisted if that operation is a write.
+    pub fn kill_at(op: u64, landed: Option<usize>) -> FaultSchedule {
+        FaultSchedule::new().at_op(op, Fault::Kill(landed))
+    }
+
+    /// A seeded pseudo-random sprinkling of *transient* faults: each of
+    /// the first `ops` operations independently fails with
+    /// [`io::ErrorKind::Interrupted`] with probability `percent`/100.
+    /// Deterministic in `seed`; with a retrying caller the run's *results*
+    /// must be identical to a fault-free run (only `IoRetries` moves).
+    pub fn seeded_transient(seed: u64, ops: u64, percent: u64) -> FaultSchedule {
+        let mut schedule = FaultSchedule::new();
+        let mut state = seed | 1;
+        for op in 0..ops {
+            // xorshift64* — cheap, deterministic, no rand dependency.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.wrapping_mul(0x2545_f491_4f6c_dd1d) % 100 < percent {
+                schedule.at_op.insert(op, Fault::Err(io::ErrorKind::Interrupted));
+            }
+        }
+        schedule
+    }
+}
+
+struct FaultState {
+    next_op: u64,
+    killed: bool,
+    schedule: FaultSchedule,
+}
+
+/// A [`Vfs`] decorator that injects faults from a [`FaultSchedule`] into
+/// an inner filesystem (usually [`RealFs`] over a scratch directory).
+///
+/// After a [`Fault::Kill`] fires, every further operation fails — the
+/// wrapped "process" is dead. Inspect the aftermath through a fresh
+/// [`RealFs`], the way a restarted process would.
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    state: Mutex<FaultState>,
+}
+
+impl FaultVfs {
+    /// Wraps `inner` with `schedule`.
+    pub fn new(inner: Arc<dyn Vfs>, schedule: FaultSchedule) -> FaultVfs {
+        FaultVfs {
+            inner,
+            state: Mutex::new(FaultState {
+                next_op: 0,
+                killed: false,
+                schedule,
+            }),
+        }
+    }
+
+    /// [`RealFs`] wrapped with `schedule` — the common case.
+    pub fn real(schedule: FaultSchedule) -> FaultVfs {
+        FaultVfs::new(Arc::new(RealFs), schedule)
+    }
+
+    /// Operations attempted so far (including failed ones). Running a
+    /// protocol against an empty schedule and reading this afterwards
+    /// sizes a kill-point matrix.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().expect("fault state lock").next_op
+    }
+
+    /// Whether a [`Fault::Kill`] has fired.
+    pub fn killed(&self) -> bool {
+        self.state.lock().expect("fault state lock").killed
+    }
+
+    /// Draws the fault (if any) for the operation on `path`, advancing the
+    /// operation counter. Returns an error directly when the process is
+    /// already dead.
+    fn draw(&self, path: &Path) -> Result<Option<Fault>, io::Error> {
+        let mut state = self.state.lock().expect("fault state lock");
+        if state.killed {
+            return Err(dead());
+        }
+        let op = state.next_op;
+        state.next_op += 1;
+        let fault = state.schedule.at_op.remove(&op).or_else(|| {
+            let text = path.to_string_lossy().into_owned();
+            state
+                .schedule
+                .by_path
+                .iter_mut()
+                .find(|(pattern, queue)| !queue.is_empty() && text.contains(pattern.as_str()))
+                .and_then(|(_, queue)| queue.pop_front())
+        });
+        if let Some(Fault::Kill(_)) = fault {
+            state.killed = true;
+        }
+        Ok(fault)
+    }
+
+    /// Applies `fault` to a non-write operation: any fault is a plain
+    /// failure there (partial effects only make sense for writes).
+    fn fail<T>(&self, fault: Fault) -> io::Result<T> {
+        Err(match fault {
+            Fault::Err(kind) => io::Error::new(kind, "injected fault"),
+            Fault::PartialWrite(_) => {
+                io::Error::new(io::ErrorKind::WriteZero, "injected partial write")
+            }
+            Fault::Kill(_) => dead(),
+        })
+    }
+}
+
+fn dead() -> io::Error {
+    io::Error::other("injected kill-point: process is dead")
+}
+
+impl Vfs for FaultVfs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        match self.draw(path)? {
+            None => self.inner.read_to_string(path),
+            Some(f) => self.fail(f),
+        }
+    }
+
+    fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        match self.draw(path)? {
+            None => self.inner.write(path, contents),
+            Some(Fault::Err(kind)) => Err(io::Error::new(kind, "injected fault")),
+            Some(Fault::PartialWrite(n)) => {
+                let n = n.min(contents.len());
+                let _ = self.inner.write(path, &contents[..n]);
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected partial write",
+                ))
+            }
+            Some(Fault::Kill(landed)) => {
+                if let Some(n) = landed {
+                    let n = n.min(contents.len());
+                    let _ = self.inner.write(path, &contents[..n]);
+                }
+                Err(dead())
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.draw(to)? {
+            None => self.inner.rename(from, to),
+            // A killed rename never happened: rename is atomic, so the
+            // only crash outcomes are "before" (here) or "after" (a kill
+            // on a later operation).
+            Some(f) => self.fail(f),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.draw(path)? {
+            None => self.inner.remove_file(path),
+            Some(f) => self.fail(f),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.draw(path)? {
+            None => self.inner.create_dir_all(path),
+            Some(f) => self.fail(f),
+        }
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<VfsEntry>> {
+        match self.draw(path)? {
+            None => self.inner.read_dir(path),
+            Some(f) => self.fail(f),
+        }
+    }
+
+    fn canonicalize(&self, path: &Path) -> io::Result<PathBuf> {
+        match self.draw(path)? {
+            None => self.inner.canonicalize(path),
+            Some(f) => self.fail(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "namer-vfs-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = scratch("atomic");
+        let path = dir.join("out.json");
+        atomic_write(&RealFs, &path, b"one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        atomic_write(&RealFs, &path, b"two-longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two-longer");
+        // No temporary left behind.
+        assert!(!temp_sibling(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_write_leaves_old_contents() {
+        let dir = scratch("kill");
+        let path = dir.join("out.json");
+        atomic_write(&RealFs, &path, b"old").unwrap();
+        for landed in [None, Some(0), Some(2), Some(usize::MAX)] {
+            let vfs = FaultVfs::real(FaultSchedule::kill_at(0, landed));
+            assert!(atomic_write(&vfs, &path, b"new-contents").is_err());
+            assert!(vfs.killed());
+            assert_eq!(std::fs::read(&path).unwrap(), b"old", "landed={landed:?}");
+        }
+        // Killing the rename (operation 1) also preserves the old file.
+        let vfs = FaultVfs::real(FaultSchedule::kill_at(1, None));
+        assert!(atomic_write(&vfs, &path, b"new-contents").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dead_process_fails_every_operation() {
+        let dir = scratch("dead");
+        let vfs = FaultVfs::real(FaultSchedule::kill_at(0, None));
+        assert!(vfs.write(&dir.join("a"), b"x").is_err());
+        assert!(vfs.read_to_string(&dir.join("a")).is_err());
+        assert!(vfs.read_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn path_faults_fire_in_order_then_clear() {
+        let dir = scratch("queue");
+        let path = dir.join("flaky.txt");
+        std::fs::write(&path, "payload").unwrap();
+        let vfs = FaultVfs::real(
+            FaultSchedule::new()
+                .on_path("flaky", Fault::Err(io::ErrorKind::Interrupted))
+                .on_path("flaky", Fault::Err(io::ErrorKind::Interrupted)),
+        );
+        assert_eq!(
+            vfs.read_to_string(&path).unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        assert_eq!(
+            vfs.read_to_string(&path).unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        assert_eq!(vfs.read_to_string(&path).unwrap(), "payload");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_recovers_from_transients_and_counts() {
+        let dir = scratch("retry");
+        let path = dir.join("flaky.txt");
+        std::fs::write(&path, "ok").unwrap();
+        let vfs = FaultVfs::real(
+            FaultSchedule::new()
+                .on_path("flaky", Fault::Err(io::ErrorKind::Interrupted))
+                .on_path("flaky", Fault::Err(io::ErrorKind::WouldBlock)),
+        );
+        let (result, retries) =
+            with_retry_counted(RetryPolicy::immediate(3), || vfs.read_to_string(&path));
+        assert_eq!(result.unwrap(), "ok");
+        assert_eq!(retries, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_gives_up_on_permanent_errors() {
+        let vfs = FaultVfs::real(
+            FaultSchedule::new().on_path("gone", Fault::Err(io::ErrorKind::PermissionDenied)),
+        );
+        let (result, retries) = with_retry_counted(RetryPolicy::immediate(5), || {
+            vfs.read_to_string(Path::new("/gone"))
+        });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn retry_exhausts_bounded_attempts() {
+        let vfs = FaultVfs::real(
+            FaultSchedule::new()
+                .on_path("busy", Fault::Err(io::ErrorKind::WouldBlock))
+                .on_path("busy", Fault::Err(io::ErrorKind::WouldBlock))
+                .on_path("busy", Fault::Err(io::ErrorKind::WouldBlock)),
+        );
+        let (result, retries) = with_retry_counted(RetryPolicy::immediate(3), || {
+            vfs.read_to_string(Path::new("/busy"))
+        });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic() {
+        let a = FaultSchedule::seeded_transient(7, 100, 20);
+        let b = FaultSchedule::seeded_transient(7, 100, 20);
+        assert_eq!(a.at_op.keys().collect::<Vec<_>>(), b.at_op.keys().collect::<Vec<_>>());
+        assert!(!a.at_op.is_empty());
+        assert!(a.at_op.len() < 100);
+        let c = FaultSchedule::seeded_transient(8, 100, 20);
+        assert_ne!(
+            a.at_op.keys().collect::<Vec<_>>(),
+            c.at_op.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn real_fs_lists_sorted_and_classifies() {
+        let dir = scratch("list");
+        std::fs::create_dir(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("b.txt"), "b").unwrap();
+        std::fs::write(dir.join("a.txt"), "a").unwrap();
+        let entries = RealFs.read_dir(&dir).unwrap();
+        let names: Vec<_> = entries
+            .iter()
+            .map(|e| e.path.file_name().unwrap().to_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, ["a.txt", "b.txt", "sub"]);
+        assert!(entries[2].is_dir && !entries[0].is_dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

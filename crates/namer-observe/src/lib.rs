@@ -93,12 +93,18 @@ pub enum Counter {
     /// Runs whose on-disk cache degraded to a cold scan (corrupt, version
     /// mismatch, or fingerprint mismatch).
     CacheDegradedCold,
+    /// Transient I/O errors recovered by the bounded-retry policy
+    /// (DESIGN.md §11).
+    IoRetries,
+    /// Input files quarantined during ingestion (unreadable, non-UTF-8,
+    /// or symlink-cycle skips; DESIGN.md §11).
+    QuarantinedFiles,
 }
 
 impl Counter {
     /// Every counter, in declaration order (= snapshot key order modulo the
     /// alphabetical `BTreeMap` sort).
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::FilesProcessed,
         Counter::ParseFailures,
         Counter::StatementsProcessed,
@@ -116,6 +122,8 @@ impl Counter {
         Counter::CacheMisses,
         Counter::CacheParseFailures,
         Counter::CacheDegradedCold,
+        Counter::IoRetries,
+        Counter::QuarantinedFiles,
     ];
 
     /// Stable snake_case name used as the snapshot/JSON key.
@@ -138,6 +146,8 @@ impl Counter {
             Counter::CacheMisses => "cache_misses",
             Counter::CacheParseFailures => "cache_parse_failures",
             Counter::CacheDegradedCold => "cache_degraded_cold",
+            Counter::IoRetries => "io_retries",
+            Counter::QuarantinedFiles => "quarantined_files",
         }
     }
 }

@@ -42,4 +42,45 @@ for key in schema_version counters phases shard_busy_nanos shard_imbalance \
 done
 echo "metrics smoke: ok ($smoke/metrics.json validated)"
 
+# Fault smoke (DESIGN.md §11): salt the corpus with hostile inputs — a
+# non-UTF-8 source and a dangling symlink — and scan over a truncated
+# cache. The scan must complete (exit 0 or 1, never crash), quarantine the
+# bad inputs, degrade the damaged cache to cold, and still emit valid
+# metrics JSON.
+printf '\xc3\x28\xff\xfe' > "$smoke/playground/repos/binary.py"
+ln -s missing-target.py "$smoke/playground/repos/dangling.py"
+mkdir -p "$smoke/cache"
+target/release/namer scan --model "$smoke/model.json" \
+    --cache-dir "$smoke/cache" \
+    "$smoke/playground/repos" >/dev/null 2>&1 || true
+head -c 40 "$smoke/cache/scan-cache.json" > "$smoke/cache/scan-cache.json.trunc"
+mv "$smoke/cache/scan-cache.json.trunc" "$smoke/cache/scan-cache.json"
+fault_rc=0
+target/release/namer scan --model "$smoke/model.json" \
+    --cache-dir "$smoke/cache" \
+    --metrics-out "$smoke/fault-metrics.json" \
+    "$smoke/playground/repos" >/dev/null 2>"$smoke/fault-stderr.txt" || fault_rc=$?
+if [ "$fault_rc" -gt 1 ]; then
+    echo "check.sh: fault smoke scan crashed (exit $fault_rc)" >&2
+    cat "$smoke/fault-stderr.txt" >&2
+    exit "$fault_rc"
+fi
+grep -Eq '"quarantined_files": *[1-9]' "$smoke/fault-metrics.json" || {
+    echo "check.sh: fault smoke quarantined nothing" >&2
+    exit 1
+}
+grep -Eq '"cache_degraded_cold": *[1-9]' "$smoke/fault-metrics.json" || {
+    echo "check.sh: truncated cache did not degrade to cold" >&2
+    exit 1
+}
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$smoke/fault-metrics.json" || {
+    echo "check.sh: fault smoke metrics are not valid JSON" >&2
+    exit 1
+}
+grep -q "quarantined" "$smoke/fault-stderr.txt" || {
+    echo "check.sh: fault smoke printed no quarantine diagnostics" >&2
+    exit 1
+}
+echo "fault smoke: ok (bad inputs quarantined, truncated cache degraded cold)"
+
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

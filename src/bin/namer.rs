@@ -14,14 +14,21 @@
 //! (TSV: `path<TAB>line<TAB>true|false`), and writes a JSON model. `scan`
 //! loads the model into a [`NamerBuilder`] session and prints reports with
 //! rendered fixes; it exits with status 1 when issues are found, so it can
-//! gate CI. Every command accepts the shared runtime options ([`RuntimeOpts`]):
+//! gate CI. Ingestion degrades gracefully (DESIGN.md §11): unreadable and
+//! non-UTF-8 inputs and symlink cycles are quarantined with a diagnostic
+//! instead of aborting the run, and every file the CLI writes lands via an
+//! atomic temp + rename, so a crash never leaves a truncated model, cache,
+//! or metrics file. Every command accepts the shared runtime options ([`RuntimeOpts`]):
 //! `--threads N` (file axis), `--pattern-shards N` (pattern axis, DESIGN.md
 //! §9), `--cache-dir DIR` (scan cache, DESIGN.md §8), `--metrics-out FILE`
 //! (per-phase timings + counters as JSON, DESIGN.md §10), and `--timings`
 //! (human-readable timing table on stderr). Output is byte-identical at any
 //! threads × shards combination.
 
-use namer::core::{fix_line, Namer, NamerBuilder, NamerConfig, NamerError, SavedModel, Violation};
+use namer::core::{
+    atomic_write, fix_line, CorpusReader, Namer, NamerBuilder, NamerConfig, NamerError, RealFs,
+    SavedModel, Violation,
+};
 use namer::corpus::{CorpusConfig, Generator};
 use namer::observe::{Counter, MetricsSnapshot, Observer, PipelineMetrics};
 use namer::patterns::{MiningConfig, ShardPlan};
@@ -30,6 +37,11 @@ use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// The CLI always runs against the real filesystem; tests exercise the
+/// same ingestion/persistence code through a fault-injecting
+/// [`namer::core::FaultVfs`] (`tests/faults.rs`).
+static FS: RealFs = RealFs;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -182,14 +194,18 @@ fn default_config() -> NamerConfig {
     }
 }
 
+/// Reads a file the command cannot proceed without (a model, a labels
+/// TSV): transient I/O errors are retried, anything else is a hard error.
 fn read_file(path: impl AsRef<Path>) -> Result<String, NamerError> {
-    let path = path.as_ref();
-    std::fs::read_to_string(path).map_err(|e| NamerError::io(path, e))
+    CorpusReader::new(&FS).read_required(path.as_ref())
 }
 
+/// Writes a file crash-safely (write-temp + fsync + atomic rename,
+/// DESIGN.md §11): models, metrics snapshots, and corpus files are never
+/// left truncated by a killed process.
 fn write_file(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> Result<(), NamerError> {
     let path = path.as_ref();
-    std::fs::write(path, contents).map_err(|e| NamerError::io(path, e))
+    atomic_write(&FS, path, contents.as_ref()).map_err(|e| NamerError::io(path, e))
 }
 
 fn make_dirs(path: impl AsRef<Path>) -> Result<(), NamerError> {
@@ -331,7 +347,11 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
     let lang = lang_from_args(args);
     let out = flag_value(args, "-o").unwrap_or("namer-model.json");
 
-    let files = collect_sources(Path::new(corpus_dir), lang)?;
+    // The collector exists before ingestion so quarantines and retries
+    // stream into the same metrics as the training phases.
+    let collector = PipelineMetrics::new();
+    let mut reader = CorpusReader::new(&FS).observed(collector.observer());
+    let files = reader.collect_sources(Path::new(corpus_dir), lang)?;
     if files.is_empty() {
         return Err(NamerError::InvalidConfig(format!(
             "no {lang} sources under {corpus_dir}"
@@ -340,10 +360,14 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
     println!("corpus: {} files", files.len());
 
     let commits = match flag_value(args, "--commits") {
-        Some(dir) => collect_commits(Path::new(dir))?,
+        Some(dir) => reader.collect_commits(Path::new(dir))?,
         None => Vec::new(),
     };
     println!("commit pairs: {}", commits.len());
+    let ingest_diag = reader.finish();
+    if !ingest_diag.is_clean() {
+        eprint!("{}", ingest_diag.render_human());
+    }
 
     let opts = RuntimeOpts::parse(args)?;
     let mut config = default_config();
@@ -363,7 +387,6 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
         }
     }
 
-    let collector = PipelineMetrics::new();
     let namer = Namer::train_observed(
         &files,
         &commits,
@@ -392,7 +415,10 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
 fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
     let model_path = flag_value(args, "--model")
         .ok_or_else(|| NamerError::Usage("`scan` needs --model MODEL".to_owned()))?;
-    let model = SavedModel::from_json(&read_file(model_path)?)?;
+    // One fault-tolerant reader covers the model read and the whole
+    // ingestion pass; its diagnostics are seeded into the session below.
+    let mut reader = CorpusReader::new(&FS);
+    let model = SavedModel::from_json(&reader.read_required(Path::new(model_path))?)?;
     let lang = model.lang;
 
     let mut paths: Vec<PathBuf> = Vec::new();
@@ -424,19 +450,24 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
     let mut files = Vec::new();
     for p in &paths {
         if p.is_dir() {
-            files.extend(collect_sources(p, lang)?);
+            files.extend(reader.collect_sources(p, lang)?);
         } else if p.is_file() {
-            let text = read_file(p)?;
-            files.push(SourceFile::new(
-                p.parent().map(|d| d.display().to_string()).unwrap_or_default(),
-                p.display().to_string(),
-                text,
-                lang,
-            ));
+            // An unreadable or non-UTF-8 file named explicitly is
+            // quarantined like any other, so one bad argument cannot
+            // abort the rest of the scan.
+            if let Some(text) = reader.read_text(p) {
+                files.push(SourceFile::new(
+                    p.parent().map(|d| d.display().to_string()).unwrap_or_default(),
+                    p.display().to_string(),
+                    text,
+                    lang,
+                ));
+            }
         } else {
             return Err(NamerError::Usage(format!("no such path: {}", p.display())));
         }
     }
+    let ingest_diag = reader.finish();
 
     let explain = has_flag(args, "--explain");
     let changed_only = has_flag(args, "--changed-only");
@@ -449,6 +480,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
 
     let mut session = opts
         .apply(NamerBuilder::new().model(model).config(default_config()))
+        .ingest_diagnostics(ingest_diag)
         .build()?;
     if let Some(status) = session.cache_status() {
         println!("scan cache: {status}");
@@ -473,6 +505,9 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
             m.counter(Counter::CacheParseFailures),
             degraded
         );
+    }
+    if !outcome.diagnostics.is_clean() {
+        eprint!("{}", outcome.diagnostics.render_human());
     }
     if let (true, Some(cache)) = (changed_only, &outcome.cache) {
         let changed: HashSet<(String, String)> = cache.changed.iter().cloned().collect();
@@ -517,7 +552,17 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
             }
         }
     }
-    println!("{} naming issue(s) found in {} file(s)", reports.len(), files.len());
+    let quarantined = outcome.diagnostics.quarantined.len();
+    if quarantined > 0 {
+        println!(
+            "{} naming issue(s) found in {} file(s); {} file(s) quarantined",
+            reports.len(),
+            files.len(),
+            quarantined
+        );
+    } else {
+        println!("{} naming issue(s) found in {} file(s)", reports.len(), files.len());
+    }
     Ok(if reports.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -525,70 +570,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
     })
 }
 
-// ----- filesystem helpers ------------------------------------------------------
-
-/// Recursively collects sources of `lang` under `root`. The first path
-/// component below `root` names the repository.
-fn collect_sources(root: &Path, lang: Lang) -> Result<Vec<SourceFile>, NamerError> {
-    let ext = match lang {
-        Lang::Python => "py",
-        Lang::Java => "java",
-    };
-    let mut out = Vec::new();
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let entries = std::fs::read_dir(&dir).map_err(|e| NamerError::io(&dir, e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| NamerError::io(&dir, e))?;
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().and_then(|e| e.to_str()) == Some(ext) {
-                let text = read_file(&path)?;
-                let rel = path.strip_prefix(root).unwrap_or(&path);
-                let repo = rel
-                    .components()
-                    .next()
-                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
-                    .unwrap_or_else(|| "repo".to_owned());
-                out.push(SourceFile::new(
-                    repo,
-                    rel.display().to_string(),
-                    text,
-                    lang,
-                ));
-            }
-        }
-    }
-    out.sort_by(|a, b| (a.repo.clone(), a.path.clone()).cmp(&(b.repo.clone(), b.path.clone())));
-    Ok(out)
-}
-
-/// Reads `<name>.before` / `<name>.after` pairs from a directory.
-fn collect_commits(dir: &Path) -> Result<Vec<(String, String)>, NamerError> {
-    let mut befores: HashMap<String, String> = HashMap::new();
-    let mut afters: HashMap<String, String> = HashMap::new();
-    let entries = std::fs::read_dir(dir).map_err(|e| NamerError::io(dir, e))?;
-    for entry in entries {
-        let path = entry.map_err(|e| NamerError::io(dir, e))?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            continue;
-        };
-        if let Some(stem) = name.strip_suffix(".before") {
-            befores.insert(stem.to_owned(), read_file(&path)?);
-        } else if let Some(stem) = name.strip_suffix(".after") {
-            afters.insert(stem.to_owned(), read_file(&path)?);
-        }
-    }
-    let mut out = Vec::new();
-    for (stem, before) in befores {
-        if let Some(after) = afters.remove(&stem) {
-            out.push((before, after));
-        }
-    }
-    out.sort();
-    Ok(out)
-}
+// ----- labels ------------------------------------------------------------------
 
 /// Parses a labels TSV: `path<TAB>line<TAB>true|false`.
 fn parse_labels(path: &Path) -> Result<HashMap<(String, u32), bool>, NamerError> {

@@ -1,0 +1,397 @@
+//! Fault-injection harness for crash-safe persistence and fault-tolerant
+//! ingestion (DESIGN.md §11).
+//!
+//! Two contracts are exercised end to end through the public API:
+//!
+//! * **Crash safety** — a process killed at *any* operation of a model or
+//!   scan-cache save leaves the destination holding the complete old
+//!   contents or the complete new contents, never a truncation. The
+//!   kill-point matrix is sized by counting a clean run's VFS operations,
+//!   then killing at every index with several partial-write variants.
+//! * **Graceful degradation** — unreadable and non-UTF-8 inputs are
+//!   quarantined, transient I/O errors are retried, and the healthy subset
+//!   of a salted corpus produces byte-identical findings to a fault-free
+//!   run over the same healthy files.
+
+use namer::core::{
+    atomic_write, CacheEntry, CacheLoadStatus, CorpusReader, Fault, FaultSchedule, FaultVfs,
+    Namer, NamerBuilder, NamerConfig, RealFs, RetryPolicy, SavedModel, ScanCache, Violation,
+};
+use namer::observe::Counter;
+use namer::patterns::MiningConfig;
+use namer::syntax::{content_digest, Lang, SourceFile};
+use proptest::prelude::*;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const IDIOM: &str = "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 3)\n";
+const MISUSE: &str = "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 3)\n";
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "namer-faults-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write(dir: &Path, rel: &str, contents: &[u8]) {
+    let path = dir.join(rel);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, contents).unwrap();
+}
+
+/// An in-memory corpus with one violation. Every file gets a unique
+/// trailing statement so content digests are distinct — `extra` files then
+/// genuinely change the digest set (and therefore the saved cache bytes).
+fn corpus(extra: usize) -> Vec<SourceFile> {
+    let mut files: Vec<SourceFile> = (0..10 + extra)
+        .map(|i| {
+            SourceFile::new(
+                format!("r{}", i % 3),
+                format!("f{i}.py"),
+                format!("{IDIOM}x{i} = {i}\n"),
+                Lang::Python,
+            )
+        })
+        .collect();
+    files.push(SourceFile::new("r0", "bug.py", MISUSE, Lang::Python));
+    files
+}
+
+/// Trains one system (expensive) and snapshots two byte-distinct model
+/// JSONs: the real one and a variant with a flipped flag, the "old vs new"
+/// pair of the model kill-point matrix.
+fn model_jsons() -> &'static (String, String) {
+    static JSONS: OnceLock<(String, String)> = OnceLock::new();
+    JSONS.get_or_init(|| {
+        let commits = vec![(
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 1)\n"
+                .to_owned(),
+            "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 1)\n"
+                .to_owned(),
+        )];
+        let config = NamerConfig {
+            mining: MiningConfig {
+                min_path_count: 2,
+                min_support: 5,
+                ..MiningConfig::default()
+            },
+            labeled_per_class: 3,
+            cv_repeats: 2,
+            ..NamerConfig::default()
+        };
+        let namer = Namer::train(
+            &corpus(30),
+            &commits,
+            |v: &Violation| v.original.as_str() == "True",
+            &config,
+        );
+        let mut model = SavedModel::from_namer(&namer);
+        let old = model.to_json();
+        model.use_analysis = !model.use_analysis;
+        let altered = model.to_json();
+        assert_ne!(old, altered);
+        (old, altered)
+    })
+}
+
+fn session(cache_dir: Option<&Path>) -> namer::core::DetectSession {
+    let (json, _) = model_jsons();
+    let builder = NamerBuilder::new().model(SavedModel::from_json(json).unwrap());
+    match cache_dir {
+        Some(dir) => builder.cache_dir(dir),
+        None => builder,
+    }
+    .build()
+    .expect("session builds")
+}
+
+fn report_strings(reports: &[namer::core::Report]) -> Vec<String> {
+    reports.iter().map(|r| r.to_string()).collect()
+}
+
+// ----- kill-point matrices ----------------------------------------------------
+
+#[test]
+fn cache_kill_point_matrix_leaves_old_or_new_cache() {
+    let dir = scratch("cache-kill");
+    let path = dir.join("scan-cache.json");
+    let fp = 42u64;
+    let mut old_cache = ScanCache::empty(fp);
+    old_cache.insert(content_digest("a = 1\n", Lang::Python), CacheEntry::ParseFailure);
+    let old_json = old_cache.to_json();
+    let mut new_cache = old_cache.clone();
+    new_cache.insert(content_digest("b = 2\n", Lang::Python), CacheEntry::ParseFailure);
+    let new_json = new_cache.to_json();
+    assert_ne!(old_json, new_json);
+
+    // Size the matrix by counting a clean save's operations.
+    let probe = FaultVfs::real(FaultSchedule::new());
+    new_cache.save_via(&probe, &path).unwrap();
+    let ops = probe.ops();
+    assert!(ops >= 2, "a crash-safe save is at least write + rename");
+
+    for k in 0..ops {
+        for landed in [None, Some(0), Some(7), Some(usize::MAX)] {
+            old_cache.save(&path).unwrap();
+            let vfs = FaultVfs::real(FaultSchedule::kill_at(k, landed));
+            assert!(
+                new_cache.save_via(&vfs, &path).is_err(),
+                "kill at op {k} must surface"
+            );
+            assert!(vfs.killed());
+            // What a restarted process sees: the complete old cache or the
+            // complete new one — never a corrupt hybrid.
+            let bytes = std::fs::read_to_string(&path).unwrap();
+            assert!(
+                bytes == old_json || bytes == new_json,
+                "k={k} landed={landed:?}: truncated cache on disk"
+            );
+            let (loaded, status) = ScanCache::load(&path, fp);
+            assert!(
+                matches!(status, CacheLoadStatus::Warm(_)),
+                "k={k} landed={landed:?}: load degraded to {status:?}"
+            );
+            assert!(loaded == old_cache || loaded == new_cache);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn model_kill_point_matrix_leaves_old_or_new_model() {
+    let (old_json, new_json) = model_jsons();
+    let dir = scratch("model-kill");
+    let path = dir.join("model.json");
+    let old = SavedModel::from_json(old_json).unwrap();
+    let new = SavedModel::from_json(new_json).unwrap();
+
+    let probe = FaultVfs::real(FaultSchedule::new());
+    new.save_via(&probe, &path).unwrap();
+    let ops = probe.ops();
+
+    for k in 0..ops {
+        for landed in [None, Some(0), Some(100), Some(usize::MAX)] {
+            old.save(&path).unwrap();
+            let vfs = FaultVfs::real(FaultSchedule::kill_at(k, landed));
+            assert!(new.save_via(&vfs, &path).is_err(), "kill at op {k} must surface");
+            let bytes = std::fs::read_to_string(&path).unwrap();
+            assert!(
+                &bytes == old_json || &bytes == new_json,
+                "k={k} landed={landed:?}: truncated model on disk"
+            );
+            // A restarted process loads a usable model either way.
+            let loaded = SavedModel::load_via(&RealFs, &path).expect("model loads after crash");
+            assert_eq!(loaded.to_json(), bytes);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn session_survives_kill_at_every_cache_operation() {
+    let dir = scratch("session-kill");
+    let cache_path = dir.join("scan-cache.json");
+    let files_a = corpus(0);
+    let files_b = corpus(2);
+
+    // A clean cached run over corpus A seeds the "old" cache; corpus B
+    // (a superset) produces a different "new" cache.
+    session(Some(&dir)).run(&files_a).unwrap();
+    let old_json = std::fs::read_to_string(&cache_path).unwrap();
+
+    let expected = report_strings(&session(None).run(&files_b).unwrap().reports);
+
+    // Size the matrix: one clean cached run over B through a fault-free
+    // FaultVfs counts every VFS operation the session performs.
+    let (json, _) = model_jsons();
+    let probe = Arc::new(FaultVfs::real(FaultSchedule::new()));
+    let mut sized = NamerBuilder::new()
+        .model(SavedModel::from_json(json).unwrap())
+        .cache_dir(&dir)
+        .vfs(probe.clone())
+        .build()
+        .unwrap();
+    sized.run(&files_b).unwrap();
+    let ops = probe.ops();
+    let new_json = std::fs::read_to_string(&cache_path).unwrap();
+    assert_ne!(old_json, new_json);
+
+    for k in 0..ops {
+        atomic_write(&RealFs, &cache_path, old_json.as_bytes()).unwrap();
+        let vfs = Arc::new(FaultVfs::real(FaultSchedule::kill_at(k, Some(usize::MAX))));
+        let result = NamerBuilder::new()
+            .model(SavedModel::from_json(json).unwrap())
+            .cache_dir(&dir)
+            .vfs(vfs)
+            .build()
+            .and_then(|mut s| s.run(&files_b));
+        assert!(result.is_err(), "kill at op {k} must surface as an error");
+        let bytes = std::fs::read_to_string(&cache_path).unwrap();
+        assert!(
+            bytes == old_json || bytes == new_json,
+            "op {k}: truncated cache on disk"
+        );
+        // The restart: a fresh session loads the surviving cache warm and
+        // reproduces the full scan's findings exactly.
+        let mut fresh = session(Some(&dir));
+        assert!(
+            matches!(fresh.cache_status(), Some(CacheLoadStatus::Warm(_))),
+            "op {k}: cache degraded to {:?} after crash",
+            fresh.cache_status()
+        );
+        let outcome = fresh.run(&files_b).unwrap();
+        assert_eq!(report_strings(&outcome.reports), expected, "op {k}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ----- graceful degradation ---------------------------------------------------
+
+#[test]
+fn quarantined_inputs_do_not_change_healthy_findings() {
+    let dir = scratch("quarantine");
+    for i in 0..6 {
+        write(&dir, &format!("r{}/f{i}.py", i % 2), IDIOM.as_bytes());
+    }
+    write(&dir, "r0/bug.py", MISUSE.as_bytes());
+    // The salt: a non-UTF-8 source and a file that fails with a permanent
+    // error even after retries.
+    write(&dir, "r0/binary.py", b"\xc3\x28\xff\xfe");
+    write(&dir, "r1/locked.py", IDIOM.as_bytes());
+
+    let vfs = FaultVfs::real(
+        FaultSchedule::new().on_path("locked.py", Fault::Err(io::ErrorKind::PermissionDenied)),
+    );
+    let mut reader = CorpusReader::new(&vfs);
+    let files = reader.collect_sources(&dir, Lang::Python).unwrap();
+    let diag = reader.finish();
+    assert_eq!(diag.quarantined.len(), 2);
+
+    // Fault-free ingestion of the same corpus with the hostile files
+    // removed must be byte-identical…
+    std::fs::remove_file(dir.join("r0/binary.py")).unwrap();
+    std::fs::remove_file(dir.join("r1/locked.py")).unwrap();
+    let mut clean_reader = CorpusReader::new(&RealFs);
+    let clean_files = clean_reader.collect_sources(&dir, Lang::Python).unwrap();
+    assert!(clean_reader.finish().is_clean());
+    assert_eq!(files, clean_files);
+
+    // …and so must the findings; the diagnostics surface on the outcome
+    // and in the run's own metrics.
+    let (json, _) = model_jsons();
+    let mut salted = NamerBuilder::new()
+        .model(SavedModel::from_json(json).unwrap())
+        .ingest_diagnostics(diag)
+        .build()
+        .unwrap();
+    let outcome = salted.run(&files).unwrap();
+    let clean_outcome = session(None).run(&clean_files).unwrap();
+    assert_eq!(
+        report_strings(&outcome.reports),
+        report_strings(&clean_outcome.reports)
+    );
+    assert_eq!(outcome.diagnostics.quarantined.len(), 2);
+    assert_eq!(outcome.metrics.counter(Counter::QuarantinedFiles), 2);
+    assert_eq!(clean_outcome.metrics.counter(Counter::QuarantinedFiles), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seeded_transient_faults_only_move_the_retry_counter() {
+    let dir = scratch("transient");
+    for i in 0..6 {
+        write(&dir, &format!("r{}/f{i}.py", i % 2), IDIOM.as_bytes());
+    }
+    let mut clean_reader = CorpusReader::new(&RealFs);
+    let clean = clean_reader.collect_sources(&dir, Lang::Python).unwrap();
+
+    // Seed 1 deterministically faults operation 0 (guaranteeing at least
+    // one retry) and never produces more than 5 consecutive faults, so
+    // 8 immediate attempts always recover.
+    let vfs = FaultVfs::real(FaultSchedule::seeded_transient(1, 400, 30));
+    let mut reader = CorpusReader::new(&vfs).retry_policy(RetryPolicy::immediate(8));
+    let files = reader.collect_sources(&dir, Lang::Python).unwrap();
+    let diag = reader.finish();
+    assert_eq!(files, clean);
+    assert!(diag.quarantined.is_empty());
+    assert!(diag.io_retries >= 1, "operation 0 faults under seed 1");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn symlink_cycles_are_reported_not_fatal() {
+    let dir = scratch("cycle");
+    write(&dir, "r0/a.py", IDIOM.as_bytes());
+    std::os::unix::fs::symlink(&dir, dir.join("r0/loop")).unwrap();
+    let mut reader = CorpusReader::new(&RealFs);
+    let files = reader.collect_sources(&dir, Lang::Python).unwrap();
+    assert_eq!(files.len(), 1);
+    let diag = reader.finish();
+    assert_eq!(diag.quarantined.len(), 1);
+    assert_eq!(
+        diag.quarantined[0].reason,
+        namer::core::QuarantineReason::SymlinkCycle
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ----- quarantine-equivalence property ----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Across random corpora salted with random unhealthy files, ingestion
+    /// yields exactly the healthy subset (byte-identical, sorted) and
+    /// quarantines exactly the unhealthy files.
+    #[test]
+    fn faulted_ingestion_yields_exactly_the_healthy_subset(
+        specs in proptest::collection::vec((0u8..3, 0u8..2), 1..8),
+        bad in 0usize..3,
+        locked in 0usize..3,
+    ) {
+        let dir = scratch("prop");
+        let mut expected = Vec::new();
+        for (i, &(r, t)) in specs.iter().enumerate() {
+            let repo = format!("r{r}");
+            let rel = format!("{repo}/f{i}.py");
+            let text = if t == 0 { IDIOM } else { MISUSE };
+            write(&dir, &rel, text.as_bytes());
+            expected.push(SourceFile::new(repo, rel, text, Lang::Python));
+        }
+        for j in 0..bad {
+            write(&dir, &format!("rx/bad{j}.py"), b"\xff\xfe\xc3\x28");
+        }
+        let mut schedule = FaultSchedule::new();
+        for j in 0..locked {
+            write(&dir, &format!("rx/locked{j}.py"), b"x = 1\n");
+            schedule = schedule.on_path(
+                format!("locked{j}.py"),
+                Fault::Err(io::ErrorKind::PermissionDenied),
+            );
+        }
+
+        let vfs = FaultVfs::real(schedule);
+        let mut reader = CorpusReader::new(&vfs);
+        let files = reader.collect_sources(&dir, Lang::Python).unwrap();
+        let diag = reader.finish();
+
+        expected.sort_by(|a, b| {
+            (a.repo.clone(), a.path.clone()).cmp(&(b.repo.clone(), b.path.clone()))
+        });
+        prop_assert_eq!(&files, &expected);
+        prop_assert_eq!(diag.quarantined.len(), bad + locked);
+        prop_assert!(diag.quarantined.iter().all(|q| {
+            let name = q.path.file_name().unwrap().to_string_lossy().into_owned();
+            name.starts_with("bad") || name.starts_with("locked")
+        }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
