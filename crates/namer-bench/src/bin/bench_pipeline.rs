@@ -9,11 +9,13 @@
 //! thread count and writes `BENCH_pipeline.json` (statements/second per
 //! stage, straight from the pipeline's own metrics collector). A final
 //! overhead check times the scan with and without a live collector against
-//! DESIGN.md §10's ≤ 2 % budget. `--quick` runs the small corpus with
-//! threads 1,2 — fast enough for the smoke tests. By default the sweep
+//! DESIGN.md §10's ≤ 2 % budget, and a model-load phase times JSON versus
+//! binary model decoding (cold and page-warm, with peak RSS). `--quick`
+//! runs the small corpus with threads 1,2 — fast enough for the smoke
+//! tests. By default the sweep
 //! covers 1, 2, 4, and all cores.
 
-use namer_bench::throughput::{measure, measure_overhead};
+use namer_bench::throughput::{measure, measure_model_load, measure_overhead};
 use namer_bench::Scale;
 use namer_core::{atomic_write, RealFs};
 use namer_patterns::resolve_threads;
@@ -103,6 +105,23 @@ fn main() -> ExitCode {
         overhead.overhead_pct, overhead.unobserved_secs, overhead.observed_secs, overhead.reps,
     );
     bench.overhead = Some(overhead);
+
+    let load_reps = if quick { 3 } else { 10 };
+    let model_load = measure_model_load(lang, scale, seed, load_reps);
+    println!(
+        "model load: json {}B / binary {}B | cold {:.4}s vs {:.4}s | warm {:.5}s vs {:.5}s ({:.1}x)",
+        model_load.json_bytes,
+        model_load.binary_bytes,
+        model_load.cold_json_secs,
+        model_load.cold_binary_secs,
+        model_load.warm_json_secs,
+        model_load.warm_binary_secs,
+        model_load.warm_speedup,
+    );
+    if let Some(rss) = model_load.peak_rss_bytes {
+        println!("  peak RSS after loads: {:.1} MiB", rss as f64 / (1 << 20) as f64);
+    }
+    bench.model_load = Some(model_load);
 
     let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
     if let Err(e) = atomic_write(&RealFs, out.as_ref(), (json + "\n").as_bytes()) {

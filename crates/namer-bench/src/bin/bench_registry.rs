@@ -1,0 +1,88 @@
+//! `bench_registry` — model-registry hit/evict rates under a byte budget.
+//!
+//! ```text
+//! bench_registry [--quick] [--models N] [--budget-frac F]
+//!                [--requests N] [--out FILE]
+//! ```
+//!
+//! Writes a directory of distinct binary models, opens a
+//! [`ModelRegistry`](namer_core::ModelRegistry) whose budget holds only
+//! `--budget-frac` (default 0.4) of the catalog, replays a deterministic
+//! skewed request stream, and writes `BENCH_registry.json` with hit, miss,
+//! and eviction rates plus request throughput. `--quick` shrinks the
+//! catalog and stream for the smoke tests.
+
+use namer_bench::registry::measure_registry;
+use namer_core::{atomic_write, RealFs};
+use std::process::ExitCode;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let models: usize = match flag_value(&args, "--models").map(str::parse) {
+        None => {
+            if quick {
+                8
+            } else {
+                24
+            }
+        }
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("error: bad --models");
+            return ExitCode::from(2);
+        }
+    };
+    let budget_frac: f64 = match flag_value(&args, "--budget-frac").map(str::parse) {
+        None => 0.4,
+        Some(Ok(f)) if f > 0.0 => f,
+        Some(_) => {
+            eprintln!("error: bad --budget-frac");
+            return ExitCode::from(2);
+        }
+    };
+    let requests: usize = match flag_value(&args, "--requests").map(str::parse) {
+        None => {
+            if quick {
+                200
+            } else {
+                2000
+            }
+        }
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("error: bad --requests");
+            return ExitCode::from(2);
+        }
+    };
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_registry.json");
+
+    println!(
+        "registry bench: {models} models, budget {budget_frac:.0}% of catalog, {requests} requests"
+    );
+    let bench = measure_registry(models, budget_frac, requests);
+    println!(
+        "  hit rate {:.1}% | evict rate {:.1}% | {} resident ({} bytes of {} budget) | {:.0} req/s",
+        bench.hit_rate * 100.0,
+        bench.evict_rate * 100.0,
+        bench.resident_models,
+        bench.resident_bytes,
+        bench.budget_bytes,
+        bench.requests_per_sec,
+    );
+
+    let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
+    if let Err(e) = atomic_write(&RealFs, out.as_ref(), (json + "\n").as_bytes()) {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -7,6 +7,7 @@
 //! sampling, and table rendering.
 
 pub mod incremental;
+pub mod registry;
 pub mod shard;
 pub mod throughput;
 

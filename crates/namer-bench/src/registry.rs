@@ -1,0 +1,150 @@
+//! Model-registry behaviour under a memory budget, behind the
+//! `bench_registry` binary (`BENCH_registry.json`).
+//!
+//! Serving many models from one process is the multi-corpus deployment the
+//! paper's §5 pipeline implies (one model per language/organisation). This
+//! harness writes a directory of distinct binary models, opens a
+//! [`ModelRegistry`](namer_core::ModelRegistry) whose budget holds only a
+//! fraction of them, replays a deterministic skewed request stream, and
+//! reports hit/miss/eviction rates plus request throughput — the numbers
+//! that tell you whether a budget is sized sanely for a workload.
+
+use namer_core::{ModelRegistry, SavedModel};
+use namer_ml::ModelKind;
+use namer_patterns::ConfusingPairs;
+use namer_syntax::{Lang, Sym};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The benchmark report serialised to `BENCH_registry.json`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct RegistryBench {
+    /// Models in the catalog.
+    pub models: usize,
+    /// Resident-byte budget the registry ran under.
+    pub budget_bytes: usize,
+    /// Summed encoded size of every model file.
+    pub catalog_bytes: usize,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Requests served from a resident model.
+    pub hits: u64,
+    /// Requests that loaded from disk.
+    pub misses: u64,
+    /// Evictions performed to stay under budget.
+    pub evictions: u64,
+    /// `hits / requests`.
+    pub hit_rate: f64,
+    /// `evictions / requests`.
+    pub evict_rate: f64,
+    /// Models resident when the stream ended.
+    pub resident_models: usize,
+    /// Resident bytes when the stream ended.
+    pub resident_bytes: usize,
+    /// Wall-clock for the whole request stream, seconds.
+    pub secs: f64,
+    /// Requests per second.
+    pub requests_per_sec: f64,
+}
+
+/// A small model whose pair table varies with `salt`, so every catalog
+/// entry has distinct content (and therefore a distinct digest).
+fn salted_model(salt: usize) -> SavedModel {
+    let mut pairs = ConfusingPairs::new();
+    for i in 0..8 {
+        pairs.insert(
+            Sym::intern(&format!("mistaken_{salt}_{i}")),
+            Sym::intern(&format!("correct_{salt}_{i}")),
+        );
+    }
+    SavedModel {
+        version: namer_core::persist::FORMAT_VERSION,
+        lang: Lang::Python,
+        use_analysis: true,
+        patterns: Vec::new(),
+        dataset: Vec::new(),
+        pairs,
+        classifier: None,
+        model_kind: ModelKind::SvmLinear,
+    }
+}
+
+/// Writes `models` distinct binary models, opens a registry whose budget
+/// holds roughly `budget_fraction` of the catalog, and replays `requests`
+/// deterministic skewed lookups (a hot third of the catalog takes most of
+/// the traffic, the tail cycles — the usual many-tenants shape).
+///
+/// # Panics
+///
+/// Panics when `models` is zero or the temp directory cannot be written.
+pub fn measure_registry(models: usize, budget_fraction: f64, requests: usize) -> RegistryBench {
+    assert!(models > 0, "need at least one model");
+    let dir = std::env::temp_dir().join(format!("namer-bench-registry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut catalog_bytes = 0usize;
+    for i in 0..models {
+        let path = dir.join(format!("model-{i:03}.bin"));
+        salted_model(i).save(&path).expect("write model");
+        catalog_bytes += std::fs::metadata(&path).expect("stat").len() as usize;
+    }
+    let budget_bytes = ((catalog_bytes as f64 * budget_fraction) as usize).max(1);
+    let registry = ModelRegistry::open(&dir, budget_bytes).expect("open registry");
+
+    // Deterministic skew without an RNG: even ticks hammer the hot third,
+    // odd ticks walk the whole catalog round-robin.
+    let hot = (models / 3).max(1);
+    let t = Instant::now();
+    for tick in 0..requests {
+        let idx = if tick % 2 == 0 {
+            (tick / 2) % hot
+        } else {
+            (tick * 7 + 3) % models
+        };
+        let name = format!("model-{idx:03}");
+        registry.get(&name).expect("cataloged model loads");
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let stats = registry.stats();
+    std::fs::remove_dir_all(&dir).ok();
+
+    RegistryBench {
+        models,
+        budget_bytes,
+        catalog_bytes,
+        requests,
+        hits: stats.hits,
+        misses: stats.misses,
+        evictions: stats.evictions,
+        hit_rate: stats.hits as f64 / (requests as f64).max(1.0),
+        evict_rate: stats.evictions as f64 / (requests as f64).max(1.0),
+        resident_models: stats.resident_models,
+        resident_bytes: stats.resident_bytes,
+        secs,
+        requests_per_sec: requests as f64 / secs.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_budget_evicts_and_still_serves() {
+        let bench = measure_registry(6, 0.4, 60);
+        assert_eq!(bench.models, 6);
+        assert_eq!(bench.requests, 60);
+        assert_eq!(bench.hits + bench.misses, 60);
+        assert!(bench.evictions > 0, "a 40% budget must evict");
+        assert!(bench.hits > 0, "the hot set must hit");
+        assert!(bench.resident_models >= 1);
+        assert!(bench.resident_bytes <= bench.budget_bytes, "stays under budget");
+    }
+
+    #[test]
+    fn full_budget_never_evicts() {
+        let bench = measure_registry(4, 1.0, 40);
+        assert_eq!(bench.evictions, 0);
+        assert_eq!(bench.misses, 4, "each model loads exactly once");
+        assert_eq!(bench.hits, 36);
+    }
+}

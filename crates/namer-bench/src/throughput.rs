@@ -11,8 +11,8 @@
 //! a "stage" covers. The [`measure_overhead`] check times the scan with and
 //! without a live collector to police DESIGN.md §10's ≤ 2 % budget.
 
-use crate::{namer_config, setup, Scale, Setup};
-use namer_core::{process_parallel_observed, Detector};
+use crate::{labeler, namer_config, setup, Scale, Setup};
+use namer_core::{process_parallel_observed, Detector, Namer, SavedModel};
 use namer_observe::{Observer, Phase, PipelineMetrics};
 use namer_patterns::{resolve_threads, MiningConfig, ShardPlan};
 use namer_syntax::Lang;
@@ -73,6 +73,106 @@ pub struct OverheadCheck {
     pub overhead_pct: f64,
 }
 
+/// Model (de)serialisation timings: legacy JSON versus the binary
+/// container of DESIGN.md §12, measured on the same trained model.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ModelLoadBench {
+    /// Encoded size of the JSON model, bytes.
+    pub json_bytes: usize,
+    /// Encoded size of the binary model, bytes.
+    pub binary_bytes: usize,
+    /// First read+decode of the JSON file after writing it, seconds.
+    pub cold_json_secs: f64,
+    /// First read+decode of the binary file after writing it, seconds.
+    pub cold_binary_secs: f64,
+    /// Best page-warm read+decode of the JSON file, seconds.
+    pub warm_json_secs: f64,
+    /// Best page-warm read+decode of the binary file, seconds.
+    pub warm_binary_secs: f64,
+    /// `warm_json_secs / warm_binary_secs` — the ISSUE's ≥ 5× target.
+    pub warm_speedup: f64,
+    /// Peak resident set (`VmHWM`) after the loads, bytes; `None` when the
+    /// platform has no `/proc/self/status`.
+    pub peak_rss_bytes: Option<u64>,
+    /// Timing repetitions per format (first is the cold arm).
+    pub reps: usize,
+}
+
+/// Peak resident set size of this process (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Trains one model at `scale`, writes it in both formats, and times
+/// read+decode per format, `reps` times each (rep 0 is the cold arm —
+/// freshly written file, decoder caches empty; later reps are page-warm).
+/// Decoded models are checked equal across formats so the speedup can
+/// never come from decoding less.
+pub fn measure_model_load(lang: Lang, scale: Scale, seed: u64, reps: usize) -> ModelLoadBench {
+    let Setup {
+        corpus,
+        oracle,
+        commits,
+    } = setup(lang, scale, seed);
+    let config = namer_config(scale);
+    let namer = Namer::train(&corpus.files, &commits, labeler(&oracle), &config);
+    let model = SavedModel::from_namer(&namer);
+
+    let dir = std::env::temp_dir().join(format!("namer-bench-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("model.json");
+    let bin_path = dir.join("model.bin");
+    let json = model.to_json().expect("model serialises");
+    std::fs::write(&json_path, &json).expect("write json model");
+    model.save(&bin_path).expect("write binary model");
+    let binary_bytes = std::fs::metadata(&bin_path).expect("stat").len() as usize;
+
+    let reps = reps.max(2);
+    let time_loads = |path: &std::path::Path| -> Vec<f64> {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let bytes = std::fs::read(path).expect("read model");
+                let loaded = SavedModel::from_bytes(&bytes).expect("decode model");
+                let secs = t.elapsed().as_secs_f64();
+                assert_eq!(
+                    loaded.patterns.len(),
+                    model.patterns.len(),
+                    "load changed the model"
+                );
+                secs
+            })
+            .collect()
+    };
+    let json_times = time_loads(&json_path);
+    let bin_times = time_loads(&bin_path);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let best_warm = |times: &[f64]| {
+        times[1..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    };
+    let warm_json_secs = best_warm(&json_times);
+    let warm_binary_secs = best_warm(&bin_times);
+    ModelLoadBench {
+        json_bytes: json.len(),
+        binary_bytes,
+        cold_json_secs: json_times[0],
+        cold_binary_secs: bin_times[0],
+        warm_json_secs,
+        warm_binary_secs,
+        warm_speedup: warm_json_secs / warm_binary_secs.max(1e-9),
+        peak_rss_bytes: peak_rss_bytes(),
+        reps,
+    }
+}
+
 /// The benchmark report serialised to `BENCH_pipeline.json`.
 #[derive(Clone, Debug, Serialize)]
 pub struct PipelineBench {
@@ -86,6 +186,8 @@ pub struct PipelineBench {
     pub runs: Vec<PipelineRun>,
     /// Collector-overhead check; `None` when the sweep skipped it.
     pub overhead: Option<OverheadCheck>,
+    /// JSON-vs-binary model load timings; `None` when the sweep skipped it.
+    pub model_load: Option<ModelLoadBench>,
 }
 
 /// Generates one corpus and times process/mine/scan at each thread count
@@ -105,6 +207,7 @@ pub fn measure(lang: Lang, scale: Scale, seed: u64, thread_counts: &[usize]) -> 
         stmts: 0,
         runs: Vec::new(),
         overhead: None,
+        model_load: None,
     };
     for &requested in thread_counts {
         let threads = resolve_threads(requested);
@@ -205,6 +308,16 @@ mod tests {
         // Thread-count invariance of the results themselves.
         assert_eq!(bench.runs[0].patterns, bench.runs[1].patterns);
         assert_eq!(bench.runs[0].violations, bench.runs[1].violations);
+    }
+
+    #[test]
+    fn model_load_times_both_formats() {
+        let bench = measure_model_load(Lang::Python, Scale::Small, 7, 2);
+        assert_eq!(bench.reps, 2);
+        assert!(bench.json_bytes > 0 && bench.binary_bytes > 0);
+        assert!(bench.cold_json_secs > 0.0 && bench.cold_binary_secs > 0.0);
+        assert!(bench.warm_json_secs > 0.0 && bench.warm_binary_secs > 0.0);
+        assert!(bench.warm_speedup.is_finite());
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   and [`DetectSession::run`] covers full, incremental (scan-cache-backed,
 //!   DESIGN.md §8), and sharded scans behind one call;
 //! * [`persist`] — model snapshots ([`SavedModel`]) and the digest-keyed
-//!   [`ScanCache`] behind incremental runs;
+//!   [`ScanCache`] behind incremental runs, stored in the versioned binary
+//!   container of [`binfmt`] (legacy JSON stays readable behind a format
+//!   sniff, DESIGN.md §12);
+//! * [`registry`] — the digest-addressed [`ModelRegistry`]: many models in
+//!   one directory, loaded lazily and LRU-evicted under a memory budget;
 //! * [`error`] — [`NamerError`], the unified error type of the builder,
 //!   session, and CLI paths;
 //! * [`vfs`] — the virtual-filesystem seam ([`Vfs`], [`RealFs`], the
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod detector;
 pub mod error;
 pub mod features;
@@ -47,6 +52,7 @@ pub mod ingest;
 pub mod namer;
 pub mod persist;
 pub mod process;
+pub mod registry;
 pub mod sarif;
 pub mod session;
 pub mod vfs;
@@ -61,6 +67,7 @@ pub use namer::{Namer, NamerConfig, Report};
 pub use persist::{
     CacheEntry, CacheLoadStatus, PersistError, SavedModel, ScanCache, CACHE_FORMAT_VERSION,
 };
+pub use registry::{ModelRegistry, RegistryStats};
 pub use sarif::to_sarif;
 pub use process::{
     process, process_each, process_each_observed, process_parallel, process_parallel_observed,

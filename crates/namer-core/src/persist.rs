@@ -11,13 +11,24 @@
 //! Unlike model loading, cache loading *never* fails: any mismatch or
 //! corruption degrades to an empty cache and therefore a cold — but still
 //! correct — scan.
+//!
+//! Both types save in the binary container of [`crate::binfmt`] — an
+//! interned symbol table plus flat fixed-width arrays
+//! ([`namer_patterns::flat`]), digest-guarded, laid out in DESIGN.md §12 —
+//! and load either format behind a sniff: files starting with the container
+//! magic decode as binary, everything else parses as the legacy JSON, so
+//! pre-existing model and cache files keep working unchanged.
 
-use crate::detector::{Detector, FileScanState};
+use crate::binfmt::{self, BinError, BinFile, BinWriter};
+use crate::detector::{Detector, FileScanState, RawHit};
 use crate::error::NamerError;
 use crate::features::LevelCounts;
 use crate::namer::{Namer, NamerConfig};
 use crate::vfs::{atomic_write, RealFs, Vfs};
 use namer_ml::{ModelKind, Pipeline};
+use namer_patterns::flat::{
+    self, FlatError, PathsBuilder, PathsView, SymTable, SymTableBuilder,
+};
 use namer_patterns::{ConfusingPairs, NamePattern};
 use namer_syntax::{ContentDigest, Lang};
 use serde::{Deserialize, Serialize};
@@ -26,7 +37,7 @@ use std::io;
 use std::path::Path;
 
 /// A serialisable snapshot of a trained [`Namer`].
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct SavedModel {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -50,13 +61,15 @@ pub struct SavedModel {
 /// Current format version.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// Errors from loading a saved model.
+/// Errors from loading or serialising a saved model.
 #[derive(Debug)]
 pub enum PersistError {
-    /// The JSON did not parse or did not match the schema.
+    /// The file did not parse (JSON or binary) or did not match the schema.
     Malformed(String),
     /// The format version is not supported.
     UnsupportedVersion(u32),
+    /// Serialisation itself failed (a classifier that cannot be encoded).
+    Serialize(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -66,11 +79,69 @@ impl std::fmt::Display for PersistError {
             PersistError::UnsupportedVersion(v) => {
                 write!(f, "unsupported model format version {v}")
             }
+            PersistError::Serialize(e) => write!(f, "model serialisation failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for PersistError {}
+
+impl From<BinError> for PersistError {
+    fn from(e: BinError) -> PersistError {
+        match e {
+            BinError::UnsupportedVersion(v) => PersistError::UnsupportedVersion(v),
+            other => PersistError::Malformed(other.to_string()),
+        }
+    }
+}
+
+impl From<FlatError> for PersistError {
+    fn from(e: FlatError) -> PersistError {
+        PersistError::Malformed(e.to_string())
+    }
+}
+
+impl From<FlatError> for BinError {
+    fn from(e: FlatError) -> BinError {
+        BinError::Malformed(e.to_string())
+    }
+}
+
+// Model section ids (container kind `KIND_MODEL`).
+const MODEL_SEC_META: u32 = 1;
+const MODEL_SEC_SYMS: u32 = 2;
+const MODEL_SEC_PATHS: u32 = 3;
+const MODEL_SEC_PREFIX_POOL: u32 = 4;
+const MODEL_SEC_PATTERNS: u32 = 5;
+const MODEL_SEC_DATASET: u32 = 6;
+const MODEL_SEC_PAIRS: u32 = 7;
+const MODEL_SEC_CLASSIFIER: u32 = 8;
+
+const MODEL_META_BYTES: usize = 20;
+const DATASET_RECORD_BYTES: usize = 24;
+
+fn lang_tag(lang: Lang) -> u32 {
+    match lang {
+        Lang::Python => 0,
+        Lang::Java => 1,
+    }
+}
+
+fn kind_tag(kind: ModelKind) -> u32 {
+    match kind {
+        ModelKind::SvmLinear => 0,
+        ModelKind::LogReg => 1,
+        ModelKind::Lda => 2,
+    }
+}
+
+fn bool_from(tag: u32, what: &str) -> Result<bool, PersistError> {
+    match tag {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(PersistError::Malformed(format!("bad {what} flag {other}"))),
+    }
+}
 
 impl SavedModel {
     /// Snapshots a trained system.
@@ -97,17 +168,17 @@ impl SavedModel {
         Namer::assemble(detector, self.classifier, self.model_kind, self.lang, config)
     }
 
-    /// Serialises to pretty JSON.
+    /// Serialises to pretty JSON (the legacy interchange format; saving
+    /// goes through [`SavedModel::to_binary`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics only if serde serialisation fails, which cannot happen for
-    /// this self-describing structure.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("SavedModel serialises")
+    /// [`PersistError::Serialize`] when serde serialisation fails.
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        serde_json::to_string_pretty(self).map_err(|e| PersistError::Serialize(e.to_string()))
     }
 
-    /// Parses a model file.
+    /// Parses a JSON model file.
     ///
     /// # Errors
     ///
@@ -121,38 +192,193 @@ impl SavedModel {
         Ok(model)
     }
 
-    /// Writes the model to `path` crash-safely through `vfs` (write-temp +
-    /// fsync + atomic rename, DESIGN.md §11): a process killed mid-save
-    /// leaves either the previous model or the new one, never a
-    /// truncation.
+    /// Encodes the model into the binary container (DESIGN.md §12):
+    /// patterns, paths, and pairs as flat arrays over an interned symbol
+    /// table; the classifier pipeline as an embedded JSON blob section.
     ///
     /// # Errors
     ///
-    /// The underlying I/O error when the write or rename fails.
-    pub fn save_via(&self, vfs: &dyn Vfs, path: &Path) -> io::Result<()> {
-        atomic_write(vfs, path, self.to_json().as_bytes())
+    /// [`PersistError::Serialize`] when the classifier blob cannot be
+    /// serialised.
+    pub fn to_binary(&self) -> Result<Vec<u8>, PersistError> {
+        let mut syms = SymTableBuilder::new();
+        let mut paths = PathsBuilder::new();
+        let patterns = flat::encode_patterns(&self.patterns, &mut paths, &mut syms);
+        let pairs = flat::encode_pairs(&self.pairs, &mut syms);
+        let (path_records, prefix_pool) = paths.finish();
+
+        let mut meta = Vec::with_capacity(MODEL_META_BYTES);
+        for v in [
+            self.version,
+            lang_tag(self.lang),
+            u32::from(self.use_analysis),
+            kind_tag(self.model_kind),
+            u32::from(self.classifier.is_some()),
+        ] {
+            meta.extend_from_slice(&v.to_le_bytes());
+        }
+
+        let mut dataset = Vec::with_capacity(self.dataset.len() * DATASET_RECORD_BYTES);
+        for c in &self.dataset {
+            dataset.extend_from_slice(&c.matches.to_le_bytes());
+            dataset.extend_from_slice(&c.satisfactions.to_le_bytes());
+            dataset.extend_from_slice(&c.violations.to_le_bytes());
+        }
+
+        let mut w = BinWriter::new(binfmt::KIND_MODEL);
+        w.section(MODEL_SEC_META, meta);
+        w.section(MODEL_SEC_SYMS, syms.encode());
+        w.section(MODEL_SEC_PATHS, path_records);
+        w.section(MODEL_SEC_PREFIX_POOL, prefix_pool);
+        w.section(MODEL_SEC_PATTERNS, patterns);
+        w.section(MODEL_SEC_DATASET, dataset);
+        w.section(MODEL_SEC_PAIRS, pairs);
+        if let Some(classifier) = &self.classifier {
+            let blob = serde_json::to_vec(classifier)
+                .map_err(|e| PersistError::Serialize(e.to_string()))?;
+            w.section(MODEL_SEC_CLASSIFIER, blob);
+        }
+        Ok(w.finish())
+    }
+
+    /// Decodes a binary model file.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] for anything unusable: a digest mismatch, a
+    /// truncated or malformed container, or an unsupported version.
+    pub fn from_binary(bytes: &[u8]) -> Result<SavedModel, PersistError> {
+        let file = BinFile::parse_kind(bytes, binfmt::KIND_MODEL)?;
+        let meta = file.require(MODEL_SEC_META)?;
+        if meta.len() != MODEL_META_BYTES {
+            return Err(PersistError::Malformed(format!(
+                "model meta section is {} bytes, expected {MODEL_META_BYTES}",
+                meta.len()
+            )));
+        }
+        let version = flat::read_u32(meta, 0)?;
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let lang = match flat::read_u32(meta, 4)? {
+            0 => Lang::Python,
+            1 => Lang::Java,
+            other => return Err(PersistError::Malformed(format!("bad language tag {other}"))),
+        };
+        let use_analysis = bool_from(flat::read_u32(meta, 8)?, "use_analysis")?;
+        let model_kind = match flat::read_u32(meta, 12)? {
+            0 => ModelKind::SvmLinear,
+            1 => ModelKind::LogReg,
+            2 => ModelKind::Lda,
+            other => return Err(PersistError::Malformed(format!("bad model kind tag {other}"))),
+        };
+        let has_classifier = bool_from(flat::read_u32(meta, 16)?, "has_classifier")?;
+
+        let syms = SymTable::decode(file.require(MODEL_SEC_SYMS)?)?;
+        let paths = PathsView::parse(
+            file.require(MODEL_SEC_PATHS)?,
+            file.require(MODEL_SEC_PREFIX_POOL)?,
+        )?;
+        let patterns = flat::decode_patterns(file.require(MODEL_SEC_PATTERNS)?, &paths, &syms)?;
+
+        let dataset_bytes = file.require(MODEL_SEC_DATASET)?;
+        if dataset_bytes.len() % DATASET_RECORD_BYTES != 0 {
+            return Err(PersistError::Malformed(format!(
+                "dataset section length {} not a record multiple",
+                dataset_bytes.len()
+            )));
+        }
+        let mut dataset = Vec::with_capacity(dataset_bytes.len() / DATASET_RECORD_BYTES);
+        for at in (0..dataset_bytes.len()).step_by(DATASET_RECORD_BYTES) {
+            dataset.push(LevelCounts {
+                matches: flat::read_u64(dataset_bytes, at)?,
+                satisfactions: flat::read_u64(dataset_bytes, at + 8)?,
+                violations: flat::read_u64(dataset_bytes, at + 16)?,
+            });
+        }
+
+        let pairs = flat::decode_pairs(file.require(MODEL_SEC_PAIRS)?, &syms)?;
+        let classifier = if has_classifier {
+            let blob = file.require(MODEL_SEC_CLASSIFIER)?;
+            Some(
+                serde_json::from_slice(blob)
+                    .map_err(|e| PersistError::Malformed(format!("classifier blob: {e}")))?,
+            )
+        } else {
+            None
+        };
+
+        Ok(SavedModel {
+            version,
+            lang,
+            use_analysis,
+            patterns,
+            dataset,
+            pairs,
+            classifier,
+            model_kind,
+        })
+    }
+
+    /// Decodes a model file in either format: bytes starting with the
+    /// container magic parse as binary, anything else as legacy JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] when the bytes decode as neither.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SavedModel, PersistError> {
+        if binfmt::looks_binary(bytes) {
+            SavedModel::from_binary(bytes)
+        } else {
+            let json = std::str::from_utf8(bytes).map_err(|e| {
+                PersistError::Malformed(format!("neither binary container nor UTF-8 JSON: {e}"))
+            })?;
+            SavedModel::from_json(json)
+        }
+    }
+
+    /// Writes the model to `path` in the binary format, crash-safely
+    /// through `vfs` (write-temp + fsync + atomic rename, DESIGN.md §11):
+    /// a process killed mid-save leaves either the previous model or the
+    /// new one, never a truncation.
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::Model`] when serialisation fails, [`NamerError::Io`]
+    /// when the write or rename fails.
+    pub fn save_via(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), NamerError> {
+        let bytes = self.to_binary().map_err(NamerError::from)?;
+        atomic_write(vfs, path, &bytes).map_err(|e| NamerError::io(path, e))
     }
 
     /// Writes the model to `path` crash-safely on the real filesystem.
     ///
     /// # Errors
     ///
-    /// The underlying I/O error when the write or rename fails.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
+    /// [`NamerError::Model`] when serialisation fails, [`NamerError::Io`]
+    /// when the write or rename fails.
+    pub fn save(&self, path: &Path) -> Result<(), NamerError> {
         self.save_via(&RealFs, path)
     }
 
-    /// Loads a model file through `vfs`.
+    /// Loads a model file (either format) through `vfs`.
     ///
     /// # Errors
     ///
     /// [`NamerError::Io`] when the file cannot be read,
     /// [`NamerError::Model`] when it parses but cannot be used.
     pub fn load_via(vfs: &dyn Vfs, path: &Path) -> Result<SavedModel, NamerError> {
-        let json = vfs
-            .read_to_string(path)
-            .map_err(|e| NamerError::io(path, e))?;
-        SavedModel::from_json(&json).map_err(NamerError::from)
+        let bytes = vfs.read(path).map_err(|e| NamerError::io(path, e))?;
+        SavedModel::from_bytes(&bytes).map_err(NamerError::from)
+    }
+
+    /// Loads a model file (either format) from the real filesystem.
+    ///
+    /// # Errors
+    ///
+    /// As [`SavedModel::load_via`].
+    pub fn load(path: &Path) -> Result<SavedModel, NamerError> {
+        SavedModel::load_via(&RealFs, path)
     }
 }
 
@@ -176,7 +402,8 @@ pub enum CacheLoadStatus {
     Cold,
     /// Cache accepted with this many entries.
     Warm(usize),
-    /// The file did not parse as a cache; discarded.
+    /// The file did not parse as a cache (including digest-mismatched or
+    /// truncated binaries); discarded.
     Corrupt,
     /// The cache was written by a different format version; discarded.
     VersionMismatch,
@@ -200,10 +427,30 @@ impl std::fmt::Display for CacheLoadStatus {
     }
 }
 
+// Cache section ids (container kind `KIND_CACHE`).
+const CACHE_SEC_META: u32 = 1;
+const CACHE_SEC_SYMS: u32 = 2;
+const CACHE_SEC_ENTRIES: u32 = 3;
+const CACHE_SEC_PATTERN_COUNTS: u32 = 4;
+const CACHE_SEC_DIGEST_COUNTS: u32 = 5;
+const CACHE_SEC_RAW: u32 = 6;
+const CACHE_SEC_RENDERED: u32 = 7;
+
+const CACHE_META_BYTES: usize = 16;
+const ENTRY_RECORD_BYTES: usize = 48;
+const PATTERN_COUNT_RECORD_BYTES: usize = 32;
+const DIGEST_COUNT_RECORD_BYTES: usize = 16;
+const RAW_RECORD_BYTES: usize = 48;
+
+const ENTRY_PARSE_FAILURE: u32 = 0;
+const ENTRY_PARSED: u32 = 1;
+
 /// Persisted per-file scan state, keyed by content-digest hex strings.
 ///
 /// A `BTreeMap` keeps serialization deterministic: the same corpus and
-/// detector always produce byte-identical cache files.
+/// detector always produce byte-identical cache files. (Fixed-width
+/// lowercase hex sorts identically to the numeric digests, so the binary
+/// entry records inherit the same order.)
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScanCache {
     /// Cache format version.
@@ -262,17 +509,17 @@ impl ScanCache {
             .retain(|k, _| ContentDigest::from_hex(k).is_some_and(|d| live.contains(&d)));
     }
 
-    /// Serialises to compact JSON (caches are machine-read only).
+    /// Serialises to compact JSON (the legacy interchange format; saving
+    /// goes through [`ScanCache::to_binary`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics only if serde serialisation fails, which cannot happen for
-    /// this self-describing structure.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("ScanCache serialises")
+    /// [`PersistError::Serialize`] when serde serialisation fails.
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        serde_json::to_string(self).map_err(|e| PersistError::Serialize(e.to_string()))
     }
 
-    /// Parses a cache, validating it against `fingerprint`.
+    /// Parses a JSON cache, validating it against `fingerprint`.
     ///
     /// Never fails: anything unacceptable — unparsable JSON, a different
     /// format version, a different fingerprint — returns an empty cache and
@@ -282,6 +529,10 @@ impl ScanCache {
             Ok(c) => c,
             Err(_) => return (ScanCache::empty(fingerprint), CacheLoadStatus::Corrupt),
         };
+        ScanCache::accept(parsed, fingerprint)
+    }
+
+    fn accept(parsed: ScanCache, fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
         if parsed.version != CACHE_FORMAT_VERSION {
             return (ScanCache::empty(fingerprint), CacheLoadStatus::VersionMismatch);
         }
@@ -295,11 +546,260 @@ impl ScanCache {
         (parsed, CacheLoadStatus::Warm(n))
     }
 
-    /// Loads a cache file through `vfs`; a missing or unreadable file is a
-    /// cold start, not an error.
+    /// Encodes the cache into the binary container (DESIGN.md §12):
+    /// fixed-width entry records in digest order over pooled per-pattern
+    /// counts, digest counts, raw hits, and a rendered-text blob.
+    ///
+    /// Infallible — every field is plain data — so crash-safe saving keeps
+    /// the same `io::Result` shape it had with JSON.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut syms = SymTableBuilder::new();
+        let mut entries = Vec::with_capacity(self.entries.len() * ENTRY_RECORD_BYTES);
+        let mut pattern_counts: Vec<u8> = Vec::new();
+        let mut digest_counts: Vec<u8> = Vec::new();
+        let mut raw: Vec<u8> = Vec::new();
+        let mut rendered: Vec<u8> = Vec::new();
+
+        for (key, entry) in &self.entries {
+            // Keys not produced by `ContentDigest::to_hex` cannot be looked
+            // up (`get` renders digests the same way) and are dropped by
+            // `retain_digests`; skipping them here matches that semantics.
+            let Some(digest) = ContentDigest::from_hex(key) else {
+                continue;
+            };
+            let (kind, state) = match entry {
+                CacheEntry::ParseFailure => (ENTRY_PARSE_FAILURE, None),
+                CacheEntry::Parsed(state) => (ENTRY_PARSED, Some(state)),
+            };
+            let (pc_off, pc_len) = (
+                (pattern_counts.len() / PATTERN_COUNT_RECORD_BYTES) as u32,
+                state.map_or(0, |s| s.pattern_counts.len()) as u32,
+            );
+            let (dc_off, dc_len) = (
+                (digest_counts.len() / DIGEST_COUNT_RECORD_BYTES) as u32,
+                state.map_or(0, |s| s.digest_counts.len()) as u32,
+            );
+            let (raw_off, raw_len) = (
+                (raw.len() / RAW_RECORD_BYTES) as u32,
+                state.map_or(0, |s| s.raw.len()) as u32,
+            );
+            if let Some(state) = state {
+                for &(idx, c) in &state.pattern_counts {
+                    pattern_counts.extend_from_slice(&(idx as u64).to_le_bytes());
+                    pattern_counts.extend_from_slice(&c.matches.to_le_bytes());
+                    pattern_counts.extend_from_slice(&c.satisfactions.to_le_bytes());
+                    pattern_counts.extend_from_slice(&c.violations.to_le_bytes());
+                }
+                for &(d, n) in &state.digest_counts {
+                    digest_counts.extend_from_slice(&d.to_le_bytes());
+                    digest_counts.extend_from_slice(&n.to_le_bytes());
+                }
+                for hit in &state.raw {
+                    raw.extend_from_slice(&hit.line.to_le_bytes());
+                    raw.extend_from_slice(&(rendered.len() as u32).to_le_bytes());
+                    raw.extend_from_slice(&(hit.rendered.len() as u32).to_le_bytes());
+                    raw.extend_from_slice(&syms.id(hit.original).to_le_bytes());
+                    raw.extend_from_slice(&syms.id(hit.suggested).to_le_bytes());
+                    raw.extend_from_slice(&0u32.to_le_bytes()); // padding
+                    raw.extend_from_slice(&hit.digest.to_le_bytes());
+                    raw.extend_from_slice(&(hit.path_count as u64).to_le_bytes());
+                    raw.extend_from_slice(&(hit.pattern_idx as u64).to_le_bytes());
+                    rendered.extend_from_slice(hit.rendered.as_bytes());
+                }
+            }
+            entries.extend_from_slice(&(digest.0 as u64).to_le_bytes());
+            entries.extend_from_slice(&((digest.0 >> 64) as u64).to_le_bytes());
+            entries.extend_from_slice(&kind.to_le_bytes());
+            entries.extend_from_slice(&0u32.to_le_bytes()); // padding
+            for v in [pc_off, pc_len, dc_off, dc_len, raw_off, raw_len] {
+                entries.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+
+        let mut meta = Vec::with_capacity(CACHE_META_BYTES);
+        meta.extend_from_slice(&self.version.to_le_bytes());
+        meta.extend_from_slice(&0u32.to_le_bytes()); // padding
+        meta.extend_from_slice(&self.fingerprint.to_le_bytes());
+
+        let mut w = BinWriter::new(binfmt::KIND_CACHE);
+        w.section(CACHE_SEC_META, meta);
+        w.section(CACHE_SEC_SYMS, syms.encode());
+        w.section(CACHE_SEC_ENTRIES, entries);
+        w.section(CACHE_SEC_PATTERN_COUNTS, pattern_counts);
+        w.section(CACHE_SEC_DIGEST_COUNTS, digest_counts);
+        w.section(CACHE_SEC_RAW, raw);
+        w.section(CACHE_SEC_RENDERED, rendered);
+        w.finish()
+    }
+
+    /// Decodes a binary cache and validates it against `fingerprint`.
+    ///
+    /// Never fails: a digest mismatch, truncation, or any malformed block
+    /// degrades to [`CacheLoadStatus::Corrupt`] (cold), version and
+    /// fingerprint mismatches to their own statuses — exactly the JSON
+    /// semantics.
+    pub fn from_binary(bytes: &[u8], fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
+        match ScanCache::decode_binary(bytes) {
+            Ok(parsed) => ScanCache::accept(parsed, fingerprint),
+            Err(BinError::UnsupportedVersion(_)) => {
+                (ScanCache::empty(fingerprint), CacheLoadStatus::VersionMismatch)
+            }
+            Err(_) => (ScanCache::empty(fingerprint), CacheLoadStatus::Corrupt),
+        }
+    }
+
+    fn decode_binary(bytes: &[u8]) -> Result<ScanCache, BinError> {
+        let file = BinFile::parse_kind(bytes, binfmt::KIND_CACHE)?;
+        let meta = file.require(CACHE_SEC_META)?;
+        if meta.len() != CACHE_META_BYTES {
+            return Err(BinError::Malformed(format!(
+                "cache meta section is {} bytes, expected {CACHE_META_BYTES}",
+                meta.len()
+            )));
+        }
+        let version = flat::read_u32(meta, 0)?;
+        let fingerprint = flat::read_u64(meta, 8)?;
+
+        let syms = SymTable::decode(file.require(CACHE_SEC_SYMS)?)?;
+        let entry_bytes = file.require(CACHE_SEC_ENTRIES)?;
+        let pc_bytes = file.require(CACHE_SEC_PATTERN_COUNTS)?;
+        let dc_bytes = file.require(CACHE_SEC_DIGEST_COUNTS)?;
+        let raw_bytes = file.require(CACHE_SEC_RAW)?;
+        let rendered = file.require(CACHE_SEC_RENDERED)?;
+        for (len, record, what) in [
+            (entry_bytes.len(), ENTRY_RECORD_BYTES, "entry"),
+            (pc_bytes.len(), PATTERN_COUNT_RECORD_BYTES, "pattern-count"),
+            (dc_bytes.len(), DIGEST_COUNT_RECORD_BYTES, "digest-count"),
+            (raw_bytes.len(), RAW_RECORD_BYTES, "raw-hit"),
+        ] {
+            if len % record != 0 {
+                return Err(BinError::Malformed(format!(
+                    "{what} section length {len} not a record multiple"
+                )));
+            }
+        }
+        let pc_total = pc_bytes.len() / PATTERN_COUNT_RECORD_BYTES;
+        let dc_total = dc_bytes.len() / DIGEST_COUNT_RECORD_BYTES;
+        let raw_total = raw_bytes.len() / RAW_RECORD_BYTES;
+        let range = |off: u32, len: u32, total: usize, what: &str| -> Result<(usize, usize), BinError> {
+            let (off, len) = (off as usize, len as usize);
+            if off.checked_add(len).is_none_or(|end| end > total) {
+                return Err(BinError::Malformed(format!(
+                    "{what} range {off}+{len} out of pool ({total})"
+                )));
+            }
+            Ok((off, len))
+        };
+
+        let mut entries = BTreeMap::new();
+        for at in (0..entry_bytes.len()).step_by(ENTRY_RECORD_BYTES) {
+            let lo = flat::read_u64(entry_bytes, at)?;
+            let hi = flat::read_u64(entry_bytes, at + 8)?;
+            let digest = ContentDigest((u128::from(hi) << 64) | u128::from(lo));
+            let kind = flat::read_u32(entry_bytes, at + 16)?;
+            let (pc_off, pc_len) = range(
+                flat::read_u32(entry_bytes, at + 24)?,
+                flat::read_u32(entry_bytes, at + 28)?,
+                pc_total,
+                "pattern-count",
+            )?;
+            let (dc_off, dc_len) = range(
+                flat::read_u32(entry_bytes, at + 32)?,
+                flat::read_u32(entry_bytes, at + 36)?,
+                dc_total,
+                "digest-count",
+            )?;
+            let (raw_off, raw_len) = range(
+                flat::read_u32(entry_bytes, at + 40)?,
+                flat::read_u32(entry_bytes, at + 44)?,
+                raw_total,
+                "raw-hit",
+            )?;
+            let entry = match kind {
+                ENTRY_PARSE_FAILURE => CacheEntry::ParseFailure,
+                ENTRY_PARSED => {
+                    let mut state = FileScanState::default();
+                    for i in pc_off..pc_off + pc_len {
+                        let at = i * PATTERN_COUNT_RECORD_BYTES;
+                        let idx = usize::try_from(flat::read_u64(pc_bytes, at)?)
+                            .map_err(|_| BinError::Malformed("pattern index overflows".into()))?;
+                        state.pattern_counts.push((
+                            idx,
+                            LevelCounts {
+                                matches: flat::read_u64(pc_bytes, at + 8)?,
+                                satisfactions: flat::read_u64(pc_bytes, at + 16)?,
+                                violations: flat::read_u64(pc_bytes, at + 24)?,
+                            },
+                        ));
+                    }
+                    for i in dc_off..dc_off + dc_len {
+                        let at = i * DIGEST_COUNT_RECORD_BYTES;
+                        state.digest_counts.push((
+                            flat::read_u64(dc_bytes, at)?,
+                            flat::read_u64(dc_bytes, at + 8)?,
+                        ));
+                    }
+                    for i in raw_off..raw_off + raw_len {
+                        let at = i * RAW_RECORD_BYTES;
+                        let r_off = flat::read_u32(raw_bytes, at + 4)? as usize;
+                        let r_len = flat::read_u32(raw_bytes, at + 8)? as usize;
+                        let text = r_off
+                            .checked_add(r_len)
+                            .and_then(|end| rendered.get(r_off..end))
+                            .ok_or_else(|| {
+                                BinError::Malformed(format!(
+                                    "rendered range {r_off}+{r_len} out of blob ({})",
+                                    rendered.len()
+                                ))
+                            })?;
+                        let text = std::str::from_utf8(text).map_err(|e| {
+                            BinError::Malformed(format!("rendered text is not UTF-8: {e}"))
+                        })?;
+                        state.raw.push(RawHit {
+                            line: flat::read_u32(raw_bytes, at)?,
+                            rendered: text.to_owned(),
+                            digest: flat::read_u64(raw_bytes, at + 24)?,
+                            path_count: usize::try_from(flat::read_u64(raw_bytes, at + 32)?)
+                                .map_err(|_| BinError::Malformed("path count overflows".into()))?,
+                            pattern_idx: usize::try_from(flat::read_u64(raw_bytes, at + 40)?)
+                                .map_err(|_| {
+                                    BinError::Malformed("pattern index overflows".into())
+                                })?,
+                            original: syms.sym(flat::read_u32(raw_bytes, at + 12)?)?,
+                            suggested: syms.sym(flat::read_u32(raw_bytes, at + 16)?)?,
+                        });
+                    }
+                    CacheEntry::Parsed(state)
+                }
+                other => {
+                    return Err(BinError::Malformed(format!("unknown entry kind {other}")))
+                }
+            };
+            entries.insert(digest.to_hex(), entry);
+        }
+
+        Ok(ScanCache { version, fingerprint, entries })
+    }
+
+    /// Decodes a cache in either format behind a sniff, validating against
+    /// `fingerprint`; never fails (non-UTF-8 non-binary bytes are
+    /// [`CacheLoadStatus::Corrupt`]).
+    pub fn from_bytes(bytes: &[u8], fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
+        if binfmt::looks_binary(bytes) {
+            ScanCache::from_binary(bytes, fingerprint)
+        } else {
+            match std::str::from_utf8(bytes) {
+                Ok(json) => ScanCache::from_json(json, fingerprint),
+                Err(_) => (ScanCache::empty(fingerprint), CacheLoadStatus::Corrupt),
+            }
+        }
+    }
+
+    /// Loads a cache file (either format) through `vfs`; a missing or
+    /// unreadable file is a cold start, not an error.
     pub fn load_via(vfs: &dyn Vfs, path: &Path, fingerprint: u64) -> (ScanCache, CacheLoadStatus) {
-        match vfs.read_to_string(path) {
-            Ok(json) => ScanCache::from_json(&json, fingerprint),
+        match vfs.read(path) {
+            Ok(bytes) => ScanCache::from_bytes(&bytes, fingerprint),
             Err(_) => (ScanCache::empty(fingerprint), CacheLoadStatus::Cold),
         }
     }
@@ -310,16 +810,16 @@ impl ScanCache {
         ScanCache::load_via(&RealFs, path, fingerprint)
     }
 
-    /// Writes the cache to `path` crash-safely through `vfs` (write-temp +
-    /// fsync + atomic rename, DESIGN.md §11): a killed process leaves the
-    /// previous cache or the new one, never a truncation that would show
-    /// up as a corrupt (cold-degraded) load.
+    /// Writes the cache to `path` in the binary format, crash-safely
+    /// through `vfs` (write-temp + fsync + atomic rename, DESIGN.md §11):
+    /// a killed process leaves the previous cache or the new one, never a
+    /// truncation that would show up as a corrupt (cold-degraded) load.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error when the file cannot be written.
     pub fn save_via(&self, vfs: &dyn Vfs, path: &Path) -> io::Result<()> {
-        atomic_write(vfs, path, self.to_json().as_bytes())
+        atomic_write(vfs, path, &self.to_binary())
     }
 
     /// Writes the cache to `path` crash-safely on the real filesystem.
@@ -336,7 +836,7 @@ impl ScanCache {
 mod tests {
     use super::*;
     use namer_patterns::MiningConfig;
-    use namer_syntax::SourceFile;
+    use namer_syntax::{Sym, SourceFile};
 
     fn trained() -> (Namer, Vec<SourceFile>) {
         let mut files: Vec<SourceFile> = (0..40)
@@ -381,7 +881,7 @@ mod tests {
     #[test]
     fn save_load_round_trip_preserves_reports() {
         let (namer, files) = trained();
-        let json = SavedModel::from_namer(&namer).to_json();
+        let json = SavedModel::from_namer(&namer).to_json().unwrap();
         let mut before_session = crate::session::NamerBuilder::new()
             .namer(namer)
             .build()
@@ -423,9 +923,14 @@ mod tests {
         let (namer, _) = trained();
         let mut model = SavedModel::from_namer(&namer);
         model.version = 999;
-        let json = model.to_json();
+        let json = model.to_json().unwrap();
         assert!(matches!(
             SavedModel::from_json(&json),
+            Err(PersistError::UnsupportedVersion(999))
+        ));
+        let bytes = model.to_binary().unwrap();
+        assert!(matches!(
+            SavedModel::from_binary(&bytes),
             Err(PersistError::UnsupportedVersion(999))
         ));
     }
@@ -434,7 +939,7 @@ mod tests {
     fn classifier_presence_round_trips() {
         let (namer, _) = trained();
         let had = namer.has_classifier();
-        let json = SavedModel::from_namer(&namer).to_json();
+        let json = SavedModel::from_namer(&namer).to_json().unwrap();
         let loaded = SavedModel::from_json(&json)
             .unwrap()
             .into_namer(NamerConfig::default());
@@ -442,20 +947,154 @@ mod tests {
     }
 
     #[test]
-    fn scan_cache_round_trips() {
+    fn model_binary_round_trips_exactly() {
+        let (namer, _) = trained();
+        let model = SavedModel::from_namer(&namer);
+        let bytes = model.to_binary().unwrap();
+        let back = SavedModel::from_bytes(&bytes).unwrap();
+        // The JSON rendering is a complete, deterministic view of the
+        // model within one process, so string equality is full equality.
+        assert_eq!(model.to_json().unwrap(), back.to_json().unwrap());
+        assert_eq!(back.classifier.is_some(), model.classifier.is_some());
+        // Encoding is deterministic byte for byte.
+        assert_eq!(bytes, back.to_binary().unwrap());
+    }
+
+    #[test]
+    fn model_sniff_reads_both_formats() {
+        let (namer, _) = trained();
+        let model = SavedModel::from_namer(&namer);
+        let json = model.to_json().unwrap();
+        let from_json = SavedModel::from_bytes(json.as_bytes()).unwrap();
+        let from_bin = SavedModel::from_bytes(&model.to_binary().unwrap()).unwrap();
+        assert_eq!(from_json.to_json().unwrap(), from_bin.to_json().unwrap());
+    }
+
+    #[test]
+    fn corrupt_binary_model_is_an_error_never_a_panic() {
+        let (namer, _) = trained();
+        let good = SavedModel::from_namer(&namer).to_binary().unwrap();
+        // Truncations at every length.
+        for cut in 0..good.len().min(200) {
+            assert!(SavedModel::from_bytes(&good[..cut]).is_err());
+        }
+        assert!(SavedModel::from_bytes(&good[..good.len() - 1]).is_err());
+        // A bit flip in the payload is caught by the container digest.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            SavedModel::from_bytes(&flipped),
+            Err(PersistError::Malformed(_))
+        ));
+        // Non-UTF-8 bytes that are not a container are malformed, not io.
+        assert!(matches!(
+            SavedModel::from_bytes(&[0xFF, 0xFE, 0x00]),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn model_and_cache_kinds_do_not_cross_load() {
+        let (namer, _) = trained();
+        let model_bytes = SavedModel::from_namer(&namer).to_binary().unwrap();
+        let (c, s) = ScanCache::from_bytes(&model_bytes, 42);
+        assert_eq!(s, CacheLoadStatus::Corrupt);
+        assert!(c.is_empty());
+        let cache_bytes = ScanCache::empty(42).to_binary();
+        assert!(matches!(
+            SavedModel::from_bytes(&cache_bytes),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    fn sample_cache() -> ScanCache {
         let mut cache = ScanCache::empty(42);
-        let d = namer_syntax::content_digest("x = 1\n", Lang::Python);
-        cache.insert(d, CacheEntry::ParseFailure);
-        assert!(cache.contains(d));
-        let (back, status) = ScanCache::from_json(&cache.to_json(), 42);
-        assert_eq!(status, CacheLoadStatus::Warm(1));
+        let d1 = namer_syntax::content_digest("x = 1\n", Lang::Python);
+        let d2 = namer_syntax::content_digest("y = 2\n", Lang::Python);
+        cache.insert(d1, CacheEntry::ParseFailure);
+        cache.insert(
+            d2,
+            CacheEntry::Parsed(FileScanState {
+                pattern_counts: vec![
+                    (0, LevelCounts { matches: 3, satisfactions: 2, violations: 1 }),
+                    (7, LevelCounts { matches: 1, satisfactions: 1, violations: 0 }),
+                ],
+                digest_counts: vec![(11, 2), (u64::MAX, 1)],
+                raw: vec![RawHit {
+                    line: 9,
+                    rendered: "self.assertTrue(v, 1) — naïve".to_owned(),
+                    digest: 0xDEAD_BEEF,
+                    path_count: 5,
+                    pattern_idx: 7,
+                    original: Sym::intern("True"),
+                    suggested: Sym::intern("Equal"),
+                }],
+            }),
+        );
+        cache
+    }
+
+    #[test]
+    fn scan_cache_round_trips() {
+        let cache = sample_cache();
+        let (back, status) = ScanCache::from_json(&cache.to_json().unwrap(), 42);
+        assert_eq!(status, CacheLoadStatus::Warm(2));
         assert_eq!(back, cache);
+    }
+
+    #[test]
+    fn cache_binary_round_trips_exactly() {
+        let cache = sample_cache();
+        let bytes = cache.to_binary();
+        let (back, status) = ScanCache::from_bytes(&bytes, 42);
+        assert_eq!(status, CacheLoadStatus::Warm(2));
+        assert_eq!(back, cache);
+        // Encoding is deterministic byte for byte.
+        assert_eq!(back.to_binary(), bytes);
+    }
+
+    #[test]
+    fn corrupt_binary_cache_degrades_cold_never_fails() {
+        let cache = sample_cache();
+        let good = cache.to_binary();
+        for cut in 0..good.len() {
+            let (c, s) = ScanCache::from_bytes(&good[..cut], 42);
+            assert!(matches!(s, CacheLoadStatus::Corrupt), "truncation at {cut}: {s:?}");
+            assert!(c.is_empty());
+            assert_eq!(c.fingerprint(), 42);
+        }
+        for i in (0..good.len()).step_by(7) {
+            let mut bad = good.clone();
+            bad[i] ^= 0x08;
+            let (c, s) = ScanCache::from_bytes(&bad, 42);
+            // Any accepted load must carry the right fingerprint; flips are
+            // otherwise rejected as corrupt (or, for the version field the
+            // digest can't distinguish from a legitimate old file, as a
+            // mismatch) — never a panic, never wrong data.
+            assert!(
+                matches!(s, CacheLoadStatus::Corrupt | CacheLoadStatus::VersionMismatch),
+                "flip at {i}: {s:?}"
+            );
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn binary_cache_version_and_fingerprint_mismatches() {
+        let mut cache = sample_cache();
+        let (_, s) = ScanCache::from_bytes(&cache.to_binary(), 43);
+        assert_eq!(s, CacheLoadStatus::FingerprintMismatch);
+        cache.version = 2;
+        let (c, s) = ScanCache::from_bytes(&cache.to_binary(), 42);
+        assert_eq!(s, CacheLoadStatus::VersionMismatch);
+        assert!(c.is_empty());
     }
 
     #[test]
     fn scan_cache_rejects_corruption_and_mismatches() {
         let cache = ScanCache::empty(42);
-        let json = cache.to_json();
+        let json = cache.to_json().unwrap();
 
         let (c, s) = ScanCache::from_json("{definitely not json", 42);
         assert_eq!(s, CacheLoadStatus::Corrupt);

@@ -1,0 +1,461 @@
+//! The digest-addressed multi-model registry (DESIGN.md §12).
+//!
+//! Serving many per-language / per-org models is the multi-corpus setting
+//! the paper's deployment sketch assumes: a daemon or CI bot holds a
+//! directory of trained [`SavedModel`] files and materialises whichever one
+//! the current request needs. [`ModelRegistry`] catalogs such a directory
+//! up front (names only — no file is read until asked for), loads models
+//! lazily through the [`Vfs`] seam, shares them as `Arc<SavedModel>`, and
+//! evicts least-recently-used residents once their summed encoded size
+//! exceeds a configurable byte budget. Models address by file-stem name or
+//! by content digest (the binary header digest of [`crate::binfmt`], or an
+//! FNV-1a 64 over the bytes for legacy JSON files).
+//!
+//! Registry traffic is observable: hits, misses, and evictions stream to an
+//! optional [`MetricsSink`] as [`Counter::RegistryHits`] /
+//! [`Counter::RegistryMisses`] / [`Counter::RegistryEvictions`], and
+//! [`ModelRegistry::stats`] returns the same totals plus residency figures.
+
+use crate::binfmt;
+use crate::error::NamerError;
+use crate::persist::SavedModel;
+use crate::vfs::{RealFs, Vfs};
+use namer_observe::{Counter, MetricsSink};
+use namer_syntax::digest::Fnv64;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Registry traffic and residency totals ([`ModelRegistry::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Requests served from an already-resident model.
+    pub hits: u64,
+    /// Requests that had to load from disk.
+    pub misses: u64,
+    /// Models evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Summed encoded size of the currently resident models.
+    pub resident_bytes: usize,
+    /// Number of currently resident models.
+    pub resident_models: usize,
+    /// Number of models the catalog knows about.
+    pub catalog_size: usize,
+}
+
+struct Resident {
+    model: Arc<SavedModel>,
+    /// Encoded file size — the registry's memory proxy (the decoded heap
+    /// footprint tracks it closely and would cost a re-encode to measure).
+    cost: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    resident: HashMap<String, Resident>,
+    /// Content digest → catalog name, built on the first digest lookup.
+    digests: Option<HashMap<u64, String>>,
+    resident_bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A lazily-loading, LRU-evicting catalog of saved models in one directory.
+///
+/// Cheap to share behind an `Arc`; all methods take `&self`.
+pub struct ModelRegistry {
+    vfs: Arc<dyn Vfs>,
+    /// Catalog: file stem → full path, in stem order.
+    catalog: BTreeMap<String, PathBuf>,
+    budget_bytes: usize,
+    sink: Option<Arc<dyn MetricsSink>>,
+    inner: Mutex<Inner>,
+}
+
+impl ModelRegistry {
+    /// Catalogs the model files directly inside `dir` through `vfs`.
+    /// Every non-directory entry is a model named by its file stem
+    /// (`python-django.bin` → `python-django`); nothing is read yet.
+    ///
+    /// `budget_bytes` bounds the summed encoded size of resident models;
+    /// the most recently requested model always stays resident even when
+    /// it alone exceeds the budget (a registry that can serve nothing
+    /// would be useless).
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::Io`] when the directory cannot be listed,
+    /// [`NamerError::InvalidConfig`] when it contains no model files or
+    /// two files share a stem (`m.bin` next to `m.json`).
+    pub fn open_via(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        budget_bytes: usize,
+    ) -> Result<ModelRegistry, NamerError> {
+        let entries = vfs.read_dir(dir).map_err(|e| NamerError::io(dir, e))?;
+        let mut catalog = BTreeMap::new();
+        for entry in entries {
+            if entry.is_dir {
+                continue;
+            }
+            let Some(stem) = entry.path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if stem.is_empty() {
+                continue;
+            }
+            if let Some(previous) = catalog.insert(stem.to_owned(), entry.path.clone()) {
+                return Err(NamerError::InvalidConfig(format!(
+                    "ambiguous model name '{stem}': {} and {}",
+                    previous.display(),
+                    entry.path.display()
+                )));
+            }
+        }
+        if catalog.is_empty() {
+            return Err(NamerError::InvalidConfig(format!(
+                "no model files in {}",
+                dir.display()
+            )));
+        }
+        Ok(ModelRegistry {
+            vfs,
+            catalog,
+            budget_bytes,
+            sink: None,
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// Catalogs `dir` on the real filesystem.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::open_via`].
+    pub fn open(dir: &Path, budget_bytes: usize) -> Result<ModelRegistry, NamerError> {
+        ModelRegistry::open_via(Arc::new(RealFs), dir, budget_bytes)
+    }
+
+    /// Streams hit/miss/eviction counters to `sink` in addition to
+    /// [`ModelRegistry::stats`].
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> ModelRegistry {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The catalog's model names, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.catalog.keys().cloned().collect()
+    }
+
+    /// Number of cataloged models.
+    pub fn len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// `true` when the catalog is empty (never true for an opened
+    /// registry; `open_via` rejects empty directories).
+    pub fn is_empty(&self) -> bool {
+        self.catalog.is_empty()
+    }
+
+    /// The configured resident-byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// The sole cataloged model name, when there is exactly one (the CLI's
+    /// "a `--model-dir` with one model needs no `--model`" convenience).
+    pub fn sole_name(&self) -> Option<&str> {
+        if self.catalog.len() == 1 {
+            self.catalog.keys().next().map(String::as_str)
+        } else {
+            None
+        }
+    }
+
+    fn bump(&self, counter: Counter) {
+        if let Some(sink) = &self.sink {
+            sink.add(counter, 1);
+        }
+    }
+
+    /// The model called `name`, loading it (and evicting others) if it is
+    /// not resident.
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::InvalidConfig`] for a name the catalog does not know,
+    /// [`NamerError::Io`] when the file cannot be read, and
+    /// [`NamerError::Model`] when it cannot be decoded.
+    pub fn get(&self, name: &str) -> Result<Arc<SavedModel>, NamerError> {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(resident) = inner.resident.get_mut(name) {
+            resident.last_used = tick;
+            inner.hits += 1;
+            let model = Arc::clone(&resident.model);
+            drop(inner);
+            self.bump(Counter::RegistryHits);
+            return Ok(model);
+        }
+        let Some(path) = self.catalog.get(name) else {
+            return Err(NamerError::InvalidConfig(format!(
+                "unknown model '{name}' (registry knows: {})",
+                self.names().join(", ")
+            )));
+        };
+        inner.misses += 1;
+        let bytes = self.vfs.read(path).map_err(|e| NamerError::io(path, e))?;
+        let cost = bytes.len();
+        let model = Arc::new(SavedModel::from_bytes(&bytes).map_err(NamerError::from)?);
+        if let Some(digests) = &mut inner.digests {
+            digests.insert(digest_of_file(&bytes), name.to_owned());
+        }
+        inner.resident.insert(
+            name.to_owned(),
+            Resident { model: Arc::clone(&model), cost, last_used: tick },
+        );
+        inner.resident_bytes += cost;
+        let evicted = evict_over_budget(&mut inner, self.budget_bytes, name);
+        drop(inner);
+        self.bump(Counter::RegistryMisses);
+        for _ in 0..evicted {
+            self.bump(Counter::RegistryEvictions);
+        }
+        Ok(model)
+    }
+
+    /// The model whose content digest is `digest` (the binary header
+    /// digest, or FNV-1a 64 over the file bytes for legacy JSON models).
+    /// The digest→name index is built on the first call by reading every
+    /// cataloged file once.
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::InvalidConfig`] when no cataloged model has this
+    /// digest; otherwise as [`ModelRegistry::get`].
+    pub fn get_by_digest(&self, digest: u64) -> Result<Arc<SavedModel>, NamerError> {
+        let name = {
+            let mut inner = self.inner.lock().expect("registry lock poisoned");
+            if inner.digests.is_none() {
+                let mut map = HashMap::with_capacity(self.catalog.len());
+                for (name, path) in &self.catalog {
+                    let bytes = self.vfs.read(path).map_err(|e| NamerError::io(path, e))?;
+                    map.insert(digest_of_file(&bytes), name.clone());
+                }
+                inner.digests = Some(map);
+            }
+            inner
+                .digests
+                .as_ref()
+                .expect("just built")
+                .get(&digest)
+                .cloned()
+        };
+        match name {
+            Some(name) => self.get(&name),
+            None => Err(NamerError::InvalidConfig(format!(
+                "no model with digest {digest:016x} in the registry"
+            ))),
+        }
+    }
+
+    /// Current traffic and residency totals.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        RegistryStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_bytes: inner.resident_bytes,
+            resident_models: inner.resident.len(),
+            catalog_size: self.catalog.len(),
+        }
+    }
+}
+
+/// The registry address of a model file: the stamped header digest for
+/// binary containers, an FNV-1a 64 over the raw bytes for anything else.
+fn digest_of_file(bytes: &[u8]) -> u64 {
+    binfmt::header_digest(bytes).unwrap_or_else(|| {
+        let mut h = Fnv64::new();
+        h.write(bytes);
+        h.finish()
+    })
+}
+
+/// Evicts least-recently-used residents (never `keep`) until the budget
+/// holds or only `keep` remains; returns how many were evicted.
+fn evict_over_budget(inner: &mut Inner, budget: usize, keep: &str) -> u64 {
+    let mut evicted = 0;
+    while inner.resident_bytes > budget && inner.resident.len() > 1 {
+        let Some(victim) = inner
+            .resident
+            .iter()
+            .filter(|(name, _)| name.as_str() != keep)
+            .min_by_key(|(_, r)| r.last_used)
+            .map(|(name, _)| name.clone())
+        else {
+            break;
+        };
+        if let Some(gone) = inner.resident.remove(&victim) {
+            inner.resident_bytes -= gone.cost;
+            inner.evictions += 1;
+            evicted += 1;
+        }
+    }
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+    use crate::namer::{Namer, NamerConfig};
+    use namer_observe::PipelineMetrics;
+    use namer_patterns::{ConfusingPairs, MiningConfig};
+    use namer_syntax::{Lang, SourceFile};
+
+    fn trained_model() -> SavedModel {
+        let files: Vec<SourceFile> = (0..40)
+            .map(|i| {
+                SourceFile::new(
+                    format!("r{}", i % 5),
+                    format!("f{i}.py"),
+                    "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 3)\n",
+                    Lang::Python,
+                )
+            })
+            .collect();
+        let commits = vec![(
+            "self.assertTrue(v.count, 1)\n".to_owned(),
+            "self.assertEqual(v.count, 1)\n".to_owned(),
+        )];
+        let config = NamerConfig {
+            mining: MiningConfig {
+                min_path_count: 2,
+                min_support: 5,
+                ..MiningConfig::default()
+            },
+            labeled_per_class: 3,
+            cv_repeats: 2,
+            ..NamerConfig::default()
+        };
+        let namer = Namer::train(&files, &commits, |v| v.original.as_str() == "True", &config);
+        SavedModel::from_namer(&namer)
+    }
+
+    /// A tiny distinct model (different pattern content per `salt`).
+    fn small_model(salt: u64) -> SavedModel {
+        let mut pairs = ConfusingPairs::new();
+        pairs.insert(
+            namer_syntax::Sym::intern(&format!("mistake{salt}")),
+            namer_syntax::Sym::intern(&format!("correct{salt}")),
+        );
+        let detector = Detector::from_parts(Vec::new(), pairs, Vec::new());
+        let namer = Namer::assemble(
+            detector,
+            None,
+            namer_ml::ModelKind::SvmLinear,
+            Lang::Python,
+            NamerConfig::default(),
+        );
+        SavedModel::from_namer(&namer)
+    }
+
+    #[test]
+    fn registry_lazy_load_hit_and_eviction_accounting() {
+        let dir = std::env::temp_dir().join(format!("namer-registry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, salt) in [("alpha", 1u64), ("beta", 2), ("gamma", 3)] {
+            small_model(salt).save(&dir.join(format!("{name}.bin"))).unwrap();
+        }
+        // A budget of one file: every switch evicts the previous resident.
+        let one_file = std::fs::metadata(dir.join("alpha.bin")).unwrap().len() as usize;
+        let metrics = Arc::new(PipelineMetrics::new());
+        let registry = ModelRegistry::open(&dir, one_file + 8)
+            .unwrap()
+            .with_metrics(metrics.clone());
+        assert_eq!(registry.names(), ["alpha", "beta", "gamma"]);
+        assert_eq!(registry.sole_name(), None);
+        assert_eq!(registry.stats().resident_models, 0, "catalog-only open loads nothing");
+
+        let a1 = registry.get("alpha").unwrap();
+        let a2 = registry.get("alpha").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "hit returns the same resident model");
+        let _b = registry.get("beta").unwrap();
+        let _a3 = registry.get("alpha").unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3, "alpha was evicted by beta, reloads");
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.resident_models, 1);
+        assert!(stats.resident_bytes <= one_file + 8);
+        assert_eq!(metrics.counter(Counter::RegistryHits), 1);
+        assert_eq!(metrics.counter(Counter::RegistryMisses), 3);
+        assert_eq!(metrics.counter(Counter::RegistryEvictions), 2);
+
+        assert!(registry.get("delta").is_err(), "unknown names are errors");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_addresses_by_digest_in_both_formats() {
+        let dir = std::env::temp_dir().join(format!("namer-registry-dig-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m1 = small_model(10);
+        let m2 = small_model(20);
+        m1.save(&dir.join("bin-model.bin")).unwrap();
+        std::fs::write(dir.join("json-model.json"), m1.to_json().unwrap()).unwrap();
+        let _ = m2; // distinct content kept for the digest-mismatch check
+
+        let registry = ModelRegistry::open(&dir, usize::MAX).unwrap();
+        let bin_digest = binfmt::header_digest(&m1.to_binary().unwrap()).unwrap();
+        let by_digest = registry.get_by_digest(bin_digest).unwrap();
+        assert_eq!(
+            by_digest.to_json().unwrap(),
+            registry.get("bin-model").unwrap().to_json().unwrap()
+        );
+        let json_bytes = std::fs::read(dir.join("json-model.json")).unwrap();
+        let mut h = Fnv64::new();
+        h.write(&json_bytes);
+        assert!(registry.get_by_digest(h.finish()).is_ok());
+        assert!(registry.get_by_digest(0xDEAD).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_rejects_empty_and_ambiguous_directories() {
+        let dir = std::env::temp_dir().join(format!("namer-registry-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            ModelRegistry::open(&dir, usize::MAX),
+            Err(NamerError::InvalidConfig(_))
+        ));
+        small_model(1).save(&dir.join("m.bin")).unwrap();
+        std::fs::write(dir.join("m.json"), small_model(1).to_json().unwrap()).unwrap();
+        assert!(matches!(
+            ModelRegistry::open(&dir, usize::MAX),
+            Err(NamerError::InvalidConfig(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_model_runs_identically_to_direct_load() {
+        let dir = std::env::temp_dir().join(format!("namer-registry-run-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = trained_model();
+        model.save(&dir.join("trained.bin")).unwrap();
+        let registry = ModelRegistry::open(&dir, usize::MAX).unwrap();
+        let shared = registry.get("trained").unwrap();
+        assert_eq!(registry.sole_name(), Some("trained"));
+        assert_eq!(shared.to_json().unwrap(), model.to_json().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

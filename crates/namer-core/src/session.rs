@@ -33,6 +33,7 @@ use crate::features::LevelCounts;
 use crate::ingest::Diagnostics;
 use crate::namer::{Namer, NamerConfig, Report};
 use crate::persist::{CacheLoadStatus, SavedModel, ScanCache};
+use crate::registry::ModelRegistry;
 use crate::process::{process_parallel_observed, ProcessedCorpus};
 use crate::vfs::{with_retry, RealFs, RetryPolicy, Vfs};
 use namer_ml::{ModelKind, Pipeline};
@@ -46,6 +47,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 /// File name of the on-disk scan cache inside a session's cache directory.
+/// The name is historical: saves now write the binary container of
+/// [`crate::binfmt`], but keeping the name lets sessions find (and sniff)
+/// caches written by older JSON-era builds (DESIGN.md §12).
 pub const CACHE_FILE_NAME: &str = "scan-cache.json";
 
 /// Where a session's detector comes from.
@@ -54,6 +58,9 @@ enum Source {
     Trained(Box<Namer>),
     /// A persisted model snapshot.
     Saved(Box<SavedModel>),
+    /// A snapshot shared with other sessions (e.g. via a [`ModelRegistry`]);
+    /// cloned at build time so the resident copy stays untouched.
+    Shared(Arc<SavedModel>),
     /// Raw mined parts (patterns + pairs + dataset counts).
     Parts {
         patterns: Vec<NamePattern>,
@@ -99,6 +106,27 @@ impl NamerBuilder {
     pub fn model(mut self, model: SavedModel) -> NamerBuilder {
         self.source = Some(Source::Saved(Box::new(model)));
         self
+    }
+
+    /// Uses a shared model snapshot as the source — typically one handed
+    /// out by a [`ModelRegistry`]. The snapshot is cloned at build time;
+    /// the shared copy is never mutated.
+    pub fn shared(mut self, model: Arc<SavedModel>) -> NamerBuilder {
+        self.source = Some(Source::Shared(model));
+        self
+    }
+
+    /// Uses the model called `name` from `registry` as the source,
+    /// loading it now (so registry traffic is attributed to this call,
+    /// not to [`NamerBuilder::build`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::get`]: unknown name, unreadable file, or
+    /// undecodable model.
+    pub fn registry(self, registry: &ModelRegistry, name: &str) -> Result<NamerBuilder, NamerError> {
+        let model = registry.get(name)?;
+        Ok(self.shared(model))
     }
 
     /// Uses raw mined parts as the source: patterns, confusing pairs, and
@@ -252,6 +280,20 @@ impl NamerBuilder {
                 }
                 model.into_namer(self.config.unwrap_or_default())
             }
+            Source::Shared(model) => {
+                if let Some(lang) = self.lang {
+                    if lang != model.lang {
+                        return Err(NamerError::InvalidConfig(format!(
+                            "language {lang:?} conflicts with the shared model's {:?}",
+                            model.lang
+                        )));
+                    }
+                }
+                model
+                    .as_ref()
+                    .clone()
+                    .into_namer(self.config.unwrap_or_default())
+            }
             Source::Parts {
                 patterns,
                 pairs,
@@ -299,15 +341,15 @@ impl NamerBuilder {
                 // `load_via` (any read error is a cold start); retrying
                 // transient errors first keeps a briefly-busy cache warm.
                 let (loaded, retries) = crate::vfs::with_retry_counted(retry, || {
-                    match vfs.read_to_string(&path) {
-                        Ok(json) => Ok(Some(json)),
+                    match vfs.read(&path) {
+                        Ok(bytes) => Ok(Some(bytes)),
                         Err(e) if crate::vfs::is_transient(e.kind()) => Err(e),
                         Err(_) => Ok(None),
                     }
                 });
                 diag.io_retries += retries;
                 let (cache, status) = match loaded.ok().flatten() {
-                    Some(json) => ScanCache::from_json(&json, namer.scan_fingerprint()),
+                    Some(bytes) => ScanCache::from_bytes(&bytes, namer.scan_fingerprint()),
                     None => (
                         ScanCache::empty(namer.scan_fingerprint()),
                         CacheLoadStatus::Cold,

@@ -47,6 +47,8 @@ pub trait Vfs: Send + Sync {
     /// Reads a file into a UTF-8 string. Non-UTF-8 contents fail with
     /// [`io::ErrorKind::InvalidData`].
     fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Reads a file's raw bytes (binary model/cache files, format sniffs).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Creates (or truncates) `path` with `contents`, flushed durably
     /// (`fsync` or the implementation's equivalent) before returning.
     fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
@@ -72,6 +74,10 @@ pub struct RealFs;
 impl Vfs for RealFs {
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
         std::fs::read_to_string(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
     }
 
     fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
@@ -428,6 +434,13 @@ impl Vfs for FaultVfs {
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
         match self.draw(path)? {
             None => self.inner.read_to_string(path),
+            Some(f) => self.fail(f),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.draw(path)? {
+            None => self.inner.read(path),
             Some(f) => self.fail(f),
         }
     }

@@ -191,16 +191,35 @@ proptest! {
 
     #[test]
     fn scan_cache_round_trip(cache in scan_cache()) {
-        let (back, status) = ScanCache::from_json(&cache.to_json(), cache.fingerprint());
+        let (back, status) =
+            ScanCache::from_json(&cache.to_json().unwrap(), cache.fingerprint());
         prop_assert_eq!(status, CacheLoadStatus::Warm(cache.len()));
         prop_assert_eq!(back, cache);
+    }
+
+    /// The binary container agrees with JSON: decoding either format gives
+    /// the same cache, and re-encoding the binary is byte-identical
+    /// (deterministic encoder).
+    #[test]
+    fn scan_cache_binary_agrees_with_json(cache in scan_cache()) {
+        let fp = cache.fingerprint();
+        let bytes = cache.to_binary();
+        let (from_bin, bin_status) = ScanCache::from_bytes(&bytes, fp);
+        let (from_json, json_status) =
+            ScanCache::from_json(&cache.to_json().unwrap(), fp);
+        prop_assert_eq!(bin_status, CacheLoadStatus::Warm(cache.len()));
+        prop_assert_eq!(json_status, CacheLoadStatus::Warm(cache.len()));
+        prop_assert_eq!(&from_bin, &from_json);
+        prop_assert_eq!(&from_bin, &cache);
+        prop_assert_eq!(from_bin.to_binary(), bytes);
     }
 
     #[test]
     fn scan_cache_rejects_every_other_version(cache in scan_cache(), v in any::<u32>()) {
         prop_assume!(v != CACHE_FORMAT_VERSION);
         let fp = cache.fingerprint();
-        let mut value: serde_json::Value = serde_json::from_str(&cache.to_json()).unwrap();
+        let mut value: serde_json::Value =
+            serde_json::from_str(&cache.to_json().unwrap()).unwrap();
         value["version"] = serde_json::json!(v);
         let (back, status) = ScanCache::from_json(&value.to_string(), fp);
         prop_assert_eq!(status, CacheLoadStatus::VersionMismatch);
@@ -225,7 +244,7 @@ proptest! {
             classifier: None,
             model_kind: ModelKind::SvmLinear,
         };
-        let back = SavedModel::from_json(&model.to_json()).unwrap();
+        let back = SavedModel::from_json(&model.to_json().unwrap()).unwrap();
         prop_assert_eq!(back.version, model.version);
         prop_assert_eq!(back.lang, model.lang);
         prop_assert_eq!(back.use_analysis, model.use_analysis);
@@ -234,6 +253,35 @@ proptest! {
         prop_assert_eq!(pairs_key(&back.pairs), pairs_key(&model.pairs));
         prop_assert!(back.classifier.is_none());
         prop_assert_eq!(back.model_kind, model.model_kind);
+    }
+
+    /// JSON ↔ binary equivalence for models: the binary round trip yields
+    /// the same model as the JSON one, and re-encoding is byte-identical.
+    #[test]
+    fn saved_model_binary_agrees_with_json(
+        patterns in prop::collection::vec(name_pattern(), 0..4),
+        dataset in prop::collection::vec(level_counts(), 0..4),
+        pairs in confusing_pairs(),
+        use_analysis in any::<bool>(),
+        lang_java in any::<bool>(),
+    ) {
+        let model = SavedModel {
+            version: FORMAT_VERSION,
+            lang: if lang_java { Lang::Java } else { Lang::Python },
+            use_analysis,
+            patterns,
+            dataset,
+            pairs,
+            classifier: None,
+            model_kind: ModelKind::LogReg,
+        };
+        let bytes = model.to_binary().unwrap();
+        let from_bin = SavedModel::from_bytes(&bytes).unwrap();
+        let from_json = SavedModel::from_json(&model.to_json().unwrap()).unwrap();
+        prop_assert_eq!(&from_bin.to_json().unwrap(), &from_json.to_json().unwrap());
+        prop_assert_eq!(from_bin.to_binary().unwrap(), &bytes[..]);
+        prop_assert_eq!(pairs_key(&from_bin.pairs), pairs_key(&model.pairs));
+        prop_assert_eq!(from_bin.patterns, model.patterns);
     }
 
     #[test]
@@ -249,7 +297,11 @@ proptest! {
             classifier: None,
             model_kind: ModelKind::SvmLinear,
         };
-        match SavedModel::from_json(&model.to_json()) {
+        match SavedModel::from_json(&model.to_json().unwrap()) {
+            Err(PersistError::UnsupportedVersion(got)) => prop_assert_eq!(got, v),
+            other => prop_assert!(false, "expected UnsupportedVersion, got {:?}", other.is_ok()),
+        }
+        match SavedModel::from_bytes(&model.to_binary().unwrap()) {
             Err(PersistError::UnsupportedVersion(got)) => prop_assert_eq!(got, v),
             other => prop_assert!(false, "expected UnsupportedVersion, got {:?}", other.is_ok()),
         }

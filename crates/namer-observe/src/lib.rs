@@ -99,12 +99,19 @@ pub enum Counter {
     /// Input files quarantined during ingestion (unreadable, non-UTF-8,
     /// or symlink-cycle skips; DESIGN.md §11).
     QuarantinedFiles,
+    /// Model-registry lookups served from an already-resident model
+    /// (DESIGN.md §12).
+    RegistryHits,
+    /// Model-registry lookups that had to load the model from disk.
+    RegistryMisses,
+    /// Models evicted from the registry to stay under its memory budget.
+    RegistryEvictions,
 }
 
 impl Counter {
     /// Every counter, in declaration order (= snapshot key order modulo the
     /// alphabetical `BTreeMap` sort).
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 22] = [
         Counter::FilesProcessed,
         Counter::ParseFailures,
         Counter::StatementsProcessed,
@@ -124,6 +131,9 @@ impl Counter {
         Counter::CacheDegradedCold,
         Counter::IoRetries,
         Counter::QuarantinedFiles,
+        Counter::RegistryHits,
+        Counter::RegistryMisses,
+        Counter::RegistryEvictions,
     ];
 
     /// Stable snake_case name used as the snapshot/JSON key.
@@ -148,6 +158,9 @@ impl Counter {
             Counter::CacheDegradedCold => "cache_degraded_cold",
             Counter::IoRetries => "io_retries",
             Counter::QuarantinedFiles => "quarantined_files",
+            Counter::RegistryHits => "registry_hits",
+            Counter::RegistryMisses => "registry_misses",
+            Counter::RegistryEvictions => "registry_evictions",
         }
     }
 }
@@ -183,11 +196,13 @@ pub enum Phase {
     CacheLookup,
     /// Pruning and saving the scan cache back to disk.
     CacheSave,
+    /// Loading (reading + decoding) a persisted model, in either format.
+    ModelLoad,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Detect,
         Phase::Train,
         Phase::Process,
@@ -201,6 +216,7 @@ impl Phase {
         Phase::Classify,
         Phase::CacheLookup,
         Phase::CacheSave,
+        Phase::ModelLoad,
     ];
 
     /// Stable snake_case name used as the snapshot/JSON key.
@@ -219,6 +235,7 @@ impl Phase {
             Phase::Classify => "classify",
             Phase::CacheLookup => "cache_lookup",
             Phase::CacheSave => "cache_save",
+            Phase::ModelLoad => "model_load",
         }
     }
 }

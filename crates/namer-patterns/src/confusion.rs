@@ -31,9 +31,7 @@ impl From<PairList> for ConfusingPairs {
     fn from(list: PairList) -> ConfusingPairs {
         let mut out = ConfusingPairs::new();
         for (w1, w2, n) in list.0 {
-            for _ in 0..n {
-                out.insert(w1, w2);
-            }
+            out.insert_count(w1, w2, n);
         }
         out
     }
@@ -59,7 +57,16 @@ impl ConfusingPairs {
 
     /// Records one observation of `⟨mistaken, correct⟩`.
     pub fn insert(&mut self, mistaken: Sym, correct: Sym) {
-        *self.counts.entry((mistaken, correct)).or_default() += 1;
+        self.insert_count(mistaken, correct, 1);
+    }
+
+    /// Records `count` observations of `⟨mistaken, correct⟩` at once (bulk
+    /// decode from a persisted pair list).
+    pub fn insert_count(&mut self, mistaken: Sym, correct: Sym, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry((mistaken, correct)).or_default() += count;
         self.correct_words.insert(correct);
     }
 

@@ -1,0 +1,622 @@
+//! Flat fixed-width pattern layout for the binary model format
+//! (DESIGN.md §12).
+//!
+//! The binary container in `namer-core::binfmt` stores patterns, name
+//! paths, and confusing word pairs as flat little-endian arrays over an
+//! interned symbol table, so a loader touches only the pages it reads and
+//! never walks a recursive serde structure. This module owns the
+//! byte-level encoding of those blocks; the container composes them into
+//! sections and guards them with a digest.
+//!
+//! Layout, all integers little-endian:
+//!
+//! * **Symbol table** — `count: u32`, then `count + 1` cumulative byte
+//!   offsets (`u32`), then the concatenated UTF-8 string blob. Symbols are
+//!   referenced everywhere else by their `u32` index in this table.
+//!   [`Sym`] ids are process-local interning handles, so files store the
+//!   strings and re-intern on load.
+//! * **Prefix pool** — `(sym: u32, child_index: u32)` pairs, 8 bytes each;
+//!   the concatenated prefixes of every encoded path.
+//! * **Path records** — `(prefix_off: u32, prefix_len: u32, end: u32)`,
+//!   12 bytes each, `end == u32::MAX` encoding the symbolic `ϵ`.
+//! * **Pattern records** — [`PATTERN_RECORD_BYTES`]-byte records holding
+//!   the pattern type, condition/deduction ranges into the path records,
+//!   and the three mining counters.
+//! * **Pair records** — `(mistaken: u32, correct: u32, count: u64)`,
+//!   16 bytes each, sorted by the interned strings so the encoding is
+//!   stable across processes.
+
+use crate::confusion::ConfusingPairs;
+use crate::pattern::{NamePattern, PatternType};
+use namer_syntax::namepath::NamePath;
+use namer_syntax::Sym;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Sentinel symbol index encoding the symbolic end node `ϵ`.
+pub const EPSILON: u32 = u32::MAX;
+
+/// Bytes per prefix-pool element: `(sym, child_index)`.
+pub const PREFIX_ELEM_BYTES: usize = 8;
+
+/// Bytes per path record: `(prefix_off, prefix_len, end)`.
+pub const PATH_RECORD_BYTES: usize = 12;
+
+/// Bytes per pattern record: type, condition range, deduction range
+/// (5 × `u32` + 4 padding bytes), then support/matches/satisfactions
+/// (3 × `u64`).
+pub const PATTERN_RECORD_BYTES: usize = 48;
+
+/// Bytes per confusing-pair record: `(mistaken, correct, count)`.
+pub const PAIR_RECORD_BYTES: usize = 16;
+
+/// A malformed flat block: an out-of-range index, a bad length, or an
+/// invalid enum tag. Carries a human-readable description of the defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatError(pub String);
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed flat block: {}", self.0)
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, FlatError> {
+    Err(FlatError(msg.into()))
+}
+
+// ----- primitive readers ------------------------------------------------------
+
+/// Reads the little-endian `u32` at byte offset `at`.
+pub fn read_u32(bytes: &[u8], at: usize) -> Result<u32, FlatError> {
+    match bytes.get(at..at + 4) {
+        Some(b) => Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice"))),
+        None => err(format!("u32 read past end (offset {at}, len {})", bytes.len())),
+    }
+}
+
+/// Reads the little-endian `u64` at byte offset `at`.
+pub fn read_u64(bytes: &[u8], at: usize) -> Result<u64, FlatError> {
+    match bytes.get(at..at + 8) {
+        Some(b) => Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice"))),
+        None => err(format!("u64 read past end (offset {at}, len {})", bytes.len())),
+    }
+}
+
+// ----- symbol table -----------------------------------------------------------
+
+/// Builds the file-local symbol table: deduplicates the [`Sym`]s an
+/// encoder touches and assigns dense `u32` ids in first-use order (which
+/// makes the encoding deterministic given a deterministic visit order).
+#[derive(Default)]
+pub struct SymTableBuilder {
+    ids: HashMap<Sym, u32>,
+    order: Vec<Sym>,
+}
+
+impl SymTableBuilder {
+    /// An empty table.
+    pub fn new() -> SymTableBuilder {
+        SymTableBuilder::default()
+    }
+
+    /// The file-local id of `sym`, interning it on first use.
+    pub fn id(&mut self, sym: Sym) -> u32 {
+        if let Some(&id) = self.ids.get(&sym) {
+            return id;
+        }
+        let id = u32::try_from(self.order.len()).expect("symbol table overflow");
+        self.ids.insert(sym, id);
+        self.order.push(sym);
+        id
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when no symbol was interned.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Encodes the table: count, cumulative offsets, string blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.order.len() as u32).to_le_bytes());
+        let mut cum = 0u32;
+        out.extend_from_slice(&cum.to_le_bytes());
+        for &sym in &self.order {
+            cum = cum
+                .checked_add(sym.as_str().len() as u32)
+                .expect("symbol blob overflow");
+            out.extend_from_slice(&cum.to_le_bytes());
+        }
+        for &sym in &self.order {
+            out.extend_from_slice(sym.as_str().as_bytes());
+        }
+        out
+    }
+}
+
+/// A decoded symbol table: file-local ids resolved back to process-wide
+/// [`Sym`]s (strings are re-interned once at decode time).
+pub struct SymTable {
+    syms: Vec<Sym>,
+}
+
+impl SymTable {
+    /// Decodes a table encoded by [`SymTableBuilder::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlatError`] when the block is truncated, offsets are not
+    /// monotonic, or the blob is not UTF-8.
+    pub fn decode(bytes: &[u8]) -> Result<SymTable, FlatError> {
+        let count = read_u32(bytes, 0)? as usize;
+        let offsets_end = 4usize
+            .checked_add((count + 1) * 4)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| FlatError("symbol offsets past end".into()))?;
+        let blob = &bytes[offsets_end..];
+        let mut syms = Vec::with_capacity(count);
+        let mut prev = read_u32(bytes, 4)?;
+        if prev != 0 {
+            return err("symbol offsets must start at 0");
+        }
+        for i in 0..count {
+            let next = read_u32(bytes, 4 + (i + 1) * 4)?;
+            if next < prev || next as usize > blob.len() {
+                return err(format!("symbol offset {next} out of range"));
+            }
+            let s = std::str::from_utf8(&blob[prev as usize..next as usize])
+                .map_err(|e| FlatError(format!("symbol blob is not UTF-8: {e}")))?;
+            syms.push(Sym::intern(s));
+            prev = next;
+        }
+        Ok(SymTable { syms })
+    }
+
+    /// Number of symbols in the table.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// `true` when the table holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Resolves a file-local id.
+    ///
+    /// # Errors
+    ///
+    /// [`FlatError`] when `id` is out of range.
+    pub fn sym(&self, id: u32) -> Result<Sym, FlatError> {
+        match self.syms.get(id as usize) {
+            Some(&s) => Ok(s),
+            None => err(format!("symbol id {id} out of range ({})", self.syms.len())),
+        }
+    }
+}
+
+// ----- paths ------------------------------------------------------------------
+
+/// Accumulates name paths into the flat prefix pool + path records.
+/// Patterns reference paths by the dense index [`PathsBuilder::push`]
+/// returns.
+#[derive(Default)]
+pub struct PathsBuilder {
+    records: Vec<u8>,
+    prefix_pool: Vec<u8>,
+    count: u32,
+}
+
+impl PathsBuilder {
+    /// An empty builder.
+    pub fn new() -> PathsBuilder {
+        PathsBuilder::default()
+    }
+
+    /// Appends `path`, returning its record index.
+    pub fn push(&mut self, path: &NamePath, syms: &mut SymTableBuilder) -> u32 {
+        let prefix_off = (self.prefix_pool.len() / PREFIX_ELEM_BYTES) as u32;
+        for &(sym, idx) in &path.prefix {
+            self.prefix_pool.extend_from_slice(&syms.id(sym).to_le_bytes());
+            self.prefix_pool.extend_from_slice(&idx.to_le_bytes());
+        }
+        let end = match path.end {
+            Some(sym) => syms.id(sym),
+            None => EPSILON,
+        };
+        self.records.extend_from_slice(&prefix_off.to_le_bytes());
+        self.records
+            .extend_from_slice(&(path.prefix.len() as u32).to_le_bytes());
+        self.records.extend_from_slice(&end.to_le_bytes());
+        let idx = self.count;
+        self.count += 1;
+        idx
+    }
+
+    /// Paths pushed so far.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// `true` when no path was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `(path records, prefix pool)` blocks.
+    pub fn finish(self) -> (Vec<u8>, Vec<u8>) {
+        (self.records, self.prefix_pool)
+    }
+}
+
+/// Read-side view over the path records and prefix pool; paths decode on
+/// demand by record index.
+pub struct PathsView<'a> {
+    records: &'a [u8],
+    prefix_pool: &'a [u8],
+}
+
+impl<'a> PathsView<'a> {
+    /// Validates block sizes and wraps the borrowed sections.
+    ///
+    /// # Errors
+    ///
+    /// [`FlatError`] when either block length is not a whole number of
+    /// records/elements.
+    pub fn parse(records: &'a [u8], prefix_pool: &'a [u8]) -> Result<PathsView<'a>, FlatError> {
+        if records.len() % PATH_RECORD_BYTES != 0 {
+            return err(format!("path records length {} not a record multiple", records.len()));
+        }
+        if prefix_pool.len() % PREFIX_ELEM_BYTES != 0 {
+            return err(format!("prefix pool length {} not an element multiple", prefix_pool.len()));
+        }
+        Ok(PathsView { records, prefix_pool })
+    }
+
+    /// Number of path records.
+    pub fn len(&self) -> u32 {
+        (self.records.len() / PATH_RECORD_BYTES) as u32
+    }
+
+    /// `true` when there are no path records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Decodes the path at record `idx`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlatError`] for out-of-range record, prefix, or symbol indices.
+    pub fn get(&self, idx: u32, syms: &SymTable) -> Result<NamePath, FlatError> {
+        if idx >= self.len() {
+            return err(format!("path index {idx} out of range ({})", self.len()));
+        }
+        let at = idx as usize * PATH_RECORD_BYTES;
+        let prefix_off = read_u32(self.records, at)? as usize;
+        let prefix_len = read_u32(self.records, at + 4)? as usize;
+        let end = read_u32(self.records, at + 8)?;
+        let pool_elems = self.prefix_pool.len() / PREFIX_ELEM_BYTES;
+        if prefix_off.checked_add(prefix_len).is_none_or(|e| e > pool_elems) {
+            return err(format!("prefix range {prefix_off}+{prefix_len} out of pool ({pool_elems})"));
+        }
+        let mut prefix = Vec::with_capacity(prefix_len);
+        for i in 0..prefix_len {
+            let at = (prefix_off + i) * PREFIX_ELEM_BYTES;
+            let sym = syms.sym(read_u32(self.prefix_pool, at)?)?;
+            let idx = read_u32(self.prefix_pool, at + 4)?;
+            prefix.push((sym, idx));
+        }
+        Ok(match end {
+            EPSILON => NamePath::symbolic(prefix),
+            id => NamePath::concrete(prefix, syms.sym(id)?),
+        })
+    }
+}
+
+// ----- patterns ---------------------------------------------------------------
+
+/// Encodes `patterns` into fixed-width records, pushing their paths into
+/// `paths` (condition paths first, then deduction paths, per pattern, so
+/// each pattern's ranges are contiguous).
+pub fn encode_patterns(
+    patterns: &[NamePattern],
+    paths: &mut PathsBuilder,
+    syms: &mut SymTableBuilder,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(patterns.len() * PATTERN_RECORD_BYTES);
+    for p in patterns {
+        let ty: u32 = match p.ty {
+            PatternType::Consistency => 0,
+            PatternType::ConfusingWord => 1,
+        };
+        let cond_off = paths.len();
+        for c in &p.condition {
+            paths.push(c, syms);
+        }
+        let ded_off = paths.len();
+        for d in &p.deduction {
+            paths.push(d, syms);
+        }
+        out.extend_from_slice(&ty.to_le_bytes());
+        out.extend_from_slice(&cond_off.to_le_bytes());
+        out.extend_from_slice(&(p.condition.len() as u32).to_le_bytes());
+        out.extend_from_slice(&ded_off.to_le_bytes());
+        out.extend_from_slice(&(p.deduction.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // padding to 8-byte counters
+        out.extend_from_slice(&p.support.to_le_bytes());
+        out.extend_from_slice(&p.matches.to_le_bytes());
+        out.extend_from_slice(&p.satisfactions.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes pattern records written by [`encode_patterns`].
+///
+/// # Errors
+///
+/// [`FlatError`] for truncated records, unknown pattern types, or path
+/// ranges that violate the type's symbolic/concrete deduction invariant
+/// (which the in-memory constructors enforce with assertions — the decoder
+/// must reject such bytes rather than panic).
+pub fn decode_patterns(
+    bytes: &[u8],
+    paths: &PathsView<'_>,
+    syms: &SymTable,
+) -> Result<Vec<NamePattern>, FlatError> {
+    if bytes.len() % PATTERN_RECORD_BYTES != 0 {
+        return err(format!("pattern block length {} not a record multiple", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / PATTERN_RECORD_BYTES);
+    for at in (0..bytes.len()).step_by(PATTERN_RECORD_BYTES) {
+        let ty = match read_u32(bytes, at)? {
+            0 => PatternType::Consistency,
+            1 => PatternType::ConfusingWord,
+            other => return err(format!("unknown pattern type tag {other}")),
+        };
+        let cond_off = read_u32(bytes, at + 4)?;
+        let cond_len = read_u32(bytes, at + 8)?;
+        let ded_off = read_u32(bytes, at + 12)?;
+        let ded_len = read_u32(bytes, at + 16)?;
+        let range = |off: u32, len: u32| -> Result<Vec<NamePath>, FlatError> {
+            let mut v = Vec::with_capacity(len as usize);
+            for i in 0..len {
+                let idx = off
+                    .checked_add(i)
+                    .ok_or_else(|| FlatError("path range overflow".into()))?;
+                v.push(paths.get(idx, syms)?);
+            }
+            Ok(v)
+        };
+        let condition = range(cond_off, cond_len)?;
+        let deduction = range(ded_off, ded_len)?;
+        match ty {
+            PatternType::Consistency => {
+                if deduction.len() != 2 || deduction.iter().any(NamePath::is_concrete) {
+                    return err("consistency pattern needs two symbolic deductions");
+                }
+            }
+            PatternType::ConfusingWord => {
+                if deduction.len() != 1 || !deduction[0].is_concrete() {
+                    return err("confusing-word pattern needs one concrete deduction");
+                }
+            }
+        }
+        out.push(NamePattern {
+            ty,
+            condition,
+            deduction,
+            support: read_u64(bytes, at + 24)?,
+            matches: read_u64(bytes, at + 32)?,
+            satisfactions: read_u64(bytes, at + 40)?,
+        });
+    }
+    Ok(out)
+}
+
+// ----- confusing pairs --------------------------------------------------------
+
+/// Encodes confusing word pairs as fixed-width records, sorted by the
+/// interned strings (not by [`Sym`] id, which is process-local), so the
+/// same logical set always produces the same bytes.
+pub fn encode_pairs(pairs: &ConfusingPairs, syms: &mut SymTableBuilder) -> Vec<u8> {
+    let mut sorted: Vec<(Sym, Sym, u64)> = pairs
+        .iter()
+        .map(|(&(a, b), &n)| (a, b, n))
+        .collect();
+    sorted.sort_by(|x, y| {
+        (x.0.as_str(), x.1.as_str()).cmp(&(y.0.as_str(), y.1.as_str()))
+    });
+    let mut out = Vec::with_capacity(sorted.len() * PAIR_RECORD_BYTES);
+    for (a, b, n) in sorted {
+        out.extend_from_slice(&syms.id(a).to_le_bytes());
+        out.extend_from_slice(&syms.id(b).to_le_bytes());
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes pair records written by [`encode_pairs`]. `correct_words` is
+/// rebuilt by re-inserting each pair, exactly as the JSON path does.
+///
+/// # Errors
+///
+/// [`FlatError`] for truncated records or out-of-range symbol ids.
+pub fn decode_pairs(bytes: &[u8], syms: &SymTable) -> Result<ConfusingPairs, FlatError> {
+    if bytes.len() % PAIR_RECORD_BYTES != 0 {
+        return err(format!("pair block length {} not a record multiple", bytes.len()));
+    }
+    let mut out = ConfusingPairs::new();
+    for at in (0..bytes.len()).step_by(PAIR_RECORD_BYTES) {
+        let a = syms.sym(read_u32(bytes, at)?)?;
+        let b = syms.sym(read_u32(bytes, at + 4)?)?;
+        let n = read_u64(bytes, at + 8)?;
+        out.insert_count(a, b, n);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+
+    fn sample_paths() -> Vec<NamePath> {
+        vec![
+            NamePath::concrete(vec![(sym("Call"), 0), (sym("NumST(1)"), 0)], sym("self")),
+            NamePath::symbolic(vec![(sym("Assign"), 1)]),
+            NamePath::concrete(Vec::new(), sym("x")),
+            NamePath::symbolic(Vec::new()),
+        ]
+    }
+
+    #[test]
+    fn symbol_table_round_trips() {
+        let mut b = SymTableBuilder::new();
+        let ids: Vec<u32> = ["alpha", "beta", "alpha", "γ-unicode", ""]
+            .iter()
+            .map(|s| b.id(sym(s)))
+            .collect();
+        assert_eq!(ids, [0, 1, 0, 2, 3]);
+        let table = SymTable::decode(&b.encode()).unwrap();
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.sym(0).unwrap(), sym("alpha"));
+        assert_eq!(table.sym(2).unwrap(), sym("γ-unicode"));
+        assert_eq!(table.sym(3).unwrap(), sym(""));
+        assert!(table.sym(4).is_err());
+    }
+
+    #[test]
+    fn paths_round_trip_including_epsilon() {
+        let mut syms = SymTableBuilder::new();
+        let mut b = PathsBuilder::new();
+        let originals = sample_paths();
+        for p in &originals {
+            b.push(p, &mut syms);
+        }
+        let (records, pool) = b.finish();
+        let table = SymTable::decode(&syms.encode()).unwrap();
+        let view = PathsView::parse(&records, &pool).unwrap();
+        assert_eq!(view.len(), originals.len() as u32);
+        for (i, p) in originals.iter().enumerate() {
+            assert_eq!(&view.get(i as u32, &table).unwrap(), p);
+        }
+        assert!(view.get(originals.len() as u32, &table).is_err());
+    }
+
+    #[test]
+    fn patterns_round_trip() {
+        let paths = sample_paths();
+        let originals = vec![
+            NamePattern::consistency(
+                vec![paths[0].clone(), paths[2].clone()],
+                paths[1].clone(),
+                paths[3].clone(),
+            ),
+            NamePattern::confusing_word(vec![paths[0].clone()], paths[2].clone()),
+        ];
+        let mut with_counts = originals.clone();
+        with_counts[0].support = 9;
+        with_counts[0].matches = 8;
+        with_counts[0].satisfactions = 7;
+
+        let mut syms = SymTableBuilder::new();
+        let mut pb = PathsBuilder::new();
+        let block = encode_patterns(&with_counts, &mut pb, &mut syms);
+        let (records, pool) = pb.finish();
+        let table = SymTable::decode(&syms.encode()).unwrap();
+        let view = PathsView::parse(&records, &pool).unwrap();
+        let back = decode_patterns(&block, &view, &table).unwrap();
+        assert_eq!(back, with_counts);
+    }
+
+    #[test]
+    fn pattern_decoder_rejects_invariant_violations() {
+        // A consistency record whose deduction range points at a concrete
+        // path must be rejected, not asserted on.
+        let mut syms = SymTableBuilder::new();
+        let mut pb = PathsBuilder::new();
+        let concrete = NamePath::concrete(Vec::new(), sym("x"));
+        let p = NamePattern::confusing_word(Vec::new(), concrete);
+        let mut block = encode_patterns(&[p], &mut pb, &mut syms);
+        block[0] = 0; // rewrite the type tag to Consistency
+        let (records, pool) = pb.finish();
+        let table = SymTable::decode(&syms.encode()).unwrap();
+        let view = PathsView::parse(&records, &pool).unwrap();
+        assert!(decode_patterns(&block, &view, &table).is_err());
+    }
+
+    #[test]
+    fn pattern_decoder_rejects_bad_tags_and_ranges() {
+        let table = SymTable::decode(&SymTableBuilder::new().encode()).unwrap();
+        let view = PathsView::parse(&[], &[]).unwrap();
+        // Unknown type tag.
+        let mut rec = vec![0u8; PATTERN_RECORD_BYTES];
+        rec[0] = 7;
+        assert!(decode_patterns(&rec, &view, &table).is_err());
+        // Truncated block.
+        assert!(decode_patterns(&rec[..10], &view, &table).is_err());
+        // Out-of-range path index.
+        let mut rec = vec![0u8; PATTERN_RECORD_BYTES];
+        rec[0] = 1; // confusing-word
+        rec[16] = 1; // ded_len = 1, but the path view is empty
+        assert!(decode_patterns(&rec, &view, &table).is_err());
+    }
+
+    #[test]
+    fn pairs_round_trip_and_rebuild_correct_words() {
+        let mut pairs = ConfusingPairs::new();
+        pairs.insert(sym("True"), sym("Equal"));
+        pairs.insert(sym("True"), sym("Equal"));
+        pairs.insert(sym("size"), sym("count"));
+        let mut syms = SymTableBuilder::new();
+        let block = encode_pairs(&pairs, &mut syms);
+        assert_eq!(block.len(), 2 * PAIR_RECORD_BYTES);
+        let table = SymTable::decode(&syms.encode()).unwrap();
+        let back = decode_pairs(&block, &table).unwrap();
+        assert_eq!(back.count(sym("True"), sym("Equal")), 2);
+        assert_eq!(back.count(sym("size"), sym("count")), 1);
+        assert!(back.correct_words.contains(&sym("Equal")));
+        assert!(back.correct_words.contains(&sym("count")));
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn pair_encoding_is_sorted_by_string() {
+        // Intern in reverse order so Sym ids disagree with string order.
+        let z = sym("zzz-flat-test");
+        let a = sym("aaa-flat-test");
+        let mut pairs = ConfusingPairs::new();
+        pairs.insert(z, a);
+        pairs.insert(a, z);
+        let mut syms = SymTableBuilder::new();
+        let block = encode_pairs(&pairs, &mut syms);
+        let table = SymTable::decode(&syms.encode()).unwrap();
+        let first = table.sym(read_u32(&block, 0).unwrap()).unwrap();
+        assert_eq!(first, a, "records sort by string, not by interning order");
+    }
+
+    #[test]
+    fn truncated_symbol_tables_error_not_panic() {
+        let mut b = SymTableBuilder::new();
+        b.id(sym("hello"));
+        b.id(sym("world"));
+        let full = b.encode();
+        for cut in 0..full.len() {
+            // Every prefix must decode to Ok (shorter table) or Err —
+            // never panic or read out of bounds.
+            let _ = SymTable::decode(&full[..cut]);
+        }
+    }
+}

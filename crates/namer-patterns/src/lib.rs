@@ -11,7 +11,9 @@
 //!   built from a [`ShardPlan`], so huge mined sets scan across cores
 //!   (DESIGN.md §9);
 //! * [`confusion`] — confusing word pairs mined from commit histories via
-//!   AST diffing.
+//!   AST diffing;
+//! * [`flat`] — the flat fixed-width pattern/path/pair layout used by the
+//!   binary model format (DESIGN.md §12).
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod confusion;
+pub mod flat;
 pub mod fptree;
 pub mod mining;
 pub mod pattern;

@@ -3,12 +3,17 @@
 # bench_shard smoke tests), clippy with warnings denied, a quick run of the
 # sharding benchmark (its exit code enforces the byte-identical guarantee),
 # a CLI metrics smoke (train + scan with --metrics-out, validating the JSON
-# key set of DESIGN.md §10), and rustdoc with warnings denied (catches doc
-# drift and broken intra-doc links). CI and pre-push both run this.
+# key set of DESIGN.md §10), a format smoke (binary model reload + registry
+# scans must be byte-identical, DESIGN.md §12), and rustdoc with warnings
+# denied (catches doc drift and broken intra-doc links). CI and pre-push
+# both run this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+# Fast gate: the binary-container unit tests (DESIGN.md §12) run first so a
+# format regression fails in seconds, before the full workspace suite.
+cargo test -q -p namer-core binfmt
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p namer-bench --bin bench_shard -- --quick --out /tmp/BENCH_shard_check.json
@@ -82,5 +87,33 @@ grep -q "quarantined" "$smoke/fault-stderr.txt" || {
     exit 1
 }
 echo "fault smoke: ok (bad inputs quarantined, truncated cache degraded cold)"
+
+# Format smoke (DESIGN.md §12): a model saved in the binary container must
+# reload — directly and through a --model-dir registry — and produce
+# byte-identical findings to the original file-loaded scan.
+mkdir -p "$smoke/models"
+cp "$smoke/model.json" "$smoke/models/smoke.bin"
+scan_out() { # $1 = extra args..., writes stdout to the named file
+    local out="$1"; shift
+    local rc=0
+    target/release/namer scan "$@" "$smoke/playground/repos" \
+        > "$out" 2>/dev/null || rc=$?
+    if [ "$rc" -gt 1 ]; then
+        echo "check.sh: format smoke scan failed (exit $rc)" >&2
+        exit "$rc"
+    fi
+}
+scan_out "$smoke/findings-file.txt" --model "$smoke/model.json"
+scan_out "$smoke/findings-reload.txt" --model "$smoke/models/smoke.bin"
+scan_out "$smoke/findings-registry.txt" --model-dir "$smoke/models"
+cmp -s "$smoke/findings-file.txt" "$smoke/findings-reload.txt" || {
+    echo "check.sh: binary save -> reload changed the findings" >&2
+    exit 1
+}
+cmp -s "$smoke/findings-file.txt" "$smoke/findings-registry.txt" || {
+    echo "check.sh: registry-served model changed the findings" >&2
+    exit 1
+}
+echo "format smoke: ok (binary reload and registry scans byte-identical)"
 
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -11,10 +11,13 @@
 //! `--corpus` (subdirectory = repository), optionally mines confusing word
 //! pairs from `--commits` (a directory of `<name>.before` / `<name>.after`
 //! file pairs), optionally trains the defect classifier from `--labels`
-//! (TSV: `path<TAB>line<TAB>true|false`), and writes a JSON model. `scan`
-//! loads the model into a [`NamerBuilder`] session and prints reports with
-//! rendered fixes; it exits with status 1 when issues are found, so it can
-//! gate CI. Ingestion degrades gracefully (DESIGN.md §11): unreadable and
+//! (TSV: `path<TAB>line<TAB>true|false`), and writes a model in the binary
+//! container format (DESIGN.md §12; legacy JSON models still load — the
+//! format is sniffed). `scan` loads one model (`--model FILE`) or serves
+//! from a directory of models (`--model-dir DIR`, backed by the
+//! LRU-budgeted [`ModelRegistry`]) into a [`NamerBuilder`] session and
+//! prints reports with rendered fixes; it exits with status 1 when issues
+//! are found, so it can gate CI. Ingestion degrades gracefully (DESIGN.md §11): unreadable and
 //! non-UTF-8 inputs and symlink cycles are quarantined with a diagnostic
 //! instead of aborting the run, and every file the CLI writes lands via an
 //! atomic temp + rename, so a crash never leaves a truncated model, cache,
@@ -26,11 +29,11 @@
 //! threads × shards combination.
 
 use namer::core::{
-    atomic_write, fix_line, CorpusReader, Namer, NamerBuilder, NamerConfig, NamerError, RealFs,
-    SavedModel, Violation,
+    atomic_write, fix_line, CorpusReader, ModelRegistry, Namer, NamerBuilder, NamerConfig,
+    NamerError, RealFs, SavedModel, Violation,
 };
 use namer::corpus::{CorpusConfig, Generator};
-use namer::observe::{Counter, MetricsSnapshot, Observer, PipelineMetrics};
+use namer::observe::{Counter, MetricsSnapshot, Observer, Phase, PipelineMetrics};
 use namer::patterns::{MiningConfig, ShardPlan};
 use namer::syntax::{Lang, SourceFile};
 use std::collections::{HashMap, HashSet};
@@ -72,7 +75,7 @@ fn print_usage() {
         "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
          USAGE:\n  namer demo  [--java] [-o MODEL] [runtime options]\n  namer corpus [--java] [--seed N] --out DIR [runtime options]\n  namer train --corpus DIR \
          [--commits DIR] [--labels TSV] [--lang python|java]\n              \
-         [--no-classifier] [--no-analysis] [-o MODEL] [runtime options]\n  namer scan  --model MODEL [--explain] [--format sarif] [--changed-only]\n              [runtime options] PATH...\n\n\
+         [--no-classifier] [--no-analysis] [-o MODEL] [runtime options]\n  namer scan  (--model FILE | --model-dir DIR [--model NAME])\n              [--model-budget MB] [--explain] [--format sarif] [--changed-only]\n              [runtime options] PATH...\n\n\
          Runtime options (every command):\n  \
          --threads N         worker threads (0 = all cores, the default)\n  \
          --pattern-shards N  prefix-disjoint pattern shards (1 = off; 0 = per core)\n  \
@@ -85,7 +88,13 @@ fn print_usage() {
          caches per-file scan state between runs, so unchanged files are\n\
          not re-scanned; output stays byte-identical to a full scan.\n\
          `--changed-only` (requires --cache-dir) prints reports only for\n\
-         files whose content changed since the cached run.\n"
+         files whose content changed since the cached run.\n\n\
+         Models are written in the binary container format (DESIGN.md §12);\n\
+         legacy JSON models still load — the format is sniffed. With\n\
+         `--model-dir DIR`, scan serves models from a directory by name\n\
+         (file stem; `--model NAME` picks one, optional when the directory\n\
+         holds exactly one) through an LRU registry capped at\n\
+         `--model-budget MB` (default 256).\n"
     );
 }
 
@@ -218,7 +227,7 @@ fn make_dirs(path: impl AsRef<Path>) -> Result<(), NamerError> {
 fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
     let lang = lang_from_args(args);
     let opts = RuntimeOpts::parse(args)?;
-    let out = flag_value(args, "-o").unwrap_or("namer-model.json");
+    let out = flag_value(args, "-o").unwrap_or("namer-model.bin");
     let config = NamerConfig {
         threads: opts.threads,
         shard_plan: opts.shard_plan,
@@ -261,7 +270,7 @@ fn cmd_demo(args: &[String]) -> Result<ExitCode, NamerError> {
         println!("  {r}");
     }
     println!("… {} reports total", outcome.reports.len());
-    write_file(out, SavedModel::from_namer(session.namer()).to_json())?;
+    SavedModel::from_namer(session.namer()).save(Path::new(out))?;
     println!("model saved to {out}");
     opts.emit(&collector.snapshot())?;
     Ok(ExitCode::SUCCESS)
@@ -345,7 +354,7 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
     let corpus_dir = flag_value(args, "--corpus")
         .ok_or_else(|| NamerError::Usage("`train` needs --corpus DIR".to_owned()))?;
     let lang = lang_from_args(args);
-    let out = flag_value(args, "-o").unwrap_or("namer-model.json");
+    let out = flag_value(args, "-o").unwrap_or("namer-model.bin");
 
     // The collector exists before ingestion so quarantines and retries
     // stream into the same metrics as the training phases.
@@ -404,7 +413,7 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
             String::new()
         }
     );
-    write_file(out, SavedModel::from_namer(&namer).to_json())?;
+    SavedModel::from_namer(&namer).save(Path::new(out))?;
     println!("model saved to {out}");
     opts.emit(&collector.snapshot())?;
     Ok(ExitCode::SUCCESS)
@@ -412,14 +421,70 @@ fn cmd_train(args: &[String]) -> Result<ExitCode, NamerError> {
 
 // ----- scan ------------------------------------------------------------------
 
+/// The scan model source: one file, or a registry-served directory.
+enum ScanModel {
+    /// `--model FILE` without `--model-dir`: one model, loaded directly.
+    File(SavedModel),
+    /// `--model-dir DIR`: a shared model out of the [`ModelRegistry`].
+    Registry(Arc<SavedModel>),
+}
+
+/// Resolves the scan's model per `--model` / `--model-dir` /
+/// `--model-budget`. Split out of [`cmd_scan`] so the whole resolution —
+/// registry open included — sits under one [`Phase::ModelLoad`] span.
+fn resolve_scan_model(
+    args: &[String],
+    collector: &Arc<PipelineMetrics>,
+) -> Result<ScanModel, NamerError> {
+    let budget_mb: usize = match flag_value(args, "--model-budget") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| NamerError::Usage(format!("bad --model-budget {s:?}")))?,
+        None => 256,
+    };
+    match flag_value(args, "--model-dir") {
+        Some(dir) => {
+            let registry = ModelRegistry::open(Path::new(dir), budget_mb.saturating_mul(1 << 20))?
+                .with_metrics(collector.clone());
+            let name = match flag_value(args, "--model") {
+                Some(name) => name.to_owned(),
+                None => registry
+                    .sole_name()
+                    .map(str::to_owned)
+                    .ok_or_else(|| {
+                        NamerError::Usage(format!(
+                            "--model-dir {dir} holds {} models; pick one with --model NAME ({})",
+                            registry.len(),
+                            registry.names().join(", ")
+                        ))
+                    })?,
+            };
+            Ok(ScanModel::Registry(registry.get(&name)?))
+        }
+        None => {
+            let path = flag_value(args, "--model").ok_or_else(|| {
+                NamerError::Usage("`scan` needs --model FILE or --model-dir DIR".to_owned())
+            })?;
+            Ok(ScanModel::File(SavedModel::load_via(&FS, Path::new(path))?))
+        }
+    }
+}
+
 fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
-    let model_path = flag_value(args, "--model")
-        .ok_or_else(|| NamerError::Usage("`scan` needs --model MODEL".to_owned()))?;
-    // One fault-tolerant reader covers the model read and the whole
-    // ingestion pass; its diagnostics are seeded into the session below.
+    // One collector spans model load, ingestion, and the session, so
+    // --metrics-out reports the whole scan including Phase::ModelLoad.
+    let collector = Arc::new(PipelineMetrics::new());
+    let model = {
+        let _span = Observer::new(collector.as_ref()).phase(Phase::ModelLoad);
+        resolve_scan_model(args, &collector)?
+    };
+    let lang = match &model {
+        ScanModel::File(m) => m.lang,
+        ScanModel::Registry(m) => m.lang,
+    };
+    // The fault-tolerant reader covers the whole ingestion pass; its
+    // diagnostics are seeded into the session below.
     let mut reader = CorpusReader::new(&FS);
-    let model = SavedModel::from_json(&reader.read_required(Path::new(model_path))?)?;
-    let lang = model.lang;
 
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut skip_next = false;
@@ -429,6 +494,8 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
             continue;
         }
         if a == "--model"
+            || a == "--model-dir"
+            || a == "--model-budget"
             || a == "--format"
             || a == "--threads"
             || a == "--pattern-shards"
@@ -478,8 +545,13 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
         ));
     }
 
+    let sourced = match model {
+        ScanModel::File(m) => NamerBuilder::new().model(m),
+        ScanModel::Registry(m) => NamerBuilder::new().shared(m),
+    };
     let mut session = opts
-        .apply(NamerBuilder::new().model(model).config(default_config()))
+        .apply(sourced.config(default_config()))
+        .metrics(collector.clone())
         .ingest_diagnostics(ingest_diag)
         .build()?;
     if let Some(status) = session.cache_status() {
@@ -515,7 +587,9 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
             changed.contains(&(r.violation.repo.clone(), r.violation.path.clone()))
         });
     }
-    opts.emit(&outcome.metrics)?;
+    // Emit the scan-wide collector (model load included), not just the
+    // session's own snapshot.
+    opts.emit(&collector.snapshot())?;
     let namer = session.namer();
 
     if flag_value(args, "--format") == Some("sarif") {

@@ -40,7 +40,7 @@ fn saved_model_scans_unseen_files() {
     );
 
     // Round trip through JSON, then scan through the session API.
-    let json = SavedModel::from_namer(&namer).to_json();
+    let json = SavedModel::from_namer(&namer).to_json().expect("model serialises");
     assert!(json.contains("\"version\""));
     let mut session = NamerBuilder::new()
         .model(SavedModel::from_json(&json).expect("model parses"))
@@ -97,9 +97,9 @@ fn model_json_is_reasonably_sized_and_versioned() {
     let model = SavedModel::from_namer(&namer);
     assert_eq!(model.version, namer::core::persist::FORMAT_VERSION);
     assert_eq!(model.lang, Lang::Java);
-    let json = model.to_json();
+    let json = model.to_json().expect("model serialises");
     assert!(json.len() > 1_000, "model carries real content");
     // Round trip is stable (same JSON after load + save).
-    let again = SavedModel::from_json(&json).unwrap().to_json();
+    let again = SavedModel::from_json(&json).unwrap().to_json().unwrap();
     assert_eq!(json, again);
 }

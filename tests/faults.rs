@@ -93,9 +93,9 @@ fn model_jsons() -> &'static (String, String) {
             &config,
         );
         let mut model = SavedModel::from_namer(&namer);
-        let old = model.to_json();
+        let old = model.to_json().expect("model serialises");
         model.use_analysis = !model.use_analysis;
-        let altered = model.to_json();
+        let altered = model.to_json().expect("model serialises");
         assert_ne!(old, altered);
         (old, altered)
     })
@@ -125,11 +125,11 @@ fn cache_kill_point_matrix_leaves_old_or_new_cache() {
     let fp = 42u64;
     let mut old_cache = ScanCache::empty(fp);
     old_cache.insert(content_digest("a = 1\n", Lang::Python), CacheEntry::ParseFailure);
-    let old_json = old_cache.to_json();
+    let old_bytes = old_cache.to_binary();
     let mut new_cache = old_cache.clone();
     new_cache.insert(content_digest("b = 2\n", Lang::Python), CacheEntry::ParseFailure);
-    let new_json = new_cache.to_json();
-    assert_ne!(old_json, new_json);
+    let new_bytes = new_cache.to_binary();
+    assert_ne!(old_bytes, new_bytes);
 
     // Size the matrix by counting a clean save's operations.
     let probe = FaultVfs::real(FaultSchedule::new());
@@ -148,9 +148,9 @@ fn cache_kill_point_matrix_leaves_old_or_new_cache() {
             assert!(vfs.killed());
             // What a restarted process sees: the complete old cache or the
             // complete new one — never a corrupt hybrid.
-            let bytes = std::fs::read_to_string(&path).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
             assert!(
-                bytes == old_json || bytes == new_json,
+                bytes == old_bytes || bytes == new_bytes,
                 "k={k} landed={landed:?}: truncated cache on disk"
             );
             let (loaded, status) = ScanCache::load(&path, fp);
@@ -168,9 +168,12 @@ fn cache_kill_point_matrix_leaves_old_or_new_cache() {
 fn model_kill_point_matrix_leaves_old_or_new_model() {
     let (old_json, new_json) = model_jsons();
     let dir = scratch("model-kill");
-    let path = dir.join("model.json");
+    let path = dir.join("model.bin");
     let old = SavedModel::from_json(old_json).unwrap();
     let new = SavedModel::from_json(new_json).unwrap();
+    let old_bytes = old.to_binary().unwrap();
+    let new_bytes = new.to_binary().unwrap();
+    assert_ne!(old_bytes, new_bytes);
 
     let probe = FaultVfs::real(FaultSchedule::new());
     new.save_via(&probe, &path).unwrap();
@@ -181,16 +184,135 @@ fn model_kill_point_matrix_leaves_old_or_new_model() {
             old.save(&path).unwrap();
             let vfs = FaultVfs::real(FaultSchedule::kill_at(k, landed));
             assert!(new.save_via(&vfs, &path).is_err(), "kill at op {k} must surface");
-            let bytes = std::fs::read_to_string(&path).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
             assert!(
-                &bytes == old_json || &bytes == new_json,
+                bytes == old_bytes || bytes == new_bytes,
                 "k={k} landed={landed:?}: truncated model on disk"
             );
-            // A restarted process loads a usable model either way.
+            // A restarted process loads a usable model either way, and its
+            // re-encoding is byte-identical to what survived on disk.
             let loaded = SavedModel::load_via(&RealFs, &path).expect("model loads after crash");
-            assert_eq!(loaded.to_json(), bytes);
+            assert_eq!(loaded.to_binary().unwrap(), bytes);
         }
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ----- binary-container corruption --------------------------------------------
+
+#[test]
+fn corrupt_binary_model_is_an_error_never_a_wrong_model() {
+    let (json, _) = model_jsons();
+    let model = SavedModel::from_json(json).unwrap();
+    let dir = scratch("model-corrupt");
+    let path = dir.join("model.bin");
+    model.save(&path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+
+    // Every truncation point: load must fail — never return a model built
+    // from half a file.
+    for cut in 0..good.len() {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(
+            SavedModel::load_via(&RealFs, &path).is_err(),
+            "truncation at {cut} loaded"
+        );
+    }
+    // Single-bit flips past the digested region: the content digest (or a
+    // structural check) must reject every one of them.
+    for i in (0..good.len()).step_by(11) {
+        for bit in [0u8, 3, 7] {
+            let mut bad = good.clone();
+            bad[i] ^= 1 << bit;
+            if bad == good {
+                continue;
+            }
+            std::fs::write(&path, &bad).unwrap();
+            match SavedModel::load_via(&RealFs, &path) {
+                // Flips inside the magic make the sniffer see "not binary",
+                // and non-UTF-8 garbage is still an error, never a model.
+                Err(_) => {}
+                Ok(loaded) => panic!(
+                    "flip at byte {i} bit {bit} produced a model ({} patterns)",
+                    loaded.patterns.len()
+                ),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_binary_cache_degrades_cold_never_wrong() {
+    let dir = scratch("cache-corrupt");
+    let cache_path = dir.join("scan-cache.json");
+    let files = corpus(0);
+
+    // Seed a real warm cache through a session run.
+    session(Some(&dir)).run(&files).unwrap();
+    let good = std::fs::read(&cache_path).unwrap();
+    let expected = report_strings(&session(None).run(&files).unwrap().reports);
+
+    let mut salted: Vec<Vec<u8>> = Vec::new();
+    for cut in (0..good.len()).step_by(7) {
+        salted.push(good[..cut].to_vec());
+    }
+    for i in (0..good.len()).step_by(13) {
+        let mut bad = good.clone();
+        bad[i] ^= 0x10;
+        if bad != good {
+            salted.push(bad);
+        }
+    }
+    for bad in salted {
+        atomic_write(&RealFs, &cache_path, &bad).unwrap();
+        let mut fresh = session(Some(&dir));
+        // A corrupt cache is a cold (or mismatched) start — never an error,
+        // and never wrong findings.
+        assert!(
+            !matches!(fresh.cache_status(), Some(CacheLoadStatus::Warm(_))),
+            "corrupt cache loaded warm: {:?}",
+            fresh.cache_status()
+        );
+        let outcome = fresh.run(&files).unwrap();
+        assert_eq!(report_strings(&outcome.reports), expected);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_json_files_still_load_behind_the_sniff() {
+    let dir = scratch("legacy-json");
+    let (json, _) = model_jsons();
+
+    // A JSON-era model file loads through the same entry point as binary.
+    let model_path = dir.join("model.json");
+    std::fs::write(&model_path, json).unwrap();
+    let loaded = SavedModel::load_via(&RealFs, &model_path).unwrap();
+    assert_eq!(loaded.to_json().unwrap(), *json);
+
+    // A JSON-era scan cache on disk comes up warm in a session, and the
+    // next save rewrites it in the binary container.
+    let files = corpus(0);
+    session(Some(&dir)).run(&files).unwrap();
+    let cache_path = dir.join("scan-cache.json");
+    let binary = std::fs::read(&cache_path).unwrap();
+    let (cache, status) = ScanCache::load(&cache_path, session(Some(&dir)).namer().scan_fingerprint());
+    assert!(matches!(status, CacheLoadStatus::Warm(_)));
+    atomic_write(&RealFs, &cache_path, cache.to_json().unwrap().as_bytes()).unwrap();
+
+    let mut fresh = session(Some(&dir));
+    assert!(
+        matches!(fresh.cache_status(), Some(CacheLoadStatus::Warm(_))),
+        "JSON cache did not load warm: {:?}",
+        fresh.cache_status()
+    );
+    fresh.run(&files).unwrap();
+    assert_eq!(
+        std::fs::read(&cache_path).unwrap(),
+        binary,
+        "resave did not migrate the JSON cache to the binary container"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -204,7 +326,7 @@ fn session_survives_kill_at_every_cache_operation() {
     // A clean cached run over corpus A seeds the "old" cache; corpus B
     // (a superset) produces a different "new" cache.
     session(Some(&dir)).run(&files_a).unwrap();
-    let old_json = std::fs::read_to_string(&cache_path).unwrap();
+    let old_bytes = std::fs::read(&cache_path).unwrap();
 
     let expected = report_strings(&session(None).run(&files_b).unwrap().reports);
 
@@ -220,11 +342,11 @@ fn session_survives_kill_at_every_cache_operation() {
         .unwrap();
     sized.run(&files_b).unwrap();
     let ops = probe.ops();
-    let new_json = std::fs::read_to_string(&cache_path).unwrap();
-    assert_ne!(old_json, new_json);
+    let new_bytes = std::fs::read(&cache_path).unwrap();
+    assert_ne!(old_bytes, new_bytes);
 
     for k in 0..ops {
-        atomic_write(&RealFs, &cache_path, old_json.as_bytes()).unwrap();
+        atomic_write(&RealFs, &cache_path, &old_bytes).unwrap();
         let vfs = Arc::new(FaultVfs::real(FaultSchedule::kill_at(k, Some(usize::MAX))));
         let result = NamerBuilder::new()
             .model(SavedModel::from_json(json).unwrap())
@@ -233,9 +355,9 @@ fn session_survives_kill_at_every_cache_operation() {
             .build()
             .and_then(|mut s| s.run(&files_b));
         assert!(result.is_err(), "kill at op {k} must surface as an error");
-        let bytes = std::fs::read_to_string(&cache_path).unwrap();
+        let bytes = std::fs::read(&cache_path).unwrap();
         assert!(
-            bytes == old_json || bytes == new_json,
+            bytes == old_bytes || bytes == new_bytes,
             "op {k}: truncated cache on disk"
         );
         // The restart: a fresh session loads the surviving cache warm and

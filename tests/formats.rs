@@ -1,0 +1,154 @@
+//! Integration: the binary model container versus legacy JSON versus the
+//! model registry (DESIGN.md §12).
+//!
+//! The contract under test: *how* a model reached the session — parsed from
+//! JSON, decoded from the binary container, or handed out shared by a
+//! [`ModelRegistry`] — must not leave a trace in the findings. Every
+//! (source × file-threads × pattern-shards) grid point must produce
+//! byte-identical reports and scan statistics.
+
+use namer::core::{ModelRegistry, Namer, NamerBuilder, NamerConfig, SavedModel};
+use namer::corpus::{CorpusConfig, Generator};
+use namer::patterns::{MiningConfig, ShardPlan};
+use namer::syntax::{Lang, SourceFile};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn config() -> NamerConfig {
+    NamerConfig {
+        mining: MiningConfig {
+            min_path_count: 4,
+            min_support: 15,
+            ..MiningConfig::default()
+        },
+        labeled_per_class: 10,
+        cv_repeats: 3,
+        ..NamerConfig::default()
+    }
+}
+
+/// Trains once; writes the snapshot as both a JSON file and a binary file
+/// inside a scratch model directory the registry can serve from.
+fn trained_setup(seed: u64) -> (Vec<SourceFile>, PathBuf) {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(seed);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let namer = Namer::train(
+        &corpus.files,
+        &commits,
+        |v| {
+            oracle
+                .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                .is_some()
+        },
+        &config(),
+    );
+    let model = SavedModel::from_namer(&namer);
+    let dir = std::env::temp_dir().join(format!(
+        "namer-formats-{seed}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    model.save(&dir.join("trained.bin")).expect("binary save");
+    std::fs::write(
+        dir.join("legacy.json"),
+        model.to_json().expect("model serialises"),
+    )
+    .expect("json save");
+    (corpus.files, dir)
+}
+
+/// How the model reaches the session.
+enum Via {
+    Json,
+    Binary,
+    Registry,
+}
+
+fn scan_key(files: &[SourceFile], dir: &PathBuf, via: &Via, threads: usize, shards: usize) -> String {
+    let sourced = match via {
+        // Both files decode through the sniffing loader; what differs is
+        // the bytes on disk.
+        Via::Json => NamerBuilder::new()
+            .model(SavedModel::load(&dir.join("legacy.json")).expect("json model loads")),
+        Via::Binary => NamerBuilder::new()
+            .model(SavedModel::load(&dir.join("trained.bin")).expect("binary model loads")),
+        Via::Registry => {
+            // `legacy.json` and `trained.bin` hold the same model, so the
+            // registry directory is ambiguous only in name, not content;
+            // serve the binary one by name.
+            let registry =
+                ModelRegistry::open_via(Arc::new(namer::core::RealFs), dir, usize::MAX)
+                    .expect("registry opens");
+            NamerBuilder::new()
+                .registry(&registry, "trained")
+                .expect("registry source resolves")
+        }
+    };
+    let mut session = sourced
+        .config(config())
+        .threads(threads)
+        .shard_plan(ShardPlan {
+            shards,
+            min_patterns: 0,
+        })
+        .build()
+        .expect("session builds");
+    let outcome = session.run(files).expect("cacheless run");
+    let mut key = String::new();
+    for r in &outcome.reports {
+        key.push_str(&format!("{r} {:x}\n", r.decision.to_bits()));
+    }
+    key.push_str(&format!(
+        "raw={} files={} repos={}\n",
+        outcome.scan.raw_violation_count,
+        outcome.scan.files_with_violation,
+        outcome.scan.repos_with_violation
+    ));
+    key
+}
+
+#[test]
+fn findings_are_byte_identical_across_formats_and_the_grid() {
+    let (files, dir) = trained_setup(2021);
+    let baseline = scan_key(&files, &dir, &Via::Json, 1, 1);
+    assert!(!baseline.is_empty());
+    for via in [Via::Json, Via::Binary, Via::Registry] {
+        for threads in [1usize, 2, 8] {
+            for shards in [1usize, 4] {
+                assert_eq!(
+                    baseline,
+                    scan_key(&files, &dir, &via, threads, shards),
+                    "diverged at threads={threads} shards={shards}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn registry_names_are_file_stems_and_sole_models_resolve() {
+    let (_, dir) = trained_setup(2027);
+    let registry = ModelRegistry::open(&dir, usize::MAX).expect("registry opens");
+    assert_eq!(registry.names(), ["legacy", "trained"]);
+    assert!(registry.sole_name().is_none(), "two models — no sole name");
+
+    // Both formats serve through the registry and describe the same model.
+    let legacy = registry.get("legacy").expect("json model serves");
+    let trained = registry.get("trained").expect("binary model serves");
+    assert_eq!(
+        legacy.to_json().expect("model serialises"),
+        trained.to_json().expect("model serialises")
+    );
+
+    std::fs::remove_file(dir.join("legacy.json")).unwrap();
+    let sole = ModelRegistry::open(&dir, usize::MAX).expect("registry reopens");
+    assert_eq!(sole.sole_name(), Some("trained"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

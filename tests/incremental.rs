@@ -164,7 +164,7 @@ proptest! {
 
         // A JSON round-trip of the cache changes nothing, and serves the
         // whole mutated corpus without fresh work — at 2 threads.
-        let (mut reloaded, status) = ScanCache::from_json(&cache.to_json(), fingerprint);
+        let (mut reloaded, status) = ScanCache::from_json(&cache.to_json().unwrap(), fingerprint);
         prop_assert_eq!(status, CacheLoadStatus::Warm(cache.len()));
         let again = det.violations_incremental(&mutated, config, &mut reloaded, 2);
         prop_assert_eq!(again.fresh, 0);
@@ -219,7 +219,7 @@ fn pattern_set_change_invalidates_cache() {
     assert_ne!(det.fingerprint(config), truncated.fingerprint(config));
 
     let (mut invalidated, status) =
-        ScanCache::from_json(&cache.to_json(), truncated.fingerprint(config));
+        ScanCache::from_json(&cache.to_json().unwrap(), truncated.fingerprint(config));
     assert_eq!(status, CacheLoadStatus::FingerprintMismatch);
     assert!(invalidated.is_empty());
     let scan = truncated.violations_incremental(&files, config, &mut invalidated, 1);
@@ -234,7 +234,7 @@ fn corrupt_cache_degrades_to_cold_scan() {
     let files = build_files(&[(0, 1), (2, 7), (1, 4)]);
     let mut cache = ScanCache::empty(fingerprint);
     det.violations_incremental(&files, config, &mut cache, 1);
-    let json = cache.to_json();
+    let json = cache.to_json().unwrap();
     let reference = full_scan(det, config, &files);
     for damaged in [
         "not json at all".to_owned(),
@@ -255,7 +255,7 @@ fn version_bump_is_rejected() {
     let (det, config) = mined();
     let fingerprint = det.fingerprint(config);
     let cache = ScanCache::empty(fingerprint);
-    let mut value: serde_json::Value = serde_json::from_str(&cache.to_json()).unwrap();
+    let mut value: serde_json::Value = serde_json::from_str(&cache.to_json().unwrap()).unwrap();
     value["version"] = serde_json::json!(CACHE_FORMAT_VERSION + 1);
     let (c, status) = ScanCache::from_json(&value.to_string(), fingerprint);
     assert_eq!(status, CacheLoadStatus::VersionMismatch);

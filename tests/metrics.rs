@@ -47,7 +47,7 @@ fn trained_model(seed: u64) -> (Vec<SourceFile>, String) {
         },
         &config(),
     );
-    let json = SavedModel::from_namer(&namer).to_json();
+    let json = SavedModel::from_namer(&namer).to_json().expect("model serialises");
     (corpus.files, json)
 }
 
