@@ -84,6 +84,7 @@ pub struct NamerBuilder {
     vfs: Option<Arc<dyn Vfs>>,
     retry: Option<RetryPolicy>,
     ingest_diag: Option<Diagnostics>,
+    cache_autosave: Option<bool>,
 }
 
 impl NamerBuilder {
@@ -226,13 +227,26 @@ impl NamerBuilder {
     }
 
     /// Seeds the session with ingestion [`Diagnostics`] (from
-    /// [`CorpusReader`](crate::ingest::CorpusReader)), so every
-    /// [`DetectOutcome::diagnostics`] report and metrics snapshot covers
-    /// the whole pipeline: quarantined inputs surface as
-    /// [`Counter::QuarantinedFiles`] and retries as
-    /// [`Counter::IoRetries`] in the run's own metrics.
+    /// [`CorpusReader`](crate::ingest::CorpusReader)), so the session's
+    /// *first* [`DetectSession::run`] reports the whole pipeline in one
+    /// place: quarantined inputs surface as [`Counter::QuarantinedFiles`]
+    /// and retries as [`Counter::IoRetries`] in that run's own metrics and
+    /// [`DetectOutcome::diagnostics`]. Build-time events are attributed to
+    /// the first run only — a reused session (the daemon case, DESIGN.md
+    /// §13) reports each later run's own events, never stale ones.
     pub fn ingest_diagnostics(mut self, diag: Diagnostics) -> NamerBuilder {
         self.ingest_diag = Some(diag);
+        self
+    }
+
+    /// Whether each cached [`DetectSession::run`] saves the updated scan
+    /// cache back to disk before returning (the default). Long-lived
+    /// callers that answer many requests per save — the `namer serve`
+    /// daemon — turn this off and persist explicitly via
+    /// [`DetectSession::flush_cache`], so a slow or failing disk never
+    /// sits between a finished scan and its response (DESIGN.md §13).
+    pub fn cache_autosave(mut self, autosave: bool) -> NamerBuilder {
+        self.cache_autosave = Some(autosave);
         self
     }
 
@@ -359,16 +373,19 @@ impl NamerBuilder {
                     path,
                     cache,
                     status,
+                    degrade_counted: false,
+                    dirty: false,
                 })
             }
         };
         Ok(DetectSession {
             namer,
             cache,
+            autosave: self.cache_autosave.unwrap_or(true),
             sink: self.sink,
             vfs,
             retry,
-            base_diag: diag,
+            base_diag: Some(diag),
         })
     }
 }
@@ -378,6 +395,12 @@ struct SessionCache {
     path: PathBuf,
     cache: ScanCache,
     status: CacheLoadStatus,
+    /// Whether the load-time degradation (corrupt/version/fingerprint) has
+    /// already been counted into a run's metrics. The *event* happened once
+    /// at load; a reused session must not re-report it on every run.
+    degrade_counted: bool,
+    /// Whether the in-memory cache has changes the disk copy lacks.
+    dirty: bool,
 }
 
 /// A ready-to-run detection session produced by [`NamerBuilder::build`].
@@ -390,12 +413,16 @@ struct SessionCache {
 pub struct DetectSession {
     namer: Namer,
     cache: Option<SessionCache>,
+    /// Whether runs persist the cache themselves
+    /// ([`NamerBuilder::cache_autosave`], on by default).
+    autosave: bool,
     sink: Option<Arc<dyn MetricsSink>>,
     vfs: Arc<dyn Vfs>,
     retry: RetryPolicy,
     /// Ingestion diagnostics seeded at build time (plus build-time cache
-    /// retries); cloned into every run's outcome.
-    base_diag: Diagnostics,
+    /// retries); taken by the session's *first* run so reuse never
+    /// re-reports stale events.
+    base_diag: Option<Diagnostics>,
 }
 
 impl DetectSession {
@@ -413,7 +440,8 @@ impl DetectSession {
     /// # Errors
     ///
     /// [`NamerError::Io`] when saving the scan cache fails; cacheless runs
-    /// cannot fail.
+    /// and runs with [`NamerBuilder::cache_autosave`]`(false)` cannot
+    /// fail.
     pub fn run(&mut self, files: &[SourceFile]) -> Result<DetectOutcome, NamerError> {
         let collector = PipelineMetrics::new();
         let result = match self.sink.clone() {
@@ -441,18 +469,20 @@ impl DetectSession {
         let plan = self.namer.config().shard_plan;
         let process = self.namer.config().process.clone();
         // Ingestion robustness events (quarantines, retries) seeded at
-        // build time count into every run's own metrics, so one snapshot
-        // covers the whole pipeline.
-        if !self.base_diag.quarantined.is_empty() {
+        // build time count into the *first* run's own metrics, so one
+        // snapshot covers the whole pipeline — and only once: a reused
+        // session (back-to-back detects, the daemon case) must not
+        // re-report events that happened before it was built.
+        let diagnostics = self.base_diag.take().unwrap_or_default();
+        if !diagnostics.quarantined.is_empty() {
             obs.add(
                 Counter::QuarantinedFiles,
-                self.base_diag.quarantined.len() as u64,
+                diagnostics.quarantined.len() as u64,
             );
         }
-        if self.base_diag.io_retries > 0 {
-            obs.add(Counter::IoRetries, self.base_diag.io_retries);
+        if diagnostics.io_retries > 0 {
+            obs.add(Counter::IoRetries, diagnostics.io_retries);
         }
-        let diagnostics = self.base_diag.clone();
         let vfs = self.vfs.clone();
         let retry = self.retry;
         let Some(state) = self.cache.as_mut() else {
@@ -470,13 +500,19 @@ impl DetectSession {
                 diagnostics,
             });
         };
-        if matches!(
-            state.status,
-            CacheLoadStatus::Corrupt
-                | CacheLoadStatus::VersionMismatch
-                | CacheLoadStatus::FingerprintMismatch
-        ) {
+        if !state.degrade_counted
+            && matches!(
+                state.status,
+                CacheLoadStatus::Corrupt
+                    | CacheLoadStatus::VersionMismatch
+                    | CacheLoadStatus::FingerprintMismatch
+            )
+        {
+            // The degradation happened once, at load; count it into the
+            // first run only. After that run the in-memory cache is valid
+            // and warm, whatever the on-disk file looked like.
             obs.add(Counter::CacheDegradedCold, 1);
+            state.degrade_counted = true;
         }
         // Which inputs will scan fresh (recorded before the scan warms the
         // cache): the "changed files" of a CI-style incremental run.
@@ -496,13 +532,15 @@ impl DetectSession {
         // Keep the cache bounded by the current input set before saving.
         let live: HashSet<ContentDigest> = files.iter().map(SourceFile::content_digest).collect();
         state.cache.retain_digests(&live);
-        {
+        state.dirty = true;
+        if self.autosave {
             // Crash-safe save (write-temp + fsync + rename) with bounded
             // retry: a kill at any point leaves the old or the new cache
             // on disk, never a truncation (DESIGN.md §11).
             let _save_span = obs.phase(Phase::CacheSave);
             with_retry(retry, obs, || state.cache.save_via(vfs.as_ref(), &state.path))
                 .map_err(|e| NamerError::io(&state.path, e))?;
+            state.dirty = false;
         }
         let reports = self.namer.reports_from(&inc.scan, obs);
         Ok(DetectOutcome {
@@ -563,6 +601,70 @@ impl DetectSession {
         self.cache.as_ref().map(|c| c.status)
     }
 
+    /// Persists the in-memory scan cache to its on-disk path if it has
+    /// unsaved changes. Returns `true` when a save happened, `false` for
+    /// cacheless sessions or an already-clean cache. The companion of
+    /// [`NamerBuilder::cache_autosave`]`(false)`: the daemon calls this
+    /// *after* a response is on the wire, so persistence cost and
+    /// persistence faults never delay or corrupt an answer (DESIGN.md §13).
+    ///
+    /// # Errors
+    ///
+    /// [`NamerError::Io`] when the save fails after bounded retries; the
+    /// in-memory cache keeps its state (still warm, still dirty), so a
+    /// later flush can succeed.
+    pub fn flush_cache(&mut self) -> Result<bool, NamerError> {
+        self.flush_cache_observed(Observer::none())
+    }
+
+    /// [`DetectSession::flush_cache`] reporting its [`Phase::CacheSave`]
+    /// span and retries into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DetectSession::flush_cache`].
+    pub fn flush_cache_observed(&mut self, obs: Observer<'_>) -> Result<bool, NamerError> {
+        let Some(state) = self.cache.as_mut() else {
+            return Ok(false);
+        };
+        if !state.dirty {
+            return Ok(false);
+        }
+        let _save_span = obs.phase(Phase::CacheSave);
+        with_retry(self.retry, obs, || {
+            state.cache.save_via(self.vfs.as_ref(), &state.path)
+        })
+        .map_err(|e| NamerError::io(&state.path, e))?;
+        state.dirty = false;
+        Ok(true)
+    }
+
+    /// Empties the in-memory scan cache (the fingerprint is kept), so the
+    /// next run scans everything fresh — the explicit "go cold" of the
+    /// daemon's `cache.flush {"clear": true}`. The cleared state is marked
+    /// dirty; a following [`DetectSession::flush_cache`] persists it.
+    /// Returns `false` for cacheless sessions.
+    pub fn clear_cache(&mut self) -> bool {
+        let Some(state) = self.cache.as_mut() else {
+            return false;
+        };
+        state.cache = ScanCache::empty(self.namer.scan_fingerprint());
+        state.dirty = true;
+        true
+    }
+
+    /// Entries currently held by the in-memory scan cache; `None` without
+    /// a cache directory.
+    pub fn cache_entries(&self) -> Option<usize> {
+        self.cache.as_ref().map(|c| c.cache.len())
+    }
+
+    /// Whether the in-memory scan cache has changes the disk copy lacks;
+    /// `None` without a cache directory.
+    pub fn cache_dirty(&self) -> Option<bool> {
+        self.cache.as_ref().map(|c| c.dirty)
+    }
+
     /// The assembled system (for persistence, classification, metadata).
     pub fn namer(&self) -> &Namer {
         &self.namer
@@ -587,8 +689,10 @@ pub struct DetectOutcome {
     /// deterministic, timings are not.
     pub metrics: MetricsSnapshot,
     /// The run's robustness report: quarantined inputs and recovered
-    /// transient I/O errors, including ingestion diagnostics seeded via
-    /// [`NamerBuilder::ingest_diagnostics`] (DESIGN.md §11).
+    /// transient I/O errors. Ingestion diagnostics seeded via
+    /// [`NamerBuilder::ingest_diagnostics`] appear on the session's
+    /// *first* run only; later runs of a reused session report their own
+    /// events (DESIGN.md §11, §13).
     pub diagnostics: Diagnostics,
 }
 

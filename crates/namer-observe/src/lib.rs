@@ -106,12 +106,19 @@ pub enum Counter {
     RegistryMisses,
     /// Models evicted from the registry to stay under its memory budget.
     RegistryEvictions,
+    /// JSON-RPC requests the detection daemon accepted for execution
+    /// (answered with a result *or* a typed error — rejections are counted
+    /// separately; DESIGN.md §13).
+    ServeRequests,
+    /// JSON-RPC requests rejected with the typed `server_busy` error
+    /// because the daemon's bounded request queue was full (DESIGN.md §13).
+    ServeRejectedBusy,
 }
 
 impl Counter {
     /// Every counter, in declaration order (= snapshot key order modulo the
     /// alphabetical `BTreeMap` sort).
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 24] = [
         Counter::FilesProcessed,
         Counter::ParseFailures,
         Counter::StatementsProcessed,
@@ -134,6 +141,8 @@ impl Counter {
         Counter::RegistryHits,
         Counter::RegistryMisses,
         Counter::RegistryEvictions,
+        Counter::ServeRequests,
+        Counter::ServeRejectedBusy,
     ];
 
     /// Stable snake_case name used as the snapshot/JSON key.
@@ -161,6 +170,8 @@ impl Counter {
             Counter::RegistryHits => "registry_hits",
             Counter::RegistryMisses => "registry_misses",
             Counter::RegistryEvictions => "registry_evictions",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeRejectedBusy => "serve_rejected_busy",
         }
     }
 }
@@ -198,11 +209,15 @@ pub enum Phase {
     CacheSave,
     /// Loading (reading + decoding) a persisted model, in either format.
     ModelLoad,
+    /// One executed daemon request: params decode, detection, and result
+    /// assembly. Envelope rendering and the response write happen outside
+    /// the span (DESIGN.md §13).
+    Serve,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 14] = [
+    pub const ALL: [Phase; 15] = [
         Phase::Detect,
         Phase::Train,
         Phase::Process,
@@ -217,6 +232,7 @@ impl Phase {
         Phase::CacheLookup,
         Phase::CacheSave,
         Phase::ModelLoad,
+        Phase::Serve,
     ];
 
     /// Stable snake_case name used as the snapshot/JSON key.
@@ -236,6 +252,7 @@ impl Phase {
             Phase::CacheLookup => "cache_lookup",
             Phase::CacheSave => "cache_save",
             Phase::ModelLoad => "model_load",
+            Phase::Serve => "serve",
         }
     }
 }
@@ -508,6 +525,22 @@ impl MetricsSnapshot {
         serde_json::to_string_pretty(self).expect("snapshot always serialises")
     }
 
+    /// Zeroes every scheduling-dependent value — phase wall/busy nanos and
+    /// per-shard busy splits — leaving only the deterministic half of the
+    /// snapshot (counters, span calls, the full key set). The detection
+    /// daemon applies this in deterministic mode so recorded wire
+    /// transcripts can be diffed byte-exactly (DESIGN.md §13).
+    pub fn scrub_timings(&mut self) {
+        for stat in self.phases.values_mut() {
+            stat.wall_nanos = 0;
+            stat.busy_nanos = 0;
+        }
+        for busy in &mut self.shard_busy_nanos {
+            *busy = 0;
+        }
+        self.shard_imbalance = 0.0;
+    }
+
     /// Parses a snapshot back from [`MetricsSnapshot::to_json`] output.
     ///
     /// # Errors
@@ -679,6 +712,24 @@ mod tests {
         assert!(text.contains("scan"));
         assert!(!text.contains("mine_prune"));
         assert!(!text.contains("violations_raw"));
+    }
+
+    #[test]
+    fn scrub_timings_keeps_only_deterministic_values() {
+        let m = PipelineMetrics::new();
+        let obs = m.observer();
+        obs.add(Counter::ServeRequests, 2);
+        obs.busy(Phase::Scan, 999);
+        obs.shard_busy(1, 123);
+        drop(obs.phase(Phase::Serve));
+        let mut snap = m.snapshot();
+        snap.scrub_timings();
+        assert_eq!(snap.counter(Counter::ServeRequests), 2);
+        assert_eq!(snap.phase(Phase::Serve).calls, 1);
+        assert_eq!(snap.phase(Phase::Serve).wall_nanos, 0);
+        assert_eq!(snap.phase(Phase::Scan).busy_nanos, 0);
+        assert!(snap.shard_busy_nanos.iter().all(|&b| b == 0));
+        assert_eq!(snap.shard_imbalance, 0.0);
     }
 
     #[test]

@@ -4,16 +4,19 @@
 # sharding benchmark (its exit code enforces the byte-identical guarantee),
 # a CLI metrics smoke (train + scan with --metrics-out, validating the JSON
 # key set of DESIGN.md §10), a format smoke (binary model reload + registry
-# scans must be byte-identical, DESIGN.md §12), and rustdoc with warnings
-# denied (catches doc drift and broken intra-doc links). CI and pre-push
-# both run this.
+# scans must be byte-identical, DESIGN.md §12), a serve smoke (spawn the
+# JSON-RPC daemon, handshake, analyze, shutdown, DESIGN.md §13), and rustdoc
+# with warnings denied (catches doc drift and broken intra-doc links). CI
+# and pre-push both run this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-# Fast gate: the binary-container unit tests (DESIGN.md §12) run first so a
-# format regression fails in seconds, before the full workspace suite.
+# Fast gates: the binary-container unit tests (DESIGN.md §12) and the
+# serve protocol unit tests (DESIGN.md §13) run first so a format or wire
+# regression fails in seconds, before the full workspace suite.
 cargo test -q -p namer-core binfmt
+cargo test -q -p namer-serve serve_
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p namer-bench --bin bench_shard -- --quick --out /tmp/BENCH_shard_check.json
@@ -115,5 +118,44 @@ cmp -s "$smoke/findings-file.txt" "$smoke/findings-registry.txt" || {
     exit 1
 }
 echo "format smoke: ok (binary reload and registry scans byte-identical)"
+
+# Serve smoke (DESIGN.md §13): spawn the JSON-RPC daemon over stdio, run
+# handshake -> analyze -> shutdown, and validate that the handshake
+# advertises the protocol, every request gets a result, and the analyze
+# response's per-request MetricsSnapshot carries the full §10 key set.
+printf '%s\n' \
+  '{"jsonrpc":"2.0","id":1,"method":"initialize","params":{"protocol":1}}' \
+  '{"jsonrpc":"2.0","id":2,"method":"file.analyze","params":{"files":[{"path":"buggy.py","content":"class T(TestCase):\n    def t(self):\n        self.assertTrue(widget.size, 12)\n"}]}}' \
+  '{"jsonrpc":"2.0","id":3,"method":"shutdown"}' \
+  | target/release/namer serve --model "$smoke/model.json" \
+  > "$smoke/serve-out.jsonl" || {
+    echo "check.sh: serve smoke daemon failed" >&2
+    exit 1
+}
+python3 - "$smoke/serve-out.jsonl" <<'PY' || exit 1
+import json, sys
+
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 3, f"expected 3 responses, got {len(lines)}"
+init, analyze, shutdown = lines
+for resp in lines:
+    assert "error" not in resp, f"unexpected error response: {resp}"
+assert init["result"]["protocol"] == 1, "handshake protocol mismatch"
+assert init["result"]["server"] == "namer-serve"
+assert "file.analyze" in init["result"]["methods"]
+result = analyze["result"]
+for key in ("findings", "summary", "diagnostics", "metrics"):
+    assert key in result, f"analyze result missing {key!r}"
+metrics = result["metrics"]
+for key in ("schema_version", "counters", "phases",
+            "shard_busy_nanos", "shard_imbalance"):
+    assert key in metrics, f"MetricsSnapshot missing {key!r}"
+for counter in ("serve_requests", "files_scanned", "statements_scanned"):
+    assert counter in metrics["counters"], f"counters missing {counter!r}"
+assert metrics["counters"]["serve_requests"] == 1
+assert metrics["phases"]["serve"]["calls"] == 1
+assert shutdown["result"] == {"ok": True}
+PY
+echo "serve smoke: ok (handshake, analyze, shutdown; snapshot keys valid)"
 
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

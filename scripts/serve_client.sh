@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Minimal scripted client for `namer serve` (DESIGN.md §13): spawns the
+# daemon over stdio, runs the initialize handshake, analyzes the given
+# files in one batch, and shuts the daemon down. Findings are printed one
+# JSON object per line.
+#
+# Usage: scripts/serve_client.sh MODEL [FILE...]
+#   MODEL   a trained model file (namer train -o MODEL)
+#   FILE    Python/Java sources to analyze (default: a built-in buggy
+#           snippet, so the script demos without arguments)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 MODEL [FILE...]" >&2
+    exit 2
+fi
+model="$1"; shift
+
+namer=target/release/namer
+if [ ! -x "$namer" ]; then
+    echo "$0: build first: cargo build --release" >&2
+    exit 2
+fi
+
+# Assemble the request transcript: handshake, one batch analyze, shutdown.
+# python3 does the JSON escaping so arbitrary file contents survive.
+transcript=$(python3 - "$@" <<'PY'
+import json, sys
+
+files = []
+for path in sys.argv[1:]:
+    with open(path, encoding="utf-8") as fh:
+        files.append({"path": path, "content": fh.read()})
+if not files:
+    files = [{
+        "path": "buggy.py",
+        "content": "class T(TestCase):\n"
+                   "    def t(self):\n"
+                   "        self.assertTrue(widget.size, 12)\n",
+    }]
+
+print(json.dumps({"jsonrpc": "2.0", "id": 1, "method": "initialize",
+                  "params": {"protocol": 1}}))
+print(json.dumps({"jsonrpc": "2.0", "id": 2, "method": "file.analyze",
+                  "params": {"files": files}}))
+print(json.dumps({"jsonrpc": "2.0", "id": 3, "method": "shutdown"}))
+PY
+)
+
+printf '%s\n' "$transcript" \
+    | "$namer" serve --model "$model" \
+    | python3 -c '
+import json, sys
+
+for line in sys.stdin:
+    resp = json.loads(line)
+    if "error" in resp:
+        sys.exit("request %s failed: %s" % (resp["id"], resp["error"]))
+    if resp["id"] == 2:
+        result = resp["result"]
+        for finding in result["findings"]:
+            print(json.dumps(finding))
+        summary = result["summary"]
+        print("%d finding(s) in %d file(s)" %
+              (summary["findings"], summary["files"]), file=sys.stderr)
+'

@@ -5,6 +5,7 @@
 //! namer corpus [--java] --out DIR            write a synthetic corpus to disk
 //! namer train  --corpus DIR [options]        mine patterns + train the classifier
 //! namer scan   --model MODEL PATH...         scan files/directories for naming issues
+//! namer serve  --model MODEL [--listen ADDR] long-lived JSON-RPC detection daemon
 //! ```
 //!
 //! `train` mines name patterns from every `.py`/`.java` file under
@@ -27,6 +28,11 @@
 //! (per-phase timings + counters as JSON, DESIGN.md §10), and `--timings`
 //! (human-readable timing table on stderr). Output is byte-identical at any
 //! threads × shards combination.
+//!
+//! `serve` keeps the model(s) and warm scan caches resident and answers
+//! newline-delimited JSON-RPC 2.0 requests (`initialize` / `ping` /
+//! `file.analyze` / `model.load` / `cache.flush` / `shutdown`) over stdio,
+//! or over TCP with `--listen ADDR` — the wire protocol is DESIGN.md §13.
 
 use namer::core::{
     atomic_write, fix_line, CorpusReader, ModelRegistry, Namer, NamerBuilder, NamerConfig,
@@ -35,6 +41,7 @@ use namer::core::{
 use namer::corpus::{CorpusConfig, Generator};
 use namer::observe::{Counter, MetricsSnapshot, Observer, Phase, PipelineMetrics};
 use namer::patterns::{MiningConfig, ShardPlan};
+use namer::serve::{serve_listener, serve_stdio, ModelHost, ServeConfig};
 use namer::syntax::{Lang, SourceFile};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -53,6 +60,7 @@ fn main() -> ExitCode {
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -75,11 +83,11 @@ fn print_usage() {
         "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
          USAGE:\n  namer demo  [--java] [-o MODEL] [runtime options]\n  namer corpus [--java] [--seed N] --out DIR [runtime options]\n  namer train --corpus DIR \
          [--commits DIR] [--labels TSV] [--lang python|java]\n              \
-         [--no-classifier] [--no-analysis] [-o MODEL] [runtime options]\n  namer scan  (--model FILE | --model-dir DIR [--model NAME])\n              [--model-budget MB] [--explain] [--format sarif] [--changed-only]\n              [runtime options] PATH...\n\n\
+         [--no-classifier] [--no-analysis] [-o MODEL] [runtime options]\n  namer scan  (--model FILE | --model-dir DIR [--model NAME])\n              [--model-budget MB] [--explain] [--format sarif] [--changed-only]\n              [runtime options] PATH...\n  namer serve (--model FILE | --model-dir DIR) [--listen ADDR] [--queue N]\n              [--model-budget MB] [--deterministic] [runtime options]\n\n\
          Runtime options (every command):\n  \
          --threads N         worker threads (0 = all cores, the default)\n  \
          --pattern-shards N  prefix-disjoint pattern shards (1 = off; 0 = per core)\n  \
-         --cache-dir DIR     per-file scan cache between runs (scan only)\n  \
+         --cache-dir DIR     per-file scan cache between runs (scan and serve)\n  \
          --metrics-out FILE  write per-phase timings + counters as JSON\n  \
          --timings           print a human-readable timing table to stderr\n\n\
          Threads and shards are scheduling knobs only: output is\n\
@@ -94,7 +102,14 @@ fn print_usage() {
          `--model-dir DIR`, scan serves models from a directory by name\n\
          (file stem; `--model NAME` picks one, optional when the directory\n\
          holds exactly one) through an LRU registry capped at\n\
-         `--model-budget MB` (default 256).\n"
+         `--model-budget MB` (default 256).\n\n\
+         `serve` answers newline-delimited JSON-RPC 2.0 over stdio (default)\n\
+         or TCP (`--listen 127.0.0.1:7357`): initialize/ping/shutdown\n\
+         handshake plus batch file.analyze, model.load, and cache.flush,\n\
+         every response carrying findings and a per-request metrics\n\
+         snapshot (DESIGN.md §13). `--queue N` bounds the TCP request queue\n\
+         (overflow gets a typed server_busy error; default 64) and\n\
+         `--deterministic` zeroes timings so responses are byte-stable.\n"
     );
 }
 
@@ -642,6 +657,76 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
     } else {
         ExitCode::from(1)
     })
+}
+
+// ----- serve -----------------------------------------------------------------
+
+/// `namer serve`: the long-lived JSON-RPC detection daemon (DESIGN.md
+/// §13). Serves one model (`--model FILE`) or a whole registry
+/// (`--model-dir DIR`) over stdio, or over TCP with `--listen ADDR`.
+/// Runs until the client sends `shutdown` (or stdin closes), then emits
+/// the daemon-wide aggregate metrics per `--metrics-out` / `--timings`.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, NamerError> {
+    let opts = RuntimeOpts::parse(args)?;
+    // The daemon-wide collector aggregates across all requests; each
+    // response additionally carries its own per-request snapshot.
+    let collector = Arc::new(PipelineMetrics::new());
+    let budget_mb: usize = match flag_value(args, "--model-budget") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| NamerError::Usage(format!("bad --model-budget {s:?}")))?,
+        None => 256,
+    };
+    let host = {
+        let _span = Observer::new(collector.as_ref()).phase(Phase::ModelLoad);
+        match flag_value(args, "--model-dir") {
+            Some(dir) => ModelHost::Registry(Arc::new(
+                ModelRegistry::open(Path::new(dir), budget_mb.saturating_mul(1 << 20))?
+                    .with_metrics(collector.clone()),
+            )),
+            None => {
+                let path = flag_value(args, "--model").ok_or_else(|| {
+                    NamerError::Usage("`serve` needs --model FILE or --model-dir DIR".to_owned())
+                })?;
+                let model = SavedModel::load_via(&FS, Path::new(path))?;
+                let name = Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("model")
+                    .to_owned();
+                ModelHost::Single { name, model: Arc::new(model) }
+            }
+        }
+    };
+    let mut config = ServeConfig::new(NamerConfig {
+        threads: opts.threads,
+        shard_plan: opts.shard_plan,
+        ..default_config()
+    });
+    config.cache_root = opts.cache_dir.clone().map(PathBuf::from);
+    if let Some(s) = flag_value(args, "--queue") {
+        config.queue_capacity = s
+            .parse()
+            .map_err(|_| NamerError::Usage(format!("bad --queue {s:?}")))?;
+    }
+    config.scrub_timings = has_flag(args, "--deterministic");
+    config.metrics = Some(collector.clone());
+    match flag_value(args, "--listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| NamerError::io(Path::new(addr), e))?;
+            if let Ok(local) = listener.local_addr() {
+                eprintln!("namer serve: listening on {local}");
+            }
+            serve_listener(config, host, listener)
+                .map_err(|e| NamerError::io(Path::new(addr), e))?;
+        }
+        None => {
+            serve_stdio(config, host).map_err(|e| NamerError::io(Path::new("<stdio>"), e))?;
+        }
+    }
+    opts.emit(&collector.snapshot())?;
+    Ok(ExitCode::SUCCESS)
 }
 
 // ----- labels ------------------------------------------------------------------

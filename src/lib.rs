@@ -22,6 +22,8 @@
 //!   classification → reports.
 //! * [`observe`] — pipeline observability: counters, phase timings, and the
 //!   `MetricsSink` trait behind `--metrics-out` (DESIGN.md §10).
+//! * [`serve`] — the long-lived JSON-RPC detection daemon behind
+//!   `namer serve` (DESIGN.md §13).
 //!
 //! ## Quickstart
 //!
@@ -65,4 +67,5 @@ pub use namer_ml as ml;
 pub use namer_nn as nn;
 pub use namer_observe as observe;
 pub use namer_patterns as patterns;
+pub use namer_serve as serve;
 pub use namer_syntax as syntax;

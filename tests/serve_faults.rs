@@ -1,0 +1,444 @@
+//! Fault matrix for `namer serve` (DESIGN.md §13): the daemon under
+//! hostile conditions degrades cold, never wrong.
+//!
+//! * **Kill-point matrix** — the daemon's deferred cache persistence
+//!   runs *after* each response line, so "crash between response write
+//!   and cache save" is an ordinary kill point here. A clean run sizes
+//!   the matrix by counting VFS operations; killing at every index
+//!   must leave findings correct, the on-disk cache holding complete
+//!   old or complete new bytes, and a restarted daemon healthy.
+//! * **Transient-I/O storms** — seeded transient faults plus a retry
+//!   policy must not change findings.
+//! * **Flush storms** — a cache directory that permanently refuses
+//!   writes costs warmth only; responses match a healthy daemon's.
+//! * **Connection drop mid-request** — a TCP client that vanishes
+//!   without reading its response must not disturb survivors or
+//!   shutdown.
+//! * **Overload** — a flooded bounded queue answers `server_busy` for
+//!   the overflow and exactly one response per request, never silent
+//!   drops or unbounded buffering.
+
+use namer::core::{
+    Fault, FaultSchedule, FaultVfs, Namer, NamerConfig, RealFs, RetryPolicy, SavedModel, Vfs,
+    Violation,
+};
+use namer::patterns::MiningConfig;
+use namer::serve::{serve_listener, serve_transcript, ModelHost, ServeConfig};
+use namer::syntax::{Lang, SourceFile};
+use serde_json::{json, Value};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const IDIOM: &str = "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 3)\n";
+const MISUSE: &str = "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 3)\n";
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "namer-serve-faults-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn mini_config() -> NamerConfig {
+    NamerConfig {
+        mining: MiningConfig {
+            min_path_count: 2,
+            min_support: 5,
+            ..MiningConfig::default()
+        },
+        labeled_per_class: 3,
+        cv_repeats: 2,
+        threads: 1,
+        ..NamerConfig::default()
+    }
+}
+
+fn model_json() -> &'static String {
+    static JSON: OnceLock<String> = OnceLock::new();
+    JSON.get_or_init(|| {
+        let mut files: Vec<SourceFile> = (0..40)
+            .map(|i| {
+                SourceFile::new(
+                    format!("r{}", i % 3),
+                    format!("f{i}.py"),
+                    format!("{IDIOM}x{i} = {i}\n"),
+                    Lang::Python,
+                )
+            })
+            .collect();
+        files.push(SourceFile::new("r0", "bug.py", MISUSE, Lang::Python));
+        let commits = vec![(
+            "class T(TestCase):\n    def t(self):\n        self.assertTrue(v.count, 1)\n"
+                .to_owned(),
+            "class T(TestCase):\n    def t(self):\n        self.assertEqual(v.count, 1)\n"
+                .to_owned(),
+        )];
+        let namer = Namer::train(
+            &files,
+            &commits,
+            |v: &Violation| v.original.as_str() == "True",
+            &mini_config(),
+        );
+        SavedModel::from_namer(&namer).to_json().expect("model serializes")
+    })
+}
+
+fn host() -> ModelHost {
+    ModelHost::Single {
+        name: "m".to_owned(),
+        model: Arc::new(SavedModel::from_json(model_json()).expect("model parses")),
+    }
+}
+
+fn config(vfs: Arc<dyn Vfs>, cache_root: Option<&Path>, retry: RetryPolicy) -> ServeConfig {
+    let mut config = ServeConfig::new(mini_config());
+    config.scrub_timings = true;
+    config.vfs = vfs;
+    config.cache_root = cache_root.map(Path::to_path_buf);
+    config.retry = retry;
+    config
+}
+
+fn clean_config(cache_root: Option<&Path>) -> ServeConfig {
+    config(Arc::new(RealFs), cache_root, RetryPolicy::default())
+}
+
+/// `extra` grows the batch (and therefore the saved cache bytes): the
+/// old-vs-new pair of the kill matrix.
+fn batch(extra: usize) -> Vec<(String, String)> {
+    let mut files = vec![
+        ("bug.py".to_owned(), MISUSE.to_owned()),
+        ("ok.py".to_owned(), IDIOM.to_owned()),
+    ];
+    for i in 0..6 + extra {
+        files.push((format!("f{i}.py"), format!("{IDIOM}y{i} = {i}\n")));
+    }
+    files
+}
+
+fn init_line(id: u64) -> String {
+    format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"method\":\"initialize\",\"params\":{{\"protocol\":1}}}}")
+}
+
+fn analyze_line(id: u64, files: &[(String, String)]) -> String {
+    let files: Vec<Value> = files
+        .iter()
+        .map(|(path, content)| json!({"repo": "client", "path": path, "content": content}))
+        .collect();
+    serde_json::to_string(&json!({
+        "jsonrpc": "2.0",
+        "id": id,
+        "method": "file.analyze",
+        "params": {"files": files},
+    }))
+    .expect("request serializes")
+}
+
+fn transcript(extra: usize) -> String {
+    [
+        init_line(1),
+        "{\"jsonrpc\":\"2.0\",\"id\":100,\"method\":\"model.load\",\"params\":{\"model\":\"m\"}}"
+            .to_owned(),
+        analyze_line(2, &batch(extra)),
+    ]
+    .join("\n")
+}
+
+/// Asserts a response line is a result (not an error) and returns its
+/// findings as a comparable string.
+fn findings_of(line: &str) -> String {
+    let v: Value = serde_json::from_str(line).expect("response parses");
+    assert!(
+        v.get("error").is_none(),
+        "expected a result response, got {line}"
+    );
+    serde_json::to_string(&v["result"]["findings"]).unwrap()
+}
+
+fn assert_all_results(out: &str, expect_lines: usize, ctx: &str) {
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), expect_lines, "{ctx}: wrong response count");
+    for line in lines {
+        let v: Value = serde_json::from_str(line).expect("response parses");
+        assert!(v.get("error").is_none(), "{ctx}: unexpected error {line}");
+    }
+}
+
+// ----- kill-point matrix ------------------------------------------------------
+
+#[test]
+fn serve_kill_matrix_leaves_old_or_new_cache_and_correct_findings() {
+    let dir = scratch("kill");
+    let cache_file = dir.join("m").join("scan-cache.json");
+
+    // Seed the "old" cache with a small batch, then capture the "new"
+    // cache (and expected responses) from a clean superset run.
+    serve_transcript(clean_config(Some(&dir)), host(), &transcript(0));
+    let old_bytes = std::fs::read(&cache_file).expect("seeded cache");
+    let expected = serve_transcript(clean_config(Some(&dir)), host(), &transcript(4));
+    let new_bytes = std::fs::read(&cache_file).expect("updated cache");
+    assert_ne!(old_bytes, new_bytes);
+    let expected_findings = findings_of(expected.lines().nth(2).unwrap());
+
+    // Size the matrix: a fault-free FaultVfs counts every VFS operation
+    // the daemon performs across the whole transcript — the cache load
+    // at session build and the deferred post-response saves included.
+    std::fs::write(&cache_file, &old_bytes).unwrap();
+    let probe = Arc::new(FaultVfs::real(FaultSchedule::new()));
+    serve_transcript(config(probe.clone(), Some(&dir), RetryPolicy::none()), host(), &transcript(4));
+    let ops = probe.ops();
+    assert!(ops >= 2, "expected at least a cache read and a cache write");
+
+    for k in 0..ops {
+        std::fs::write(&cache_file, &old_bytes).unwrap();
+        let vfs = Arc::new(FaultVfs::real(FaultSchedule::kill_at(k, Some(usize::MAX))));
+        let out = serve_transcript(
+            config(vfs, Some(&dir), RetryPolicy::none()),
+            host(),
+            &transcript(4),
+        );
+        // Every request is answered, none wrongly: a dead cache only
+        // costs warmth. Kill points after the analyze response land in
+        // the deferred save — the crash-between-response-and-save
+        // ordering — and must not have blocked the response either.
+        assert_all_results(&out, 3, &format!("kill at op {k}"));
+        assert_eq!(
+            findings_of(out.lines().nth(2).unwrap()),
+            expected_findings,
+            "kill at op {k} changed findings"
+        );
+        // The disk invariant: complete old cache or complete new cache.
+        let bytes = std::fs::read(&cache_file).unwrap();
+        assert!(
+            bytes == old_bytes || bytes == new_bytes,
+            "kill at op {k} left a truncated cache on disk"
+        );
+        // The restart: a fresh daemon over the surviving cache is warm
+        // or cold but always right.
+        let restarted = serve_transcript(clean_config(Some(&dir)), host(), &transcript(4));
+        assert_eq!(
+            findings_of(restarted.lines().nth(2).unwrap()),
+            expected_findings,
+            "restart after kill at op {k}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ----- transient and permanent I/O storms -------------------------------------
+
+#[test]
+fn serve_transient_io_storm_never_changes_findings() {
+    let dir = scratch("transient");
+    let cache_file = dir.join("m").join("scan-cache.json");
+    serve_transcript(clean_config(Some(&dir)), host(), &transcript(0));
+    let old_bytes = std::fs::read(&cache_file).expect("seeded cache");
+    let expected = serve_transcript(clean_config(Some(&dir)), host(), &transcript(4));
+    let new_bytes = std::fs::read(&cache_file).unwrap();
+    let expected_findings = findings_of(expected.lines().nth(2).unwrap());
+
+    // Seed 1 deterministically faults operation 0 and never produces
+    // long fault runs, so 8 immediate attempts always recover.
+    std::fs::write(&cache_file, &old_bytes).unwrap();
+    let vfs = Arc::new(FaultVfs::real(FaultSchedule::seeded_transient(1, 400, 30)));
+    let out = serve_transcript(
+        config(vfs, Some(&dir), RetryPolicy::immediate(8)),
+        host(),
+        &transcript(4),
+    );
+    assert_all_results(&out, 3, "transient storm");
+    assert_eq!(findings_of(out.lines().nth(2).unwrap()), expected_findings);
+
+    // Whatever the storm did to persistence, the disk holds a complete
+    // cache and a clean restart is healthy.
+    let bytes = std::fs::read(&cache_file).unwrap();
+    assert!(bytes == old_bytes || bytes == new_bytes, "truncated cache after storm");
+    let restarted = serve_transcript(clean_config(Some(&dir)), host(), &transcript(4));
+    assert_eq!(findings_of(restarted.lines().nth(2).unwrap()), expected_findings);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_permanent_flush_failure_costs_warmth_only() {
+    let hostile = scratch("flush-denied");
+    let healthy = scratch("flush-clean");
+    // Two analyze batches back to back: the second exercises the warm
+    // in-memory cache that the failed flush must not have poisoned.
+    let input = [
+        init_line(1),
+        analyze_line(2, &batch(0)),
+        analyze_line(3, &batch(4)),
+    ]
+    .join("\n");
+
+    let vfs = Arc::new(FaultVfs::real(
+        FaultSchedule::new().on_path("scan-cache", Fault::Err(io::ErrorKind::PermissionDenied)),
+    ));
+    let out = serve_transcript(config(vfs, Some(&hostile), RetryPolicy::none()), host(), &input);
+    let clean = serve_transcript(clean_config(Some(&healthy)), host(), &input);
+    assert_all_results(&out, 3, "flush-denied daemon");
+    for idx in [1, 2] {
+        assert_eq!(
+            findings_of(out.lines().nth(idx).unwrap()),
+            findings_of(clean.lines().nth(idx).unwrap()),
+            "response {idx} diverged under flush denial"
+        );
+    }
+    // Nothing was persisted — and nothing corrupt was left behind.
+    assert!(
+        !hostile.join("m").join("scan-cache.json").exists(),
+        "denied flush still wrote a cache file"
+    );
+    std::fs::remove_dir_all(&hostile).ok();
+    std::fs::remove_dir_all(&healthy).ok();
+}
+
+// ----- TCP: connection drop and overload --------------------------------------
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut buf = String::new();
+        self.reader.read_line(&mut buf).expect("response line");
+        assert!(buf.ends_with('\n'), "truncated response: {buf:?}");
+        buf.trim_end_matches('\n').to_owned()
+    }
+}
+
+#[test]
+fn serve_connection_drop_mid_request_leaves_survivors_unaffected() {
+    // Serial expectation for the survivor's exact request sequence
+    // (model pre-warmed, as the warm connection below does live).
+    let expected: Vec<String> = serve_transcript(clean_config(None), host(), &transcript(0))
+        .lines()
+        .map(str::to_owned)
+        .collect();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let cfg = clean_config(None);
+    let server = std::thread::spawn(move || serve_listener(cfg, host(), listener));
+
+    {
+        let mut warm = Client::connect(addr);
+        warm.send(&init_line(1));
+        assert_eq!(warm.recv(), expected[0]);
+        warm.send("{\"jsonrpc\":\"2.0\",\"id\":100,\"method\":\"model.load\",\"params\":{\"model\":\"m\"}}");
+        assert_eq!(warm.recv(), expected[1]);
+    }
+
+    // The dropper: sends an analyze and vanishes without reading. The
+    // daemon may compute the response into a closed socket; that must
+    // be the client's loss alone.
+    {
+        let mut dropper = Client::connect(addr);
+        dropper.send(&init_line(1));
+        let _ = dropper.recv();
+        dropper.send(&analyze_line(2, &batch(0)));
+    }
+
+    let mut survivor = Client::connect(addr);
+    survivor.send(&init_line(1));
+    assert_eq!(survivor.recv(), expected[0]);
+    survivor.send(&analyze_line(2, &batch(0)));
+    assert_eq!(survivor.recv(), expected[2], "survivor diverged after a peer dropped");
+    survivor.send("{\"jsonrpc\":\"2.0\",\"id\":9,\"method\":\"shutdown\"}");
+    assert_eq!(
+        survivor.recv(),
+        "{\"jsonrpc\":\"2.0\",\"id\":9,\"result\":{\"ok\":true}}"
+    );
+    server.join().expect("server thread").expect("server exits cleanly");
+}
+
+#[test]
+fn serve_overload_answers_every_request_busy_or_ok() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let mut cfg = clean_config(None);
+    cfg.queue_capacity = 1;
+    let server = std::thread::spawn(move || serve_listener(cfg, host(), listener));
+
+    let mut client = Client::connect(addr);
+    client.send(&init_line(1));
+    let _ = client.recv();
+
+    // One heavy analyze occupies the executor; a burst of pings then
+    // overflows the single-slot queue. Every request must come back —
+    // as its result or as a typed `server_busy` — exactly once.
+    let heavy: Vec<(String, String)> = (0..150)
+        .map(|i| (format!("h{i}.py"), format!("{MISUSE}z{i} = {i}\n")))
+        .collect();
+    client.send(&analyze_line(1000, &heavy));
+    let flood = 60u64;
+    for id in 1..=flood {
+        client.send(&format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"method\":\"ping\"}}"));
+    }
+
+    let mut ok = std::collections::HashMap::new();
+    let mut busy = std::collections::HashMap::new();
+    for _ in 0..=flood {
+        let line = client.recv();
+        let v: Value = serde_json::from_str(&line).expect("response parses");
+        let id = v["id"].as_u64().expect("numeric id");
+        match v.get("error") {
+            None => {
+                assert!(ok.insert(id, line).is_none(), "duplicate ok for id {id}");
+            }
+            Some(err) => {
+                assert_eq!(err["code"].as_i64(), Some(-32000), "unexpected error: {line}");
+                assert_eq!(err["data"]["kind"].as_str(), Some("server_busy"));
+                assert!(busy.insert(id, line).is_none(), "duplicate busy for id {id}");
+            }
+        }
+    }
+    assert!(ok.contains_key(&1000), "the in-flight analyze must complete");
+    assert!(!busy.contains_key(&1000), "the accepted analyze cannot also be rejected");
+    assert_eq!(
+        ok.len() + busy.len(),
+        flood as usize + 1,
+        "every request answered exactly once"
+    );
+    assert!(!busy.is_empty(), "a single-slot queue under a 60-ping burst must reject");
+    for (id, line) in &ok {
+        if *id != 1000 {
+            assert_eq!(
+                line,
+                &format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"result\":{{\"pong\":true}}}}"),
+                "accepted ping answered wrongly"
+            );
+        }
+    }
+
+    client.send("{\"jsonrpc\":\"2.0\",\"id\":9999,\"method\":\"shutdown\"}");
+    assert_eq!(
+        client.recv(),
+        "{\"jsonrpc\":\"2.0\",\"id\":9999,\"result\":{\"ok\":true}}"
+    );
+    server.join().expect("server thread").expect("server exits cleanly");
+}
