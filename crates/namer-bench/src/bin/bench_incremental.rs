@@ -5,14 +5,18 @@
 //!                   [--threads N] [--seed N] [--out FILE]
 //! ```
 //!
-//! Mines a detector on one synthetic corpus, then times three scans through
-//! the digest-keyed scan cache — cold (empty cache), warm (unchanged
-//! corpus), and ≈ 1 %-dirty — against a from-scratch full re-scan of the
-//! mutated corpus, and writes `BENCH_incremental.json`. Every phase is
-//! checked bit for bit against its full-scan reference; the binary exits
-//! non-zero if any phase diverges. `--quick` runs the small corpus for the
-//! smoke tests; the default scale is medium (the acceptance scale for the
-//! ≥ 5× dirty-re-scan speedup).
+//! Mines a detector on one synthetic corpus (pattern set inflated so match
+//! cost dominates, the big-code regime), then times five scans through the
+//! digest-keyed scan cache — cold, warm, 1-line-dirty, and
+//! N-statements-dirty in statement-region mode (DESIGN.md §14), plus the
+//! same 1-line edit against a warm *file-granular* cache (the pre-§14
+//! baseline) — and a from-scratch full re-scan, and writes
+//! `BENCH_incremental.json`. Every phase is checked bit for bit against its
+//! full-scan reference; the binary exits non-zero if any phase diverges,
+//! if the 1-line-dirty phase fails to beat the file-granular baseline
+//! (`--quick`), or if it falls short of the ≥ 5× acceptance speedup (full
+//! scales). `--quick` runs the small corpus for the smoke tests; the
+//! default scale is medium.
 
 use namer_bench::incremental::measure_incremental;
 use namer_bench::Scale;
@@ -64,23 +68,28 @@ fn main() -> ExitCode {
     println!("incremental scan bench: {lang}, {scale:?} corpus, {threads} thread(s)");
     let bench = measure_incremental(lang, scale, seed, threads);
     println!(
-        "corpus: {} files / {} statements; {} file(s) dirtied",
-        bench.files, bench.stmts, bench.dirty_files
+        "corpus: {} files / {} statements; {} patterns ({} mined); \
+         {} statement(s) for the N-dirty phase",
+        bench.files, bench.stmts, bench.patterns, bench.base_patterns, bench.dirty_stmt_count
     );
     for (name, p) in [
         ("cold", &bench.cold),
         ("warm", &bench.warm),
-        ("dirty", &bench.dirty),
+        ("1-line-dirty", &bench.dirty_line),
+        ("N-stmts-dirty", &bench.dirty_stmts),
+        ("file-granular", &bench.granular_line),
         ("full re-scan", &bench.full_rescan),
     ] {
         println!(
-            "  {name:>12}: {:>8.3}s | {:>5} reused / {:>5} fresh | {} violations",
-            p.secs, p.reused, p.fresh, p.violations
+            "  {name:>13}: {:>8.3}s | {:>5} reused / {:>5} fresh | \
+             {:>6} stmt hits / {:>6} misses | {} violations",
+            p.secs, p.reused, p.fresh, p.stmt_hits, p.stmt_misses, p.violations
         );
     }
     println!(
-        "warm speedup {:.1}x | 1%-dirty speedup {:.1}x | identical: {}",
-        bench.warm_speedup, bench.dirty_speedup, bench.identical
+        "warm speedup {:.1}x | dirty-vs-full speedup {:.1}x | \
+         region-vs-granular speedup {:.1}x | identical: {}",
+        bench.warm_speedup, bench.dirty_speedup, bench.region_speedup, bench.identical
     );
 
     let json = serde_json::to_string_pretty(&bench).expect("bench serialises");
@@ -89,10 +98,20 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("wrote {out}");
-    if bench.identical {
-        ExitCode::SUCCESS
-    } else {
+    if !bench.identical {
         eprintln!("error: incremental scan diverged from the full scan");
-        ExitCode::from(1)
+        return ExitCode::from(1);
     }
+    // Speedup gates: the small smoke scale only requires splicing to win;
+    // the full scales hold the ≥ 5× acceptance bar.
+    let floor = if scale == Scale::Small { 1.0 } else { 5.0 };
+    if bench.region_speedup < floor {
+        eprintln!(
+            "error: 1-line-dirty phase was only {:.2}x faster than the warm \
+             file-granular baseline (floor: {floor}x)",
+            bench.region_speedup
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }

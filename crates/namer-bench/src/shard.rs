@@ -16,7 +16,7 @@
 //! byte-identical guarantee, and the binary exits non-zero when it fails.
 
 use crate::{namer_config, setup, Scale, Setup};
-use namer_core::{process_parallel, Detector, ScanResult};
+use namer_core::{process_parallel, Detector, DetectorSpec, ScanRequest, ScanResult};
 use namer_observe::{MetricsSnapshot, Phase, PipelineMetrics};
 use namer_patterns::{resolve_threads, MiningConfig, ShardPlan};
 use namer_syntax::namepath::NamePath;
@@ -85,8 +85,10 @@ fn key(scan: &ScanResult) -> Vec<(String, Vec<u64>)> {
 
 /// Inflates a mined detector with `factor` never-matching clone variants of
 /// every pattern. Clones are appended after the base set, so base pattern
-/// indices — and therefore all scan output — are unchanged.
-fn inflate(det: &Detector, factor: usize) -> Detector {
+/// indices — and therefore all scan output — are unchanged. Shared with
+/// `bench_incremental`, which needs the same match-cost-dominated regime to
+/// measure statement splicing (DESIGN.md §14).
+pub fn inflate(det: &Detector, factor: usize) -> Detector {
     let base = &det.patterns.patterns;
     let mut patterns = base.clone();
     let mut dataset = det.dataset_counts_all().to_vec();
@@ -103,7 +105,7 @@ fn inflate(det: &Detector, factor: usize) -> Detector {
             dataset.push(det.dataset_counts(j));
         }
     }
-    Detector::from_parts(patterns, det.pairs.clone(), dataset)
+    DetectorSpec::new(patterns, det.pairs.clone(), dataset).build()
 }
 
 /// Generates one corpus, mines and inflates a detector, and times the scan
@@ -143,7 +145,11 @@ pub fn measure_shard(
         let mut scan = None;
         for _ in 0..reps {
             let metrics = PipelineMetrics::new();
-            let s = det.violations_sharded_observed(&processed, 1, plan, metrics.observer());
+            let s = det.scan(
+                ScanRequest::full(&processed)
+                    .plan(*plan)
+                    .observer(metrics.observer()),
+            );
             let snap = metrics.snapshot();
             let secs = snap.phase_secs(Phase::Scan) + snap.phase_secs(Phase::Assemble);
             if secs < best {
@@ -248,8 +254,8 @@ mod tests {
         let base = Detector::mine(&processed, &commits, Lang::Python, &config.mining);
         let inflated = inflate(&base, 4);
         assert_eq!(
-            key(&base.violations(&processed)),
-            key(&inflated.violations(&processed)),
+            key(&base.scan(ScanRequest::full(&processed))),
+            key(&inflated.scan(ScanRequest::full(&processed))),
             "never-matching clones leaked into results"
         );
     }

@@ -12,7 +12,7 @@
 //! without a live collector to police DESIGN.md §10's ≤ 2 % budget.
 
 use crate::{labeler, namer_config, setup, Scale, Setup};
-use namer_core::{process_parallel_observed, Detector, Namer, SavedModel};
+use namer_core::{process_parallel_observed, Detector, Namer, SavedModel, ScanRequest};
 use namer_observe::{Observer, Phase, PipelineMetrics};
 use namer_patterns::{resolve_threads, MiningConfig, ShardPlan};
 use namer_syntax::Lang;
@@ -225,8 +225,7 @@ pub fn measure(lang: Lang, scale: Scale, seed: u64, thread_counts: &[usize]) -> 
         };
         let detector = Detector::mine_observed(&processed, &commits, lang, &mining, obs);
 
-        let scan =
-            detector.violations_sharded_observed(&processed, threads, &ShardPlan::unsharded(), obs);
+        let scan = detector.scan(ScanRequest::full(&processed).threads(threads).observer(obs));
 
         let snap = metrics.snapshot();
         out.runs.push(PipelineRun {
@@ -268,12 +267,16 @@ pub fn measure_overhead(lang: Lang, scale: Scale, seed: u64, reps: usize) -> Ove
     let mut observed = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
-        let base = det.violations_sharded(&processed, 1, &plan);
+        let base = det.scan(ScanRequest::full(&processed).plan(plan));
         unobserved = unobserved.min(t.elapsed().as_secs_f64());
 
         let metrics = PipelineMetrics::new();
         let t = Instant::now();
-        let live = det.violations_sharded_observed(&processed, 1, &plan, metrics.observer());
+        let live = det.scan(
+            ScanRequest::full(&processed)
+                .plan(plan)
+                .observer(metrics.observer()),
+        );
         observed = observed.min(t.elapsed().as_secs_f64());
         assert_eq!(
             base.violations.len(),

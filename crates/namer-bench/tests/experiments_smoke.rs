@@ -106,18 +106,27 @@ fn bench_incremental_quick_emits_json() {
     let json: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
     // The equivalence guarantee held for every phase.
     assert_eq!(json["identical"], serde_json::Value::Bool(true));
-    // Warm scan reused everything; the dirty scan re-did only dirty files.
+    // Warm scan reused everything; the dirty phases re-did only the
+    // touched file(s), splicing their unchanged statements from regions.
     assert_eq!(json["warm"]["fresh"].as_u64(), Some(0));
-    assert!(json["dirty"]["fresh"].as_u64().unwrap() >= 1);
-    assert!(
-        json["dirty"]["fresh"].as_u64().unwrap() <= json["dirty_files"].as_u64().unwrap(),
-        "dirty scan re-scanned more than the dirtied files"
-    );
-    for phase in ["cold", "warm", "dirty", "full_rescan"] {
+    assert_eq!(json["dirty_line"]["fresh"].as_u64(), Some(1));
+    assert!(json["dirty_line"]["stmt_hits"].as_u64().unwrap() > 0);
+    assert!(json["dirty_line"]["stmt_misses"].as_u64().unwrap() >= 1);
+    // The baseline is file-granular: no region traffic at all.
+    assert_eq!(json["granular_line"]["stmt_hits"].as_u64(), Some(0));
+    for phase in [
+        "cold",
+        "warm",
+        "dirty_line",
+        "dirty_stmts",
+        "granular_line",
+        "full_rescan",
+    ] {
         assert!(json[phase]["secs"].as_f64().unwrap() >= 0.0, "{phase}");
     }
     assert!(json["warm_speedup"].as_f64().unwrap() > 0.0);
     assert!(json["dirty_speedup"].as_f64().unwrap() > 0.0);
+    assert!(json["region_speedup"].as_f64().unwrap() > 0.0);
 }
 
 #[test]

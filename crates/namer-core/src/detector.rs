@@ -3,11 +3,13 @@
 //!
 //! Scanning is split into a per-file stage ([`FileScanState`], purely
 //! content-derived and therefore cacheable) and a corpus-level assembly
-//! stage ([`Detector::assemble_scan`]) that rebuilds repo aggregates and
-//! feature vectors. Both the full scan ([`Detector::violations_with`]) and
-//! the incremental scan ([`Detector::violations_incremental`]) funnel
-//! through the same assembly, which is what guarantees byte-identical
-//! output between them (DESIGN.md §8).
+//! stage that rebuilds repo aggregates and feature vectors. Every scan —
+//! full or incremental, file-granular or statement-region — goes through
+//! the one [`Detector::scan`] entry point and funnels into the same
+//! assembly, which is what guarantees byte-identical output between all
+//! of them (DESIGN.md §8, §14). Within a fresh file, per-statement match
+//! outcomes are cached as [`StmtRegion`]s keyed by a span digest of the
+//! statement's name paths, so an edit re-matches only the dirty window.
 
 use crate::features::{self, FeatureInputs, LevelCounts, FEATURE_COUNT};
 use crate::persist::{CacheEntry, ScanCache};
@@ -15,11 +17,11 @@ use crate::process::{process_each_observed, ProcessConfig, ProcessedCorpus, Proc
 use namer_observe::{Counter, Observer, Phase};
 use namer_patterns::{
     mine_patterns_observed, resolve_threads, ConfusingPairs, MatchScratch, MiningConfig,
-    PatternSet, PatternShards, PatternType, Relation, ShardHit, ShardPlan,
+    NamePattern, PathSet, PatternSet, PatternShards, PatternType, Relation, ShardHit, ShardPlan,
 };
 use namer_syntax::{parse_file, ContentDigest, Fnv64, Lang, SourceFile, Sym};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
 
 /// A flagged pattern violation with its feature vector.
@@ -95,6 +97,101 @@ pub struct FileScanState {
     pub digest_counts: Vec<(u64, u64)>,
     /// Pre-feature violations in statement order.
     pub raw: Vec<RawHit>,
+    /// Span-digest key of each statement in source order (hex), linking
+    /// the file to its cached [`StmtRegion`]s so region pruning can
+    /// mark-and-sweep. Empty for states produced without region tracking
+    /// (full scans, file-granular incremental mode, v1 caches).
+    #[serde(default)]
+    pub spans: Vec<String>,
+}
+
+/// Cached match outcomes of one statement region, keyed by the span digest
+/// of the statement's extracted name paths (DESIGN.md §14).
+///
+/// Stores only path-derived data — pattern outcomes in the matcher's
+/// emission order — never positional stamps like line numbers or rendered
+/// text, which are re-taken from the *current* statement at splice time.
+/// That is what makes a region safe to share across files, edits, and line
+/// shifts: matching is a pure function of the paths under a fixed detector
+/// fingerprint.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StmtRegion {
+    /// Per-pattern outcomes in emission order.
+    pub outcomes: Vec<RegionOutcome>,
+}
+
+/// One pattern's outcome on one statement region.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegionOutcome {
+    /// Index of the matched pattern.
+    pub pattern_idx: usize,
+    /// Whether the deduction held.
+    pub satisfied: bool,
+    /// Post-orientation `(original, suggested)` names, present only for
+    /// violations.
+    pub names: Option<(Sym, Sym)>,
+}
+
+/// Content-addressed key of one statement's extracted name paths: two
+/// independently seeded 64-bit FNV streams over every path's rendering.
+///
+/// Pattern matching and orientation are pure functions of these paths
+/// under a fixed detector, which is what makes the key sound. A digest of
+/// the statement's *source span* would not be: name paths depend on
+/// file-scoped analysis, so the same source text can extract different
+/// paths after an edit elsewhere in the file (DESIGN.md §14).
+fn span_digest(paths: &PathSet) -> ContentDigest {
+    let mut lo = Fnv64::new();
+    let mut hi = Fnv64::with_seed(0x9e37_79b9_7f4a_7c15);
+    lo.write_u64(paths.paths.len() as u64);
+    hi.write_u64(paths.paths.len() as u64);
+    for p in &paths.paths {
+        let s = p.to_string();
+        lo.write_str(&s);
+        hi.write_str(&s);
+    }
+    ContentDigest((u128::from(hi.finish()) << 64) | u128::from(lo.finish()))
+}
+
+/// The persisted parts of a [`Detector`] — mined patterns, confusing
+/// pairs, and per-pattern dataset statistics — with [`DetectorSpec::build`]
+/// as the single way to rebuild a detector from storage. Paired with
+/// [`Detector::fingerprint`], cache-key derivation has exactly one code
+/// path.
+#[derive(Debug)]
+pub struct DetectorSpec {
+    /// All mined patterns (consistency first, then confusing-word).
+    pub patterns: Vec<NamePattern>,
+    /// Mined confusing word pairs.
+    pub pairs: ConfusingPairs,
+    /// Dataset-level counts per pattern (from `pruneUncommon`), index-
+    /// aligned with `patterns`.
+    pub dataset: Vec<LevelCounts>,
+}
+
+impl DetectorSpec {
+    /// Bundles already-mined parts (typically deserialized from a
+    /// [`SavedModel`](crate::persist::SavedModel)).
+    pub fn new(
+        patterns: Vec<NamePattern>,
+        pairs: ConfusingPairs,
+        dataset: Vec<LevelCounts>,
+    ) -> DetectorSpec {
+        DetectorSpec {
+            patterns,
+            pairs,
+            dataset,
+        }
+    }
+
+    /// Builds the runtime detector (re-indexing the pattern set).
+    pub fn build(self) -> Detector {
+        Detector {
+            patterns: PatternSet::new(self.patterns),
+            pairs: self.pairs,
+            dataset: self.dataset,
+        }
+    }
 }
 
 /// The mined detector: patterns, pairs, and dataset-level statistics.
@@ -188,35 +285,12 @@ impl Detector {
         &self.dataset
     }
 
-    /// Reassembles a detector from persisted parts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dataset` does not have one entry per pattern.
-    pub fn from_parts(
-        patterns: Vec<namer_patterns::NamePattern>,
-        pairs: ConfusingPairs,
-        dataset: Vec<LevelCounts>,
-    ) -> Detector {
-        assert_eq!(patterns.len(), dataset.len(), "one count set per pattern");
-        Detector {
-            patterns: PatternSet::new(patterns),
-            pairs,
-            dataset,
-        }
-    }
-
-    /// A stable fingerprint of the scan configuration under the identity
-    /// (unsharded) [`ShardPlan`]; see [`Detector::fingerprint_sharded`].
-    pub fn fingerprint(&self, process: &ProcessConfig) -> u64 {
-        self.fingerprint_sharded(process, &ShardPlan::unsharded())
-    }
-
     /// A stable fingerprint of everything that determines scan output —
     /// patterns (structure and mined counts), dataset statistics, confusing
-    /// pairs, and the preprocessing configuration — plus the [`ShardPlan`].
-    /// Cached scan state is only valid under the exact fingerprint it was
-    /// produced with.
+    /// pairs, the preprocessing configuration, and the [`ShardPlan`].
+    /// Cached scan state (file entries and statement regions alike) is only
+    /// valid under the exact fingerprint it was produced with; this is the
+    /// single cache-key code path.
     ///
     /// The shard plan cannot change results (DESIGN.md §9), but folding it
     /// in anyway keys cached state by the full scan configuration; a plan
@@ -225,7 +299,7 @@ impl Detector {
     /// Built from string renderings with [`Fnv64`] rather than `std::hash`,
     /// because interned symbol ids are process-local and `std` hashes are
     /// not stable across processes.
-    pub fn fingerprint_sharded(&self, process: &ProcessConfig, plan: &ShardPlan) -> u64 {
+    pub fn fingerprint(&self, process: &ProcessConfig, plan: &ShardPlan) -> u64 {
         let mut h = Fnv64::new();
         h.write_u64(self.patterns.len() as u64);
         for p in &self.patterns.patterns {
@@ -271,117 +345,82 @@ impl Detector {
         h.finish()
     }
 
-    /// Scans a preprocessed corpus and returns every violation with its
-    /// Table 1 features, plus per-file coverage statistics (§5.2's
-    /// "violated at least one pattern" numbers).
+    /// Runs the scan described by `req` — the one scan entry point.
     ///
-    /// Serial; [`Detector::violations_with`] is the parallel entry point.
-    pub fn violations(&self, corpus: &ProcessedCorpus) -> ScanResult {
-        self.violations_with(corpus, 1)
+    /// * [`ScanRequest::full`] scans an already-preprocessed corpus and
+    ///   returns every violation with its Table 1 features, plus per-file
+    ///   coverage statistics (§5.2's "violated at least one pattern"
+    ///   numbers).
+    /// * [`ScanRequest::incremental`] scans raw files against a
+    ///   [`ScanCache`]: per-file state is reused for every file whose
+    ///   content digest is cached, fresh files are processed and scanned —
+    ///   by default splicing per-statement match outcomes from cached
+    ///   [`StmtRegion`]s so only the dirty window re-matches (DESIGN.md
+    ///   §14) — and fresh state is inserted back into the cache. The
+    ///   caller pairs the cache with [`Detector::fingerprint`] so stale
+    ///   caches degrade to a cold scan.
+    ///
+    /// The per-file pass reports as [`Phase::Scan`] (with per-shard busy
+    /// time), the cache partition as [`Phase::CacheLookup`], and assembly
+    /// as [`Phase::Assemble`] with the scan counters (DESIGN.md §10).
+    ///
+    /// Output is byte-identical at any file-threads × pattern-shards ×
+    /// cache-warmth × dirty-window combination: per-file states are
+    /// canonical regardless of how they were computed, and assembly —
+    /// where every scan counter is derived — always re-derives from the
+    /// full state set (DESIGN.md §8–§10, §14).
+    pub fn scan(&self, req: ScanRequest<'_>) -> ScanResult {
+        let ScanRequest {
+            threads,
+            plan,
+            obs,
+            input,
+        } = req;
+        let opts = ScanOpts { threads, plan, obs };
+        match input {
+            ScanInput::Full(corpus) => self.scan_full(corpus, &opts),
+            ScanInput::Incremental {
+                files,
+                process,
+                cache,
+                stmt_regions,
+            } => self.scan_incremental(files, process, cache, stmt_regions, &opts),
+        }
     }
 
-    /// Like [`Detector::violations`], sharding the corpus files across
-    /// `threads` worker threads (`0` = all available cores). Violations are
-    /// re-joined in input order and per-repo counts are merged by addition,
-    /// so the result is identical to the serial scan at any thread count.
-    pub fn violations_with(&self, corpus: &ProcessedCorpus, threads: usize) -> ScanResult {
-        self.violations_sharded(corpus, threads, &ShardPlan::unsharded())
-    }
-
-    /// Like [`Detector::violations_with`], additionally splitting the
-    /// pattern set into prefix-disjoint shards (`plan`) so each file's
-    /// statements are matched by up to `file-threads × pattern-shards`
-    /// workers at once. Per-shard hits are merged back into canonical order
-    /// (DESIGN.md §9), so the result is byte-identical to the serial scan at
-    /// any (threads × shards) combination.
-    pub fn violations_sharded(
-        &self,
-        corpus: &ProcessedCorpus,
-        threads: usize,
-        plan: &ShardPlan,
-    ) -> ScanResult {
-        self.violations_sharded_observed(corpus, threads, plan, Observer::none())
-    }
-
-    /// [`Detector::violations_sharded`] with observability: the per-file
-    /// pass reports as [`Phase::Scan`] (with per-shard busy time) and the
-    /// corpus-level assembly as [`Phase::Assemble`] with the scan counters
-    /// (DESIGN.md §10).
-    pub fn violations_sharded_observed(
-        &self,
-        corpus: &ProcessedCorpus,
-        threads: usize,
-        plan: &ShardPlan,
-        obs: Observer<'_>,
-    ) -> ScanResult {
-        let states = self.scan_files_sharded_observed(&corpus.files, threads, plan, obs);
+    /// Full-corpus scan: the per-file pass plus assembly.
+    fn scan_full(&self, corpus: &ProcessedCorpus, opts: &ScanOpts<'_>) -> ScanResult {
+        let states =
+            self.scan_files_sharded_observed(&corpus.files, opts.threads, &opts.plan, opts.obs);
         let metas: Vec<(&str, &str)> = corpus
             .files
             .iter()
             .map(|f| (f.repo.as_str(), f.path.as_str()))
             .collect();
         let state_refs: Vec<&FileScanState> = states.iter().collect();
-        self.assemble_scan_observed(&metas, &state_refs, obs)
+        self.assemble_scan_observed(&metas, &state_refs, opts.obs)
     }
 
-    /// Scans `files`, reusing cached per-file state for every file whose
-    /// content digest is already in `cache` and freshly scanning the rest
-    /// (fanned out over `threads` workers, `0` = all cores). Fresh state —
-    /// including parse failures, so unparsable files are never re-parsed —
-    /// is inserted into `cache`. The assembled result is byte-identical to
-    /// processing and scanning `files` from scratch.
-    ///
-    /// The caller is responsible for pairing `cache` with the right
-    /// detector: load it via [`ScanCache::load`] with
-    /// [`Detector::fingerprint`] so stale caches degrade to a cold scan.
-    pub fn violations_incremental(
+    /// Incremental scan against a warm [`ScanCache`]: reuses cached
+    /// per-file state for every file whose content digest is already in
+    /// `cache`, freshly processes and scans the rest, and inserts the fresh
+    /// state — including parse failures, so unparsable files are never
+    /// re-parsed — back into `cache`. With `stmt_regions` on, the
+    /// fresh-file scan additionally splices per-statement match outcomes
+    /// from cached [`StmtRegion`]s (DESIGN.md §14). The cache partition
+    /// reports as [`Phase::CacheLookup`] with hit/miss counters; assembly
+    /// always re-derives the scan counters from the full per-file state set
+    /// (cached and fresh alike), so counter totals match a cold scan.
+    fn scan_incremental(
         &self,
         files: &[SourceFile],
         process: &ProcessConfig,
         cache: &mut ScanCache,
-        threads: usize,
-    ) -> IncrementalScan {
-        self.violations_incremental_sharded(files, process, cache, threads, &ShardPlan::unsharded())
-    }
-
-    /// Like [`Detector::violations_incremental`] with pattern-axis sharding
-    /// for the fresh-file scan. The cache must have been loaded with the
-    /// matching [`Detector::fingerprint_sharded`] (same `process` *and*
-    /// `plan`); cached per-file state itself is plan-invariant, so keying it
-    /// this strictly only ever costs a cold scan, never a wrong one.
-    pub fn violations_incremental_sharded(
-        &self,
-        files: &[SourceFile],
-        process: &ProcessConfig,
-        cache: &mut ScanCache,
-        threads: usize,
-        plan: &ShardPlan,
-    ) -> IncrementalScan {
-        self.violations_incremental_sharded_observed(
-            files,
-            process,
-            cache,
-            threads,
-            plan,
-            Observer::none(),
-        )
-    }
-
-    /// [`Detector::violations_incremental_sharded`] with observability: the
-    /// cache partition reports as [`Phase::CacheLookup`] with hit/miss
-    /// counters, and the fresh-file pass goes through the observed process /
-    /// scan / assemble entry points. Because assembly always re-derives the
-    /// scan counters from the full per-file state set (cached and fresh
-    /// alike), counter totals match a cold scan of the same files exactly.
-    pub fn violations_incremental_sharded_observed(
-        &self,
-        files: &[SourceFile],
-        process: &ProcessConfig,
-        cache: &mut ScanCache,
-        threads: usize,
-        plan: &ShardPlan,
-        obs: Observer<'_>,
-    ) -> IncrementalScan {
+        stmt_regions: bool,
+        opts: &ScanOpts<'_>,
+    ) -> ScanResult {
+        let threads = opts.threads;
+        let obs = opts.obs;
         let lookup_span = obs.phase(Phase::CacheLookup);
         let digests: Vec<ContentDigest> = files.iter().map(|f| f.content_digest()).collect();
         let mut reused = 0usize;
@@ -419,7 +458,18 @@ impl Detector {
                 None => failed_digests.push(digest),
             }
         }
-        let states = self.scan_files_sharded_observed(&parsed, threads, plan, obs);
+        let states = if stmt_regions {
+            let (states, fresh_regions, hits, misses) =
+                self.scan_files_regions_observed(&parsed, cache.regions(), threads, obs);
+            obs.add(Counter::StmtCacheHits, hits);
+            obs.add(Counter::StmtCacheMisses, misses);
+            for (key, region) in fresh_regions {
+                cache.insert_region(key, region);
+            }
+            states
+        } else {
+            self.scan_files_sharded_observed(&parsed, threads, &opts.plan, obs)
+        };
         for (digest, state) in parsed_digests.into_iter().zip(states) {
             cache.insert(digest, CacheEntry::Parsed(state));
         }
@@ -443,40 +493,194 @@ impl Detector {
             }
         }
         obs.add(Counter::CacheParseFailures, parse_failures as u64);
-        let scan = self.assemble_scan_observed(&metas, &state_refs, obs);
-        IncrementalScan {
-            scan,
+        let mut scan = self.assemble_scan_observed(&metas, &state_refs, obs);
+        scan.cache = Some(CacheStats {
             reused,
             fresh,
             parse_failures,
+        });
+        scan
+    }
+
+    /// Runs the per-file scan pass over `files` with region splicing:
+    /// statements whose span digest (a digest of the statement's extracted
+    /// name-path set — the exact input the match stage consumes) is in
+    /// `regions` replay their cached match outcomes instead of re-matching;
+    /// the rest are matched from scratch and their fresh regions returned
+    /// for insertion into the cache. Returns
+    /// `(states, fresh_regions, stmt_hits, stmt_misses)`.
+    ///
+    /// Only the file axis is parallelized here: region splicing makes the
+    /// match stage cheap enough that pattern-axis sharding has nothing left
+    /// to win, and per-file states are plan-invariant (DESIGN.md §9), so
+    /// this produces byte-identical states to the sharded path.
+    fn scan_files_regions_observed(
+        &self,
+        files: &[ProcessedFile],
+        regions: &BTreeMap<String, StmtRegion>,
+        threads: usize,
+        obs: Observer<'_>,
+    ) -> RegionChunkOut {
+        let _span = obs.phase(Phase::Scan);
+        if files.is_empty() {
+            return (Vec::new(), Vec::new(), 0, 0);
+        }
+        let threads = resolve_threads(threads).min(files.len());
+        if threads <= 1 {
+            return self.scan_chunk_regions(files, regions, obs);
+        }
+        let chunk_size = files.len().div_ceil(threads);
+        let outs: Vec<RegionChunkOut> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = files
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move |_| self.scan_chunk_regions(chunk, regions, obs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("region scan worker panicked"))
+                .collect()
+        })
+        .expect("region scan workers do not panic");
+        let mut states = Vec::with_capacity(files.len());
+        let mut fresh = Vec::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (s, f, h, m) in outs {
+            states.extend(s);
+            fresh.extend(f);
+            hits += h;
+            misses += m;
+        }
+        (states, fresh, hits, misses)
+    }
+
+    /// One worker's share of the region scan: scans `files` serially with a
+    /// worker-local scratch and a worker-local map of regions freshly
+    /// computed within the chunk (so duplicate statements inside the chunk
+    /// still hit).
+    fn scan_chunk_regions(
+        &self,
+        files: &[ProcessedFile],
+        regions: &BTreeMap<String, StmtRegion>,
+        obs: Observer<'_>,
+    ) -> RegionChunkOut {
+        let start = obs.is_active().then(Instant::now);
+        let mut scratch = MatchScratch::for_set(&self.patterns);
+        let mut hits: Vec<(usize, Relation)> = Vec::new();
+        let mut local: HashMap<String, StmtRegion> = HashMap::new();
+        let mut fresh: Vec<(String, StmtRegion)> = Vec::new();
+        let mut tallies = (0u64, 0u64);
+        let states = files
+            .iter()
+            .map(|file| {
+                self.scan_file_regions(
+                    file,
+                    regions,
+                    &mut local,
+                    &mut fresh,
+                    &mut scratch,
+                    &mut hits,
+                    &mut tallies,
+                )
+            })
+            .collect();
+        if let Some(start) = start {
+            obs.busy(Phase::Scan, start.elapsed().as_nanos() as u64);
+        }
+        (states, fresh, tallies.0, tallies.1)
+    }
+
+    /// Region-splicing variant of [`Detector::scan_file`]: per statement,
+    /// either replays the cached [`StmtRegion`] keyed by the statement's
+    /// span digest or re-matches and records a fresh region. Line numbers,
+    /// rendered text, and content digests are always re-taken from the
+    /// *current* statement — only path-derived match outcomes are cached —
+    /// so spliced output is byte-identical to a from-scratch scan.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_file_regions(
+        &self,
+        file: &ProcessedFile,
+        regions: &BTreeMap<String, StmtRegion>,
+        local: &mut HashMap<String, StmtRegion>,
+        fresh: &mut Vec<(String, StmtRegion)>,
+        scratch: &mut MatchScratch,
+        hits: &mut Vec<(usize, Relation)>,
+        tallies: &mut (u64, u64),
+    ) -> FileScanState {
+        let mut counts: HashMap<usize, LevelCounts> = HashMap::new();
+        let mut digests: HashMap<u64, u64> = HashMap::new();
+        let mut raw: Vec<RawHit> = Vec::new();
+        let mut spans: Vec<String> = Vec::new();
+        for stmt in &file.stmts {
+            *digests.entry(stmt.digest).or_default() += 1;
+            let key = span_digest(&stmt.paths).to_hex();
+            if !regions.contains_key(&key) && !local.contains_key(&key) {
+                tallies.1 += 1;
+                self.patterns.check_into(&stmt.paths, scratch, hits);
+                let mut outcomes = Vec::with_capacity(hits.len());
+                for (pattern_idx, rel) in hits.drain(..) {
+                    let satisfied = rel == Relation::Satisfied;
+                    let names = match rel {
+                        Relation::Violated(detail) => {
+                            Some(self.orient(detail.original, detail.suggested))
+                        }
+                        _ => None,
+                    };
+                    outcomes.push(RegionOutcome {
+                        pattern_idx,
+                        satisfied,
+                        names,
+                    });
+                }
+                let region = StmtRegion { outcomes };
+                fresh.push((key.clone(), region.clone()));
+                local.insert(key.clone(), region);
+            } else {
+                tallies.0 += 1;
+            }
+            let region = regions
+                .get(&key)
+                .or_else(|| local.get(&key))
+                .expect("region computed or cached above");
+            for o in &region.outcomes {
+                counts.entry(o.pattern_idx).or_default().record(o.satisfied);
+                if let Some((original, suggested)) = o.names {
+                    raw.push(RawHit {
+                        line: stmt.line,
+                        rendered: stmt.rendered.clone(),
+                        digest: stmt.digest,
+                        path_count: stmt.paths.len(),
+                        pattern_idx: o.pattern_idx,
+                        original,
+                        suggested,
+                    });
+                }
+            }
+            spans.push(key);
+        }
+        let mut pattern_counts: Vec<(usize, LevelCounts)> = counts.into_iter().collect();
+        pattern_counts.sort_unstable_by_key(|e| e.0);
+        let mut digest_counts: Vec<(u64, u64)> = digests.into_iter().collect();
+        digest_counts.sort_unstable_by_key(|e| e.0);
+        FileScanState {
+            pattern_counts,
+            digest_counts,
+            raw,
+            spans,
         }
     }
 
-    /// Runs the per-file scan pass over `files`, sharded across `threads`
-    /// workers (`0` = all cores) with results re-joined in input order.
-    pub fn scan_files(&self, files: &[ProcessedFile], threads: usize) -> Vec<FileScanState> {
-        self.scan_files_sharded(files, threads, &ShardPlan::unsharded())
-    }
-
-    /// Like [`Detector::scan_files`] with pattern-axis sharding: each file
-    /// chunk is matched by one worker *per pattern shard* and the per-shard
-    /// partial states are merged back per file. The merge reproduces the
-    /// serial statement-walk order exactly (DESIGN.md §9), so the returned
-    /// states are byte-identical to the unsharded scan.
-    pub fn scan_files_sharded(
-        &self,
-        files: &[ProcessedFile],
-        threads: usize,
-        plan: &ShardPlan,
-    ) -> Vec<FileScanState> {
-        self.scan_files_sharded_observed(files, threads, plan, Observer::none())
-    }
-
-    /// [`Detector::scan_files_sharded`] with observability: the pass
+    /// The per-file scan pass, sharded across `threads` file-chunk workers
+    /// (`0` = all cores) with results re-joined in input order; the pattern
+    /// set is additionally split into prefix-disjoint shards (`plan`) so
+    /// each file chunk is matched by one worker per pattern shard, with
+    /// per-shard partials merged back into canonical order (DESIGN.md §9).
+    /// The returned states are byte-identical at any threads × shards
+    /// combination. The pass
     /// reports as [`Phase::Scan`] wall time, every worker contributes
     /// [`Phase::Scan`] busy time, and sharded workers additionally report
     /// per-shard busy time (the load-imbalance input of DESIGN.md §10).
-    pub fn scan_files_sharded_observed(
+    fn scan_files_sharded_observed(
         &self,
         files: &[ProcessedFile],
         threads: usize,
@@ -653,6 +857,7 @@ impl Detector {
             pattern_counts,
             digest_counts,
             raw,
+            spans: Vec::new(),
         }
     }
 
@@ -715,14 +920,7 @@ impl Detector {
     /// candidates. `metas[i]` is the `(repo, path)` identity of `states[i]`;
     /// files must be given in corpus order, which fixes dedup tie-breaking.
     ///
-    /// # Panics
-    ///
-    /// Panics if `metas` and `states` have different lengths.
-    pub fn assemble_scan(&self, metas: &[(&str, &str)], states: &[&FileScanState]) -> ScanResult {
-        self.assemble_scan_observed(metas, states, Observer::none())
-    }
-
-    /// [`Detector::assemble_scan`] with observability. Assembly is where
+    /// Assembly is where
     /// every scan counter is derived, deliberately: the per-file states are
     /// byte-identical at any (threads × shards) combination and across the
     /// cached/fresh split (DESIGN.md §8–§9), so counting here — rather than
@@ -732,7 +930,7 @@ impl Detector {
     /// # Panics
     ///
     /// Panics if `metas` and `states` have different lengths.
-    pub fn assemble_scan_observed(
+    fn assemble_scan_observed(
         &self,
         metas: &[(&str, &str)],
         states: &[&FileScanState],
@@ -825,6 +1023,7 @@ impl Detector {
             files_scanned: metas.len(),
             files_with_violation,
             repos_with_violation: repos_with_violation.len(),
+            cache: None,
         }
     }
 }
@@ -879,6 +1078,7 @@ fn merge_file_partials(parts: Vec<ShardFilePartial>) -> FileScanState {
         pattern_counts,
         digest_counts,
         raw: tagged.into_iter().map(|t| t.hit).collect(),
+        spans: Vec::new(),
     }
 }
 
@@ -938,7 +1138,7 @@ fn dedup_violations(violations: Vec<Violation>, det: &Detector) -> Vec<Violation
 /// Local alias so the dedup match reads naturally.
 use namer_patterns::PatternType as PatternTypeAlias;
 
-/// Output of [`Detector::violations`].
+/// Output of [`Detector::scan`].
 #[derive(Clone, Debug)]
 pub struct ScanResult {
     /// Report candidates: one violation per (location, suggestion), most
@@ -952,14 +1152,13 @@ pub struct ScanResult {
     pub files_with_violation: usize,
     /// Repositories with at least one violation.
     pub repos_with_violation: usize,
+    /// Cache accounting for incremental scans; `None` for full scans.
+    pub cache: Option<CacheStats>,
 }
 
-/// Output of [`Detector::violations_incremental`]: the assembled scan plus
-/// cache accounting.
-#[derive(Clone, Debug)]
-pub struct IncrementalScan {
-    /// The assembled scan, byte-identical to a full scan of the same files.
-    pub scan: ScanResult,
+/// Per-file cache accounting from an incremental [`Detector::scan`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
     /// Input files served from pre-existing cache entries.
     pub reused: usize,
     /// Input files that required a fresh parse + scan.
@@ -967,6 +1166,119 @@ pub struct IncrementalScan {
     /// Input files recorded (now or previously) as unparsable.
     pub parse_failures: usize,
 }
+
+/// What to scan: an already-processed corpus, or raw files against a
+/// [`ScanCache`]. See [`ScanRequest`].
+pub enum ScanInput<'a> {
+    /// Full scan of a preprocessed corpus.
+    Full(&'a ProcessedCorpus),
+    /// Incremental scan of raw files against a warm cache.
+    Incremental {
+        /// The files to scan, in corpus order.
+        files: &'a [SourceFile],
+        /// Processing configuration for fresh files (must match the
+        /// fingerprint the cache was loaded with).
+        process: &'a ProcessConfig,
+        /// The cache to reuse and update in place.
+        cache: &'a mut ScanCache,
+        /// Splice per-statement match outcomes from cached
+        /// [`StmtRegion`]s (DESIGN.md §14). Off = file-granular
+        /// incremental scanning, the pre-region behaviour.
+        stmt_regions: bool,
+    },
+}
+
+/// Options-struct argument of [`Detector::scan`] — the one scan entry
+/// point. Build with [`ScanRequest::full`] or [`ScanRequest::incremental`],
+/// then chain [`ScanRequest::threads`] / [`ScanRequest::plan`] /
+/// [`ScanRequest::observer`] / [`ScanRequest::file_granular`] as needed.
+///
+/// Defaults: one thread, unsharded plan, no observer, statement-region
+/// splicing on for incremental scans.
+pub struct ScanRequest<'a> {
+    threads: usize,
+    plan: ShardPlan,
+    obs: Observer<'a>,
+    input: ScanInput<'a>,
+}
+
+impl<'a> ScanRequest<'a> {
+    /// A full scan of an already-processed corpus.
+    pub fn full(corpus: &'a ProcessedCorpus) -> Self {
+        Self::new(ScanInput::Full(corpus))
+    }
+
+    /// An incremental scan of `files` against `cache` (statement-region
+    /// splicing on by default; see [`ScanRequest::file_granular`]). The
+    /// caller pairs `cache` with [`Detector::fingerprint`] over the same
+    /// `process` config and shard plan so stale caches degrade to a cold
+    /// scan, never a wrong one.
+    pub fn incremental(
+        files: &'a [SourceFile],
+        process: &'a ProcessConfig,
+        cache: &'a mut ScanCache,
+    ) -> Self {
+        Self::new(ScanInput::Incremental {
+            files,
+            process,
+            cache,
+            stmt_regions: true,
+        })
+    }
+
+    /// A request with explicit input and default options.
+    pub fn new(input: ScanInput<'a>) -> Self {
+        ScanRequest {
+            threads: 1,
+            plan: ShardPlan::unsharded(),
+            obs: Observer::none(),
+            input,
+        }
+    }
+
+    /// Fan the scan out over `threads` workers (`0` = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Split the pattern set into prefix-disjoint shards per DESIGN.md §9.
+    pub fn plan(mut self, plan: ShardPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Report phases and counters to `obs` (DESIGN.md §10).
+    pub fn observer(mut self, obs: Observer<'a>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Disable statement-region splicing: incremental scans re-match whole
+    /// fresh files, the pre-§14 behaviour. No effect on full scans.
+    pub fn file_granular(mut self) -> Self {
+        if let ScanInput::Incremental {
+            ref mut stmt_regions,
+            ..
+        } = self.input
+        {
+            *stmt_regions = false;
+        }
+        self
+    }
+}
+
+/// The option fields of a [`ScanRequest`], split off so the borrow of the
+/// incremental input's `&mut ScanCache` can travel separately.
+struct ScanOpts<'a> {
+    threads: usize,
+    plan: ShardPlan,
+    obs: Observer<'a>,
+}
+
+/// One region-scan worker's output:
+/// `(states, fresh_regions, stmt_hits, stmt_misses)`.
+type RegionChunkOut = (Vec<FileScanState>, Vec<(String, StmtRegion)>, u64, u64);
 
 #[cfg(test)]
 mod tests {
@@ -1023,7 +1335,7 @@ mod tests {
         let corpus = process(&files, &ProcessConfig::default());
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
         assert!(det.pattern_count() > 0);
-        let scan = det.violations(&corpus);
+        let scan = det.scan(ScanRequest::full(&corpus));
         let hit = scan
             .violations
             .iter()
@@ -1039,7 +1351,7 @@ mod tests {
         let (files, commits) = tiny_corpus();
         let corpus = process(&files, &ProcessConfig::default());
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let scan = det.violations(&corpus);
+        let scan = det.scan(ScanRequest::full(&corpus));
         let v = scan.violations.iter().find(|v| v.path == "bad.py").unwrap();
         // One-off statement: exactly one identical copy in its file.
         assert_eq!(v.features[1], 1.0);
@@ -1056,7 +1368,7 @@ mod tests {
         let (files, commits) = tiny_corpus();
         let corpus = process(&files, &ProcessConfig::default());
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let scan = det.violations(&corpus);
+        let scan = det.scan(ScanRequest::full(&corpus));
         assert_eq!(scan.files_scanned, 31);
         assert!(scan.files_with_violation >= 1);
         assert!(scan.repos_with_violation >= 1);
@@ -1080,7 +1392,7 @@ mod tests {
         )];
         let corpus = process(&files, &ProcessConfig::default());
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let scan = det.violations(&corpus);
+        let scan = det.scan(ScanRequest::full(&corpus));
         assert!(scan.violations.is_empty());
     }
 
@@ -1090,16 +1402,17 @@ mod tests {
         let config = ProcessConfig::default();
         let corpus = process(&files, &config);
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let full = det.violations(&corpus);
-        let mut cache = ScanCache::empty(det.fingerprint(&config));
-        let inc = det.violations_incremental(&files, &config, &mut cache, 1);
-        assert_eq!(inc.reused, 0);
-        assert_eq!(inc.fresh, files.len());
-        assert_eq!(scan_key(&full), scan_key(&inc.scan));
-        assert_eq!(full.raw_violation_count, inc.scan.raw_violation_count);
-        assert_eq!(full.files_scanned, inc.scan.files_scanned);
-        assert_eq!(full.files_with_violation, inc.scan.files_with_violation);
-        assert_eq!(full.repos_with_violation, inc.scan.repos_with_violation);
+        let full = det.scan(ScanRequest::full(&corpus));
+        let mut cache = ScanCache::empty(det.fingerprint(&config, &ShardPlan::unsharded()));
+        let inc = det.scan(ScanRequest::incremental(&files, &config, &mut cache));
+        let stats = inc.cache.expect("incremental scans report cache stats");
+        assert_eq!(stats.reused, 0);
+        assert_eq!(stats.fresh, files.len());
+        assert_eq!(scan_key(&full), scan_key(&inc));
+        assert_eq!(full.raw_violation_count, inc.raw_violation_count);
+        assert_eq!(full.files_scanned, inc.files_scanned);
+        assert_eq!(full.files_with_violation, inc.files_with_violation);
+        assert_eq!(full.repos_with_violation, inc.repos_with_violation);
     }
 
     #[test]
@@ -1108,13 +1421,14 @@ mod tests {
         let config = ProcessConfig::default();
         let corpus = process(&files, &config);
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let full = det.violations(&corpus);
-        let mut cache = ScanCache::empty(det.fingerprint(&config));
-        det.violations_incremental(&files, &config, &mut cache, 1);
-        let warm = det.violations_incremental(&files, &config, &mut cache, 1);
-        assert_eq!(warm.fresh, 0);
-        assert_eq!(warm.reused, files.len());
-        assert_eq!(scan_key(&full), scan_key(&warm.scan));
+        let full = det.scan(ScanRequest::full(&corpus));
+        let mut cache = ScanCache::empty(det.fingerprint(&config, &ShardPlan::unsharded()));
+        det.scan(ScanRequest::incremental(&files, &config, &mut cache));
+        let warm = det.scan(ScanRequest::incremental(&files, &config, &mut cache));
+        let stats = warm.cache.unwrap();
+        assert_eq!(stats.fresh, 0);
+        assert_eq!(stats.reused, files.len());
+        assert_eq!(scan_key(&full), scan_key(&warm));
     }
 
     #[test]
@@ -1124,13 +1438,13 @@ mod tests {
         let corpus = process(&files, &config);
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
         files.push(SourceFile::new("repo0", "broken.py", "def broken(:\n", Lang::Python));
-        let mut cache = ScanCache::empty(det.fingerprint(&config));
-        let cold = det.violations_incremental(&files, &config, &mut cache, 1);
-        assert_eq!(cold.parse_failures, 1);
-        let warm = det.violations_incremental(&files, &config, &mut cache, 1);
-        assert_eq!(warm.parse_failures, 1);
-        assert_eq!(warm.fresh, 0);
-        assert_eq!(cold.scan.files_scanned, warm.scan.files_scanned);
+        let mut cache = ScanCache::empty(det.fingerprint(&config, &ShardPlan::unsharded()));
+        let cold = det.scan(ScanRequest::incremental(&files, &config, &mut cache));
+        assert_eq!(cold.cache.unwrap().parse_failures, 1);
+        let warm = det.scan(ScanRequest::incremental(&files, &config, &mut cache));
+        assert_eq!(warm.cache.unwrap().parse_failures, 1);
+        assert_eq!(warm.cache.unwrap().fresh, 0);
+        assert_eq!(cold.files_scanned, warm.files_scanned);
     }
 
     #[test]
@@ -1138,14 +1452,14 @@ mod tests {
         let (files, commits) = tiny_corpus();
         let corpus = process(&files, &ProcessConfig::default());
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let reference = det.violations(&corpus);
+        let reference = det.scan(ScanRequest::full(&corpus));
         for threads in [1usize, 2, 8] {
             for shards in [1usize, 2, 4] {
                 let plan = ShardPlan {
                     shards,
                     min_patterns: 0,
                 };
-                let scan = det.violations_sharded(&corpus, threads, &plan);
+                let scan = det.scan(ScanRequest::full(&corpus).threads(threads).plan(plan));
                 assert_eq!(
                     scan_key(&reference),
                     scan_key(&scan),
@@ -1163,17 +1477,25 @@ mod tests {
         let config = ProcessConfig::default();
         let corpus = process(&files, &config);
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let full = det.violations(&corpus);
+        let full = det.scan(ScanRequest::full(&corpus));
         let plan = ShardPlan {
             shards: 4,
             min_patterns: 0,
         };
-        let mut cache = ScanCache::empty(det.fingerprint_sharded(&config, &plan));
-        let cold = det.violations_incremental_sharded(&files, &config, &mut cache, 2, &plan);
-        assert_eq!(scan_key(&full), scan_key(&cold.scan));
-        let warm = det.violations_incremental_sharded(&files, &config, &mut cache, 2, &plan);
-        assert_eq!(warm.fresh, 0);
-        assert_eq!(scan_key(&full), scan_key(&warm.scan));
+        let mut cache = ScanCache::empty(det.fingerprint(&config, &plan));
+        let cold = det.scan(
+            ScanRequest::incremental(&files, &config, &mut cache)
+                .threads(2)
+                .plan(plan),
+        );
+        assert_eq!(scan_key(&full), scan_key(&cold));
+        let warm = det.scan(
+            ScanRequest::incremental(&files, &config, &mut cache)
+                .threads(2)
+                .plan(plan),
+        );
+        assert_eq!(warm.cache.unwrap().fresh, 0);
+        assert_eq!(scan_key(&full), scan_key(&warm));
     }
 
     #[test]
@@ -1182,15 +1504,10 @@ mod tests {
         let config = ProcessConfig::default();
         let corpus = process(&files, &config);
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let base = det.fingerprint(&config);
-        assert_eq!(
-            base,
-            det.fingerprint_sharded(&config, &ShardPlan::unsharded()),
-            "plain fingerprint is the unsharded-plan fingerprint"
-        );
+        let base = det.fingerprint(&config, &ShardPlan::unsharded());
         assert_ne!(
             base,
-            det.fingerprint_sharded(&config, &ShardPlan::with_shards(4)),
+            det.fingerprint(&config, &ShardPlan::with_shards(4)),
             "shard plan is part of the cache key"
         );
     }
@@ -1201,18 +1518,88 @@ mod tests {
         let config = ProcessConfig::default();
         let corpus = process(&files, &config);
         let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
-        let base = det.fingerprint(&config);
-        assert_eq!(base, det.fingerprint(&config), "fingerprint is stable");
-        let truncated = Detector::from_parts(
+        let plan = ShardPlan::unsharded();
+        let base = det.fingerprint(&config, &plan);
+        assert_eq!(base, det.fingerprint(&config, &plan), "fingerprint is stable");
+        let truncated = DetectorSpec::new(
             det.patterns.patterns[..det.pattern_count() - 1].to_vec(),
             det.pairs.clone(),
             det.dataset[..det.pattern_count() - 1].to_vec(),
-        );
-        assert_ne!(base, truncated.fingerprint(&config));
+        )
+        .build();
+        assert_ne!(base, truncated.fingerprint(&config, &plan));
         let no_analysis = ProcessConfig {
             use_analysis: false,
             ..ProcessConfig::default()
         };
-        assert_ne!(base, det.fingerprint(&no_analysis));
+        assert_ne!(base, det.fingerprint(&no_analysis, &plan));
+    }
+
+    #[test]
+    fn region_splice_matches_file_granular_and_full() {
+        let (mut files, commits) = tiny_corpus();
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let fp = det.fingerprint(&config, &ShardPlan::unsharded());
+        let mut warm_region = ScanCache::empty(fp);
+        let mut warm_file = ScanCache::empty(fp);
+        det.scan(ScanRequest::incremental(&files, &config, &mut warm_region));
+        det.scan(ScanRequest::incremental(&files, &config, &mut warm_file).file_granular());
+        assert!(
+            !warm_region.regions().is_empty(),
+            "region scan populates statement regions"
+        );
+        assert!(
+            warm_file.regions().is_empty(),
+            "file-granular scan does not populate regions"
+        );
+        // Edit one file: append a second buggy statement. The edited file
+        // re-scans; everything it shares with the cached regions splices.
+        files[5] = SourceFile::new(
+            "repo0",
+            "f5.py",
+            "class T(TestCase):\n    def test_a(self):\n        self.assertEqual(value.count, 4)\n        self.assertTrue(value.count, 5)\n",
+            Lang::Python,
+        );
+        let full = det.scan(ScanRequest::full(&process(&files, &config)));
+        let spliced = det.scan(ScanRequest::incremental(&files, &config, &mut warm_region));
+        let granular = det.scan(ScanRequest::incremental(&files, &config, &mut warm_file).file_granular());
+        assert_eq!(scan_key(&full), scan_key(&spliced));
+        assert_eq!(scan_key(&full), scan_key(&granular));
+        assert_eq!(spliced.cache.unwrap().fresh, 1);
+    }
+
+    #[test]
+    fn region_splice_counts_hits_and_misses() {
+        let (mut files, commits) = tiny_corpus();
+        let config = ProcessConfig::default();
+        let corpus = process(&files, &config);
+        let det = Detector::mine(&corpus, &commits, Lang::Python, &small_mining());
+        let mut cache = ScanCache::empty(det.fingerprint(&config, &ShardPlan::unsharded()));
+        let metrics = namer_observe::PipelineMetrics::new();
+        det.scan(
+            ScanRequest::incremental(&files, &config, &mut cache)
+                .observer(Observer::new(&metrics)),
+        );
+        let cold = metrics.snapshot();
+        assert_eq!(cold.counter(Counter::StmtCacheHits), 0);
+        assert!(cold.counter(Counter::StmtCacheMisses) > 0);
+        files[3] = SourceFile::new(
+            "repo3",
+            "f3.py",
+            "class T(TestCase):\n    def test_a(self):\n        self.assertEqual(value.count, 9)\n",
+            Lang::Python,
+        );
+        let metrics = namer_observe::PipelineMetrics::new();
+        det.scan(
+            ScanRequest::incremental(&files, &config, &mut cache)
+                .observer(Observer::new(&metrics)),
+        );
+        let warm = metrics.snapshot();
+        assert!(
+            warm.counter(Counter::StmtCacheHits) > 0,
+            "unchanged statements in the edited file splice from regions"
+        );
     }
 }

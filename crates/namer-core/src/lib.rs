@@ -8,9 +8,12 @@
 //!
 //! * [`process`](mod@process) — parse → §4.1 analyses → statements → AST+ → name paths;
 //! * [`detector`] — pattern mining and violation detection with the
-//!   17 features of Table 1 ([`features`]); scans parallelise along both
-//!   the file axis and the pattern axis (prefix-disjoint shards, DESIGN.md
-//!   §7 and §9) with byte-identical results at any combination;
+//!   17 features of Table 1 ([`features`]); one scan entry point,
+//!   [`Detector::scan`], covers full, incremental (file-granular or
+//!   statement-region spliced, DESIGN.md §14), and sharded scans, and
+//!   parallelises along both the file axis and the pattern axis
+//!   (prefix-disjoint shards, DESIGN.md §7 and §9) with byte-identical
+//!   results at any combination;
 //! * [`namer`] — the trained system: classifier fitting (SVM/LogReg/LDA with
 //!   model selection), reports, and the "w/o C" / "w/o A" ablations of
 //!   Tables 2 and 5;
@@ -34,8 +37,10 @@
 //!   symlink cycles into per-run [`Diagnostics`] instead of aborting.
 //!
 //! The pre-session `Namer::detect` / `detect_processed` /
-//! `detect_incremental` / `from_parts` entry points have been removed; the
-//! session API is the one way in. Every stage is instrumented through the
+//! `detect_incremental` / `from_parts` entry points have been removed, and
+//! the `Detector` scan-method zoo (`violations*`, `scan_files*`) collapsed
+//! into the single [`Detector::scan`]\([`ScanRequest`]\) call; the session
+//! API is the one user-facing way in. Every stage is instrumented through the
 //! `namer-observe` crate: attach a sink with `NamerBuilder::metrics` or read
 //! [`DetectOutcome::metrics`] (DESIGN.md §10). See the `namer` facade crate
 //! and the repository's `examples/` directory for runnable end-to-end usage;
@@ -58,7 +63,8 @@ pub mod session;
 pub mod vfs;
 
 pub use detector::{
-    Detector, FileScanState, IncrementalScan, RawHit, ScanResult, Violation,
+    CacheStats, Detector, DetectorSpec, FileScanState, RawHit, RegionOutcome, ScanInput,
+    ScanRequest, ScanResult, StmtRegion, Violation,
 };
 pub use error::NamerError;
 pub use fix::{fix_line, rename_identifier};

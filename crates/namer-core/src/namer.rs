@@ -1,7 +1,7 @@
 //! The end-to-end Namer system: unsupervised mining + the small-supervision
 //! defect classifier (Figure 1 of the paper).
 
-use crate::detector::{Detector, ScanResult, Violation};
+use crate::detector::{Detector, ScanRequest, ScanResult, Violation};
 use crate::process::{process_parallel_observed, ProcessConfig};
 use namer_ml::{repeated_split_validation, select_model, Matrix, Metrics, ModelKind, Pipeline, PipelineConfig};
 use namer_observe::{Counter, Observer, Phase};
@@ -126,7 +126,12 @@ impl Namer {
             ..config.mining.clone()
         };
         let detector = Detector::mine_observed(&corpus, commits, lang, &mining, obs);
-        let scan = detector.violations_sharded_observed(&corpus, threads, &config.shard_plan, obs);
+        let scan = detector.scan(
+            ScanRequest::full(&corpus)
+                .threads(threads)
+                .plan(config.shard_plan)
+                .observer(obs),
+        );
 
         let (classifier, cv_metrics, model_kind, training_set) = if config.use_classifier {
             Self::fit_classifier(&scan.violations, &labeler, config)
@@ -210,7 +215,7 @@ impl Namer {
     /// configuration, and the shard plan).
     pub fn scan_fingerprint(&self) -> u64 {
         self.detector
-            .fingerprint_sharded(&self.config.process, &self.config.shard_plan)
+            .fingerprint(&self.config.process, &self.config.shard_plan)
     }
 
     /// Filters a scan's violations through the classifier into reports.

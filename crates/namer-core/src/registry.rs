@@ -315,7 +315,7 @@ fn evict_over_budget(inner: &mut Inner, budget: usize, keep: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::detector::Detector;
+    use crate::detector::DetectorSpec;
     use crate::namer::{Namer, NamerConfig};
     use namer_observe::PipelineMetrics;
     use namer_patterns::{ConfusingPairs, MiningConfig};
@@ -357,7 +357,7 @@ mod tests {
             namer_syntax::Sym::intern(&format!("mistake{salt}")),
             namer_syntax::Sym::intern(&format!("correct{salt}")),
         );
-        let detector = Detector::from_parts(Vec::new(), pairs, Vec::new());
+        let detector = DetectorSpec::new(Vec::new(), pairs, Vec::new()).build();
         let namer = Namer::assemble(
             detector,
             None,

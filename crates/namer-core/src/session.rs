@@ -27,7 +27,7 @@
 //! # }
 //! ```
 
-use crate::detector::{Detector, ScanResult};
+use crate::detector::{DetectorSpec, ScanRequest, ScanResult};
 use crate::error::NamerError;
 use crate::features::LevelCounts;
 use crate::ingest::Diagnostics;
@@ -320,7 +320,7 @@ impl NamerBuilder {
                         dataset.len()
                     )));
                 }
-                let detector = Detector::from_parts(patterns, pairs, dataset);
+                let detector = DetectorSpec::new(patterns, pairs, dataset).build();
                 let mut config = self.config.unwrap_or_default();
                 config.use_classifier = false;
                 Namer::assemble(
@@ -487,10 +487,12 @@ impl DetectSession {
         let retry = self.retry;
         let Some(state) = self.cache.as_mut() else {
             let corpus = process_parallel_observed(files, &process, threads, obs);
-            let scan = self
-                .namer
-                .detector
-                .violations_sharded_observed(&corpus, threads, &plan, obs);
+            let scan = self.namer.detector.scan(
+                ScanRequest::full(&corpus)
+                    .threads(threads)
+                    .plan(plan)
+                    .observer(obs),
+            );
             let reports = self.namer.reports_from(&scan, obs);
             return Ok(DetectOutcome {
                 reports,
@@ -521,13 +523,11 @@ impl DetectSession {
             .filter(|f| !state.cache.contains(f.content_digest()))
             .map(|f| (f.repo.clone(), f.path.clone()))
             .collect();
-        let inc = self.namer.detector.violations_incremental_sharded_observed(
-            files,
-            &process,
-            &mut state.cache,
-            threads,
-            &plan,
-            obs,
+        let scan = self.namer.detector.scan(
+            ScanRequest::incremental(files, &process, &mut state.cache)
+                .threads(threads)
+                .plan(plan)
+                .observer(obs),
         );
         // Keep the cache bounded by the current input set before saving.
         let live: HashSet<ContentDigest> = files.iter().map(SourceFile::content_digest).collect();
@@ -542,14 +542,15 @@ impl DetectSession {
                 .map_err(|e| NamerError::io(&state.path, e))?;
             state.dirty = false;
         }
-        let reports = self.namer.reports_from(&inc.scan, obs);
+        let stats = scan.cache.unwrap_or_default();
+        let reports = self.namer.reports_from(&scan, obs);
         Ok(DetectOutcome {
             reports,
-            scan: inc.scan,
+            scan,
             cache: Some(CacheOutcome {
-                reused: inc.reused,
-                fresh: inc.fresh,
-                parse_failures: inc.parse_failures,
+                reused: stats.reused,
+                fresh: stats.fresh,
+                parse_failures: stats.parse_failures,
                 changed,
             }),
             metrics: MetricsSnapshot::default(),
@@ -580,10 +581,12 @@ impl DetectSession {
         let _span = obs.phase(Phase::Detect);
         let threads = resolve_threads(self.namer.config().threads);
         let plan = self.namer.config().shard_plan;
-        let scan = self
-            .namer
-            .detector
-            .violations_sharded_observed(corpus, threads, &plan, obs);
+        let scan = self.namer.detector.scan(
+            ScanRequest::full(corpus)
+                .threads(threads)
+                .plan(plan)
+                .observer(obs),
+        );
         let reports = self.namer.reports_from(&scan, obs);
         DetectOutcome {
             reports,

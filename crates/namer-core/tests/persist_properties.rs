@@ -4,8 +4,8 @@
 
 use namer_core::persist::FORMAT_VERSION;
 use namer_core::{
-    CacheEntry, CacheLoadStatus, FileScanState, LevelCounts, PersistError, RawHit, SavedModel,
-    ScanCache, CACHE_FORMAT_VERSION,
+    CacheEntry, CacheLoadStatus, FileScanState, LevelCounts, PersistError, RawHit, RegionOutcome,
+    SavedModel, ScanCache, StmtRegion, CACHE_FORMAT_VERSION,
 };
 use namer_ml::ModelKind;
 use namer_patterns::{ConfusingPairs, NamePattern};
@@ -116,6 +116,13 @@ fn raw_hit() -> impl Strategy<Value = RawHit> {
         )
 }
 
+/// Region keys as the scanner writes them: the lowercase-hex rendering of a
+/// 128-bit span digest (non-hex keys would be dropped by the binary
+/// encoder, exactly like non-hex cache entry keys).
+fn span_key() -> impl Strategy<Value = String> {
+    any::<u128>().prop_map(|d| ContentDigest(d).to_hex())
+}
+
 /// Sorted-`Vec` invariants hold by construction: the count tables come from
 /// `BTreeMap`s, so keys are unique and ascending, exactly as `scan_file`
 /// produces them.
@@ -124,12 +131,28 @@ fn file_scan_state() -> impl Strategy<Value = FileScanState> {
         prop::collection::btree_map(0usize..32, level_counts(), 0..6),
         prop::collection::btree_map(any::<u64>(), 1u64..5, 0..6),
         prop::collection::vec(raw_hit(), 0..5),
+        prop::collection::vec(span_key(), 0..4),
     )
-        .prop_map(|(patterns, digests, raw)| FileScanState {
+        .prop_map(|(patterns, digests, raw, spans)| FileScanState {
             pattern_counts: patterns.into_iter().collect(),
             digest_counts: digests.into_iter().collect(),
             raw,
+            spans,
         })
+}
+
+fn region_outcome() -> impl Strategy<Value = RegionOutcome> {
+    (0usize..64, any::<bool>(), prop::option::of((sym(), sym()))).prop_map(
+        |(pattern_idx, satisfied, names)| RegionOutcome {
+            pattern_idx,
+            satisfied,
+            names,
+        },
+    )
+}
+
+fn stmt_region() -> impl Strategy<Value = StmtRegion> {
+    prop::collection::vec(region_outcome(), 0..4).prop_map(|outcomes| StmtRegion { outcomes })
 }
 
 fn cache_entry() -> impl Strategy<Value = CacheEntry> {
@@ -143,11 +166,15 @@ fn scan_cache() -> impl Strategy<Value = ScanCache> {
     (
         any::<u64>(),
         prop::collection::btree_map(any::<u128>().prop_map(ContentDigest), cache_entry(), 0..6),
+        prop::collection::btree_map(span_key(), stmt_region(), 0..4),
     )
-        .prop_map(|(fingerprint, entries)| {
+        .prop_map(|(fingerprint, entries, regions)| {
             let mut cache = ScanCache::empty(fingerprint);
             for (digest, entry) in entries {
                 cache.insert(digest, entry);
+            }
+            for (key, region) in regions {
+                cache.insert_region(key, region);
             }
             cache
         })

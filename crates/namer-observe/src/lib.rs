@@ -113,12 +113,20 @@ pub enum Counter {
     /// JSON-RPC requests rejected with the typed `server_busy` error
     /// because the daemon's bounded request queue was full (DESIGN.md §13).
     ServeRejectedBusy,
+    /// Statements whose match outcomes were spliced from a cached statement
+    /// region instead of re-matched (DESIGN.md §14).
+    StmtCacheHits,
+    /// Statements re-matched because no cached region covered their paths.
+    StmtCacheMisses,
+    /// Findings-change events pushed to watchers (`namer watch` diffs and
+    /// `file.findings` notifications; DESIGN.md §14).
+    WatchEvents,
 }
 
 impl Counter {
     /// Every counter, in declaration order (= snapshot key order modulo the
     /// alphabetical `BTreeMap` sort).
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 27] = [
         Counter::FilesProcessed,
         Counter::ParseFailures,
         Counter::StatementsProcessed,
@@ -143,6 +151,9 @@ impl Counter {
         Counter::RegistryEvictions,
         Counter::ServeRequests,
         Counter::ServeRejectedBusy,
+        Counter::StmtCacheHits,
+        Counter::StmtCacheMisses,
+        Counter::WatchEvents,
     ];
 
     /// Stable snake_case name used as the snapshot/JSON key.
@@ -172,6 +183,9 @@ impl Counter {
             Counter::RegistryEvictions => "registry_evictions",
             Counter::ServeRequests => "serve_requests",
             Counter::ServeRejectedBusy => "serve_rejected_busy",
+            Counter::StmtCacheHits => "stmt_cache_hits",
+            Counter::StmtCacheMisses => "stmt_cache_misses",
+            Counter::WatchEvents => "watch_events",
         }
     }
 }

@@ -25,9 +25,11 @@ pub mod proto;
 pub mod server;
 
 pub use proto::{
-    parse_line, render_err, render_ok, AnalyzeFile, AnalyzeParams, AnalyzeResult, CacheFlushParams,
-    CacheFlushResult, CacheSummary, ErrorKind, Finding, InitializeParams, InitializeResult,
-    ModelLoadParams, ModelLoadResult, Request, RpcError, Summary, METHODS, PROTOCOL_VERSION,
+    parse_line, render_err, render_notification, render_ok, AnalyzeFile, AnalyzeParams,
+    AnalyzeResult, CacheFlushParams, CacheFlushResult, CacheSummary, Capabilities, ErrorKind,
+    Finding, FindingsEvent, InitializeParams, InitializeResult, ModelLoadParams, ModelLoadResult,
+    Request, RpcError, Summary, UnwatchParams, UnwatchResult, WatchParams, WatchResult, METHODS,
+    PROTOCOL_VERSION,
 };
 pub use server::{
     serve_listener, serve_stdio, serve_transcript, ConnCtx, ModelHost, ServeConfig, ServeState,

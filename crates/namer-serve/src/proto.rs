@@ -3,9 +3,12 @@
 //! One request per line, one response per line, no framing headers.
 //! Requests are JSON-RPC 2.0 objects (`{"jsonrpc":"2.0","id":…,`
 //! `"method":…,"params":{…}}`); every request gets exactly one response
-//! on the same connection, carrying the echoed `id`. Blank lines are
+//! on the same connection, carrying the echoed `id`. The only other
+//! server-to-client traffic is the `file.findings` push notification
+//! (id-less, for files subscribed via `file.watch`), written after the
+//! response of the request that changed the findings. Blank lines are
 //! ignored. The full protocol — handshake, method schemas, error codes,
-//! and the backpressure policy — is specified in DESIGN.md §13 and
+//! and the backpressure policy — is specified in DESIGN.md §13/§14 and
 //! pinned byte-for-byte by the golden transcripts in
 //! `tests/serve_protocol.rs`.
 //!
@@ -27,13 +30,15 @@ use serde_json::Value;
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Methods the server accepts, in the order advertised by `initialize`.
-pub const METHODS: [&str; 6] = [
+pub const METHODS: [&str; 8] = [
     "initialize",
     "ping",
     "shutdown",
     "file.analyze",
     "model.load",
     "cache.flush",
+    "file.watch",
+    "file.unwatch",
 ];
 
 /// Typed error taxonomy. The numeric codes follow JSON-RPC 2.0
@@ -304,9 +309,51 @@ pub struct CacheFlushParams {
     pub clear: bool,
 }
 
+/// `file.watch` params: subscribe one file to `file.findings` push
+/// notifications. The server analyzes `content` immediately and stores
+/// the findings as the subscription's baseline; clients re-send
+/// `file.watch` with fresh content on every edit, and any request
+/// (watch or analyze) whose findings for the file differ from the
+/// baseline triggers a notification.
+#[derive(Clone, Debug, Deserialize)]
+pub struct WatchParams {
+    /// Repository label; defaults to `"client"` like `file.analyze`.
+    pub repo: Option<String>,
+    /// File path — together with `repo`, the subscription key.
+    pub path: String,
+    /// Current file contents.
+    pub content: String,
+    /// Model to analyze with; optional when the server hosts exactly
+    /// one model.
+    pub model: Option<String>,
+}
+
+/// `file.unwatch` params: drop one subscription.
+#[derive(Clone, Debug, Deserialize)]
+pub struct UnwatchParams {
+    /// Repository label; defaults to `"client"`.
+    pub repo: Option<String>,
+    /// File path of the subscription to drop.
+    pub path: String,
+}
+
 // ---------------------------------------------------------------------------
 // Method results (server → client) — field order is wire order.
 // ---------------------------------------------------------------------------
+
+/// Feature flags advertised by `initialize`. Additions here are
+/// protocol-compatible: revision-1 clients that predate a capability
+/// simply ignore the unknown key (pinned by
+/// `serve_old_clients_ignore_new_initialize_fields`).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Capabilities {
+    /// `file.watch`/`file.unwatch` are accepted and the server pushes
+    /// `file.findings` notifications for watched files.
+    pub watch: bool,
+    /// Cache-backed analyzes splice statement-level regions instead of
+    /// rescanning whole files (DESIGN.md §14).
+    pub stmt_regions: bool,
+}
 
 /// `initialize` result.
 #[derive(Clone, Debug, Serialize)]
@@ -321,6 +368,8 @@ pub struct InitializeResult {
     pub models: Vec<String>,
     /// Methods the server accepts.
     pub methods: Vec<&'static str>,
+    /// Feature flags (trailing so older clients parse unchanged).
+    pub capabilities: Capabilities,
 }
 
 /// One finding in a `file.analyze` result: the session's
@@ -409,6 +458,47 @@ pub struct CacheFlushResult {
     pub cleared: Vec<String>,
     /// Per-request metrics snapshot.
     pub metrics: MetricsSnapshot,
+}
+
+/// `file.watch` result: the subscription count plus the file's current
+/// findings (the stored baseline — subsequent notifications only fire
+/// when findings diverge from it).
+#[derive(Clone, Debug, Serialize)]
+pub struct WatchResult {
+    /// Watched files on this connection after the call.
+    pub watching: usize,
+    /// Current findings for the watched file, in pipeline order.
+    pub findings: Vec<Finding>,
+    /// Per-request metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// `file.unwatch` result.
+#[derive(Clone, Debug, Serialize)]
+pub struct UnwatchResult {
+    /// Whether a subscription existed and was removed.
+    pub removed: bool,
+    /// Watched files remaining on this connection.
+    pub watching: usize,
+}
+
+/// `file.findings` notification params: one watched file's findings
+/// changed. The full (possibly empty) finding set is pushed, not a
+/// delta — clients replace their state for the file wholesale.
+#[derive(Clone, Debug, Serialize)]
+pub struct FindingsEvent {
+    /// Repository label of the watched file.
+    pub repo: String,
+    /// Path of the watched file.
+    pub path: String,
+    /// The file's complete current findings.
+    pub findings: Vec<Finding>,
+}
+
+/// Renders a server-push notification line (no `id`, no trailing
+/// newline). `params_json` must already be serialized JSON.
+pub fn render_notification(method: &str, params_json: &str) -> String {
+    format!("{{\"jsonrpc\":\"2.0\",\"method\":\"{method}\",\"params\":{params_json}}}")
 }
 
 /// Canned `ping` result body.
@@ -518,6 +608,31 @@ mod tests {
             assert!(!kind.tag().is_empty());
             assert!(kind.tag().chars().all(|c| c == '_' || c.is_ascii_lowercase()));
         }
+    }
+
+    #[test]
+    fn serve_render_notification_has_no_id() {
+        assert_eq!(
+            render_notification("file.findings", "{\"repo\":\"r\",\"path\":\"p\",\"findings\":[]}"),
+            "{\"jsonrpc\":\"2.0\",\"method\":\"file.findings\",\
+             \"params\":{\"repo\":\"r\",\"path\":\"p\",\"findings\":[]}}"
+        );
+    }
+
+    #[test]
+    fn serve_watch_params_validate() {
+        let p: WatchParams = params_from(&serde_json::json!({
+            "path": "a.py",
+            "content": "x = 1\n",
+        }))
+        .unwrap();
+        assert!(p.repo.is_none());
+        assert!(p.model.is_none());
+        assert_eq!(p.path, "a.py");
+        let err = params_from::<WatchParams>(&Value::Null).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidParams);
+        let p: UnwatchParams = params_from(&serde_json::json!({"path": "a.py"})).unwrap();
+        assert_eq!(p.path, "a.py");
     }
 
     #[test]

@@ -6,13 +6,16 @@
 //!   or a [`ModelRegistry`]), an LRU-bounded map of warm
 //!   [`DetectSession`]s (one per model, each with its own cache
 //!   subdirectory), and the executable methods `file.analyze` /
-//!   `model.load` / `cache.flush`, each returning a serialized result
-//!   body carrying a per-request [`MetricsSnapshot`].
+//!   `model.load` / `cache.flush` / `file.watch` / `file.unwatch`,
+//!   each returning a serialized result body (all but `file.unwatch`
+//!   carrying a per-request [`MetricsSnapshot`]).
 //! * [`ServeState`] — the transport-agnostic protocol layer:
 //!   [`ServeState::handle_line`] maps one wire line to at most one
-//!   response line, enforcing the `initialize` handshake, protocol
-//!   versioning, and shutdown semantics. It is synchronous and
-//!   deterministic, which is what the golden transcripts pin.
+//!   response line plus any `file.findings` notifications the request
+//!   triggered for `file.watch` subscriptions, enforcing the
+//!   `initialize` handshake, protocol versioning, and shutdown
+//!   semantics. It is synchronous and deterministic, which is what the
+//!   golden transcripts pin.
 //! * Transports — [`serve_transcript`] (in-memory, for tests),
 //!   [`serve_stdio`] (serial loop), and [`serve_listener`] (TCP: one
 //!   reader + writer thread pair per connection, all requests funneled
@@ -29,13 +32,13 @@
 //! keep the in-memory cache warm and dirty; the daemon degrades cold on
 //! restart, never wrong.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -50,10 +53,11 @@ use namer_syntax::SourceFile;
 use serde_json::Value;
 
 use crate::proto::{
-    params_from, parse_line, render_err, render_ok, AnalyzeFile, AnalyzeParams, AnalyzeResult,
-    CacheFlushParams, CacheFlushResult, CacheSummary, ErrorKind, Finding, InitializeParams,
-    InitializeResult, ModelLoadParams, ModelLoadResult, Request, RpcError, Summary, METHODS,
-    OK_TRUE, PONG, PROTOCOL_VERSION,
+    params_from, parse_line, render_err, render_notification, render_ok, AnalyzeFile,
+    AnalyzeParams, AnalyzeResult, CacheFlushParams, CacheFlushResult, CacheSummary, Capabilities,
+    ErrorKind, Finding, FindingsEvent, InitializeParams, InitializeResult, ModelLoadParams,
+    ModelLoadResult, Request, RpcError, Summary, UnwatchParams, UnwatchResult, WatchParams,
+    WatchResult, METHODS, OK_TRUE, PONG, PROTOCOL_VERSION,
 };
 
 /// Server configuration. `detect` carries the detection knobs
@@ -125,11 +129,16 @@ impl ModelHost {
     }
 }
 
-/// Per-connection protocol state: whether `initialize` has completed.
-/// Shared between the connection's reader thread and the executor.
+/// Per-connection protocol state: whether `initialize` has completed,
+/// plus the connection's `file.watch` subscriptions. Shared between
+/// the connection's reader thread and the executor.
 #[derive(Debug, Default)]
 pub struct ConnCtx {
     initialized: AtomicBool,
+    /// Watched files keyed `(repo, path)`, each holding the serialized
+    /// findings baseline the next `file.findings` push diffs against.
+    /// `BTreeMap` so any whole-table iteration is deterministic.
+    watches: Mutex<BTreeMap<(String, String), String>>,
 }
 
 impl ConnCtx {
@@ -144,6 +153,11 @@ impl ConnCtx {
 
     fn set_initialized(&self) {
         self.initialized.store(true, Ordering::SeqCst);
+    }
+
+    /// Number of watched files on this connection.
+    pub fn watch_count(&self) -> usize {
+        self.watches.lock().expect("watch table lock").len()
     }
 }
 
@@ -278,7 +292,12 @@ impl Engine {
     }
 
     /// `file.analyze`.
-    fn analyze(&mut self, params: AnalyzeParams) -> Result<String, RpcError> {
+    fn analyze(
+        &mut self,
+        conn: &ConnCtx,
+        params: AnalyzeParams,
+        notes: &mut Vec<String>,
+    ) -> Result<String, RpcError> {
         let collector = PipelineMetrics::new();
         let aggregate = self.shared_sink();
         let (outcome, files) = match &aggregate {
@@ -293,6 +312,30 @@ impl Engine {
             .iter()
             .map(|report| finding(report, &files))
             .collect();
+        // Watched files diff against the unfiltered findings: a
+        // `changed_only` filter must not mask a watched file whose
+        // findings went away.
+        let mut seen = HashSet::new();
+        for file in &files {
+            if !seen.insert((file.repo.as_str(), file.path.as_str())) {
+                continue;
+            }
+            let per_file: Vec<Finding> = findings
+                .iter()
+                .filter(|f| f.repo == file.repo && f.path == file.path)
+                .cloned()
+                .collect();
+            sync_watch(
+                conn,
+                &file.repo,
+                &file.path,
+                per_file,
+                false,
+                notes,
+                &collector,
+                aggregate.as_deref(),
+            );
+        }
         if params.changed_only {
             if let Some(cache) = &outcome.cache {
                 let changed: HashSet<(&str, &str)> = cache
@@ -443,6 +486,80 @@ impl Engine {
         Ok((flushed, cleared))
     }
 
+    /// `file.watch`: analyze the file now, register (or refresh) the
+    /// subscription, and return the current findings. Re-sending
+    /// `file.watch` with edited content is the client's change signal:
+    /// when the new findings differ from the stored baseline a
+    /// `file.findings` notification is pushed after the response.
+    fn watch(
+        &mut self,
+        conn: &ConnCtx,
+        params: WatchParams,
+        notes: &mut Vec<String>,
+    ) -> Result<String, RpcError> {
+        let collector = PipelineMetrics::new();
+        let aggregate = self.shared_sink();
+        let analyze = AnalyzeParams {
+            files: vec![AnalyzeFile {
+                repo: params.repo.clone(),
+                path: params.path.clone(),
+                content: params.content.clone(),
+            }],
+            model: params.model.clone(),
+            changed_only: false,
+        };
+        let (outcome, files) = match &aggregate {
+            Some(sink) => {
+                let tee = Tee(&collector, sink.as_ref());
+                self.analyze_observed(&analyze, Observer::new(&tee))?
+            }
+            None => self.analyze_observed(&analyze, Observer::new(&collector))?,
+        };
+        let findings: Vec<Finding> = outcome
+            .reports
+            .iter()
+            .map(|report| finding(report, &files))
+            .collect();
+        sync_watch(
+            conn,
+            &files[0].repo,
+            &files[0].path,
+            findings.clone(),
+            true,
+            notes,
+            &collector,
+            aggregate.as_deref(),
+        );
+        let mut metrics = merge_serve_metrics(outcome.metrics, collector.snapshot());
+        if self.config.scrub_timings {
+            metrics.scrub_timings();
+        }
+        serialize_result(&WatchResult {
+            watching: conn.watch_count(),
+            findings,
+            metrics,
+        })
+    }
+
+    /// `file.unwatch`: drop one subscription. Pure bookkeeping — no
+    /// detection runs and no metrics snapshot is attached.
+    fn unwatch(&mut self, conn: &ConnCtx, params: UnwatchParams) -> Result<String, RpcError> {
+        let key = (
+            params.repo.unwrap_or_else(|| "client".to_owned()),
+            params.path,
+        );
+        let removed = conn
+            .watches
+            .lock()
+            .expect("watch table lock")
+            .remove(&key)
+            .is_some();
+        serialize_result(&UnwatchResult {
+            removed,
+            watching: conn.watch_count(),
+        })
+    }
+
     /// Persists every resident session's dirty cache. Called by
     /// transports after each response line is written; failures are
     /// returned for logging and leave the cache warm and dirty.
@@ -503,21 +620,31 @@ impl ServeState {
     }
 
     /// Handles one wire line for one connection, returning the
-    /// response line (without trailing newline), or `None` for blank
-    /// input.
-    pub fn handle_line(&mut self, conn: &ConnCtx, line: &str) -> Option<String> {
+    /// response line (without trailing newline) followed by any
+    /// `file.findings` notification lines the request triggered, in
+    /// that order. Blank input yields no lines.
+    pub fn handle_line(&mut self, conn: &ConnCtx, line: &str) -> Vec<String> {
         let line = line.trim();
         if line.is_empty() {
-            return None;
+            return Vec::new();
         }
         let req = match parse_line(line) {
             Ok(req) => req,
-            Err((id, err)) => return Some(render_err(id.as_ref(), &err)),
+            Err((id, err)) => return vec![render_err(id.as_ref(), &err)],
         };
-        Some(match self.dispatch(conn, &req) {
+        let mut notes = Vec::new();
+        let response = match self.dispatch(conn, &req, &mut notes) {
             Ok(result) => render_ok(&req.id, &result),
-            Err(err) => render_err(Some(&req.id), &err),
-        })
+            Err(err) => {
+                // A failed request pushes nothing.
+                notes.clear();
+                render_err(Some(&req.id), &err)
+            }
+        };
+        let mut out = Vec::with_capacity(1 + notes.len());
+        out.push(response);
+        out.append(&mut notes);
+        out
     }
 
     /// Runs deferred cache persistence. Transports call this *after*
@@ -528,7 +655,12 @@ impl ServeState {
         self.engine.flush_dirty()
     }
 
-    fn dispatch(&mut self, conn: &ConnCtx, req: &Request) -> Result<String, RpcError> {
+    fn dispatch(
+        &mut self,
+        conn: &ConnCtx,
+        req: &Request,
+        notes: &mut Vec<String>,
+    ) -> Result<String, RpcError> {
         if self.stopping {
             return Err(RpcError::new(ErrorKind::ShuttingDown, "server is shutting down"));
         }
@@ -557,6 +689,10 @@ impl ServeState {
                     version: env!("CARGO_PKG_VERSION"),
                     models: self.engine.host.models(),
                     methods: METHODS.to_vec(),
+                    capabilities: Capabilities {
+                        watch: true,
+                        stmt_regions: true,
+                    },
                 })
             }
             _ if !conn.is_initialized() => Err(RpcError::new(
@@ -571,9 +707,11 @@ impl ServeState {
                 }
                 Ok(OK_TRUE.to_owned())
             }
-            "file.analyze" => self.engine.analyze(params_from(&req.params)?),
+            "file.analyze" => self.engine.analyze(conn, params_from(&req.params)?, notes),
             "model.load" => self.engine.model_load(params_from(&req.params)?),
             "cache.flush" => self.engine.cache_flush(params_from(&req.params)?),
+            "file.watch" => self.engine.watch(conn, params_from(&req.params)?, notes),
+            "file.unwatch" => self.engine.unwatch(conn, params_from(&req.params)?),
             other => Err(RpcError::new(
                 ErrorKind::MethodNotFound,
                 format!("unknown method {other:?}"),
@@ -591,11 +729,15 @@ pub fn serve_transcript(config: ServeConfig, host: ModelHost, input: &str) -> St
     let conn = ConnCtx::new();
     let mut out = String::new();
     for line in input.lines() {
-        if let Some(resp) = state.handle_line(&conn, line) {
+        let lines = state.handle_line(&conn, line);
+        if lines.is_empty() {
+            continue;
+        }
+        for resp in lines {
             out.push_str(&resp);
             out.push('\n');
-            let _ = state.after_response();
         }
+        let _ = state.after_response();
     }
     out
 }
@@ -610,9 +752,12 @@ pub fn serve_stdio(config: ServeConfig, host: ModelHost) -> io::Result<()> {
     let mut stdout = io::stdout().lock();
     for line in stdin.lock().lines() {
         let line = line?;
-        if let Some(resp) = state.handle_line(&conn, &line) {
-            stdout.write_all(resp.as_bytes())?;
-            stdout.write_all(b"\n")?;
+        let lines = state.handle_line(&conn, &line);
+        if !lines.is_empty() {
+            for resp in lines {
+                stdout.write_all(resp.as_bytes())?;
+                stdout.write_all(b"\n")?;
+            }
             stdout.flush()?;
             for (name, err) in state.after_response() {
                 eprintln!("namer serve: cache flush failed for {name}: {err} (will retry)");
@@ -650,7 +795,7 @@ pub fn serve_listener(config: ServeConfig, host: ModelHost, listener: TcpListene
     let mut state = ServeState::with_stop(config, host, stop.clone());
     let executor = thread::spawn(move || {
         while let Ok(job) = job_rx.recv() {
-            if let Some(resp) = state.handle_line(&job.conn, &job.line) {
+            for resp in state.handle_line(&job.conn, &job.line) {
                 // A dropped connection is the client's problem, not the
                 // daemon's: the response is discarded, state stays good.
                 let _ = job.reply.send(resp);
@@ -771,6 +916,63 @@ fn overload_response(line: &str, kind: ErrorKind, message: &str) -> String {
         .and_then(|v| v.get("id").cloned())
         .filter(|v| matches!(v, Value::String(_) | Value::Number(_) | Value::Null));
     render_err(id.as_ref(), &RpcError::new(kind, message))
+}
+
+/// Diffs one file's findings against the connection's watch baseline.
+///
+/// Not watched: does nothing unless `register` is set, which installs
+/// the findings as the new baseline silently (the registering
+/// `file.watch` response already carries them). Watched and unchanged:
+/// does nothing. Watched and changed: updates the baseline, bumps
+/// [`Counter::WatchEvents`], and appends a `file.findings` notification
+/// line to `notes`. Returns whether a notification was emitted.
+#[allow(clippy::too_many_arguments)]
+fn sync_watch(
+    conn: &ConnCtx,
+    repo: &str,
+    path: &str,
+    findings: Vec<Finding>,
+    register: bool,
+    notes: &mut Vec<String>,
+    collector: &PipelineMetrics,
+    aggregate: Option<&dyn MetricsSink>,
+) -> bool {
+    let Ok(rendered) = serde_json::to_string(&findings) else {
+        return false;
+    };
+    let key = (repo.to_owned(), path.to_owned());
+    let changed = {
+        let mut watches = conn.watches.lock().expect("watch table lock");
+        match watches.get(&key) {
+            Some(prev) => {
+                let changed = *prev != rendered;
+                if changed {
+                    watches.insert(key, rendered);
+                }
+                changed
+            }
+            None if register => {
+                watches.insert(key, rendered);
+                false
+            }
+            None => false,
+        }
+    };
+    if changed {
+        collector.add(Counter::WatchEvents, 1);
+        if let Some(sink) = aggregate {
+            sink.add(Counter::WatchEvents, 1);
+        }
+        let event = FindingsEvent {
+            repo: repo.to_owned(),
+            path: path.to_owned(),
+            findings,
+        };
+        if let Ok(body) = serde_json::to_string(&event) {
+            notes.push(render_notification("file.findings", &body));
+        }
+    }
+    changed
 }
 
 /// Projects one `Report` onto the wire, attaching the fixed source

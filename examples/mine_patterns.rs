@@ -6,7 +6,7 @@
 //! cargo run --release --example mine_patterns
 //! ```
 
-use namer::core::{process, Detector, ProcessConfig};
+use namer::core::{process, Detector, ProcessConfig, ScanRequest};
 use namer::corpus::{CorpusConfig, Generator};
 use namer::patterns::MiningConfig;
 use namer::syntax::Lang;
@@ -47,7 +47,7 @@ fn main() {
         print!("{p}");
     }
 
-    let scan = detector.violations(&processed);
+    let scan = detector.scan(ScanRequest::full(&processed));
     println!(
         "\nscan: {} report candidates over {} files ({} with ≥1 violation)",
         scan.violations.len(),

@@ -5,9 +5,13 @@
 # a CLI metrics smoke (train + scan with --metrics-out, validating the JSON
 # key set of DESIGN.md §10), a format smoke (binary model reload + registry
 # scans must be byte-identical, DESIGN.md §12), a serve smoke (spawn the
-# JSON-RPC daemon, handshake, analyze, shutdown, DESIGN.md §13), and rustdoc
-# with warnings denied (catches doc drift and broken intra-doc links). CI
-# and pre-push both run this.
+# JSON-RPC daemon, handshake, analyze, shutdown, DESIGN.md §13), a watch
+# smoke (touch one line under `namer watch`, expect a findings diff and
+# statement-region splicing, DESIGN.md §14), a quick incremental benchmark
+# (its exit code enforces both byte-identity and the statement-splicing
+# speedup over the file-granular baseline), and rustdoc with warnings
+# denied (catches doc drift and broken intra-doc links). CI and pre-push
+# both run this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +24,9 @@ cargo test -q -p namer-serve serve_
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p namer-bench --bin bench_shard -- --quick --out /tmp/BENCH_shard_check.json
+# Exits non-zero if any phase diverges from its full-scan reference or the
+# 1-line-dirty region phase fails to beat the warm file-granular baseline.
+cargo run --release -p namer-bench --bin bench_incremental -- --quick --out /tmp/BENCH_incremental_check.json
 
 # Metrics smoke: corpus -> train -> scan --metrics-out, then check the
 # snapshot carries the full §10 key set. scan exits 1 when it finds issues,
@@ -157,5 +164,61 @@ assert metrics["phases"]["serve"]["calls"] == 1
 assert shutdown["result"] == {"ok": True}
 PY
 echo "serve smoke: ok (handshake, analyze, shutdown; snapshot keys valid)"
+
+# Watch smoke (DESIGN.md §14): start `namer watch` over the salted corpus,
+# let it take its findings baseline, then touch one line — delete the line
+# behind an existing finding — and expect (a) a `- ` findings-diff line and
+# a clean bounded exit, and (b) statement-region splicing to have fired
+# (`stmt_cache_hits > 0` in the cumulative metrics): the edited file is
+# re-scanned fresh, but its unchanged statements splice from cached regions.
+scan_rc=0
+target/release/namer scan --model "$smoke/model.json" \
+    "$smoke/playground/repos" > "$smoke/watch-findings.txt" 2>/dev/null || scan_rc=$?
+if [ "$scan_rc" -gt 1 ]; then
+    echo "check.sh: watch smoke baseline scan failed (exit $scan_rc)" >&2
+    exit "$scan_rc"
+fi
+finding=$(grep -m1 -E ':[0-9]+: replace ' "$smoke/watch-findings.txt") || {
+    echo "check.sh: watch smoke found no finding to edit away" >&2
+    exit 1
+}
+ffile=${finding%%:*}
+fline=$(printf '%s\n' "$finding" | cut -d: -f2)
+mkdir -p "$smoke/watch-cache"
+target/release/namer watch --model "$smoke/model.json" \
+    --cache-dir "$smoke/watch-cache" \
+    --metrics-out "$smoke/watch-metrics.json" \
+    --interval-ms 200 --max-polls 100 --max-changes 1 \
+    "$smoke/playground/repos" > "$smoke/watch-out.txt" 2>/dev/null &
+watch_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'finding(s) at baseline' "$smoke/watch-out.txt" 2>/dev/null && break
+    sleep 0.2
+done
+grep -q 'finding(s) at baseline' "$smoke/watch-out.txt" || {
+    echo "check.sh: namer watch never reported its baseline" >&2
+    kill "$watch_pid" 2>/dev/null || true
+    exit 1
+}
+sed -i "${fline}d" "$smoke/playground/repos/$ffile"
+watch_rc=0
+wait "$watch_pid" || watch_rc=$?
+if [ "$watch_rc" -ne 0 ]; then
+    echo "check.sh: namer watch exited $watch_rc" >&2
+    cat "$smoke/watch-out.txt" >&2
+    exit 1
+fi
+grep -q '^- ' "$smoke/watch-out.txt" || {
+    echo "check.sh: one-line touch produced no findings diff" >&2
+    cat "$smoke/watch-out.txt" >&2
+    exit 1
+}
+python3 - "$smoke/watch-metrics.json" <<'PY' || exit 1
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+assert counters["stmt_cache_hits"] > 0, f"no statement splicing: {counters}"
+assert counters["watch_events"] >= 1, f"no watch event counted: {counters}"
+PY
+echo "watch smoke: ok (findings diff delivered, stmt_cache_hits > 0)"
 
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

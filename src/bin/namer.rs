@@ -5,6 +5,7 @@
 //! namer corpus [--java] --out DIR            write a synthetic corpus to disk
 //! namer train  --corpus DIR [options]        mine patterns + train the classifier
 //! namer scan   --model MODEL PATH...         scan files/directories for naming issues
+//! namer watch  --model MODEL PATH...         poll PATHs and print findings diffs
 //! namer serve  --model MODEL [--listen ADDR] long-lived JSON-RPC detection daemon
 //! ```
 //!
@@ -29,10 +30,18 @@
 //! (human-readable timing table on stderr). Output is byte-identical at any
 //! threads × shards combination.
 //!
+//! `watch` is the CLI face of statement-level incrementality (DESIGN.md
+//! §14): it re-reads the PATHs every `--interval-ms`, re-runs the resident
+//! session (with `--cache-dir` only dirty statements re-scan), and prints
+//! the findings diff against the previous poll as `+`/`-` lines.
+//! `--max-polls N` / `--max-changes N` bound the loop for scripting.
+//!
 //! `serve` keeps the model(s) and warm scan caches resident and answers
 //! newline-delimited JSON-RPC 2.0 requests (`initialize` / `ping` /
-//! `file.analyze` / `model.load` / `cache.flush` / `shutdown`) over stdio,
-//! or over TCP with `--listen ADDR` — the wire protocol is DESIGN.md §13.
+//! `file.analyze` / `model.load` / `cache.flush` / `file.watch` /
+//! `file.unwatch` / `shutdown`) over stdio, or over TCP with `--listen
+//! ADDR` — the wire protocol is DESIGN.md §13, watch push notifications
+//! §14.
 
 use namer::core::{
     atomic_write, fix_line, CorpusReader, ModelRegistry, Namer, NamerBuilder, NamerConfig,
@@ -43,10 +52,12 @@ use namer::observe::{Counter, MetricsSnapshot, Observer, Phase, PipelineMetrics}
 use namer::patterns::{MiningConfig, ShardPlan};
 use namer::serve::{serve_listener, serve_stdio, ModelHost, ServeConfig};
 use namer::syntax::{Lang, SourceFile};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The CLI always runs against the real filesystem; tests exercise the
 /// same ingestion/persistence code through a fault-injecting
@@ -60,6 +71,7 @@ fn main() -> ExitCode {
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -83,7 +95,7 @@ fn print_usage() {
         "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
          USAGE:\n  namer demo  [--java] [-o MODEL] [runtime options]\n  namer corpus [--java] [--seed N] --out DIR [runtime options]\n  namer train --corpus DIR \
          [--commits DIR] [--labels TSV] [--lang python|java]\n              \
-         [--no-classifier] [--no-analysis] [-o MODEL] [runtime options]\n  namer scan  (--model FILE | --model-dir DIR [--model NAME])\n              [--model-budget MB] [--explain] [--format sarif] [--changed-only]\n              [runtime options] PATH...\n  namer serve (--model FILE | --model-dir DIR) [--listen ADDR] [--queue N]\n              [--model-budget MB] [--deterministic] [runtime options]\n\n\
+         [--no-classifier] [--no-analysis] [-o MODEL] [runtime options]\n  namer scan  (--model FILE | --model-dir DIR [--model NAME])\n              [--model-budget MB] [--explain] [--format sarif] [--changed-only]\n              [runtime options] PATH...\n  namer watch (--model FILE | --model-dir DIR [--model NAME])\n              [--interval-ms N] [--max-polls N] [--max-changes N]\n              [runtime options] PATH...\n  namer serve (--model FILE | --model-dir DIR) [--listen ADDR] [--queue N]\n              [--model-budget MB] [--deterministic] [runtime options]\n\n\
          Runtime options (every command):\n  \
          --threads N         worker threads (0 = all cores, the default)\n  \
          --pattern-shards N  prefix-disjoint pattern shards (1 = off; 0 = per core)\n  \
@@ -103,13 +115,21 @@ fn print_usage() {
          (file stem; `--model NAME` picks one, optional when the directory\n\
          holds exactly one) through an LRU registry capped at\n\
          `--model-budget MB` (default 256).\n\n\
+         `watch` polls the PATHs every --interval-ms (default 500), re-runs\n\
+         the resident session, and prints the findings diff against the\n\
+         previous poll as `+`/`-` lines; the first poll is the baseline and\n\
+         counts no change. With --cache-dir only edited statements re-scan\n\
+         (DESIGN.md §14). --max-polls N / --max-changes N stop the loop\n\
+         after N polls / N change events (0 = unbounded, the default).\n\n\
          `serve` answers newline-delimited JSON-RPC 2.0 over stdio (default)\n\
          or TCP (`--listen 127.0.0.1:7357`): initialize/ping/shutdown\n\
-         handshake plus batch file.analyze, model.load, and cache.flush,\n\
-         every response carrying findings and a per-request metrics\n\
-         snapshot (DESIGN.md §13). `--queue N` bounds the TCP request queue\n\
-         (overflow gets a typed server_busy error; default 64) and\n\
-         `--deterministic` zeroes timings so responses are byte-stable.\n"
+         handshake plus batch file.analyze, model.load, cache.flush, and\n\
+         file.watch/file.unwatch subscriptions (changed findings arrive as\n\
+         id-less file.findings notifications), every response carrying\n\
+         findings and a per-request metrics snapshot (DESIGN.md §13–§14).\n\
+         `--queue N` bounds the TCP request queue (overflow gets a typed\n\
+         server_busy error; default 64) and `--deterministic` zeroes\n\
+         timings so responses are byte-stable.\n"
     );
 }
 
@@ -485,6 +505,42 @@ fn resolve_scan_model(
     }
 }
 
+/// Non-flag positional PATH arguments, skipping the value of every
+/// value-taking flag `scan` and `watch` accept.
+fn positional_paths(args: &[String]) -> Vec<PathBuf> {
+    const VALUE_FLAGS: [&str; 12] = [
+        "--model",
+        "--model-dir",
+        "--model-budget",
+        "--format",
+        "--threads",
+        "--pattern-shards",
+        "--cache-dir",
+        "--metrics-out",
+        "--lang",
+        "--interval-ms",
+        "--max-polls",
+        "--max-changes",
+    ];
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        paths.push(PathBuf::from(a));
+    }
+    paths
+}
+
 fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
     // One collector spans model load, ingestion, and the session, so
     // --metrics-out reports the whole scan including Phase::ModelLoad.
@@ -501,30 +557,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
     // diagnostics are seeded into the session below.
     let mut reader = CorpusReader::new(&FS);
 
-    let mut paths: Vec<PathBuf> = Vec::new();
-    let mut skip_next = false;
-    for a in args {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        if a == "--model"
-            || a == "--model-dir"
-            || a == "--model-budget"
-            || a == "--format"
-            || a == "--threads"
-            || a == "--pattern-shards"
-            || a == "--cache-dir"
-            || a == "--metrics-out"
-        {
-            skip_next = true;
-            continue;
-        }
-        if a.starts_with('-') {
-            continue;
-        }
-        paths.push(PathBuf::from(a));
-    }
+    let paths = positional_paths(args);
     if paths.is_empty() {
         return Err(NamerError::Usage("`scan` needs at least one PATH".to_owned()));
     }
@@ -657,6 +690,138 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, NamerError> {
     } else {
         ExitCode::from(1)
     })
+}
+
+// ----- watch -----------------------------------------------------------------
+
+/// `namer watch`: the poll-driven findings-diff loop over the scan
+/// PATHs. Each poll re-reads the sources and re-runs one resident
+/// session; with `--cache-dir` the statement-region cache (DESIGN.md
+/// §14) keeps warm polls proportional to the edit, not the corpus. The
+/// first poll establishes the baseline silently; every later poll whose
+/// finding set differs prints the delta as `+`/`-` lines and counts one
+/// change event.
+fn cmd_watch(args: &[String]) -> Result<ExitCode, NamerError> {
+    // One collector spans the whole watch loop, so --metrics-out is
+    // cumulative across polls (that is what makes `stmt_cache_hits`
+    // observable to scripts).
+    let collector = Arc::new(PipelineMetrics::new());
+    let model = {
+        let _span = Observer::new(collector.as_ref()).phase(Phase::ModelLoad);
+        resolve_scan_model(args, &collector)?
+    };
+    let lang = match &model {
+        ScanModel::File(m) => m.lang,
+        ScanModel::Registry(m) => m.lang,
+    };
+    let paths = positional_paths(args);
+    if paths.is_empty() {
+        return Err(NamerError::Usage("`watch` needs at least one PATH".to_owned()));
+    }
+    let opts = RuntimeOpts::parse(args)?;
+    let number = |flag: &str, default: u64| -> Result<u64, NamerError> {
+        match flag_value(args, flag) {
+            Some(s) => s
+                .parse()
+                .map_err(|_| NamerError::Usage(format!("bad {flag} {s:?}"))),
+            None => Ok(default),
+        }
+    };
+    let interval_ms = number("--interval-ms", 500)?;
+    let max_polls = number("--max-polls", 0)?;
+    let max_changes = number("--max-changes", 0)?;
+
+    let sourced = match model {
+        ScanModel::File(m) => NamerBuilder::new().model(m),
+        ScanModel::Registry(m) => NamerBuilder::new().shared(m),
+    };
+    let mut session = opts
+        .apply(sourced.config(default_config()))
+        .metrics(collector.clone())
+        .build()?;
+    if let Some(status) = session.cache_status() {
+        eprintln!("scan cache: {status}");
+    }
+
+    let mut baseline: Option<BTreeSet<String>> = None;
+    let mut polls: u64 = 0;
+    let mut changes: u64 = 0;
+    loop {
+        polls += 1;
+        let mut reader = CorpusReader::new(&FS);
+        let mut files = Vec::new();
+        for p in &paths {
+            if p.is_dir() {
+                files.extend(reader.collect_sources(p, lang)?);
+            } else if p.is_file() {
+                if let Some(text) = reader.read_text(p) {
+                    files.push(SourceFile::new(
+                        p.parent().map(|d| d.display().to_string()).unwrap_or_default(),
+                        p.display().to_string(),
+                        text,
+                        lang,
+                    ));
+                }
+            } else {
+                return Err(NamerError::Usage(format!("no such path: {}", p.display())));
+            }
+        }
+        let diag = reader.finish();
+        if !diag.is_clean() {
+            eprint!("{}", diag.render_human());
+        }
+        let outcome = session.run(&files)?;
+        let current: BTreeSet<String> = outcome
+            .reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}:{}: replace `{}` with `{}` [{}]",
+                    r.violation.path,
+                    r.violation.line,
+                    r.violation.original,
+                    r.violation.suggested,
+                    r.violation.pattern_ty
+                )
+            })
+            .collect();
+        match &baseline {
+            None => {
+                println!(
+                    "watching {} file(s): {} finding(s) at baseline",
+                    files.len(),
+                    current.len()
+                );
+            }
+            Some(prev) => {
+                let added: Vec<&String> = current.difference(prev).collect();
+                let removed: Vec<&String> = prev.difference(&current).collect();
+                if !added.is_empty() || !removed.is_empty() {
+                    changes += 1;
+                    collector.observer().add(Counter::WatchEvents, 1);
+                    for line in added {
+                        println!("+ {line}");
+                    }
+                    for line in removed {
+                        println!("- {line}");
+                    }
+                }
+            }
+        }
+        baseline = Some(current);
+        // Scripts tail the output mid-loop; don't sit on a buffered diff.
+        let _ = std::io::stdout().flush();
+        if max_polls > 0 && polls >= max_polls {
+            break;
+        }
+        if max_changes > 0 && changes >= max_changes {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+    println!("watched {polls} poll(s), {changes} change event(s)");
+    opts.emit(&collector.snapshot())?;
+    Ok(ExitCode::SUCCESS)
 }
 
 // ----- serve -----------------------------------------------------------------

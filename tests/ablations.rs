@@ -1,7 +1,9 @@
 //! Integration checks on the w/o C and w/o A ablations and on report
 //! well-formedness (the machinery behind Tables 2 and 5).
 
-use namer::core::{process, Namer, NamerBuilder, NamerConfig, ProcessConfig, FEATURE_COUNT};
+use namer::core::{
+    process, Namer, NamerBuilder, NamerConfig, ProcessConfig, ScanRequest, FEATURE_COUNT,
+};
 use namer::corpus::{CorpusConfig, Generator, Oracle};
 use namer::patterns::MiningConfig;
 use namer::syntax::{Lang, SourceFile};
@@ -167,7 +169,7 @@ fn dedup_keeps_one_report_per_location_and_suggestion() {
         Lang::Python,
         &config(true, true).mining,
     );
-    let scan = det.violations(&processed);
+    let scan = det.scan(ScanRequest::full(&processed));
     let mut keys: Vec<_> = scan
         .violations
         .iter()

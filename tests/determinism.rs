@@ -4,10 +4,10 @@
 
 use namer::core::{
     process, process_parallel, Detector, Namer, NamerBuilder, NamerConfig, ProcessConfig,
-    ScanCache,
+    ScanCache, ScanRequest,
 };
 use namer::corpus::{CorpusConfig, Generator};
-use namer::patterns::MiningConfig;
+use namer::patterns::{MiningConfig, ShardPlan};
 use namer::syntax::{Lang, SourceFile};
 
 fn config() -> NamerConfig {
@@ -44,7 +44,7 @@ fn mining_and_detection_are_reproducible() {
     let run = || {
         let processed = process(&corpus.files, &ProcessConfig::default());
         let det = Detector::mine(&processed, &commits, Lang::Python, &config().mining);
-        let scan = det.violations(&processed);
+        let scan = det.scan(ScanRequest::full(&processed));
         (
             det.pattern_count(),
             scan.violations
@@ -71,7 +71,7 @@ fn mining_and_detection_are_thread_count_invariant() {
             ..config().mining
         };
         let det = Detector::mine(&processed, &commits, Lang::Python, &mining);
-        let scan = det.violations_with(&processed, threads);
+        let scan = det.scan(ScanRequest::full(&processed).threads(threads));
         (
             det.pattern_count(),
             scan.raw_violation_count,
@@ -90,10 +90,12 @@ fn mining_and_detection_are_thread_count_invariant() {
 }
 
 #[test]
-fn incremental_scan_is_thread_count_invariant() {
+fn incremental_scan_is_thread_and_dirty_window_invariant() {
     // A warmed cache plus a dirty mix (edited, truncated, and brand-new
-    // files) must scan identically at any thread count — and identically to
-    // a from-scratch full scan of the same mutated corpus.
+    // files) must scan identically at any thread count × dirty-window
+    // setting (statement-region splicing vs file-granular, DESIGN.md §14)
+    // — and identically to a from-scratch full scan of the same mutated
+    // corpus.
     let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(77);
     let commits: Vec<(String, String)> = corpus
         .commits
@@ -105,8 +107,12 @@ fn incremental_scan_is_thread_count_invariant() {
     let det = Detector::mine(&processed, &commits, Lang::Python, &config().mining);
 
     // Warm the cache on the pristine corpus at one thread.
-    let mut warmed = ScanCache::empty(det.fingerprint(&process_config));
-    det.violations_incremental(&corpus.files, &process_config, &mut warmed, 1);
+    let mut warmed = ScanCache::empty(det.fingerprint(&process_config, &ShardPlan::unsharded()));
+    det.scan(ScanRequest::incremental(
+        &corpus.files,
+        &process_config,
+        &mut warmed,
+    ));
 
     // Dirty mix: edit every 7th file, truncate a few, add a fresh one.
     let mut mutated = corpus.files.clone();
@@ -123,30 +129,41 @@ fn incremental_scan_is_thread_count_invariant() {
         Lang::Python,
     ));
 
-    let run = |threads: usize| {
+    let run = |threads: usize, regions: bool| {
         let mut cache = warmed.clone();
-        let inc = det.violations_incremental(&mutated, &process_config, &mut cache, threads);
+        let mut req = ScanRequest::incremental(&mutated, &process_config, &mut cache)
+            .threads(threads);
+        if !regions {
+            req = req.file_granular();
+        }
+        let scan = det.scan(req);
+        let stats = scan.cache.unwrap();
         (
-            inc.reused,
-            inc.fresh,
-            inc.parse_failures,
-            inc.scan.raw_violation_count,
-            inc.scan.files_with_violation,
-            inc.scan.repos_with_violation,
-            inc.scan
-                .violations
+            stats.reused,
+            stats.fresh,
+            stats.parse_failures,
+            scan.raw_violation_count,
+            scan.files_with_violation,
+            scan.repos_with_violation,
+            scan.violations
                 .iter()
                 .map(|v| (v.to_string(), format!("{:?}", v.features)))
                 .collect::<Vec<_>>(),
         )
     };
-    let serial = run(1);
-    for threads in [2, 8] {
-        assert_eq!(serial, run(threads), "threads={threads} diverged");
+    let serial = run(1, true);
+    for threads in [1, 2, 8] {
+        for regions in [true, false] {
+            assert_eq!(
+                serial,
+                run(threads, regions),
+                "threads={threads} regions={regions} diverged"
+            );
+        }
     }
 
     // The warm dirty scan equals a cold full scan of the mutated corpus.
-    let full = det.violations(&process(&mutated, &process_config));
+    let full = det.scan(ScanRequest::full(&process(&mutated, &process_config)));
     let full_key: Vec<(String, String)> = full
         .violations
         .iter()

@@ -317,6 +317,99 @@ fn legacy_json_files_still_load_behind_the_sniff() {
 }
 
 #[test]
+fn v1_cache_migrates_cold_never_wrong_at_every_kill_point() {
+    let dir = scratch("v1-migrate");
+    let cache_path = dir.join("scan-cache.json");
+    let files = corpus(0);
+    let expected = report_strings(&session(None).run(&files).unwrap().reports);
+
+    // A v1-era cache: the file-granular format the statement-region format
+    // replaced (DESIGN.md §14). It carries the *current* fingerprint and a
+    // poisoned ParseFailure entry for every corpus file — state that would
+    // suppress every finding if a v2 session honored it. Only the version
+    // check stands between these bytes and wrong output.
+    let fp = session(Some(&dir)).namer().scan_fingerprint();
+    let poisoned: Vec<String> = files
+        .iter()
+        .map(|f| format!("\"{}\":\"ParseFailure\"", content_digest(&f.text, f.lang).to_hex()))
+        .collect();
+    let v1_bytes = format!(
+        "{{\"version\":1,\"fingerprint\":{fp},\"entries\":{{{}}}}}",
+        poisoned.join(",")
+    )
+    .into_bytes();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    atomic_write(&RealFs, &cache_path, &v1_bytes).unwrap();
+
+    // The clean migration: the old cache is a version-mismatch cold start,
+    // the findings match a cacheless run, and the resave rewrites the file
+    // in the current format so the next session comes up warm.
+    let mut migrating = session(Some(&dir));
+    assert_eq!(
+        migrating.cache_status(),
+        Some(CacheLoadStatus::VersionMismatch),
+        "v1 cache must be rejected by version, not loaded or errored"
+    );
+    let outcome = migrating.run(&files).unwrap();
+    assert_eq!(report_strings(&outcome.reports), expected);
+    let new_bytes = std::fs::read(&cache_path).unwrap();
+    assert_ne!(new_bytes, v1_bytes, "migration did not rewrite the cache");
+    let mut warm = session(Some(&dir));
+    assert!(matches!(warm.cache_status(), Some(CacheLoadStatus::Warm(_))));
+    assert_eq!(report_strings(&warm.run(&files).unwrap().reports), expected);
+
+    // The kill-point row: size the migration's VFS-operation matrix with a
+    // fault-free run, then crash at every operation. After each crash the
+    // disk holds the complete v1 bytes or the complete v2 bytes, and a
+    // restarted session reproduces the cacheless findings either way.
+    let (json, _) = model_jsons();
+    atomic_write(&RealFs, &cache_path, &v1_bytes).unwrap();
+    let probe = Arc::new(FaultVfs::real(FaultSchedule::new()));
+    let mut sized = NamerBuilder::new()
+        .model(SavedModel::from_json(json).unwrap())
+        .cache_dir(&dir)
+        .vfs(probe.clone())
+        .build()
+        .unwrap();
+    sized.run(&files).unwrap();
+    let ops = probe.ops();
+    assert_eq!(std::fs::read(&cache_path).unwrap(), new_bytes);
+
+    for k in 0..ops {
+        atomic_write(&RealFs, &cache_path, &v1_bytes).unwrap();
+        let vfs = Arc::new(FaultVfs::real(FaultSchedule::kill_at(k, Some(usize::MAX))));
+        let result = NamerBuilder::new()
+            .model(SavedModel::from_json(json).unwrap())
+            .cache_dir(&dir)
+            .vfs(vfs)
+            .build()
+            .and_then(|mut s| s.run(&files));
+        assert!(result.is_err(), "kill at op {k} must surface as an error");
+        let bytes = std::fs::read(&cache_path).unwrap();
+        assert!(
+            bytes == v1_bytes || bytes == new_bytes,
+            "op {k}: half-migrated cache on disk"
+        );
+        let mut fresh = session(Some(&dir));
+        assert!(
+            matches!(
+                fresh.cache_status(),
+                Some(CacheLoadStatus::VersionMismatch) | Some(CacheLoadStatus::Warm(_))
+            ),
+            "op {k}: cache degraded to {:?} after crash",
+            fresh.cache_status()
+        );
+        assert_eq!(
+            report_strings(&fresh.run(&files).unwrap().reports),
+            expected,
+            "op {k}: migration crash changed findings"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn session_survives_kill_at_every_cache_operation() {
     let dir = scratch("session-kill");
     let cache_path = dir.join("scan-cache.json");

@@ -1,14 +1,16 @@
-//! Differential harness for the incremental scan (DESIGN.md §8): under any
-//! mix of file edits, additions, and deletions, the cache-backed scan must
-//! produce byte-identical output to a full scan from scratch — and damaged
-//! or mismatched caches must degrade to a cold (correct) scan, never a
-//! panic or a wrong answer.
+//! Differential harness for the incremental scan (DESIGN.md §8, §14):
+//! under any mix of file edits, additions, and deletions — and any mix of
+//! statement-level insertions, deletions, and replacements that shift the
+//! spans of everything below them — the cache-backed scan must produce
+//! byte-identical output to a full scan from scratch, in both
+//! statement-region and file-granular mode. Damaged or mismatched caches
+//! must degrade to a cold (correct) scan, never a panic or a wrong answer.
 
 use namer::core::{
-    process, CacheLoadStatus, Detector, ProcessConfig, ScanCache, ScanResult,
-    CACHE_FORMAT_VERSION,
+    process, CacheLoadStatus, Detector, DetectorSpec, ProcessConfig, ScanCache, ScanRequest,
+    ScanResult, CACHE_FORMAT_VERSION,
 };
-use namer::patterns::MiningConfig;
+use namer::patterns::{MiningConfig, ShardPlan};
 use namer::syntax::{Lang, SourceFile};
 use proptest::prelude::*;
 use proptest::sample::Index;
@@ -26,6 +28,18 @@ const TEMPLATES: &[&str] = &[
     "   \n\n",
     "def broken(:\n",
     "class T(TestCase):\n    def test_d(self):\n        self.assertTrue(value.count, 9)\n\nclass U(TestCase):\n    def test_e(self):\n        self.assertEqual(value.count, 9)\n",
+];
+
+/// Self-contained statement blocks for the statement-mutation property:
+/// files are concatenations of these, so inserting / deleting / replacing
+/// one block is a statement-window edit that shifts every span below it.
+const BLOCKS: &[&str] = &[
+    "class A(TestCase):\n    def test_p(self):\n        self.assertEqual(value.count, 3)\n",
+    "class B(TestCase):\n    def test_q(self):\n        self.assertTrue(value.count, 5)\n",
+    "class C(TestCase):\n    def test_r(self):\n        self.assertEqual(other.size, 2)\n",
+    "x = 1\n",
+    "count = other.size\n",
+    "def helper(v):\n    return v\n",
 ];
 
 /// Mines one detector (expensive) shared by every test and proptest case.
@@ -66,6 +80,22 @@ fn mined() -> &'static (Detector, ProcessConfig) {
     })
 }
 
+/// The cache fingerprint of this harness's detector/config pairing.
+fn fp(det: &Detector, config: &ProcessConfig) -> u64 {
+    det.fingerprint(config, &ShardPlan::unsharded())
+}
+
+/// A region-mode incremental scan (the §14 default) at `threads` workers.
+fn incremental(
+    det: &Detector,
+    files: &[SourceFile],
+    config: &ProcessConfig,
+    cache: &mut ScanCache,
+    threads: usize,
+) -> ScanResult {
+    det.scan(ScanRequest::incremental(files, config, cache).threads(threads))
+}
+
 /// Builds a corpus from `(repo, template)` picks, named by position.
 fn build_files(specs: &[(u8, u8)]) -> Vec<SourceFile> {
     specs
@@ -78,6 +108,21 @@ fn build_files(specs: &[(u8, u8)]) -> Vec<SourceFile> {
                 TEMPLATES[t as usize % TEMPLATES.len()],
                 Lang::Python,
             )
+        })
+        .collect()
+}
+
+/// Builds one file per block list, each the concatenation of its blocks.
+fn build_block_files(lists: &[Vec<u8>]) -> Vec<SourceFile> {
+    lists
+        .iter()
+        .enumerate()
+        .map(|(i, blocks)| {
+            let text: String = blocks
+                .iter()
+                .map(|&b| BLOCKS[b as usize % BLOCKS.len()])
+                .collect();
+            SourceFile::new("repo0", format!("s{i}.py"), text, Lang::Python)
         })
         .collect()
 }
@@ -106,7 +151,7 @@ fn key(scan: &ScanResult) -> (Vec<(String, usize, bool, Vec<u64>)>, usize, usize
 
 /// The ground truth: process + scan everything from scratch.
 fn full_scan(det: &Detector, config: &ProcessConfig, files: &[SourceFile]) -> ScanResult {
-    det.violations(&process(files, config))
+    det.scan(ScanRequest::full(&process(files, config)))
 }
 
 proptest! {
@@ -114,8 +159,8 @@ proptest! {
 
     /// The acceptance-criteria property: across ≥ 100 random corpora and
     /// random mutations of them, a cold incremental scan, a warm
-    /// incremental scan of the mutated corpus, and a reloaded-from-JSON
-    /// warm scan all match the full scan bit for bit.
+    /// incremental scan of the mutated corpus, and a reloaded warm scan
+    /// all match the full scan bit for bit.
     #[test]
     fn incremental_scan_matches_full_scan(
         base in proptest::collection::vec((0u8..4, 0u8..TEMPLATES.len() as u8), 1..12),
@@ -124,14 +169,14 @@ proptest! {
         adds in proptest::collection::vec((0u8..4, 0u8..TEMPLATES.len() as u8), 0..4),
     ) {
         let (det, config) = mined();
-        let fingerprint = det.fingerprint(config);
+        let fingerprint = fp(det, config);
         let files = build_files(&base);
 
         // Cold incremental == full.
         let mut cache = ScanCache::empty(fingerprint);
-        let cold = det.violations_incremental(&files, config, &mut cache, 1);
-        prop_assert_eq!(key(&full_scan(det, config, &files)), key(&cold.scan));
-        prop_assert_eq!(cold.reused, 0);
+        let cold = incremental(det, &files, config, &mut cache, 1);
+        prop_assert_eq!(key(&full_scan(det, config, &files)), key(&cold));
+        prop_assert_eq!(cold.cache.unwrap().reused, 0);
 
         // Mutate: rewrite some files, delete some, append new ones.
         let mut mutated = files.clone();
@@ -159,16 +204,75 @@ proptest! {
         }
 
         // Warm incremental over the mutated corpus == full scan of it.
-        let warm = det.violations_incremental(&mutated, config, &mut cache, 1);
-        prop_assert_eq!(key(&full_scan(det, config, &mutated)), key(&warm.scan));
+        let warm = incremental(det, &mutated, config, &mut cache, 1);
+        prop_assert_eq!(key(&full_scan(det, config, &mutated)), key(&warm));
 
-        // A JSON round-trip of the cache changes nothing, and serves the
-        // whole mutated corpus without fresh work — at 2 threads.
+        // A serialisation round-trip of the cache changes nothing, and
+        // serves the whole mutated corpus without fresh work — at 2
+        // threads.
         let (mut reloaded, status) = ScanCache::from_json(&cache.to_json().unwrap(), fingerprint);
         prop_assert_eq!(status, CacheLoadStatus::Warm(cache.len()));
-        let again = det.violations_incremental(&mutated, config, &mut reloaded, 2);
-        prop_assert_eq!(again.fresh, 0);
-        prop_assert_eq!(key(&warm.scan), key(&again.scan));
+        let again = incremental(det, &mutated, config, &mut reloaded, 2);
+        prop_assert_eq!(again.cache.unwrap().fresh, 0);
+        prop_assert_eq!(key(&warm), key(&again));
+    }
+
+    /// The §14 property: a statement-windowed (region-spliced) rescan of a
+    /// corpus mutated by random statement insertions, deletions, and
+    /// replacements — span-shifting edits included — matches the full cold
+    /// scan bit for bit, at 1 and 2 threads, and agrees with the
+    /// file-granular dirty-window setting.
+    #[test]
+    fn statement_windowed_rescan_matches_full_scan(
+        base in proptest::collection::vec(
+            proptest::collection::vec(0u8..BLOCKS.len() as u8, 1..6), 1..8),
+        ops in proptest::collection::vec(
+            (any::<Index>(), any::<Index>(), 0u8..3, 0u8..BLOCKS.len() as u8), 1..8),
+    ) {
+        let (det, config) = mined();
+        let files = build_block_files(&base);
+
+        // Warm a region cache on the pristine corpus.
+        let mut cache = ScanCache::empty(fp(det, config));
+        incremental(det, &files, config, &mut cache, 1);
+
+        // Statement-level mutations: insert a block (shifting every span
+        // below it), delete one, or replace one in place.
+        let mut lists = base.clone();
+        for (fi, pi, op, b) in &ops {
+            let list = &mut lists[fi.index(lists.len())];
+            match op {
+                0 => {
+                    let p = pi.index(list.len() + 1);
+                    list.insert(p, *b);
+                }
+                1 => {
+                    if list.len() > 1 {
+                        let p = pi.index(list.len());
+                        list.remove(p);
+                    }
+                }
+                _ => {
+                    let p = pi.index(list.len());
+                    list[p] = *b;
+                }
+            }
+        }
+        let mutated = build_block_files(&lists);
+        let reference = full_scan(det, config, &mutated);
+
+        // Region-spliced warm rescan ≡ full cold scan, thread-invariant.
+        for threads in [1usize, 2] {
+            let mut warm = cache.clone();
+            let scan = incremental(det, &mutated, config, &mut warm, threads);
+            prop_assert_eq!(key(&reference), key(&scan), "threads={}", threads);
+        }
+        // And ≡ the file-granular dirty-window setting of the grid.
+        let mut warm = cache.clone();
+        let granular = det.scan(
+            ScanRequest::incremental(&mutated, config, &mut warm).file_granular(),
+        );
+        prop_assert_eq!(key(&reference), key(&granular));
     }
 }
 
@@ -176,18 +280,19 @@ proptest! {
 fn cache_round_trips_through_disk() {
     let (det, config) = mined();
     let files = build_files(&[(0, 1), (1, 0), (0, 3), (2, 7)]);
-    let mut cache = ScanCache::empty(det.fingerprint(config));
-    let first = det.violations_incremental(&files, config, &mut cache, 1);
+    let mut cache = ScanCache::empty(fp(det, config));
+    let first = incremental(det, &files, config, &mut cache, 1);
     let dir = std::env::temp_dir().join(format!("namer-incremental-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("scan-cache.json");
     cache.save(&path).unwrap();
-    let (mut loaded, status) = ScanCache::load(&path, det.fingerprint(config));
+    let (mut loaded, status) = ScanCache::load(&path, fp(det, config));
     assert_eq!(status, CacheLoadStatus::Warm(cache.len()));
-    let second = det.violations_incremental(&files, config, &mut loaded, 1);
-    assert_eq!(second.fresh, 0);
-    assert_eq!(second.reused, files.len());
-    assert_eq!(key(&first.scan), key(&second.scan));
+    let second = incremental(det, &files, config, &mut loaded, 1);
+    let stats = second.cache.unwrap();
+    assert_eq!(stats.fresh, 0);
+    assert_eq!(stats.reused, files.len());
+    assert_eq!(key(&first), key(&second));
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -195,7 +300,7 @@ fn cache_round_trips_through_disk() {
 fn missing_cache_file_loads_cold() {
     let (det, config) = mined();
     let path = std::env::temp_dir().join("namer-no-such-cache-file.json");
-    let (cache, status) = ScanCache::load(&path, det.fingerprint(config));
+    let (cache, status) = ScanCache::load(&path, fp(det, config));
     assert_eq!(status, CacheLoadStatus::Cold);
     assert!(cache.is_empty());
 }
@@ -205,35 +310,36 @@ fn pattern_set_change_invalidates_cache() {
     let (det, config) = mined();
     assert!(det.pattern_count() > 1);
     let files = build_files(&[(0, 1), (1, 0), (2, 2)]);
-    let mut cache = ScanCache::empty(det.fingerprint(config));
-    det.violations_incremental(&files, config, &mut cache, 1);
+    let mut cache = ScanCache::empty(fp(det, config));
+    incremental(det, &files, config, &mut cache, 1);
 
     // Drop the last mined pattern: a different detector, so a different
     // fingerprint, so the old cache must not be accepted.
     let n = det.pattern_count() - 1;
-    let truncated = Detector::from_parts(
+    let truncated = DetectorSpec::new(
         det.patterns.patterns[..n].to_vec(),
         det.pairs.clone(),
         det.dataset_counts_all()[..n].to_vec(),
-    );
-    assert_ne!(det.fingerprint(config), truncated.fingerprint(config));
+    )
+    .build();
+    assert_ne!(fp(det, config), fp(&truncated, config));
 
     let (mut invalidated, status) =
-        ScanCache::from_json(&cache.to_json().unwrap(), truncated.fingerprint(config));
+        ScanCache::from_json(&cache.to_json().unwrap(), fp(&truncated, config));
     assert_eq!(status, CacheLoadStatus::FingerprintMismatch);
     assert!(invalidated.is_empty());
-    let scan = truncated.violations_incremental(&files, config, &mut invalidated, 1);
-    assert_eq!(scan.reused, 0);
-    assert_eq!(key(&full_scan(&truncated, config, &files)), key(&scan.scan));
+    let scan = incremental(&truncated, &files, config, &mut invalidated, 1);
+    assert_eq!(scan.cache.unwrap().reused, 0);
+    assert_eq!(key(&full_scan(&truncated, config, &files)), key(&scan));
 }
 
 #[test]
 fn corrupt_cache_degrades_to_cold_scan() {
     let (det, config) = mined();
-    let fingerprint = det.fingerprint(config);
+    let fingerprint = fp(det, config);
     let files = build_files(&[(0, 1), (2, 7), (1, 4)]);
     let mut cache = ScanCache::empty(fingerprint);
-    det.violations_incremental(&files, config, &mut cache, 1);
+    incremental(det, &files, config, &mut cache, 1);
     let json = cache.to_json().unwrap();
     let reference = full_scan(det, config, &files);
     for damaged in [
@@ -245,15 +351,15 @@ fn corrupt_cache_degrades_to_cold_scan() {
         let (mut c, status) = ScanCache::from_json(&damaged, fingerprint);
         assert_eq!(status, CacheLoadStatus::Corrupt, "input: {damaged:.60}…");
         assert!(c.is_empty());
-        let scan = det.violations_incremental(&files, config, &mut c, 1);
-        assert_eq!(key(&reference), key(&scan.scan));
+        let scan = incremental(det, &files, config, &mut c, 1);
+        assert_eq!(key(&reference), key(&scan));
     }
 }
 
 #[test]
 fn version_bump_is_rejected() {
     let (det, config) = mined();
-    let fingerprint = det.fingerprint(config);
+    let fingerprint = fp(det, config);
     let cache = ScanCache::empty(fingerprint);
     let mut value: serde_json::Value = serde_json::from_str(&cache.to_json().unwrap()).unwrap();
     value["version"] = serde_json::json!(CACHE_FORMAT_VERSION + 1);
@@ -273,9 +379,9 @@ fn empty_and_whitespace_files_scan_cleanly() {
     ];
     let reference = full_scan(det, config, &files);
     for threads in [1, 2, 8] {
-        let mut cache = ScanCache::empty(det.fingerprint(config));
-        let scan = det.violations_incremental(&files, config, &mut cache, threads);
-        assert_eq!(key(&reference), key(&scan.scan), "threads={threads}");
+        let mut cache = ScanCache::empty(fp(det, config));
+        let scan = incremental(det, &files, config, &mut cache, threads);
+        assert_eq!(key(&reference), key(&scan), "threads={threads}");
     }
 }
 
@@ -285,9 +391,9 @@ fn identical_files_share_cache_entries() {
     // Five copies of the same content across different repos/paths: one
     // fresh parse serves all of them, and the scan still sees five files.
     let files = build_files(&[(0, 1), (1, 1), (2, 1), (3, 1), (0, 1)]);
-    let mut cache = ScanCache::empty(det.fingerprint(config));
-    let scan = det.violations_incremental(&files, config, &mut cache, 1);
+    let mut cache = ScanCache::empty(fp(det, config));
+    let scan = incremental(det, &files, config, &mut cache, 1);
     assert_eq!(cache.len(), 1, "one entry per distinct content");
-    assert_eq!(scan.scan.files_scanned, 5);
-    assert_eq!(key(&full_scan(det, config, &files)), key(&scan.scan));
+    assert_eq!(scan.files_scanned, 5);
+    assert_eq!(key(&full_scan(det, config, &files)), key(&scan));
 }

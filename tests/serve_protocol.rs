@@ -14,8 +14,8 @@ use namer::core::{fix_line, Namer, NamerBuilder, NamerConfig, SavedModel, Violat
 use namer::observe::PipelineMetrics;
 use namer::patterns::MiningConfig;
 use namer::serve::{
-    render_ok, serve_transcript, AnalyzeResult, CacheFlushResult, Finding, ModelHost,
-    ModelLoadResult, ServeConfig, Summary,
+    render_notification, render_ok, serve_transcript, AnalyzeResult, CacheFlushResult, Finding,
+    FindingsEvent, ModelHost, ModelLoadResult, ServeConfig, Summary,
 };
 use namer::syntax::{Lang, SourceFile};
 use serde_json::{json, Value};
@@ -28,7 +28,8 @@ const MISUSE: &str = "class T(TestCase):\n    def t(self):\n        self.assertT
 const INIT_OK: &str = "{\"jsonrpc\":\"2.0\",\"id\":1,\"result\":{\"protocol\":1,\
     \"server\":\"namer-serve\",\"version\":\"0.1.0\",\"models\":[\"m\"],\
     \"methods\":[\"initialize\",\"ping\",\"shutdown\",\"file.analyze\",\
-    \"model.load\",\"cache.flush\"]}}";
+    \"model.load\",\"cache.flush\",\"file.watch\",\"file.unwatch\"],\
+    \"capabilities\":{\"watch\":true,\"stmt_regions\":true}}}";
 
 fn init_line(id: u64) -> String {
     format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"method\":\"initialize\",\"params\":{{\"protocol\":1}}}}")
@@ -381,4 +382,176 @@ fn serve_analyze_param_validation_is_typed() {
     assert_eq!(lines[1]["error"]["code"], json!(-32602));
     assert_eq!(lines[1]["error"]["data"]["kind"], json!("invalid_params"));
     assert!(lines[1]["error"]["data"]["detail"].is_string());
+}
+
+#[test]
+fn serve_old_clients_ignore_new_initialize_fields() {
+    // The `capabilities` object is additive within protocol revision 1:
+    // a client that predates it sees the same known keys it always did
+    // (and the method list only ever grows at the tail), so dropping
+    // the one unknown key must recover a complete pre-watch handshake.
+    let out = serve(&init_line(1));
+    let mut resp: Value = serde_json::from_str(out.lines().next().expect("one response"))
+        .expect("initialize response is JSON");
+    assert_eq!(resp["result"]["capabilities"]["watch"], json!(true));
+    assert_eq!(resp["result"]["capabilities"]["stmt_regions"], json!(true));
+    let result = resp["result"].as_object_mut().expect("result is an object");
+    assert!(result.remove("capabilities").is_some());
+    let known = ["protocol", "server", "version", "models", "methods"];
+    assert_eq!(result.len(), known.len(), "unexpected extra keys: {result:?}");
+    for key in known {
+        assert!(result.contains_key(key), "missing {key}");
+    }
+    let methods = result["methods"].as_array().expect("methods is an array");
+    assert_eq!(
+        methods[..6],
+        [
+            json!("initialize"),
+            json!("ping"),
+            json!("shutdown"),
+            json!("file.analyze"),
+            json!("model.load"),
+            json!("cache.flush"),
+        ],
+        "pre-watch methods must keep their positions"
+    );
+}
+
+/// Builds a `file.watch` request for `bug.py` with the given content.
+fn watch_line(id: u64, content: &str) -> String {
+    let req = json!({
+        "jsonrpc": "2.0",
+        "id": id,
+        "method": "file.watch",
+        "params": {"repo": "client", "path": "bug.py", "content": content},
+    });
+    serde_json::to_string(&req).expect("request serializes")
+}
+
+#[test]
+fn serve_watch_pushes_findings_notifications_on_change() {
+    // Reconstruct the expected findings for the misuse file from a
+    // direct session run — the notification bytes must embed exactly
+    // those findings.
+    let files = vec![SourceFile::new("client", "bug.py", MISUSE, Lang::Python)];
+    let mut session = NamerBuilder::new()
+        .model(SavedModel::from_json(model_json()).unwrap())
+        .config(mini_config())
+        .build()
+        .expect("session builds");
+    let outcome = session.run(&files).expect("cacheless run cannot fail");
+    assert!(!outcome.reports.is_empty(), "the bug file must produce a finding");
+    let bug_findings: Vec<Finding> = outcome
+        .reports
+        .iter()
+        .map(|r| {
+            let v = &r.violation;
+            let fixed = files[0]
+                .text
+                .lines()
+                .nth(v.line as usize - 1)
+                .and_then(|l| fix_line(l, v.original.as_str(), v.suggested.as_str()));
+            Finding {
+                repo: v.repo.clone(),
+                path: v.path.clone(),
+                line: v.line,
+                original: v.original.as_str().to_owned(),
+                suggested: v.suggested.as_str().to_owned(),
+                pattern: v.pattern_ty.to_string(),
+                decision: r.decision,
+                rendered: v.rendered.clone(),
+                fixed,
+            }
+        })
+        .collect();
+
+    let analyze_bug = |id: u64| {
+        let req = json!({
+            "jsonrpc": "2.0",
+            "id": id,
+            "method": "file.analyze",
+            "params": {"files": [
+                {"repo": "client", "path": "bug.py", "content": MISUSE},
+            ]},
+        });
+        serde_json::to_string(&req).expect("request serializes")
+    };
+    let input = [
+        init_line(1),
+        // Subscribe: baseline carries the findings, no notification.
+        watch_line(2, MISUSE),
+        // Unchanged content → unchanged findings → silence.
+        watch_line(3, MISUSE),
+        // The fix lands: findings vanish → push an empty set.
+        watch_line(4, IDIOM),
+        // The bug returns via plain analyze → push the findings again.
+        analyze_bug(5),
+        "{\"jsonrpc\":\"2.0\",\"id\":6,\"method\":\"file.unwatch\",\
+         \"params\":{\"repo\":\"client\",\"path\":\"bug.py\"}}"
+            .to_owned(),
+        // Unsubscribed: the same analyze now pushes nothing.
+        analyze_bug(7),
+    ]
+    .join("\n");
+    let out = serve(&input);
+    let lines: Vec<&str> = out.lines().collect();
+    // 7 responses + 2 notifications (after ids 4 and 5).
+    assert_eq!(lines.len(), 9, "unexpected line count:\n{out}");
+    assert_eq!(lines[0], INIT_OK);
+
+    let watch_ok: Value = serde_json::from_str(lines[1]).expect("watch response is JSON");
+    assert_eq!(watch_ok["id"], json!(2));
+    assert_eq!(watch_ok["result"]["watching"], json!(1));
+    let baseline = watch_ok["result"]["findings"].as_array().expect("findings array");
+    assert_eq!(baseline.len(), bug_findings.len());
+    assert_eq!(watch_ok["result"]["metrics"]["counters"]["watch_events"], json!(0));
+
+    let rewatch: Value = serde_json::from_str(lines[2]).expect("rewatch response is JSON");
+    assert_eq!(rewatch["id"], json!(3));
+    assert_eq!(rewatch["result"]["findings"], watch_ok["result"]["findings"]);
+    assert_eq!(rewatch["result"]["metrics"]["counters"]["watch_events"], json!(0));
+
+    let fixed: Value = serde_json::from_str(lines[3]).expect("fixed response is JSON");
+    assert_eq!(fixed["id"], json!(4));
+    assert_ne!(
+        fixed["result"]["findings"], watch_ok["result"]["findings"],
+        "applying the fix must change the findings"
+    );
+    assert_eq!(fixed["result"]["metrics"]["counters"]["watch_events"], json!(1));
+    // The notification is id-less and pushes the file's full new set —
+    // exactly what the triggering response reported.
+    let note: Value = serde_json::from_str(lines[4]).expect("notification is JSON");
+    assert_eq!(note["method"], json!("file.findings"));
+    assert!(note.get("id").is_none(), "notifications carry no id: {note}");
+    assert_eq!(note["params"]["repo"], json!("client"));
+    assert_eq!(note["params"]["path"], json!("bug.py"));
+    assert_eq!(note["params"]["findings"], fixed["result"]["findings"]);
+
+    let analyzed: Value = serde_json::from_str(lines[5]).expect("analyze response is JSON");
+    assert_eq!(analyzed["id"], json!(5));
+    assert_eq!(analyzed["result"]["summary"]["findings"], json!(bug_findings.len()));
+    assert_eq!(analyzed["result"]["metrics"]["counters"]["watch_events"], json!(1));
+    let event = FindingsEvent {
+        repo: "client".to_owned(),
+        path: "bug.py".to_owned(),
+        findings: bug_findings,
+    };
+    assert_eq!(
+        lines[6],
+        render_notification(
+            "file.findings",
+            &serde_json::to_string(&event).expect("event serializes"),
+        )
+    );
+
+    assert_eq!(
+        lines[7],
+        render_ok(&Value::from(6), "{\"removed\":true,\"watching\":0}")
+    );
+    let after: Value = serde_json::from_str(lines[8]).expect("final analyze response is JSON");
+    assert_eq!(after["id"], json!(7));
+    assert_eq!(after["result"]["metrics"]["counters"]["watch_events"], json!(0));
+
+    // The whole watch transcript is reproducible byte-for-byte.
+    assert_eq!(serve(&input), out);
 }
