@@ -8,7 +8,7 @@
 //! file return fresh allocation sites labelled with the callee name.
 
 use crate::ir::{Func, FuncId, Instr, Module, TermUse, Var};
-use namer_syntax::{vocab, Ast, Lang, NodeId, Sym};
+use namer_syntax::{vocab, Ast, Lang, NodeId, ReceiverStyle, Sym};
 use std::collections::HashMap;
 
 /// Field name used for container-element loads/stores.
@@ -257,8 +257,9 @@ impl<'a> Builder<'a> {
                 first_param = false;
             }
         }
-        // Java instance methods have an implicit `this`.
-        if self.lang == Lang::Java {
+        // Languages with implicit receivers (Java, JavaScript) bind `this`
+        // (and `super`) to the enclosing class's canonical origin.
+        if self.lang.spec().receiver_style() == ReceiverStyle::ImplicitThis {
             if let Some(cls) = class {
                 let this = self.module.fresh_var();
                 let label = self.origin_class(cls);
@@ -301,9 +302,9 @@ impl<'a> Builder<'a> {
             let name = self.ast.value(t);
             cx.env.insert(name, var);
             self.module.term_uses.push((t, TermUse::Object(var)));
-            // Python `self` in a method: assume an instance of the enclosing
-            // class's canonical origin.
-            if is_first && self.lang == Lang::Python {
+            // First-param-receiver languages (Python's `self`): assume an
+            // instance of the enclosing class's canonical origin.
+            if is_first && self.lang.spec().receiver_style() == ReceiverStyle::FirstParamReceiver {
                 if let Some(cls) = class {
                     let label = self.origin_class(cls);
                     cx.param_inits.push(Instr::AllocShared { dst: var, label });
@@ -1267,6 +1268,34 @@ mod tests {
             .instrs
             .iter()
             .any(|i| matches!(i, Instr::Alloc { label, .. } if label.as_str() == "StringWriter")));
+    }
+
+    #[test]
+    fn js_this_gets_class_origin_alloc() {
+        let ast = namer_syntax::js::parse(
+            "class C extends Base {\n    m() {\n        return this.count;\n    }\n}\n",
+        )
+        .unwrap();
+        let m = lower(&ast, Lang::Js);
+        let f = m.funcs.iter().find(|f| f.name.as_str() == "m").unwrap();
+        assert!(f
+            .param_inits
+            .iter()
+            .any(|i| matches!(i, Instr::AllocShared { label, .. } if label.as_str() == "Base")));
+    }
+
+    #[test]
+    fn js_new_allocates_type() {
+        let ast = namer_syntax::js::parse(
+            "class A {\n    f() {\n        const handler = new EventHandler();\n        return handler;\n    }\n}\n",
+        )
+        .unwrap();
+        let m = lower(&ast, Lang::Js);
+        let f = m.funcs.iter().find(|f| f.name.as_str() == "f").unwrap();
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Alloc { label, .. } if label.as_str() == "EventHandler")));
     }
 
     #[test]

@@ -24,9 +24,11 @@ fn main() {
         .build()
         .expect("trained source builds");
 
-    // Curated statements shaped like the paper's Tables 3 / 6 rows.
-    let snippets: Vec<(&str, String)> = match lang {
-        Lang::Python => vec![
+    // Curated statements shaped like the paper's Tables 3 / 6 rows. The
+    // tables exist only for the paper's two languages, so this binary keeps
+    // a Python/Java switch (no registry dispatch to migrate).
+    let snippets: Vec<(&str, String)> = if lang == Lang::Python {
+        vec![
             (
                 "example 1 (semantic defect: wrong API)",
                 "class TestVec(TestCase):\n    def test_len(self):\n        vec = load_vec()\n        self.assertTrue(vec.size, 4)\n".to_owned(),
@@ -55,8 +57,9 @@ fn main() {
                 "example 7 (expected FALSE POSITIVE: islink is legitimate)",
                 "class TestPathLink(TestCase):\n    def test_link(self):\n        self.assertTrue(os.path.islink(path))\n".to_owned(),
             ),
-        ],
-        Lang::Java => vec![
+        ]
+    } else {
+        vec![
             (
                 "example 1 (semantic defect: getStackTrace misuse)",
                 "public class TaskRunner { public void runTask() { try { run(); } catch (Exception e) { e.getStackTrace(); } } }".to_owned(),
@@ -85,7 +88,7 @@ fn main() {
                 "example 7 (expected FALSE POSITIVE: outputWriter is fine)",
                 "public class LogExporter { public void exportLog() { StringWriter outputWriter = new StringWriter(); outputWriter.flush(); } }".to_owned(),
             ),
-        ],
+        ]
     };
 
     let table = if lang == Lang::Python { "Table 3" } else { "Table 6" };

@@ -104,14 +104,14 @@ fn key(scan: &ScanResult) -> Vec<(String, Vec<u64>)> {
 /// dirty phases. The probe names are salted so the statement's name paths
 /// (and therefore its region key, DESIGN.md §14) are new to the cache.
 fn dirty_stmt(file: &mut SourceFile, salt: usize) {
-    match file.lang {
-        Lang::Python => file
-            .text
-            .push_str(&format!("bench_probe_{salt} = probe_value_{salt}\n")),
-        Lang::Java => file.text.push_str(&format!(
-            "class BenchProbe{salt} {{\n    private String benchProbe{salt};\n}}\n"
-        )),
-    }
+    let stmt = if file.lang == Lang::Python {
+        format!("bench_probe_{salt} = probe_value_{salt}\n")
+    } else if file.lang == Lang::Java {
+        format!("class BenchProbe{salt} {{\n    private String benchProbe{salt};\n}}\n")
+    } else {
+        format!("const benchProbe{salt} = probeValue{salt};\n")
+    };
+    file.text.push_str(&stmt);
 }
 
 /// Times a from-scratch process + scan of `files`. Seconds are the sum of

@@ -228,10 +228,6 @@ impl<'a> CorpusReader<'a> {
         root: &Path,
         lang: Lang,
     ) -> Result<Vec<SourceFile>, NamerError> {
-        let ext = match lang {
-            Lang::Python => "py",
-            Lang::Java => "java",
-        };
         let vfs = self.vfs;
         let root_canon = self
             .retrying(|| vfs.canonicalize(root))
@@ -268,7 +264,7 @@ impl<'a> CorpusReader<'a> {
                             self.quarantine(&entry.path, QuarantineReason::Unreadable, e.to_string())
                         }
                     }
-                } else if entry.path.extension().and_then(|e| e.to_str()) == Some(ext) {
+                } else if Lang::from_path(&entry.path) == Some(lang) {
                     let Some(text) = self.read_text(&entry.path) else {
                         continue;
                     };

@@ -120,11 +120,12 @@ const MODEL_SEC_CLASSIFIER: u32 = 8;
 const MODEL_META_BYTES: usize = 20;
 const DATASET_RECORD_BYTES: usize = 24;
 
+/// The container's language tag comes from the registry's stable
+/// assignment ([`Language::model_tag`](namer_syntax::Language::model_tag)),
+/// so existing Python/Java containers stay byte-identical as frontends are
+/// added.
 fn lang_tag(lang: Lang) -> u32 {
-    match lang {
-        Lang::Python => 0,
-        Lang::Java => 1,
-    }
+    lang.spec().model_tag()
 }
 
 fn kind_tag(kind: ModelKind) -> u32 {
@@ -260,11 +261,9 @@ impl SavedModel {
         if version != FORMAT_VERSION {
             return Err(PersistError::UnsupportedVersion(version));
         }
-        let lang = match flat::read_u32(meta, 4)? {
-            0 => Lang::Python,
-            1 => Lang::Java,
-            other => return Err(PersistError::Malformed(format!("bad language tag {other}"))),
-        };
+        let lang_raw = flat::read_u32(meta, 4)?;
+        let lang = namer_syntax::lang::from_model_tag(lang_raw)
+            .ok_or_else(|| PersistError::Malformed(format!("bad language tag {lang_raw}")))?;
         let use_analysis = bool_from(flat::read_u32(meta, 8)?, "use_analysis")?;
         let model_kind = match flat::read_u32(meta, 12)? {
             0 => ModelKind::SvmLinear,

@@ -11,7 +11,7 @@
 
 use crate::issue::Injection;
 use crate::oracle::Oracle;
-use crate::templates::{java, python, Emitted};
+use crate::templates::{java, js, python, Emitted};
 use namer_syntax::{Lang, SourceFile};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -145,19 +145,22 @@ impl Generator {
     pub fn generate(&self, seed: u64) -> Corpus {
         let mut rng = SmallRng::seed_from_u64(seed);
         let cfg = &self.config;
-        let bank: Vec<(fn(&mut SmallRng) -> Emitted, u32)> = match cfg.lang {
-            Lang::Python => python::bank(),
-            Lang::Java => java::bank(),
+        let bank: Vec<(fn(&mut SmallRng) -> Emitted, u32)> = if cfg.lang == Lang::Python {
+            python::bank()
+        } else if cfg.lang == Lang::Java {
+            java::bank()
+        } else {
+            js::bank()
         };
-        let benign_bank: Vec<fn(&mut SmallRng) -> Emitted> = match cfg.lang {
-            Lang::Python => python::benign_bank(),
-            Lang::Java => java::benign_bank(),
+        let benign_bank: Vec<fn(&mut SmallRng) -> Emitted> = if cfg.lang == Lang::Python {
+            python::benign_bank()
+        } else if cfg.lang == Lang::Java {
+            java::benign_bank()
+        } else {
+            js::benign_bank()
         };
         let total_weight: u32 = bank.iter().map(|&(_, w)| w).sum();
-        let ext = match cfg.lang {
-            Lang::Python => "py",
-            Lang::Java => "java",
-        };
+        let ext = cfg.lang.spec().primary_extension();
 
         let mut files = Vec::new();
         let mut injections = Vec::new();
@@ -263,12 +266,13 @@ impl Generator {
         // A few rename commits between benign-idiom siblings, so rare-but-
         // correct house styles also acquire confusing pairs — the realistic
         // FP pressure of Tables 3/6 (islink→exists, Conekta→Json).
-        let rename_pairs: &[(&str, &str)] = match cfg.lang {
-            Lang::Python => &[
+        let rename_pairs: &[(&str, &str)] = if cfg.lang == Lang::Python {
+            &[
                 ("self.assertTrue(os.path.islink(path))", "self.assertTrue(os.path.exists(path))"),
                 ("self.handler = callback", "self.callback = callback"),
-            ],
-            Lang::Java => &[
+            ]
+        } else if cfg.lang == Lang::Java {
+            &[
                 (
                     "class M { ConektaObject load() { ConektaObject resource = new ConektaObject(); return resource; } }",
                     "class M { JsonObject load() { JsonObject resource = new JsonObject(); return resource; } }",
@@ -277,7 +281,18 @@ impl Generator {
                     "class E { void export() { StringWriter outputWriter = new StringWriter(); } }",
                     "class E { void export() { StringWriter stringWriter = new StringWriter(); } }",
                 ),
-            ],
+            ]
+        } else {
+            &[
+                (
+                    "class M { load() { const resource = new LegacyStore(); return resource; } }",
+                    "class M { load() { const resource = new ModernStore(); return resource; } }",
+                ),
+                (
+                    "class E { exportLog() { const outputWriter = createWriter(); outputWriter.flush(); } }",
+                    "class E { exportLog() { const streamWriter = createWriter(); streamWriter.flush(); } }",
+                ),
+            ]
         };
         for &(before, after) in rename_pairs {
             for _ in 0..12 {
@@ -338,6 +353,45 @@ mod tests {
         for f in &corpus.files {
             namer_syntax::parse_file(f)
                 .unwrap_or_else(|e| panic!("{}/{} failed: {e}\n{}", f.repo, f.path, f.text));
+        }
+    }
+
+    #[test]
+    fn all_js_files_parse() {
+        let corpus = Generator::new(CorpusConfig::small(Lang::Js)).generate(11);
+        for f in &corpus.files {
+            namer_syntax::parse_file(f)
+                .unwrap_or_else(|e| panic!("{}/{} failed: {e}\n{}", f.repo, f.path, f.text));
+        }
+    }
+
+    #[test]
+    fn js_commit_pairs_parse_and_differ() {
+        let corpus = Generator::new(CorpusConfig::small(Lang::Js)).generate(12);
+        assert!(!corpus.commits.is_empty());
+        for c in corpus.commits.iter().take(30) {
+            assert_ne!(c.before, c.after);
+            namer_syntax::js::parse(&c.before).unwrap();
+            namer_syntax::js::parse(&c.after).unwrap();
+        }
+    }
+
+    #[test]
+    fn js_injections_point_at_the_wrong_token() {
+        let corpus = Generator::new(CorpusConfig::small(Lang::Js)).generate(13);
+        assert!(!corpus.injections.is_empty());
+        for inj in &corpus.injections {
+            let file = corpus
+                .files
+                .iter()
+                .find(|f| f.repo == inj.repo && f.path == inj.path)
+                .expect("injection references an existing file");
+            let line = file
+                .text
+                .lines()
+                .nth(inj.line as usize - 1)
+                .expect("line exists");
+            assert!(line.contains(&inj.wrong));
         }
     }
 

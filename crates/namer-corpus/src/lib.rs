@@ -3,7 +3,9 @@
 //! The paper evaluates on ~1M Python and ~4M Java GitHub files plus their
 //! commit histories, with labels obtained by manual inspection and a
 //! 7-developer user study. None of those resources is available here, so
-//! this crate builds the closest synthetic equivalents (see `DESIGN.md` §3):
+//! this crate builds the closest synthetic equivalents (see `DESIGN.md` §3).
+//! Template banks exist for every registered language — Python, Java, and
+//! JavaScript — selected by [`generator::CorpusConfig::lang`]:
 //!
 //! * [`generator`] — repositories of idiomatic template code with
 //!   ground-truth naming-issue injection, benign house styles, and

@@ -1,0 +1,403 @@
+//! JavaScript idiom templates.
+
+use super::{Emitted, Point};
+use crate::idents::{capitalize, pick, pick_distinct, ATTRS, NOUNS, VERBS};
+use crate::issue::IssueCategory;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One template: instantiates a block (one top-level class) given the RNG.
+pub type Template = fn(&mut SmallRng) -> Emitted;
+
+/// The weighted JavaScript template bank.
+pub fn bank() -> Vec<(Template, u32)> {
+    vec![
+        (class_setter as Template, 6),
+        (classic_for, 5),
+        (try_catch, 5),
+        (event_listener, 3),
+        (list_printer, 3),
+        (json_mapper, 3),
+        (response_fetcher, 2),
+        (parts_builder, 3),
+    ]
+}
+
+/// Benign house-style variants for JavaScript.
+pub fn benign_bank() -> Vec<Template> {
+    vec![
+        legacy_store as Template,
+        output_writer,
+        fatal_guard,
+        index_k_loop,
+        delegate_setter,
+    ]
+}
+
+/// A class setter `this.a = a;` with a `publickKey`-style parameter typo and
+/// an inconsistent-name point — the JS sibling of the Java POJO setter.
+fn class_setter(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let picked = pick_distinct(rng, ATTRS, 2);
+    let (a, other) = (picked[0], picked[1]);
+    let field = format!("{a}Key");
+    let cap = capitalize(&field);
+    let typo_field = format!("{a}kKey");
+    let lines = vec![
+        format!("class {}{} {{", capitalize(noun), "Entity"),
+        format!("    set{cap}({field}) {{"),
+        format!("        this.{field} = {field};"),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![
+        Point {
+            edits: vec![
+                (1, format!("    set{cap}({typo_field}) {{")),
+                (2, format!("        this.{field} = {typo_field};")),
+            ],
+            report_line: 2,
+            wrong: format!("{a}k"),
+            correct: (*a).to_owned(),
+            category: IssueCategory::Typo,
+        },
+        Point {
+            edits: vec![(2, format!("        this.{other}Key = {field};"))],
+            report_line: 2,
+            wrong: (*other).to_owned(),
+            correct: (*a).to_owned(),
+            category: IssueCategory::InconsistentName,
+        },
+    ];
+    Emitted { lines, points }
+}
+
+/// A counting loop over a `count` accumulator, with the paper's curated
+/// `cout` misspelling as the injected point. (JS has no declared types, so
+/// the Java bank's `double` loop-index defect has no sibling here.)
+fn classic_for(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Counter {{"),
+        format!("    count{cap}s(limit) {{"),
+        "        let count = 0;".to_owned(),
+        "        for (let i = 0; i < limit; i++) {".to_owned(),
+        "            count += i;".to_owned(),
+        "        }".to_owned(),
+        "        return count;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![
+            (2, "        let cout = 0;".to_owned()),
+            (4, "            cout += i;".to_owned()),
+            (6, "        return cout;".to_owned()),
+        ],
+        report_line: 4,
+        wrong: "cout".into(),
+        correct: "count".into(),
+        category: IssueCategory::Typo,
+    }];
+    Emitted { lines, points }
+}
+
+/// `try { … } catch (err) { console.error(err); }` with the indescriptive
+/// `e` catch binding and the `console.log` misuse on the error path.
+fn try_catch(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let verb = pick(rng, VERBS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Runner {{"),
+        format!("    {verb}{cap}() {{"),
+        "        try {".to_owned(),
+        format!("            {verb}();"),
+        "        } catch (err) {".to_owned(),
+        "            console.error(err);".to_owned(),
+        "        }".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![
+        Point {
+            edits: vec![
+                (4, "        } catch (e) {".to_owned()),
+                (5, "            console.error(e);".to_owned()),
+            ],
+            report_line: 4,
+            wrong: "e".into(),
+            correct: "err".into(),
+            category: IssueCategory::IndescriptiveName,
+        },
+        Point {
+            edits: vec![(5, "            console.log(err);".to_owned())],
+            report_line: 5,
+            wrong: "log".into(),
+            correct: "error".into(),
+            category: IssueCategory::WrongApi,
+        },
+    ];
+    Emitted { lines, points }
+}
+
+/// The DOM `addEventListener` idiom, with an indescriptive `h` holding the
+/// handler — the JS sibling of `Intent i`.
+fn event_listener(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}View {{"),
+        format!("    open{cap}(element) {{"),
+        "        const handler = new EventHandler();".to_owned(),
+        "        element.addEventListener(\"click\", handler);".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![
+            (2, "        const h = new EventHandler();".to_owned()),
+            (3, "        element.addEventListener(\"click\", h);".to_owned()),
+        ],
+        report_line: 3,
+        wrong: "h".into(),
+        correct: "handler".into(),
+        category: IssueCategory::IndescriptiveName,
+    }];
+    Emitted { lines, points }
+}
+
+/// `for … of` printing — idiom noise.
+fn list_printer(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Printer {{"),
+        format!("    print{cap}s(names) {{"),
+        "        for (const name of names) {".to_owned(),
+        "            console.log(name);".to_owned(),
+        "        }".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// The dominant `const resource = {}` mapper idiom (whose rare `LegacyStore`
+/// sibling is the benign false-positive probe).
+fn json_mapper(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Mapper {{"),
+        format!("    map{cap}() {{"),
+        "        const resource = {};".to_owned(),
+        "        return resource;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// `await fetch(…)` held in `response`, with the abbreviated `resp` name —
+/// the JS sibling of `progDialog`.
+fn response_fetcher(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Client {{"),
+        format!("    async fetch{cap}(url) {{"),
+        "        const response = await fetch(url);".to_owned(),
+        "        return response;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    let points = vec![Point {
+        edits: vec![
+            (2, "        const resp = await fetch(url);".to_owned()),
+            (3, "        return resp;".to_owned()),
+        ],
+        report_line: 2,
+        wrong: "resp".into(),
+        correct: "response".into(),
+        category: IssueCategory::MinorIssue,
+    }];
+    Emitted { lines, points }
+}
+
+/// Array accumulation with `push`/`join` — idiom noise.
+fn parts_builder(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let n = rng.gen_range(2..6);
+    let lines = vec![
+        format!("class {cap}Formatter {{"),
+        format!("    format{cap}(text) {{"),
+        "        const parts = [];".to_owned(),
+        format!("        for (let i = 0; i < {n}; i++) {{"),
+        "            parts.push(text);".to_owned(),
+        "        }".to_owned(),
+        "        return parts.join(\"\");".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign anomaly: a watchdog that legitimately names its error `fatal`.
+fn fatal_guard(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Reaper {{"),
+        "    guard() {".to_owned(),
+        "        try {".to_owned(),
+        "            dispatch();".to_owned(),
+        "        } catch (fatal) {".to_owned(),
+        "            console.error(fatal);".to_owned(),
+        "        }".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign anomaly: a loop legitimately indexed by `k`.
+fn index_k_loop(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Walker {{"),
+        format!("    walk{cap}s(limit) {{"),
+        "        let total = 0;".to_owned(),
+        "        for (let k = 0; k < limit; k++) {".to_owned(),
+        "            total += k;".to_owned(),
+        "        }".to_owned(),
+        "        return total;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign anomaly: a deliberately role-named setter (`this.delegateKey =
+/// handlerKey`), matching the Python/Java siblings.
+fn delegate_setter(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Registry {{"),
+        "    bind(handlerKey) {".to_owned(),
+        "        this.delegateKey = handlerKey;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign house style: a legacy vendor store type, used consistently.
+fn legacy_store(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Resource {{"),
+        format!("    load{cap}() {{"),
+        "        const resource = new LegacyStore();".to_owned(),
+        "        return resource;".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+/// Benign house style: a writer deliberately named for its role
+/// (`outputWriter`), matching the Java Table 6 FP sibling.
+fn output_writer(rng: &mut SmallRng) -> Emitted {
+    let noun = pick(rng, NOUNS);
+    let cap = capitalize(noun);
+    let lines = vec![
+        format!("class {cap}Exporter {{"),
+        format!("    export{cap}() {{"),
+        "        const outputWriter = createWriter();".to_owned(),
+        "        outputWriter.flush();".to_owned(),
+        "    }".to_owned(),
+        "}".to_owned(),
+    ];
+    Emitted {
+        lines,
+        points: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_templates_parse_clean_and_injected() {
+        let mut rng = SmallRng::seed_from_u64(87);
+        for (template, _) in bank() {
+            for _ in 0..5 {
+                let e = template(&mut rng);
+                let src = e.lines.join("\n") + "\n";
+                namer_syntax::js::parse(&src)
+                    .unwrap_or_else(|err| panic!("clean template failed: {err}\n{src}"));
+                for i in 0..e.points.len() {
+                    let bad = e.inject(i).join("\n") + "\n";
+                    namer_syntax::js::parse(&bad)
+                        .unwrap_or_else(|err| panic!("injected template failed: {err}\n{bad}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benign_templates_parse() {
+        let mut rng = SmallRng::seed_from_u64(88);
+        for template in benign_bank() {
+            let e = template(&mut rng);
+            let src = e.lines.join("\n") + "\n";
+            namer_syntax::js::parse(&src).unwrap();
+        }
+    }
+
+    #[test]
+    fn report_lines_carry_the_wrong_token() {
+        let mut rng = SmallRng::seed_from_u64(89);
+        for (template, _) in bank() {
+            let e = template(&mut rng);
+            for (i, p) in e.points.iter().enumerate() {
+                let bad = e.inject(i);
+                assert!(
+                    bad[p.report_line].contains(&p.wrong),
+                    "{:?} not in {:?}",
+                    p.wrong,
+                    bad[p.report_line]
+                );
+            }
+        }
+    }
+}

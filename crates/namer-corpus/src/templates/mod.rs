@@ -8,6 +8,7 @@
 //! the false-positive path (§5.2's `islink`, §5.3's `ConektaObject`).
 
 pub mod java;
+pub mod js;
 pub mod python;
 
 use crate::issue::IssueCategory;

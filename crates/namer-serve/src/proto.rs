@@ -345,7 +345,7 @@ pub struct UnwatchParams {
 /// protocol-compatible: revision-1 clients that predate a capability
 /// simply ignore the unknown key (pinned by
 /// `serve_old_clients_ignore_new_initialize_fields`).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Capabilities {
     /// `file.watch`/`file.unwatch` are accepted and the server pushes
     /// `file.findings` notifications for watched files.
@@ -353,6 +353,9 @@ pub struct Capabilities {
     /// Cache-backed analyzes splice statement-level regions instead of
     /// rescanning whole files (DESIGN.md §14).
     pub stmt_regions: bool,
+    /// CLI names of the language frontends this server can analyze, in
+    /// registry order (trailing so revision-1 clients parse unchanged).
+    pub languages: Vec<&'static str>,
 }
 
 /// `initialize` result.
@@ -442,7 +445,8 @@ pub struct AnalyzeResult {
 pub struct ModelLoadResult {
     /// The resolved model name now resident.
     pub model: String,
-    /// The model's language (`"Python"` or `"Java"`).
+    /// The model's language — a registry name such as `"Python"`, `"Java"`,
+    /// or `"JavaScript"`.
     pub lang: String,
     /// Per-request metrics snapshot (includes the `model_load` phase
     /// when this request actually built the session).

@@ -692,6 +692,10 @@ impl ServeState {
                     capabilities: Capabilities {
                         watch: true,
                         stmt_regions: true,
+                        languages: namer_syntax::lang::all()
+                            .iter()
+                            .map(|l| l.cli_name())
+                            .collect(),
                     },
                 })
             }

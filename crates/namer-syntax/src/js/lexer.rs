@@ -1,0 +1,386 @@
+//! JavaScript / TypeScript lexer.
+//!
+//! Mirrors the Java lexer's shape, with the JS-specific additions that
+//! matter for naming analysis: template literals (lexed as one string
+//! token, interpolations included verbatim), regex literals (disambiguated
+//! from division by the previous significant token), and the `=>`, `===`,
+//! `?.`, `??` operator family.
+
+use crate::source::ParseError;
+
+/// One JavaScript token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Name(String),
+    /// Numeric literal (spelling preserved, `n` bigint suffix included).
+    Number(String),
+    /// String literal (contents; quotes stripped).
+    Str(String),
+    /// Template literal (raw contents between the backticks).
+    Template(String),
+    /// Regex literal (full spelling including slashes and flags).
+    Regex(String),
+    /// Operator or punctuation.
+    Op(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+const OPERATORS: &[&str] = &[
+    ">>>=", "===", "!==", "**=", "...", "<<=", ">>=", ">>>", "&&=", "||=", "??=", "==", "!=",
+    "<=", ">=", "&&", "||", "??", "?.", "=>", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "**", "<<", ">>", "(", ")", "[", "]", "{", "}", ";", ",", ".", "=", "+", "-",
+    "*", "/", "%", "&", "|", "^", "!", "~", "<", ">", "?", ":", "@",
+];
+
+/// Keywords after which a `/` starts a regex literal, not division.
+const REGEX_PREFIX_KEYWORDS: &[&str] = &[
+    "return", "typeof", "instanceof", "in", "of", "new", "delete", "void", "throw", "case", "do",
+    "else", "yield", "await",
+];
+
+/// Does a `/` at this point start a regex literal? True at the beginning of
+/// an expression: after an operator/punctuation (except the postfix-ending
+/// `)`, `]`, `++`, `--`) or after an expression-introducing keyword.
+fn regex_allowed(prev: Option<&Tok>) -> bool {
+    match prev {
+        None => true,
+        Some(Tok::Op(o)) => !matches!(*o, ")" | "]" | "++" | "--"),
+        Some(Tok::Name(n)) => REGEX_PREFIX_KEYWORDS.contains(&n.as_str()),
+        Some(_) => false,
+    }
+}
+
+/// Tokenises JavaScript / TypeScript source.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated strings/templates/comments/regexes
+/// or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(ParseError::new(start_line, "unterminated block comment"));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '/' if regex_allowed(out.last().map(|s| &s.tok)) => {
+                let start_line = line;
+                let start = i;
+                i += 1;
+                let mut in_class = false;
+                loop {
+                    if i >= chars.len() || chars[i] == '\n' {
+                        return Err(ParseError::new(start_line, "unterminated regex literal"));
+                    }
+                    match chars[i] {
+                        '\\' if i + 1 < chars.len() => i += 2,
+                        '[' => {
+                            in_class = true;
+                            i += 1;
+                        }
+                        ']' => {
+                            in_class = false;
+                            i += 1;
+                        }
+                        '/' if !in_class => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                while i < chars.len() && chars[i].is_ascii_alphabetic() {
+                    i += 1; // flags
+                }
+                out.push(Spanned {
+                    tok: Tok::Regex(chars[start..i].iter().collect()),
+                    line: start_line,
+                });
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() || chars[i] == '\n' {
+                        return Err(ParseError::new(line, "unterminated string literal"));
+                    }
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        s.push(chars[i]);
+                        s.push(chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            '`' => {
+                let start_line = line;
+                let mut s = String::new();
+                i += 1;
+                // Interpolations are kept verbatim; `${`…`}` brace depth is
+                // tracked so a `}` inside an interpolation's object literal
+                // does not end it prematurely.
+                let mut depth = 0usize;
+                loop {
+                    if i >= chars.len() {
+                        return Err(ParseError::new(start_line, "unterminated template literal"));
+                    }
+                    match chars[i] {
+                        '\\' if i + 1 < chars.len() => {
+                            s.push(chars[i]);
+                            s.push(chars[i + 1]);
+                            if chars[i + 1] == '\n' {
+                                line += 1;
+                            }
+                            i += 2;
+                        }
+                        '$' if chars.get(i + 1) == Some(&'{') => {
+                            depth += 1;
+                            s.push('$');
+                            s.push('{');
+                            i += 2;
+                        }
+                        '{' if depth > 0 => {
+                            depth += 1;
+                            s.push('{');
+                            i += 1;
+                        }
+                        '}' if depth > 0 => {
+                            depth -= 1;
+                            s.push('}');
+                            i += 1;
+                        }
+                        '`' if depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        ch => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Template(s),
+                    line: start_line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let radix_prefix = c == '0'
+                    && matches!(
+                        chars.get(i + 1),
+                        Some('x') | Some('X') | Some('b') | Some('B') | Some('o') | Some('O')
+                    );
+                if radix_prefix {
+                    i += 2;
+                }
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    if chars[i] == '.' && !chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                        break;
+                    }
+                    // Signed exponents: 1e-3
+                    if (chars[i] == 'e' || chars[i] == 'E')
+                        && !radix_prefix
+                        && matches!(chars.get(i + 1), Some('+') | Some('-'))
+                    {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Number(chars[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ if c.is_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Name(chars[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ => {
+                let rest: String = chars[i..chars.len().min(i + 4)].iter().collect();
+                let op = OPERATORS
+                    .iter()
+                    .find(|&&op| rest.starts_with(op))
+                    .copied()
+                    .ok_or_else(|| ParseError::new(line, format!("unexpected character {c:?}")))?;
+                out.push(Spanned {
+                    tok: Tok::Op(op),
+                    line,
+                });
+                i += op.len();
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_statement() {
+        assert_eq!(
+            toks("let x = 1;"),
+            vec![
+                Tok::Name("let".into()),
+                Tok::Name("x".into()),
+                Tok::Op("="),
+                Tok::Number("1".into()),
+                Tok::Op(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn both_quote_styles() {
+        assert_eq!(toks("s = 'hi';")[2], Tok::Str("hi".into()));
+        assert_eq!(toks("s = \"hi\";")[2], Tok::Str("hi".into()));
+    }
+
+    #[test]
+    fn template_literals_capture_raw_content() {
+        assert_eq!(
+            toks("s = `a ${x.y} b`;")[2],
+            Tok::Template("a ${x.y} b".into())
+        );
+        // Nested braces inside an interpolation do not end the template.
+        assert_eq!(
+            toks("s = `v ${ {a: 1}.a } w`;")[2],
+            Tok::Template("v ${ {a: 1}.a } w".into())
+        );
+    }
+
+    #[test]
+    fn template_spans_lines() {
+        let s = lex("s = `a\nb`;\nlet y;").unwrap();
+        let y = s.iter().find(|s| s.tok == Tok::Name("y".into())).unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn regex_vs_division() {
+        assert_eq!(toks("x = /ab+c/g;")[2], Tok::Regex("/ab+c/g".into()));
+        assert_eq!(toks("x = a / b;")[3], Tok::Op("/"));
+        assert_eq!(toks("return /a[/]b/;")[1], Tok::Regex("/a[/]b/".into()));
+    }
+
+    #[test]
+    fn js_operator_family() {
+        assert_eq!(toks("a === b;")[1], Tok::Op("==="));
+        assert_eq!(toks("a !== b;")[1], Tok::Op("!=="));
+        assert_eq!(toks("a ?? b;")[1], Tok::Op("??"));
+        assert_eq!(toks("a?.b;")[1], Tok::Op("?."));
+        assert_eq!(toks("x => x;")[1], Tok::Op("=>"));
+        assert_eq!(toks("a ** b;")[1], Tok::Op("**"));
+        assert_eq!(toks("f(...xs);")[2], Tok::Op("..."));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("x = 0xFF;")[2], Tok::Number("0xFF".into()));
+        assert_eq!(toks("x = 1.5e-3;")[2], Tok::Number("1.5e-3".into()));
+        assert_eq!(toks("x = 10n;")[2], Tok::Number("10n".into()));
+        assert_eq!(toks("x = 0b101;")[2], Tok::Number("0b101".into()));
+    }
+
+    #[test]
+    fn dollar_identifiers() {
+        assert_eq!(toks("$el = 1;")[0], Tok::Name("$el".into()));
+        assert_eq!(toks("a$b = 1;")[0], Tok::Name("a$b".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("// header\nlet x; /* multi\nline */ let y;");
+        assert_eq!(t.iter().filter(|t| matches!(t, Tok::Name(_))).count(), 4);
+    }
+
+    #[test]
+    fn unterminated_errors() {
+        assert!(lex("/* oops").is_err());
+        assert!(lex("s = 'oops\n'").is_err());
+        assert!(lex("s = `oops").is_err());
+        assert!(lex("x = /oops").is_err());
+    }
+
+    #[test]
+    fn line_numbers() {
+        let s = lex("let a;\nlet b;").unwrap();
+        let b = s.iter().find(|s| s.tok == Tok::Name("b".into())).unwrap();
+        assert_eq!(b.line, 2);
+    }
+}

@@ -1,0 +1,6 @@
+//! JavaScript / TypeScript lexing and parsing.
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::parse;

@@ -1,0 +1,420 @@
+//! The [`Language`] trait and the single registry of supported frontends.
+//!
+//! Everything the pipeline needs to know about a concrete language lives
+//! behind one trait object registered here: how to parse it, which file
+//! extensions it owns, the naming conventions its identifiers follow, how
+//! its methods bind the receiver object, and the *stable* tags that key the
+//! content-digest and binary model/cache formats. Downstream crates dispatch
+//! through [`spec`] (or the convenience methods on [`Lang`]) instead of
+//! matching on the enum, so adding a language is a leaf change: implement
+//! the trait, add the variant, register it in [`REGISTRY`] — no other
+//! dispatch site in the workspace changes.
+//!
+//! # Stability contract
+//!
+//! [`Language::digest_tag`] and [`Language::model_tag`] are part of the
+//! on-disk cache and model formats (DESIGN.md §8, §12). They are assigned
+//! once, never reused, and never renumbered; `registry_tags_are_stable` and
+//! `registry_tags_never_collide` below pin them. Renumbering a tag would
+//! silently invalidate (or worse, mis-match) every existing cache entry.
+
+use crate::ast::Ast;
+use crate::source::{Lang, ParseError};
+use crate::subtoken;
+use crate::{java, js, python};
+use std::path::Path;
+
+/// How a language binds the receiver object inside a method body.
+///
+/// The AST+ origin analysis (`namer-analysis`) needs to know which variable
+/// denotes "the current instance" so that `self.x` / `this.x` resolve to the
+/// enclosing class's canonical origin.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReceiverStyle {
+    /// `this` (and `super`) are implicitly in scope inside instance methods
+    /// (Java, JavaScript).
+    ImplicitThis,
+    /// The first formal parameter of a method is the receiver (Python's
+    /// `self`).
+    FirstParamReceiver,
+}
+
+/// One identifier naming convention a language conventionally uses.
+///
+/// The table returned by [`Language::conventions`] documents which styles a
+/// frontend's identifiers follow; the subtoken splitter
+/// ([`subtoken::split`]) handles the union of all of them, so the table is
+/// the contract a new frontend checks its corpus against (and what docs and
+/// capability listings report), not a switch the splitter branches on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Convention {
+    /// `snake_case`.
+    SnakeCase,
+    /// `camelCase`.
+    CamelCase,
+    /// `PascalCase` (types, classes).
+    PascalCase,
+    /// `SCREAMING_SNAKE` (constants).
+    ScreamingSnake,
+}
+
+/// Everything the pipeline knows about one concrete language.
+///
+/// Implementations are zero-sized and registered in [`REGISTRY`]; the rest
+/// of the workspace reaches them through [`spec`] / the [`Lang`] helpers.
+pub trait Language: Sync {
+    /// The cheap `Copy` handle for this language.
+    fn lang(&self) -> Lang;
+
+    /// Human-readable name (`"Python"`, `"JavaScript"`), used in
+    /// diagnostics and `Display`.
+    fn name(&self) -> &'static str;
+
+    /// Canonical lowercase CLI name (`--lang` value, serve capability
+    /// listing).
+    fn cli_name(&self) -> &'static str;
+
+    /// Accepted `--lang` spellings, including [`Self::cli_name`].
+    fn aliases(&self) -> &'static [&'static str];
+
+    /// File extensions this frontend owns (no dots). The first entry is the
+    /// canonical one used when synthesising file names.
+    fn extensions(&self) -> &'static [&'static str];
+
+    /// Canonical file extension (`"py"`, `"java"`, `"js"`).
+    fn primary_extension(&self) -> &'static str {
+        self.extensions()[0]
+    }
+
+    /// Stable one-byte tag mixed into [`content
+    /// digests`](crate::digest::content_digest). Part of the on-disk cache
+    /// format: assigned once, never renumbered.
+    fn digest_tag(&self) -> u8;
+
+    /// Stable tag carried by the binary model/cache container (DESIGN.md
+    /// §12). Part of the on-disk model format: assigned once, never
+    /// renumbered.
+    fn model_tag(&self) -> u32 {
+        u32::from(self.digest_tag())
+    }
+
+    /// How method bodies bind the receiver object.
+    fn receiver_style(&self) -> ReceiverStyle;
+
+    /// The naming conventions this language's identifiers follow.
+    fn conventions(&self) -> &'static [Convention];
+
+    /// Splits an identifier into subtokens. The default handles the union
+    /// of all [`Convention`]s; a frontend with exotic rules can override.
+    fn split_name(&self, name: &str) -> Vec<String> {
+        subtoken::split(name)
+    }
+
+    /// Parses source text into a shared-vocabulary AST.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when the text does not lex or parse.
+    fn parse(&self, text: &str) -> Result<Ast, ParseError>;
+}
+
+struct PythonLang;
+
+impl Language for PythonLang {
+    fn lang(&self) -> Lang {
+        Lang::Python
+    }
+    fn name(&self) -> &'static str {
+        "Python"
+    }
+    fn cli_name(&self) -> &'static str {
+        "python"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["python", "py"]
+    }
+    fn extensions(&self) -> &'static [&'static str] {
+        &["py"]
+    }
+    fn digest_tag(&self) -> u8 {
+        0
+    }
+    fn receiver_style(&self) -> ReceiverStyle {
+        ReceiverStyle::FirstParamReceiver
+    }
+    fn conventions(&self) -> &'static [Convention] {
+        &[
+            Convention::SnakeCase,
+            Convention::PascalCase,
+            Convention::ScreamingSnake,
+        ]
+    }
+    fn parse(&self, text: &str) -> Result<Ast, ParseError> {
+        python::parse(text)
+    }
+}
+
+struct JavaLang;
+
+impl Language for JavaLang {
+    fn lang(&self) -> Lang {
+        Lang::Java
+    }
+    fn name(&self) -> &'static str {
+        "Java"
+    }
+    fn cli_name(&self) -> &'static str {
+        "java"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["java"]
+    }
+    fn extensions(&self) -> &'static [&'static str] {
+        &["java"]
+    }
+    fn digest_tag(&self) -> u8 {
+        1
+    }
+    fn receiver_style(&self) -> ReceiverStyle {
+        ReceiverStyle::ImplicitThis
+    }
+    fn conventions(&self) -> &'static [Convention] {
+        &[
+            Convention::CamelCase,
+            Convention::PascalCase,
+            Convention::ScreamingSnake,
+        ]
+    }
+    fn parse(&self, text: &str) -> Result<Ast, ParseError> {
+        java::parse(text)
+    }
+}
+
+struct JsLang;
+
+impl Language for JsLang {
+    fn lang(&self) -> Lang {
+        Lang::Js
+    }
+    fn name(&self) -> &'static str {
+        "JavaScript"
+    }
+    fn cli_name(&self) -> &'static str {
+        "javascript"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["javascript", "js", "typescript", "ts"]
+    }
+    fn extensions(&self) -> &'static [&'static str] {
+        &["js", "mjs", "cjs", "jsx", "ts", "tsx"]
+    }
+    fn digest_tag(&self) -> u8 {
+        2
+    }
+    fn receiver_style(&self) -> ReceiverStyle {
+        ReceiverStyle::ImplicitThis
+    }
+    fn conventions(&self) -> &'static [Convention] {
+        &[
+            Convention::CamelCase,
+            Convention::PascalCase,
+            Convention::ScreamingSnake,
+        ]
+    }
+    fn parse(&self, text: &str) -> Result<Ast, ParseError> {
+        js::parse(text)
+    }
+}
+
+/// The single registration point for every supported language.
+///
+/// Order matters only for listings ([`all`], serve's
+/// `capabilities.languages`): it is the order languages shipped in.
+pub static REGISTRY: [&dyn Language; 3] = [&PythonLang, &JavaLang, &JsLang];
+
+/// All registered languages, in registration order.
+pub fn all() -> &'static [&'static dyn Language] {
+    &REGISTRY
+}
+
+/// The [`Language`] implementation for `lang`.
+///
+/// This is the one place in the workspace where the enum is matched for
+/// dispatch; everything else goes through the returned trait object.
+pub fn spec(lang: Lang) -> &'static dyn Language {
+    let found = match lang {
+        Lang::Python => REGISTRY[0],
+        Lang::Java => REGISTRY[1],
+        Lang::Js => REGISTRY[2],
+    };
+    debug_assert_eq!(found.lang(), lang, "registry order drifted");
+    found
+}
+
+/// Looks a language up by file extension (no dot, case-insensitive).
+pub fn from_extension(ext: &str) -> Option<Lang> {
+    all()
+        .iter()
+        .find(|l| l.extensions().iter().any(|e| ext.eq_ignore_ascii_case(e)))
+        .map(|l| l.lang())
+}
+
+/// Looks a language up by CLI alias (case-insensitive).
+pub fn from_alias(name: &str) -> Option<Lang> {
+    all()
+        .iter()
+        .find(|l| l.aliases().iter().any(|a| name.eq_ignore_ascii_case(a)))
+        .map(|l| l.lang())
+}
+
+/// Reverses [`Language::model_tag`] when decoding a binary container.
+pub fn from_model_tag(tag: u32) -> Option<Lang> {
+    all().iter().find(|l| l.model_tag() == tag).map(|l| l.lang())
+}
+
+impl Lang {
+    /// The registered [`Language`] implementation for this language.
+    pub fn spec(self) -> &'static dyn Language {
+        spec(self)
+    }
+
+    /// Human-readable name from the registry (`"Python"`, `"JavaScript"`).
+    pub fn name(self) -> &'static str {
+        spec(self).name()
+    }
+
+    /// Sniffs the language of a file from its extension; `None` when no
+    /// registered frontend owns it. This is the only extension→language
+    /// mapping in the workspace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use namer_syntax::Lang;
+    /// use std::path::Path;
+    /// assert_eq!(Lang::from_path(Path::new("a/b.py")), Some(Lang::Python));
+    /// assert_eq!(Lang::from_path(Path::new("App.tsx")), Some(Lang::Js));
+    /// assert_eq!(Lang::from_path(Path::new("notes.txt")), None);
+    /// ```
+    pub fn from_path(path: &Path) -> Option<Lang> {
+        path.extension()
+            .and_then(|e| e.to_str())
+            .and_then(from_extension)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// The on-disk formats depend on these exact values; see the module
+    /// docs. Never renumber.
+    #[test]
+    fn registry_tags_are_stable() {
+        assert_eq!(spec(Lang::Python).digest_tag(), 0);
+        assert_eq!(spec(Lang::Java).digest_tag(), 1);
+        assert_eq!(spec(Lang::Js).digest_tag(), 2);
+        assert_eq!(spec(Lang::Python).model_tag(), 0);
+        assert_eq!(spec(Lang::Java).model_tag(), 1);
+        assert_eq!(spec(Lang::Js).model_tag(), 2);
+    }
+
+    /// Guard against a new frontend reusing an existing tag, alias, or
+    /// extension: every registered value must be unique.
+    #[test]
+    fn registry_tags_never_collide() {
+        let digest_tags: HashSet<u8> = all().iter().map(|l| l.digest_tag()).collect();
+        assert_eq!(digest_tags.len(), all().len(), "digest tag collision");
+        let model_tags: HashSet<u32> = all().iter().map(|l| l.model_tag()).collect();
+        assert_eq!(model_tags.len(), all().len(), "model tag collision");
+        let mut exts = HashSet::new();
+        let mut aliases = HashSet::new();
+        for l in all() {
+            for e in l.extensions() {
+                assert!(exts.insert(*e), "extension {e:?} registered twice");
+            }
+            for a in l.aliases() {
+                assert!(aliases.insert(*a), "alias {a:?} registered twice");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        for l in all() {
+            assert_eq!(spec(l.lang()).lang(), l.lang());
+            assert_eq!(from_alias(l.cli_name()), Some(l.lang()));
+            assert_eq!(from_extension(l.primary_extension()), Some(l.lang()));
+            assert_eq!(from_model_tag(l.model_tag()), Some(l.lang()));
+        }
+    }
+
+    #[test]
+    fn from_path_sniffs_registered_extensions() {
+        assert_eq!(Lang::from_path(Path::new("x/y/a.py")), Some(Lang::Python));
+        assert_eq!(Lang::from_path(Path::new("A.java")), Some(Lang::Java));
+        for ext in ["js", "mjs", "cjs", "jsx", "ts", "tsx"] {
+            assert_eq!(
+                Lang::from_path(Path::new(&format!("m.{ext}"))),
+                Some(Lang::Js),
+                "{ext}"
+            );
+        }
+        assert_eq!(Lang::from_path(Path::new("no_extension")), None);
+        assert_eq!(Lang::from_path(Path::new("a.rs")), None);
+    }
+
+    #[test]
+    fn aliases_cover_cli_spellings() {
+        assert_eq!(from_alias("python"), Some(Lang::Python));
+        assert_eq!(from_alias("PY"), Some(Lang::Python));
+        assert_eq!(from_alias("java"), Some(Lang::Java));
+        for a in ["js", "javascript", "ts", "typescript"] {
+            assert_eq!(from_alias(a), Some(Lang::Js), "{a}");
+        }
+        assert_eq!(from_alias("cobol"), None);
+    }
+
+    #[test]
+    fn names_and_conventions_registered() {
+        assert_eq!(Lang::Python.name(), "Python");
+        assert_eq!(Lang::Java.name(), "Java");
+        assert_eq!(Lang::Js.name(), "JavaScript");
+        assert!(spec(Lang::Js)
+            .conventions()
+            .contains(&Convention::CamelCase));
+        assert!(spec(Lang::Python)
+            .conventions()
+            .contains(&Convention::SnakeCase));
+        assert_eq!(
+            spec(Lang::Js).split_name("requestCount"),
+            vec!["request".to_owned(), "Count".to_owned()]
+        );
+    }
+
+    #[test]
+    fn receiver_styles() {
+        assert_eq!(
+            spec(Lang::Python).receiver_style(),
+            ReceiverStyle::FirstParamReceiver
+        );
+        assert_eq!(
+            spec(Lang::Java).receiver_style(),
+            ReceiverStyle::ImplicitThis
+        );
+        assert_eq!(spec(Lang::Js).receiver_style(), ReceiverStyle::ImplicitThis);
+    }
+
+    #[test]
+    fn every_language_parses_a_hello_file() {
+        for l in all() {
+            let src = match l.lang() {
+                Lang::Python => "x = 1\n",
+                Lang::Java => "class A { int x = 1; }",
+                Lang::Js => "let x = 1;\n",
+            };
+            assert!(l.parse(src).is_ok(), "{} failed to parse", l.name());
+        }
+    }
+}

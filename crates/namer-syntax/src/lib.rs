@@ -3,8 +3,9 @@
 //! This crate implements §3.1 of *“Learning to Find Naming Issues with Big
 //! Code and Small Supervision”* (PLDI 2021):
 //!
-//! * statement-level [ASTs](ast::Ast) for Python ([`python`]) and Java
-//!   ([`java`]);
+//! * statement-level [ASTs](ast::Ast) for Python ([`python`]), Java
+//!   ([`java`]), and JavaScript/TypeScript ([`js`]), each registered behind
+//!   the [`lang::Language`] trait;
 //! * [subtoken splitting](subtoken) by naming convention;
 //! * the **AST+** [transformation](transform) (literal abstraction,
 //!   `NumArgs(k)`, `NumST(k)`, origin decoration);
@@ -30,6 +31,8 @@ pub mod ast;
 pub mod digest;
 mod intern;
 pub mod java;
+pub mod js;
+pub mod lang;
 pub mod namepath;
 pub mod python;
 pub mod source;
@@ -41,16 +44,19 @@ pub mod vocab;
 pub use ast::{Ast, NameRole, NodeId, TermKind};
 pub use digest::{content_digest, ContentDigest, Fnv64};
 pub use intern::{PrefixId, Sym};
+pub use lang::{Convention, Language, ReceiverStyle};
 pub use source::{Lang, ParseError, SourceFile};
 
-/// Parses a [`SourceFile`] with the parser for its language.
+/// Parses a [`SourceFile`] with the registered frontend for its language.
+///
+/// Dispatch goes through the [`lang`] registry — the single place languages
+/// are wired up — and the error carries the registry's language name so
+/// quarantine diagnostics stay accurate for every frontend.
 ///
 /// # Errors
 ///
 /// Returns [`ParseError`] when the file does not lex or parse.
 pub fn parse_file(file: &SourceFile) -> Result<Ast, ParseError> {
-    match file.lang {
-        Lang::Python => python::parse(&file.text),
-        Lang::Java => java::parse(&file.text),
-    }
+    let spec = lang::spec(file.lang);
+    spec.parse(&file.text).map_err(|e| e.with_lang(spec.name()))
 }

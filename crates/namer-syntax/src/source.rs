@@ -4,20 +4,24 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The languages Namer supports end to end.
+///
+/// This enum is the cheap `Copy` handle; everything the pipeline knows
+/// about a language (parser, extensions, stable digest tags, naming
+/// conventions, receiver style) lives behind [`crate::lang::Language`],
+/// looked up via [`crate::lang::spec`] / [`Lang::spec`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum Lang {
     /// Python (dynamically typed).
     Python,
     /// Java (statically typed).
     Java,
+    /// JavaScript / TypeScript.
+    Js,
 }
 
 impl fmt::Display for Lang {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Lang::Python => "Python",
-            Lang::Java => "Java",
-        })
+        f.write_str(self.spec().name())
     }
 }
 
@@ -62,6 +66,11 @@ pub struct ParseError {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// Language name from the registry, stamped by
+    /// [`parse_file`](crate::parse_file) so quarantine diagnostics name the
+    /// frontend that rejected the file. `None` for errors built directly by
+    /// a lexer/parser.
+    pub lang_name: Option<&'static str>,
 }
 
 impl ParseError {
@@ -70,13 +79,27 @@ impl ParseError {
         ParseError {
             line,
             message: message.into(),
+            lang_name: None,
         }
+    }
+
+    /// Stamps the registry language name onto this error.
+    pub fn with_lang(mut self, lang: &'static str) -> ParseError {
+        self.lang_name = Some(lang);
+        self
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        match self.lang_name {
+            Some(lang) => write!(
+                f,
+                "{lang} parse error at line {}: {}",
+                self.line, self.message
+            ),
+            None => write!(f, "parse error at line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -90,11 +113,17 @@ mod tests {
     fn error_displays_line() {
         let e = ParseError::new(3, "unexpected token");
         assert_eq!(e.to_string(), "parse error at line 3: unexpected token");
+        let e = e.with_lang("JavaScript");
+        assert_eq!(
+            e.to_string(),
+            "JavaScript parse error at line 3: unexpected token"
+        );
     }
 
     #[test]
     fn lang_displays() {
         assert_eq!(Lang::Python.to_string(), "Python");
         assert_eq!(Lang::Java.to_string(), "Java");
+        assert_eq!(Lang::Js.to_string(), "JavaScript");
     }
 }

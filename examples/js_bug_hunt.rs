@@ -1,0 +1,81 @@
+//! End-to-end JavaScript bug hunt: the third registered frontend riding
+//! the unchanged pipeline — camelCase subtoken splitting, implicit-`this`
+//! receiver binding, and the same mining/classification stack.
+//!
+//! ```sh
+//! cargo run --release --example js_bug_hunt
+//! ```
+
+use namer::core::{Namer, NamerBuilder, NamerConfig};
+use namer::corpus::{CorpusConfig, Generator, Severity};
+use namer::patterns::MiningConfig;
+use namer::syntax::Lang;
+
+fn main() {
+    let corpus = Generator::new(CorpusConfig::small(Lang::Js)).generate(17);
+    let oracle = corpus.oracle();
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+
+    let config = NamerConfig {
+        mining: MiningConfig {
+            min_path_count: 4,
+            min_support: 15,
+            ..MiningConfig::default()
+        },
+        labeled_per_class: 15,
+        ..NamerConfig::default()
+    };
+    let namer = Namer::train(
+        &corpus.files,
+        &commits,
+        |v| {
+            oracle
+                .label(&v.repo, &v.path, v.line, v.original.as_str(), v.suggested.as_str())
+                .is_some()
+        },
+        &config,
+    );
+
+    let mut session = NamerBuilder::new()
+        .namer(namer)
+        .build()
+        .expect("a trained system always builds");
+    let reports = session
+        .run(&corpus.files)
+        .expect("cacheless runs cannot fail")
+        .reports;
+    let mut semantic = 0;
+    let mut quality = 0;
+    let mut fp = 0;
+    for r in &reports {
+        match oracle.label(
+            &r.violation.repo,
+            &r.violation.path,
+            r.violation.line,
+            r.violation.original.as_str(),
+            r.violation.suggested.as_str(),
+        ) {
+            Some(cat) if cat.severity() == Severity::SemanticDefect => semantic += 1,
+            Some(_) => quality += 1,
+            None => fp += 1,
+        }
+    }
+    println!(
+        "JavaScript: {} reports — {semantic} semantic defects, {quality} code quality issues, {fp} false positives",
+        reports.len()
+    );
+    for r in reports.iter().take(10) {
+        println!(
+            "  {}:{} [{}] `{}` → `{}`",
+            r.violation.path,
+            r.violation.line,
+            r.violation.pattern_ty,
+            r.violation.original,
+            r.violation.suggested
+        );
+    }
+}

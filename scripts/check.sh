@@ -57,6 +57,35 @@ for key in schema_version counters phases shard_busy_nanos shard_imbalance \
 done
 echo "metrics smoke: ok ($smoke/metrics.json validated)"
 
+# JS smoke: the third-language frontend end-to-end — corpus -> train ->
+# scan entirely in JavaScript, through the same Language-trait seam the
+# Python/Java paths use. The synthetic JS corpus contains injected issues,
+# so scan exiting 1 is the expected success mode.
+target/release/namer corpus --js --out "$smoke/js-playground" --seed 11
+target/release/namer train --js \
+    --corpus "$smoke/js-playground/repos" \
+    --commits "$smoke/js-playground/fixes" \
+    --labels "$smoke/js-playground/labels.tsv" \
+    -o "$smoke/js-model.json"
+js_rc=0
+target/release/namer scan --model "$smoke/js-model.json" \
+    "$smoke/js-playground/repos" > "$smoke/js-findings.txt" 2>/dev/null || js_rc=$?
+if [ "$js_rc" -gt 1 ]; then
+    echo "check.sh: JS smoke scan failed (exit $js_rc)" >&2
+    exit "$js_rc"
+fi
+echo "js smoke: ok (JavaScript corpus -> train -> scan completed)"
+
+# Language-dispatch gate: every per-language `match` lives in the registry
+# module (crates/namer-syntax/src/lang.rs). Any other `match <expr>lang`
+# means a frontend grew a second dispatch site — reject it.
+if grep -rnE 'match [a-zA-Z_.]*lang\b' --include='*.rs' src crates tests \
+    | grep -v 'crates/namer-syntax/src/lang.rs'; then
+    echo "check.sh: language dispatch found outside the registry module" >&2
+    exit 1
+fi
+echo "lang dispatch gate: ok (registry-only dispatch)"
+
 # Fault smoke (DESIGN.md §11): salt the corpus with hostile inputs — a
 # non-UTF-8 source and a dangling symlink — and scan over a truncated
 # cache. The scan must complete (exit 0 or 1, never crash), quarantine the
@@ -150,6 +179,8 @@ for resp in lines:
 assert init["result"]["protocol"] == 1, "handshake protocol mismatch"
 assert init["result"]["server"] == "namer-serve"
 assert "file.analyze" in init["result"]["methods"]
+langs = init["result"]["capabilities"]["languages"]
+assert langs == ["python", "java", "javascript"], f"bad languages: {langs}"
 result = analyze["result"]
 for key in ("findings", "summary", "diagnostics", "metrics"):
     assert key in result, f"analyze result missing {key!r}"

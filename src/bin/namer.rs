@@ -93,8 +93,8 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "namer — find and fix naming issues (PLDI 2021 reproduction)\n\n\
-         USAGE:\n  namer demo  [--java] [-o MODEL] [runtime options]\n  namer corpus [--java] [--seed N] --out DIR [runtime options]\n  namer train --corpus DIR \
-         [--commits DIR] [--labels TSV] [--lang python|java]\n              \
+         USAGE:\n  namer demo  [--java | --js] [-o MODEL] [runtime options]\n  namer corpus [--java | --js] [--seed N] --out DIR [runtime options]\n  namer train --corpus DIR \
+         [--commits DIR] [--labels TSV] [--lang python|java|javascript]\n              \
          [--no-classifier] [--no-analysis] [-o MODEL] [runtime options]\n  namer scan  (--model FILE | --model-dir DIR [--model NAME])\n              [--model-budget MB] [--explain] [--format sarif] [--changed-only]\n              [runtime options] PATH...\n  namer watch (--model FILE | --model-dir DIR [--model NAME])\n              [--interval-ms N] [--max-polls N] [--max-changes N]\n              [runtime options] PATH...\n  namer serve (--model FILE | --model-dir DIR) [--listen ADDR] [--queue N]\n              [--model-budget MB] [--deterministic] [runtime options]\n\n\
          Runtime options (every command):\n  \
          --threads N         worker threads (0 = all cores, the default)\n  \
@@ -211,18 +211,13 @@ impl RuntimeOpts {
 
 fn lang_from_args(args: &[String]) -> Lang {
     match flag_value(args, "--lang") {
-        Some("java") => Lang::Java,
-        Some("python") | None => {
-            if has_flag(args, "--java") {
-                Lang::Java
-            } else {
-                Lang::Python
-            }
-        }
-        Some(other) => {
-            eprintln!("warning: unknown language `{other}`, defaulting to python");
+        Some(spelled) => namer::syntax::lang::from_alias(spelled).unwrap_or_else(|| {
+            eprintln!("warning: unknown language `{spelled}`, defaulting to python");
             Lang::Python
-        }
+        }),
+        None if has_flag(args, "--java") => Lang::Java,
+        None if has_flag(args, "--js") => Lang::Js,
+        None => Lang::Python,
     }
 }
 
@@ -375,7 +370,7 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, NamerError> {
         out.display(),
         out.display(),
         out.display(),
-        match lang { Lang::Python => "python", Lang::Java => "java" },
+        lang.spec().cli_name(),
     );
     // Nothing ran, but an explicit --metrics-out still gets a (zeroed)
     // snapshot rather than silently no file.

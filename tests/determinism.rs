@@ -174,6 +174,73 @@ fn incremental_scan_is_thread_and_dirty_window_invariant() {
 }
 
 #[test]
+fn js_full_and_incremental_scans_agree_across_thread_counts() {
+    // The JavaScript frontend rides the same determinism contract as
+    // Python/Java: a full scan, a warm incremental scan over a dirty mix,
+    // and every thread count must all agree byte-for-byte.
+    let corpus = Generator::new(CorpusConfig::small(Lang::Js)).generate(88);
+    let commits: Vec<(String, String)> = corpus
+        .commits
+        .iter()
+        .map(|c| (c.before.clone(), c.after.clone()))
+        .collect();
+    let process_config = ProcessConfig::default();
+    let processed = process(&corpus.files, &process_config);
+    let det = Detector::mine(&processed, &commits, Lang::Js, &config().mining);
+
+    // Warm the cache on the pristine corpus.
+    let mut warmed = ScanCache::empty(det.fingerprint(&process_config, &ShardPlan::unsharded()));
+    det.scan(ScanRequest::incremental(
+        &corpus.files,
+        &process_config,
+        &mut warmed,
+    ));
+
+    // Dirty mix: edit every 5th file, add a fresh one.
+    let mut mutated = corpus.files.clone();
+    for (i, f) in mutated.iter_mut().enumerate() {
+        if i % 5 == 0 {
+            f.text.push_str("\nconst zzDirty = 1;\n");
+        }
+    }
+    mutated.push(SourceFile::new(
+        "fresh-repo",
+        "fresh.js",
+        "class Fresh {\n    check(widget) {\n        console.log(widget.count);\n    }\n}\n",
+        Lang::Js,
+    ));
+
+    let incremental = |threads: usize| {
+        let mut cache = warmed.clone();
+        let scan = det.scan(
+            ScanRequest::incremental(&mutated, &process_config, &mut cache).threads(threads),
+        );
+        (
+            scan.raw_violation_count,
+            scan.files_with_violation,
+            scan.violations
+                .iter()
+                .map(|v| (v.to_string(), format!("{:?}", v.features)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let serial = incremental(1);
+    for threads in [2, 8] {
+        assert_eq!(serial, incremental(threads), "threads={threads} diverged");
+    }
+
+    // The warm incremental scan equals a cold full scan of the mutated corpus.
+    let full = det.scan(ScanRequest::full(&process(&mutated, &process_config)));
+    let full_key: Vec<(String, String)> = full
+        .violations
+        .iter()
+        .map(|v| (v.to_string(), format!("{:?}", v.features)))
+        .collect();
+    assert_eq!(serial.2, full_key);
+    assert_eq!(serial.0, full.raw_violation_count);
+}
+
+#[test]
 fn trained_system_reports_identically_across_thread_counts() {
     let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(66);
     let oracle = corpus.oracle();

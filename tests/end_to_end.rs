@@ -95,3 +95,13 @@ fn java_end_to_end_finds_issues_with_reasonable_precision() {
     assert!(found >= injected / 4, "found {found}/{injected}");
     assert!(precision > 0.4, "precision {precision}");
 }
+
+#[test]
+fn js_end_to_end_finds_issues_with_reasonable_precision() {
+    // The newest frontend rides the identical pipeline; its template bank
+    // mirrors Java's, so it gets the same floors.
+    let (precision, found, injected) = run_language(Lang::Js, 44);
+    assert!(injected > 10, "too few injections: {injected}");
+    assert!(found >= injected / 4, "found {found}/{injected}");
+    assert!(precision > 0.4, "precision {precision}");
+}

@@ -30,7 +30,11 @@ fn config() -> NamerConfig {
 /// Trains once; writes the snapshot as both a JSON file and a binary file
 /// inside a scratch model directory the registry can serve from.
 fn trained_setup(seed: u64) -> (Vec<SourceFile>, PathBuf) {
-    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(seed);
+    trained_setup_for(Lang::Python, seed)
+}
+
+fn trained_setup_for(lang: Lang, seed: u64) -> (Vec<SourceFile>, PathBuf) {
+    let corpus = Generator::new(CorpusConfig::small(lang)).generate(seed);
     let oracle = corpus.oracle();
     let commits: Vec<(String, String)> = corpus
         .commits
@@ -129,6 +133,21 @@ fn findings_are_byte_identical_across_formats_and_the_grid() {
             }
         }
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn js_model_round_trips_through_the_binary_container() {
+    // JavaScript's frozen model tag (registry tag 2) survives the binary
+    // container: a JS-trained model reloads with its language intact and
+    // produces identical findings from either on-disk format.
+    let (files, dir) = trained_setup_for(Lang::Js, 2029);
+    let loaded = SavedModel::load(&dir.join("trained.bin")).expect("binary model loads");
+    assert_eq!(loaded.into_namer(config()).lang(), Lang::Js);
+    assert_eq!(
+        scan_key(&files, &dir, &Via::Json, 1, 1),
+        scan_key(&files, &dir, &Via::Binary, 1, 1)
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

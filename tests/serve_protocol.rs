@@ -29,7 +29,8 @@ const INIT_OK: &str = "{\"jsonrpc\":\"2.0\",\"id\":1,\"result\":{\"protocol\":1,
     \"server\":\"namer-serve\",\"version\":\"0.1.0\",\"models\":[\"m\"],\
     \"methods\":[\"initialize\",\"ping\",\"shutdown\",\"file.analyze\",\
     \"model.load\",\"cache.flush\",\"file.watch\",\"file.unwatch\"],\
-    \"capabilities\":{\"watch\":true,\"stmt_regions\":true}}}";
+    \"capabilities\":{\"watch\":true,\"stmt_regions\":true,\
+    \"languages\":[\"python\",\"java\",\"javascript\"]}}}";
 
 fn init_line(id: u64) -> String {
     format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"method\":\"initialize\",\"params\":{{\"protocol\":1}}}}")
@@ -395,6 +396,10 @@ fn serve_old_clients_ignore_new_initialize_fields() {
         .expect("initialize response is JSON");
     assert_eq!(resp["result"]["capabilities"]["watch"], json!(true));
     assert_eq!(resp["result"]["capabilities"]["stmt_regions"], json!(true));
+    assert_eq!(
+        resp["result"]["capabilities"]["languages"],
+        json!(["python", "java", "javascript"])
+    );
     let result = resp["result"].as_object_mut().expect("result is an object");
     assert!(result.remove("capabilities").is_some());
     let known = ["protocol", "server", "version", "models", "methods"];

@@ -27,7 +27,11 @@ fn config() -> NamerConfig {
 /// Trains once and returns the corpus plus the model snapshot the grid
 /// points rebuild their sessions from.
 fn trained_model(seed: u64) -> (Vec<SourceFile>, String) {
-    let corpus = Generator::new(CorpusConfig::small(Lang::Python)).generate(seed);
+    trained_model_for(Lang::Python, seed)
+}
+
+fn trained_model_for(lang: Lang, seed: u64) -> (Vec<SourceFile>, String) {
+    let corpus = Generator::new(CorpusConfig::small(lang)).generate(seed);
     let oracle = corpus.oracle();
     let commits: Vec<(String, String)> = corpus
         .commits
@@ -82,6 +86,23 @@ fn report_bytes_are_identical_across_the_thread_shard_grid() {
     let (files, json) = trained_model(2021);
     let baseline = scan_key(&files, &json, 1, 1);
     assert!(!baseline.is_empty());
+    for threads in [1usize, 2, 8] {
+        for shards in [1usize, 2, 4] {
+            assert_eq!(
+                baseline,
+                scan_key(&files, &json, threads, shards),
+                "diverged at threads={threads} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn js_report_bytes_are_identical_across_the_thread_shard_grid() {
+    // The JavaScript frontend obeys the same pure-function contract as the
+    // other languages over the full (file-threads × pattern-shards) grid.
+    let (files, json) = trained_model_for(Lang::Js, 2025);
+    let baseline = scan_key(&files, &json, 1, 1);
     for threads in [1usize, 2, 8] {
         for shards in [1usize, 2, 4] {
             assert_eq!(
